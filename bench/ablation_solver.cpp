@@ -1,0 +1,89 @@
+// Ablation of the Sec. V-E spectral solver (not a paper figure, but the
+// design choice DESIGN.md calls out): Lanczos + GAGQ vs plain Lanczos vs
+// full diagonalization, as a function of the Lanczos step count, on one
+// fixed protein system.
+//
+// Shows (a) GAGQ's accuracy advantage at equal step count, (b) the
+// step-count convergence of the broadened spectrum, and (c) the cost gap
+// to exact diagonalization that motivates the matrix-function approach —
+// a 100M-atom system would need a 3x10^8-dimensional eigensolve.
+
+#include <cmath>
+#include <cstdio>
+
+#include "qfr/chem/protein.hpp"
+#include "qfr/common/timer.hpp"
+#include "qfr/engine/model_engine.hpp"
+#include "qfr/frag/assembly.hpp"
+#include "qfr/frag/fragmentation.hpp"
+#include "qfr/runtime/master_runtime.hpp"
+#include "qfr/spectra/raman.hpp"
+
+namespace {
+
+double rel_l2(const qfr::la::Vector& a, const qfr::la::Vector& b) {
+  double num = 0.0, den = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    num += (a[i] - b[i]) * (a[i] - b[i]);
+    den += a[i] * a[i];
+  }
+  return std::sqrt(num / den);
+}
+
+}  // namespace
+
+int main() {
+  using namespace qfr;
+  std::printf("=== Solver ablation: Lanczos+GAGQ vs plain vs exact ===\n\n");
+
+  // Build a ~25-residue protein and assemble its global properties once.
+  frag::BioSystem sys;
+  chem::ProteinBuildOptions popts;
+  popts.n_residues = 25;
+  popts.seed = 321;
+  sys.chains.push_back(chem::build_synthetic_protein(popts));
+  const auto fr = frag::fragment_biosystem(sys);
+
+  engine::ModelEngine eng;
+  runtime::RuntimeOptions ropts;
+  ropts.n_leaders = 2;
+  runtime::MasterRuntime rt(std::move(ropts));
+  const auto report = rt.run(fr.fragments, eng);
+  const auto props =
+      frag::assemble_global_properties(sys, fr.fragments, report.results);
+  const std::size_t dim = props.hessian_mw.rows();
+  std::printf("system: %zu atoms, Hessian dimension %zu\n\n", sys.n_atoms(),
+              dim);
+
+  const auto axis = spectra::wavenumber_axis(0, 4000, 1200);
+  const double sigma = 20.0;
+
+  WallTimer t;
+  const auto exact = spectra::raman_spectrum_exact(
+      props.hessian_mw.to_dense(), props.dalpha_mw, axis, sigma);
+  const double t_exact = t.seconds();
+  std::printf("exact diagonalization: %.2f s (reference)\n\n", t_exact);
+
+  std::printf("%8s | %14s %10s | %14s %10s\n", "steps", "GAGQ err",
+              "time (s)", "plain err", "time (s)");
+  for (const int steps : {20, 40, 80, 160, 320}) {
+    spectra::LanczosOptions lopts;
+    lopts.steps = steps;
+    t.reset();
+    const auto gagq = spectra::raman_spectrum_lanczos(
+        props.hessian_mw, props.dalpha_mw, axis, sigma, lopts, true);
+    const double t_gagq = t.seconds();
+    t.reset();
+    const auto plain = spectra::raman_spectrum_lanczos(
+        props.hessian_mw, props.dalpha_mw, axis, sigma, lopts, false);
+    const double t_plain = t.seconds();
+    std::printf("%8d | %13.2f%% %10.3f | %13.2f%% %10.3f\n", steps,
+                100.0 * rel_l2(exact.intensity, gagq.intensity), t_gagq,
+                100.0 * rel_l2(exact.intensity, plain.intensity), t_plain);
+  }
+  std::printf("\nGAGQ reaches a given accuracy with fewer matvecs than the"
+              " plain rule,\nat the cost of diagonalizing a (2k-1) instead"
+              " of a k tridiagonal matrix\n— negligible, as the paper"
+              " argues in Sec. V-E.\n");
+  return 0;
+}

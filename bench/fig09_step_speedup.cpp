@@ -1,0 +1,67 @@
+// Reproduces paper Fig. 9: step-by-step speedups of the per-fragment DFPT
+// cycle from (1) symmetry-aware strength reduction (Sec. V-D) and then
+// (2) elastic workload offloading (Sec. V-C), across fragment sizes.
+//
+// Paper reference: on ORISE, strength reduction alone gives 3.0-4.4x
+// (avg 3.7x) and adding offloading reaches 6.3-11.6x (avg 8.2x); on
+// Sunway the combined speedup reaches up to 16.2x (avg 11.2x).
+//
+// The baseline is the un-reduced GEMM stream executed on the host; the
+// accelerator timings come from the calibrated device cost model (the
+// hardware substitution documented in DESIGN.md). The strength-reduction
+// factor itself is *measured on real kernels* by micro_kernels.cpp.
+
+#include <cstdio>
+#include <vector>
+
+#include "qfr/xdev/device_model.hpp"
+
+namespace {
+
+// Baseline semantics differ per machine, following the paper's narrative:
+// on ORISE the scattered small GEMMs originally ran on the CPU workers
+// (individual offload was unprofitable over PCIe), while on Sunway the
+// shared address space meant they were individually launched on the
+// accelerator, paying per-invocation spawn overhead.
+void machine_table(const char* label, const qfr::xdev::DeviceProfile& dev,
+                   bool host_baseline) {
+  std::printf("%s (baseline: %s)\n", label,
+              host_baseline ? "host-executed GEMMs"
+                            : "per-invocation accelerator launches");
+  std::printf("  %7s %12s | %12s %8s | %12s %8s\n", "atoms", "baseline(s)",
+              "+reduce (s)", "speedup", "+offload(s)", "speedup");
+  double sum1 = 0.0, sum2 = 0.0;
+  int count = 0;
+  for (const std::size_t atoms : {9, 15, 22, 30, 40, 50, 60, 68}) {
+    const auto naive = qfr::xdev::dfpt_cycle_shapes(atoms, false);
+    const auto reduced = qfr::xdev::dfpt_cycle_shapes(atoms, true);
+    const auto run = [&](const std::vector<qfr::xdev::GemmShape>& shapes) {
+      return host_baseline ? qfr::xdev::evaluate_host_only(shapes, dev).total()
+                           : qfr::xdev::evaluate_unbatched(shapes, dev).total();
+    };
+    const double t_base = run(naive);
+    const double t_red = run(reduced);
+    const double t_off = qfr::xdev::evaluate_offload(reduced, dev).total();
+    std::printf("  %7zu %12.4f | %12.4f %7.1fx | %12.4f %7.1fx\n", atoms,
+                t_base, t_red, t_base / t_red, t_off, t_base / t_off);
+    sum1 += t_base / t_red;
+    sum2 += t_base / t_off;
+    ++count;
+  }
+  std::printf("  %-20s reduce avg %.1fx, reduce+offload avg %.1fx\n\n", "",
+              sum1 / count, sum2 / count);
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Fig. 9: step-by-step DFPT-cycle speedups ===\n\n");
+  machine_table("ORISE (HIP GPU model)", qfr::xdev::orise_gpu(),
+                /*host_baseline=*/true);
+  machine_table("Sunway (SW26010-pro model)", qfr::xdev::sw26010pro(),
+                /*host_baseline=*/false);
+  std::printf("paper: ORISE 3.0-4.4x reduce (avg 3.7x), 6.3-11.6x combined"
+              " (avg 8.2x);\n       Sunway up to 16.2x combined"
+              " (avg 11.2x).\n");
+  return 0;
+}

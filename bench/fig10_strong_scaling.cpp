@@ -1,0 +1,57 @@
+// Reproduces paper Fig. 10: strong scaling on the two simulated machines.
+//
+// Paper reference points (parallel efficiency vs the smallest run):
+//   ORISE water dimer:  99.1 % @1500 nodes, high at 3000/6000
+//   ORISE protein:      96.7 % @1500, 95.4 % @3000, 91.1 % @6000
+//   Sunway mixed:       99.9 % @24000, 98.7 % @48000, 96.2 % @96000
+
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "qfr/cluster/des.hpp"
+
+namespace {
+
+void strong_series(const char* label, const qfr::cluster::MachineProfile& m,
+                   const std::vector<std::size_t>& node_counts,
+                   const std::vector<qfr::balance::WorkItem>& items) {
+  std::printf("%s — fixed workload of %zu fragments\n", label, items.size());
+  std::printf("  %8s %14s %10s %12s\n", "nodes", "makespan (s)", "speedup",
+              "efficiency");
+  double base_time = 0.0;
+  std::size_t base_nodes = 0;
+  for (const std::size_t nodes : node_counts) {
+    auto policy = qfr::balance::make_size_sensitive_policy();
+    qfr::cluster::DesOptions opts;
+    opts.n_nodes = nodes;
+    opts.machine = m;
+    opts.seed = 11 + nodes;
+    const auto rep = qfr::cluster::simulate_cluster(items, *policy, opts);
+    if (base_nodes == 0) {
+      base_nodes = nodes;
+      base_time = rep.makespan;
+    }
+    const double speedup = base_time / rep.makespan;
+    const double ideal = static_cast<double>(nodes) /
+                         static_cast<double>(base_nodes);
+    std::printf("  %8zu %14.1f %9.2fx %11.1f%%\n", nodes, rep.makespan,
+                speedup, 100.0 * speedup / ideal);
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Fig. 10: strong scaling ===\n\n");
+  const auto orise = qfr::cluster::orise_profile();
+  const auto sunway = qfr::cluster::sunway_profile();
+
+  strong_series("ORISE / water dimer", orise, {750, 1500, 3000, 6000},
+                bench::water_dimer_items(3343536));
+  strong_series("ORISE / protein", orise, {750, 1500, 3000, 6000},
+                bench::protein_items(355200, 3));
+  strong_series("Sunway / mixed", sunway, {12000, 24000, 48000, 96000},
+                bench::mixed_items(16605176, 5));
+  return 0;
+}

@@ -1,0 +1,71 @@
+// Reproduces paper Fig. 11: weak scaling (fragments per second as the
+// workload grows with the machine).
+//
+// Paper reference points:
+//   ORISE water dimer: 2,406.3 f/s @750 nodes -> 4,772.2 / 9,546.6 /
+//                      18,445.1 f/s (eff. 99.1/99.1/99.0 %)
+//   ORISE protein:     93.2 f/s @750 -> eff. 99.8/99.4/99.3 %
+//   Sunway mixed:      1,661.3 f/s @12,000 -> 3,324.3 / 6,626.9 /
+//                      13,239.8 f/s (eff. 100.0/99.7/99.6 %)
+
+#include <cstdio>
+#include <functional>
+
+#include "bench_common.hpp"
+#include "qfr/cluster/des.hpp"
+
+namespace {
+
+void weak_series(
+    const char* label, const qfr::cluster::MachineProfile& m,
+    const std::vector<std::size_t>& node_counts,
+    const std::vector<std::size_t>& fragment_counts,
+    const std::function<std::vector<qfr::balance::WorkItem>(std::size_t,
+                                                            std::uint64_t)>&
+        make_items) {
+  std::printf("%s\n", label);
+  std::printf("  %8s %12s %16s %12s\n", "nodes", "fragments",
+              "throughput (f/s)", "efficiency");
+  double base_rate_per_node = 0.0;
+  for (std::size_t i = 0; i < node_counts.size(); ++i) {
+    auto policy = qfr::balance::make_size_sensitive_policy();
+    qfr::cluster::DesOptions opts;
+    opts.n_nodes = node_counts[i];
+    opts.machine = m;
+    opts.seed = 23 + node_counts[i];
+    const auto rep = qfr::cluster::simulate_cluster(
+        make_items(fragment_counts[i], 100 + i), *policy, opts);
+    const double per_node =
+        rep.throughput / static_cast<double>(node_counts[i]);
+    if (i == 0) base_rate_per_node = per_node;
+    std::printf("  %8zu %12zu %16.1f %11.1f%%\n", node_counts[i],
+                fragment_counts[i], rep.throughput,
+                100.0 * per_node / base_rate_per_node);
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Fig. 11: weak scaling ===\n\n");
+  const auto orise = qfr::cluster::orise_profile();
+  const auto sunway = qfr::cluster::sunway_profile();
+
+  weak_series("ORISE / water dimer", orise, {750, 1500, 3000, 6000},
+              {3343536, 6691536, 13387536, 25885440},
+              [](std::size_t n, std::uint64_t) {
+                return bench::water_dimer_items(n);
+              });
+  weak_series("ORISE / protein", orise, {750, 1500, 3000, 6000},
+              {88800, 177600, 355200, 710400},
+              [](std::size_t n, std::uint64_t seed) {
+                return bench::protein_items(n, seed);
+              });
+  weak_series("Sunway / mixed", sunway, {12000, 24000, 48000, 96000},
+              {4151294, 8302588, 16605176, 33210352},
+              [](std::size_t n, std::uint64_t seed) {
+                return bench::mixed_items(n, seed);
+              });
+  return 0;
+}

@@ -1,0 +1,150 @@
+// Reproduces paper Fig. 12 at laptop scale: Raman spectra of
+//   (a) the (synthetic) spike-like protein in the gas phase, compared
+//       against the experimentally observed band positions, and
+//   (b) the pure water box, the gas-phase protein, and the protein in
+//       explicit water, showing the water bands obscuring everything but
+//       the protein C-H stretch marker near 2900 cm^-1.
+//
+// Spectra are written to fig12a.csv / fig12b.csv next to the binary.
+
+#include <cstdio>
+#include <fstream>
+
+#include "qfr/chem/protein.hpp"
+#include "qfr/qframan/workflow.hpp"
+
+namespace {
+
+using qfr::spectra::RamanSpectrum;
+
+RamanSpectrum run(const qfr::frag::BioSystem& sys, double sigma_cm,
+                  const char* label) {
+  qfr::qframan::WorkflowOptions opts;
+  opts.sigma_cm = sigma_cm;
+  opts.omega_max_cm = 4000.0;
+  opts.omega_points = 2000;
+  opts.n_leaders = 4;
+  opts.lanczos_steps = 200;
+  const auto res = qfr::qframan::RamanWorkflow(opts).run(sys);
+  std::printf("  %-18s %7zu atoms %7zu fragments  (%s, %.1f s sweep)\n",
+              label, sys.n_atoms(), res.fragmentation_stats.total_fragments,
+              res.used_lanczos ? "Lanczos+GAGQ" : "exact",
+              res.engine_seconds);
+  return res.spectrum;
+}
+
+double peak_near(const RamanSpectrum& s, double center, double window) {
+  double best = -1.0, where = 0.0;
+  for (std::size_t i = 0; i < s.omega_cm.size(); ++i) {
+    if (std::fabs(s.omega_cm[i] - center) > window) continue;
+    if (s.intensity[i] > best) {
+      best = s.intensity[i];
+      where = s.omega_cm[i];
+    }
+  }
+  return where;
+}
+
+double band(const RamanSpectrum& s, double lo, double hi) {
+  double acc = 0.0;
+  for (std::size_t i = 0; i < s.omega_cm.size(); ++i)
+    if (s.omega_cm[i] >= lo && s.omega_cm[i] <= hi) acc += s.intensity[i];
+  return acc;
+}
+
+void write_csv(const char* path,
+               const std::vector<std::pair<const char*, const RamanSpectrum*>>&
+                   series) {
+  std::ofstream csv(path);
+  csv << "omega_cm";
+  for (const auto& [name, s] : series) csv << ',' << name;
+  csv << '\n';
+  const auto& axis = series.front().second->omega_cm;
+  for (std::size_t i = 0; i < axis.size(); ++i) {
+    csv << axis[i];
+    for (const auto& [name, s] : series) csv << ',' << s->intensity[i];
+    csv << '\n';
+  }
+}
+
+}  // namespace
+
+int main() {
+  using namespace qfr;
+  std::printf("=== Fig. 12: Raman spectra ===\n\n");
+
+  // Synthetic spike-like trimer (see DESIGN.md for the 7DF3 substitution).
+  frag::BioSystem gas;
+  for (int c = 0; c < 3; ++c) {
+    chem::ProteinBuildOptions opts;
+    opts.n_residues = 40;
+    opts.seed = 7100 + c;
+    gas.chains.push_back(chem::build_synthetic_protein(opts));
+  }
+
+  std::printf("(a) gas-phase protein, sigma = 5 cm^-1\n");
+  const RamanSpectrum s_gas = run(gas, 5.0, "protein (gas)");
+
+  // Experimental marker bands (SERS reference of the paper's Fig. 12a).
+  struct Marker {
+    const char* assignment;
+    double experimental_cm;
+    double window;
+  };
+  const Marker markers[] = {
+      {"Phe ring breathing", 1030.0, 120.0},
+      {"amide III", 1280.0, 90.0},
+      {"CH2 bend", 1450.0, 80.0},
+      {"amide I (C=O)", 1655.0, 90.0},
+      {"C-H stretch", 2900.0, 160.0},
+  };
+  std::printf("\n  %-22s %14s %14s\n", "band", "experiment", "computed");
+  for (const auto& mk : markers) {
+    const double found = peak_near(s_gas, mk.experimental_cm, mk.window);
+    std::printf("  %-22s %11.0f cm  %11.0f cm\n", mk.assignment,
+                mk.experimental_cm, found);
+  }
+
+  // (b) water box and solvated protein, sigma = 20 cm^-1.
+  std::printf("\n(b) solvated systems, sigma = 20 cm^-1\n");
+  chem::WaterBoxOptions wopts;
+  wopts.edge_angstrom = 32.0;
+
+  frag::BioSystem water_only;
+  water_only.waters = chem::build_water_box(wopts, chem::Molecule{});
+  const RamanSpectrum s_wat = run(water_only, 20.0, "water box");
+
+  frag::BioSystem solvated = gas;
+  chem::Molecule all_chains;
+  for (const auto& ch : gas.chains) all_chains.append(ch.mol);
+  solvated.waters = chem::build_water_box(wopts, all_chains);
+  const RamanSpectrum s_sol = run(solvated, 20.0, "protein + water");
+  const RamanSpectrum s_gas20 = run(gas, 20.0, "protein (sigma 20)");
+
+  std::printf("\n  band intensity shares (as in Fig. 12b)\n");
+  std::printf("  %-22s %10s %10s %10s\n", "band", "protein", "water",
+              "solvated");
+  struct B {
+    const char* name;
+    double lo, hi;
+  };
+  for (const B b : {B{"O-H bend ~1600", 1500, 1750},
+                    B{"C-H stretch ~2900", 2800, 3050},
+                    B{"O-H stretch ~3400", 3200, 3800}}) {
+    auto share = [&](const RamanSpectrum& s) {
+      return band(s, b.lo, b.hi) / band(s, 10, 4000);
+    };
+    std::printf("  %-22s %9.1f%% %9.1f%% %9.1f%%\n", b.name,
+                100 * share(s_gas20), 100 * share(s_wat), 100 * share(s_sol));
+  }
+  std::printf("\n  The solvated spectrum is water-dominated; the C-H stretch"
+              " (absent in\n  pure water) remains the protein marker —"
+              " the Fig. 12(b) observation.\n");
+
+  write_csv("fig12a.csv", {{"protein_gas", &s_gas}});
+  write_csv("fig12b.csv", {{"water", &s_wat},
+                           {"protein_gas", &s_gas20},
+                           {"protein_water", &s_sol}});
+  std::printf("\n  spectra written to fig12a.csv, fig12b.csv\n");
+  return 0;
+}

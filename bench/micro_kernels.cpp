@@ -1,0 +1,165 @@
+// Google-benchmark micro-benchmarks of the hot kernels: the blocked GEMM,
+// the symmetry-aware strength reductions of Fig. 6 (real measured speedup,
+// complementing the modeled Fig. 9), grid density evaluation, the sparse
+// Hessian matvec driving the Lanczos solver, and the cell-list pair
+// search behind the generalized-concap construction.
+
+#include <benchmark/benchmark.h>
+
+#include "qfr/common/rng.hpp"
+#include "qfr/geom/cell_list.hpp"
+#include "qfr/la/blas.hpp"
+#include "qfr/la/sparse.hpp"
+#include "qfr/spectra/lanczos.hpp"
+#include "qfr/xdev/strength_reduction.hpp"
+
+namespace {
+
+using qfr::Rng;
+using qfr::la::Matrix;
+
+Matrix random_matrix(std::size_t r, std::size_t c, std::uint64_t seed) {
+  Rng rng(seed);
+  Matrix m(r, c);
+  for (std::size_t i = 0; i < m.size(); ++i)
+    m.data()[i] = rng.uniform(-1, 1);
+  return m;
+}
+
+void BM_Gemm(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const Matrix a = random_matrix(n, n, 1);
+  const Matrix b = random_matrix(n, n, 2);
+  Matrix c(n, n);
+  for (auto _ : state) {
+    qfr::la::gemm(qfr::la::Trans::kNo, qfr::la::Trans::kNo, 1.0, a, b, 0.0,
+                  c);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
+}
+BENCHMARK(BM_Gemm)->Arg(32)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_H1ExpressionNaive(benchmark::State& state) {
+  const auto nbf = static_cast<std::size_t>(state.range(0));
+  const Matrix chi = random_matrix(256, nbf, 3);
+  const Matrix gchi = random_matrix(256, nbf, 4);
+  for (auto _ : state) {
+    auto h = qfr::xdev::h1_expression_naive(chi, gchi);
+    benchmark::DoNotOptimize(h.data());
+  }
+}
+BENCHMARK(BM_H1ExpressionNaive)->Arg(48)->Arg(96)->Arg(192);
+
+void BM_H1ExpressionReduced(benchmark::State& state) {
+  const auto nbf = static_cast<std::size_t>(state.range(0));
+  const Matrix chi = random_matrix(256, nbf, 3);
+  const Matrix gchi = random_matrix(256, nbf, 4);
+  for (auto _ : state) {
+    auto h = qfr::xdev::h1_expression_reduced(chi, gchi);
+    benchmark::DoNotOptimize(h.data());
+  }
+}
+BENCHMARK(BM_H1ExpressionReduced)->Arg(48)->Arg(96)->Arg(192);
+
+void BM_GradRhoNaive(benchmark::State& state) {
+  const auto nbf = static_cast<std::size_t>(state.range(0));
+  const Matrix chi = random_matrix(256, nbf, 5);
+  const Matrix gchi = random_matrix(256, nbf, 6);
+  Matrix p = random_matrix(nbf, nbf, 7);
+  for (std::size_t i = 0; i < nbf; ++i)
+    for (std::size_t j = 0; j < i; ++j) p(i, j) = p(j, i);
+  for (auto _ : state) {
+    auto g = qfr::xdev::grad_rho_naive(chi, gchi, p);
+    benchmark::DoNotOptimize(g.data());
+  }
+}
+BENCHMARK(BM_GradRhoNaive)->Arg(48)->Arg(96)->Arg(192);
+
+void BM_GradRhoReduced(benchmark::State& state) {
+  const auto nbf = static_cast<std::size_t>(state.range(0));
+  const Matrix chi = random_matrix(256, nbf, 5);
+  const Matrix gchi = random_matrix(256, nbf, 6);
+  Matrix p = random_matrix(nbf, nbf, 7);
+  for (std::size_t i = 0; i < nbf; ++i)
+    for (std::size_t j = 0; j < i; ++j) p(i, j) = p(j, i);
+  for (auto _ : state) {
+    auto g = qfr::xdev::grad_rho_reduced(chi, gchi, p);
+    benchmark::DoNotOptimize(g.data());
+  }
+}
+BENCHMARK(BM_GradRhoReduced)->Arg(48)->Arg(96)->Arg(192);
+
+void BM_SparseHessianMatvec(benchmark::State& state) {
+  // Block-tridiagonal-ish sparse Hessian of n atoms (3n x 3n).
+  const auto atoms = static_cast<std::size_t>(state.range(0));
+  const std::size_t dim = 3 * atoms;
+  Rng rng(11);
+  std::vector<qfr::la::Triplet> trips;
+  for (std::size_t a = 0; a < atoms; ++a)
+    for (std::size_t b = a; b < std::min(atoms, a + 12); ++b)
+      for (int i = 0; i < 3; ++i)
+        for (int j = 0; j < 3; ++j) {
+          const double v = rng.uniform(-1, 1);
+          trips.push_back({3 * a + i, 3 * b + j, v});
+          if (a != b) trips.push_back({3 * b + j, 3 * a + i, v});
+        }
+  const auto h = qfr::la::CsrMatrix::from_triplets(dim, dim, trips);
+  qfr::la::Vector x(dim, 1.0), y(dim, 0.0);
+  for (auto _ : state) {
+    h.matvec(1.0, x, 0.0, y);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(state.iterations() * h.nnz() * 2);
+}
+BENCHMARK(BM_SparseHessianMatvec)->Arg(1000)->Arg(10000)->Arg(100000);
+
+void BM_LanczosSpectrum(benchmark::State& state) {
+  const auto atoms = static_cast<std::size_t>(state.range(0));
+  const std::size_t dim = 3 * atoms;
+  Rng rng(13);
+  std::vector<qfr::la::Triplet> trips;
+  for (std::size_t a = 0; a < atoms; ++a)
+    for (std::size_t b = a; b < std::min(atoms, a + 6); ++b) {
+      const double v = rng.uniform(0.0, 0.3);
+      for (int i = 0; i < 3; ++i) {
+        trips.push_back({3 * a + i, 3 * b + i, a == b ? v + 1.0 : -v});
+        if (a != b) trips.push_back({3 * b + i, 3 * a + i, -v});
+      }
+    }
+  const auto h = qfr::la::CsrMatrix::from_triplets(dim, dim, trips);
+  qfr::la::Vector d(dim);
+  for (auto& v : d) v = rng.uniform(-1, 1);
+  const qfr::spectra::MatVec op = [&](std::span<const double> x,
+                                      std::span<double> y) {
+    h.matvec(1.0, x, 0.0, y);
+  };
+  qfr::spectra::LanczosOptions opts;
+  opts.steps = 100;
+  for (auto _ : state) {
+    auto lr = qfr::spectra::lanczos(op, d, dim, opts);
+    auto m = qfr::spectra::averaged_gauss_quadrature(lr);
+    benchmark::DoNotOptimize(m.nodes.data());
+  }
+}
+BENCHMARK(BM_LanczosSpectrum)->Arg(2000)->Arg(20000);
+
+void BM_CellListPairs(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(17);
+  std::vector<qfr::geom::Vec3> pts(n);
+  const double box = std::cbrt(static_cast<double>(n) / 0.033);
+  for (auto& p : pts)
+    p = {rng.uniform(0, box), rng.uniform(0, box), rng.uniform(0, box)};
+  for (auto _ : state) {
+    qfr::geom::CellList cl(pts, 7.56);  // 4 A in bohr
+    std::size_t count = 0;
+    for (std::size_t i = 0; i < n; ++i)
+      cl.for_each_neighbor(i, [&](std::size_t) { ++count; });
+    benchmark::DoNotOptimize(count);
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_CellListPairs)->Arg(10000)->Arg(100000);
+
+}  // namespace

@@ -1,0 +1,107 @@
+// Fully ab initio vibrational analysis of the water dimer: RHF/STO-3G with
+// analytic-gradient Hessians, DFPT polarizability derivatives and dipole
+// derivatives — one QF-RAMAN worker job on a hydrogen-bonded fragment,
+// with no classical surrogate anywhere.
+//
+// Physics check: hydrogen bonding red-shifts the donor O-H stretch
+// relative to an isolated water and enhances its IR intensity — both
+// emerge below. Runtime: ~30 s single-core.
+
+#include <cmath>
+#include <cstdio>
+
+#include "qfr/chem/molecule.hpp"
+#include "qfr/common/timer.hpp"
+#include "qfr/common/units.hpp"
+#include "qfr/engine/scf_engine.hpp"
+#include "qfr/spectra/normal_modes.hpp"
+
+namespace {
+
+qfr::la::Matrix mass_weight(const qfr::la::Matrix& h,
+                            const qfr::chem::Molecule& mol) {
+  const auto masses = mol.mass_vector_amu();
+  qfr::la::Matrix mw = h;
+  for (std::size_t i = 0; i < mw.rows(); ++i)
+    for (std::size_t j = 0; j < mw.cols(); ++j)
+      mw(i, j) /= std::sqrt(masses[i] * qfr::units::kAmuToMe * masses[j] *
+                            qfr::units::kAmuToMe);
+  return mw;
+}
+
+qfr::la::Matrix mass_weight_rows(const qfr::la::Matrix& d,
+                                 const qfr::chem::Molecule& mol) {
+  const auto masses = mol.mass_vector_amu();
+  qfr::la::Matrix out = d;
+  for (std::size_t k = 0; k < out.rows(); ++k)
+    for (std::size_t i = 0; i < out.cols(); ++i)
+      out(k, i) /= std::sqrt(masses[i] * qfr::units::kAmuToMe);
+  return out;
+}
+
+std::vector<qfr::spectra::NormalMode> analyze(const qfr::chem::Molecule& mol,
+                                              const char* label) {
+  qfr::WallTimer t;
+  qfr::engine::ScfEngine eng;  // gradient-mode Hessian, CPHF dalpha
+  const auto res = eng.compute(mol);
+  auto modes = qfr::spectra::normal_modes(mass_weight(res.hessian, mol),
+                                          mass_weight_rows(res.dalpha, mol),
+                                          mass_weight_rows(res.dmu, mol));
+  std::printf("%s: %zu atoms, %d displacement jobs, %.1f s\n", label,
+              mol.size(), res.displacement_tasks, t.seconds());
+  return modes;
+}
+
+}  // namespace
+
+int main() {
+  using namespace qfr;
+  std::printf("ab initio (RHF/STO-3G) water dimer vs water monomer\n\n");
+
+  const chem::Molecule monomer = chem::make_water({0, 0, 0});
+  // Donor water with one O-H aligned along the O...O axis (+z), acceptor
+  // 2.96 A above: the canonical near-linear hydrogen bond.
+  chem::Molecule dimer;
+  const double roh = 0.9572 * units::kAngstromToBohr;
+  const double hoh = 104.52 * units::kPi / 180.0;
+  dimer.add(chem::Element::O, {0, 0, 0});
+  dimer.add(chem::Element::H, {0, 0, roh});  // donor O-H, points at acceptor
+  dimer.add(chem::Element::H,
+            {roh * std::sin(hoh), 0, roh * std::cos(hoh)});
+  const double ooz = 2.96 * units::kAngstromToBohr;
+  dimer.add(chem::Element::O, {0, 0, ooz});
+  // Acceptor H's tilted away from the bond axis.
+  dimer.add(chem::Element::H,
+            {roh * 0.81, roh * 0.44, ooz + roh * 0.39});
+  dimer.add(chem::Element::H,
+            {-roh * 0.81, roh * 0.44, ooz + roh * 0.39});
+
+  const auto m_modes = analyze(monomer, "monomer");
+  const auto d_modes = analyze(dimer, "dimer  ");
+
+  std::printf("\nmonomer vibrations (cm^-1, Raman act., IR int.):\n");
+  for (const auto& m : m_modes)
+    if (m.frequency_cm > 500.0)
+      std::printf("  %8.1f  %10.4g  %10.4g\n", m.frequency_cm,
+                  m.raman_activity, m.ir_intensity);
+
+  std::printf("\ndimer vibrations above 1000 cm^-1:\n");
+  for (const auto& m : d_modes)
+    if (m.frequency_cm > 1000.0)
+      std::printf("  %8.1f  %10.4g  %10.4g\n", m.frequency_cm,
+                  m.raman_activity, m.ir_intensity);
+
+  // H-bond signature: the lowest O-H stretch of the dimer (donor O-H)
+  // sits below the monomer's symmetric stretch.
+  double monomer_lowest_stretch = 1e9, dimer_lowest_stretch = 1e9;
+  for (const auto& m : m_modes)
+    if (m.frequency_cm > 3000.0)
+      monomer_lowest_stretch = std::min(monomer_lowest_stretch,
+                                        m.frequency_cm);
+  for (const auto& m : d_modes)
+    if (m.frequency_cm > 3000.0)
+      dimer_lowest_stretch = std::min(dimer_lowest_stretch, m.frequency_cm);
+  std::printf("\nH-bond red shift of the donor O-H stretch: %.1f cm^-1\n",
+              monomer_lowest_stretch - dimer_lowest_stretch);
+  return 0;
+}

@@ -1,0 +1,159 @@
+#include "qfr/balance/packing.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "qfr/common/error.hpp"
+
+namespace qfr::balance {
+
+double CostModel::evaluate(std::size_t n_atoms) const {
+  return coefficient * std::pow(static_cast<double>(n_atoms), exponent);
+}
+
+namespace {
+
+class SizeSensitivePolicy final : public PackingPolicy {
+ public:
+  explicit SizeSensitivePolicy(SizeSensitiveOptions opts) : opts_(opts) {}
+
+  void initialize(std::vector<WorkItem> items) override {
+    items_ = std::move(items);
+    std::sort(items_.begin(), items_.end(),
+              [](const WorkItem& a, const WorkItem& b) {
+                return a.cost > b.cost;
+              });
+    head_ = 0;
+    total_items_ = items_.size();
+    max_cost_ = items_.empty() ? 0.0 : items_.front().cost;
+  }
+
+  Task next_task(std::size_t /*queue_depth*/) override {
+    Task task;
+    if (head_ >= items_.size()) return task;
+
+    // Phase 1: large fragments travel alone.
+    if (items_[head_].cost >= opts_.large_fraction * max_cost_) {
+      task.push_back(items_[head_++]);
+      return task;
+    }
+
+    const std::size_t remaining = items_.size() - head_;
+    const auto tail_begin = static_cast<std::size_t>(
+        opts_.tail_fraction * static_cast<double>(total_items_));
+
+    if (remaining > tail_begin) {
+      // Phase 2: pack mediums up to the cost target.
+      const double target = opts_.pack_target_fraction * max_cost_;
+      double acc = 0.0;
+      while (head_ < items_.size() && (task.empty() || acc < target)) {
+        acc += items_[head_].cost;
+        task.push_back(items_[head_++]);
+      }
+      return task;
+    }
+
+    // Phase 3: granularity decays linearly with the remaining tail; the
+    // last stretch goes out one fragment at a time.
+    const double frac =
+        static_cast<double>(remaining) / std::max<std::size_t>(tail_begin, 1);
+    const double target = opts_.pack_target_fraction * max_cost_ * frac;
+    double acc = 0.0;
+    while (head_ < items_.size() && (task.empty() || acc < target)) {
+      acc += items_[head_].cost;
+      task.push_back(items_[head_++]);
+    }
+    return task;
+  }
+
+  bool drained() const override { return head_ >= items_.size(); }
+  std::string name() const override { return "size-sensitive"; }
+
+ private:
+  SizeSensitiveOptions opts_;
+  std::vector<WorkItem> items_;
+  std::size_t head_ = 0;
+  std::size_t total_items_ = 0;
+  double max_cost_ = 0.0;
+};
+
+class FifoPolicy final : public PackingPolicy {
+ public:
+  explicit FifoPolicy(std::size_t pack_size) : pack_size_(pack_size) {
+    QFR_REQUIRE(pack_size >= 1, "pack size must be >= 1");
+  }
+
+  void initialize(std::vector<WorkItem> items) override {
+    items_ = std::move(items);
+    head_ = 0;
+  }
+
+  Task next_task(std::size_t /*queue_depth*/) override {
+    Task task;
+    for (std::size_t k = 0; k < pack_size_ && head_ < items_.size(); ++k)
+      task.push_back(items_[head_++]);
+    return task;
+  }
+
+  bool drained() const override { return head_ >= items_.size(); }
+  std::string name() const override { return "fifo"; }
+
+ private:
+  std::size_t pack_size_;
+  std::vector<WorkItem> items_;
+  std::size_t head_ = 0;
+};
+
+class StaticPolicy final : public PackingPolicy {
+ public:
+  explicit StaticPolicy(std::size_t n_leaders) : n_leaders_(n_leaders) {
+    QFR_REQUIRE(n_leaders >= 1, "need at least one leader");
+  }
+
+  void initialize(std::vector<WorkItem> items) override {
+    // Pre-partition round-robin: leader j gets items j, j+L, j+2L, ...
+    // handed out as one monolithic task per leader.
+    buckets_.assign(n_leaders_, {});
+    for (std::size_t i = 0; i < items.size(); ++i)
+      buckets_[i % n_leaders_].push_back(items[i]);
+    next_bucket_ = 0;
+  }
+
+  Task next_task(std::size_t /*queue_depth*/) override {
+    while (next_bucket_ < buckets_.size()) {
+      if (!buckets_[next_bucket_].empty())
+        return std::move(buckets_[next_bucket_++]);
+      ++next_bucket_;
+    }
+    return {};
+  }
+
+  bool drained() const override {
+    for (std::size_t b = next_bucket_; b < buckets_.size(); ++b)
+      if (!buckets_[b].empty()) return false;
+    return true;
+  }
+  std::string name() const override { return "static"; }
+
+ private:
+  std::size_t n_leaders_;
+  std::vector<Task> buckets_;
+  std::size_t next_bucket_ = 0;
+};
+
+}  // namespace
+
+std::unique_ptr<PackingPolicy> make_size_sensitive_policy(
+    SizeSensitiveOptions options) {
+  return std::make_unique<SizeSensitivePolicy>(options);
+}
+
+std::unique_ptr<PackingPolicy> make_fifo_policy(std::size_t pack_size) {
+  return std::make_unique<FifoPolicy>(pack_size);
+}
+
+std::unique_ptr<PackingPolicy> make_static_policy(std::size_t n_leaders) {
+  return std::make_unique<StaticPolicy>(n_leaders);
+}
+
+}  // namespace qfr::balance

@@ -1,0 +1,78 @@
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace qfr::balance {
+
+/// One schedulable unit of work: a fragment with its estimated cost.
+struct WorkItem {
+  std::size_t fragment_id = 0;
+  std::size_t n_atoms = 0;
+  double cost = 0.0;  ///< estimated seconds (any consistent unit)
+};
+
+/// A task is a pack of fragments handed to one leader at once.
+using Task = std::vector<WorkItem>;
+
+/// Interface of the master's packing policy: initialize with the full
+/// fragment list, then hand out tasks until drained. Implementations are
+/// NOT thread safe; the master serializes access (matching the paper's
+/// single master process).
+class PackingPolicy {
+ public:
+  virtual ~PackingPolicy() = default;
+
+  virtual void initialize(std::vector<WorkItem> items) = 0;
+
+  /// Pop the next task; empty task when drained. `queue_depth` is the
+  /// number of leaders currently waiting (the paper's leader queue),
+  /// letting size-sensitive packing shrink granularity near the tail.
+  virtual Task next_task(std::size_t queue_depth) = 0;
+
+  virtual bool drained() const = 0;
+  virtual std::string name() const = 0;
+};
+
+/// The paper's system-size-sensitive policy (Sec. V-B):
+///   1. sort fragments by decreasing cost;
+///   2. each *large* fragment is its own task;
+///   3. *medium* fragments are packed several-per-task to reduce master
+///      traffic;
+///   4. near the tail the pack size decays to single small fragments so
+///      that busy leaders receive tiny top-up tasks and everyone finishes
+///      together.
+struct SizeSensitiveOptions {
+  /// Fragments with cost >= large_fraction * max_cost go out alone.
+  double large_fraction = 0.5;
+  /// Target cost of a packed medium task, as a multiple of the largest
+  /// fragment cost.
+  double pack_target_fraction = 1.0;
+  /// Fraction of total items considered the "tail" where granularity
+  /// decays linearly down to one fragment per task.
+  double tail_fraction = 0.1;
+};
+
+std::unique_ptr<PackingPolicy> make_size_sensitive_policy(
+    SizeSensitiveOptions options = {});
+
+/// Baseline: first-come-first-served with a fixed pack size (no sorting).
+std::unique_ptr<PackingPolicy> make_fifo_policy(std::size_t pack_size = 1);
+
+/// Baseline: static pre-partitioning across `n_leaders` round-robin; task
+/// i goes to whichever leader asks i-th (models static assignment when
+/// leaders request in a fixed order — used by the DES for the ablation).
+std::unique_ptr<PackingPolicy> make_static_policy(std::size_t n_leaders);
+
+/// Simple calibrated cost model for a fragment of n atoms:
+/// cost = c * n^p. The default exponent reproduces the paper's reported
+/// cost ratios (9-atom vs 68-atom fragments differ by ~19x => p ~ 1.45).
+struct CostModel {
+  double coefficient = 1.0e-3;
+  double exponent = 1.45;
+  double evaluate(std::size_t n_atoms) const;
+};
+
+}  // namespace qfr::balance

@@ -1,0 +1,74 @@
+#include "qfr/chem/amino_acid.hpp"
+
+#include "qfr/common/error.hpp"
+
+namespace qfr::chem {
+
+ResidueComposition residue_composition(ResidueType t) {
+  // In-chain residue = free amino acid minus one H2O (peptide condensation).
+  switch (t) {
+    case ResidueType::Gly: return {2, 3, 1, 1, 0};
+    case ResidueType::Ala: return {3, 5, 1, 1, 0};
+    case ResidueType::Ser: return {3, 5, 1, 2, 0};
+    case ResidueType::Cys: return {3, 5, 1, 1, 1};
+    case ResidueType::Thr: return {4, 7, 1, 2, 0};
+    case ResidueType::Val: return {5, 9, 1, 1, 0};
+    case ResidueType::Pro: return {5, 7, 1, 1, 0};
+    case ResidueType::Leu: return {6, 11, 1, 1, 0};
+    case ResidueType::Ile: return {6, 11, 1, 1, 0};
+    case ResidueType::Asn: return {4, 6, 2, 2, 0};
+    case ResidueType::Asp: return {4, 5, 1, 3, 0};
+    case ResidueType::Gln: return {5, 8, 2, 2, 0};
+    case ResidueType::Glu: return {5, 7, 1, 3, 0};
+    case ResidueType::Lys: return {6, 12, 2, 1, 0};
+    case ResidueType::Arg: return {6, 12, 4, 1, 0};
+    case ResidueType::His: return {6, 7, 3, 1, 0};
+    case ResidueType::Phe: return {9, 9, 1, 1, 0};
+    case ResidueType::Tyr: return {9, 9, 1, 2, 0};
+    case ResidueType::Trp: return {11, 10, 2, 1, 0};
+    case ResidueType::Met: return {5, 9, 1, 1, 1};
+  }
+  QFR_ASSERT(false, "unknown residue type");
+  return {};
+}
+
+std::string_view residue_code(ResidueType t) {
+  static constexpr std::string_view codes[kNumResidueTypes] = {
+      "GLY", "ALA", "SER", "CYS", "THR", "VAL", "PRO", "LEU", "ILE", "ASN",
+      "ASP", "GLN", "GLU", "LYS", "ARG", "HIS", "PHE", "TYR", "TRP", "MET"};
+  return codes[static_cast<int>(t)];
+}
+
+const std::array<double, kNumResidueTypes>& residue_frequencies() {
+  // Swiss-Prot average residue frequencies (percent), same enum order.
+  static const std::array<double, kNumResidueTypes> freq = {
+      7.07 /*Gly*/, 8.25 /*Ala*/, 6.64 /*Ser*/, 1.38 /*Cys*/, 5.35 /*Thr*/,
+      6.86 /*Val*/, 4.74 /*Pro*/, 9.90 /*Leu*/, 5.91 /*Ile*/, 4.06 /*Asn*/,
+      5.46 /*Asp*/, 3.93 /*Gln*/, 6.72 /*Glu*/, 5.80 /*Lys*/, 5.53 /*Arg*/,
+      2.27 /*His*/, 3.86 /*Phe*/, 2.92 /*Tyr*/, 1.10 /*Trp*/, 2.41 /*Met*/};
+  return freq;
+}
+
+std::vector<ResidueType> random_protein_sequence(std::size_t n, Rng& rng) {
+  const auto& freq = residue_frequencies();
+  double total = 0.0;
+  for (double f : freq) total += f;
+
+  std::vector<ResidueType> seq;
+  seq.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    double u = rng.uniform() * total;
+    int pick = kNumResidueTypes - 1;
+    for (int t = 0; t < kNumResidueTypes; ++t) {
+      u -= freq[static_cast<std::size_t>(t)];
+      if (u <= 0.0) {
+        pick = t;
+        break;
+      }
+    }
+    seq.push_back(static_cast<ResidueType>(pick));
+  }
+  return seq;
+}
+
+}  // namespace qfr::chem

@@ -1,0 +1,47 @@
+#pragma once
+
+#include <array>
+#include <string_view>
+#include <vector>
+
+#include "qfr/common/rng.hpp"
+
+namespace qfr::chem {
+
+/// The twenty proteinogenic amino acids.
+enum class ResidueType : int {
+  Gly, Ala, Ser, Cys, Thr, Val, Pro, Leu, Ile, Asn,
+  Asp, Gln, Glu, Lys, Arg, His, Phe, Tyr, Trp, Met,
+};
+
+inline constexpr int kNumResidueTypes = 20;
+
+/// Element counts of an *in-chain* residue (free amino acid minus H2O).
+struct ResidueComposition {
+  int c = 0;
+  int h = 0;
+  int n = 0;
+  int o = 0;
+  int s = 0;
+
+  int heavy_atoms() const { return c + n + o + s; }
+  int total_atoms() const { return c + h + n + o + s; }
+};
+
+/// Composition of the in-chain residue (e.g. Gly = C2H3NO, 7 atoms).
+ResidueComposition residue_composition(ResidueType t);
+
+/// Three-letter code ("GLY", ...).
+std::string_view residue_code(ResidueType t);
+
+/// Typical occurrence frequency of each residue in globular proteins
+/// (UniProt/Swiss-Prot statistics, normalized). Drives the synthetic
+/// spike-like sequence generator so the fragment-size distribution matches
+/// a real protein's.
+const std::array<double, kNumResidueTypes>& residue_frequencies();
+
+/// Draw a random sequence of `n` residues from the natural frequency
+/// distribution (deterministic given the Rng).
+std::vector<ResidueType> random_protein_sequence(std::size_t n, Rng& rng);
+
+}  // namespace qfr::chem

@@ -1,0 +1,69 @@
+#pragma once
+
+#include <string_view>
+
+namespace qfr::chem {
+
+/// Chemical elements occurring in proteins and water.
+///
+/// The scope is deliberately the biological set the paper simulates
+/// (H, C, N, O, S); extending the tables below is all that is needed for
+/// more elements.
+enum class Element : int { H = 1, C = 6, N = 7, O = 8, S = 16 };
+
+/// Atomic number.
+constexpr int atomic_number(Element e) { return static_cast<int>(e); }
+
+/// Standard atomic mass in amu.
+constexpr double atomic_mass(Element e) {
+  switch (e) {
+    case Element::H: return 1.00782503;
+    case Element::C: return 12.0;
+    case Element::N: return 14.0030740;
+    case Element::O: return 15.9949146;
+    case Element::S: return 31.9720707;
+  }
+  return 0.0;
+}
+
+/// Single-bond covalent radius in angstrom (Pyykko-Atsumi values), used by
+/// the bond-perception pass of the classical model engine.
+constexpr double covalent_radius_angstrom(Element e) {
+  switch (e) {
+    case Element::H: return 0.32;
+    case Element::C: return 0.75;
+    case Element::N: return 0.71;
+    case Element::O: return 0.63;
+    case Element::S: return 1.03;
+  }
+  return 0.0;
+}
+
+/// Element symbol.
+constexpr std::string_view symbol(Element e) {
+  switch (e) {
+    case Element::H: return "H";
+    case Element::C: return "C";
+    case Element::N: return "N";
+    case Element::O: return "O";
+    case Element::S: return "S";
+  }
+  return "?";
+}
+
+/// Parse a symbol; throws qfr::InvalidArgument on unknown symbols.
+Element element_from_symbol(std::string_view s);
+
+/// Number of valence electrons (for sanity checks on closed-shell systems).
+constexpr int valence_electrons(Element e) {
+  switch (e) {
+    case Element::H: return 1;
+    case Element::C: return 4;
+    case Element::N: return 5;
+    case Element::O: return 6;
+    case Element::S: return 6;
+  }
+  return 0;
+}
+
+}  // namespace qfr::chem

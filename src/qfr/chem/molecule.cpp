@@ -1,0 +1,108 @@
+#include "qfr/chem/molecule.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "qfr/common/error.hpp"
+#include "qfr/common/units.hpp"
+
+namespace qfr::chem {
+
+Element element_from_symbol(std::string_view s) {
+  if (s == "H") return Element::H;
+  if (s == "C") return Element::C;
+  if (s == "N") return Element::N;
+  if (s == "O") return Element::O;
+  if (s == "S") return Element::S;
+  QFR_REQUIRE(false, "unknown element symbol '" << s << "'");
+  return Element::H;  // unreachable
+}
+
+int Molecule::electron_count() const { return nuclear_charge(); }
+
+int Molecule::nuclear_charge() const {
+  int q = 0;
+  for (const auto& a : atoms_) q += atomic_number(a.element);
+  return q;
+}
+
+double Molecule::mass_amu() const {
+  double m = 0.0;
+  for (const auto& a : atoms_) m += atomic_mass(a.element);
+  return m;
+}
+
+geom::Vec3 Molecule::centroid() const {
+  geom::Vec3 c;
+  if (atoms_.empty()) return c;
+  for (const auto& a : atoms_) c += a.position;
+  return c / static_cast<double>(atoms_.size());
+}
+
+geom::Vec3 Molecule::center_of_mass() const {
+  geom::Vec3 c;
+  double m = 0.0;
+  for (const auto& a : atoms_) {
+    c += a.position * atomic_mass(a.element);
+    m += atomic_mass(a.element);
+  }
+  return m > 0.0 ? c / m : c;
+}
+
+double Molecule::nuclear_repulsion() const {
+  double e = 0.0;
+  for (std::size_t i = 0; i < atoms_.size(); ++i)
+    for (std::size_t j = i + 1; j < atoms_.size(); ++j) {
+      const double r = geom::distance(atoms_[i].position, atoms_[j].position);
+      QFR_REQUIRE(r > 1e-8, "coincident nuclei in molecule");
+      e += atomic_number(atoms_[i].element) *
+           atomic_number(atoms_[j].element) / r;
+    }
+  return e;
+}
+
+double Molecule::min_distance_to(const Molecule& other) const {
+  double best = std::numeric_limits<double>::infinity();
+  for (const auto& a : atoms_)
+    for (const auto& b : other.atoms_)
+      best = std::min(best, geom::distance(a.position, b.position));
+  return best;
+}
+
+Molecule Molecule::displaced(std::size_t i, const geom::Vec3& delta) const {
+  QFR_REQUIRE(i < atoms_.size(), "displacement index out of range");
+  Molecule m = *this;
+  m.atoms_[i].position += delta;
+  return m;
+}
+
+std::vector<double> Molecule::mass_vector_amu() const {
+  std::vector<double> m;
+  m.reserve(3 * atoms_.size());
+  for (const auto& a : atoms_) {
+    const double mass = atomic_mass(a.element);
+    m.push_back(mass);
+    m.push_back(mass);
+    m.push_back(mass);
+  }
+  return m;
+}
+
+Molecule make_water(const geom::Vec3& center_bohr, double orientation_rad) {
+  // Experimental geometry: r(OH) = 0.9572 A, angle HOH = 104.52 deg.
+  const double r = 0.9572 * units::kAngstromToBohr;
+  const double half = 0.5 * 104.52 * units::kPi / 180.0;
+  const double c = std::cos(orientation_rad), s = std::sin(orientation_rad);
+  auto rot = [&](const geom::Vec3& v) {
+    return geom::Vec3{c * v.x - s * v.y, s * v.x + c * v.y, v.z};
+  };
+  Molecule w;
+  w.add(Element::O, center_bohr);
+  w.add(Element::H,
+        center_bohr + rot({r * std::sin(half), 0.0, r * std::cos(half)}));
+  w.add(Element::H,
+        center_bohr + rot({-r * std::sin(half), 0.0, r * std::cos(half)}));
+  return w;
+}
+
+}  // namespace qfr::chem

@@ -1,0 +1,79 @@
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "qfr/chem/element.hpp"
+#include "qfr/geom/vec3.hpp"
+
+namespace qfr::chem {
+
+/// One atom: element plus Cartesian position.
+///
+/// Positions are stored in BOHR throughout the library (atomic units);
+/// builders and I/O convert from/to angstrom at the boundary.
+struct Atom {
+  Element element = Element::H;
+  geom::Vec3 position;  ///< bohr
+};
+
+/// A molecular system: an ordered list of atoms.
+class Molecule {
+ public:
+  Molecule() = default;
+  explicit Molecule(std::vector<Atom> atoms) : atoms_(std::move(atoms)) {}
+
+  std::size_t size() const { return atoms_.size(); }
+  bool empty() const { return atoms_.empty(); }
+
+  const Atom& atom(std::size_t i) const { return atoms_[i]; }
+  Atom& atom(std::size_t i) { return atoms_[i]; }
+  std::span<const Atom> atoms() const { return atoms_; }
+
+  void add(Element e, const geom::Vec3& pos_bohr) {
+    atoms_.push_back({e, pos_bohr});
+  }
+  void append(const Molecule& other) {
+    atoms_.insert(atoms_.end(), other.atoms_.begin(), other.atoms_.end());
+  }
+
+  /// Total electron count assuming neutral atoms.
+  int electron_count() const;
+
+  /// Total nuclear charge.
+  int nuclear_charge() const;
+
+  /// Total mass in amu.
+  double mass_amu() const;
+
+  /// Geometric center (bohr).
+  geom::Vec3 centroid() const;
+
+  /// Center of mass (bohr).
+  geom::Vec3 center_of_mass() const;
+
+  /// Nuclear-nuclear repulsion energy in hartree.
+  double nuclear_repulsion() const;
+
+  /// Minimum distance between any atom of *this and any atom of other
+  /// (bohr). This is the criterion for generalized-concap pair selection.
+  double min_distance_to(const Molecule& other) const;
+
+  /// Returns a copy with atom `i` displaced by `delta` (bohr).
+  Molecule displaced(std::size_t i, const geom::Vec3& delta) const;
+
+  /// Per-atom masses in amu, repeated x3 per Cartesian component
+  /// (the mass vector of the 3N-dimensional Hessian).
+  std::vector<double> mass_vector_amu() const;
+
+ private:
+  std::vector<Atom> atoms_;
+};
+
+/// Standard water monomer (experimental geometry), centered at `center`
+/// (bohr) with an orientation angle around z.
+Molecule make_water(const geom::Vec3& center_bohr, double orientation_rad = 0.0);
+
+}  // namespace qfr::chem

@@ -1,0 +1,470 @@
+#include "qfr/chem/protein.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+#include <unordered_map>
+
+#include "qfr/common/error.hpp"
+#include "qfr/common/units.hpp"
+#include "qfr/geom/cell_list.hpp"
+
+namespace qfr::chem {
+
+namespace {
+
+using geom::Vec3;
+
+constexpr double kA2B = units::kAngstromToBohr;
+
+// Standard bond lengths in angstrom.
+constexpr double kCaC = 1.52;
+constexpr double kCN = 1.33;   // peptide bond
+constexpr double kNCa = 1.46;
+constexpr double kCO = 1.23;   // carbonyl
+constexpr double kCC = 1.53;   // aliphatic
+constexpr double kCRing = 1.39;
+constexpr double kCH = 1.09;
+constexpr double kNH = 1.01;
+constexpr double kOH = 0.96;
+constexpr double kSH = 1.34;
+constexpr double kCOs = 1.43;  // C-O single
+constexpr double kCNs = 1.47;  // C-N single
+constexpr double kCS = 1.81;
+
+double hydrogen_bond_length(Element heavy) {
+  switch (heavy) {
+    case Element::C: return kCH;
+    case Element::N: return kNH;
+    case Element::O: return kOH;
+    case Element::S: return kSH;
+    default: return kCH;
+  }
+}
+
+double heavy_bond_length(Element a, Element b) {
+  if (a == Element::S || b == Element::S) return kCS;
+  if (a == Element::O || b == Element::O) return kCOs;
+  if (a == Element::N || b == Element::N) return kCNs;
+  return kCC;
+}
+
+int heavy_valence(Element e) {
+  switch (e) {
+    case Element::C: return 4;
+    case Element::N: return 3;
+    case Element::O: return 2;
+    case Element::S: return 2;
+    default: return 1;
+  }
+}
+
+Vec3 random_unit(Rng& rng) {
+  for (;;) {
+    const Vec3 v{rng.uniform(-1, 1), rng.uniform(-1, 1), rng.uniform(-1, 1)};
+    const double n2 = v.norm2();
+    if (n2 > 1e-4 && n2 < 1.0) return v / std::sqrt(n2);
+  }
+}
+
+// Pick a direction for a new substituent of `center` that stays as far as
+// possible from the existing bonded directions (best of K random tries).
+Vec3 pick_direction(const std::vector<Vec3>& existing_dirs, Rng& rng) {
+  Vec3 best = random_unit(rng);
+  double best_score = -2.0;
+  for (int k = 0; k < 24; ++k) {
+    const Vec3 cand = random_unit(rng);
+    double min_sep = 2.0;  // 1 - cos(angle); larger = farther apart
+    for (const auto& d : existing_dirs)
+      min_sep = std::min(min_sep, 1.0 - cand.dot(d));
+    if (min_sep > best_score) {
+      best_score = min_sep;
+      best = cand;
+    }
+  }
+  return best;
+}
+
+// Self-avoiding confined random walk producing the CA trace (angstrom).
+std::vector<Vec3> build_ca_trace(std::size_t n, const ProteinBuildOptions& o,
+                                 Rng& rng) {
+  const double step = o.ca_step_angstrom;
+  const double excl2 = o.ca_exclusion_angstrom * o.ca_exclusion_angstrom;
+  const double radius =
+      o.confinement_scale * std::cbrt(static_cast<double>(n)) + 2.0;
+
+  // Hash grid for the self-avoidance test.
+  const double cell = o.ca_exclusion_angstrom;
+  auto key = [&](const Vec3& p) {
+    const auto ix = static_cast<long long>(std::floor(p.x / cell));
+    const auto iy = static_cast<long long>(std::floor(p.y / cell));
+    const auto iz = static_cast<long long>(std::floor(p.z / cell));
+    return (ix * 73856093LL) ^ (iy * 19349663LL) ^ (iz * 83492791LL);
+  };
+  std::unordered_multimap<long long, std::size_t> grid;
+
+  std::vector<Vec3> trace;
+  trace.reserve(n);
+  trace.push_back({0, 0, 0});
+  grid.emplace(key(trace[0]), 0);
+  Vec3 dir = random_unit(rng);
+
+  auto clash = [&](const Vec3& p, std::size_t exclude_from) {
+    for (int dx = -1; dx <= 1; ++dx)
+      for (int dy = -1; dy <= 1; ++dy)
+        for (int dz = -1; dz <= 1; ++dz) {
+          const Vec3 q{p.x + dx * cell, p.y + dy * cell, p.z + dz * cell};
+          auto range = grid.equal_range(key(q));
+          for (auto it = range.first; it != range.second; ++it) {
+            if (it->second >= exclude_from) continue;
+            if (geom::distance2(trace[it->second], p) < excl2) return true;
+          }
+        }
+    return false;
+  };
+
+  while (trace.size() < n) {
+    const Vec3& cur = trace.back();
+    bool placed = false;
+    for (int attempt = 0; attempt < 120 && !placed; ++attempt) {
+      // Persistence: blend the previous direction with a random one; relax
+      // the blend (more random) as attempts fail.
+      const double persist = std::max(0.0, 0.7 - 0.006 * attempt);
+      Vec3 d = (dir * persist + random_unit(rng) * (1.0 - persist));
+      d = d.normalized();
+      Vec3 cand = cur + d * step;
+      // Confinement: reflect toward the origin when outside the globule.
+      if (cand.norm() > radius) {
+        d = (d - cand.normalized() * (1.5 * d.dot(cand.normalized())))
+                .normalized();
+        cand = cur + d * step;
+      }
+      if (clash(cand, trace.size() - 1)) continue;
+      grid.emplace(key(cand), trace.size());
+      trace.push_back(cand);
+      dir = d;
+      placed = true;
+    }
+    if (!placed) {
+      // Backtrack one step and retry with a fresh direction.
+      QFR_ASSERT(trace.size() > 1, "CA walk irrecoverably stuck");
+      trace.pop_back();
+      dir = random_unit(rng);
+    }
+  }
+  return trace;
+}
+
+// Mutable build state for one protein.
+struct Builder {
+  Protein p;
+  Rng rng;
+  // Directions of bonds already attached to each atom (for direction picking).
+  std::vector<std::vector<Vec3>> bond_dirs;
+
+  explicit Builder(std::uint64_t seed) : rng(seed) {}
+
+  std::size_t add_atom(Element e, const Vec3& pos_angstrom) {
+    p.mol.add(e, pos_angstrom * kA2B);
+    bond_dirs.emplace_back();
+    return p.mol.size() - 1;
+  }
+
+  void add_bond(std::size_t a, std::size_t b) {
+    p.bonds.push_back({a, b});
+    const Vec3 d =
+        (p.mol.atom(b).position - p.mol.atom(a).position).normalized();
+    bond_dirs[a].push_back(d);
+    bond_dirs[b].push_back(-d);
+  }
+
+  Vec3 pos_angstrom(std::size_t i) const {
+    return p.mol.atom(i).position * units::kBohrToAngstrom;
+  }
+
+  /// Attach a new atom bonded to `parent` at the given bond length,
+  /// direction chosen away from parent's existing bonds.
+  std::size_t attach(Element e, std::size_t parent, double length_angstrom) {
+    const Vec3 d = pick_direction(bond_dirs[parent], rng);
+    const std::size_t idx =
+        add_atom(e, pos_angstrom(parent) + d * length_angstrom);
+    add_bond(parent, idx);
+    return idx;
+  }
+};
+
+// Closes a regular ring of `elems` starting from an anchor atom: the ring
+// plane contains the anchor-attachment direction. Returns ring atom indices.
+std::vector<std::size_t> attach_ring(Builder& b, std::size_t anchor,
+                                     const std::vector<Element>& elems,
+                                     double bond_angstrom) {
+  const std::size_t m = elems.size();
+  const double r_ring =
+      bond_angstrom / (2.0 * std::sin(units::kPi / static_cast<double>(m)));
+  const Vec3 d = pick_direction(b.bond_dirs[anchor], b.rng);
+  Vec3 u = random_unit(b.rng);
+  u = (u - d * u.dot(d)).normalized();  // in-plane vector orthogonal to d
+
+  // Ring center sits beyond the first ring atom along d.
+  const Vec3 first = b.pos_angstrom(anchor) + d * heavy_bond_length(
+      b.p.mol.atom(anchor).element, elems[0]);
+  const Vec3 center = first + d * r_ring;
+
+  std::vector<std::size_t> ring;
+  ring.reserve(m);
+  for (std::size_t k = 0; k < m; ++k) {
+    const double phi =
+        units::kPi + 2.0 * units::kPi * static_cast<double>(k) / static_cast<double>(m);
+    const Vec3 pos = center + (d * std::cos(phi) + u * std::sin(phi)) * r_ring;
+    ring.push_back(b.add_atom(elems[k], pos));
+  }
+  b.add_bond(anchor, ring[0]);
+  for (std::size_t k = 0; k < m; ++k) b.add_bond(ring[k], ring[(k + 1) % m]);
+  return ring;
+}
+
+// Number of bonds currently attached to atom i.
+int degree(const Builder& b, std::size_t i) {
+  return static_cast<int>(b.bond_dirs[i].size());
+}
+
+// Builds the side chain of residue `type` rooted at the alpha carbon.
+// Returns nothing; all atoms/bonds are appended to the builder. `extra_h`
+// H atoms beyond the standard backbone pair are parked on CA when the side
+// chain is empty (glycine).
+void build_side_chain(Builder& b, ResidueType type, std::size_t ca) {
+  const ResidueComposition comp = residue_composition(type);
+  int side_c = comp.c - 2;
+  int side_n = comp.n - 1;
+  int side_o = comp.o - 1;
+  int side_s = comp.s;
+  int side_h = comp.h - 2;
+
+  std::vector<std::size_t> heavies;  // side-chain heavy atoms with open slots
+
+  auto place_h_on = [&](std::size_t heavy) {
+    b.attach(Element::H, heavy,
+             hydrogen_bond_length(b.p.mol.atom(heavy).element));
+  };
+
+  if (side_c == 0 && side_n == 0 && side_o == 0 && side_s == 0) {
+    // Glycine: the spare hydrogens ride on CA.
+    for (; side_h > 0; --side_h) place_h_on(ca);
+    return;
+  }
+
+  // Ring residues get explicit closed rings so ring-breathing modes exist.
+  const Element C = Element::C, N = Element::N, O = Element::O,
+                S = Element::S;
+  std::size_t cb = b.attach(C, ca, kCC);
+  heavies.push_back(cb);
+  --side_c;
+
+  switch (type) {
+    case ResidueType::Phe: {
+      auto ring = attach_ring(b, cb, {C, C, C, C, C, C}, kCRing);
+      side_c -= 6;
+      for (auto a : ring) heavies.push_back(a);
+      break;
+    }
+    case ResidueType::Tyr: {
+      auto ring = attach_ring(b, cb, {C, C, C, C, C, C}, kCRing);
+      side_c -= 6;
+      const std::size_t oh = b.attach(O, ring[3], kCOs);
+      --side_o;
+      for (auto a : ring) heavies.push_back(a);
+      heavies.push_back(oh);
+      break;
+    }
+    case ResidueType::His: {
+      auto ring = attach_ring(b, cb, {C, N, C, N, C}, kCRing);
+      side_c -= 3;
+      side_n -= 2;
+      for (auto a : ring) heavies.push_back(a);
+      break;
+    }
+    case ResidueType::Trp: {
+      // Indole approximated as one closed aromatic 6-ring containing the
+      // pyrrole nitrogen; the remaining three carbons extend as a chain
+      // (see the generic chain step below).
+      auto ring = attach_ring(b, cb, {C, C, C, N, C, C}, kCRing);
+      side_c -= 5;
+      side_n -= 1;
+      for (auto a : ring) heavies.push_back(a);
+      break;
+    }
+    default:
+      break;
+  }
+
+  // Remaining carbons extend as an aliphatic chain from the last carbon.
+  std::size_t chain_end = cb;
+  while (side_c > 0) {
+    chain_end = b.attach(C, chain_end, kCC);
+    heavies.push_back(chain_end);
+    --side_c;
+  }
+
+  // Heteroatoms attach as leaves on carbons with open valence.
+  auto attach_hetero = [&](Element e, int& count) {
+    while (count > 0) {
+      // Pick the heavy atom with the most open valence (prefer late chain).
+      std::size_t best = heavies.back();
+      int best_open = -8;
+      for (auto it = heavies.rbegin(); it != heavies.rend(); ++it) {
+        const int open =
+            heavy_valence(b.p.mol.atom(*it).element) - degree(b, *it);
+        if (open > best_open && b.p.mol.atom(*it).element == Element::C) {
+          best_open = open;
+          best = *it;
+        }
+      }
+      const std::size_t idx = b.attach(
+          e, best, heavy_bond_length(Element::C, e));
+      heavies.push_back(idx);
+      --count;
+    }
+  };
+  attach_hetero(S, side_s);
+  attach_hetero(N, side_n);
+  attach_hetero(O, side_o);
+
+  // Hydrogens fill open valences, favoring atoms with most open slots.
+  while (side_h > 0) {
+    std::size_t best = ca;
+    int best_open = 0;
+    for (std::size_t a : heavies) {
+      const int open = heavy_valence(b.p.mol.atom(a).element) - degree(b, a);
+      if (open > best_open) {
+        best_open = open;
+        best = a;
+      }
+    }
+    if (best_open <= 0) best = heavies[b.rng.below(heavies.size())];
+    place_h_on(best);
+    --side_h;
+  }
+}
+
+}  // namespace
+
+Molecule Protein::residue_molecule(std::size_t r) const {
+  QFR_REQUIRE(r < residues.size(), "residue index out of range");
+  const Residue& res = residues[r];
+  Molecule m;
+  for (std::size_t i = 0; i < res.n_atoms; ++i)
+    m.add(mol.atom(res.first_atom + i).element,
+          mol.atom(res.first_atom + i).position);
+  return m;
+}
+
+Protein build_protein_from_sequence(const std::vector<ResidueType>& seq,
+                                    const ProteinBuildOptions& opts) {
+  QFR_REQUIRE(!seq.empty(), "empty protein sequence");
+  Builder b(opts.seed);
+  const auto trace = build_ca_trace(seq.size(), opts, b.rng);
+
+  // Precompute per-segment axis/perpendicular frames.
+  const double a_cos = 0.829, a_sin = 0.559;  // 34 deg off-axis placement
+  std::vector<Vec3> seg_d(seq.size()), seg_p(seq.size());
+  for (std::size_t i = 0; i < seq.size(); ++i) {
+    Vec3 next;
+    if (i + 1 < seq.size()) {
+      next = trace[i + 1];
+    } else if (i > 0) {
+      next = trace[i] * 2.0 - trace[i - 1];  // continue the last segment
+    } else {
+      next = trace[i] + Vec3{opts.ca_step_angstrom, 0.0, 0.0};
+    }
+    seg_d[i] = (next - trace[i]).normalized();
+    Vec3 u = random_unit(b.rng);
+    seg_p[i] = (u - seg_d[i] * u.dot(seg_d[i])).normalized();
+  }
+
+  std::size_t prev_c = 0;
+  for (std::size_t i = 0; i < seq.size(); ++i) {
+    Residue res;
+    res.type = seq[i];
+    res.first_atom = b.p.mol.size();
+
+    // Backbone: N, CA, C, O (+ HN, HA); positions in angstrom.
+    const Vec3 ca_pos = trace[i];
+    Vec3 n_pos;
+    if (i == 0) {
+      n_pos = ca_pos - seg_d[i] * (kNCa * a_cos) + seg_p[i] * (kNCa * a_sin);
+    } else {
+      n_pos = ca_pos - seg_d[i - 1] * (kNCa * a_cos) +
+              seg_p[i - 1] * (kNCa * a_sin);
+    }
+    const Vec3 c_pos = ca_pos + seg_d[i] * (kCaC * a_cos) + seg_p[i] * (kCaC * a_sin);
+
+    res.idx_n = b.add_atom(Element::N, n_pos);
+    res.idx_ca = b.add_atom(Element::C, ca_pos);
+    res.idx_c = b.add_atom(Element::C, c_pos);
+    b.add_bond(res.idx_n, res.idx_ca);
+    b.add_bond(res.idx_ca, res.idx_c);
+    if (i > 0) b.add_bond(prev_c, res.idx_n);  // peptide bond
+
+    // Carbonyl oxygen perpendicular to the backbone plane-ish.
+    res.idx_o = b.attach(Element::O, res.idx_c, kCO);
+    // Backbone hydrogens.
+    b.attach(Element::H, res.idx_n, kNH);
+    b.attach(Element::H, res.idx_ca, kCH);
+
+    build_side_chain(b, seq[i], res.idx_ca);
+
+    res.n_atoms = b.p.mol.size() - res.first_atom;
+    b.p.residues.push_back(res);
+    prev_c = res.idx_c;
+  }
+  return std::move(b.p);
+}
+
+Protein build_synthetic_protein(const ProteinBuildOptions& opts) {
+  Rng rng(opts.seed ^ 0x5eed5eedULL);
+  const auto seq = random_protein_sequence(opts.n_residues, rng);
+  return build_protein_from_sequence(seq, opts);
+}
+
+std::vector<Molecule> build_water_box(const WaterBoxOptions& opts,
+                                      const Molecule& solute,
+                                      double clearance_angstrom) {
+  QFR_REQUIRE(opts.edge_angstrom > 0 && opts.spacing_angstrom > 0,
+              "water box dimensions must be positive");
+  Rng rng(opts.seed);
+  std::vector<Molecule> waters;
+
+  // Cell list over solute atoms for clearance tests.
+  std::vector<Vec3> solute_pos;
+  solute_pos.reserve(solute.size());
+  for (const auto& a : solute.atoms())
+    solute_pos.push_back(a.position * units::kBohrToAngstrom);
+  const double probe = std::max(clearance_angstrom, 0.1);
+  std::unique_ptr<geom::CellList> cl;
+  if (!solute_pos.empty())
+    cl = std::make_unique<geom::CellList>(solute_pos, probe);
+
+  const double half = 0.5 * opts.edge_angstrom;
+  const auto n_side = static_cast<std::size_t>(
+      std::floor(opts.edge_angstrom / opts.spacing_angstrom));
+  for (std::size_t ix = 0; ix < n_side; ++ix)
+    for (std::size_t iy = 0; iy < n_side; ++iy)
+      for (std::size_t iz = 0; iz < n_side; ++iz) {
+        Vec3 site{-half + (static_cast<double>(ix) + 0.5) * opts.spacing_angstrom,
+                  -half + (static_cast<double>(iy) + 0.5) * opts.spacing_angstrom,
+                  -half + (static_cast<double>(iz) + 0.5) * opts.spacing_angstrom};
+        // Jitter keeps the lattice from being pathologically regular.
+        site += Vec3{rng.uniform(-0.3, 0.3), rng.uniform(-0.3, 0.3),
+                     rng.uniform(-0.3, 0.3)};
+        bool blocked = false;
+        if (cl) {
+          cl->for_each_within(site, [&](std::size_t) { blocked = true; });
+        }
+        if (blocked) continue;
+        waters.push_back(make_water(site * kA2B,
+                                    rng.uniform(0.0, 2.0 * units::kPi)));
+      }
+  return waters;
+}
+
+}  // namespace qfr::chem

@@ -1,0 +1,86 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "qfr/chem/amino_acid.hpp"
+#include "qfr/chem/molecule.hpp"
+#include "qfr/common/rng.hpp"
+
+namespace qfr::chem {
+
+/// One residue's slice of the protein atom list, with backbone indices.
+struct Residue {
+  ResidueType type = ResidueType::Gly;
+  std::size_t first_atom = 0;  ///< index of the residue's first atom
+  std::size_t n_atoms = 0;
+  // Backbone atom indices (global into Protein::mol).
+  std::size_t idx_n = 0;
+  std::size_t idx_ca = 0;
+  std::size_t idx_c = 0;
+  std::size_t idx_o = 0;
+};
+
+/// Covalent bond between two atoms (global indices).
+struct Bond {
+  std::size_t a = 0;
+  std::size_t b = 0;
+};
+
+/// A polypeptide with explicit topology.
+///
+/// Substitutes for the PDB structure the paper uses: fragmentation only
+/// needs the residue decomposition, backbone connectivity (where the
+/// MFCC cuts happen) and 3D coordinates (for the lambda-threshold pair
+/// search); all three are provided here.
+struct Protein {
+  Molecule mol;                  ///< all atoms, residue-major order (bohr)
+  std::vector<Residue> residues;
+  std::vector<Bond> bonds;       ///< full covalent topology incl. peptide bonds
+
+  std::size_t n_residues() const { return residues.size(); }
+  std::size_t n_atoms() const { return mol.size(); }
+
+  /// Extract residue r's atoms as a standalone molecule.
+  Molecule residue_molecule(std::size_t r) const;
+};
+
+/// Options for the synthetic protein generator.
+struct ProteinBuildOptions {
+  std::size_t n_residues = 100;
+  std::uint64_t seed = 2024;
+  /// Target CA-CA step in angstrom.
+  double ca_step_angstrom = 3.8;
+  /// Minimum distance between non-consecutive CA atoms (angstrom).
+  double ca_exclusion_angstrom = 4.6;
+  /// Confinement radius scale: R = scale * n_residues^(1/3) (angstrom).
+  double confinement_scale = 3.3;
+};
+
+/// Build a self-avoiding globular polypeptide with the natural residue
+/// frequency distribution and chemically sensible local geometry (bond
+/// lengths within covalent-perception range, aromatic rings closed).
+Protein build_synthetic_protein(const ProteinBuildOptions& opts);
+
+/// Build a protein from an explicit sequence (same geometry engine).
+Protein build_protein_from_sequence(const std::vector<ResidueType>& seq,
+                                    const ProteinBuildOptions& opts);
+
+/// Options for the water-box builder.
+struct WaterBoxOptions {
+  /// Box edge in angstrom (cubic box centered at the origin).
+  double edge_angstrom = 20.0;
+  /// Lattice spacing between water oxygens (angstrom); 3.107 A reproduces
+  /// liquid density (33.37 molecules / nm^3).
+  double spacing_angstrom = 3.107;
+  std::uint64_t seed = 7;
+};
+
+/// Fill a cubic box with water monomers on a jittered lattice with random
+/// orientations, excluding sites within `clearance_angstrom` of any atom in
+/// `solute` (pass an empty molecule for pure water).
+std::vector<Molecule> build_water_box(const WaterBoxOptions& opts,
+                                      const Molecule& solute,
+                                      double clearance_angstrom = 2.6);
+
+}  // namespace qfr::chem

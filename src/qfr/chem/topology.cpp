@@ -1,0 +1,60 @@
+#include "qfr/chem/topology.hpp"
+
+#include <algorithm>
+
+#include "qfr/common/error.hpp"
+#include "qfr/common/units.hpp"
+#include "qfr/geom/cell_list.hpp"
+
+namespace qfr::chem {
+
+std::vector<Bond> perceive_bonds(const Molecule& mol, double scale) {
+  QFR_REQUIRE(scale > 0.0, "bond perception scale must be positive");
+  std::vector<Bond> bonds;
+  if (mol.size() < 2) return bonds;
+
+  // Largest possible bond: two sulfurs.
+  const double max_cut =
+      scale * 2.0 * covalent_radius_angstrom(Element::S) *
+      units::kAngstromToBohr;
+  std::vector<geom::Vec3> pos;
+  pos.reserve(mol.size());
+  for (const auto& a : mol.atoms()) pos.push_back(a.position);
+  const geom::CellList cl(pos, max_cut);
+
+  for (std::size_t i = 0; i < mol.size(); ++i) {
+    cl.for_each_neighbor(i, [&](std::size_t j) {
+      if (j <= i) return;
+      const double cut = scale *
+                         (covalent_radius_angstrom(mol.atom(i).element) +
+                          covalent_radius_angstrom(mol.atom(j).element)) *
+                         units::kAngstromToBohr;
+      if (geom::distance(pos[i], pos[j]) <= cut) bonds.push_back({i, j});
+    });
+  }
+  std::sort(bonds.begin(), bonds.end(), [](const Bond& a, const Bond& b) {
+    return a.a != b.a ? a.a < b.a : a.b < b.b;
+  });
+  return bonds;
+}
+
+std::vector<Angle> enumerate_angles(std::size_t n_atoms,
+                                    const std::vector<Bond>& bonds) {
+  std::vector<std::vector<std::size_t>> adj(n_atoms);
+  for (const auto& b : bonds) {
+    QFR_REQUIRE(b.a < n_atoms && b.b < n_atoms, "bond index out of range");
+    adj[b.a].push_back(b.b);
+    adj[b.b].push_back(b.a);
+  }
+  std::vector<Angle> angles;
+  for (std::size_t j = 0; j < n_atoms; ++j) {
+    auto& nb = adj[j];
+    std::sort(nb.begin(), nb.end());
+    for (std::size_t x = 0; x < nb.size(); ++x)
+      for (std::size_t y = x + 1; y < nb.size(); ++y)
+        angles.push_back({nb[x], j, nb[y]});
+  }
+  return angles;
+}
+
+}  // namespace qfr::chem

@@ -1,0 +1,27 @@
+#pragma once
+
+#include <vector>
+
+#include "qfr/chem/molecule.hpp"
+#include "qfr/chem/protein.hpp"
+
+namespace qfr::chem {
+
+/// Detect covalent bonds by the distance criterion
+/// r_ij <= scale * (r_cov(i) + r_cov(j)).
+///
+/// Uses a cell list so it stays O(N) for big systems. The synthetic
+/// structure builders also emit explicit topology; perception is the
+/// fallback for molecules read from files or cut out of fragments.
+std::vector<Bond> perceive_bonds(const Molecule& mol, double scale = 1.25);
+
+/// Angle (i, j, k): bonds i-j and j-k sharing the apex j.
+struct Angle {
+  std::size_t i = 0, j = 0, k = 0;
+};
+
+/// Enumerate all angles implied by a bond list.
+std::vector<Angle> enumerate_angles(std::size_t n_atoms,
+                                    const std::vector<Bond>& bonds);
+
+}  // namespace qfr::chem

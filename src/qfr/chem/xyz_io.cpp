@@ -1,0 +1,55 @@
+#include "qfr/chem/xyz_io.hpp"
+
+#include <fstream>
+#include <iomanip>
+#include <sstream>
+
+#include "qfr/common/error.hpp"
+#include "qfr/common/units.hpp"
+
+namespace qfr::chem {
+
+void write_xyz(std::ostream& os, const Molecule& mol,
+               const std::string& comment) {
+  os << mol.size() << '\n' << comment << '\n';
+  os << std::fixed << std::setprecision(8);
+  for (const auto& a : mol.atoms()) {
+    const auto p = a.position * units::kBohrToAngstrom;
+    os << symbol(a.element) << ' ' << p.x << ' ' << p.y << ' ' << p.z << '\n';
+  }
+}
+
+void write_xyz_file(const std::string& path, const Molecule& mol,
+                    const std::string& comment) {
+  std::ofstream os(path);
+  QFR_REQUIRE(os.good(), "cannot open '" << path << "' for writing");
+  write_xyz(os, mol, comment);
+  QFR_REQUIRE(os.good(), "write failure on '" << path << "'");
+}
+
+Molecule read_xyz(std::istream& is) {
+  std::size_t n = 0;
+  is >> n;
+  QFR_REQUIRE(is.good(), "malformed XYZ: missing atom count");
+  std::string line;
+  std::getline(is, line);  // rest of count line
+  std::getline(is, line);  // comment line
+  Molecule mol;
+  for (std::size_t i = 0; i < n; ++i) {
+    std::string sym;
+    double x = 0, y = 0, z = 0;
+    is >> sym >> x >> y >> z;
+    QFR_REQUIRE(!is.fail(), "malformed XYZ at atom " << i);
+    mol.add(element_from_symbol(sym),
+            geom::Vec3{x, y, z} * units::kAngstromToBohr);
+  }
+  return mol;
+}
+
+Molecule read_xyz_file(const std::string& path) {
+  std::ifstream is(path);
+  QFR_REQUIRE(is.good(), "cannot open '" << path << "' for reading");
+  return read_xyz(is);
+}
+
+}  // namespace qfr::chem

@@ -1,0 +1,24 @@
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "qfr/chem/molecule.hpp"
+
+namespace qfr::chem {
+
+/// Write a molecule in XYZ format (coordinates in angstrom).
+void write_xyz(std::ostream& os, const Molecule& mol,
+               const std::string& comment = "");
+
+/// Write a molecule to an XYZ file; throws InvalidArgument on I/O failure.
+void write_xyz_file(const std::string& path, const Molecule& mol,
+                    const std::string& comment = "");
+
+/// Read one molecule from an XYZ stream (angstrom on disk, bohr in memory).
+Molecule read_xyz(std::istream& is);
+
+/// Read a molecule from an XYZ file.
+Molecule read_xyz_file(const std::string& path);
+
+}  // namespace qfr::chem

@@ -1,0 +1,133 @@
+#include "qfr/cluster/des.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+
+#include "qfr/common/error.hpp"
+
+namespace qfr::cluster {
+
+MachineProfile orise_profile() {
+  MachineProfile p;
+  p.name = "orise";
+  p.leaders_per_node = 4;     // one leader per GPU
+  p.workers_per_leader = 8;   // CPU worker ranks driving each GPU
+  p.dispatch_latency = 8e-4;  // InfiniBand master round trip
+  p.fragment_overhead = 3e-4;
+  p.node_speed_jitter = 0.012;
+  p.cost_noise = 0.03;
+  return p;
+}
+
+MachineProfile sunway_profile() {
+  MachineProfile p;
+  p.name = "sunway";
+  p.leaders_per_node = 6;     // one per SW26010-pro core group
+  p.workers_per_leader = 8;
+  p.dispatch_latency = 5e-4;  // custom interconnect
+  p.fragment_overhead = 2e-4;
+  p.node_speed_jitter = 0.004;  // homogeneous accelerator chips
+  p.cost_noise = 0.015;
+  return p;
+}
+
+DesReport simulate_cluster(std::vector<balance::WorkItem> items,
+                           balance::PackingPolicy& policy,
+                           const DesOptions& options) {
+  QFR_REQUIRE(options.n_nodes >= 1, "need at least one node");
+  const MachineProfile& m = options.machine;
+  const std::size_t n_leaders = options.n_nodes * m.leaders_per_node;
+
+  Rng rng(options.seed);
+  // Fixed per-node speed factors (hardware variation).
+  std::vector<double> node_speed(options.n_nodes);
+  for (auto& s : node_speed)
+    s = std::exp(m.node_speed_jitter * rng.normal());
+
+  DesReport report;
+  report.n_fragments = items.size();
+  report.node_busy.assign(options.n_nodes, 0.0);
+
+  policy.initialize(std::move(items));
+
+  // Event queue: (time leader becomes available, leader id). All leaders
+  // request their first task at t = 0.
+  using Event = std::pair<double, std::size_t>;
+  std::priority_queue<Event, std::vector<Event>, std::greater<>> ready;
+  for (std::size_t l = 0; l < n_leaders; ++l) ready.emplace(0.0, l);
+
+  // Tasks whose leader stalled and that must be re-dispatched: the
+  // master's status table flips them back to un-processed after the
+  // timeout (paper Sec. V-B).
+  std::vector<balance::Task> requeued;
+
+  double makespan = 0.0;
+  while (!ready.empty()) {
+    const auto [t, leader] = ready.top();
+    ready.pop();
+    balance::Task task;
+    if (!requeued.empty()) {
+      task = std::move(requeued.back());
+      requeued.pop_back();
+    } else {
+      task = policy.next_task(ready.size());
+    }
+    if (task.empty()) {
+      makespan = std::max(makespan, t);
+      continue;  // leader retires
+    }
+    ++report.n_tasks;
+    const std::size_t node = leader / m.leaders_per_node;
+
+    if (options.straggler_probability > 0.0 &&
+        rng.uniform() < options.straggler_probability) {
+      // The leader stalls on this task; after the timeout the master
+      // re-queues the fragments and the leader asks for new work.
+      ++report.n_requeued_tasks;
+      requeued.push_back(std::move(task));
+      report.node_busy[node] += options.straggler_timeout;
+      ready.emplace(t + options.straggler_timeout, leader);
+      continue;
+    }
+
+    // Execution time of the packed task: each fragment's displacement loop
+    // is split across the leader's workers; fragments in a task run
+    // back-to-back on the same leader.
+    double exec = 0.0;
+    for (const auto& item : task) {
+      const double noise = std::exp(m.cost_noise * rng.normal());
+      exec += item.cost * noise /
+                  static_cast<double>(m.workers_per_leader) +
+              m.fragment_overhead;
+    }
+    exec *= node_speed[node];
+
+    // Without prefetch the dispatch latency serializes with execution;
+    // with prefetch the next request overlaps the current task.
+    const double dispatch = options.prefetch ? 0.0 : m.dispatch_latency;
+    const double done = t + dispatch + exec;
+    report.node_busy[node] += exec;
+    ready.emplace(done, leader);
+  }
+
+  report.makespan = makespan;
+  double sum = 0.0;
+  for (double b : report.node_busy) sum += b;
+  report.mean_node_busy = sum / static_cast<double>(options.n_nodes);
+  double lo = 0.0, hi = 0.0;
+  if (report.mean_node_busy > 0.0) {
+    const auto [mn, mx] =
+        std::minmax_element(report.node_busy.begin(), report.node_busy.end());
+    lo = (*mn - report.mean_node_busy) / report.mean_node_busy;
+    hi = (*mx - report.mean_node_busy) / report.mean_node_busy;
+  }
+  report.min_variation = lo;
+  report.max_variation = hi;
+  report.throughput =
+      makespan > 0.0 ? static_cast<double>(report.n_fragments) / makespan
+                     : 0.0;
+  return report;
+}
+
+}  // namespace qfr::cluster

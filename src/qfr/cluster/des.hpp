@@ -1,0 +1,72 @@
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "qfr/balance/packing.hpp"
+#include "qfr/common/rng.hpp"
+
+namespace qfr::cluster {
+
+/// Machine profile of the simulated cluster (two presets match the
+/// paper's systems).
+struct MachineProfile {
+  std::string name = "generic";
+  /// Leader processes per node (ORISE: 4 GPUs -> 4 leaders; Sunway: 6
+  /// process groups per SW26010-pro).
+  std::size_t leaders_per_node = 4;
+  /// Workers per leader sharing one fragment's displacement loop.
+  std::size_t workers_per_leader = 8;
+  /// Master -> leader task dispatch latency (s), hidden by prefetch.
+  double dispatch_latency = 5e-4;
+  /// Per-fragment fixed overhead inside a leader (s).
+  double fragment_overhead = 2e-4;
+  /// Relative node speed jitter (sigma of a lognormal-ish factor).
+  double node_speed_jitter = 0.01;
+  /// Relative per-fragment cost noise.
+  double cost_noise = 0.02;
+};
+
+/// The ORISE profile: 32-core x86 + 4 HIP GPUs per node.
+MachineProfile orise_profile();
+/// The new-generation Sunway profile: one SW26010-pro (6 core groups).
+MachineProfile sunway_profile();
+
+/// Simulation inputs.
+struct DesOptions {
+  std::size_t n_nodes = 16;
+  MachineProfile machine;
+  bool prefetch = true;
+  std::uint64_t seed = 2024;
+  /// Straggler/fault injection (paper Sec. V-B: "fragments processed for
+  /// a long time but not yet completed are marked un-processed again").
+  /// Probability that a task stalls instead of completing; 0 disables.
+  double straggler_probability = 0.0;
+  /// A stalled task is abandoned after this many seconds and its
+  /// fragments are re-queued to another leader.
+  double straggler_timeout = 600.0;
+};
+
+/// Per-node outcome plus aggregate metrics (what Figs. 8/10/11 plot).
+struct DesReport {
+  double makespan = 0.0;             ///< seconds
+  std::size_t n_requeued_tasks = 0;  ///< straggler re-queues that fired
+  std::vector<double> node_busy;     ///< busy seconds per node
+  double mean_node_busy = 0.0;
+  double min_variation = 0.0;        ///< (min busy - mean)/mean, Fig. 8 style
+  double max_variation = 0.0;        ///< (max busy - mean)/mean
+  double throughput = 0.0;           ///< fragments per second
+  std::size_t n_fragments = 0;
+  std::size_t n_tasks = 0;
+};
+
+/// Discrete-event simulation of the master/leader/worker schedule over
+/// `n_nodes` nodes. Identical scheduling logic to runtime::MasterRuntime,
+/// but time advances by a calibrated cost model instead of real execution
+/// — this is the substitution for the Sunway/ORISE hardware we do not
+/// have. Deterministic for a given seed.
+DesReport simulate_cluster(std::vector<balance::WorkItem> items,
+                           balance::PackingPolicy& policy,
+                           const DesOptions& options);
+
+}  // namespace qfr::cluster

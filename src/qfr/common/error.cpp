@@ -1,0 +1,15 @@
+#include "qfr/common/error.hpp"
+
+namespace qfr::detail {
+
+[[noreturn]] void throw_check_failed(const char* kind, const char* expr,
+                                     const std::string& msg,
+                                     std::source_location loc) {
+  std::ostringstream os;
+  os << kind << " failed: (" << expr << ")";
+  if (!msg.empty()) os << " — " << msg;
+  if (std::string(kind) == "precondition") throw InvalidArgument(os.str(), loc);
+  throw InternalError(os.str(), loc);
+}
+
+}  // namespace qfr::detail

@@ -1,0 +1,81 @@
+#pragma once
+
+#include <source_location>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace qfr {
+
+/// Base exception type for all errors raised by the qframan library.
+///
+/// Carries the source location of the failing check so that errors from deep
+/// inside numerical kernels are attributable without a debugger.
+class Error : public std::runtime_error {
+ public:
+  Error(const std::string& what, std::source_location loc)
+      : std::runtime_error(format(what, loc)) {}
+
+ private:
+  static std::string format(const std::string& what, std::source_location loc) {
+    std::ostringstream os;
+    os << what << " [" << loc.file_name() << ':' << loc.line() << " in "
+       << loc.function_name() << ']';
+    return os.str();
+  }
+};
+
+/// Raised when an input (user-facing argument, file, config) is invalid.
+class InvalidArgument : public Error {
+  using Error::Error;
+};
+
+/// Raised when a numerical procedure fails to converge or loses precision.
+class NumericalError : public Error {
+  using Error::Error;
+};
+
+/// Raised when an internal invariant is violated (a library bug).
+class InternalError : public Error {
+  using Error::Error;
+};
+
+namespace detail {
+[[noreturn]] void throw_check_failed(const char* kind, const char* expr,
+                                     const std::string& msg,
+                                     std::source_location loc);
+}  // namespace detail
+
+}  // namespace qfr
+
+/// Validate a user-facing precondition; throws qfr::InvalidArgument.
+#define QFR_REQUIRE(cond, msg)                                              \
+  do {                                                                      \
+    if (!(cond)) {                                                          \
+      std::ostringstream qfr_os_;                                           \
+      qfr_os_ << msg;                                                       \
+      ::qfr::detail::throw_check_failed("precondition", #cond,              \
+                                        qfr_os_.str(),                      \
+                                        std::source_location::current());   \
+    }                                                                       \
+  } while (0)
+
+/// Validate an internal invariant; throws qfr::InternalError.
+#define QFR_ASSERT(cond, msg)                                               \
+  do {                                                                      \
+    if (!(cond)) {                                                          \
+      std::ostringstream qfr_os_;                                           \
+      qfr_os_ << msg;                                                       \
+      ::qfr::detail::throw_check_failed("invariant", #cond, qfr_os_.str(),  \
+                                        std::source_location::current());   \
+    }                                                                       \
+  } while (0)
+
+/// Signal a convergence/precision failure; throws qfr::NumericalError.
+#define QFR_NUMERIC_FAIL(msg)                                               \
+  do {                                                                      \
+    std::ostringstream qfr_os_;                                             \
+    qfr_os_ << msg;                                                         \
+    throw ::qfr::NumericalError(qfr_os_.str(),                              \
+                                std::source_location::current());           \
+  } while (0)

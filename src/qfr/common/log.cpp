@@ -1,0 +1,36 @@
+#include "qfr/common/log.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <mutex>
+
+namespace qfr {
+
+namespace {
+std::atomic<LogLevel> g_level{LogLevel::kWarn};
+std::mutex g_sink_mutex;
+
+const char* level_tag(LogLevel lvl) {
+  switch (lvl) {
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO ";
+    case LogLevel::kWarn: return "WARN ";
+    case LogLevel::kError: return "ERROR";
+    default: return "?????";
+  }
+}
+}  // namespace
+
+LogLevel Log::level() { return g_level.load(std::memory_order_relaxed); }
+
+void Log::set_level(LogLevel lvl) {
+  g_level.store(lvl, std::memory_order_relaxed);
+}
+
+void Log::write(LogLevel lvl, const std::string& msg) {
+  if (static_cast<int>(lvl) < static_cast<int>(level())) return;
+  std::lock_guard<std::mutex> lock(g_sink_mutex);
+  std::fprintf(stderr, "[qfr %s] %s\n", level_tag(lvl), msg.c_str());
+}
+
+}  // namespace qfr

@@ -1,0 +1,44 @@
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace qfr {
+
+/// Severity levels for the library logger, in increasing order of urgency.
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Minimal thread-safe logger writing to stderr.
+///
+/// Kept intentionally simple: the library is primarily exercised from
+/// batch drivers (tests, benches, examples) where a global level and
+/// stderr sink are enough. The level defaults to kWarn so that library
+/// internals stay quiet under ctest.
+class Log {
+ public:
+  static LogLevel level();
+  static void set_level(LogLevel lvl);
+
+  /// Emit one line at the given level (no-op if below the global level).
+  static void write(LogLevel lvl, const std::string& msg);
+};
+
+namespace detail {
+template <typename... Args>
+std::string log_concat(Args&&... args) {
+  std::ostringstream os;
+  (os << ... << args);
+  return os.str();
+}
+}  // namespace detail
+
+}  // namespace qfr
+
+#define QFR_LOG_DEBUG(...) \
+  ::qfr::Log::write(::qfr::LogLevel::kDebug, ::qfr::detail::log_concat(__VA_ARGS__))
+#define QFR_LOG_INFO(...) \
+  ::qfr::Log::write(::qfr::LogLevel::kInfo, ::qfr::detail::log_concat(__VA_ARGS__))
+#define QFR_LOG_WARN(...) \
+  ::qfr::Log::write(::qfr::LogLevel::kWarn, ::qfr::detail::log_concat(__VA_ARGS__))
+#define QFR_LOG_ERROR(...) \
+  ::qfr::Log::write(::qfr::LogLevel::kError, ::qfr::detail::log_concat(__VA_ARGS__))

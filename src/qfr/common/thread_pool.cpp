@@ -1,0 +1,76 @@
+#include "qfr/common/thread_pool.hpp"
+
+#include <algorithm>
+#include <atomic>
+
+namespace qfr {
+
+ThreadPool::ThreadPool(std::size_t n) {
+  const std::size_t count = std::max<std::size_t>(1, n);
+  threads_.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    threads_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  for (auto& t : threads_) t.join();
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) {
+        if (stopping_) return;
+        continue;
+      }
+      task = std::move(queue_.front());
+      queue_.pop();
+    }
+    task();
+  }
+}
+
+void ThreadPool::parallel_for(std::size_t n,
+                              const std::function<void(std::size_t)>& fn) {
+  if (n == 0) return;
+  const std::size_t workers = size();
+  if (n == 1 || workers == 1) {
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  // Dynamic chunking: ~4 chunks per worker balances skewed iterations
+  // without excessive queue traffic.
+  const std::size_t chunks = std::min(n, workers * 4);
+  std::atomic<std::size_t> next{0};
+  std::vector<std::future<void>> futs;
+  futs.reserve(chunks);
+  const std::size_t chunk_size = (n + chunks - 1) / chunks;
+  for (std::size_t c = 0; c < chunks; ++c) {
+    futs.push_back(submit([&] {
+      for (;;) {
+        const std::size_t begin =
+            next.fetch_add(chunk_size, std::memory_order_relaxed);
+        if (begin >= n) return;
+        const std::size_t end = std::min(n, begin + chunk_size);
+        for (std::size_t i = begin; i < end; ++i) fn(i);
+      }
+    }));
+  }
+  for (auto& f : futs) f.get();
+}
+
+ThreadPool& default_pool() {
+  static ThreadPool pool(std::max(1u, std::thread::hardware_concurrency()));
+  return pool;
+}
+
+}  // namespace qfr

@@ -1,0 +1,66 @@
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace qfr {
+
+/// Fixed-size worker thread pool.
+///
+/// This is the execution substrate for the in-process master/leader/worker
+/// runtime: leaders and workers of the hierarchical scheduler are tasks
+/// submitted here rather than OS processes, which keeps the scheduling
+/// logic identical to the paper's MPI deployment while staying runnable
+/// on a laptop.
+class ThreadPool {
+ public:
+  /// Creates `n` worker threads (at least 1).
+  explicit ThreadPool(std::size_t n);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Number of worker threads.
+  std::size_t size() const { return threads_.size(); }
+
+  /// Enqueue a task; returns a future for its result.
+  template <typename F>
+  auto submit(F&& fn) -> std::future<std::invoke_result_t<F>> {
+    using R = std::invoke_result_t<F>;
+    auto task =
+        std::make_shared<std::packaged_task<R()>>(std::forward<F>(fn));
+    std::future<R> fut = task->get_future();
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (stopping_) throw std::runtime_error("submit on stopped ThreadPool");
+      queue_.emplace([task] { (*task)(); });
+    }
+    cv_.notify_one();
+    return fut;
+  }
+
+  /// Run fn(i) for i in [0, n) across the pool and wait for completion.
+  /// Work is chunked to amortize queueing overhead.
+  void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> threads_;
+  std::queue<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stopping_ = false;
+};
+
+/// A process-wide default pool sized to the hardware concurrency.
+ThreadPool& default_pool();
+
+}  // namespace qfr

@@ -1,0 +1,32 @@
+#pragma once
+
+namespace qfr::units {
+
+// The library works in Hartree atomic units internally:
+//   length  — bohr
+//   energy  — hartree
+//   mass    — electron mass (atomic masses are supplied in amu and
+//             converted with kAmuToMe where mass-weighting is needed)
+//
+// Spectra are reported in the experimental convention, wavenumbers (cm^-1).
+
+inline constexpr double kBohrToAngstrom = 0.529177210903;
+inline constexpr double kAngstromToBohr = 1.0 / kBohrToAngstrom;
+
+inline constexpr double kHartreeToEv = 27.211386245988;
+inline constexpr double kHartreeToKcalMol = 627.5094740631;
+
+/// 1 amu in electron masses.
+inline constexpr double kAmuToMe = 1822.888486209;
+
+/// Converts sqrt(hartree / (me * bohr^2)) angular frequency to cm^-1.
+/// omega_cm = sqrt(lambda) * kAuFrequencyToCm when lambda is an eigenvalue of
+/// the mass-weighted (electron-mass units) Hessian in atomic units.
+inline constexpr double kAuFrequencyToCm = 219474.6313632;
+
+/// Boltzmann constant in hartree / kelvin.
+inline constexpr double kBoltzmannAu = 3.166811563e-6;
+
+inline constexpr double kPi = 3.14159265358979323846;
+
+}  // namespace qfr::units

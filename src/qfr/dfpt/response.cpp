@@ -1,0 +1,168 @@
+#include "qfr/dfpt/response.hpp"
+
+#include <cmath>
+
+#include "qfr/common/error.hpp"
+#include "qfr/common/timer.hpp"
+#include "qfr/la/blas.hpp"
+#include "qfr/poisson/multipole_poisson.hpp"
+#include "qfr/xc/lda.hpp"
+
+namespace qfr::dfpt {
+
+namespace {
+using la::Matrix;
+using la::Vector;
+}  // namespace
+
+ResponseEngine::ResponseEngine(std::shared_ptr<const scf::ScfContext> ctx,
+                               const scf::ScfResult& scf_state,
+                               scf::XcModel xc, DfptOptions options)
+    : ctx_(std::move(ctx)), scf_(scf_state), xc_(xc), options_(options) {
+  QFR_REQUIRE(ctx_ != nullptr, "null SCF context");
+  QFR_REQUIRE(scf_.converged, "ResponseEngine requires a converged SCF state");
+  if (xc_ == scf::XcModel::kLda) {
+    grid_ = std::make_shared<grid::MolGrid>(ctx_->mol, 40);
+    batch_ = std::make_unique<grid::BasisBatch>(grid::evaluate_basis(
+        ctx_->bs, grid_->points(), /*with_gradient=*/false));
+    const Vector rho0 = grid::density_on_batch(*batch_, scf_.density);
+    fxc_.assign(rho0.size(), 0.0);
+    xc::lda_exchange_batch(rho0, {}, {}, fxc_);
+    if (options_.use_grid_poisson)
+      poisson_ = std::make_unique<poisson::MultipolePoisson>(*grid_, 4);
+  }
+}
+
+Matrix ResponseEngine::induced_fock(const Matrix& p1) {
+  const std::size_t n = ctx_->bs.n_functions();
+  WallTimer t;
+
+  if (xc_ == scf::XcModel::kHartreeFock) {
+    // Analytic response Coulomb + exchange.
+    Matrix v = ctx_->eri.coulomb(p1);
+    times_.v1 += t.seconds();
+    t.reset();
+    const Matrix k = ctx_->eri.exchange(p1);
+    for (std::size_t a = 0; a < n; ++a)
+      for (std::size_t b = 0; b < n; ++b) v(a, b) -= 0.5 * k(a, b);
+    times_.h1 += t.seconds();
+    return v;
+  }
+
+  // LDA: the four-phase cycle. Phase n1: response density on the grid
+  // (the paper's hot GEMM).
+  t.reset();
+  const Vector n1 = grid::density_on_batch(*batch_, p1);
+  flops_ += la::gemm_flops(batch_->chi.rows(), n, n);
+  times_.n1 += t.seconds();
+
+  // Phase v1: response Hartree potential — either analytic ERIs or the
+  // multipole Poisson solve on the grid (the paper's production path).
+  t.reset();
+  Matrix v(n, n);
+  Vector v1_grid;  // grid-sampled potential, reused in phase h1
+  if (poisson_ != nullptr) {
+    v1_grid = poisson_->solve(n1);
+  } else {
+    v = ctx_->eri.coulomb(p1);
+  }
+  times_.v1 += t.seconds();
+
+  // Phase h1: fold v1 + f_xc * n1 back into matrix form.
+  t.reset();
+  Vector v1_pt(n1.size());
+  for (std::size_t i = 0; i < n1.size(); ++i) {
+    v1_pt[i] = fxc_[i] * n1[i];
+    if (!v1_grid.empty()) v1_pt[i] += v1_grid[i];
+  }
+  grid::accumulate_potential_matrix(*batch_, grid_->points(), v1_pt, v);
+  flops_ += la::gemm_flops(n, n, batch_->chi.rows());
+  times_.h1 += t.seconds();
+  return v;
+}
+
+ResponseResult ResponseEngine::solve(const Matrix& h1) {
+  const std::size_t n = ctx_->bs.n_functions();
+  QFR_REQUIRE(h1.rows() == n && h1.cols() == n, "h1 shape mismatch");
+  const int n_occ = scf_.n_occupied;
+  const auto n_virt = static_cast<int>(n) - n_occ;
+  QFR_REQUIRE(n_virt > 0, "no virtual orbitals: basis too small for DFPT");
+
+  const Matrix& c = scf_.mo_coefficients;
+  const Vector& eps = scf_.mo_energies;
+
+  ResponseResult res;
+  res.p1.resize_zero(n, n);
+  Matrix p1_prev(n, n);
+
+  for (int iter = 1; iter <= options_.max_iterations; ++iter) {
+    // Full first-order Fock: external + induced two-electron response.
+    Matrix f1 = h1;
+    if (iter > 1) f1 += induced_fock(res.p1);
+
+    // Phase p1: update the response density matrix.
+    WallTimer t;
+    // Transform to MO: F1_mo = C^T F1 C.
+    Matrix tmp(n, n), f1_mo(n, n);
+    la::gemm(la::Trans::kYes, la::Trans::kNo, 1.0, c, f1, 0.0, tmp);
+    la::gemm(la::Trans::kNo, la::Trans::kNo, 1.0, tmp, c, 0.0, f1_mo);
+    flops_ += 2 * la::gemm_flops(n, n, n);
+
+    // Occupied-virtual rotation amplitudes.
+    Matrix u(n, n);  // only (virt, occ) block used
+    for (int a = n_occ; a < static_cast<int>(n); ++a)
+      for (int i = 0; i < n_occ; ++i) {
+        const double gap = eps[i] - eps[a];
+        QFR_ASSERT(std::fabs(gap) > 1e-10, "vanishing HOMO-LUMO gap");
+        u(a, i) = f1_mo(a, i) / gap;
+      }
+
+    // P1 = 2 sum_ai U_ai (C_a C_i^T + C_i C_a^T).
+    Matrix p1_new(n, n);
+    for (std::size_t mu = 0; mu < n; ++mu)
+      for (std::size_t nu = 0; nu < n; ++nu) {
+        double acc = 0.0;
+        for (int a = n_occ; a < static_cast<int>(n); ++a)
+          for (int i = 0; i < n_occ; ++i)
+            acc += u(a, i) * (c(mu, a) * c(nu, i) + c(mu, i) * c(nu, a));
+        p1_new(mu, nu) = 2.0 * acc;
+      }
+    times_.p1 += t.seconds();
+
+    // Mixing and convergence.
+    if (iter > 1) {
+      for (std::size_t k = 0; k < p1_new.size(); ++k)
+        p1_new.data()[k] = options_.mixing * p1_new.data()[k] +
+                           (1.0 - options_.mixing) * res.p1.data()[k];
+    }
+    const double delta = la::max_abs_diff(p1_new, res.p1);
+    res.p1 = std::move(p1_new);
+    res.iterations = iter;
+    if (iter > 1 && delta < options_.tolerance) {
+      res.converged = true;
+      return res;
+    }
+  }
+  QFR_NUMERIC_FAIL("CPSCF failed to converge in " << options_.max_iterations
+                   << " iterations");
+}
+
+PolarizabilityResult ResponseEngine::polarizability() {
+  PolarizabilityResult out;
+  out.alpha.resize_zero(3, 3);
+  out.converged = true;
+  for (int d = 0; d < 3; ++d) {
+    const ResponseResult r = solve(ctx_->dip[d]);
+    out.converged = out.converged && r.converged;
+    out.total_iterations += r.iterations;
+    for (int cidx = 0; cidx < 3; ++cidx) {
+      // alpha_cd = -Tr[P1^(d) D_c]; the minus sign matches the +F.D
+      // convention of the perturbation (see ScfOptions::external_field).
+      out.alpha(cidx, d) = -la::trace_product(r.p1, ctx_->dip[cidx]);
+    }
+  }
+  out.times = times_;
+  return out;
+}
+
+}  // namespace qfr::dfpt

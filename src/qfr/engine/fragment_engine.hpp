@@ -1,0 +1,45 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "qfr/chem/molecule.hpp"
+#include "qfr/dfpt/response.hpp"
+#include "qfr/la/matrix.hpp"
+
+namespace qfr::engine {
+
+/// Everything a worker computes for one fragment (paper Fig. 3, orange):
+/// the Cartesian Hessian block and the polarizability derivatives that
+/// enter the global assembly of Eq. (1).
+struct FragmentResult {
+  double energy = 0.0;          ///< fragment total energy (hartree)
+  la::Matrix hessian;           ///< (3n, 3n) Cartesian, hartree/bohr^2
+  la::Matrix alpha;             ///< (3, 3) equilibrium polarizability (a.u.)
+  /// d alpha^{ij} / d r: rows (xx, yy, zz, xy, xz, yz), 3n columns.
+  la::Matrix dalpha;
+  /// d mu / d r (atomic polar tensor): rows (x, y, z), 3n columns — the
+  /// IR-intensity analogue of dalpha (extension beyond the paper's Raman
+  /// focus; the same displacement loop provides it for free).
+  la::Matrix dmu;
+  dfpt::PhaseTimes phase_times; ///< accumulated DFPT phase wall time
+  std::int64_t flops = 0;       ///< GEMM-shaped FLOPs executed
+  int displacement_tasks = 0;   ///< jobs a leader would fan out to workers
+};
+
+/// A quantum (or quantum-surrogate) engine computing per-fragment
+/// properties. Implementations must be thread-compatible: `compute` may be
+/// called concurrently from different worker threads on different
+/// fragments.
+class FragmentEngine {
+ public:
+  virtual ~FragmentEngine() = default;
+
+  /// Compute Hessian + polarizability derivatives for one fragment.
+  virtual FragmentResult compute(const chem::Molecule& fragment) const = 0;
+
+  /// Engine name for logs and provenance.
+  virtual std::string name() const = 0;
+};
+
+}  // namespace qfr::engine

@@ -1,0 +1,316 @@
+#include "qfr/engine/model_engine.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "qfr/common/error.hpp"
+#include "qfr/common/units.hpp"
+
+namespace qfr::engine {
+
+namespace {
+
+using chem::Bond;
+using chem::Element;
+using chem::Molecule;
+using geom::Vec3;
+using la::Matrix;
+
+// Stretch force constants (hartree/bohr^2), calibrated so the harmonic
+// frequencies land in the observed Raman band regions:
+//   C-H ~2900-3000, O-H ~3400-3650, N-H ~3300, C=O (amide I) ~1650,
+//   aliphatic C-C ~900-1100, amide C-N ~1250-1350, C-S ~700 cm^-1.
+struct StretchParams {
+  double k;      // force constant
+  double al;     // longitudinal bond polarizability (a.u.)
+  double ap;     // perpendicular bond polarizability (a.u.)
+  double dal;    // d alpha_l / d r (a.u./bohr)
+  double dap;    // d alpha_p / d r
+};
+
+// Pauling electronegativities; bond dipoles point toward the larger one.
+double electronegativity(Element e) {
+  switch (e) {
+    case Element::H: return 2.20;
+    case Element::C: return 2.55;
+    case Element::N: return 3.04;
+    case Element::O: return 3.44;
+    case Element::S: return 2.58;
+  }
+  return 2.5;
+}
+
+// Bond dipole magnitude (a.u.) and its length derivative, by pair.
+struct BondDipoleParams {
+  double p0;  // dipole at the reference length
+  double dp;  // d p / d r (a.u. per bohr)
+};
+
+int pair_key(Element a, Element b) {
+  const int x = chem::atomic_number(a), y = chem::atomic_number(b);
+  return x <= y ? x * 100 + y : y * 100 + x;
+}
+
+BondDipoleParams bond_dipole_params(Element a, Element b, double r_bohr) {
+  const double r_ang = r_bohr * units::kBohrToAngstrom;
+  switch (pair_key(a, b)) {
+    case 106: return {0.16, 0.25};  // C-H
+    case 107: return {0.52, 0.55};  // N-H
+    case 108: return {0.60, 0.65};  // O-H
+    case 116: return {0.27, 0.30};  // S-H
+    case 607:
+      if (r_ang < 1.40) return {0.55, 0.90};  // amide C-N
+      return {0.25, 0.45};
+    case 608:
+      if (r_ang < 1.30) return {0.95, 1.10};  // carbonyl C=O
+      return {0.40, 0.60};
+    case 616: return {0.35, 0.40};  // C-S
+    case 708: return {0.20, 0.40};  // N-O
+    default: return {0.0, 0.05};    // homonuclear: no static dipole
+  }
+}
+
+StretchParams stretch_params(Element a, Element b, double r_bohr) {
+  const double r_ang = r_bohr * units::kBohrToAngstrom;
+  switch (pair_key(a, b)) {
+    case 106: return {0.31, 4.3, 3.0, 1.5, 0.30};   // H-C
+    case 107: return {0.37, 3.5, 2.7, 1.8, 0.35};   // H-N
+    case 108: return {0.45, 3.0, 2.5, 2.0, 0.40};   // H-O
+    case 116: return {0.23, 6.0, 4.5, 2.5, 0.50};   // H-S
+    case 606:                                        // C-C
+      if (r_ang < 1.30) return {0.70, 8.0, 4.0, 4.5, 0.8};   // double
+      if (r_ang < 1.45) return {0.42, 7.0, 3.8, 4.0, 0.7};   // aromatic
+      return {0.25, 6.0, 3.5, 2.5, 0.5};
+    case 607:                                        // C-N
+      if (r_ang < 1.40) return {0.52, 6.0, 3.6, 3.0, 0.6};   // amide
+      return {0.30, 5.5, 3.5, 2.8, 0.55};
+    case 608:                                        // C-O
+      if (r_ang < 1.30) return {0.78, 6.5, 4.0, 3.5, 0.6};   // carbonyl
+      return {0.33, 5.5, 3.5, 2.6, 0.5};
+    case 616: return {0.17, 9.0, 6.0, 4.0, 0.8};    // C-S
+    case 707: return {0.30, 5.5, 3.5, 2.5, 0.5};    // N-N
+    case 708: return {0.30, 5.0, 3.4, 2.4, 0.5};    // N-O
+    case 808: return {0.30, 4.5, 3.2, 2.3, 0.5};    // O-O
+    case 716: return {0.20, 8.0, 5.5, 3.5, 0.7};    // N-S
+    case 816: return {0.22, 7.5, 5.0, 3.3, 0.7};    // O-S
+    case 1616: return {0.14, 12.0, 8.0, 5.0, 1.0};  // S-S
+    case 101: return {0.36, 5.4, 1.4, 4.5, 0.3};    // H-H (caps only)
+  }
+  return {0.25, 5.0, 3.5, 2.0, 0.5};
+}
+
+// Bend force constants (hartree/rad^2), apex-calibrated: H-O-H lands near
+// the observed water bend (~1595 cm^-1), H-C-H near the CH2 scissor
+// (~1450 cm^-1), heavy-atom bends lower and stiffer.
+double bend_constant(Element i, Element apex, Element k) {
+  const bool hi = (i == Element::H);
+  const bool hk = (k == Element::H);
+  if (hi && hk) {
+    if (apex == Element::O) return 0.150;
+    if (apex == Element::N) return 0.125;
+    return 0.112;  // H-C-H scissor
+  }
+  if (hi || hk) return 0.13;
+  return 0.17;
+}
+
+struct Topology {
+  std::vector<Bond> bonds;
+  std::vector<chem::Angle> angles;
+  std::vector<double> r0;
+  std::vector<double> kb;
+  std::vector<double> theta0;
+  std::vector<double> ka;
+};
+
+Topology build_topology(const Molecule& mol, std::vector<Bond> bonds) {
+  Topology topo;
+  topo.bonds = std::move(bonds);
+  topo.angles = chem::enumerate_angles(mol.size(), topo.bonds);
+
+  topo.r0.reserve(topo.bonds.size());
+  topo.kb.reserve(topo.bonds.size());
+  for (const auto& b : topo.bonds) {
+    const double r =
+        geom::distance(mol.atom(b.a).position, mol.atom(b.b).position);
+    topo.r0.push_back(r);
+    topo.kb.push_back(
+        stretch_params(mol.atom(b.a).element, mol.atom(b.b).element, r).k);
+  }
+
+  topo.theta0.reserve(topo.angles.size());
+  topo.ka.reserve(topo.angles.size());
+  for (const auto& ang : topo.angles) {
+    const Vec3 u = mol.atom(ang.i).position - mol.atom(ang.j).position;
+    const Vec3 v = mol.atom(ang.k).position - mol.atom(ang.j).position;
+    const double ct = std::clamp(
+        u.dot(v) / (u.norm() * v.norm()), -1.0, 1.0);
+    topo.theta0.push_back(std::acos(ct));
+    topo.ka.push_back(bend_constant(mol.atom(ang.i).element,
+                                    mol.atom(ang.j).element,
+                                    mol.atom(ang.k).element));
+  }
+  return topo;
+}
+
+// Accumulate k * grad grad^T into the Hessian, exploiting that an
+// internal-coordinate gradient touches at most three atoms (nine
+// components): O(1) per coordinate instead of O((3N)^2), which is what
+// keeps whole-system reference calculations feasible.
+void accumulate_rank_one(Matrix& h, double k, std::span<const double> grad) {
+  std::size_t nz_idx[9];
+  double nz_val[9];
+  std::size_t nnz = 0;
+  for (std::size_t i = 0; i < grad.size(); ++i) {
+    if (grad[i] == 0.0) continue;
+    QFR_ASSERT(nnz < 9, "internal coordinate touches more than 3 atoms");
+    nz_idx[nnz] = i;
+    nz_val[nnz] = grad[i];
+    ++nnz;
+  }
+  for (std::size_t a = 0; a < nnz; ++a)
+    for (std::size_t b = 0; b < nnz; ++b)
+      h(nz_idx[a], nz_idx[b]) += k * nz_val[a] * nz_val[b];
+}
+
+}  // namespace
+
+la::Matrix ModelEngine::polarizability(const Molecule& mol,
+                                       const std::vector<Bond>& bonds,
+                                       std::span<const double> r0) const {
+  QFR_REQUIRE(r0.empty() || r0.size() == bonds.size(),
+              "reference length count must match bond count");
+  Matrix alpha(3, 3);
+  for (std::size_t bi = 0; bi < bonds.size(); ++bi) {
+    const auto& b = bonds[bi];
+    const Vec3 d = mol.atom(b.b).position - mol.atom(b.a).position;
+    const double r = d.norm();
+    if (r < 1e-8) continue;
+    const Vec3 u = d / r;
+    const StretchParams p =
+        stretch_params(mol.atom(b.a).element, mol.atom(b.b).element, r);
+    // alpha_l/alpha_p vary linearly with the bond length around the
+    // reference; the derivative terms are what make dalpha/dr (and hence
+    // stretch-mode Raman activity) nonzero.
+    const double r_ref = r0.empty() ? r : r0[bi];
+    const double al = p.al + p.dal * (r - r_ref);
+    const double ap = p.ap + p.dap * (r - r_ref);
+    for (int i = 0; i < 3; ++i)
+      for (int j = 0; j < 3; ++j) {
+        const double uu = u[i] * u[j];
+        alpha(i, j) += ap * (i == j ? 1.0 : 0.0) + (al - ap) * uu;
+      }
+  }
+  return alpha;
+}
+
+geom::Vec3 ModelEngine::dipole(const Molecule& mol,
+                               const std::vector<Bond>& bonds,
+                               std::span<const double> r0) const {
+  QFR_REQUIRE(r0.empty() || r0.size() == bonds.size(),
+              "reference length count must match bond count");
+  geom::Vec3 mu;
+  for (std::size_t bi = 0; bi < bonds.size(); ++bi) {
+    const auto& b = bonds[bi];
+    const Element ea = mol.atom(b.a).element;
+    const Element eb = mol.atom(b.b).element;
+    Vec3 d = mol.atom(b.b).position - mol.atom(b.a).position;
+    const double r = d.norm();
+    if (r < 1e-8) continue;
+    // Point toward the more electronegative end.
+    if (electronegativity(ea) > electronegativity(eb)) d = -d;
+    const Vec3 u = d / r;
+    const BondDipoleParams p = bond_dipole_params(ea, eb, r);
+    const double r_ref = r0.empty() ? r : r0[bi];
+    mu += u * (p.p0 + p.dp * (r - r_ref));
+  }
+  return mu;
+}
+
+FragmentResult ModelEngine::compute_with_topology(
+    const Molecule& mol, const std::vector<Bond>& bonds) const {
+  QFR_REQUIRE(!mol.empty(), "empty fragment");
+  const std::size_t dim = 3 * mol.size();
+  const Topology topo = build_topology(mol, bonds);
+
+  FragmentResult res;
+  res.hessian.resize_zero(dim, dim);
+  res.dalpha.resize_zero(6, dim);
+  res.dmu.resize_zero(3, dim);
+  res.displacement_tasks = static_cast<int>(2 * dim);
+
+  // Exact Gauss-Newton Hessian at the reference geometry:
+  // H = sum_q k_q grad(q) grad(q)^T (the anharmonic term vanishes because
+  // every internal coordinate sits at its reference value).
+  std::vector<double> grad(dim, 0.0);
+  for (std::size_t b = 0; b < topo.bonds.size(); ++b) {
+    std::fill(grad.begin(), grad.end(), 0.0);
+    const auto& bond = topo.bonds[b];
+    const Vec3 d = mol.atom(bond.b).position - mol.atom(bond.a).position;
+    const Vec3 u = d / topo.r0[b];
+    for (int c = 0; c < 3; ++c) {
+      grad[3 * bond.b + c] = u[c];
+      grad[3 * bond.a + c] = -u[c];
+    }
+    accumulate_rank_one(res.hessian, topo.kb[b], grad);
+  }
+  for (std::size_t a = 0; a < topo.angles.size(); ++a) {
+    const auto& ang = topo.angles[a];
+    const Vec3 u = mol.atom(ang.i).position - mol.atom(ang.j).position;
+    const Vec3 v = mol.atom(ang.k).position - mol.atom(ang.j).position;
+    const double nu = u.norm(), nv = v.norm();
+    const Vec3 uh = u / nu, vh = v / nv;
+    const double ct = std::clamp(uh.dot(vh), -1.0, 1.0);
+    const double st = std::sqrt(std::max(1e-12, 1.0 - ct * ct));
+    if (st < 1e-5) continue;  // collinear: bend undefined
+    const Vec3 gi = (uh * ct - vh) / (nu * st);
+    const Vec3 gk = (vh * ct - uh) / (nv * st);
+    const Vec3 gj = -(gi + gk);
+    std::fill(grad.begin(), grad.end(), 0.0);
+    for (int c = 0; c < 3; ++c) {
+      grad[3 * ang.i + c] = gi[c];
+      grad[3 * ang.j + c] = gj[c];
+      grad[3 * ang.k + c] = gk[c];
+    }
+    accumulate_rank_one(res.hessian, topo.ka[a], grad);
+  }
+
+  // Equilibrium polarizability and its Cartesian derivatives (central FD;
+  // the bond-polarizability alpha is cheap to evaluate).
+  res.alpha = polarizability(mol, topo.bonds, topo.r0);
+  const double h = options_.fd_step;
+  static constexpr int comp_i[6] = {0, 1, 2, 0, 0, 1};
+  static constexpr int comp_j[6] = {0, 1, 2, 1, 2, 2};
+  for (std::size_t c = 0; c < dim; ++c) {
+    Vec3 delta;
+    delta[static_cast<int>(c % 3)] = h;
+    const Matrix ap =
+        polarizability(mol.displaced(c / 3, delta), topo.bonds, topo.r0);
+    delta[static_cast<int>(c % 3)] = -h;
+    const Matrix am =
+        polarizability(mol.displaced(c / 3, delta), topo.bonds, topo.r0);
+    for (int k = 0; k < 6; ++k)
+      res.dalpha(k, c) =
+          (ap(comp_i[k], comp_j[k]) - am(comp_i[k], comp_j[k])) / (2.0 * h);
+    delta[static_cast<int>(c % 3)] = h;
+    const geom::Vec3 mu_p =
+        dipole(mol.displaced(c / 3, delta), topo.bonds, topo.r0);
+    delta[static_cast<int>(c % 3)] = -h;
+    const geom::Vec3 mu_m =
+        dipole(mol.displaced(c / 3, delta), topo.bonds, topo.r0);
+    for (int k = 0; k < 3; ++k)
+      res.dmu(k, c) = (mu_p[k] - mu_m[k]) / (2.0 * h);
+  }
+
+  // Cost accounting: the rank-one accumulations are the dominant flops.
+  res.flops = static_cast<std::int64_t>(
+      (topo.bonds.size() + topo.angles.size()) * dim * dim * 2);
+  return res;
+}
+
+FragmentResult ModelEngine::compute(const Molecule& fragment) const {
+  return compute_with_topology(
+      fragment, chem::perceive_bonds(fragment, options_.bond_scale));
+}
+
+}  // namespace qfr::engine

@@ -1,0 +1,204 @@
+#include "qfr/engine/scf_engine.hpp"
+
+#include <array>
+#include <mutex>
+
+#include "qfr/common/thread_pool.hpp"
+
+#include "qfr/common/error.hpp"
+#include "qfr/dfpt/response.hpp"
+#include "qfr/integrals/gradients.hpp"
+#include "qfr/la/blas.hpp"
+
+namespace qfr::engine {
+
+namespace {
+
+using chem::Molecule;
+using la::Matrix;
+
+struct PointResult {
+  double energy = 0.0;
+  Matrix alpha;        // 3x3 (empty when dalpha not requested)
+  geom::Vec3 dipole;   // total dipole about the origin
+  la::Vector gradient; // analytic nuclear gradient (gradient mode only)
+};
+
+// One displaced-geometry job: SCF (+ DFPT when alpha is needed, + analytic
+// gradient in gradient mode).
+PointResult evaluate_point(const Molecule& mol, const ScfEngineOptions& opts,
+                           const Matrix* warm_density, bool with_alpha,
+                           bool with_gradient, dfpt::PhaseTimes* times,
+                           std::int64_t* flops) {
+  auto ctx = std::make_shared<scf::ScfContext>(scf::ScfContext::build(mol));
+  scf::ScfOptions sopts;
+  sopts.xc = opts.xc;
+  // Finite differences of CPSCF polarizabilities amplify residual SCF
+  // error by ~1/gap^2; tight thresholds keep the dalpha noise below the
+  // discretization error of the central differences.
+  sopts.energy_tolerance = 1e-12;
+  sopts.commutator_tolerance = 1e-9;
+  const scf::ScfSolver solver(ctx, sopts);
+  // Warm starts only help when the basis dimension is unchanged, which is
+  // always true for pure displacements.
+  const scf::ScfResult scf_res =
+      (warm_density != nullptr &&
+       warm_density->rows() == ctx->bs.n_functions())
+          ? solver.solve(warm_density)
+          : solver.solve();
+
+  PointResult out;
+  out.energy = scf_res.energy;
+  out.dipole = scf::dipole_moment(*ctx, scf_res.density);
+  if (with_gradient) out.gradient = ints::rhf_gradient(*ctx, scf_res);
+  if (with_alpha) {
+    dfpt::DfptOptions dopts;
+    dopts.tolerance = 1e-10;
+    dfpt::ResponseEngine engine(ctx, scf_res, opts.xc, dopts);
+    const dfpt::PolarizabilityResult pol = engine.polarizability();
+    QFR_ASSERT(pol.converged, "DFPT did not converge at displaced geometry");
+    out.alpha = pol.alpha;
+    if (times != nullptr) *times += engine.phase_times();
+    if (flops != nullptr) *flops += engine.gemm_flops();
+  }
+  return out;
+}
+
+}  // namespace
+
+FragmentResult ScfEngine::compute(const Molecule& fragment) const {
+  QFR_REQUIRE(!fragment.empty(), "empty fragment");
+  const std::size_t n = fragment.size();
+  const std::size_t dim = 3 * n;
+  const double h = options_.displacement;
+  const bool gradient_mode =
+      options_.hessian_mode == HessianMode::kGradientFd;
+  QFR_REQUIRE(!gradient_mode || options_.xc == scf::XcModel::kHartreeFock,
+              "analytic gradients are implemented for Hartree-Fock; use "
+              "HessianMode::kEnergyFd with the LDA model");
+
+  FragmentResult res;
+  res.hessian.resize_zero(dim, dim);
+  res.dalpha.resize_zero(6, dim);
+  res.dmu.resize_zero(3, dim);
+
+  // Equilibrium point: energy, density (warm start), polarizability.
+  auto ctx0 = std::make_shared<scf::ScfContext>(scf::ScfContext::build(fragment));
+  scf::ScfOptions sopts;
+  sopts.xc = options_.xc;
+  sopts.energy_tolerance = 1e-12;
+  sopts.commutator_tolerance = 1e-9;
+  const scf::ScfResult scf0 = scf::ScfSolver(ctx0, sopts).solve();
+  res.energy = scf0.energy;
+  if (options_.compute_dalpha) {
+    dfpt::ResponseEngine engine0(ctx0, scf0, options_.xc);
+    const dfpt::PolarizabilityResult pol0 = engine0.polarizability();
+    res.alpha = pol0.alpha;
+    res.phase_times += engine0.phase_times();
+    res.flops += engine0.gemm_flops();
+  }
+
+  auto displace = [&](std::size_t coord, double step) {
+    const std::size_t atom = coord / 3;
+    geom::Vec3 delta;
+    delta[static_cast<int>(coord % 3)] = step;
+    return fragment.displaced(atom, delta);
+  };
+
+  // Single displacements: +/-h along every coordinate. These serve both
+  // the Hessian diagonal and (with DFPT) the polarizability derivatives.
+  // Each displaced geometry is an independent SCF(+DFPT) job — the
+  // worker-level parallelism of the paper's hierarchy.
+  std::vector<double> e_plus(dim), e_minus(dim);
+  {
+    ThreadPool workers(options_.n_displacement_workers);
+    std::mutex accounting;
+    workers.parallel_for(dim, [&](std::size_t c) {
+      dfpt::PhaseTimes times;
+      std::int64_t flops = 0;
+      const PointResult plus = evaluate_point(
+          displace(c, +h), options_, &scf0.density, options_.compute_dalpha,
+          gradient_mode, &times, &flops);
+      const PointResult minus = evaluate_point(
+          displace(c, -h), options_, &scf0.density, options_.compute_dalpha,
+          gradient_mode, &times, &flops);
+      e_plus[c] = plus.energy;
+      e_minus[c] = minus.energy;
+      if (gradient_mode) {
+        // Full Hessian column from the analytic gradients.
+        for (std::size_t r = 0; r < dim; ++r)
+          res.hessian(r, c) =
+              (plus.gradient[r] - minus.gradient[r]) / (2.0 * h);
+      } else {
+        res.hessian(c, c) =
+            (plus.energy - 2.0 * res.energy + minus.energy) / (h * h);
+      }
+
+      for (int k = 0; k < 3; ++k)
+        res.dmu(k, c) = (plus.dipole[k] - minus.dipole[k]) / (2.0 * h);
+
+      if (options_.compute_dalpha) {
+        // Rows: xx, yy, zz, xy, xz, yz.
+        static constexpr int comp_i[6] = {0, 1, 2, 0, 0, 1};
+        static constexpr int comp_j[6] = {0, 1, 2, 1, 2, 2};
+        for (int k = 0; k < 6; ++k) {
+          res.dalpha(k, c) = (plus.alpha(comp_i[k], comp_j[k]) -
+                              minus.alpha(comp_i[k], comp_j[k])) /
+                             (2.0 * h);
+        }
+      }
+      std::lock_guard<std::mutex> lock(accounting);
+      res.phase_times += times;
+      res.flops += flops;
+      res.displacement_tasks += 2;
+    });
+  }
+
+  if (gradient_mode) {
+    // Symmetrize the FD-of-gradient Hessian (the antisymmetric residue is
+    // pure finite-difference noise).
+    for (std::size_t a = 0; a < dim; ++a)
+      for (std::size_t b = a + 1; b < dim; ++b) {
+        const double sym = 0.5 * (res.hessian(a, b) + res.hessian(b, a));
+        res.hessian(a, b) = sym;
+        res.hessian(b, a) = sym;
+      }
+    return res;
+  }
+
+  // Cross second derivatives from double displacements (energy only).
+  for (std::size_t a = 0; a < dim; ++a) {
+    for (std::size_t b = a + 1; b < dim; ++b) {
+      auto displaced2 = [&](double sa, double sb) {
+        Molecule m = displace(a, sa);
+        const std::size_t atom = b / 3;
+        geom::Vec3 delta;
+        delta[static_cast<int>(b % 3)] = sb;
+        return m.displaced(atom, delta);
+      };
+      const double epp =
+          evaluate_point(displaced2(+h, +h), options_, &scf0.density, false,
+                         false, nullptr, nullptr)
+              .energy;
+      const double epm =
+          evaluate_point(displaced2(+h, -h), options_, &scf0.density, false,
+                         false, nullptr, nullptr)
+              .energy;
+      const double emp =
+          evaluate_point(displaced2(-h, +h), options_, &scf0.density, false,
+                         false, nullptr, nullptr)
+              .energy;
+      const double emm =
+          evaluate_point(displaced2(-h, -h), options_, &scf0.density, false,
+                         false, nullptr, nullptr)
+              .energy;
+      const double hab = (epp - epm - emp + emm) / (4.0 * h * h);
+      res.hessian(a, b) = hab;
+      res.hessian(b, a) = hab;
+      res.displacement_tasks += 4;
+    }
+  }
+  return res;
+}
+
+}  // namespace qfr::engine

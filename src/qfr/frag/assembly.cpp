@@ -1,0 +1,119 @@
+#include "qfr/frag/assembly.hpp"
+
+#include <cmath>
+#include <map>
+
+#include "qfr/common/error.hpp"
+#include "qfr/common/units.hpp"
+
+namespace qfr::frag {
+
+GlobalProperties assemble_global_properties(
+    const BioSystem& sys, std::span<const Fragment> fragments,
+    std::span<const engine::FragmentResult> results,
+    const AssemblyOptions& options) {
+  QFR_REQUIRE(fragments.size() == results.size(),
+              "fragment/result count mismatch");
+  const std::size_t n_atoms = sys.n_atoms();
+  const std::size_t dim = 3 * n_atoms;
+
+  GlobalProperties out;
+  out.n_atoms = n_atoms;
+  out.dalpha_mw.resize_zero(6, dim);
+  out.dmu_mw.resize_zero(3, dim);
+  out.alpha.resize_zero(3, 3);
+
+  std::vector<la::Triplet> triplets;
+  for (std::size_t f = 0; f < fragments.size(); ++f) {
+    const Fragment& frag = fragments[f];
+    const engine::FragmentResult& res = results[f];
+    const std::size_t nf = frag.n_atoms();
+    QFR_REQUIRE(res.hessian.rows() == 3 * nf,
+                "fragment " << f << ": Hessian size mismatch");
+    QFR_REQUIRE(res.dalpha.cols() == 3 * nf,
+                "fragment " << f << ": dalpha size mismatch");
+    out.energy += frag.weight * res.energy;
+    if (res.alpha.rows() == 3 && res.alpha.cols() == 3) {
+      la::Matrix weighted = res.alpha;
+      weighted *= frag.weight;
+      out.alpha += weighted;
+    }
+    const bool has_dmu = res.dmu.rows() == 3 && res.dmu.cols() == 3 * nf;
+
+    for (std::size_t i = 0; i < nf; ++i) {
+      const std::ptrdiff_t gi = frag.atom_map[i];
+      if (gi < 0) continue;  // link hydrogen: discarded
+      for (int a = 0; a < 3; ++a) {
+        const std::size_t row = 3 * static_cast<std::size_t>(gi) + a;
+        for (int k = 0; k < 6; ++k)
+          out.dalpha_mw(k, row) += frag.weight * res.dalpha(k, 3 * i + a);
+        if (has_dmu)
+          for (int k = 0; k < 3; ++k)
+            out.dmu_mw(k, row) += frag.weight * res.dmu(k, 3 * i + a);
+      }
+      for (std::size_t j = 0; j < nf; ++j) {
+        const std::ptrdiff_t gj = frag.atom_map[j];
+        if (gj < 0) continue;
+        for (int a = 0; a < 3; ++a)
+          for (int b = 0; b < 3; ++b) {
+            const double v =
+                frag.weight * res.hessian(3 * i + a, 3 * j + b);
+            if (v == 0.0) continue;
+            triplets.push_back({3 * static_cast<std::size_t>(gi) + a,
+                                3 * static_cast<std::size_t>(gj) + b, v});
+          }
+      }
+    }
+  }
+
+  // Structural diagonal blocks: the ASR correction below writes into
+  // (3i+a, 3i+b) entries, which must exist in the sparsity pattern even
+  // when their assembled value is zero.
+  if (options.apply_acoustic_sum_rule) {
+    for (std::size_t i = 0; i < n_atoms; ++i)
+      for (int a = 0; a < 3; ++a)
+        for (int b = 0; b < 3; ++b)
+          triplets.push_back({3 * i + a, 3 * i + b, 0.0});
+  }
+
+  la::CsrMatrix h = la::CsrMatrix::from_triplets(dim, dim, std::move(triplets));
+
+  if (options.apply_acoustic_sum_rule) {
+    // H(3i+a, 3i+b) := -sum_{j != i} H(3i+a, 3j+b): exact translational
+    // invariance by construction (the standard ASR diagonal correction).
+    la::Matrix block_sums(dim, 3);  // per row: sum over atoms j per comp b
+    const auto row_ptr = h.row_ptr();
+    const auto col_idx = h.col_idx();
+    auto values = h.values_mut();
+    for (std::size_t row = 0; row < dim; ++row)
+      for (std::size_t k = row_ptr[row]; k < row_ptr[row + 1]; ++k)
+        block_sums(row, col_idx[k] % 3) += values[k];
+    for (std::size_t row = 0; row < dim; ++row) {
+      const std::size_t atom = row / 3;
+      for (std::size_t k = row_ptr[row]; k < row_ptr[row + 1]; ++k) {
+        if (col_idx[k] / 3 != atom) continue;
+        const int b = static_cast<int>(col_idx[k] % 3);
+        values[k] -= block_sums(row, b);
+      }
+    }
+  }
+
+  // Mass weighting: H_mw = M^{-1/2} H M^{-1/2}, d alpha/d xi = M^{-1/2} d.
+  const chem::Molecule merged = sys.merged();
+  const auto masses = merged.mass_vector_amu();
+  std::vector<double> inv_sqrt_mass(dim);
+  for (std::size_t i = 0; i < dim; ++i)
+    inv_sqrt_mass[i] = 1.0 / std::sqrt(masses[i] * units::kAmuToMe);
+  h.scale_symmetric(inv_sqrt_mass);
+  for (int k = 0; k < 6; ++k)
+    for (std::size_t i = 0; i < dim; ++i)
+      out.dalpha_mw(k, i) *= inv_sqrt_mass[i];
+  for (int k = 0; k < 3; ++k)
+    for (std::size_t i = 0; i < dim; ++i)
+      out.dmu_mw(k, i) *= inv_sqrt_mass[i];
+
+  out.hessian_mw = std::move(h);
+  return out;
+}
+
+}  // namespace qfr::frag

@@ -1,0 +1,44 @@
+#pragma once
+
+#include <span>
+
+#include "qfr/engine/fragment_engine.hpp"
+#include "qfr/frag/fragmentation.hpp"
+#include "qfr/la/sparse.hpp"
+
+namespace qfr::frag {
+
+/// Controls for the Eq. (1) assembly.
+struct AssemblyOptions {
+  /// Enforce the acoustic sum rule on the assembled Hessian (rigid
+  /// translations must cost nothing); fragmentation noise otherwise leaves
+  /// small spurious restoring forces.
+  bool apply_acoustic_sum_rule = true;
+};
+
+/// The globally assembled quantities entering the spectral solver.
+struct GlobalProperties {
+  /// Mass-weighted Hessian (3N x 3N sparse, units: hartree/(me bohr^2));
+  /// eigenvalues are squared angular frequencies in a.u.
+  la::CsrMatrix hessian_mw;
+  /// d alpha / d xi over mass-weighted coordinates, rows (xx,yy,zz,xy,xz,yz).
+  la::Matrix dalpha_mw;
+  /// d mu / d xi over mass-weighted coordinates, rows (x, y, z).
+  la::Matrix dmu_mw;
+  /// Eq. (1)-style weighted sum of fragment polarizabilities (3x3).
+  la::Matrix alpha;
+  /// Weighted sum of fragment energies (the Eq. (1) total).
+  double energy = 0.0;
+  std::size_t n_atoms = 0;
+};
+
+/// Combine per-fragment results with their weights into global properties
+/// (paper Eq. (1) and its polarizability analogue): Hessian blocks scatter
+/// onto global atom pairs, link-hydrogen rows/columns are discarded, and
+/// everything is mass-weighted at the end.
+GlobalProperties assemble_global_properties(
+    const BioSystem& sys, std::span<const Fragment> fragments,
+    std::span<const engine::FragmentResult> results,
+    const AssemblyOptions& options = {});
+
+}  // namespace qfr::frag

@@ -1,0 +1,113 @@
+#include "qfr/frag/checkpoint.hpp"
+
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+#include <istream>
+#include <ostream>
+
+#include "qfr/common/error.hpp"
+
+namespace qfr::frag {
+
+namespace {
+
+constexpr std::uint32_t kMagic = 0x5146524Du;  // "QFRM"
+constexpr std::uint32_t kVersion = 2;
+
+void put_u64(std::ostream& os, std::uint64_t v) {
+  os.write(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+void put_f64(std::ostream& os, double v) {
+  os.write(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+void put_matrix(std::ostream& os, const la::Matrix& m) {
+  put_u64(os, m.rows());
+  put_u64(os, m.cols());
+  os.write(reinterpret_cast<const char*>(m.data()),
+           static_cast<std::streamsize>(m.size() * sizeof(double)));
+}
+
+bool get_u64(std::istream& is, std::uint64_t* v) {
+  is.read(reinterpret_cast<char*>(v), sizeof(*v));
+  return is.good();
+}
+bool get_f64(std::istream& is, double* v) {
+  is.read(reinterpret_cast<char*>(v), sizeof(*v));
+  return is.good();
+}
+bool get_matrix(std::istream& is, la::Matrix* m) {
+  std::uint64_t rows = 0, cols = 0;
+  if (!get_u64(is, &rows) || !get_u64(is, &cols)) return false;
+  // Sanity bound: a fragment result never stores gigabyte matrices.
+  if (rows > (1u << 20) || cols > (1u << 20)) return false;
+  m->resize_zero(rows, cols);
+  is.read(reinterpret_cast<char*>(m->data()),
+          static_cast<std::streamsize>(m->size() * sizeof(double)));
+  return is.good();
+}
+
+}  // namespace
+
+void save_results(std::ostream& os,
+                  std::span<const engine::FragmentResult> results) {
+  put_u64(os, kMagic);
+  put_u64(os, kVersion);
+  put_u64(os, results.size());
+  for (const auto& r : results) {
+    put_f64(os, r.energy);
+    put_matrix(os, r.hessian);
+    put_matrix(os, r.alpha);
+    put_matrix(os, r.dalpha);
+    put_matrix(os, r.dmu);
+    put_u64(os, static_cast<std::uint64_t>(r.flops));
+    put_u64(os, static_cast<std::uint64_t>(r.displacement_tasks));
+    put_u64(os, 0xC0FFEEu);  // record-complete sentinel
+  }
+  QFR_REQUIRE(os.good(), "checkpoint write failed");
+}
+
+void save_results_file(const std::string& path,
+                       std::span<const engine::FragmentResult> results) {
+  std::ofstream os(path, std::ios::binary);
+  QFR_REQUIRE(os.good(), "cannot open '" << path << "' for writing");
+  save_results(os, results);
+}
+
+LoadReport load_results(std::istream& is) {
+  std::uint64_t magic = 0, version = 0, count = 0;
+  QFR_REQUIRE(get_u64(is, &magic) && magic == kMagic,
+              "not a QF-RAMAN checkpoint stream");
+  QFR_REQUIRE(get_u64(is, &version) && version == kVersion,
+              "checkpoint version mismatch (got " << version << ", expected "
+                                                  << kVersion << ")");
+  QFR_REQUIRE(get_u64(is, &count), "truncated checkpoint header");
+
+  LoadReport report;
+  report.results.reserve(count);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    engine::FragmentResult r;
+    std::uint64_t flops = 0, tasks = 0, sentinel = 0;
+    const bool ok = get_f64(is, &r.energy) && get_matrix(is, &r.hessian) &&
+                    get_matrix(is, &r.alpha) && get_matrix(is, &r.dalpha) &&
+                    get_matrix(is, &r.dmu) && get_u64(is, &flops) &&
+                    get_u64(is, &tasks) && get_u64(is, &sentinel) &&
+                    sentinel == 0xC0FFEEu;
+    if (!ok) {
+      report.n_dropped = count - i;
+      break;
+    }
+    r.flops = static_cast<std::int64_t>(flops);
+    r.displacement_tasks = static_cast<int>(tasks);
+    report.results.push_back(std::move(r));
+  }
+  return report;
+}
+
+LoadReport load_results_file(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  QFR_REQUIRE(is.good(), "cannot open '" << path << "' for reading");
+  return load_results(is);
+}
+
+}  // namespace qfr::frag

@@ -1,0 +1,36 @@
+#pragma once
+
+#include <iosfwd>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "qfr/engine/fragment_engine.hpp"
+
+namespace qfr::frag {
+
+/// Binary checkpointing of per-fragment results.
+///
+/// The fragment sweep dominates a QF-RAMAN run (at the paper's scale it is
+/// hours on a full supercomputer), so production runs must be resumable:
+/// results are streamed to disk as they complete and a restarted run only
+/// recomputes what is missing. The format is a versioned little-endian
+/// binary stream with a trailing per-record validity flag, so a run killed
+/// mid-write loses at most the last record.
+
+/// Write all results (indexed by fragment id) to a stream/file.
+void save_results(std::ostream& os,
+                  std::span<const engine::FragmentResult> results);
+void save_results_file(const std::string& path,
+                       std::span<const engine::FragmentResult> results);
+
+/// Read results back; throws InvalidArgument on format/version mismatch.
+/// Truncated trailing records are dropped (with their count reported).
+struct LoadReport {
+  std::vector<engine::FragmentResult> results;
+  std::size_t n_dropped = 0;  ///< truncated/corrupt trailing records
+};
+LoadReport load_results(std::istream& is);
+LoadReport load_results_file(const std::string& path);
+
+}  // namespace qfr::frag

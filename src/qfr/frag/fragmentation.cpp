@@ -1,0 +1,301 @@
+#include "qfr/frag/fragmentation.hpp"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "qfr/common/error.hpp"
+#include "qfr/common/units.hpp"
+#include "qfr/geom/cell_list.hpp"
+
+namespace qfr::frag {
+
+namespace {
+
+using chem::Bond;
+using chem::Element;
+using chem::Molecule;
+using chem::Protein;
+
+double cap_bond_length_bohr(Element dangling) {
+  // Link hydrogens sit at the standard X-H distance along the cut bond.
+  switch (dangling) {
+    case Element::N: return 1.01 * units::kAngstromToBohr;
+    case Element::O: return 0.96 * units::kAngstromToBohr;
+    case Element::S: return 1.34 * units::kAngstromToBohr;
+    default: return 1.09 * units::kAngstromToBohr;
+  }
+}
+
+// Extract residues [r_begin, r_end) of one chain as a capped fragment.
+// Link hydrogens replace the removed peptide partners.
+Fragment extract_window(const Protein& chain, std::size_t chain_offset,
+                        std::size_t r_begin, std::size_t r_end) {
+  QFR_ASSERT(r_begin < r_end && r_end <= chain.n_residues(),
+             "bad residue window");
+  Fragment f;
+  const std::size_t atom_begin = chain.residues[r_begin].first_atom;
+  const std::size_t atom_end = chain.residues[r_end - 1].first_atom +
+                               chain.residues[r_end - 1].n_atoms;
+
+  // Local index bookkeeping: global (chain-local) -> fragment index.
+  std::vector<std::ptrdiff_t> local(chain.n_atoms(), -1);
+  for (std::size_t a = atom_begin; a < atom_end; ++a) {
+    local[a] = static_cast<std::ptrdiff_t>(f.mol.size());
+    f.mol.add(chain.mol.atom(a).element, chain.mol.atom(a).position);
+    f.atom_map.push_back(static_cast<std::ptrdiff_t>(chain_offset + a));
+  }
+  for (const auto& b : chain.bonds) {
+    const bool a_in = b.a >= atom_begin && b.a < atom_end;
+    const bool b_in = b.b >= atom_begin && b.b < atom_end;
+    if (a_in && b_in) {
+      f.bonds.push_back({static_cast<std::size_t>(local[b.a]),
+                         static_cast<std::size_t>(local[b.b])});
+    } else if (a_in != b_in) {
+      // Severed bond: cap the inside atom with a link hydrogen placed
+      // along the original bond direction.
+      const std::size_t inside = a_in ? b.a : b.b;
+      const std::size_t outside = a_in ? b.b : b.a;
+      const geom::Vec3 dir = (chain.mol.atom(outside).position -
+                              chain.mol.atom(inside).position)
+                                 .normalized();
+      const geom::Vec3 pos =
+          chain.mol.atom(inside).position +
+          dir * cap_bond_length_bohr(chain.mol.atom(inside).element);
+      const std::size_t h_idx = f.mol.size();
+      f.mol.add(Element::H, pos);
+      f.atom_map.push_back(-1);
+      f.bonds.push_back({static_cast<std::size_t>(local[inside]), h_idx});
+    }
+  }
+  return f;
+}
+
+Fragment water_fragment(const Molecule& water, std::size_t atom_offset) {
+  Fragment f;
+  f.mol = water;
+  for (std::size_t a = 0; a < water.size(); ++a)
+    f.atom_map.push_back(static_cast<std::ptrdiff_t>(atom_offset + a));
+  f.bonds = {{0, 1}, {0, 2}};  // O-H, O-H
+  return f;
+}
+
+// Merge two fragments into one (geometry union; bonds offset).
+Fragment merge_fragments(const Fragment& a, const Fragment& b) {
+  Fragment f;
+  f.mol = a.mol;
+  f.mol.append(b.mol);
+  f.atom_map = a.atom_map;
+  f.atom_map.insert(f.atom_map.end(), b.atom_map.begin(), b.atom_map.end());
+  f.bonds = a.bonds;
+  for (const auto& bond : b.bonds)
+    f.bonds.push_back({bond.a + a.mol.size(), bond.b + a.mol.size()});
+  return f;
+}
+
+// An interaction entity for the generalized-concap search.
+struct Entity {
+  bool is_water = false;
+  std::size_t chain = 0;    // valid when !is_water
+  std::size_t residue = 0;  // valid when !is_water
+  std::size_t water = 0;    // valid when is_water
+};
+
+}  // namespace
+
+std::size_t Fragment::n_real_atoms() const {
+  return static_cast<std::size_t>(
+      std::count_if(atom_map.begin(), atom_map.end(),
+                    [](std::ptrdiff_t g) { return g >= 0; }));
+}
+
+std::size_t BioSystem::n_atoms() const {
+  std::size_t n = 0;
+  for (const auto& c : chains) n += c.n_atoms();
+  for (const auto& w : waters) n += w.size();
+  return n;
+}
+
+std::size_t BioSystem::n_residues() const {
+  std::size_t n = 0;
+  for (const auto& c : chains) n += c.n_residues();
+  return n;
+}
+
+std::size_t BioSystem::chain_atom_offset(std::size_t c) const {
+  QFR_REQUIRE(c < chains.size(), "chain index out of range");
+  std::size_t off = 0;
+  for (std::size_t i = 0; i < c; ++i) off += chains[i].n_atoms();
+  return off;
+}
+
+std::size_t BioSystem::water_atom_offset(std::size_t w) const {
+  QFR_REQUIRE(w < waters.size(), "water index out of range");
+  std::size_t off = 0;
+  for (const auto& c : chains) off += c.n_atoms();
+  for (std::size_t i = 0; i < w; ++i) off += waters[i].size();
+  return off;
+}
+
+chem::Molecule BioSystem::merged() const {
+  Molecule m;
+  for (const auto& c : chains) m.append(c.mol);
+  for (const auto& w : waters) m.append(w);
+  return m;
+}
+
+Fragmentation fragment_biosystem(const BioSystem& sys,
+                                 const FragmentationOptions& options) {
+  QFR_REQUIRE(options.window >= 2, "MFCC window must be >= 2");
+  Fragmentation out;
+  auto& frags = out.fragments;
+  auto& stats = out.stats;
+
+  const auto w = static_cast<std::size_t>(options.window);
+
+  // --- MFCC windows and concaps per chain -------------------------------
+  for (std::size_t c = 0; c < sys.chains.size(); ++c) {
+    const Protein& chain = sys.chains[c];
+    const std::size_t off = sys.chain_atom_offset(c);
+    const std::size_t nr = chain.n_residues();
+    if (nr <= w) {
+      // Short chain: a single uncut fragment.
+      Fragment f = extract_window(chain, off, 0, nr);
+      f.kind = FragmentKind::kCappedResidue;
+      f.weight = 1.0;
+      frags.push_back(std::move(f));
+      ++stats.n_capped_residues;
+      continue;
+    }
+    for (std::size_t k = 0; k + w <= nr; ++k) {
+      Fragment f = extract_window(chain, off, k, k + w);
+      f.kind = FragmentKind::kCappedResidue;
+      f.weight = 1.0;
+      frags.push_back(std::move(f));
+      ++stats.n_capped_residues;
+    }
+    for (std::size_t k = 0; k + w + 1 <= nr; ++k) {
+      // Overlap of consecutive windows: residues [k+1, k+w).
+      Fragment f = extract_window(chain, off, k + 1, k + w);
+      f.kind = FragmentKind::kConcap;
+      f.weight = -1.0;
+      frags.push_back(std::move(f));
+      ++stats.n_concaps;
+    }
+  }
+
+  // --- Water one-body ----------------------------------------------------
+  for (std::size_t i = 0; i < sys.waters.size(); ++i) {
+    Fragment f = water_fragment(sys.waters[i], sys.water_atom_offset(i));
+    f.kind = FragmentKind::kWater;
+    f.weight = 1.0;
+    frags.push_back(std::move(f));
+    ++stats.n_waters;
+  }
+
+  // --- Generalized concaps (two-body corrections) ------------------------
+  if (options.include_two_body) {
+    // Entity list: every residue of every chain, every water.
+    std::vector<Entity> entities;
+    std::vector<geom::Vec3> positions;  // all atoms
+    std::vector<std::size_t> atom_entity;
+    for (std::size_t c = 0; c < sys.chains.size(); ++c) {
+      const Protein& chain = sys.chains[c];
+      for (std::size_t r = 0; r < chain.n_residues(); ++r) {
+        const std::size_t e = entities.size();
+        entities.push_back({false, c, r, 0});
+        const auto& res = chain.residues[r];
+        for (std::size_t a = 0; a < res.n_atoms; ++a) {
+          positions.push_back(chain.mol.atom(res.first_atom + a).position);
+          atom_entity.push_back(e);
+        }
+      }
+    }
+    for (std::size_t i = 0; i < sys.waters.size(); ++i) {
+      const std::size_t e = entities.size();
+      entities.push_back({true, 0, 0, i});
+      for (const auto& a : sys.waters[i].atoms()) {
+        positions.push_back(a.position);
+        atom_entity.push_back(e);
+      }
+    }
+
+    const double lambda = options.lambda_angstrom * units::kAngstromToBohr;
+    const geom::CellList cl(positions, lambda);
+    std::set<std::pair<std::size_t, std::size_t>> pairs;
+    for (std::size_t i = 0; i < positions.size(); ++i) {
+      cl.for_each_neighbor(i, [&](std::size_t j) {
+        const std::size_t ei = atom_entity[i], ej = atom_entity[j];
+        if (ei >= ej) return;
+        const Entity& a = entities[ei];
+        const Entity& b = entities[ej];
+        if (!a.is_water && !b.is_water && a.chain == b.chain) {
+          // Sequential neighbors within the MFCC window are already
+          // covered by the capped fragments.
+          const auto d = (b.residue > a.residue) ? b.residue - a.residue
+                                                 : a.residue - b.residue;
+          if (d < w) return;
+        }
+        pairs.emplace(ei, ej);
+      });
+    }
+
+    // Build monomer fragments lazily, tracking how often each is used.
+    std::map<std::size_t, Fragment> monomer;
+    std::map<std::size_t, int> monomer_uses;
+    auto get_monomer = [&](std::size_t e) -> const Fragment& {
+      auto it = monomer.find(e);
+      if (it == monomer.end()) {
+        Fragment f;
+        const Entity& ent = entities[e];
+        if (ent.is_water) {
+          f = water_fragment(sys.waters[ent.water],
+                             sys.water_atom_offset(ent.water));
+        } else {
+          f = extract_window(sys.chains[ent.chain],
+                             sys.chain_atom_offset(ent.chain), ent.residue,
+                             ent.residue + 1);
+        }
+        it = monomer.emplace(e, std::move(f)).first;
+      }
+      return it->second;
+    };
+
+    for (const auto& [ei, ej] : pairs) {
+      const Fragment& fi = get_monomer(ei);
+      const Fragment& fj = get_monomer(ej);
+      Fragment pair = merge_fragments(fi, fj);
+      pair.kind = FragmentKind::kPair;
+      pair.weight = 1.0;
+      frags.push_back(std::move(pair));
+      monomer_uses[ei]++;
+      monomer_uses[ej]++;
+      const bool wi = entities[ei].is_water, wj = entities[ej].is_water;
+      if (wi && wj) {
+        ++stats.n_water_water_pairs;
+      } else if (!wi && !wj) {
+        ++stats.n_protein_pairs;
+      } else {
+        ++stats.n_protein_water_pairs;
+      }
+    }
+    for (const auto& [e, uses] : monomer_uses) {
+      Fragment f = monomer.at(e);
+      f.kind = FragmentKind::kPairMonomer;
+      f.weight = -static_cast<double>(uses);
+      frags.push_back(std::move(f));
+    }
+  }
+
+  for (std::size_t i = 0; i < frags.size(); ++i) {
+    frags[i].id = i;
+    stats.min_fragment_atoms =
+        std::min(stats.min_fragment_atoms, frags[i].n_atoms());
+    stats.max_fragment_atoms =
+        std::max(stats.max_fragment_atoms, frags[i].n_atoms());
+  }
+  stats.total_fragments = frags.size();
+  return out;
+}
+
+}  // namespace qfr::frag

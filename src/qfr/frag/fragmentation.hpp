@@ -1,0 +1,92 @@
+#pragma once
+
+#include <cstddef>
+#include <limits>
+#include <vector>
+
+#include "qfr/chem/protein.hpp"
+
+namespace qfr::frag {
+
+/// The solvated biosystem QF-RAMAN operates on: one or more polypeptide
+/// chains (the spike protein is a trimer) plus explicit water molecules.
+struct BioSystem {
+  std::vector<chem::Protein> chains;
+  std::vector<chem::Molecule> waters;
+
+  std::size_t n_atoms() const;
+  std::size_t n_residues() const;
+
+  /// Global atom index of chain c's first atom.
+  std::size_t chain_atom_offset(std::size_t c) const;
+  /// Global atom index of water w's first atom.
+  std::size_t water_atom_offset(std::size_t w) const;
+
+  /// Flatten into one molecule (atom order: chains then waters).
+  chem::Molecule merged() const;
+};
+
+/// Role of a fragment in the Eq. (1) assembly.
+enum class FragmentKind {
+  kCappedResidue,  ///< Cap*_{k-1} a_k Cap_{k+1}, weight +1
+  kConcap,         ///< Cap*_k Cap_{k+1} overlap, weight -1
+  kWater,          ///< one-body water, weight +1
+  kPair,           ///< two-body generalized concap E_ij, weight +1
+  kPairMonomer,    ///< monomer subtracted from a pair, weight -1
+};
+
+/// One quantum job: a capped molecular fragment with its weight in the
+/// assembly and the mapping back to global atom indices.
+struct Fragment {
+  std::size_t id = 0;
+  FragmentKind kind = FragmentKind::kWater;
+  double weight = 1.0;
+  chem::Molecule mol;
+  /// For each fragment atom: the global atom index it represents, or -1
+  /// for link hydrogens (their contributions are discarded on assembly).
+  std::vector<std::ptrdiff_t> atom_map;
+  /// Covalent topology carried from the builder (plus cap bonds).
+  std::vector<chem::Bond> bonds;
+
+  std::size_t n_atoms() const { return mol.size(); }
+  std::size_t n_real_atoms() const;
+};
+
+/// Options of the fragmentation pass.
+struct FragmentationOptions {
+  /// Two-body distance threshold lambda (angstrom); the paper uses 4 A for
+  /// protein-protein, protein-water and water-water alike.
+  double lambda_angstrom = 4.0;
+  bool include_two_body = true;
+  /// Residue window size of the MFCC cut (3 = cap with one neighbor on
+  /// each side, the paper's scheme).
+  int window = 3;
+};
+
+/// Decomposition statistics (the Fig. 7 / Sec. VII-A numbers).
+struct FragmentationStats {
+  std::size_t n_capped_residues = 0;
+  std::size_t n_concaps = 0;
+  std::size_t n_waters = 0;
+  std::size_t n_protein_pairs = 0;       ///< generalized concaps
+  std::size_t n_protein_water_pairs = 0;
+  std::size_t n_water_water_pairs = 0;
+  std::size_t min_fragment_atoms = std::numeric_limits<std::size_t>::max();
+  std::size_t max_fragment_atoms = 0;
+  std::size_t total_fragments = 0;
+};
+
+/// Result of fragmenting a biosystem.
+struct Fragmentation {
+  std::vector<Fragment> fragments;
+  FragmentationStats stats;
+};
+
+/// Apply the MFCC + generalized-concap decomposition of paper Sec. IV-A:
+/// capped residue windows, subtracted concaps, water monomers, and
+/// distance-thresholded two-body corrections (protein-protein,
+/// protein-water, water-water).
+Fragmentation fragment_biosystem(const BioSystem& sys,
+                                 const FragmentationOptions& options = {});
+
+}  // namespace qfr::frag

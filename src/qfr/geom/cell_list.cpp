@@ -1,0 +1,112 @@
+#include "qfr/geom/cell_list.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "qfr/common/error.hpp"
+
+namespace qfr::geom {
+
+CellList::CellList(std::span<const Vec3> points, double cutoff)
+    : points_(points.begin(), points.end()), cutoff_(cutoff) {
+  QFR_REQUIRE(cutoff > 0.0, "cell list cutoff must be positive");
+  if (points_.empty()) {
+    cell_start_.assign(2, 0);
+    return;
+  }
+
+  Vec3 lo = points_[0], hi = points_[0];
+  for (const auto& p : points_) {
+    lo.x = std::min(lo.x, p.x);
+    lo.y = std::min(lo.y, p.y);
+    lo.z = std::min(lo.z, p.z);
+    hi.x = std::max(hi.x, p.x);
+    hi.y = std::max(hi.y, p.y);
+    hi.z = std::max(hi.z, p.z);
+  }
+  origin_ = lo;
+  const double edge = cutoff;
+  inv_edge_ = 1.0 / edge;
+  nx_ = static_cast<std::size_t>((hi.x - lo.x) * inv_edge_) + 1;
+  ny_ = static_cast<std::size_t>((hi.y - lo.y) * inv_edge_) + 1;
+  nz_ = static_cast<std::size_t>((hi.z - lo.z) * inv_edge_) + 1;
+
+  const std::size_t ncells = nx_ * ny_ * nz_;
+  // Counting sort of points into cells.
+  std::vector<std::size_t> counts(ncells + 1, 0);
+  std::vector<std::size_t> cell_id(points_.size());
+  for (std::size_t i = 0; i < points_.size(); ++i) {
+    cell_id[i] = cell_of(points_[i]);
+    ++counts[cell_id[i] + 1];
+  }
+  for (std::size_t c = 0; c < ncells; ++c) counts[c + 1] += counts[c];
+  cell_start_ = counts;
+  point_index_.resize(points_.size());
+  std::vector<std::size_t> cursor(counts.begin(), counts.end() - 1);
+  for (std::size_t i = 0; i < points_.size(); ++i)
+    point_index_[cursor[cell_id[i]]++] = i;
+}
+
+std::size_t CellList::cell_of(const Vec3& p) const {
+  auto clamp_idx = [](double v, std::size_t n) {
+    const auto i = static_cast<std::ptrdiff_t>(v);
+    if (i < 0) return std::size_t{0};
+    if (static_cast<std::size_t>(i) >= n) return n - 1;
+    return static_cast<std::size_t>(i);
+  };
+  const std::size_t ix = clamp_idx((p.x - origin_.x) * inv_edge_, nx_);
+  const std::size_t iy = clamp_idx((p.y - origin_.y) * inv_edge_, ny_);
+  const std::size_t iz = clamp_idx((p.z - origin_.z) * inv_edge_, nz_);
+  return (ix * ny_ + iy) * nz_ + iz;
+}
+
+void CellList::visit_cell_range(const Vec3& q, double r2_max,
+                                const std::function<void(std::size_t)>& fn,
+                                std::size_t skip_index) const {
+  if (points_.empty()) return;
+  auto clamp_cell = [](std::ptrdiff_t v, std::size_t n) {
+    return static_cast<std::size_t>(
+        std::clamp<std::ptrdiff_t>(v, 0, static_cast<std::ptrdiff_t>(n) - 1));
+  };
+  const auto cx = static_cast<std::ptrdiff_t>((q.x - origin_.x) * inv_edge_);
+  const auto cy = static_cast<std::ptrdiff_t>((q.y - origin_.y) * inv_edge_);
+  const auto cz = static_cast<std::ptrdiff_t>((q.z - origin_.z) * inv_edge_);
+  const std::size_t x0 = clamp_cell(cx - 1, nx_), x1 = clamp_cell(cx + 1, nx_);
+  const std::size_t y0 = clamp_cell(cy - 1, ny_), y1 = clamp_cell(cy + 1, ny_);
+  const std::size_t z0 = clamp_cell(cz - 1, nz_), z1 = clamp_cell(cz + 1, nz_);
+  for (std::size_t ix = x0; ix <= x1; ++ix)
+    for (std::size_t iy = y0; iy <= y1; ++iy)
+      for (std::size_t iz = z0; iz <= z1; ++iz) {
+        const std::size_t c = (ix * ny_ + iy) * nz_ + iz;
+        for (std::size_t k = cell_start_[c]; k < cell_start_[c + 1]; ++k) {
+          const std::size_t j = point_index_[k];
+          if (j == skip_index) continue;
+          if (distance2(points_[j], q) <= r2_max) fn(j);
+        }
+      }
+}
+
+void CellList::for_each_neighbor(
+    std::size_t i, const std::function<void(std::size_t)>& fn) const {
+  QFR_REQUIRE(i < points_.size(), "neighbor query index out of range");
+  visit_cell_range(points_[i], cutoff_ * cutoff_, fn, i);
+}
+
+void CellList::for_each_within(
+    const Vec3& q, const std::function<void(std::size_t)>& fn) const {
+  visit_cell_range(q, cutoff_ * cutoff_, fn,
+                   static_cast<std::size_t>(-1));
+}
+
+std::vector<std::pair<std::size_t, std::size_t>> CellList::all_pairs() const {
+  std::vector<std::pair<std::size_t, std::size_t>> pairs;
+  for (std::size_t i = 0; i < points_.size(); ++i) {
+    for_each_neighbor(i, [&](std::size_t j) {
+      if (j > i) pairs.emplace_back(i, j);
+    });
+  }
+  std::sort(pairs.begin(), pairs.end());
+  return pairs;
+}
+
+}  // namespace qfr::geom

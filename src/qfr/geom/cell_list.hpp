@@ -1,0 +1,56 @@
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "qfr/geom/vec3.hpp"
+
+namespace qfr::geom {
+
+/// Uniform-grid spatial hash for O(N) fixed-radius neighbor queries.
+///
+/// The generalized-concap construction of QF-RAMAN needs every pair of
+/// fragments whose minimum interatomic distance is below the threshold
+/// lambda (4 A). With 10^8 atoms a brute-force O(N^2) pair scan is
+/// impossible; binning points into cells of edge >= cutoff makes each query
+/// examine only the 27 surrounding cells.
+class CellList {
+ public:
+  /// Bins `points` with the given interaction cutoff (same length unit as
+  /// the points). The cutoff must be positive.
+  CellList(std::span<const Vec3> points, double cutoff);
+
+  std::size_t size() const { return points_.size(); }
+  double cutoff() const { return cutoff_; }
+
+  /// Invoke fn(j) for every point j != i with |r_j - r_i| <= cutoff.
+  void for_each_neighbor(std::size_t i,
+                         const std::function<void(std::size_t)>& fn) const;
+
+  /// Invoke fn(j) for every stored point with |r_j - q| <= cutoff.
+  void for_each_within(const Vec3& q,
+                       const std::function<void(std::size_t)>& fn) const;
+
+  /// All unordered pairs (i < j) within the cutoff. Intended for tests and
+  /// moderate N; large-scale callers should stream via for_each_neighbor.
+  std::vector<std::pair<std::size_t, std::size_t>> all_pairs() const;
+
+ private:
+  std::size_t cell_of(const Vec3& p) const;
+  void visit_cell_range(const Vec3& q, double r2_max,
+                        const std::function<void(std::size_t)>& fn,
+                        std::size_t skip_index) const;
+
+  std::vector<Vec3> points_;
+  double cutoff_ = 0.0;
+  Vec3 origin_;
+  double inv_edge_ = 0.0;
+  std::size_t nx_ = 1, ny_ = 1, nz_ = 1;
+  // CSR-style cell -> point-index layout.
+  std::vector<std::size_t> cell_start_;
+  std::vector<std::size_t> point_index_;
+};
+
+}  // namespace qfr::geom

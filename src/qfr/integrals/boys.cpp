@@ -1,0 +1,47 @@
+#include "qfr/integrals/boys.hpp"
+
+#include <cmath>
+
+#include "qfr/common/error.hpp"
+#include "qfr/common/units.hpp"
+
+namespace qfr::ints {
+
+void boys(int m_max, double x, std::span<double> out) {
+  QFR_REQUIRE(m_max >= 0 && out.size() >= static_cast<std::size_t>(m_max) + 1,
+              "boys output span too small");
+  if (x < 1e-13) {
+    for (int m = 0; m <= m_max; ++m) out[m] = 1.0 / (2.0 * m + 1.0);
+    return;
+  }
+  if (x > 35.0) {
+    // Asymptotic regime: F_0 = sqrt(pi/x)/2; upward recursion is stable
+    // because the e^{-x} correction is negligible but kept anyway.
+    const double ex = std::exp(-x);
+    out[0] = 0.5 * std::sqrt(units::kPi / x);
+    for (int m = 0; m < m_max; ++m)
+      out[m + 1] = ((2.0 * m + 1.0) * out[m] - ex) / (2.0 * x);
+    return;
+  }
+  // Ascending series at the highest order (converges for moderate x),
+  // then downward recursion which is numerically stable.
+  const double ex = std::exp(-x);
+  double term = 1.0 / (2.0 * m_max + 1.0);
+  double sum = term;
+  for (int k = 1; k < 400; ++k) {
+    term *= 2.0 * x / (2.0 * m_max + 2.0 * k + 1.0);
+    sum += term;
+    if (term < 1e-17 * sum) break;
+  }
+  out[m_max] = ex * sum;
+  for (int m = m_max; m > 0; --m)
+    out[m - 1] = (2.0 * x * out[m] + ex) / (2.0 * m - 1.0);
+}
+
+double boys0(double x) {
+  double v[1];
+  boys(0, x, v);
+  return v[0];
+}
+
+}  // namespace qfr::ints

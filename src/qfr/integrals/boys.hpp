@@ -1,0 +1,19 @@
+#pragma once
+
+#include <span>
+
+namespace qfr::ints {
+
+/// Boys function F_m(x) = int_0^1 t^(2m) exp(-x t^2) dt for m = 0..m_max,
+/// written into `out` (size m_max+1).
+///
+/// Small-x uses the convergent ascending series at m_max followed by stable
+/// downward recursion; large-x uses the asymptotic F_0 with stable upward
+/// recursion. Accuracy is ~1e-14 over the whole domain, verified against
+/// high-order quadrature in the tests.
+void boys(int m_max, double x, std::span<double> out);
+
+/// Single-order convenience wrapper.
+double boys0(double x);
+
+}  // namespace qfr::ints

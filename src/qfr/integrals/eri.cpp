@@ -1,0 +1,193 @@
+#include "qfr/integrals/eri.hpp"
+
+#include <cmath>
+
+#include "qfr/common/error.hpp"
+#include "qfr/common/units.hpp"
+#include "qfr/integrals/hermite.hpp"
+
+namespace qfr::ints {
+
+namespace {
+
+using basis::BasisSet;
+using basis::CartPowers;
+using basis::Shell;
+
+}  // namespace
+
+void eri_shell_quartet(const Shell& a, const Shell& b, const Shell& c,
+                       const Shell& d, std::vector<double>& out) {
+  const auto pw_a = basis::cartesian_powers(a.l);
+  const auto pw_b = basis::cartesian_powers(b.l);
+  const auto pw_c = basis::cartesian_powers(c.l);
+  const auto pw_d = basis::cartesian_powers(d.l);
+  const std::size_t na = pw_a.size(), nb = pw_b.size(), nc = pw_c.size(),
+                    nd = pw_d.size();
+  out.assign(na * nb * nc * nd, 0.0);
+  const int tmax_ab = a.l + b.l;
+  const int tmax_cd = c.l + d.l;
+
+  for (const auto& p1 : a.prims)
+    for (const auto& p2 : b.prims) {
+      const Hermite1D e1x(p1.exponent, p2.exponent, a.center.x, b.center.x,
+                          a.l, b.l);
+      const Hermite1D e1y(p1.exponent, p2.exponent, a.center.y, b.center.y,
+                          a.l, b.l);
+      const Hermite1D e1z(p1.exponent, p2.exponent, a.center.z, b.center.z,
+                          a.l, b.l);
+      const double p = e1x.p();
+      const geom::Vec3 pc{e1x.center(), e1y.center(), e1z.center()};
+      const double c12 = p1.coefficient * p2.coefficient;
+
+      for (const auto& p3 : c.prims)
+        for (const auto& p4 : d.prims) {
+          const Hermite1D e2x(p3.exponent, p4.exponent, c.center.x,
+                              d.center.x, c.l, d.l);
+          const Hermite1D e2y(p3.exponent, p4.exponent, c.center.y,
+                              d.center.y, c.l, d.l);
+          const Hermite1D e2z(p3.exponent, p4.exponent, c.center.z,
+                              d.center.z, c.l, d.l);
+          const double q = e2x.p();
+          const geom::Vec3 qc{e2x.center(), e2y.center(), e2z.center()};
+          const double alpha = p * q / (p + q);
+          const double pref = c12 * p3.coefficient * p4.coefficient * 2.0 *
+                              std::pow(units::kPi, 2.5) /
+                              (p * q * std::sqrt(p + q));
+          const HermiteR r(alpha, pc - qc, tmax_ab + tmax_cd);
+
+          std::size_t idx = 0;
+          for (std::size_t fa = 0; fa < na; ++fa)
+            for (std::size_t fb = 0; fb < nb; ++fb)
+              for (std::size_t fc = 0; fc < nc; ++fc)
+                for (std::size_t fd = 0; fd < nd; ++fd, ++idx) {
+                  const auto& qa = pw_a[fa];
+                  const auto& qb = pw_b[fb];
+                  const auto& qcc = pw_c[fc];
+                  const auto& qd = pw_d[fd];
+                  double acc = 0.0;
+                  for (int t = 0; t <= qa.i + qb.i; ++t) {
+                    const double ex1 = e1x(qa.i, qb.i, t);
+                    if (ex1 == 0.0) continue;
+                    for (int u = 0; u <= qa.j + qb.j; ++u) {
+                      const double ey1 = e1y(qa.j, qb.j, u);
+                      if (ey1 == 0.0) continue;
+                      for (int v = 0; v <= qa.k + qb.k; ++v) {
+                        const double ez1 = e1z(qa.k, qb.k, v);
+                        if (ez1 == 0.0) continue;
+                        double inner = 0.0;
+                        for (int tt = 0; tt <= qcc.i + qd.i; ++tt) {
+                          const double ex2 = e2x(qcc.i, qd.i, tt);
+                          if (ex2 == 0.0) continue;
+                          for (int uu = 0; uu <= qcc.j + qd.j; ++uu) {
+                            const double ey2 = e2y(qcc.j, qd.j, uu);
+                            if (ey2 == 0.0) continue;
+                            for (int vv = 0; vv <= qcc.k + qd.k; ++vv) {
+                              const double ez2 = e2z(qcc.k, qd.k, vv);
+                              if (ez2 == 0.0) continue;
+                              const double sign =
+                                  ((tt + uu + vv) % 2 == 0) ? 1.0 : -1.0;
+                              inner += sign * ex2 * ey2 * ez2 *
+                                       r(t + tt, u + uu, v + vv);
+                            }
+                          }
+                        }
+                        acc += ex1 * ey1 * ez1 * inner;
+                      }
+                    }
+                  }
+                  out[idx] += pref * acc;
+                }
+        }
+    }
+}
+
+namespace {
+// Alias keeping the original internal call sites readable.
+inline void shell_quartet(const Shell& a, const Shell& b, const Shell& c,
+                          const Shell& d, std::vector<double>& out) {
+  eri_shell_quartet(a, b, c, d, out);
+}
+}  // namespace
+
+EriTensor::EriTensor(const BasisSet& bs, double screen_threshold) {
+  nbf_ = bs.n_functions();
+  const std::size_t npair = nbf_ * (nbf_ + 1) / 2;
+  values_.assign(npair * (npair + 1) / 2, 0.0);
+
+  const std::size_t ns = bs.n_shells();
+
+  // Schwarz bounds per shell pair: sqrt(max |(ab|ab)|).
+  la::Matrix schwarz(ns, ns);
+  std::vector<double> block;
+  for (std::size_t sa = 0; sa < ns; ++sa)
+    for (std::size_t sb = 0; sb <= sa; ++sb) {
+      const Shell& a = bs.shell(sa);
+      const Shell& b = bs.shell(sb);
+      shell_quartet(a, b, a, b, block);
+      const std::size_t na = a.n_functions(), nbn = b.n_functions();
+      double mx = 0.0;
+      for (std::size_t fa = 0; fa < na; ++fa)
+        for (std::size_t fb = 0; fb < nbn; ++fb) {
+          const std::size_t idx =
+              ((fa * nbn + fb) * na + fa) * nbn + fb;  // (ab|ab)
+          mx = std::max(mx, std::fabs(block[idx]));
+        }
+      schwarz(sa, sb) = schwarz(sb, sa) = std::sqrt(mx);
+    }
+
+  for (std::size_t sa = 0; sa < ns; ++sa)
+    for (std::size_t sb = 0; sb <= sa; ++sb)
+      for (std::size_t sc = 0; sc <= sa; ++sc)
+        for (std::size_t sd = 0; sd <= ((sc == sa) ? sb : sc); ++sd) {
+          if (schwarz(sa, sb) * schwarz(sc, sd) < screen_threshold) continue;
+          const Shell& a = bs.shell(sa);
+          const Shell& b = bs.shell(sb);
+          const Shell& c = bs.shell(sc);
+          const Shell& d = bs.shell(sd);
+          shell_quartet(a, b, c, d, block);
+          const std::size_t na = a.n_functions(), nbn = b.n_functions(),
+                            ncn = c.n_functions(), ndn = d.n_functions();
+          std::size_t idx = 0;
+          for (std::size_t fa = 0; fa < na; ++fa)
+            for (std::size_t fb = 0; fb < nbn; ++fb)
+              for (std::size_t fc = 0; fc < ncn; ++fc)
+                for (std::size_t fd = 0; fd < ndn; ++fd, ++idx) {
+                  values_[composite(a.first_bf + fa, b.first_bf + fb,
+                                    c.first_bf + fc, d.first_bf + fd)] =
+                      block[idx];
+                }
+        }
+}
+
+la::Matrix EriTensor::coulomb(const la::Matrix& density) const {
+  QFR_REQUIRE(density.rows() == nbf_ && density.cols() == nbf_,
+              "density shape mismatch");
+  la::Matrix j(nbf_, nbf_);
+  for (std::size_t i = 0; i < nbf_; ++i)
+    for (std::size_t jj = 0; jj <= i; ++jj) {
+      double acc = 0.0;
+      for (std::size_t k = 0; k < nbf_; ++k)
+        for (std::size_t l = 0; l < nbf_; ++l)
+          acc += density(k, l) * (*this)(i, jj, k, l);
+      j(i, jj) = j(jj, i) = acc;
+    }
+  return j;
+}
+
+la::Matrix EriTensor::exchange(const la::Matrix& density) const {
+  QFR_REQUIRE(density.rows() == nbf_ && density.cols() == nbf_,
+              "density shape mismatch");
+  la::Matrix k(nbf_, nbf_);
+  for (std::size_t i = 0; i < nbf_; ++i)
+    for (std::size_t jj = 0; jj <= i; ++jj) {
+      double acc = 0.0;
+      for (std::size_t p = 0; p < nbf_; ++p)
+        for (std::size_t q = 0; q < nbf_; ++q)
+          acc += density(p, q) * (*this)(i, p, jj, q);
+      k(i, jj) = k(jj, i) = acc;
+    }
+  return k;
+}
+
+}  // namespace qfr::ints

@@ -1,0 +1,28 @@
+#pragma once
+
+#include "qfr/la/matrix.hpp"
+#include "qfr/scf/scf.hpp"
+
+namespace qfr::ints {
+
+/// Analytic nuclear gradient of the restricted Hartree-Fock energy
+/// (3N vector, hartree/bohr), via McMurchie-Davidson derivative integrals:
+///
+///   dE/dX = P . (dT + dV) - W . dS + Gamma . d(ERI) + dV_nn
+///
+/// where W is the energy-weighted density and Gamma the two-particle
+/// density of the closed-shell determinant. Basis-function derivatives use
+/// the exact raise/lower identity
+///   d/dA_x [x_A^i e^{-a r^2}] = 2a |i+1> - i |i-1>
+/// (per primitive, so no renormalization is involved), and the
+/// nuclear-attraction operator's own center dependence enters through the
+/// Hellmann-Feynman term dR_tuv/dC_x = -R_{t+1,u,v}.
+///
+/// This is what upgrades the fragment worker from O((3N)^2) SCF solves
+/// (energy-only finite differences) to O(3N) gradient evaluations for the
+/// Hessian. Validated against central finite differences of the energy in
+/// tests/test_gradients.cpp.
+la::Vector rhf_gradient(const scf::ScfContext& ctx,
+                        const scf::ScfResult& scf_state);
+
+}  // namespace qfr::ints

@@ -1,0 +1,102 @@
+#include "qfr/integrals/hermite.hpp"
+
+#include <cmath>
+
+#include "qfr/common/error.hpp"
+#include "qfr/integrals/boys.hpp"
+
+namespace qfr::ints {
+
+Hermite1D::Hermite1D(double a, double b, double ax, double bx, int max_i,
+                     int max_j)
+    : max_j_(max_j), max_t_(max_i + max_j), p_(a + b) {
+  QFR_ASSERT(max_i >= 0 && max_j >= 0 && max_i <= kMaxAm && max_j <= kMaxAm,
+             "Hermite1D angular momentum out of range");
+  px_ = (a * ax + b * bx) / p_;
+  const double mu = a * b / p_;
+  const double xab = ax - bx;
+  const double xpa = px_ - ax;
+  const double xpb = px_ - bx;
+
+  table_.assign(static_cast<std::size_t>(max_i + 1) * (max_j + 1) *
+                    (max_t_ + 1),
+                0.0);
+  auto at = [&](int i, int j, int t) -> double& {
+    return table_[idx(i, j, t)];
+  };
+  at(0, 0, 0) = std::exp(-mu * xab * xab);
+
+  // Build up i with j = 0:
+  // E_t^{i+1,0} = 1/(2p) E_{t-1}^{i0} + X_PA E_t^{i0} + (t+1) E_{t+1}^{i0}
+  for (int i = 0; i < max_i; ++i)
+    for (int t = 0; t <= i + 1; ++t) {
+      double v = 0.0;
+      if (t - 1 >= 0 && t - 1 <= i) v += at(i, 0, t - 1) / (2.0 * p_);
+      if (t <= i) v += xpa * at(i, 0, t);
+      if (t + 1 <= i) v += (t + 1.0) * at(i, 0, t + 1);
+      at(i + 1, 0, t) = v;
+    }
+
+  // Then build up j for every i:
+  // E_t^{i,j+1} = 1/(2p) E_{t-1}^{ij} + X_PB E_t^{ij} + (t+1) E_{t+1}^{ij}
+  for (int i = 0; i <= max_i; ++i)
+    for (int j = 0; j < max_j; ++j)
+      for (int t = 0; t <= i + j + 1; ++t) {
+        double v = 0.0;
+        if (t - 1 >= 0 && t - 1 <= i + j) v += at(i, j, t - 1) / (2.0 * p_);
+        if (t <= i + j) v += xpb * at(i, j, t);
+        if (t + 1 <= i + j) v += (t + 1.0) * at(i, j, t + 1);
+        at(i, j + 1, t) = v;
+      }
+}
+
+HermiteR::HermiteR(double p, const geom::Vec3& pc, int t_max)
+    : t_max_(t_max) {
+  const double r2 = pc.norm2();
+  // Auxiliary tensors R^n_{tuv}; start from Boys values and lower n.
+  std::vector<double> fm(static_cast<std::size_t>(t_max) + 1);
+  boys(t_max, p * r2, fm);
+
+  const auto n1 = static_cast<std::size_t>(t_max + 1);
+  // aux[n][t][u][v]
+  std::vector<double> aux(n1 * n1 * n1 * n1, 0.0);
+  auto at = [&](int n, int t, int u, int v) -> double& {
+    return aux[((static_cast<std::size_t>(n) * n1 + t) * n1 + u) * n1 + v];
+  };
+
+  double pref = 1.0;
+  for (int n = 0; n <= t_max; ++n) {
+    at(n, 0, 0, 0) = pref * fm[n];
+    pref *= -2.0 * p;
+  }
+
+  // R^n_{t+1,u,v} = t R^{n+1}_{t-1,u,v} + X_PC R^{n+1}_{t,u,v} etc.
+  for (int n = t_max - 1; n >= 0; --n) {
+    const int span = t_max - n;
+    for (int t = 0; t <= span; ++t)
+      for (int u = 0; u + t <= span; ++u)
+        for (int v = 0; v + t + u <= span; ++v) {
+          if (t + u + v == 0) continue;
+          double val = 0.0;
+          if (t > 0) {
+            val = pc.x * at(n + 1, t - 1, u, v);
+            if (t > 1) val += (t - 1.0) * at(n + 1, t - 2, u, v);
+          } else if (u > 0) {
+            val = pc.y * at(n + 1, t, u - 1, v);
+            if (u > 1) val += (u - 1.0) * at(n + 1, t, u - 2, v);
+          } else {
+            val = pc.z * at(n + 1, t, u, v - 1);
+            if (v > 1) val += (v - 1.0) * at(n + 1, t, u, v - 2);
+          }
+          at(n, t, u, v) = val;
+        }
+  }
+
+  table_.assign(n1 * n1 * n1, 0.0);
+  for (int t = 0; t <= t_max; ++t)
+    for (int u = 0; u + t <= t_max; ++u)
+      for (int v = 0; v + t + u <= t_max; ++v)
+        table_[idx(t, u, v)] = at(0, t, u, v);
+}
+
+}  // namespace qfr::ints

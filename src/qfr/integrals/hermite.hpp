@@ -1,0 +1,67 @@
+#pragma once
+
+#include <array>
+#include <vector>
+
+#include "qfr/geom/vec3.hpp"
+
+namespace qfr::ints {
+
+/// Maximum angular momentum supported by the Hermite tables (p shells; the
+/// kinetic-energy relation internally needs l+2).
+inline constexpr int kMaxAm = 3;
+
+/// Hermite expansion coefficients E_t^{ij} for one Cartesian direction
+/// (McMurchie-Davidson): the product of two 1D Gaussians expands as
+/// G_i(a, x-Ax) G_j(b, x-Bx) = sum_t E_t^{ij} Lambda_t(p, x-Px).
+///
+/// Indexed as e(i, j, t); entries with t > i + j are zero.
+class Hermite1D {
+ public:
+  /// a, b: exponents; ax, bx: 1D centers.
+  Hermite1D(double a, double b, double ax, double bx, int max_i, int max_j);
+
+  double operator()(int i, int j, int t) const {
+    if (t < 0 || t > i + j) return 0.0;
+    return table_[idx(i, j, t)];
+  }
+
+  double p() const { return p_; }       ///< combined exponent a + b
+  double center() const { return px_; } ///< combined center P
+
+ private:
+  std::size_t idx(int i, int j, int t) const {
+    return (static_cast<std::size_t>(i) * (max_j_ + 1) +
+            static_cast<std::size_t>(j)) *
+               (max_t_ + 1) +
+           static_cast<std::size_t>(t);
+  }
+  int max_j_ = 0;
+  int max_t_ = 0;
+  double p_ = 0.0;
+  double px_ = 0.0;
+  std::vector<double> table_;
+};
+
+/// Hermite Coulomb repulsion tensor R_{tuv} = R^0_{tuv}(p, R_PC), built by
+/// the standard auxiliary recursion over R^n. Entries cover
+/// 0 <= t+u+v <= t_max.
+class HermiteR {
+ public:
+  HermiteR(double p, const geom::Vec3& pc, int t_max);
+
+  double operator()(int t, int u, int v) const {
+    return table_[idx(t, u, v)];
+  }
+
+ private:
+  std::size_t idx(int t, int u, int v) const {
+    const auto n = static_cast<std::size_t>(t_max_ + 1);
+    return (static_cast<std::size_t>(t) * n + static_cast<std::size_t>(u)) * n +
+           static_cast<std::size_t>(v);
+  }
+  int t_max_ = 0;
+  std::vector<double> table_;
+};
+
+}  // namespace qfr::ints

@@ -1,0 +1,190 @@
+#include "qfr/integrals/one_electron.hpp"
+
+#include <cmath>
+#include <functional>
+
+#include "qfr/common/error.hpp"
+#include "qfr/common/units.hpp"
+#include "qfr/integrals/hermite.hpp"
+
+namespace qfr::ints {
+
+namespace {
+
+using basis::BasisSet;
+using basis::CartPowers;
+using basis::Shell;
+using la::Matrix;
+
+// Runs `fn(sa, sb, pa, pb)` over all shell pairs and their primitive pairs;
+// the callback fills the target matrix block.
+template <typename F>
+void for_shell_pairs(const BasisSet& bs, const F& fn) {
+  for (std::size_t sa = 0; sa < bs.n_shells(); ++sa)
+    for (std::size_t sb = 0; sb < bs.n_shells(); ++sb)
+      fn(bs.shell(sa), bs.shell(sb));
+}
+
+double s1d(const Hermite1D& e, int i, int j) {
+  return e(i, j, 0) * std::sqrt(units::kPi / e.p());
+}
+
+}  // namespace
+
+Matrix overlap(const BasisSet& bs) {
+  Matrix s(bs.n_functions(), bs.n_functions());
+  for_shell_pairs(bs, [&](const Shell& a, const Shell& b) {
+    const auto pa_pw = basis::cartesian_powers(a.l);
+    const auto pb_pw = basis::cartesian_powers(b.l);
+    for (const auto& pa : a.prims)
+      for (const auto& pb : b.prims) {
+        const double cc = pa.coefficient * pb.coefficient;
+        const Hermite1D ex(pa.exponent, pb.exponent, a.center.x, b.center.x,
+                           a.l, b.l);
+        const Hermite1D ey(pa.exponent, pb.exponent, a.center.y, b.center.y,
+                           a.l, b.l);
+        const Hermite1D ez(pa.exponent, pb.exponent, a.center.z, b.center.z,
+                           a.l, b.l);
+        for (std::size_t fa = 0; fa < pa_pw.size(); ++fa)
+          for (std::size_t fb = 0; fb < pb_pw.size(); ++fb) {
+            const auto& qa = pa_pw[fa];
+            const auto& qb = pb_pw[fb];
+            s(a.first_bf + fa, b.first_bf + fb) +=
+                cc * s1d(ex, qa.i, qb.i) * s1d(ey, qa.j, qb.j) *
+                s1d(ez, qa.k, qb.k);
+          }
+      }
+  });
+  return s;
+}
+
+Matrix kinetic(const BasisSet& bs) {
+  Matrix t(bs.n_functions(), bs.n_functions());
+  for_shell_pairs(bs, [&](const Shell& a, const Shell& b) {
+    const auto pa_pw = basis::cartesian_powers(a.l);
+    const auto pb_pw = basis::cartesian_powers(b.l);
+    for (const auto& pa : a.prims)
+      for (const auto& pb : b.prims) {
+        const double cc = pa.coefficient * pb.coefficient;
+        const double beta = pb.exponent;
+        // E tables must reach j + 2 for the kinetic 1D relation.
+        const Hermite1D ex(pa.exponent, beta, a.center.x, b.center.x, a.l,
+                           b.l + 2);
+        const Hermite1D ey(pa.exponent, beta, a.center.y, b.center.y, a.l,
+                           b.l + 2);
+        const Hermite1D ez(pa.exponent, beta, a.center.z, b.center.z, a.l,
+                           b.l + 2);
+        auto t1d = [&](const Hermite1D& e, int i, int j) {
+          double v = -2.0 * beta * beta * s1d(e, i, j + 2) +
+                     beta * (2.0 * j + 1.0) * s1d(e, i, j);
+          if (j >= 2) v -= 0.5 * j * (j - 1.0) * s1d(e, i, j - 2);
+          return v;
+        };
+        for (std::size_t fa = 0; fa < pa_pw.size(); ++fa)
+          for (std::size_t fb = 0; fb < pb_pw.size(); ++fb) {
+            const auto& qa = pa_pw[fa];
+            const auto& qb = pb_pw[fb];
+            const double sx = s1d(ex, qa.i, qb.i);
+            const double sy = s1d(ey, qa.j, qb.j);
+            const double sz = s1d(ez, qa.k, qb.k);
+            const double val = t1d(ex, qa.i, qb.i) * sy * sz +
+                               sx * t1d(ey, qa.j, qb.j) * sz +
+                               sx * sy * t1d(ez, qa.k, qb.k);
+            t(a.first_bf + fa, b.first_bf + fb) += cc * val;
+          }
+      }
+  });
+  return t;
+}
+
+Matrix nuclear_attraction(const BasisSet& bs, const chem::Molecule& mol) {
+  Matrix v(bs.n_functions(), bs.n_functions());
+  for_shell_pairs(bs, [&](const Shell& a, const Shell& b) {
+    const auto pa_pw = basis::cartesian_powers(a.l);
+    const auto pb_pw = basis::cartesian_powers(b.l);
+    const int t_max = a.l + b.l;
+    for (const auto& pa : a.prims)
+      for (const auto& pb : b.prims) {
+        const double cc = pa.coefficient * pb.coefficient;
+        const Hermite1D ex(pa.exponent, pb.exponent, a.center.x, b.center.x,
+                           a.l, b.l);
+        const Hermite1D ey(pa.exponent, pb.exponent, a.center.y, b.center.y,
+                           a.l, b.l);
+        const Hermite1D ez(pa.exponent, pb.exponent, a.center.z, b.center.z,
+                           a.l, b.l);
+        const double p = ex.p();
+        const geom::Vec3 pcenter{ex.center(), ey.center(), ez.center()};
+        const double pref = 2.0 * units::kPi / p;
+        for (std::size_t n = 0; n < mol.size(); ++n) {
+          const auto& atom = mol.atom(n);
+          const HermiteR r(p, pcenter - atom.position, t_max);
+          const double z = chem::atomic_number(atom.element);
+          for (std::size_t fa = 0; fa < pa_pw.size(); ++fa)
+            for (std::size_t fb = 0; fb < pb_pw.size(); ++fb) {
+              const auto& qa = pa_pw[fa];
+              const auto& qb = pb_pw[fb];
+              double acc = 0.0;
+              for (int t = 0; t <= qa.i + qb.i; ++t)
+                for (int u = 0; u <= qa.j + qb.j; ++u)
+                  for (int w = 0; w <= qa.k + qb.k; ++w)
+                    acc += ex(qa.i, qb.i, t) * ey(qa.j, qb.j, u) *
+                           ez(qa.k, qb.k, w) * r(t, u, w);
+              v(a.first_bf + fa, b.first_bf + fb) -= cc * pref * z * acc;
+            }
+        }
+      }
+  });
+  return v;
+}
+
+std::array<Matrix, 3> dipole(const BasisSet& bs, const geom::Vec3& origin) {
+  std::array<Matrix, 3> d{Matrix(bs.n_functions(), bs.n_functions()),
+                          Matrix(bs.n_functions(), bs.n_functions()),
+                          Matrix(bs.n_functions(), bs.n_functions())};
+  for_shell_pairs(bs, [&](const Shell& a, const Shell& b) {
+    const auto pa_pw = basis::cartesian_powers(a.l);
+    const auto pb_pw = basis::cartesian_powers(b.l);
+    for (const auto& pa : a.prims)
+      for (const auto& pb : b.prims) {
+        const double cc = pa.coefficient * pb.coefficient;
+        const Hermite1D e[3] = {
+            Hermite1D(pa.exponent, pb.exponent, a.center.x, b.center.x, a.l,
+                      b.l),
+            Hermite1D(pa.exponent, pb.exponent, a.center.y, b.center.y, a.l,
+                      b.l),
+            Hermite1D(pa.exponent, pb.exponent, a.center.z, b.center.z, a.l,
+                      b.l)};
+        for (std::size_t fa = 0; fa < pa_pw.size(); ++fa)
+          for (std::size_t fb = 0; fb < pb_pw.size(); ++fb) {
+            const auto& qa = pa_pw[fa];
+            const auto& qb = pb_pw[fb];
+            const int ia[3] = {qa.i, qa.j, qa.k};
+            const int ib[3] = {qb.i, qb.j, qb.k};
+            double s_comp[3], m_comp[3];
+            for (int c = 0; c < 3; ++c) {
+              s_comp[c] = s1d(e[c], ia[c], ib[c]);
+              // <x> relative to the Gaussian product center P, shifted to
+              // the requested origin below.
+              m_comp[c] = (e[c](ia[c], ib[c], 1) +
+                           (e[c].center() - origin[c]) *
+                               e[c](ia[c], ib[c], 0)) *
+                          std::sqrt(units::kPi / e[c].p());
+            }
+            const std::size_t mu = a.first_bf + fa;
+            const std::size_t nu = b.first_bf + fb;
+            d[0](mu, nu) += cc * m_comp[0] * s_comp[1] * s_comp[2];
+            d[1](mu, nu) += cc * s_comp[0] * m_comp[1] * s_comp[2];
+            d[2](mu, nu) += cc * s_comp[0] * s_comp[1] * m_comp[2];
+          }
+      }
+  });
+  return d;
+}
+
+Matrix core_hamiltonian(const BasisSet& bs, const chem::Molecule& mol) {
+  Matrix h = kinetic(bs);
+  h += nuclear_attraction(bs, mol);
+  return h;
+}
+
+}  // namespace qfr::ints

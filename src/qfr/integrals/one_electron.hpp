@@ -1,0 +1,31 @@
+#pragma once
+
+#include <array>
+
+#include "qfr/basis/basis.hpp"
+#include "qfr/chem/molecule.hpp"
+#include "qfr/la/matrix.hpp"
+
+namespace qfr::ints {
+
+/// Overlap matrix S_munu = <mu|nu>.
+la::Matrix overlap(const basis::BasisSet& bs);
+
+/// Kinetic-energy matrix T_munu = <mu| -1/2 nabla^2 |nu>.
+la::Matrix kinetic(const basis::BasisSet& bs);
+
+/// Nuclear-attraction matrix V_munu = <mu| sum_A -Z_A/|r-R_A| |nu>.
+la::Matrix nuclear_attraction(const basis::BasisSet& bs,
+                              const chem::Molecule& mol);
+
+/// Electric-dipole integrals <mu| (r - origin) |nu>, one matrix per
+/// Cartesian component. These are the electric-field perturbation
+/// operators of the DFPT module.
+std::array<la::Matrix, 3> dipole(const basis::BasisSet& bs,
+                                 const geom::Vec3& origin);
+
+/// Core Hamiltonian T + V.
+la::Matrix core_hamiltonian(const basis::BasisSet& bs,
+                            const chem::Molecule& mol);
+
+}  // namespace qfr::ints

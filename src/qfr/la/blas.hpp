@@ -1,0 +1,59 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+#include "qfr/la/matrix.hpp"
+
+namespace qfr::la {
+
+/// Transposition flag for GEMM-family kernels.
+enum class Trans { kNo, kYes };
+
+/// C := alpha * op(A) * op(B) + beta * C.
+///
+/// Blocked, cache-tiled implementation; this is the library's workhorse and
+/// the kernel the paper's elastic-offloading and strength-reduction
+/// optimizations target. Dimensions are validated against C.
+void gemm(Trans ta, Trans tb, double alpha, const Matrix& a, const Matrix& b,
+          double beta, Matrix& c);
+
+/// Convenience: C = A * B.
+Matrix matmul(const Matrix& a, const Matrix& b);
+
+/// y := alpha * op(A) * x + beta * y.
+void gemv(Trans ta, double alpha, const Matrix& a, std::span<const double> x,
+          double beta, std::span<double> y);
+
+/// C := alpha * A * A^T + beta * C, C symmetric, only computed then mirrored.
+/// This is the symmetry-aware replacement for a general GEMM when the
+/// result is known symmetric (paper Sec. V-D): roughly half the multiplies.
+void syrk(double alpha, const Matrix& a, double beta, Matrix& c);
+
+/// dot product.
+double dot(std::span<const double> x, std::span<const double> y);
+
+/// Euclidean norm.
+double nrm2(std::span<const double> x);
+
+/// y += alpha * x.
+void axpy(double alpha, std::span<const double> x, std::span<double> y);
+
+/// x *= alpha.
+void scal(double alpha, std::span<double> x);
+
+/// Frobenius norm of a matrix.
+double frobenius_norm(const Matrix& a);
+
+/// Max |a_ij - b_ij| — used pervasively in tests.
+double max_abs_diff(const Matrix& a, const Matrix& b);
+
+/// trace(A * B) for symmetric-shaped products without forming the product.
+double trace_product(const Matrix& a, const Matrix& b);
+
+/// FLOP count of a gemm with the given dimensions (2*m*n*k), used by the
+/// performance accounting in the offload model and Table I bench.
+std::int64_t gemm_flops(std::size_t m, std::size_t n, std::size_t k);
+
+}  // namespace qfr::la

@@ -1,0 +1,112 @@
+#pragma once
+
+#include <cstddef>
+#include <initializer_list>
+#include <span>
+#include <vector>
+
+#include "qfr/common/error.hpp"
+
+namespace qfr::la {
+
+/// Dense row-major matrix of doubles.
+///
+/// This is the single dense container used throughout the library: basis
+/// matrices (overlap, Hamiltonian, density), grid batches of orbital values
+/// chi(r), fragment Hessian blocks, Lanczos bases. Storage is contiguous so
+/// all of it is GEMM-able by the kernels in blas.hpp.
+class Matrix {
+ public:
+  Matrix() = default;
+
+  /// rows x cols matrix, zero initialized.
+  Matrix(std::size_t rows, std::size_t cols)
+      : rows_(rows), cols_(cols), data_(rows * cols, 0.0) {}
+
+  /// Build from nested initializer lists (used heavily in tests).
+  Matrix(std::initializer_list<std::initializer_list<double>> init) {
+    rows_ = init.size();
+    cols_ = rows_ ? init.begin()->size() : 0;
+    data_.reserve(rows_ * cols_);
+    for (const auto& row : init) {
+      QFR_REQUIRE(row.size() == cols_, "ragged initializer list");
+      data_.insert(data_.end(), row.begin(), row.end());
+    }
+  }
+
+  static Matrix identity(std::size_t n) {
+    Matrix m(n, n);
+    for (std::size_t i = 0; i < n; ++i) m(i, i) = 1.0;
+    return m;
+  }
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  std::size_t size() const { return data_.size(); }
+  bool empty() const { return data_.empty(); }
+
+  double& operator()(std::size_t i, std::size_t j) {
+    return data_[i * cols_ + j];
+  }
+  double operator()(std::size_t i, std::size_t j) const {
+    return data_[i * cols_ + j];
+  }
+
+  double* data() { return data_.data(); }
+  const double* data() const { return data_.data(); }
+
+  /// Mutable view of row i.
+  std::span<double> row(std::size_t i) {
+    return {data_.data() + i * cols_, cols_};
+  }
+  std::span<const double> row(std::size_t i) const {
+    return {data_.data() + i * cols_, cols_};
+  }
+
+  void fill(double v) { data_.assign(data_.size(), v); }
+
+  /// Resize to rows x cols, zeroing all content.
+  void resize_zero(std::size_t rows, std::size_t cols) {
+    rows_ = rows;
+    cols_ = cols;
+    data_.assign(rows * cols, 0.0);
+  }
+
+  Matrix transposed() const {
+    Matrix t(cols_, rows_);
+    for (std::size_t i = 0; i < rows_; ++i)
+      for (std::size_t j = 0; j < cols_; ++j) t(j, i) = (*this)(i, j);
+    return t;
+  }
+
+  Matrix& operator+=(const Matrix& o) {
+    QFR_REQUIRE(rows_ == o.rows_ && cols_ == o.cols_, "shape mismatch");
+    for (std::size_t k = 0; k < data_.size(); ++k) data_[k] += o.data_[k];
+    return *this;
+  }
+  Matrix& operator-=(const Matrix& o) {
+    QFR_REQUIRE(rows_ == o.rows_ && cols_ == o.cols_, "shape mismatch");
+    for (std::size_t k = 0; k < data_.size(); ++k) data_[k] -= o.data_[k];
+    return *this;
+  }
+  Matrix& operator*=(double s) {
+    for (double& v : data_) v *= s;
+    return *this;
+  }
+
+  friend Matrix operator+(Matrix a, const Matrix& b) { return a += b; }
+  friend Matrix operator-(Matrix a, const Matrix& b) { return a -= b; }
+  friend Matrix operator*(Matrix a, double s) { return a *= s; }
+  friend Matrix operator*(double s, Matrix a) { return a *= s; }
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+/// Dense vector alias; free functions in blas.hpp operate on spans so both
+/// Vector and Matrix rows interoperate.
+using Vector = std::vector<double>;
+
+}  // namespace qfr::la

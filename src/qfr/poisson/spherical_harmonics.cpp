@@ -1,0 +1,62 @@
+#include "qfr/poisson/spherical_harmonics.hpp"
+
+#include <cmath>
+
+#include "qfr/common/error.hpp"
+#include "qfr/common/units.hpp"
+
+namespace qfr::poisson {
+
+void real_spherical_harmonics(const geom::Vec3& dir, int lmax,
+                              std::vector<double>& out) {
+  QFR_REQUIRE(lmax >= 0 && lmax <= 12, "lmax out of supported range");
+  out.assign(n_harmonics(lmax), 0.0);
+
+  const double r = dir.norm();
+  double ct = 1.0, st = 0.0, cp = 1.0, sp = 0.0;
+  if (r > 0.0) {
+    ct = dir.z / r;                       // cos(theta)
+    st = std::sqrt(std::max(0.0, 1.0 - ct * ct));  // sin(theta)
+    const double rxy = std::hypot(dir.x, dir.y);
+    if (rxy > 0.0) {
+      cp = dir.x / rxy;
+      sp = dir.y / rxy;
+    }
+  }
+
+  // Associated Legendre P_l^m(ct) with the Condon-Shortley phase omitted
+  // (standard for real harmonics), built by the stable recurrences.
+  std::vector<double> plm(n_harmonics(lmax), 0.0);
+  auto p = [&](int l, int m) -> double& { return plm[lm_index(l, m)]; };
+  p(0, 0) = 1.0;
+  for (int l = 1; l <= lmax; ++l) {
+    p(l, l) = (2.0 * l - 1.0) * st * p(l - 1, l - 1);
+    if (l - 1 >= 0) p(l, l - 1) = (2.0 * l - 1.0) * ct * p(l - 1, l - 1);
+    for (int m = 0; m <= l - 2; ++m)
+      p(l, m) = ((2.0 * l - 1.0) * ct * p(l - 1, m) -
+                 (l - 1.0 + m) * p(l - 2, m)) /
+                static_cast<double>(l - m);
+  }
+
+  // cos(m phi), sin(m phi) by Chebyshev recursion.
+  std::vector<double> cm(lmax + 1, 1.0), sm(lmax + 1, 0.0);
+  for (int m = 1; m <= lmax; ++m) {
+    cm[m] = cm[m - 1] * cp - sm[m - 1] * sp;
+    sm[m] = sm[m - 1] * cp + cm[m - 1] * sp;
+  }
+
+  for (int l = 0; l <= lmax; ++l) {
+    const double pref = std::sqrt((2.0 * l + 1.0) / (4.0 * units::kPi));
+    out[lm_index(l, 0)] = pref * p(l, 0);
+    double fact = 1.0;
+    for (int m = 1; m <= l; ++m) {
+      // (l-m)! / (l+m)! accumulated incrementally.
+      fact /= (l - m + 1.0) * (l + m);
+      const double norm = pref * std::sqrt(2.0 * fact);
+      out[lm_index(l, m)] = norm * p(l, m) * cm[m];
+      out[lm_index(l, -m)] = norm * p(l, m) * sm[m];
+    }
+  }
+}
+
+}  // namespace qfr::poisson

@@ -1,0 +1,26 @@
+#pragma once
+
+#include <vector>
+
+#include "qfr/geom/vec3.hpp"
+
+namespace qfr::poisson {
+
+/// Number of real spherical harmonics through order lmax: (lmax+1)^2.
+constexpr std::size_t n_harmonics(int lmax) {
+  return static_cast<std::size_t>((lmax + 1) * (lmax + 1));
+}
+
+/// Flat index of the real spherical harmonic (l, m), m in [-l, l].
+constexpr std::size_t lm_index(int l, int m) {
+  return static_cast<std::size_t>(l * l + l + m);
+}
+
+/// Evaluate all real, orthonormal spherical harmonics Y_lm(direction) for
+/// l = 0..lmax into `out` (size (lmax+1)^2), indexed by lm_index.
+/// `dir` need not be normalized (only its direction is used); the zero
+/// vector maps to the north pole by convention.
+void real_spherical_harmonics(const geom::Vec3& dir, int lmax,
+                              std::vector<double>& out);
+
+}  // namespace qfr::poisson

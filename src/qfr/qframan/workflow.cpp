@@ -1,0 +1,102 @@
+#include "qfr/qframan/workflow.hpp"
+
+#include "qfr/common/error.hpp"
+#include "qfr/common/log.hpp"
+#include "qfr/common/timer.hpp"
+#include "qfr/engine/model_engine.hpp"
+#include "qfr/engine/scf_engine.hpp"
+#include "qfr/spectra/infrared.hpp"
+
+namespace qfr::qframan {
+
+std::unique_ptr<engine::FragmentEngine> make_engine(EngineKind kind) {
+  switch (kind) {
+    case EngineKind::kModel:
+      return std::make_unique<engine::ModelEngine>();
+    case EngineKind::kScfHf: {
+      engine::ScfEngineOptions opts;
+      opts.xc = scf::XcModel::kHartreeFock;
+      return std::make_unique<engine::ScfEngine>(opts);
+    }
+    case EngineKind::kScfLda: {
+      engine::ScfEngineOptions opts;
+      opts.xc = scf::XcModel::kLda;
+      // Analytic gradients cover HF only; LDA falls back to energy FD.
+      opts.hessian_mode = engine::HessianMode::kEnergyFd;
+      return std::make_unique<engine::ScfEngine>(opts);
+    }
+  }
+  QFR_ASSERT(false, "unknown engine kind");
+  return nullptr;
+}
+
+RamanWorkflow::RamanWorkflow(WorkflowOptions options)
+    : options_(std::move(options)) {
+  QFR_REQUIRE(options_.omega_points >= 2 &&
+                  options_.omega_max_cm > options_.omega_min_cm,
+              "bad spectrum axis");
+  QFR_REQUIRE(options_.lanczos_steps >= 2, "need at least 2 Lanczos steps");
+}
+
+WorkflowResult RamanWorkflow::run(const frag::BioSystem& system) const {
+  QFR_REQUIRE(system.n_atoms() > 0, "empty biosystem");
+  WorkflowResult out;
+
+  // 1. Fragmentation (the master's decomposition step).
+  frag::Fragmentation fr =
+      frag::fragment_biosystem(system, options_.fragmentation);
+  out.fragmentation_stats = fr.stats;
+  QFR_LOG_INFO("fragmented system: ", fr.stats.total_fragments,
+               " fragments over ", system.n_atoms(), " atoms");
+
+  // 2. Per-fragment quantum sweep through the hierarchical runtime.
+  const std::unique_ptr<engine::FragmentEngine> eng =
+      make_engine(options_.engine);
+  runtime::RuntimeOptions ropts;
+  ropts.n_leaders = options_.n_leaders;
+  ropts.workers_per_leader = options_.workers_per_leader;
+  runtime::MasterRuntime rt(std::move(ropts));
+  WallTimer engine_timer;
+  const runtime::RunReport report = rt.run(fr.fragments, *eng);
+  out.engine_seconds = engine_timer.seconds();
+  out.n_tasks = report.n_tasks;
+
+  // 3. Eq. (1) assembly into global properties.
+  out.properties = frag::assemble_global_properties(
+      system, fr.fragments, report.results, options_.assembly);
+
+  // 4. Spectral solve.
+  const std::size_t dim = out.properties.hessian_mw.rows();
+  SolverKind solver = options_.solver;
+  if (solver == SolverKind::kAuto)
+    solver = (dim <= 600) ? SolverKind::kExact : SolverKind::kLanczosGagq;
+
+  const la::Vector axis = spectra::wavenumber_axis(
+      options_.omega_min_cm, options_.omega_max_cm, options_.omega_points);
+  WallTimer solver_timer;
+  if (solver == SolverKind::kExact) {
+    const la::Matrix dense = out.properties.hessian_mw.to_dense();
+    out.spectrum = spectra::raman_spectrum_exact(
+        dense, out.properties.dalpha_mw, axis, options_.sigma_cm);
+    if (options_.compute_ir)
+      out.ir_spectrum = spectra::ir_spectrum_exact(
+          dense, out.properties.dmu_mw, axis, options_.sigma_cm);
+    out.used_lanczos = false;
+  } else {
+    spectra::LanczosOptions lopts;
+    lopts.steps = options_.lanczos_steps;
+    const bool gagq = solver == SolverKind::kLanczosGagq;
+    out.spectrum = spectra::raman_spectrum_lanczos(
+        out.properties.hessian_mw, out.properties.dalpha_mw, axis,
+        options_.sigma_cm, lopts, gagq);
+    if (options_.compute_ir)
+      out.ir_spectrum = spectra::ir_spectrum_lanczos(
+          out.properties.hessian_mw, out.properties.dmu_mw, axis,
+          options_.sigma_cm, lopts, gagq);
+    out.used_lanczos = true;
+  }
+  out.solver_seconds = solver_timer.seconds();
+  return out;
+}
+
+}  // namespace qfr::qframan

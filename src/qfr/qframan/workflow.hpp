@@ -1,0 +1,80 @@
+#pragma once
+
+#include <memory>
+
+#include "qfr/engine/fragment_engine.hpp"
+#include "qfr/frag/assembly.hpp"
+#include "qfr/frag/fragmentation.hpp"
+#include "qfr/runtime/master_runtime.hpp"
+#include "qfr/spectra/raman.hpp"
+
+namespace qfr::qframan {
+
+/// Which per-fragment engine drives the sweep.
+enum class EngineKind {
+  kModel,   ///< classical polarizable surrogate (any size)
+  kScfHf,   ///< ab initio RHF + CPHF (small fragments)
+  kScfLda,  ///< ab initio LDA + DFPT through the grid kernels
+};
+
+/// Which spectral solver turns the global Hessian into a spectrum.
+enum class SolverKind {
+  kAuto,        ///< exact below 3N = 600, Lanczos+GAGQ above
+  kExact,       ///< dense diagonalization (the conventional baseline)
+  kLanczosGagq, ///< matrix-free Lanczos + averaged Gauss quadrature
+  kLanczos,     ///< plain Lanczos (GAGQ ablation)
+};
+
+/// End-to-end configuration of a QF-RAMAN run.
+struct WorkflowOptions {
+  frag::FragmentationOptions fragmentation;
+  EngineKind engine = EngineKind::kModel;
+  /// Leaders of the in-process hierarchy (threads).
+  std::size_t n_leaders = 2;
+  std::size_t workers_per_leader = 1;
+  /// Spectrum axis (cm^-1) and Gaussian smearing; the paper uses
+  /// sigma = 5 cm^-1 for the gas-phase protein and 20 cm^-1 solvated.
+  double omega_min_cm = 0.0;
+  double omega_max_cm = 4000.0;
+  std::size_t omega_points = 2000;
+  double sigma_cm = 5.0;
+  SolverKind solver = SolverKind::kAuto;
+  int lanczos_steps = 150;
+  frag::AssemblyOptions assembly;
+  /// Also compute the infrared spectrum (the engines already provide the
+  /// atomic polar tensor, so this costs three extra matrix functionals).
+  bool compute_ir = false;
+};
+
+/// Everything a run produces.
+struct WorkflowResult {
+  frag::FragmentationStats fragmentation_stats;
+  spectra::RamanSpectrum spectrum;
+  spectra::RamanSpectrum ir_spectrum;  ///< filled when compute_ir is set
+  frag::GlobalProperties properties;
+  double engine_seconds = 0.0;   ///< fragment sweep wall time
+  double solver_seconds = 0.0;   ///< spectral solve wall time
+  std::size_t n_tasks = 0;
+  bool used_lanczos = false;
+};
+
+/// The QF-RAMAN pipeline: fragmentation -> parallel per-fragment DFT/DFPT
+/// -> Eq. (1) assembly -> matrix-function Raman solver. This is the
+/// library's main entry point; see examples/quickstart.cpp.
+class RamanWorkflow {
+ public:
+  explicit RamanWorkflow(WorkflowOptions options = {});
+
+  WorkflowResult run(const frag::BioSystem& system) const;
+
+  const WorkflowOptions& options() const { return options_; }
+
+ private:
+  WorkflowOptions options_;
+};
+
+/// Factory for the engine selected by `kind` (shared by the workflow and
+/// the benches).
+std::unique_ptr<engine::FragmentEngine> make_engine(EngineKind kind);
+
+}  // namespace qfr::qframan

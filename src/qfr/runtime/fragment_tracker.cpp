@@ -1,0 +1,68 @@
+#include "qfr/runtime/fragment_tracker.hpp"
+
+#include "qfr/common/error.hpp"
+
+namespace qfr::runtime {
+
+FragmentTracker::FragmentTracker(std::size_t n_fragments,
+                                 double timeout_seconds)
+    : entries_(n_fragments), n_(n_fragments), timeout_(timeout_seconds) {
+  QFR_REQUIRE(timeout_seconds > 0.0, "straggler timeout must be positive");
+}
+
+void FragmentTracker::mark_processing(std::size_t fragment, double now) {
+  QFR_REQUIRE(fragment < n_, "fragment id out of range");
+  std::lock_guard<std::mutex> lock(mutex_);
+  Entry& e = entries_[fragment];
+  if (e.state == FragmentState::kCompleted) return;  // late duplicate pickup
+  e.state = FragmentState::kProcessing;
+  e.started_at = now;
+}
+
+bool FragmentTracker::mark_completed(std::size_t fragment) {
+  QFR_REQUIRE(fragment < n_, "fragment id out of range");
+  std::lock_guard<std::mutex> lock(mutex_);
+  Entry& e = entries_[fragment];
+  if (e.state == FragmentState::kCompleted) return false;
+  e.state = FragmentState::kCompleted;
+  ++completed_;
+  return true;
+}
+
+std::vector<std::size_t> FragmentTracker::requeue_stragglers(double now) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::size_t> out;
+  for (std::size_t i = 0; i < n_; ++i) {
+    Entry& e = entries_[i];
+    if (e.state == FragmentState::kProcessing &&
+        now - e.started_at > timeout_) {
+      e.state = FragmentState::kUnprocessed;
+      out.push_back(i);
+      ++requeued_;
+    }
+  }
+  return out;
+}
+
+FragmentState FragmentTracker::state(std::size_t fragment) const {
+  QFR_REQUIRE(fragment < n_, "fragment id out of range");
+  std::lock_guard<std::mutex> lock(mutex_);
+  return entries_[fragment].state;
+}
+
+std::size_t FragmentTracker::n_completed() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return completed_;
+}
+
+bool FragmentTracker::all_completed() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return completed_ == n_;
+}
+
+std::size_t FragmentTracker::n_requeued() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return requeued_;
+}
+
+}  // namespace qfr::runtime

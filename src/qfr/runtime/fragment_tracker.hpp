@@ -1,0 +1,57 @@
+#pragma once
+
+#include <cstddef>
+#include <mutex>
+#include <vector>
+
+namespace qfr::runtime {
+
+/// Lifecycle of one fragment in the master's bookkeeping.
+enum class FragmentState { kUnprocessed, kProcessing, kCompleted };
+
+/// The master's fragment status table (paper Fig. 4(a)): fragments move
+/// unprocessed -> processing -> completed; fragments stuck in
+/// "processing" beyond a timeout are marked unprocessed again and
+/// re-dispatched (the straggler/fault-recovery path of the paper's load
+/// balancer). Thread safe: leaders report from their own threads.
+class FragmentTracker {
+ public:
+  explicit FragmentTracker(std::size_t n_fragments, double timeout_seconds);
+
+  std::size_t size() const { return n_; }
+
+  /// A leader picked the fragment up at time `now` (seconds, any clock).
+  void mark_processing(std::size_t fragment, double now);
+
+  /// A leader delivered the fragment's result. Returns false when the
+  /// completion is stale (the fragment was already completed by another
+  /// leader after a re-queue) — the caller must then discard the result
+  /// so it is not double-counted.
+  bool mark_completed(std::size_t fragment);
+
+  /// Scan for stragglers: every fragment processing longer than the
+  /// timeout is flipped back to unprocessed; their ids are returned for
+  /// re-dispatch.
+  std::vector<std::size_t> requeue_stragglers(double now);
+
+  FragmentState state(std::size_t fragment) const;
+  std::size_t n_completed() const;
+  bool all_completed() const;
+  /// Number of re-queue events so far (diagnostics).
+  std::size_t n_requeued() const;
+
+ private:
+  struct Entry {
+    FragmentState state = FragmentState::kUnprocessed;
+    double started_at = 0.0;
+  };
+
+  mutable std::mutex mutex_;
+  std::vector<Entry> entries_;
+  std::size_t n_ = 0;
+  std::size_t completed_ = 0;
+  std::size_t requeued_ = 0;
+  double timeout_ = 0.0;
+};
+
+}  // namespace qfr::runtime

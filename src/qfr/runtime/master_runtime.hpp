@@ -1,0 +1,68 @@
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "qfr/balance/packing.hpp"
+#include "qfr/engine/fragment_engine.hpp"
+#include "qfr/frag/fragmentation.hpp"
+
+namespace qfr::runtime {
+
+/// Configuration of the in-process master/leader/worker hierarchy.
+struct RuntimeOptions {
+  std::size_t n_leaders = 2;
+  std::size_t workers_per_leader = 1;
+  /// Leaders request their next task while the current one is still being
+  /// worked on (paper Fig. 4(d)/(e)).
+  bool prefetch = true;
+  /// Policy factory selection; null -> size-sensitive default.
+  std::unique_ptr<balance::PackingPolicy> policy;
+  balance::CostModel cost_model;
+};
+
+/// Per-leader execution accounting.
+struct LeaderStats {
+  double busy_seconds = 0.0;
+  std::size_t tasks = 0;
+  std::size_t fragments = 0;
+};
+
+/// Outcome of a fragment sweep.
+struct RunReport {
+  std::vector<engine::FragmentResult> results;  ///< indexed by fragment id
+  std::vector<LeaderStats> leaders;
+  double makespan_seconds = 0.0;
+  std::size_t n_tasks = 0;
+};
+
+/// In-process realization of the paper's three-level hierarchy (Fig. 3):
+/// the caller is the master (runs the packing policy), leaders are
+/// threads pulling tasks, and each leader fans its task's fragments out to
+/// its own worker threads. On one big machine this executes real work;
+/// the cluster module replays the same scheduling logic as a discrete-
+/// event simulation for node counts we do not have.
+class MasterRuntime {
+ public:
+  /// Worker function computing one fragment. Must be thread-compatible.
+  using FragmentCompute =
+      std::function<engine::FragmentResult(const frag::Fragment&)>;
+
+  explicit MasterRuntime(RuntimeOptions options);
+
+  /// Process every fragment exactly once through `compute`; results are
+  /// returned indexed by fragment id. Throws if any fragment fails.
+  RunReport run(std::span<const frag::Fragment> fragments,
+                const FragmentCompute& compute);
+
+  /// Convenience: run with a FragmentEngine (topology-aware when the
+  /// engine is the classical model).
+  RunReport run(std::span<const frag::Fragment> fragments,
+                const engine::FragmentEngine& eng);
+
+ private:
+  RuntimeOptions options_;
+};
+
+}  // namespace qfr::runtime

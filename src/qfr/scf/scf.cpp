@@ -1,0 +1,275 @@
+#include "qfr/scf/scf.hpp"
+
+#include <cmath>
+#include <deque>
+
+#include "qfr/common/error.hpp"
+#include "qfr/common/log.hpp"
+#include "qfr/grid/molgrid.hpp"
+#include "qfr/grid/orbital_eval.hpp"
+#include "qfr/integrals/one_electron.hpp"
+#include "qfr/la/blas.hpp"
+#include "qfr/la/eig.hpp"
+#include "qfr/xc/lda.hpp"
+
+namespace qfr::scf {
+
+namespace {
+
+using la::Matrix;
+using la::Vector;
+
+// Nuclear charge center: origin for dipole integrals, which makes
+// polarizabilities origin-consistent for neutral fragments.
+geom::Vec3 charge_center(const chem::Molecule& mol) {
+  geom::Vec3 c;
+  double q = 0.0;
+  for (const auto& a : mol.atoms()) {
+    const double z = chem::atomic_number(a.element);
+    c += a.position * z;
+    q += z;
+  }
+  return c / q;
+}
+
+// DIIS extrapolation state.
+class Diis {
+ public:
+  explicit Diis(int depth) : depth_(depth) {}
+
+  void push(const Matrix& fock, const Matrix& error) {
+    focks_.push_back(fock);
+    errors_.push_back(error);
+    if (static_cast<int>(focks_.size()) > depth_) {
+      focks_.pop_front();
+      errors_.pop_front();
+    }
+  }
+
+  // Solve the Pulay equations; returns the extrapolated Fock matrix.
+  Matrix extrapolate() const {
+    const std::size_t m = focks_.size();
+    QFR_ASSERT(m > 0, "DIIS extrapolate with empty history");
+    if (m == 1) return focks_[0];
+    Matrix b(m + 1, m + 1);
+    Vector rhs(m + 1, 0.0);
+    for (std::size_t i = 0; i < m; ++i) {
+      for (std::size_t j = 0; j <= i; ++j) {
+        const double v = la::dot({errors_[i].data(), errors_[i].size()},
+                                 {errors_[j].data(), errors_[j].size()});
+        b(i, j) = b(j, i) = v;
+      }
+      b(i, m) = b(m, i) = -1.0;
+    }
+    b(m, m) = 0.0;
+    rhs[m] = -1.0;
+    Vector coef;
+    try {
+      coef = la::lu_solve(b, rhs);
+    } catch (const NumericalError&) {
+      return focks_.back();  // singular B: fall back to the latest Fock
+    }
+    Matrix f(focks_[0].rows(), focks_[0].cols());
+    for (std::size_t i = 0; i < m; ++i) {
+      Matrix term = focks_[i];
+      term *= coef[i];
+      f += term;
+    }
+    return f;
+  }
+
+ private:
+  int depth_;
+  std::deque<Matrix> focks_;
+  std::deque<Matrix> errors_;
+};
+
+}  // namespace
+
+ScfContext ScfContext::build(const chem::Molecule& mol, BasisKind basis) {
+  QFR_REQUIRE(!mol.empty(), "cannot run SCF on an empty molecule");
+  basis::BasisSet bs = (basis == BasisKind::kB631g)
+                           ? basis::BasisSet::b631g(mol)
+                           : basis::BasisSet::sto3g(mol);
+  return ScfContext{mol,
+                    bs,
+                    ints::overlap(bs),
+                    ints::core_hamiltonian(bs, mol),
+                    ints::EriTensor(bs),
+                    ints::dipole(bs, charge_center(mol))};
+}
+
+geom::Vec3 dipole_moment(const ScfContext& ctx, const Matrix& density) {
+  geom::Vec3 mu;
+  double q_total = 0.0;
+  geom::Vec3 charge_ctr;
+  for (const auto& a : ctx.mol.atoms()) {
+    const double z = chem::atomic_number(a.element);
+    mu += a.position * z;
+    charge_ctr += a.position * z;
+    q_total += z;
+  }
+  charge_ctr = charge_ctr / q_total;
+  const double n_el = la::trace_product(density, ctx.s);
+  for (int c = 0; c < 3; ++c)
+    mu[c] -= la::trace_product(density, ctx.dip[c]) + charge_ctr[c] * n_el;
+  return mu;
+}
+
+ScfSolver::ScfSolver(std::shared_ptr<const ScfContext> ctx, ScfOptions options)
+    : ctx_(std::move(ctx)), options_(options) {
+  QFR_REQUIRE(ctx_ != nullptr, "null SCF context");
+  QFR_REQUIRE(ctx_->mol.electron_count() % 2 == 0,
+              "restricted SCF requires an even electron count, got "
+                  << ctx_->mol.electron_count());
+  if (options_.xc == XcModel::kLda)
+    grid_ = std::make_shared<grid::MolGrid>(ctx_->mol,
+                                            options_.grid_radial_points);
+}
+
+ScfResult ScfSolver::solve(const Matrix* initial_density) const {
+  const auto& ctx = *ctx_;
+  const std::size_t n = ctx.bs.n_functions();
+  const int n_occ = ctx.mol.electron_count() / 2;
+  QFR_REQUIRE(static_cast<std::size_t>(n_occ) <= n,
+              "basis too small for electron count");
+
+  // Grid workspace for the LDA path (basis values reused every iteration).
+  std::unique_ptr<grid::BasisBatch> batch;
+  if (options_.xc == XcModel::kLda) {
+    batch = std::make_unique<grid::BasisBatch>(
+        grid::evaluate_basis(ctx.bs, grid_->points(), /*with_gradient=*/false));
+  }
+
+  // Effective one-electron Hamiltonian including any external field:
+  // an electron (charge -1) in field F has energy +F.r, so +F.D is added.
+  Matrix hcore_eff = ctx.hcore;
+  {
+    const geom::Vec3& field = options_.external_field;
+    for (int c = 0; c < 3; ++c) {
+      if (field[c] == 0.0) continue;
+      Matrix term = ctx.dip[c];
+      term *= field[c];
+      hcore_eff += term;
+    }
+  }
+
+  auto build_fock = [&](const Matrix& p, double* e_two, double* e_xc) {
+    Matrix f = hcore_eff;
+    const Matrix j = ctx.eri.coulomb(p);
+    if (options_.xc == XcModel::kHartreeFock) {
+      const Matrix k = ctx.eri.exchange(p);
+      // F = H + J - K/2 for the spin-summed density convention.
+      for (std::size_t a = 0; a < n; ++a)
+        for (std::size_t b = 0; b < n; ++b)
+          f(a, b) += j(a, b) - 0.5 * k(a, b);
+      if (e_two != nullptr)
+        *e_two = 0.5 * la::trace_product(p, j) -
+                 0.25 * la::trace_product(p, k);
+      if (e_xc != nullptr) *e_xc = 0.0;
+    } else {
+      f += j;
+      const Vector rho = grid::density_on_batch(*batch, p);
+      Vector e_pt(rho.size()), v_pt(rho.size());
+      xc::lda_exchange_batch(rho, e_pt, v_pt, {});
+      Matrix vxc(n, n);
+      grid::accumulate_potential_matrix(*batch, grid_->points(), v_pt, vxc);
+      f += vxc;
+      if (e_two != nullptr) *e_two = 0.5 * la::trace_product(p, j);
+      if (e_xc != nullptr) {
+        double acc = 0.0;
+        const auto pts = grid_->points();
+        for (std::size_t i = 0; i < rho.size(); ++i)
+          acc += pts[i].weight * e_pt[i];
+        *e_xc = acc;
+      }
+    }
+    return f;
+  };
+
+  // Initial density: caller-provided warm start or the core guess.
+  Matrix p(n, n);
+  if (initial_density != nullptr) {
+    QFR_REQUIRE(initial_density->rows() == n && initial_density->cols() == n,
+                "initial density shape mismatch");
+    p = *initial_density;
+  } else {
+    const la::EigResult guess = la::eigh_generalized(ctx.hcore, ctx.s);
+    for (std::size_t a = 0; a < n; ++a)
+      for (std::size_t b = 0; b < n; ++b) {
+        double acc = 0.0;
+        for (int o = 0; o < n_occ; ++o)
+          acc += guess.vectors(a, o) * guess.vectors(b, o);
+        p(a, b) = 2.0 * acc;
+      }
+  }
+
+  Diis diis(options_.diis_depth);
+  double e_prev = 0.0;
+  ScfResult res;
+  res.energy_nuclear = ctx.mol.nuclear_repulsion();
+  res.n_occupied = n_occ;
+
+  for (int iter = 1; iter <= options_.max_iterations; ++iter) {
+    double e_two = 0.0, e_xc = 0.0;
+    Matrix f = build_fock(p, &e_two, &e_xc);
+
+    // DIIS error FPS - SPF.
+    Matrix fps(n, n), spf(n, n), tmp(n, n);
+    la::gemm(la::Trans::kNo, la::Trans::kNo, 1.0, f, p, 0.0, tmp);
+    la::gemm(la::Trans::kNo, la::Trans::kNo, 1.0, tmp, ctx.s, 0.0, fps);
+    la::gemm(la::Trans::kNo, la::Trans::kNo, 1.0, ctx.s, p, 0.0, tmp);
+    la::gemm(la::Trans::kNo, la::Trans::kNo, 1.0, tmp, f, 0.0, spf);
+    Matrix err = fps;
+    err -= spf;
+    const double err_norm = la::max_abs_diff(err, Matrix(n, n));
+
+    diis.push(f, err);
+    const Matrix f_use = diis.extrapolate();
+
+    const la::EigResult roothaan = la::eigh_generalized(f_use, ctx.s);
+    Matrix p_new(n, n);
+    for (std::size_t a = 0; a < n; ++a)
+      for (std::size_t b = 0; b < n; ++b) {
+        double acc = 0.0;
+        for (int o = 0; o < n_occ; ++o)
+          acc += roothaan.vectors(a, o) * roothaan.vectors(b, o);
+        p_new(a, b) = 2.0 * acc;
+      }
+
+    const double e_one = la::trace_product(p, hcore_eff);
+    const double e_total = res.energy_nuclear + e_one + e_two + e_xc;
+
+    const bool converged = iter > 1 &&
+                           std::fabs(e_total - e_prev) <
+                               options_.energy_tolerance &&
+                           err_norm < options_.commutator_tolerance;
+    p = std::move(p_new);
+    e_prev = e_total;
+
+    if (converged) {
+      // Return eigenpairs of the raw Fock of the converged density, NOT of
+      // the DIIS-extrapolated matrix: near convergence the Pulay system is
+      // almost singular, so the extrapolated Fock (and hence its MOs) is
+      // poorly determined at the 1e-4 level even when the density is
+      // converged — enough to poison CPSCF response properties.
+      const Matrix f_final = build_fock(p, nullptr, nullptr);
+      const la::EigResult final_mos = la::eigh_generalized(f_final, ctx.s);
+      res.converged = true;
+      res.iterations = iter;
+      res.energy = e_total;
+      res.energy_one = e_one;
+      res.energy_two = e_two;
+      res.energy_xc = e_xc;
+      res.density = p;
+      res.mo_coefficients = final_mos.vectors;
+      res.mo_energies = final_mos.values;
+      res.fock = f_final;
+      return res;
+    }
+  }
+  QFR_NUMERIC_FAIL("SCF failed to converge in " << options_.max_iterations
+                   << " iterations (last E = " << e_prev << ")");
+}
+
+}  // namespace qfr::scf

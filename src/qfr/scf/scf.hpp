@@ -1,0 +1,103 @@
+#pragma once
+
+#include <array>
+#include <memory>
+#include <optional>
+
+#include "qfr/basis/basis.hpp"
+#include "qfr/chem/molecule.hpp"
+#include "qfr/integrals/eri.hpp"
+#include "qfr/la/matrix.hpp"
+
+namespace qfr::grid {
+class MolGrid;  // forward: used by the LDA path
+}
+
+namespace qfr::scf {
+
+/// Electronic-structure model for the two-electron part.
+enum class XcModel {
+  kHartreeFock,  ///< exact exchange (the validation reference path)
+  kLda,          ///< local density approximation on the real-space grid
+};
+
+/// SCF convergence controls.
+struct ScfOptions {
+  XcModel xc = XcModel::kHartreeFock;
+  int max_iterations = 128;
+  double energy_tolerance = 1e-9;
+  double commutator_tolerance = 1e-6;  ///< max |FPS - SPF|
+  int diis_depth = 8;
+  /// Grid quality for the LDA path (radial points per atom).
+  int grid_radial_points = 40;
+  /// Uniform external electric field (a.u.); the finite-field reference
+  /// for validating the DFPT polarizabilities.
+  geom::Vec3 external_field{};
+};
+
+/// Which built-in basis set a context is constructed with.
+enum class BasisKind {
+  kSto3g,  ///< minimal basis (H, C, N, O, S) — the default
+  kB631g,  ///< split-valence 6-31G (H, C, N, O)
+};
+
+/// Immutable per-molecule integral workspace shared by SCF and DFPT.
+///
+/// Building it once per fragment and reusing it across the displacement
+/// loop's response solves is the single biggest cost saver; the paper's
+/// per-fragment DFPT cycle has the same structure.
+struct ScfContext {
+  chem::Molecule mol;
+  basis::BasisSet bs;
+  la::Matrix s;          ///< overlap
+  la::Matrix hcore;      ///< kinetic + nuclear attraction
+  ints::EriTensor eri;
+  std::array<la::Matrix, 3> dip;  ///< dipole integrals at charge center
+
+  static ScfContext build(const chem::Molecule& mol,
+                          BasisKind basis = BasisKind::kSto3g);
+};
+
+/// Total dipole moment (a.u.) about the coordinate origin for a given
+/// total AO density: mu = sum_A Z_A R_A - Tr[P D] - c_charge * N_el,
+/// where the stored dipole integrals are taken about the nuclear charge
+/// center. Using a fixed global origin keeps finite-difference dipole
+/// derivatives consistent across displaced geometries.
+geom::Vec3 dipole_moment(const ScfContext& ctx, const la::Matrix& density);
+
+/// Converged SCF state.
+struct ScfResult {
+  bool converged = false;
+  int iterations = 0;
+  double energy = 0.0;        ///< total energy incl. nuclear repulsion
+  double energy_nuclear = 0.0;
+  double energy_one = 0.0;    ///< Tr[P Hcore]
+  double energy_two = 0.0;    ///< Coulomb (+ exchange for HF)
+  double energy_xc = 0.0;     ///< LDA only
+  int n_occupied = 0;
+  la::Matrix density;         ///< total (spin-summed) AO density
+  la::Matrix mo_coefficients; ///< columns are MOs
+  la::Vector mo_energies;
+  la::Matrix fock;            ///< converged Fock matrix
+};
+
+/// Restricted closed-shell SCF driver with DIIS acceleration.
+class ScfSolver {
+ public:
+  ScfSolver(std::shared_ptr<const ScfContext> ctx, ScfOptions options = {});
+
+  /// Runs to convergence; throws NumericalError if max_iterations is hit.
+  /// `initial_density` (total density) seeds the iteration when provided —
+  /// used by the displacement loops to warm-start neighboring geometries.
+  ScfResult solve(const la::Matrix* initial_density = nullptr) const;
+
+  const ScfContext& context() const { return *ctx_; }
+  const ScfOptions& options() const { return options_; }
+
+ private:
+  std::shared_ptr<const ScfContext> ctx_;
+  ScfOptions options_;
+  std::shared_ptr<grid::MolGrid> grid_;  // LDA only
+};
+
+}  // namespace qfr::scf

@@ -1,0 +1,150 @@
+#include "qfr/spectra/lanczos.hpp"
+
+#include <cmath>
+
+#include "qfr/common/error.hpp"
+#include "qfr/common/units.hpp"
+#include "qfr/la/blas.hpp"
+#include "qfr/la/eig.hpp"
+
+namespace qfr::spectra {
+
+LanczosResult lanczos(const MatVec& op, std::span<const double> start,
+                      std::size_t n, const LanczosOptions& options) {
+  QFR_REQUIRE(start.size() == n, "start vector size mismatch");
+  QFR_REQUIRE(options.steps >= 1, "need at least one Lanczos step");
+
+  LanczosResult res;
+  res.start_norm = la::nrm2(start);
+  QFR_REQUIRE(res.start_norm > 0.0, "Lanczos start vector is zero");
+
+  const int k = std::min<std::size_t>(options.steps, n);
+  std::vector<la::Vector> basis;  // kept for reorthogonalization
+  basis.reserve(k);
+
+  la::Vector q(start.begin(), start.end());
+  la::scal(1.0 / res.start_norm, q);
+  basis.push_back(q);
+
+  la::Vector w(n, 0.0);
+  double beta_prev = 0.0;
+  la::Vector q_prev(n, 0.0);
+
+  for (int j = 0; j < k; ++j) {
+    op(basis.back(), w);
+    if (j > 0) la::axpy(-beta_prev, q_prev, w);
+    const double alpha = la::dot(basis.back(), w);
+    la::axpy(-alpha, basis.back(), w);
+    res.alpha.push_back(alpha);
+    res.steps = j + 1;
+
+    if (options.full_reorthogonalization) {
+      // Two passes of classical Gram-Schmidt against the whole basis.
+      for (int pass = 0; pass < 2; ++pass)
+        for (const auto& v : basis) la::axpy(-la::dot(v, w), v, w);
+    }
+
+    const double beta = la::nrm2(w);
+    if (j + 1 == k) {
+      res.final_beta = beta;
+      break;
+    }
+    if (beta < options.breakdown_tolerance) {
+      res.breakdown = true;  // invariant subspace found: measure is exact
+      break;
+    }
+    res.beta.push_back(beta);
+    q_prev = basis.back();
+    beta_prev = beta;
+    la::Vector next = w;
+    la::scal(1.0 / beta, next);
+    basis.push_back(std::move(next));
+  }
+  return res;
+}
+
+namespace {
+
+SpectralMeasure measure_from_tridiagonal(std::span<const double> diag,
+                                         std::span<const double> sub,
+                                         double start_norm) {
+  const la::EigResult eig = la::eigh_tridiagonal(diag, sub);
+  SpectralMeasure m;
+  m.nodes = eig.values;
+  m.weights.resize(eig.values.size());
+  const double scale = start_norm * start_norm;
+  for (std::size_t j = 0; j < eig.values.size(); ++j) {
+    const double c = eig.vectors(0, j);
+    m.weights[j] = scale * c * c;
+  }
+  return m;
+}
+
+}  // namespace
+
+SpectralMeasure gauss_quadrature(const LanczosResult& lanczos_result) {
+  return measure_from_tridiagonal(lanczos_result.alpha, lanczos_result.beta,
+                                  lanczos_result.start_norm);
+}
+
+SpectralMeasure averaged_gauss_quadrature(const LanczosResult& lr) {
+  const std::size_t k = lr.alpha.size();
+  if (k < 2 || lr.beta.size() + 1 < k || lr.breakdown ||
+      lr.final_beta <= 0.0) {
+    // Breakdown or single step: the plain rule is already exact.
+    return gauss_quadrature(lr);
+  }
+  // Spalevic's generalized averaged rule: with T_{l+1} available
+  // (l + 1 = k), append the reversed T'_l coupled through beta_{l+1}:
+  //   diag = (a_1, ..., a_{l+1}, a_l, ..., a_1)
+  //   sub  = (b_1, ..., b_l, b_{l+1}, b_{l-1}, ..., b_1)
+  // where b_{l+1} = final_beta. Degree of exactness >= 2l + 2 = 2k,
+  // versus 2k - 1 for the plain k-point Gauss rule.
+  const std::size_t l = k - 1;
+  la::Vector diag(2 * l + 1), sub(2 * l);
+  for (std::size_t i = 0; i <= l; ++i) diag[i] = lr.alpha[i];
+  for (std::size_t i = 0; i < l; ++i) diag[l + 1 + i] = lr.alpha[l - 1 - i];
+  for (std::size_t i = 0; i < l; ++i) sub[i] = lr.beta[i];
+  sub[l] = lr.final_beta;
+  for (std::size_t i = 1; i < l; ++i) sub[l + i] = lr.beta[l - 1 - i];
+  return measure_from_tridiagonal(diag, sub, lr.start_norm);
+}
+
+SpectralMeasure exact_measure(const la::Matrix& a,
+                              std::span<const double> d) {
+  QFR_REQUIRE(a.rows() == a.cols() && d.size() == a.rows(),
+              "exact_measure shape mismatch");
+  const la::EigResult eig = la::eigh(a);
+  SpectralMeasure m;
+  m.nodes = eig.values;
+  m.weights.resize(eig.values.size());
+  for (std::size_t j = 0; j < eig.values.size(); ++j) {
+    double c = 0.0;
+    for (std::size_t i = 0; i < d.size(); ++i) c += d[i] * eig.vectors(i, j);
+    m.weights[j] = c * c;
+  }
+  return m;
+}
+
+la::Vector broaden_to_wavenumbers(const SpectralMeasure& measure,
+                                  std::span<const double> omega_cm,
+                                  double sigma_cm) {
+  QFR_REQUIRE(sigma_cm > 0.0, "smearing width must be positive");
+  la::Vector out(omega_cm.size(), 0.0);
+  const double norm = 1.0 / (std::sqrt(2.0 * units::kPi) * sigma_cm);
+  for (std::size_t j = 0; j < measure.nodes.size(); ++j) {
+    const double lambda = measure.nodes[j];
+    const double w_cm =
+        std::sqrt(std::max(lambda, 0.0)) * units::kAuFrequencyToCm;
+    const double weight = measure.weights[j];
+    if (weight == 0.0) continue;
+    for (std::size_t i = 0; i < omega_cm.size(); ++i) {
+      const double t = (omega_cm[i] - w_cm) / sigma_cm;
+      if (std::fabs(t) > 8.0) continue;
+      out[i] += weight * norm * std::exp(-0.5 * t * t);
+    }
+  }
+  return out;
+}
+
+}  // namespace qfr::spectra

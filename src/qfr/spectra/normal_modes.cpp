@@ -1,0 +1,106 @@
+#include "qfr/spectra/normal_modes.hpp"
+
+#include <cmath>
+
+#include "qfr/common/error.hpp"
+#include "qfr/common/units.hpp"
+#include "qfr/la/eig.hpp"
+
+namespace qfr::spectra {
+
+std::vector<NormalMode> normal_modes(const la::Matrix& h_mw,
+                                     const la::Matrix& dalpha,
+                                     const la::Matrix& dmu) {
+  const std::size_t n = h_mw.rows();
+  QFR_REQUIRE(h_mw.cols() == n, "Hessian must be square");
+  QFR_REQUIRE(dalpha.empty() || (dalpha.rows() == 6 && dalpha.cols() == n),
+              "dalpha must be 6 x 3N");
+  QFR_REQUIRE(dmu.empty() || (dmu.rows() == 3 && dmu.cols() == n),
+              "dmu must be 3 x 3N");
+
+  const la::EigResult eig = la::eigh(h_mw);
+  std::vector<NormalMode> modes(n);
+  static constexpr double kOff[6] = {1, 1, 1, 2, 2, 2};
+  for (std::size_t p = 0; p < n; ++p) {
+    NormalMode& m = modes[p];
+    const double lambda = eig.values[p];
+    const double w = std::sqrt(std::fabs(lambda)) * units::kAuFrequencyToCm;
+    m.frequency_cm = lambda >= 0.0 ? w : -w;
+    m.displacement.resize(n);
+    for (std::size_t i = 0; i < n; ++i) m.displacement[i] = eig.vectors(i, p);
+
+    if (!dalpha.empty()) {
+      double comp[6];
+      for (int c = 0; c < 6; ++c) {
+        double acc = 0.0;
+        for (std::size_t i = 0; i < n; ++i)
+          acc += eig.vectors(i, p) * dalpha(c, i);
+        comp[c] = acc;
+      }
+      const double tr = comp[0] + comp[1] + comp[2];
+      double tensor = 0.0;
+      for (int c = 0; c < 6; ++c) tensor += kOff[c] * comp[c] * comp[c];
+      m.raman_activity = 1.5 * tr * tr + 10.5 * tensor;
+      // Standard invariants: a' = tr/3, gamma'^2 from the anisotropy.
+      const double a_mean = tr / 3.0;
+      const double gamma2 =
+          0.5 * ((comp[0] - comp[1]) * (comp[0] - comp[1]) +
+                 (comp[1] - comp[2]) * (comp[1] - comp[2]) +
+                 (comp[2] - comp[0]) * (comp[2] - comp[0])) +
+          3.0 * (comp[3] * comp[3] + comp[4] * comp[4] + comp[5] * comp[5]);
+      const double denom = 45.0 * a_mean * a_mean + 4.0 * gamma2;
+      m.depolarization = denom > 1e-30 ? 3.0 * gamma2 / denom : 0.0;
+    }
+    if (!dmu.empty()) {
+      double acc = 0.0;
+      for (int c = 0; c < 3; ++c) {
+        double d = 0.0;
+        for (std::size_t i = 0; i < n; ++i)
+          d += eig.vectors(i, p) * dmu(c, i);
+        acc += d * d;
+      }
+      m.ir_intensity = acc;
+    }
+  }
+  return modes;
+}
+
+ModeSummary summarize_modes(const std::vector<NormalMode>& modes,
+                            double rigid_threshold_cm) {
+  ModeSummary s;
+  for (const auto& m : modes) {
+    if (m.frequency_cm < -rigid_threshold_cm) {
+      ++s.n_imaginary;
+    } else if (std::fabs(m.frequency_cm) <= rigid_threshold_cm) {
+      ++s.n_rigid_body;
+    } else {
+      ++s.n_vibrational;
+    }
+  }
+  return s;
+}
+
+Thermochemistry harmonic_thermochemistry(const std::vector<NormalMode>& modes,
+                                         double kelvin,
+                                         double rigid_threshold_cm) {
+  QFR_REQUIRE(kelvin > 0.0, "temperature must be positive");
+  Thermochemistry t;
+  const double kT = units::kBoltzmannAu * kelvin;
+  for (const auto& m : modes) {
+    if (m.frequency_cm <= rigid_threshold_cm) continue;  // skip non-vib
+    const double w_au = m.frequency_cm / units::kAuFrequencyToCm;  // hartree
+    const double zpe = 0.5 * w_au;
+    t.zero_point_energy += zpe;
+    const double x = w_au / kT;
+    const double ex = std::exp(-x);
+    // Harmonic oscillator: E = zpe + w/(e^x - 1); S and Cv standard forms.
+    t.vibrational_energy += zpe + w_au * ex / (1.0 - ex);
+    t.entropy +=
+        units::kBoltzmannAu * (x * ex / (1.0 - ex) - std::log(1.0 - ex));
+    const double sh = x / (2.0 * std::sinh(0.5 * x));
+    t.heat_capacity += units::kBoltzmannAu * sh * sh;
+  }
+  return t;
+}
+
+}  // namespace qfr::spectra

@@ -1,0 +1,55 @@
+#pragma once
+
+#include <vector>
+
+#include "qfr/la/matrix.hpp"
+
+namespace qfr::spectra {
+
+/// One harmonic normal mode with its spectroscopic activities.
+struct NormalMode {
+  double frequency_cm = 0.0;   ///< negative = imaginary frequency
+  double raman_activity = 0.0; ///< Eq. (4) combination (a.u.)
+  double ir_intensity = 0.0;   ///< |d mu / dQ|^2 (a.u.)
+  /// Raman depolarization ratio rho = 3 gamma'^2 / (45 a'^2 + 4 gamma'^2):
+  /// 0 for totally symmetric modes, 3/4 for depolarized ones.
+  double depolarization = 0.0;
+  la::Vector displacement;     ///< mass-weighted eigenvector (3N)
+};
+
+/// Classification counts used by the analysis report.
+struct ModeSummary {
+  int n_imaginary = 0;   ///< frequency < -threshold
+  int n_rigid_body = 0;  ///< |frequency| <= threshold (trans/rot)
+  int n_vibrational = 0;
+};
+
+/// Full normal-mode analysis from the dense mass-weighted Hessian plus
+/// optional property derivatives (pass empty matrices to skip):
+/// `dalpha` 6 x 3N (xx, yy, zz, xy, xz, yz), `dmu` 3 x 3N, both over
+/// mass-weighted coordinates. Intended for small systems and tests — the
+/// large-system path goes through the Lanczos solver instead.
+std::vector<NormalMode> normal_modes(const la::Matrix& h_mw,
+                                     const la::Matrix& dalpha,
+                                     const la::Matrix& dmu);
+
+/// Classify modes by a rigid-body threshold (cm^-1).
+ModeSummary summarize_modes(const std::vector<NormalMode>& modes,
+                            double rigid_threshold_cm = 15.0);
+
+/// Harmonic thermochemistry from a mode list (rigid-body and imaginary
+/// modes are excluded automatically).
+struct Thermochemistry {
+  double zero_point_energy = 0.0;  ///< hartree
+  double vibrational_energy = 0.0; ///< hartree, incl. ZPE, at temperature T
+  double entropy = 0.0;            ///< hartree / K
+  double heat_capacity = 0.0;      ///< hartree / K (Cv, vibrational)
+};
+
+/// Evaluate the harmonic-oscillator partition function quantities at
+/// temperature `kelvin`.
+Thermochemistry harmonic_thermochemistry(const std::vector<NormalMode>& modes,
+                                         double kelvin,
+                                         double rigid_threshold_cm = 15.0);
+
+}  // namespace qfr::spectra

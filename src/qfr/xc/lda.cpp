@@ -1,0 +1,39 @@
+#include "qfr/xc/lda.hpp"
+
+#include <cmath>
+
+#include "qfr/common/error.hpp"
+#include "qfr/common/units.hpp"
+
+namespace qfr::xc {
+
+namespace {
+// C_x = (3/4) (3/pi)^(1/3); e_x = -C_x rho^(4/3).
+const double kCx = 0.75 * std::cbrt(3.0 / units::kPi);
+constexpr double kRhoFloor = 1e-12;
+}  // namespace
+
+LdaPoint lda_exchange(double rho) {
+  LdaPoint out;
+  if (rho < kRhoFloor) return out;
+  const double r13 = std::cbrt(rho);
+  out.e = -kCx * rho * r13;                       // -Cx rho^{4/3}
+  out.v = -(4.0 / 3.0) * kCx * r13;               // d e / d rho
+  out.f = -(4.0 / 9.0) * kCx / (r13 * r13);       // d^2 e / d rho^2
+  return out;
+}
+
+void lda_exchange_batch(std::span<const double> rho, std::span<double> e,
+                        std::span<double> v, std::span<double> f) {
+  QFR_REQUIRE(e.empty() || e.size() == rho.size(), "e size mismatch");
+  QFR_REQUIRE(v.empty() || v.size() == rho.size(), "v size mismatch");
+  QFR_REQUIRE(f.empty() || f.size() == rho.size(), "f size mismatch");
+  for (std::size_t i = 0; i < rho.size(); ++i) {
+    const LdaPoint p = lda_exchange(rho[i]);
+    if (!e.empty()) e[i] = p.e;
+    if (!v.empty()) v[i] = p.v;
+    if (!f.empty()) f[i] = p.f;
+  }
+}
+
+}  // namespace qfr::xc

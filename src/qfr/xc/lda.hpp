@@ -1,0 +1,28 @@
+#pragma once
+
+#include <span>
+
+namespace qfr::xc {
+
+/// Pointwise LDA exchange (Dirac/Slater) quantities.
+///
+/// The reproduction uses exchange-only LDA ("LDA-X") as its density
+/// functional: the correlation part of a production functional changes
+/// absolute energies but none of the computational structure this paper is
+/// about (grid kernels, response solves). All three derivative orders are
+/// provided because the DFPT response Hamiltonian needs the kernel
+/// f_xc = d v_xc / d rho.
+struct LdaPoint {
+  double e = 0.0;    ///< energy density per volume, e_x(rho)
+  double v = 0.0;    ///< potential v_x = d e_x / d rho
+  double f = 0.0;    ///< kernel f_x = d^2 e_x / d rho^2
+};
+
+/// Evaluate at one density value (rho >= 0; tiny densities are screened).
+LdaPoint lda_exchange(double rho);
+
+/// Vectorized evaluation: fills e/v/f arrays (any may be empty to skip).
+void lda_exchange_batch(std::span<const double> rho, std::span<double> e,
+                        std::span<double> v, std::span<double> f);
+
+}  // namespace qfr::xc

@@ -1,0 +1,196 @@
+#include "qfr/xdev/device_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "qfr/common/error.hpp"
+
+namespace qfr::xdev {
+
+namespace {
+
+// Geometric-mean dimension of a GEMM: the saturation variable of the
+// efficiency curves.
+double mean_dim(const GemmShape& s) {
+  return std::cbrt(static_cast<double>(s.m) * static_cast<double>(s.n) *
+                   static_cast<double>(s.k));
+}
+
+}  // namespace
+
+double DeviceProfile::efficiency(const GemmShape& s,
+                                 std::size_t batch_size) const {
+  double d = mean_dim(s);
+  if (batch_size > 1) {
+    d *= std::cbrt(
+        std::min(static_cast<double>(batch_size), batch_boost_cap));
+  }
+  return max_efficiency * d / (d + half_sat_size);
+}
+
+double DeviceProfile::kernel_seconds(const GemmShape& s,
+                                     std::size_t batch_size) const {
+  return static_cast<double>(s.flops()) /
+         (peak_flops * efficiency(s, batch_size));
+}
+
+double DeviceProfile::host_seconds(const GemmShape& s) const {
+  // The host also runs faster on bigger matrices, with a much smaller
+  // saturation scale (cache-resident micro-kernels).
+  const double d = mean_dim(s);
+  const double eff = d / (d + 24.0);
+  return static_cast<double>(s.flops()) / (host_flops * eff);
+}
+
+DeviceProfile orise_gpu() {
+  DeviceProfile p;
+  p.name = "orise-gpu";
+  p.peak_flops = 6.6e12;   // Table I: 3.93 TF sustained at 53.8% mix
+  p.max_efficiency = 0.72;
+  p.half_sat_size = 55.0;
+  p.launch_overhead = 15e-6;
+  p.pcie_bandwidth = 12e9;  // PCIe 3.0 x16 effective
+  p.transfer_latency = 10e-6;
+  p.host_flops = 3.5e10;    // 8 CPU worker ranks feeding one GPU
+  return p;
+}
+
+DeviceProfile sw26010pro() {
+  DeviceProfile p;
+  p.name = "sw26010-pro";
+  p.peak_flops = 14.0e12;   // per-node FP64 peak of the SW26010-pro
+  p.max_efficiency = 0.42;  // Table I: 23-30% of peak sustained
+  p.half_sat_size = 70.0;
+  p.launch_overhead = 6e-6; // athread spawn is cheaper than a GPU launch
+  p.pcie_bandwidth = 0.0;   // accelerator shares the host address space
+  p.transfer_latency = 0.0;
+  p.host_flops = 1.6e10;    // management cores only
+  return p;
+}
+
+std::vector<GemmBatch> elastic_batch(std::span<const GemmShape> shapes,
+                                     const BatcherOptions& options) {
+  QFR_REQUIRE(options.pad_stride >= 1, "pad stride must be >= 1");
+  auto pad = [&](std::size_t v) {
+    const std::size_t s = options.pad_stride;
+    return ((v + s - 1) / s) * s;
+  };
+  std::map<std::tuple<std::size_t, std::size_t, std::size_t>, GemmBatch>
+      groups;
+  for (const auto& s : shapes) {
+    const GemmShape padded{pad(s.m), pad(s.n), pad(s.k)};
+    auto& batch = groups[{padded.m, padded.n, padded.k}];
+    batch.padded = padded;
+    batch.members.push_back(s);
+  }
+  std::vector<GemmBatch> out;
+  out.reserve(groups.size());
+  for (auto& [key, batch] : groups) out.push_back(std::move(batch));
+  std::sort(out.begin(), out.end(), [](const GemmBatch& a, const GemmBatch& b) {
+    return a.members.size() > b.members.size();
+  });
+  return out;
+}
+
+OffloadTiming evaluate_offload(std::span<const GemmShape> shapes,
+                               const DeviceProfile& device,
+                               const BatcherOptions& options,
+                               bool aggregate_transfers) {
+  OffloadTiming t;
+  const auto batches = elastic_batch(shapes, options);
+  for (const auto& batch : batches) {
+    const std::size_t b = batch.members.size();
+
+    // Model the batched workload: one launch, members executed at the
+    // padded shape's batch-boosted efficiency, operands transferred.
+    double device_time = device.launch_overhead;
+    double transfer_time = 0.0;
+    std::int64_t batch_bytes = 0;
+    std::int64_t useful_flops = 0;
+    for (const auto& s : batch.members) {
+      device_time += device.kernel_seconds(batch.padded, b);
+      useful_flops += s.flops();
+      batch_bytes += batch.padded.bytes();
+    }
+    if (device.pcie_bandwidth > 0.0) {
+      const double latency = aggregate_transfers
+                                 ? device.transfer_latency
+                                 : device.transfer_latency *
+                                       static_cast<double>(b);
+      transfer_time = latency + static_cast<double>(batch_bytes) /
+                                    device.pcie_bandwidth;
+    }
+
+    // Elastic decision by computational strength: offload only when the
+    // modeled device round trip beats host execution (plus any explicit
+    // min-batch floor).
+    double host_time = 0.0;
+    for (const auto& s : batch.members) host_time += device.host_seconds(s);
+    const bool profitable = device_time + transfer_time < host_time;
+    const bool big_enough = b >= options.min_batch;
+    if (!profitable || !big_enough) {
+      t.host_seconds += host_time;
+      continue;
+    }
+    t.n_launches += 1;
+    t.device_seconds += device_time;
+    t.transfer_seconds += transfer_time;
+    t.offloaded_flops += useful_flops;
+  }
+  return t;
+}
+
+OffloadTiming evaluate_unbatched(std::span<const GemmShape> shapes,
+                                 const DeviceProfile& device) {
+  OffloadTiming t;
+  for (const auto& s : shapes) {
+    t.n_launches += 1;
+    t.device_seconds += device.launch_overhead + device.kernel_seconds(s);
+    t.offloaded_flops += s.flops();
+    if (device.pcie_bandwidth > 0.0)
+      t.transfer_seconds +=
+          device.transfer_latency +
+          static_cast<double>(s.bytes()) / device.pcie_bandwidth;
+  }
+  return t;
+}
+
+OffloadTiming evaluate_host_only(std::span<const GemmShape> shapes,
+                                 const DeviceProfile& device) {
+  OffloadTiming t;
+  for (const auto& s : shapes) t.host_seconds += device.host_seconds(s);
+  return t;
+}
+
+std::vector<GemmShape> dfpt_cycle_shapes(std::size_t n_atoms,
+                                         bool strength_reduced) {
+  QFR_REQUIRE(n_atoms >= 1, "empty fragment");
+  // Basis and grid sizes mirror the real engine: ~3.3 functions per atom
+  // (H contributes 1, heavy atoms 5), ~1000 grid points per atom split
+  // into 256-point batches.
+  const std::size_t nbf = std::max<std::size_t>(2, (n_atoms * 10) / 3);
+  const std::size_t points = n_atoms * 1040;
+  const std::size_t batch_pts = 256;
+  const std::size_t n_batches = (points + batch_pts - 1) / batch_pts;
+
+  std::vector<GemmShape> shapes;
+  // Response density + its gradient, per grid batch (Fig. 6(b)):
+  // naive = 1 density GEMM + 2 per gradient direction; reduced = 1 + 1.
+  const std::size_t n1_per_batch = strength_reduced ? 1 + 3 : 1 + 6;
+  // Response Hamiltonian, per grid batch (Fig. 6(a)):
+  // naive = 3 GEMMs; reduced = 1.
+  const std::size_t h1_per_batch = strength_reduced ? 1 : 3;
+  for (std::size_t b = 0; b < n_batches; ++b) {
+    for (std::size_t k = 0; k < n1_per_batch; ++k)
+      shapes.push_back({batch_pts, nbf, nbf});
+    for (std::size_t k = 0; k < h1_per_batch; ++k)
+      shapes.push_back({nbf, nbf, batch_pts});
+  }
+  // Response density-matrix update: two MO-basis transforms.
+  shapes.push_back({nbf, nbf, nbf});
+  shapes.push_back({nbf, nbf, nbf});
+  return shapes;
+}
+
+}  // namespace qfr::xdev

@@ -1,0 +1,74 @@
+#include "qfr/xdev/strength_reduction.hpp"
+
+#include "qfr/common/error.hpp"
+#include "qfr/la/blas.hpp"
+
+namespace qfr::xdev {
+
+using la::Matrix;
+using la::Trans;
+using la::Vector;
+
+Matrix h1_expression_naive(const Matrix& chi, const Matrix& gchi) {
+  QFR_REQUIRE(chi.rows() == gchi.rows() && chi.cols() == gchi.cols(),
+              "chi/gchi shape mismatch");
+  const std::size_t n = chi.cols();
+  Matrix h(n, n);
+  la::gemm(Trans::kYes, Trans::kNo, 1.0, chi, chi, 0.0, h);   // chi^T chi
+  la::gemm(Trans::kYes, Trans::kNo, 1.0, chi, gchi, 1.0, h);  // chi^T gchi
+  la::gemm(Trans::kYes, Trans::kNo, 1.0, gchi, chi, 1.0, h);  // gchi^T chi
+  return h;
+}
+
+Matrix h1_expression_reduced(const Matrix& chi, const Matrix& gchi) {
+  QFR_REQUIRE(chi.rows() == gchi.rows() && chi.cols() == gchi.cols(),
+              "chi/gchi shape mismatch");
+  const std::size_t n = chi.cols();
+  // B = chi/2 + gchi (cheap elementwise); A = chi^T B (one GEMM);
+  // H = A + A^T.
+  Matrix b = gchi;
+  for (std::size_t k = 0; k < b.size(); ++k)
+    b.data()[k] += 0.5 * chi.data()[k];
+  Matrix a(n, n);
+  la::gemm(Trans::kYes, Trans::kNo, 1.0, chi, b, 0.0, a);
+  Matrix h(n, n);
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = 0; j < n; ++j) h(i, j) = a(i, j) + a(j, i);
+  return h;
+}
+
+Vector grad_rho_naive(const Matrix& chi, const Matrix& gchi,
+                      const Matrix& p1) {
+  const std::size_t np = chi.rows();
+  const std::size_t n = chi.cols();
+  QFR_REQUIRE(p1.rows() == n && p1.cols() == n, "p1 shape mismatch");
+  Matrix t1(np, n), t2(np, n);
+  la::gemm(Trans::kNo, Trans::kNo, 1.0, chi, p1, 0.0, t1);   // chi P1
+  la::gemm(Trans::kNo, Trans::kNo, 1.0, gchi, p1, 0.0, t2);  // gchi P1
+  Vector g(np, 0.0);
+  for (std::size_t p = 0; p < np; ++p) {
+    double acc = 0.0;
+    for (std::size_t mu = 0; mu < n; ++mu)
+      acc += t1(p, mu) * gchi(p, mu) + t2(p, mu) * chi(p, mu);
+    g[p] = acc;
+  }
+  return g;
+}
+
+Vector grad_rho_reduced(const Matrix& chi, const Matrix& gchi,
+                        const Matrix& p1) {
+  const std::size_t np = chi.rows();
+  const std::size_t n = chi.cols();
+  QFR_REQUIRE(p1.rows() == n && p1.cols() == n, "p1 shape mismatch");
+  Matrix t1(np, n);
+  la::gemm(Trans::kNo, Trans::kNo, 1.0, chi, p1, 0.0, t1);  // chi P1
+  Vector g(np, 0.0);
+  for (std::size_t p = 0; p < np; ++p) {
+    double acc = 0.0;
+    for (std::size_t mu = 0; mu < n; ++mu) acc += t1(p, mu) * gchi(p, mu);
+    g[p] = 2.0 * acc;
+  }
+  return g;
+}
+
+}  // namespace qfr::xdev

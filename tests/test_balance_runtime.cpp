@@ -1,0 +1,189 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+#include <set>
+
+#include "qfr/balance/packing.hpp"
+#include "qfr/chem/molecule.hpp"
+#include "qfr/common/error.hpp"
+#include "qfr/la/blas.hpp"
+#include "qfr/engine/model_engine.hpp"
+#include "qfr/frag/fragmentation.hpp"
+#include "qfr/runtime/master_runtime.hpp"
+
+namespace qfr {
+namespace {
+
+using balance::Task;
+using balance::WorkItem;
+
+std::vector<WorkItem> mixed_items(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<WorkItem> items;
+  items.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t atoms = 9 + rng.below(60);  // 9..68 like the paper
+    balance::CostModel cm;
+    items.push_back({i, atoms, cm.evaluate(atoms)});
+  }
+  return items;
+}
+
+// Drain a policy; verify every fragment appears exactly once.
+std::vector<Task> drain(balance::PackingPolicy& policy,
+                        std::vector<WorkItem> items) {
+  const std::size_t n = items.size();
+  policy.initialize(std::move(items));
+  std::vector<Task> tasks;
+  std::set<std::size_t> seen;
+  while (!policy.drained()) {
+    Task t = policy.next_task(0);
+    if (t.empty()) break;
+    for (const auto& w : t) {
+      EXPECT_TRUE(seen.insert(w.fragment_id).second)
+          << "fragment " << w.fragment_id << " scheduled twice";
+    }
+    tasks.push_back(std::move(t));
+  }
+  EXPECT_EQ(seen.size(), n);
+  return tasks;
+}
+
+TEST(CostModel, ReproducesPaperCostRatio) {
+  // 9-atom vs 68-atom fragments: the paper reports a ~19x cost gap.
+  balance::CostModel cm;
+  const double ratio = cm.evaluate(68) / cm.evaluate(9);
+  EXPECT_GT(ratio, 15.0);
+  EXPECT_LT(ratio, 24.0);
+}
+
+TEST(SizeSensitive, EveryFragmentScheduledOnce) {
+  auto policy = balance::make_size_sensitive_policy();
+  drain(*policy, mixed_items(500, 3));
+}
+
+TEST(SizeSensitive, LargeFragmentsTravelAlone) {
+  auto policy = balance::make_size_sensitive_policy();
+  const auto items = mixed_items(300, 5);
+  const double max_cost =
+      std::max_element(items.begin(), items.end(),
+                       [](const WorkItem& a, const WorkItem& b) {
+                         return a.cost < b.cost;
+                       })
+          ->cost;
+  const auto tasks = drain(*policy, items);
+  for (const auto& t : tasks) {
+    if (t.size() == 1) continue;
+    for (const auto& w : t) EXPECT_LT(w.cost, 0.5 * max_cost);
+  }
+}
+
+TEST(SizeSensitive, TaskGranularityDecaysTowardTail) {
+  auto policy = balance::make_size_sensitive_policy();
+  const auto tasks = drain(*policy, mixed_items(1000, 7));
+  // The last task must be no larger than the median mid-phase task.
+  std::vector<std::size_t> sizes;
+  for (const auto& t : tasks) sizes.push_back(t.size());
+  EXPECT_LE(sizes.back(), sizes[sizes.size() / 2]);
+  EXPECT_EQ(sizes.back(), 1u);  // final top-up tasks are single fragments
+}
+
+TEST(Fifo, FixedPackSize) {
+  auto policy = balance::make_fifo_policy(8);
+  const auto tasks = drain(*policy, mixed_items(100, 9));
+  for (std::size_t i = 0; i + 1 < tasks.size(); ++i)
+    EXPECT_EQ(tasks[i].size(), 8u);
+}
+
+TEST(Fifo, RejectsZeroPackSize) {
+  EXPECT_THROW(balance::make_fifo_policy(0), InvalidArgument);
+}
+
+TEST(Static, PartitionsRoundRobin) {
+  auto policy = balance::make_static_policy(4);
+  const auto tasks = drain(*policy, mixed_items(103, 11));
+  EXPECT_EQ(tasks.size(), 4u);  // one monolithic task per leader
+  EXPECT_EQ(tasks[0].size(), 26u);
+  EXPECT_EQ(tasks[3].size(), 25u);
+}
+
+TEST(Runtime, AllFragmentsComputedOnce) {
+  frag::BioSystem sys;
+  for (int i = 0; i < 7; ++i)
+    sys.waters.push_back(
+        chem::make_water({static_cast<double>(20 * i), 0, 0}));
+  const frag::Fragmentation fr = frag::fragment_biosystem(sys);
+  ASSERT_EQ(fr.fragments.size(), 7u);
+
+  runtime::RuntimeOptions opts;
+  opts.n_leaders = 3;
+  runtime::MasterRuntime rt(std::move(opts));
+  engine::ModelEngine eng;
+  const runtime::RunReport report = rt.run(fr.fragments, eng);
+  ASSERT_EQ(report.results.size(), 7u);
+  for (const auto& r : report.results) {
+    EXPECT_EQ(r.hessian.rows(), 9u);  // every water got a real result
+  }
+  std::size_t leader_fragments = 0;
+  for (const auto& l : report.leaders) leader_fragments += l.fragments;
+  EXPECT_EQ(leader_fragments, 7u);
+  EXPECT_GT(report.n_tasks, 0u);
+}
+
+TEST(Runtime, MatchesSerialResults) {
+  frag::BioSystem sys;
+  chem::ProteinBuildOptions popts;
+  popts.n_residues = 6;
+  popts.seed = 41;
+  sys.chains.push_back(chem::build_synthetic_protein(popts));
+  const frag::Fragmentation fr = frag::fragment_biosystem(sys);
+
+  engine::ModelEngine eng;
+  runtime::RuntimeOptions opts;
+  opts.n_leaders = 4;
+  opts.workers_per_leader = 2;
+  runtime::MasterRuntime rt(std::move(opts));
+  const runtime::RunReport par = rt.run(fr.fragments, eng);
+
+  for (std::size_t i = 0; i < fr.fragments.size(); ++i) {
+    const auto serial =
+        eng.compute_with_topology(fr.fragments[i].mol, fr.fragments[i].bonds);
+    EXPECT_LT(la::max_abs_diff(par.results[i].hessian, serial.hessian),
+              1e-14)
+        << "fragment " << i;
+  }
+}
+
+TEST(Runtime, PrefetchOffStillCorrect) {
+  frag::BioSystem sys;
+  for (int i = 0; i < 5; ++i)
+    sys.waters.push_back(
+        chem::make_water({static_cast<double>(20 * i), 0, 0}));
+  const frag::Fragmentation fr = frag::fragment_biosystem(sys);
+  runtime::RuntimeOptions opts;
+  opts.n_leaders = 2;
+  opts.prefetch = false;
+  runtime::MasterRuntime rt(std::move(opts));
+  engine::ModelEngine eng;
+  const auto report = rt.run(fr.fragments, eng);
+  for (const auto& r : report.results) EXPECT_EQ(r.hessian.rows(), 9u);
+}
+
+TEST(Runtime, PropagatesEngineFailure) {
+  frag::BioSystem sys;
+  sys.waters.push_back(chem::make_water({0, 0, 0}));
+  const frag::Fragmentation fr = frag::fragment_biosystem(sys);
+  runtime::RuntimeOptions opts;
+  opts.n_leaders = 1;
+  runtime::MasterRuntime rt(std::move(opts));
+  EXPECT_THROW(
+      rt.run(fr.fragments,
+             [](const frag::Fragment&) -> engine::FragmentResult {
+               throw std::runtime_error("injected failure");
+             }),
+      NumericalError);
+}
+
+}  // namespace
+}  // namespace qfr

@@ -1,0 +1,120 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "qfr/chem/molecule.hpp"
+#include "qfr/common/error.hpp"
+#include "qfr/engine/model_engine.hpp"
+#include "qfr/frag/assembly.hpp"
+#include "qfr/frag/checkpoint.hpp"
+#include "qfr/frag/fragmentation.hpp"
+#include "qfr/la/blas.hpp"
+
+namespace qfr::frag {
+namespace {
+
+std::vector<engine::FragmentResult> sample_results() {
+  engine::ModelEngine eng;
+  std::vector<engine::FragmentResult> results;
+  results.push_back(eng.compute(chem::make_water({0, 0, 0})));
+  results.push_back(eng.compute(chem::make_water({10, 0, 0}, 1.0)));
+  return results;
+}
+
+TEST(Checkpoint, RoundTripPreservesEverything) {
+  const auto original = sample_results();
+  std::stringstream ss;
+  save_results(ss, original);
+  const LoadReport report = load_results(ss);
+  EXPECT_EQ(report.n_dropped, 0u);
+  ASSERT_EQ(report.results.size(), original.size());
+  for (std::size_t i = 0; i < original.size(); ++i) {
+    const auto& a = original[i];
+    const auto& b = report.results[i];
+    EXPECT_DOUBLE_EQ(a.energy, b.energy);
+    EXPECT_EQ(a.flops, b.flops);
+    EXPECT_EQ(a.displacement_tasks, b.displacement_tasks);
+    EXPECT_LT(la::max_abs_diff(a.hessian, b.hessian), 0.0 + 1e-300);
+    EXPECT_LT(la::max_abs_diff(a.alpha, b.alpha), 0.0 + 1e-300);
+    EXPECT_LT(la::max_abs_diff(a.dalpha, b.dalpha), 0.0 + 1e-300);
+    EXPECT_LT(la::max_abs_diff(a.dmu, b.dmu), 0.0 + 1e-300);
+  }
+}
+
+TEST(Checkpoint, TruncatedStreamDropsTail) {
+  const auto original = sample_results();
+  std::stringstream ss;
+  save_results(ss, original);
+  std::string data = ss.str();
+  // Chop into the middle of the second record.
+  data.resize(data.size() - 100);
+  std::stringstream cut(data);
+  const LoadReport report = load_results(cut);
+  EXPECT_EQ(report.results.size(), 1u);
+  EXPECT_EQ(report.n_dropped, 1u);
+  // The surviving record is intact.
+  EXPECT_DOUBLE_EQ(report.results[0].energy, original[0].energy);
+}
+
+TEST(Checkpoint, RejectsGarbage) {
+  std::stringstream ss("this is not a checkpoint");
+  EXPECT_THROW(load_results(ss), InvalidArgument);
+}
+
+TEST(Checkpoint, RejectsWrongVersion) {
+  const auto original = sample_results();
+  std::stringstream ss;
+  save_results(ss, original);
+  std::string data = ss.str();
+  data[8] = 99;  // clobber the version field
+  std::stringstream bad(data);
+  EXPECT_THROW(load_results(bad), InvalidArgument);
+}
+
+TEST(Checkpoint, FileRoundTrip) {
+  const auto original = sample_results();
+  const std::string path = "/tmp/qfr_checkpoint_test.bin";
+  save_results_file(path, original);
+  const LoadReport report = load_results_file(path);
+  EXPECT_EQ(report.results.size(), original.size());
+  EXPECT_EQ(report.n_dropped, 0u);
+}
+
+TEST(Checkpoint, RestartProducesIdenticalAssembly) {
+  // Full restart cycle: run the sweep, checkpoint, reload, and verify the
+  // assembled global properties are bitwise identical.
+  BioSystem sys;
+  sys.waters.push_back(chem::make_water({0, 0, 0}));
+  sys.waters.push_back(chem::make_water({6.0, 0, 0}));  // within lambda
+  const Fragmentation fr = fragment_biosystem(sys);
+  engine::ModelEngine eng;
+  std::vector<engine::FragmentResult> results;
+  for (const auto& f : fr.fragments)
+    results.push_back(eng.compute_with_topology(f.mol, f.bonds));
+
+  std::stringstream ss;
+  save_results(ss, results);
+  const LoadReport loaded = load_results(ss);
+  ASSERT_EQ(loaded.n_dropped, 0u);
+
+  const auto direct =
+      assemble_global_properties(sys, fr.fragments, results);
+  const auto restored =
+      assemble_global_properties(sys, fr.fragments, loaded.results);
+  EXPECT_LT(la::max_abs_diff(direct.hessian_mw.to_dense(),
+                             restored.hessian_mw.to_dense()),
+            0.0 + 1e-300);
+  EXPECT_LT(la::max_abs_diff(direct.dalpha_mw, restored.dalpha_mw),
+            0.0 + 1e-300);
+}
+
+TEST(Checkpoint, EmptyResultSetRoundTrips) {
+  std::stringstream ss;
+  save_results(ss, {});
+  const LoadReport report = load_results(ss);
+  EXPECT_TRUE(report.results.empty());
+  EXPECT_EQ(report.n_dropped, 0u);
+}
+
+}  // namespace
+}  // namespace qfr::frag

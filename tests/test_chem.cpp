@@ -1,0 +1,241 @@
+#include <gtest/gtest.h>
+
+#include <map>
+#include <sstream>
+
+#include "qfr/chem/amino_acid.hpp"
+#include "qfr/chem/molecule.hpp"
+#include "qfr/chem/protein.hpp"
+#include "qfr/chem/xyz_io.hpp"
+#include "qfr/common/error.hpp"
+#include "qfr/common/units.hpp"
+
+namespace qfr::chem {
+namespace {
+
+TEST(Element, SymbolsRoundTrip) {
+  for (Element e : {Element::H, Element::C, Element::N, Element::O,
+                    Element::S}) {
+    EXPECT_EQ(element_from_symbol(symbol(e)), e);
+  }
+}
+
+TEST(Element, UnknownSymbolThrows) {
+  EXPECT_THROW(element_from_symbol("Xx"), InvalidArgument);
+}
+
+TEST(Element, Masses) {
+  EXPECT_NEAR(atomic_mass(Element::H), 1.008, 0.01);
+  EXPECT_NEAR(atomic_mass(Element::O), 15.995, 0.01);
+}
+
+TEST(Molecule, WaterBasics) {
+  const Molecule w = make_water({0, 0, 0});
+  EXPECT_EQ(w.size(), 3u);
+  EXPECT_EQ(w.electron_count(), 10);
+  EXPECT_NEAR(w.mass_amu(), 18.01, 0.02);
+  // O-H bond lengths.
+  const double r1 = geom::distance(w.atom(0).position, w.atom(1).position) *
+                    units::kBohrToAngstrom;
+  EXPECT_NEAR(r1, 0.9572, 1e-6);
+}
+
+TEST(Molecule, NuclearRepulsionH2) {
+  Molecule h2;
+  h2.add(Element::H, {0, 0, 0});
+  h2.add(Element::H, {0, 0, 1.4});
+  EXPECT_NEAR(h2.nuclear_repulsion(), 1.0 / 1.4, 1e-12);
+}
+
+TEST(Molecule, DisplacedMovesOnlyOneAtom) {
+  Molecule w = make_water({0, 0, 0});
+  const Molecule d = w.displaced(1, {0.01, 0, 0});
+  EXPECT_NEAR(d.atom(1).position.x - w.atom(1).position.x, 0.01, 1e-14);
+  EXPECT_DOUBLE_EQ(d.atom(0).position.x, w.atom(0).position.x);
+  EXPECT_DOUBLE_EQ(d.atom(2).position.x, w.atom(2).position.x);
+}
+
+TEST(Molecule, MinDistanceBetweenMolecules) {
+  const Molecule a = make_water({0, 0, 0});
+  const Molecule b = make_water({10, 0, 0});
+  const double d = a.min_distance_to(b);
+  EXPECT_GT(d, 7.0);
+  EXPECT_LT(d, 10.1);
+}
+
+TEST(Molecule, MassVectorRepeatsPerComponent) {
+  const Molecule w = make_water({0, 0, 0});
+  const auto m = w.mass_vector_amu();
+  ASSERT_EQ(m.size(), 9u);
+  EXPECT_DOUBLE_EQ(m[0], m[1]);
+  EXPECT_DOUBLE_EQ(m[0], m[2]);
+  EXPECT_NEAR(m[0], 15.995, 0.01);
+  EXPECT_NEAR(m[3], 1.008, 0.01);
+}
+
+TEST(AminoAcid, CompositionsMatchKnownFormulas) {
+  // Residue = free amino acid minus H2O.
+  EXPECT_EQ(residue_composition(ResidueType::Gly).total_atoms(), 7);
+  EXPECT_EQ(residue_composition(ResidueType::Ala).total_atoms(), 10);
+  EXPECT_EQ(residue_composition(ResidueType::Trp).total_atoms(), 24);
+  EXPECT_EQ(residue_composition(ResidueType::Arg).total_atoms(), 23);
+  const auto cys = residue_composition(ResidueType::Cys);
+  EXPECT_EQ(cys.s, 1);
+}
+
+TEST(AminoAcid, AllResiduesHaveBackboneMinimum) {
+  for (int t = 0; t < kNumResidueTypes; ++t) {
+    const auto comp = residue_composition(static_cast<ResidueType>(t));
+    EXPECT_GE(comp.c, 2) << residue_code(static_cast<ResidueType>(t));
+    EXPECT_GE(comp.n, 1);
+    EXPECT_GE(comp.o, 1);
+    EXPECT_GE(comp.h, 3);
+  }
+}
+
+TEST(AminoAcid, FrequenciesRoughlyNormalized) {
+  double total = 0.0;
+  for (double f : residue_frequencies()) total += f;
+  EXPECT_NEAR(total, 100.0, 2.0);
+}
+
+TEST(AminoAcid, RandomSequenceDeterministic) {
+  Rng a(3), b(3);
+  const auto s1 = random_protein_sequence(200, a);
+  const auto s2 = random_protein_sequence(200, b);
+  EXPECT_EQ(s1, s2);
+}
+
+TEST(Protein, ResidueAtomCountsMatchComposition) {
+  ProteinBuildOptions opts;
+  opts.n_residues = 30;
+  opts.seed = 11;
+  const Protein p = build_synthetic_protein(opts);
+  ASSERT_EQ(p.n_residues(), 30u);
+  for (const auto& res : p.residues) {
+    EXPECT_EQ(res.n_atoms,
+              static_cast<std::size_t>(
+                  residue_composition(res.type).total_atoms()))
+        << residue_code(res.type);
+  }
+}
+
+TEST(Protein, ElementCountsMatchComposition) {
+  ProteinBuildOptions opts;
+  opts.n_residues = 25;
+  opts.seed = 13;
+  const Protein p = build_synthetic_protein(opts);
+  for (const auto& res : p.residues) {
+    const auto comp = residue_composition(res.type);
+    std::map<Element, int> counts;
+    for (std::size_t i = 0; i < res.n_atoms; ++i)
+      counts[p.mol.atom(res.first_atom + i).element]++;
+    EXPECT_EQ(counts[Element::C], comp.c) << residue_code(res.type);
+    EXPECT_EQ(counts[Element::H], comp.h) << residue_code(res.type);
+    EXPECT_EQ(counts[Element::N], comp.n) << residue_code(res.type);
+    EXPECT_EQ(counts[Element::O], comp.o) << residue_code(res.type);
+    EXPECT_EQ(counts[Element::S], comp.s) << residue_code(res.type);
+  }
+}
+
+TEST(Protein, BondLengthsAreChemicallySane) {
+  ProteinBuildOptions opts;
+  opts.n_residues = 20;
+  opts.seed = 17;
+  const Protein p = build_synthetic_protein(opts);
+  for (const auto& bond : p.bonds) {
+    const double r =
+        geom::distance(p.mol.atom(bond.a).position,
+                       p.mol.atom(bond.b).position) *
+        units::kBohrToAngstrom;
+    EXPECT_GT(r, 0.85) << "bond " << bond.a << "-" << bond.b;
+    EXPECT_LT(r, 1.95) << "bond " << bond.a << "-" << bond.b;
+  }
+}
+
+TEST(Protein, PeptideBondsConnectConsecutiveResidues) {
+  ProteinBuildOptions opts;
+  opts.n_residues = 12;
+  opts.seed = 19;
+  const Protein p = build_synthetic_protein(opts);
+  for (std::size_t i = 0; i + 1 < p.n_residues(); ++i) {
+    const std::size_t c = p.residues[i].idx_c;
+    const std::size_t n_next = p.residues[i + 1].idx_n;
+    const bool found =
+        std::any_of(p.bonds.begin(), p.bonds.end(), [&](const Bond& b) {
+          return (b.a == c && b.b == n_next) || (b.a == n_next && b.b == c);
+        });
+    EXPECT_TRUE(found) << "missing peptide bond after residue " << i;
+  }
+}
+
+TEST(Protein, CaTraceSelfAvoiding) {
+  ProteinBuildOptions opts;
+  opts.n_residues = 150;
+  opts.seed = 23;
+  const Protein p = build_synthetic_protein(opts);
+  for (std::size_t i = 0; i < p.n_residues(); ++i)
+    for (std::size_t j = i + 2; j < p.n_residues(); ++j) {
+      const double d = geom::distance(
+                           p.mol.atom(p.residues[i].idx_ca).position,
+                           p.mol.atom(p.residues[j].idx_ca).position) *
+                       units::kBohrToAngstrom;
+      EXPECT_GT(d, 4.0) << "CA clash between residues " << i << ", " << j;
+    }
+}
+
+TEST(Protein, FragmentSizeRangeMatchesPaperScale) {
+  // The paper reports protein fragment sizes of roughly 9-68 atoms;
+  // individual residues span 7-24, so capped 3-residue fragments span
+  // ~25-70. Check residue sizes land in the expected band.
+  ProteinBuildOptions opts;
+  opts.n_residues = 200;
+  opts.seed = 29;
+  const Protein p = build_synthetic_protein(opts);
+  for (const auto& res : p.residues) {
+    EXPECT_GE(res.n_atoms, 7u);
+    EXPECT_LE(res.n_atoms, 24u);
+  }
+}
+
+TEST(WaterBox, DensityApproximatesLiquidWater) {
+  WaterBoxOptions opts;
+  opts.edge_angstrom = 31.07;  // 10 lattice sites per edge
+  const auto waters = build_water_box(opts, Molecule{});
+  EXPECT_EQ(waters.size(), 1000u);
+  // 1000 waters in (3.107 nm)^3 = 33.3 / nm^3.
+  const double density =
+      static_cast<double>(waters.size()) / std::pow(3.107, 3);
+  EXPECT_NEAR(density, 33.3, 1.0);
+}
+
+TEST(WaterBox, SoluteClearanceRespected) {
+  const Molecule solute = make_water({0, 0, 0});
+  WaterBoxOptions opts;
+  opts.edge_angstrom = 15.0;
+  const auto waters = build_water_box(opts, solute, 3.0);
+  for (const auto& w : waters) {
+    EXPECT_GT(w.min_distance_to(solute) * units::kBohrToAngstrom, 2.0);
+  }
+}
+
+TEST(XyzIo, RoundTrip) {
+  const Molecule w = make_water({1.0, -2.0, 3.0});
+  std::stringstream ss;
+  write_xyz(ss, w, "water");
+  const Molecule r = read_xyz(ss);
+  ASSERT_EQ(r.size(), w.size());
+  for (std::size_t i = 0; i < w.size(); ++i) {
+    EXPECT_EQ(r.atom(i).element, w.atom(i).element);
+    EXPECT_NEAR(r.atom(i).position.x, w.atom(i).position.x, 1e-6);
+    EXPECT_NEAR(r.atom(i).position.z, w.atom(i).position.z, 1e-6);
+  }
+}
+
+TEST(XyzIo, MalformedInputThrows) {
+  std::stringstream ss("2\ncomment\nH 0 0 0\n");  // missing second atom
+  EXPECT_THROW(read_xyz(ss), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace qfr::chem

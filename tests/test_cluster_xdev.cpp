@@ -1,0 +1,281 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "qfr/cluster/des.hpp"
+#include "qfr/common/rng.hpp"
+#include "qfr/la/blas.hpp"
+#include "qfr/xdev/device_model.hpp"
+#include "qfr/xdev/strength_reduction.hpp"
+
+namespace qfr {
+namespace {
+
+using balance::WorkItem;
+using xdev::GemmShape;
+
+std::vector<WorkItem> protein_like_items(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  balance::CostModel cm;
+  std::vector<WorkItem> items;
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t atoms = 9 + rng.below(27);  // 9-35 like Fig. 8
+    items.push_back({i, atoms, cm.evaluate(atoms)});
+  }
+  return items;
+}
+
+TEST(Des, DeterministicForSeed) {
+  auto p1 = balance::make_size_sensitive_policy();
+  auto p2 = balance::make_size_sensitive_policy();
+  cluster::DesOptions opts;
+  opts.n_nodes = 8;
+  opts.machine = cluster::orise_profile();
+  const auto r1 = cluster::simulate_cluster(protein_like_items(2000, 1), *p1, opts);
+  const auto r2 = cluster::simulate_cluster(protein_like_items(2000, 1), *p2, opts);
+  EXPECT_DOUBLE_EQ(r1.makespan, r2.makespan);
+  EXPECT_EQ(r1.n_tasks, r2.n_tasks);
+}
+
+TEST(Des, SizeSensitiveBalancesBetterThanStatic) {
+  cluster::DesOptions opts;
+  opts.n_nodes = 16;
+  opts.machine = cluster::orise_profile();
+  const auto items = protein_like_items(4000, 3);
+
+  auto dynamic = balance::make_size_sensitive_policy();
+  const auto r_dyn = cluster::simulate_cluster(items, *dynamic, opts);
+  auto fixed = balance::make_static_policy(
+      opts.n_nodes * opts.machine.leaders_per_node);
+  const auto r_static = cluster::simulate_cluster(items, *fixed, opts);
+
+  const double spread_dyn = r_dyn.max_variation - r_dyn.min_variation;
+  const double spread_static =
+      r_static.max_variation - r_static.min_variation;
+  EXPECT_LT(spread_dyn, spread_static);
+  EXPECT_LT(r_dyn.makespan, r_static.makespan * 1.02);
+}
+
+TEST(Des, NearLinearStrongScaling) {
+  const auto items = protein_like_items(60000, 5);
+  cluster::DesOptions opts;
+  opts.machine = cluster::orise_profile();
+  opts.n_nodes = 8;
+  auto p8 = balance::make_size_sensitive_policy();
+  const auto r8 = cluster::simulate_cluster(items, *p8, opts);
+  opts.n_nodes = 16;
+  auto p16 = balance::make_size_sensitive_policy();
+  const auto r16 = cluster::simulate_cluster(items, *p16, opts);
+  const double speedup = r8.makespan / r16.makespan;
+  const double efficiency = speedup / 2.0;
+  EXPECT_GT(efficiency, 0.90);
+  EXPECT_LT(efficiency, 1.02);
+}
+
+TEST(Des, WeakScalingEfficiencyHigh) {
+  cluster::DesOptions opts;
+  opts.machine = cluster::sunway_profile();
+  opts.n_nodes = 8;
+  auto p1 = balance::make_size_sensitive_policy();
+  const auto r1 = cluster::simulate_cluster(protein_like_items(20000, 7), *p1, opts);
+  opts.n_nodes = 16;
+  auto p2 = balance::make_size_sensitive_policy();
+  const auto r2 = cluster::simulate_cluster(protein_like_items(40000, 7), *p2, opts);
+  EXPECT_GT(r2.throughput / r1.throughput, 1.9);  // >= 95% weak efficiency
+}
+
+TEST(Des, PrefetchReducesMakespan) {
+  const auto items = protein_like_items(5000, 9);
+  cluster::DesOptions opts;
+  opts.machine = cluster::orise_profile();
+  opts.n_nodes = 4;
+  opts.prefetch = true;
+  auto pa = balance::make_size_sensitive_policy();
+  const auto with = cluster::simulate_cluster(items, *pa, opts);
+  opts.prefetch = false;
+  auto pb = balance::make_size_sensitive_policy();
+  const auto without = cluster::simulate_cluster(items, *pb, opts);
+  EXPECT_LT(with.makespan, without.makespan);
+}
+
+TEST(Des, MakespanBoundedByWorkConservation) {
+  // makespan >= total serial work / total worker capacity (no simulator
+  // can beat physics), and not absurdly above it under good balancing.
+  const auto items = protein_like_items(3000, 21);
+  double total_cost = 0.0;
+  for (const auto& it : items) total_cost += it.cost;
+  cluster::DesOptions opts;
+  opts.n_nodes = 8;
+  opts.machine = cluster::orise_profile();
+  auto policy = balance::make_size_sensitive_policy();
+  const auto rep = cluster::simulate_cluster(items, *policy, opts);
+  const double capacity =
+      static_cast<double>(opts.n_nodes * opts.machine.leaders_per_node *
+                          opts.machine.workers_per_leader);
+  const double lower_bound = total_cost / capacity;
+  EXPECT_GE(rep.makespan, 0.95 * lower_bound);  // jitter can speed nodes up
+  EXPECT_LE(rep.makespan, 1.25 * lower_bound);
+}
+
+TEST(Des, AllFragmentsAccounted) {
+  const auto items = protein_like_items(777, 23);
+  cluster::DesOptions opts;
+  opts.n_nodes = 3;
+  opts.machine = cluster::sunway_profile();
+  auto policy = balance::make_size_sensitive_policy();
+  const auto rep = cluster::simulate_cluster(items, *policy, opts);
+  EXPECT_EQ(rep.n_fragments, 777u);
+  EXPECT_GT(rep.n_tasks, 0u);
+  EXPECT_GT(rep.throughput, 0.0);
+}
+
+TEST(Des, StragglerInjectionRecoversAllWork) {
+  // Fault injection: a fraction of tasks stall and are re-queued after a
+  // timeout (paper Sec. V-B recovery path). Every fragment still
+  // completes and the makespan grows but stays bounded.
+  const auto items = protein_like_items(2000, 31);
+  cluster::DesOptions opts;
+  opts.n_nodes = 4;
+  opts.machine = cluster::orise_profile();
+  opts.seed = 5;
+
+  auto clean_policy = balance::make_size_sensitive_policy();
+  const auto clean = cluster::simulate_cluster(items, *clean_policy, opts);
+  EXPECT_EQ(clean.n_requeued_tasks, 0u);
+
+  opts.straggler_probability = 0.02;
+  opts.straggler_timeout = 2.0;
+  auto faulty_policy = balance::make_size_sensitive_policy();
+  const auto faulty = cluster::simulate_cluster(items, *faulty_policy, opts);
+  EXPECT_GT(faulty.n_requeued_tasks, 0u);
+  EXPECT_EQ(faulty.n_fragments, clean.n_fragments);
+  // All re-queued tasks executed again: task count grows accordingly.
+  EXPECT_EQ(faulty.n_tasks, clean.n_tasks + faulty.n_requeued_tasks);
+  EXPECT_GT(faulty.makespan, clean.makespan);
+  // Recovery bound: worst case every straggle serializes one full timeout
+  // on the critical path; in practice re-queues overlap across leaders.
+  EXPECT_LT(faulty.makespan,
+            clean.makespan +
+                static_cast<double>(faulty.n_requeued_tasks) *
+                    opts.straggler_timeout +
+                1.0);
+}
+
+TEST(StrengthReduction, H1ExpressionEquivalent) {
+  Rng rng(11);
+  la::Matrix chi(50, 17), gchi(50, 17);
+  for (std::size_t i = 0; i < chi.size(); ++i) {
+    chi.data()[i] = rng.uniform(-1, 1);
+    gchi.data()[i] = rng.uniform(-1, 1);
+  }
+  const la::Matrix naive = xdev::h1_expression_naive(chi, gchi);
+  const la::Matrix reduced = xdev::h1_expression_reduced(chi, gchi);
+  EXPECT_LT(la::max_abs_diff(naive, reduced), 1e-12);
+  EXPECT_LT(la::max_abs_diff(reduced, reduced.transposed()), 1e-12);
+}
+
+TEST(StrengthReduction, GradRhoEquivalentForSymmetricP) {
+  Rng rng(13);
+  la::Matrix chi(64, 21), gchi(64, 21), p(21, 21);
+  for (std::size_t i = 0; i < chi.size(); ++i) {
+    chi.data()[i] = rng.uniform(-1, 1);
+    gchi.data()[i] = rng.uniform(-1, 1);
+  }
+  for (std::size_t i = 0; i < 21; ++i)
+    for (std::size_t j = 0; j <= i; ++j)
+      p(i, j) = p(j, i) = rng.uniform(-1, 1);
+  const la::Vector naive = xdev::grad_rho_naive(chi, gchi, p);
+  const la::Vector reduced = xdev::grad_rho_reduced(chi, gchi, p);
+  for (std::size_t i = 0; i < naive.size(); ++i)
+    EXPECT_NEAR(naive[i], reduced[i], 1e-12);
+}
+
+TEST(ElasticBatcher, GroupsByPaddedShape) {
+  std::vector<GemmShape> shapes = {{30, 30, 30}, {31, 32, 30}, {20, 20, 20},
+                                   {64, 64, 64}, {63, 60, 58}};
+  xdev::BatcherOptions opts;
+  opts.pad_stride = 32;
+  const auto batches = xdev::elastic_batch(shapes, opts);
+  // (30..32 -> 32^3) x2, (20 -> 32^3) joins them; (64 and 63/60/58 -> 64^3) x2.
+  ASSERT_EQ(batches.size(), 2u);
+  EXPECT_EQ(batches[0].members.size(), 3u);  // largest batch first
+  EXPECT_EQ(batches[0].padded.m, 32u);
+  EXPECT_EQ(batches[1].members.size(), 2u);
+  EXPECT_EQ(batches[1].padded.m, 64u);
+}
+
+TEST(ElasticBatcher, PreservesAllInvocations) {
+  Rng rng(17);
+  std::vector<GemmShape> shapes;
+  for (int i = 0; i < 500; ++i)
+    shapes.push_back({8 + rng.below(120), 8 + rng.below(120),
+                      8 + rng.below(120)});
+  const auto batches = xdev::elastic_batch(shapes);
+  std::size_t total = 0;
+  for (const auto& b : batches) {
+    total += b.members.size();
+    for (const auto& s : b.members) {
+      EXPECT_LE(s.m, b.padded.m);
+      EXPECT_LE(s.n, b.padded.n);
+      EXPECT_LE(s.k, b.padded.k);
+      EXPECT_LT(b.padded.m - s.m, 32u);
+    }
+  }
+  EXPECT_EQ(total, shapes.size());
+}
+
+TEST(DeviceModel, BatchingBeatsUnbatchedOffload) {
+  const auto shapes = xdev::dfpt_cycle_shapes(40, true);
+  const auto dev = xdev::orise_gpu();
+  const auto batched = xdev::evaluate_offload(shapes, dev);
+  const auto unbatched = xdev::evaluate_unbatched(shapes, dev);
+  EXPECT_LT(batched.total(), unbatched.total());
+  EXPECT_LT(batched.n_launches, unbatched.n_launches / 10);
+}
+
+TEST(DeviceModel, OffloadBeatsHostForMediumFragments) {
+  const auto shapes = xdev::dfpt_cycle_shapes(40, true);
+  const auto dev = xdev::orise_gpu();
+  const auto off = xdev::evaluate_offload(shapes, dev);
+  const auto host = xdev::evaluate_host_only(shapes, dev);
+  EXPECT_LT(off.total(), host.total());
+}
+
+TEST(DeviceModel, StrengthReductionCutsBlasWork) {
+  const auto naive = xdev::dfpt_cycle_shapes(40, false);
+  const auto reduced = xdev::dfpt_cycle_shapes(40, true);
+  std::int64_t f_naive = 0, f_reduced = 0;
+  for (const auto& s : naive) f_naive += s.flops();
+  for (const auto& s : reduced) f_reduced += s.flops();
+  EXPECT_GT(static_cast<double>(f_naive) / f_reduced, 1.8);
+  // Paper: a medium fragment runs ~2,400 scattered GEMMs per cycle.
+  EXPECT_GT(naive.size(), 1000u);
+  EXPECT_LT(naive.size(), 5000u);
+}
+
+TEST(DeviceModel, SustainedRatesInTableIRange) {
+  const auto dev_orise = xdev::orise_gpu();
+  const auto dev_sw = xdev::sw26010pro();
+  for (std::size_t atoms : {9, 20, 40, 68}) {
+    const auto shapes = xdev::dfpt_cycle_shapes(atoms, true);
+    const double tf_orise =
+        xdev::evaluate_offload(shapes, dev_orise).device_flops_rate() / 1e12;
+    const double tf_sw =
+        xdev::evaluate_offload(shapes, dev_sw).device_flops_rate() / 1e12;
+    EXPECT_GT(tf_orise, 0.8) << atoms;   // Table I: 0.95 - 3.93 TFLOPS
+    EXPECT_LT(tf_orise, 4.5) << atoms;
+    EXPECT_GT(tf_sw, 1.5) << atoms;      // Table I: 2.10 - 4.87 TFLOPS
+    EXPECT_LT(tf_sw, 5.5) << atoms;
+  }
+}
+
+TEST(DeviceModel, AggregatedTransferHelpsOnPcie) {
+  const auto shapes = xdev::dfpt_cycle_shapes(30, true);
+  const auto dev = xdev::orise_gpu();
+  const auto agg = xdev::evaluate_offload(shapes, dev, {}, true);
+  const auto sep = xdev::evaluate_offload(shapes, dev, {}, false);
+  EXPECT_LE(agg.transfer_seconds, sep.transfer_seconds);
+}
+
+}  // namespace
+}  // namespace qfr

@@ -1,0 +1,143 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include "qfr/common/error.hpp"
+#include "qfr/common/rng.hpp"
+#include "qfr/common/thread_pool.hpp"
+#include "qfr/common/timer.hpp"
+
+namespace qfr {
+namespace {
+
+TEST(Error, RequireThrowsInvalidArgument) {
+  EXPECT_THROW(
+      [] { QFR_REQUIRE(1 == 2, "one is not two"); }(), InvalidArgument);
+}
+
+TEST(Error, AssertThrowsInternalError) {
+  EXPECT_THROW([] { QFR_ASSERT(false, "bad invariant"); }(), InternalError);
+}
+
+TEST(Error, NumericFailThrowsNumericalError) {
+  EXPECT_THROW([] { QFR_NUMERIC_FAIL("no convergence"); }(), NumericalError);
+}
+
+TEST(Error, PassingChecksDoNotThrow) {
+  EXPECT_NO_THROW([] { QFR_REQUIRE(true, ""); QFR_ASSERT(true, ""); }());
+}
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) same += (a() == b());
+  EXPECT_LT(same, 5);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng r(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = r.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformMeanNearHalf) {
+  Rng r(11);
+  double sum = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += r.uniform();
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Rng, BelowRespectsBound) {
+  Rng r(13);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = r.below(17);
+    EXPECT_LT(v, 17u);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 17u);  // all residues hit
+}
+
+TEST(Rng, NormalMomentsApproximatelyStandard) {
+  Rng r(17);
+  const int n = 200000;
+  double s1 = 0.0, s2 = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double x = r.normal();
+    s1 += x;
+    s2 += x * x;
+  }
+  EXPECT_NEAR(s1 / n, 0.0, 0.02);
+  EXPECT_NEAR(s2 / n, 1.0, 0.02);
+}
+
+TEST(Rng, ForkProducesIndependentStream) {
+  Rng a(99);
+  Rng child = a.fork();
+  int same = 0;
+  for (int i = 0; i < 100; ++i) same += (a() == child());
+  EXPECT_LT(same, 5);
+}
+
+TEST(ThreadPool, RunsSubmittedTasks) {
+  ThreadPool pool(4);
+  auto f = pool.submit([] { return 21 * 2; });
+  EXPECT_EQ(f.get(), 42);
+}
+
+TEST(ThreadPool, ParallelForCoversAllIndices) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(1000);
+  pool.parallel_for(hits.size(), [&](std::size_t i) { hits[i]++; });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, ParallelForEmptyRangeIsNoop) {
+  ThreadPool pool(2);
+  bool touched = false;
+  pool.parallel_for(0, [&](std::size_t) { touched = true; });
+  EXPECT_FALSE(touched);
+}
+
+TEST(ThreadPool, ManySmallTasks) {
+  ThreadPool pool(3);
+  std::atomic<int> count{0};
+  std::vector<std::future<void>> futs;
+  for (int i = 0; i < 500; ++i)
+    futs.push_back(pool.submit([&] { count++; }));
+  for (auto& f : futs) f.get();
+  EXPECT_EQ(count.load(), 500);
+}
+
+TEST(Timer, MeasuresMonotonicallyIncreasingTime) {
+  WallTimer t;
+  const double a = t.seconds();
+  const double b = t.seconds();
+  EXPECT_GE(b, a);
+  EXPECT_GE(a, 0.0);
+}
+
+TEST(Timer, PhaseTimerAccumulates) {
+  PhaseTimer p;
+  p.start();
+  p.stop();
+  p.start();
+  p.stop();
+  EXPECT_EQ(p.intervals(), 2);
+  EXPECT_GE(p.total_seconds(), 0.0);
+}
+
+}  // namespace
+}  // namespace qfr

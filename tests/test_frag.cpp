@@ -1,0 +1,278 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "qfr/chem/protein.hpp"
+#include "qfr/common/units.hpp"
+#include "qfr/engine/model_engine.hpp"
+#include "qfr/frag/assembly.hpp"
+#include "qfr/frag/fragmentation.hpp"
+#include "qfr/la/blas.hpp"
+#include "qfr/spectra/raman.hpp"
+
+namespace qfr::frag {
+namespace {
+
+using chem::Element;
+using chem::Molecule;
+
+BioSystem small_protein_system(std::size_t n_residues, std::uint64_t seed,
+                               std::size_t n_waters = 0) {
+  BioSystem sys;
+  chem::ProteinBuildOptions opts;
+  opts.n_residues = n_residues;
+  opts.seed = seed;
+  sys.chains.push_back(chem::build_synthetic_protein(opts));
+  Rng rng(seed * 31 + 1);
+  for (std::size_t i = 0; i < n_waters; ++i) {
+    // Waters placed far outside the protein globule and 16 bohr (8.5 A)
+    // apart so no lambda = 4 A pairs form unless a test wants them.
+    sys.waters.push_back(chem::make_water(
+        {120.0 + 16.0 * static_cast<double>(i), 0.0, 0.0},
+        rng.uniform(0, 2 * units::kPi)));
+  }
+  return sys;
+}
+
+std::vector<engine::FragmentResult> run_engine(
+    const std::vector<Fragment>& frags) {
+  engine::ModelEngine eng;
+  std::vector<engine::FragmentResult> results;
+  results.reserve(frags.size());
+  for (const auto& f : frags)
+    results.push_back(eng.compute_with_topology(f.mol, f.bonds));
+  return results;
+}
+
+TEST(Fragmentation, CountsMatchMfccFormulas) {
+  // N residues, window 3: N-2 capped fragments, N-3 concaps (paper
+  // Sec. IV-A with their N = our N).
+  const BioSystem sys = small_protein_system(12, 7);
+  FragmentationOptions opts;
+  opts.include_two_body = false;
+  const Fragmentation fr = fragment_biosystem(sys, opts);
+  EXPECT_EQ(fr.stats.n_capped_residues, 10u);
+  EXPECT_EQ(fr.stats.n_concaps, 9u);
+  EXPECT_EQ(fr.stats.n_waters, 0u);
+}
+
+TEST(Fragmentation, TrimericChainsCountLikeSpike) {
+  // Three chains of R residues: 3(R-2) fragments, 3(R-3) concaps —
+  // the 7DF3 bookkeeping (3,180 residues -> 3,171 generalized caps).
+  BioSystem sys;
+  for (int c = 0; c < 3; ++c) {
+    chem::ProteinBuildOptions opts;
+    opts.n_residues = 10;
+    opts.seed = 100 + c;
+    sys.chains.push_back(chem::build_synthetic_protein(opts));
+  }
+  FragmentationOptions opts;
+  opts.include_two_body = false;
+  const Fragmentation fr = fragment_biosystem(sys, opts);
+  EXPECT_EQ(fr.stats.n_capped_residues, 3u * 8u);
+  EXPECT_EQ(fr.stats.n_concaps, 3u * 7u);
+}
+
+TEST(Fragmentation, WaterMonomersOnePerWater) {
+  BioSystem sys = small_protein_system(5, 11, 4);
+  const Fragmentation fr = fragment_biosystem(sys);
+  EXPECT_EQ(fr.stats.n_waters, 4u);
+  // Waters are 8 A apart and far from the protein: no pairs.
+  EXPECT_EQ(fr.stats.n_water_water_pairs, 0u);
+  EXPECT_EQ(fr.stats.n_protein_water_pairs, 0u);
+}
+
+TEST(Fragmentation, CloseWatersFormPairs) {
+  BioSystem sys;
+  chem::ProteinBuildOptions popts;
+  popts.n_residues = 3;  // single uncut fragment: no protein pairs possible
+  popts.seed = 13;
+  sys.chains.push_back(chem::build_synthetic_protein(popts));
+  // Two waters 3 A apart, both ~100 A away from the protein.
+  sys.waters.push_back(chem::make_water({100.0 * units::kAngstromToBohr, 0, 0}));
+  sys.waters.push_back(chem::make_water(
+      {103.0 * units::kAngstromToBohr, 0, 0}));
+  const Fragmentation fr = fragment_biosystem(sys);
+  EXPECT_EQ(fr.stats.n_water_water_pairs, 1u);
+  // Pair + two monomer corrections present.
+  int pairs = 0, monomers = 0;
+  for (const auto& f : fr.fragments) {
+    pairs += (f.kind == FragmentKind::kPair);
+    monomers += (f.kind == FragmentKind::kPairMonomer);
+  }
+  EXPECT_EQ(pairs, 1);
+  EXPECT_EQ(monomers, 2);
+}
+
+TEST(Fragmentation, CappedFragmentsHaveLinkHydrogens) {
+  const BioSystem sys = small_protein_system(8, 17);
+  FragmentationOptions opts;
+  opts.include_two_body = false;
+  const Fragmentation fr = fragment_biosystem(sys, opts);
+  for (const auto& f : fr.fragments) {
+    // Interior fragments carry exactly two link hydrogens (one per cut).
+    const std::size_t caps = f.n_atoms() - f.n_real_atoms();
+    EXPECT_LE(caps, 2u);
+    // Link hydrogens map to -1 and real atoms map to valid indices.
+    for (std::ptrdiff_t g : f.atom_map)
+      EXPECT_LT(g, static_cast<std::ptrdiff_t>(sys.n_atoms()));
+  }
+}
+
+TEST(Fragmentation, FragmentSizesInPaperRange) {
+  const BioSystem sys = small_protein_system(50, 19);
+  FragmentationOptions opts;
+  opts.include_two_body = false;
+  const Fragmentation fr = fragment_biosystem(sys, opts);
+  // Paper: 9-68 atoms for the spike decomposition. Three-residue windows
+  // of 7-24-atom residues plus caps span about the same range.
+  EXPECT_GE(fr.stats.min_fragment_atoms, 9u);
+  EXPECT_LE(fr.stats.max_fragment_atoms, 80u);
+}
+
+TEST(Assembly, WaterOnlySystemIsBlockDiagonal) {
+  BioSystem sys;
+  sys.waters.push_back(chem::make_water({0, 0, 0}));
+  sys.waters.push_back(chem::make_water({40.0, 0, 0}));
+  const Fragmentation fr = fragment_biosystem(sys);
+  const auto results = run_engine(fr.fragments);
+  const GlobalProperties props =
+      assemble_global_properties(sys, fr.fragments, results);
+  ASSERT_EQ(props.hessian_mw.rows(), 18u);
+  // No coupling between the two waters.
+  const la::Matrix dense = props.hessian_mw.to_dense();
+  for (std::size_t i = 0; i < 9; ++i)
+    for (std::size_t j = 9; j < 18; ++j)
+      EXPECT_DOUBLE_EQ(dense(i, j), 0.0);
+  // Frequencies: each water contributes a bend and two stretches.
+  const la::Vector freqs = spectra::vibrational_frequencies_cm(dense);
+  int high = 0;
+  for (double f : freqs) high += (f > 3000.0);
+  EXPECT_EQ(high, 4);
+}
+
+TEST(Assembly, MfccExactForBondedModelEngine) {
+  // For a purely bonded force field every internal coordinate spans at
+  // most two consecutive residues, so the window-3 MFCC telescoping is
+  // EXACT: assembled Hessian == direct whole-protein Hessian.
+  const BioSystem sys = small_protein_system(6, 23);
+  FragmentationOptions opts;
+  opts.include_two_body = true;
+  const Fragmentation fr = fragment_biosystem(sys, opts);
+  const auto results = run_engine(fr.fragments);
+  AssemblyOptions aopts;
+  aopts.apply_acoustic_sum_rule = false;
+  const GlobalProperties props =
+      assemble_global_properties(sys, fr.fragments, results, aopts);
+
+  engine::ModelEngine eng;
+  const chem::Protein& chain = sys.chains[0];
+  const engine::FragmentResult direct =
+      eng.compute_with_topology(chain.mol, chain.bonds);
+  // Mass-weight the direct Hessian for comparison.
+  const auto masses = chain.mol.mass_vector_amu();
+  la::Matrix direct_mw = direct.hessian;
+  for (std::size_t i = 0; i < direct_mw.rows(); ++i)
+    for (std::size_t j = 0; j < direct_mw.cols(); ++j)
+      direct_mw(i, j) /= std::sqrt(masses[i] * units::kAmuToMe * masses[j] *
+                                   units::kAmuToMe);
+
+  const la::Matrix assembled = props.hessian_mw.to_dense();
+  EXPECT_LT(la::max_abs_diff(assembled, direct_mw), 1e-10);
+}
+
+TEST(Assembly, MfccDalphaExactForBondPolarizabilityModel) {
+  const BioSystem sys = small_protein_system(5, 29);
+  const Fragmentation fr = fragment_biosystem(sys);
+  const auto results = run_engine(fr.fragments);
+  AssemblyOptions aopts;
+  aopts.apply_acoustic_sum_rule = false;
+  const GlobalProperties props =
+      assemble_global_properties(sys, fr.fragments, results, aopts);
+
+  engine::ModelEngine eng;
+  const chem::Protein& chain = sys.chains[0];
+  const engine::FragmentResult direct =
+      eng.compute_with_topology(chain.mol, chain.bonds);
+  const auto masses = chain.mol.mass_vector_amu();
+  la::Matrix direct_mw = direct.dalpha;
+  for (std::size_t k = 0; k < 6; ++k)
+    for (std::size_t i = 0; i < direct_mw.cols(); ++i)
+      direct_mw(k, i) /= std::sqrt(masses[i] * units::kAmuToMe);
+  EXPECT_LT(la::max_abs_diff(props.dalpha_mw, direct_mw), 1e-8);
+}
+
+TEST(Assembly, PairCorrectionsCancelForNonInteractingModel) {
+  // ModelEngine has no inter-fragment bonded terms, so E_ij = E_i + E_j
+  // exactly and the generalized-concap corrections must vanish.
+  BioSystem sys;
+  sys.waters.push_back(chem::make_water({0, 0, 0}));
+  sys.waters.push_back(chem::make_water({5.0, 0, 0}));  // within 4 A
+
+  FragmentationOptions no2body;
+  no2body.include_two_body = false;
+  const Fragmentation fr_with = fragment_biosystem(sys);
+  const Fragmentation fr_without = fragment_biosystem(sys, no2body);
+  EXPECT_GT(fr_with.fragments.size(), fr_without.fragments.size());
+
+  const auto res_with = run_engine(fr_with.fragments);
+  const auto res_without = run_engine(fr_without.fragments);
+  const auto p_with =
+      assemble_global_properties(sys, fr_with.fragments, res_with);
+  const auto p_without =
+      assemble_global_properties(sys, fr_without.fragments, res_without);
+  EXPECT_LT(la::max_abs_diff(p_with.hessian_mw.to_dense(),
+                             p_without.hessian_mw.to_dense()),
+            1e-12);
+}
+
+TEST(Assembly, AcousticSumRuleEnforced) {
+  const BioSystem sys = small_protein_system(4, 31);
+  const Fragmentation fr = fragment_biosystem(sys);
+  const auto results = run_engine(fr.fragments);
+  const GlobalProperties props =
+      assemble_global_properties(sys, fr.fragments, results);
+  // Un-mass-weighted translation vector: t_c(3j+b) = delta_{bc};
+  // mass-weighted H annihilates M^{1/2} t.
+  const chem::Molecule merged = sys.merged();
+  const auto masses = merged.mass_vector_amu();
+  const std::size_t dim = 3 * merged.size();
+  for (int c = 0; c < 3; ++c) {
+    la::Vector t(dim, 0.0);
+    for (std::size_t a = 0; a < merged.size(); ++a)
+      t[3 * a + c] = std::sqrt(masses[3 * a] * units::kAmuToMe);
+    const la::Vector ht = props.hessian_mw.apply(t);
+    EXPECT_LT(la::nrm2(ht) / la::nrm2(t), 1e-10) << "direction " << c;
+  }
+}
+
+TEST(Assembly, EnergyIsWeightedSum) {
+  BioSystem sys;
+  sys.waters.push_back(chem::make_water({0, 0, 0}));
+  const Fragmentation fr = fragment_biosystem(sys);
+  std::vector<engine::FragmentResult> results(fr.fragments.size());
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    results[i].energy = 2.5;
+    results[i].hessian.resize_zero(3 * fr.fragments[i].n_atoms(),
+                                   3 * fr.fragments[i].n_atoms());
+    results[i].dalpha.resize_zero(6, 3 * fr.fragments[i].n_atoms());
+  }
+  const GlobalProperties props =
+      assemble_global_properties(sys, fr.fragments, results);
+  double expected = 0.0;
+  for (const auto& f : fr.fragments) expected += f.weight * 2.5;
+  EXPECT_DOUBLE_EQ(props.energy, expected);
+}
+
+TEST(Assembly, MismatchedResultCountThrows) {
+  BioSystem sys;
+  sys.waters.push_back(chem::make_water({0, 0, 0}));
+  const Fragmentation fr = fragment_biosystem(sys);
+  std::vector<engine::FragmentResult> results;  // empty
+  EXPECT_THROW(
+      assemble_global_properties(sys, fr.fragments, results),
+      InvalidArgument);
+}
+
+}  // namespace
+}  // namespace qfr::frag

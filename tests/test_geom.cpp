@@ -1,0 +1,118 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "qfr/common/error.hpp"
+#include "qfr/common/rng.hpp"
+#include "qfr/geom/cell_list.hpp"
+#include "qfr/geom/vec3.hpp"
+
+namespace qfr::geom {
+namespace {
+
+TEST(Vec3, Arithmetic) {
+  const Vec3 a{1, 2, 3}, b{4, 5, 6};
+  EXPECT_DOUBLE_EQ((a + b).x, 5.0);
+  EXPECT_DOUBLE_EQ((b - a).z, 3.0);
+  EXPECT_DOUBLE_EQ((a * 2.0).y, 4.0);
+  EXPECT_DOUBLE_EQ((2.0 * a).y, 4.0);
+  EXPECT_DOUBLE_EQ((a / 2.0).x, 0.5);
+  EXPECT_DOUBLE_EQ((-a).z, -3.0);
+}
+
+TEST(Vec3, DotCrossNorm) {
+  const Vec3 a{1, 0, 0}, b{0, 1, 0};
+  EXPECT_DOUBLE_EQ(a.dot(b), 0.0);
+  EXPECT_DOUBLE_EQ(a.cross(b).z, 1.0);
+  EXPECT_DOUBLE_EQ(Vec3(3, 4, 0).norm(), 5.0);
+  EXPECT_DOUBLE_EQ(Vec3(3, 4, 0).normalized().norm(), 1.0);
+}
+
+TEST(Vec3, NormalizedZeroIsZero) {
+  EXPECT_DOUBLE_EQ(Vec3{}.normalized().norm(), 0.0);
+}
+
+TEST(Vec3, IndexAccess) {
+  Vec3 v{7, 8, 9};
+  EXPECT_DOUBLE_EQ(v[0], 7.0);
+  EXPECT_DOUBLE_EQ(v[2], 9.0);
+  v[1] = -1.0;
+  EXPECT_DOUBLE_EQ(v.y, -1.0);
+}
+
+std::vector<std::pair<std::size_t, std::size_t>> brute_pairs(
+    const std::vector<Vec3>& pts, double cutoff) {
+  std::vector<std::pair<std::size_t, std::size_t>> pairs;
+  for (std::size_t i = 0; i < pts.size(); ++i)
+    for (std::size_t j = i + 1; j < pts.size(); ++j)
+      if (distance(pts[i], pts[j]) <= cutoff) pairs.emplace_back(i, j);
+  return pairs;
+}
+
+class CellListRandomTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(CellListRandomTest, PairsMatchBruteForce) {
+  const std::size_t n = GetParam();
+  Rng rng(n * 131);
+  std::vector<Vec3> pts(n);
+  for (auto& p : pts)
+    p = {rng.uniform(0, 30), rng.uniform(0, 30), rng.uniform(0, 30)};
+  const double cutoff = 4.0;
+  CellList cl(pts, cutoff);
+  auto fast = cl.all_pairs();
+  auto slow = brute_pairs(pts, cutoff);
+  std::sort(slow.begin(), slow.end());
+  EXPECT_EQ(fast, slow) << "n=" << n;
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, CellListRandomTest,
+                         ::testing::Values(1, 2, 10, 100, 500, 2000));
+
+TEST(CellList, EmptyPointSet) {
+  std::vector<Vec3> pts;
+  CellList cl(pts, 1.0);
+  EXPECT_TRUE(cl.all_pairs().empty());
+}
+
+TEST(CellList, InvalidCutoffThrows) {
+  std::vector<Vec3> pts{{0, 0, 0}};
+  EXPECT_THROW(CellList(pts, 0.0), InvalidArgument);
+  EXPECT_THROW(CellList(pts, -1.0), InvalidArgument);
+}
+
+TEST(CellList, NeighborQueryExcludesSelf) {
+  std::vector<Vec3> pts{{0, 0, 0}, {1, 0, 0}};
+  CellList cl(pts, 2.0);
+  std::vector<std::size_t> seen;
+  cl.for_each_neighbor(0, [&](std::size_t j) { seen.push_back(j); });
+  ASSERT_EQ(seen.size(), 1u);
+  EXPECT_EQ(seen[0], 1u);
+}
+
+TEST(CellList, ForEachWithinFindsAll) {
+  std::vector<Vec3> pts{{0, 0, 0}, {0.5, 0, 0}, {10, 10, 10}};
+  CellList cl(pts, 1.0);
+  int count = 0;
+  cl.for_each_within({0.1, 0, 0}, [&](std::size_t) { ++count; });
+  EXPECT_EQ(count, 2);
+}
+
+TEST(CellList, BoundaryDistanceExactlyCutoffIncluded) {
+  std::vector<Vec3> pts{{0, 0, 0}, {4.0, 0, 0}};
+  CellList cl(pts, 4.0);
+  EXPECT_EQ(cl.all_pairs().size(), 1u);
+}
+
+TEST(CellList, ClusteredPointsAllFound) {
+  // All points in one tiny region: stress duplicate-cell handling.
+  Rng rng(5);
+  std::vector<Vec3> pts(50);
+  for (auto& p : pts)
+    p = {rng.uniform(0, 0.1), rng.uniform(0, 0.1), rng.uniform(0, 0.1)};
+  CellList cl(pts, 1.0);
+  EXPECT_EQ(cl.all_pairs().size(), 50u * 49u / 2u);
+}
+
+}  // namespace
+}  // namespace qfr::geom

@@ -1,0 +1,196 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "qfr/chem/molecule.hpp"
+#include "qfr/common/units.hpp"
+#include "qfr/grid/molgrid.hpp"
+#include "qfr/grid/orbital_eval.hpp"
+#include "qfr/la/blas.hpp"
+#include "qfr/poisson/multipole_poisson.hpp"
+#include "qfr/poisson/spherical_harmonics.hpp"
+#include "qfr/scf/scf.hpp"
+
+namespace qfr {
+namespace {
+
+using chem::Element;
+using chem::Molecule;
+
+TEST(AngularRule, WeightsSumToOne) {
+  const auto& rule = grid::angular_rule_26();
+  ASSERT_EQ(rule.directions.size(), 26u);
+  double sum = 0.0;
+  for (double w : rule.weights) sum += w;
+  EXPECT_NEAR(sum, 1.0, 1e-14);
+  for (const auto& d : rule.directions) EXPECT_NEAR(d.norm(), 1.0, 1e-14);
+}
+
+TEST(AngularRule, IntegratesLowOrderPolynomialsExactly) {
+  // <x^2> over the unit sphere = 1/3; <x^4> = 1/5; <x^2 y^2> = 1/15.
+  const auto& rule = grid::angular_rule_26();
+  double x2 = 0.0, x4 = 0.0, x2y2 = 0.0, x1 = 0.0;
+  for (std::size_t k = 0; k < rule.directions.size(); ++k) {
+    const auto& d = rule.directions[k];
+    const double w = rule.weights[k];
+    x1 += w * d.x;
+    x2 += w * d.x * d.x;
+    x4 += w * d.x * d.x * d.x * d.x;
+    x2y2 += w * d.x * d.x * d.y * d.y;
+  }
+  EXPECT_NEAR(x1, 0.0, 1e-14);
+  EXPECT_NEAR(x2, 1.0 / 3.0, 1e-13);
+  EXPECT_NEAR(x4, 1.0 / 5.0, 1e-13);
+  EXPECT_NEAR(x2y2, 1.0 / 15.0, 1e-13);
+}
+
+TEST(MolGrid, IntegratesGaussianExactly) {
+  // int exp(-a r^2) d3r = (pi/a)^(3/2) around a single center.
+  Molecule m;
+  m.add(Element::H, {0, 0, 0});
+  grid::MolGrid g(m, 60);
+  const double a = 0.8;
+  const double val = g.integrate([&](std::size_t i) {
+    return std::exp(-a * g.points()[i].r.norm2());
+  });
+  EXPECT_NEAR(val, std::pow(units::kPi / a, 1.5), 1e-6);
+}
+
+TEST(MolGrid, BeckeWeightsPartitionUnity) {
+  // Integrating 1 * gaussian centered between two atoms must equal the
+  // single-center result: partition of unity.
+  Molecule m;
+  m.add(Element::H, {0, 0, 0});
+  m.add(Element::H, {0, 0, 1.4});
+  grid::MolGrid g(m, 60, /*n_theta=*/8);
+  const geom::Vec3 c{0, 0, 0.7};
+  const double a = 1.1;
+  const double val = g.integrate([&](std::size_t i) {
+    return std::exp(-a * (g.points()[i].r - c).norm2());
+  });
+  // The smoothed Becke partition limits multi-center accuracy to ~1e-5
+  // relative even with an exact angular rule.
+  EXPECT_NEAR(val, std::pow(units::kPi / a, 1.5), 5e-4);
+}
+
+TEST(MolGrid, ScfDensityIntegratesToElectronCount) {
+  const Molecule w = chem::make_water({0, 0, 0});
+  auto ctx = std::make_shared<scf::ScfContext>(scf::ScfContext::build(w));
+  const auto res = scf::ScfSolver(ctx).solve();
+  grid::MolGrid g(w, 50, /*n_theta=*/8);
+  const auto batch = grid::evaluate_basis(ctx->bs, g.points(), false);
+  const la::Vector rho = grid::density_on_batch(batch, res.density);
+  double n = 0.0;
+  for (std::size_t i = 0; i < rho.size(); ++i)
+    n += g.points()[i].weight * rho[i];
+  EXPECT_NEAR(n, 10.0, 5e-3);
+}
+
+TEST(OrbitalEval, GradientMatchesFiniteDifference) {
+  const Molecule w = chem::make_water({0, 0, 0});
+  const auto bs = basis::BasisSet::sto3g(w);
+  const double h = 1e-5;
+  grid::GridPoint base;
+  base.r = {0.31, -0.22, 0.57};
+  for (int c = 0; c < 3; ++c) {
+    grid::GridPoint plus = base, minus = base;
+    plus.r[c] += h;
+    minus.r[c] -= h;
+    const grid::GridPoint pts_arr[3] = {base, plus, minus};
+    const auto batch =
+        grid::evaluate_basis(bs, std::span<const grid::GridPoint>(pts_arr, 3),
+                             /*with_gradient=*/true);
+    for (std::size_t mu = 0; mu < bs.n_functions(); ++mu) {
+      const double fd = (batch.chi(1, mu) - batch.chi(2, mu)) / (2.0 * h);
+      EXPECT_NEAR(batch.grad[c](0, mu), fd, 1e-6)
+          << "component " << c << " bf " << mu;
+    }
+  }
+}
+
+TEST(SphericalHarmonics, OrthonormalOnAngularGrid) {
+  // The 26-point rule integrates Y_lm Y_l'm' exactly through l+l' <= 7.
+  const auto& rule = grid::angular_rule_26();
+  const int lmax = 3;
+  std::vector<std::vector<double>> y(rule.directions.size());
+  for (std::size_t k = 0; k < rule.directions.size(); ++k)
+    poisson::real_spherical_harmonics(rule.directions[k], lmax, y[k]);
+  const std::size_t n = poisson::n_harmonics(lmax);
+  for (std::size_t a = 0; a < n; ++a)
+    for (std::size_t b = 0; b <= a; ++b) {
+      double s = 0.0;
+      for (std::size_t k = 0; k < rule.directions.size(); ++k)
+        s += 4.0 * units::kPi * rule.weights[k] * y[k][a] * y[k][b];
+      EXPECT_NEAR(s, a == b ? 1.0 : 0.0, 1e-10) << "a=" << a << " b=" << b;
+    }
+}
+
+TEST(SphericalHarmonics, ExplicitLowOrderValues) {
+  std::vector<double> y;
+  const geom::Vec3 dir{0.0, 0.0, 1.0};
+  poisson::real_spherical_harmonics(dir, 2, y);
+  EXPECT_NEAR(y[poisson::lm_index(0, 0)], 0.5 / std::sqrt(units::kPi), 1e-14);
+  EXPECT_NEAR(y[poisson::lm_index(1, 0)],
+              std::sqrt(3.0 / (4.0 * units::kPi)), 1e-14);
+  EXPECT_NEAR(y[poisson::lm_index(1, 1)], 0.0, 1e-14);
+}
+
+TEST(Poisson, GaussianPotentialMatchesErf) {
+  // Normalized Gaussian rho = (a/pi)^{3/2} exp(-a r^2): V(r) = erf(sqrt(a) r)/r.
+  Molecule m;
+  m.add(Element::H, {0, 0, 0});
+  grid::MolGrid g(m, 70);
+  poisson::MultipolePoisson solver(g, 2);
+  const double a = 0.9;
+  std::vector<double> rho(g.size());
+  for (std::size_t i = 0; i < g.size(); ++i)
+    rho[i] = std::pow(a / units::kPi, 1.5) *
+             std::exp(-a * g.points()[i].r.norm2());
+  const auto sol = solver.solve_moments(rho);
+  for (const double r : {0.5, 1.0, 2.0, 4.0, 8.0}) {
+    const double v = solver.evaluate(sol, {0, 0, r});
+    const double ref = std::erf(std::sqrt(a) * r) / r;
+    EXPECT_NEAR(v, ref, 2e-3) << "r=" << r;
+  }
+}
+
+TEST(Poisson, OffCenterGaussianFarField) {
+  // Far from an off-center unit charge the potential approaches 1/|r - c|.
+  Molecule m;
+  m.add(Element::O, {0, 0, 0});
+  grid::MolGrid g(m, 70);
+  poisson::MultipolePoisson solver(g, 4);
+  const geom::Vec3 c{0.4, 0.0, 0.0};  // off-center source
+  const double a = 2.0;
+  std::vector<double> rho(g.size());
+  for (std::size_t i = 0; i < g.size(); ++i)
+    rho[i] = std::pow(a / units::kPi, 1.5) *
+             std::exp(-a * (g.points()[i].r - c).norm2());
+  const auto sol = solver.solve_moments(rho);
+  const geom::Vec3 far{10.0, 3.0, -2.0};
+  EXPECT_NEAR(solver.evaluate(sol, far), 1.0 / (far - c).norm(), 2e-3);
+}
+
+TEST(Poisson, HartreeEnergyMatchesAnalyticCoulomb) {
+  // E_H = 1/2 int rho V = 1/2 Tr[P J(P)], with J from analytic ERIs.
+  const Molecule w = chem::make_water({0, 0, 0});
+  auto ctx = std::make_shared<scf::ScfContext>(scf::ScfContext::build(w));
+  const auto res = scf::ScfSolver(ctx).solve();
+  grid::MolGrid g(w, 60);
+  const auto batch = grid::evaluate_basis(ctx->bs, g.points(), false);
+  const la::Vector rho = grid::density_on_batch(batch, res.density);
+  poisson::MultipolePoisson solver(g, 4);
+  const la::Vector v = solver.solve(rho);
+  double e_grid = 0.0;
+  for (std::size_t i = 0; i < rho.size(); ++i)
+    e_grid += 0.5 * g.points()[i].weight * rho[i] * v[i];
+  const double e_exact =
+      0.5 * la::trace_product(res.density, ctx->eri.coulomb(res.density));
+  // The 26-point angular rule and lmax=4 give percent-level accuracy;
+  // the point of this test is structural agreement of two independent
+  // electrostatics paths.
+  EXPECT_NEAR(e_grid, e_exact, 0.05 * e_exact);
+}
+
+}  // namespace
+}  // namespace qfr

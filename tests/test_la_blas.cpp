@@ -1,0 +1,198 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+
+#include "qfr/common/rng.hpp"
+#include "qfr/la/blas.hpp"
+#include "qfr/la/matrix.hpp"
+
+namespace qfr::la {
+namespace {
+
+Matrix random_matrix(std::size_t r, std::size_t c, Rng& rng) {
+  Matrix m(r, c);
+  for (std::size_t i = 0; i < r; ++i)
+    for (std::size_t j = 0; j < c; ++j) m(i, j) = rng.uniform(-1.0, 1.0);
+  return m;
+}
+
+// Reference O(n^3) triple loop used to validate the blocked kernel.
+Matrix naive_gemm(Trans ta, Trans tb, double alpha, const Matrix& a,
+                  const Matrix& b, double beta, const Matrix& c0) {
+  const std::size_t m = c0.rows(), n = c0.cols();
+  const std::size_t k = (ta == Trans::kNo) ? a.cols() : a.rows();
+  Matrix c = c0;
+  for (std::size_t i = 0; i < m; ++i)
+    for (std::size_t j = 0; j < n; ++j) {
+      double acc = 0.0;
+      for (std::size_t p = 0; p < k; ++p) {
+        const double av = (ta == Trans::kNo) ? a(i, p) : a(p, i);
+        const double bv = (tb == Trans::kNo) ? b(p, j) : b(j, p);
+        acc += av * bv;
+      }
+      c(i, j) = alpha * acc + beta * c0(i, j);
+    }
+  return c;
+}
+
+TEST(Matrix, InitializerListAndIndexing) {
+  Matrix m{{1.0, 2.0}, {3.0, 4.0}};
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 2u);
+  EXPECT_DOUBLE_EQ(m(0, 1), 2.0);
+  EXPECT_DOUBLE_EQ(m(1, 0), 3.0);
+}
+
+TEST(Matrix, IdentityAndTranspose) {
+  const Matrix i3 = Matrix::identity(3);
+  EXPECT_DOUBLE_EQ(i3(1, 1), 1.0);
+  EXPECT_DOUBLE_EQ(i3(0, 2), 0.0);
+  Matrix m{{1.0, 2.0, 3.0}, {4.0, 5.0, 6.0}};
+  const Matrix t = m.transposed();
+  EXPECT_EQ(t.rows(), 3u);
+  EXPECT_DOUBLE_EQ(t(2, 1), 6.0);
+}
+
+TEST(Matrix, ArithmeticOperators) {
+  Matrix a{{1.0, 2.0}, {3.0, 4.0}};
+  Matrix b{{1.0, 1.0}, {1.0, 1.0}};
+  const Matrix s = a + b;
+  const Matrix d = a - b;
+  const Matrix sc = a * 2.0;
+  EXPECT_DOUBLE_EQ(s(1, 1), 5.0);
+  EXPECT_DOUBLE_EQ(d(0, 0), 0.0);
+  EXPECT_DOUBLE_EQ(sc(1, 0), 6.0);
+}
+
+TEST(Matrix, ShapeMismatchThrows) {
+  Matrix a(2, 2), b(3, 3);
+  EXPECT_THROW(a += b, InvalidArgument);
+}
+
+struct GemmCase {
+  std::size_t m, n, k;
+  Trans ta, tb;
+  double alpha, beta;
+};
+
+class GemmParamTest : public ::testing::TestWithParam<GemmCase> {};
+
+TEST_P(GemmParamTest, MatchesNaiveReference) {
+  const auto& p = GetParam();
+  Rng rng(p.m * 10007 + p.n * 101 + p.k);
+  const Matrix a = (p.ta == Trans::kNo) ? random_matrix(p.m, p.k, rng)
+                                        : random_matrix(p.k, p.m, rng);
+  const Matrix b = (p.tb == Trans::kNo) ? random_matrix(p.k, p.n, rng)
+                                        : random_matrix(p.n, p.k, rng);
+  const Matrix c0 = random_matrix(p.m, p.n, rng);
+  Matrix c = c0;
+  gemm(p.ta, p.tb, p.alpha, a, b, p.beta, c);
+  const Matrix ref = naive_gemm(p.ta, p.tb, p.alpha, a, b, p.beta, c0);
+  EXPECT_LT(max_abs_diff(c, ref), 1e-11)
+      << "m=" << p.m << " n=" << p.n << " k=" << p.k;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ShapesAndFlags, GemmParamTest,
+    ::testing::Values(
+        GemmCase{1, 1, 1, Trans::kNo, Trans::kNo, 1.0, 0.0},
+        GemmCase{3, 5, 7, Trans::kNo, Trans::kNo, 1.0, 0.0},
+        GemmCase{16, 16, 16, Trans::kNo, Trans::kNo, 2.0, 1.0},
+        GemmCase{65, 130, 129, Trans::kNo, Trans::kNo, 1.0, 0.5},
+        GemmCase{64, 256, 128, Trans::kNo, Trans::kNo, 1.0, 0.0},
+        GemmCase{70, 300, 140, Trans::kNo, Trans::kNo, -1.5, 2.0},
+        GemmCase{33, 47, 61, Trans::kYes, Trans::kNo, 1.0, 0.0},
+        GemmCase{33, 47, 61, Trans::kNo, Trans::kYes, 1.0, 0.0},
+        GemmCase{33, 47, 61, Trans::kYes, Trans::kYes, 1.0, 0.0},
+        GemmCase{129, 65, 257, Trans::kYes, Trans::kYes, 0.7, -0.3},
+        GemmCase{1, 100, 50, Trans::kNo, Trans::kNo, 1.0, 0.0},
+        GemmCase{100, 1, 50, Trans::kYes, Trans::kNo, 1.0, 1.0}));
+
+TEST(Gemm, AlphaZeroOnlyScalesC) {
+  Rng rng(5);
+  Matrix a = random_matrix(4, 4, rng), b = random_matrix(4, 4, rng);
+  Matrix c = random_matrix(4, 4, rng);
+  const Matrix expected = c * 0.5;
+  gemm(Trans::kNo, Trans::kNo, 0.0, a, b, 0.5, c);
+  EXPECT_LT(max_abs_diff(c, expected), 1e-14);
+}
+
+TEST(Gemm, ShapeMismatchThrows) {
+  Matrix a(2, 3), b(4, 5), c(2, 5);
+  EXPECT_THROW(gemm(Trans::kNo, Trans::kNo, 1.0, a, b, 0.0, c),
+               InvalidArgument);
+}
+
+TEST(Gemv, MatchesManualProduct) {
+  Matrix a{{1.0, 2.0, 3.0}, {4.0, 5.0, 6.0}};
+  Vector x{1.0, 0.0, -1.0};
+  Vector y{10.0, 20.0};
+  gemv(Trans::kNo, 2.0, a, x, 1.0, y);
+  EXPECT_DOUBLE_EQ(y[0], 10.0 + 2.0 * (1.0 - 3.0));
+  EXPECT_DOUBLE_EQ(y[1], 20.0 + 2.0 * (4.0 - 6.0));
+}
+
+TEST(Gemv, TransposedMatchesNaive) {
+  Rng rng(3);
+  const Matrix a = random_matrix(7, 5, rng);
+  Vector x(7), y(5, 0.0);
+  for (auto& v : x) v = rng.uniform(-1, 1);
+  gemv(Trans::kYes, 1.0, a, x, 0.0, y);
+  for (std::size_t j = 0; j < 5; ++j) {
+    double acc = 0.0;
+    for (std::size_t i = 0; i < 7; ++i) acc += a(i, j) * x[i];
+    EXPECT_NEAR(y[j], acc, 1e-13);
+  }
+}
+
+TEST(Syrk, MatchesGemmWithTranspose) {
+  Rng rng(9);
+  const Matrix a = random_matrix(20, 33, rng);
+  Matrix c_syrk(20, 20), c_gemm(20, 20);
+  syrk(1.0, a, 0.0, c_syrk);
+  gemm(Trans::kNo, Trans::kYes, 1.0, a, a, 0.0, c_gemm);
+  EXPECT_LT(max_abs_diff(c_syrk, c_gemm), 1e-12);
+}
+
+TEST(Syrk, ResultIsExactlySymmetric) {
+  Rng rng(10);
+  const Matrix a = random_matrix(15, 40, rng);
+  Matrix c(15, 15);
+  syrk(2.5, a, 0.0, c);
+  EXPECT_LT(max_abs_diff(c, c.transposed()), 0.0 + 1e-300);
+}
+
+TEST(VectorOps, DotNormAxpyScal) {
+  Vector x{3.0, 4.0};
+  Vector y{1.0, 1.0};
+  EXPECT_DOUBLE_EQ(dot(x, y), 7.0);
+  EXPECT_DOUBLE_EQ(nrm2(x), 5.0);
+  axpy(2.0, x, y);
+  EXPECT_DOUBLE_EQ(y[0], 7.0);
+  scal(0.5, y);
+  EXPECT_DOUBLE_EQ(y[1], 4.5);
+}
+
+TEST(VectorOps, LengthMismatchThrows) {
+  Vector x{1.0}, y{1.0, 2.0};
+  EXPECT_THROW(dot(x, y), InvalidArgument);
+  EXPECT_THROW(axpy(1.0, x, y), InvalidArgument);
+}
+
+TEST(TraceProduct, MatchesExplicitProductTrace) {
+  Rng rng(12);
+  const Matrix a = random_matrix(6, 9, rng);
+  const Matrix b = random_matrix(9, 6, rng);
+  const Matrix ab = matmul(a, b);
+  double tr = 0.0;
+  for (std::size_t i = 0; i < 6; ++i) tr += ab(i, i);
+  EXPECT_NEAR(trace_product(a, b), tr, 1e-12);
+}
+
+TEST(Flops, GemmFlopCount) {
+  EXPECT_EQ(gemm_flops(10, 20, 30), 2ll * 10 * 20 * 30);
+}
+
+}  // namespace
+}  // namespace qfr::la

@@ -1,0 +1,103 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "qfr/common/rng.hpp"
+#include "qfr/la/blas.hpp"
+#include "qfr/la/sparse.hpp"
+
+namespace qfr::la {
+namespace {
+
+TEST(Csr, FromTripletsBasic) {
+  const auto m = CsrMatrix::from_triplets(
+      3, 3, {{0, 0, 1.0}, {1, 2, 2.0}, {2, 1, 3.0}});
+  EXPECT_EQ(m.nnz(), 3u);
+  const Matrix d = m.to_dense();
+  EXPECT_DOUBLE_EQ(d(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(d(1, 2), 2.0);
+  EXPECT_DOUBLE_EQ(d(2, 1), 3.0);
+  EXPECT_DOUBLE_EQ(d(0, 1), 0.0);
+}
+
+TEST(Csr, DuplicateTripletsAreSummed) {
+  const auto m = CsrMatrix::from_triplets(
+      2, 2, {{0, 1, 1.5}, {0, 1, 2.5}, {1, 1, -1.0}, {1, 1, 1.0}});
+  EXPECT_EQ(m.nnz(), 2u);
+  const Matrix d = m.to_dense();
+  EXPECT_DOUBLE_EQ(d(0, 1), 4.0);
+  EXPECT_DOUBLE_EQ(d(1, 1), 0.0);
+}
+
+TEST(Csr, OutOfBoundsTripletThrows) {
+  EXPECT_THROW(CsrMatrix::from_triplets(2, 2, {{2, 0, 1.0}}),
+               InvalidArgument);
+}
+
+TEST(Csr, EmptyRowsHandled) {
+  const auto m = CsrMatrix::from_triplets(5, 5, {{0, 0, 1.0}, {4, 4, 2.0}});
+  Vector x(5, 1.0);
+  const Vector y = m.apply(x);
+  EXPECT_DOUBLE_EQ(y[0], 1.0);
+  EXPECT_DOUBLE_EQ(y[1], 0.0);
+  EXPECT_DOUBLE_EQ(y[4], 2.0);
+}
+
+TEST(Csr, MatvecMatchesDense) {
+  Rng rng(71);
+  std::vector<Triplet> trips;
+  const std::size_t n = 50;
+  for (int k = 0; k < 400; ++k)
+    trips.push_back({rng.below(n), rng.below(n), rng.uniform(-1.0, 1.0)});
+  const auto m = CsrMatrix::from_triplets(n, n, trips);
+  const Matrix d = m.to_dense();
+  Vector x(n), y_sparse(n, 0.5), y_dense(n, 0.5);
+  for (auto& v : x) v = rng.uniform(-1.0, 1.0);
+  m.matvec(2.0, x, 3.0, y_sparse);
+  gemv(Trans::kNo, 2.0, d, x, 3.0, y_dense);
+  for (std::size_t i = 0; i < n; ++i)
+    EXPECT_NEAR(y_sparse[i], y_dense[i], 1e-12);
+}
+
+TEST(Csr, RectangularMatvec) {
+  const auto m =
+      CsrMatrix::from_triplets(2, 4, {{0, 3, 2.0}, {1, 0, 1.0}, {1, 3, 1.0}});
+  Vector x{1.0, 2.0, 3.0, 4.0};
+  const Vector y = m.apply(x);
+  ASSERT_EQ(y.size(), 2u);
+  EXPECT_DOUBLE_EQ(y[0], 8.0);
+  EXPECT_DOUBLE_EQ(y[1], 5.0);
+}
+
+TEST(Csr, SymmetryDefectZeroForSymmetric) {
+  const auto m = CsrMatrix::from_triplets(
+      3, 3, {{0, 1, 2.0}, {1, 0, 2.0}, {1, 2, -1.0}, {2, 1, -1.0}, {0, 0, 5.0}});
+  EXPECT_DOUBLE_EQ(m.symmetry_defect(), 0.0);
+}
+
+TEST(Csr, SymmetryDefectDetectsAsymmetry) {
+  const auto m =
+      CsrMatrix::from_triplets(2, 2, {{0, 1, 2.0}, {1, 0, 1.0}});
+  EXPECT_DOUBLE_EQ(m.symmetry_defect(), 1.0);
+}
+
+TEST(Csr, ScaleSymmetricIsMassWeighting) {
+  // H_mw(i,j) = H(i,j) / sqrt(m_i m_j): the mass-weighted Hessian transform.
+  const auto h = CsrMatrix::from_triplets(
+      2, 2, {{0, 0, 4.0}, {0, 1, 2.0}, {1, 0, 2.0}, {1, 1, 1.0}});
+  auto m = h;
+  Vector inv_sqrt_mass{0.5, 0.25};
+  m.scale_symmetric(inv_sqrt_mass);
+  const Matrix d = m.to_dense();
+  EXPECT_DOUBLE_EQ(d(0, 0), 4.0 * 0.25);
+  EXPECT_DOUBLE_EQ(d(0, 1), 2.0 * 0.5 * 0.25);
+  EXPECT_DOUBLE_EQ(d(1, 1), 1.0 * 0.0625);
+}
+
+TEST(Csr, MatvecFlops) {
+  const auto m = CsrMatrix::from_triplets(3, 3, {{0, 0, 1.0}, {1, 1, 1.0}});
+  EXPECT_EQ(m.matvec_flops(), 4);
+}
+
+}  // namespace
+}  // namespace qfr::la

@@ -1,0 +1,164 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "qfr/chem/molecule.hpp"
+#include "qfr/common/error.hpp"
+#include "qfr/common/units.hpp"
+#include "qfr/engine/model_engine.hpp"
+#include "qfr/spectra/normal_modes.hpp"
+
+namespace qfr::spectra {
+namespace {
+
+using chem::Molecule;
+
+la::Matrix mass_weight(const la::Matrix& h, const Molecule& mol) {
+  const auto masses = mol.mass_vector_amu();
+  la::Matrix mw = h;
+  for (std::size_t i = 0; i < mw.rows(); ++i)
+    for (std::size_t j = 0; j < mw.cols(); ++j)
+      mw(i, j) /= std::sqrt(masses[i] * units::kAmuToMe * masses[j] *
+                            units::kAmuToMe);
+  return mw;
+}
+
+la::Matrix mass_weight_rows(const la::Matrix& d, const Molecule& mol) {
+  const auto masses = mol.mass_vector_amu();
+  la::Matrix out = d;
+  for (std::size_t k = 0; k < out.rows(); ++k)
+    for (std::size_t i = 0; i < out.cols(); ++i)
+      out(k, i) /= std::sqrt(masses[i] * units::kAmuToMe);
+  return out;
+}
+
+struct WaterModes {
+  std::vector<NormalMode> modes;
+};
+
+WaterModes water_modes() {
+  const Molecule w = chem::make_water({0, 0, 0});
+  engine::ModelEngine eng;
+  const auto res = eng.compute(w);
+  WaterModes out;
+  out.modes = normal_modes(mass_weight(res.hessian, w),
+                           mass_weight_rows(res.dalpha, w),
+                           mass_weight_rows(res.dmu, w));
+  return out;
+}
+
+TEST(NormalModes, WaterModeCountAndClasses) {
+  const auto wm = water_modes();
+  ASSERT_EQ(wm.modes.size(), 9u);
+  const ModeSummary s = summarize_modes(wm.modes);
+  EXPECT_EQ(s.n_imaginary, 0);
+  EXPECT_EQ(s.n_rigid_body, 6);
+  EXPECT_EQ(s.n_vibrational, 3);
+}
+
+TEST(NormalModes, DisplacementsOrthonormal) {
+  const auto wm = water_modes();
+  for (std::size_t a = 0; a < wm.modes.size(); ++a)
+    for (std::size_t b = 0; b <= a; ++b) {
+      double dot = 0.0;
+      for (std::size_t i = 0; i < 9; ++i)
+        dot += wm.modes[a].displacement[i] * wm.modes[b].displacement[i];
+      EXPECT_NEAR(dot, a == b ? 1.0 : 0.0, 1e-10);
+    }
+}
+
+TEST(NormalModes, StretchesCarryRamanAndIrActivity) {
+  const auto wm = water_modes();
+  // Last two modes are the O-H stretches.
+  for (std::size_t p = 7; p < 9; ++p) {
+    EXPECT_GT(wm.modes[p].frequency_cm, 3000.0);
+    EXPECT_GT(wm.modes[p].raman_activity, 1e-4);
+    EXPECT_GT(wm.modes[p].ir_intensity, 1e-6);
+  }
+}
+
+TEST(NormalModes, DepolarizationRatioInPhysicalRange) {
+  const auto wm = water_modes();
+  for (const auto& m : wm.modes) {
+    EXPECT_GE(m.depolarization, 0.0);
+    EXPECT_LE(m.depolarization, 0.75 + 1e-12);
+  }
+  // The symmetric O-H stretch (mode 7) is polarized (rho < 3/4); the
+  // antisymmetric stretch (mode 8) is fully depolarized (a' = 0 by
+  // symmetry => rho = 3/4).
+  EXPECT_LT(wm.modes[7].depolarization, 0.6);
+  EXPECT_NEAR(wm.modes[8].depolarization, 0.75, 0.01);
+}
+
+TEST(NormalModes, ActivitiesNonNegative) {
+  const auto wm = water_modes();
+  for (const auto& m : wm.modes) {
+    EXPECT_GE(m.raman_activity, 0.0);
+    EXPECT_GE(m.ir_intensity, 0.0);
+  }
+}
+
+TEST(NormalModes, EmptyDerivativesSkipped) {
+  const Molecule w = chem::make_water({0, 0, 0});
+  engine::ModelEngine eng;
+  const auto res = eng.compute(w);
+  const auto modes =
+      normal_modes(mass_weight(res.hessian, w), la::Matrix{}, la::Matrix{});
+  for (const auto& m : modes) {
+    EXPECT_DOUBLE_EQ(m.raman_activity, 0.0);
+    EXPECT_DOUBLE_EQ(m.ir_intensity, 0.0);
+  }
+}
+
+TEST(Thermo, ZpeMatchesHandSum) {
+  const auto wm = water_modes();
+  const auto t = harmonic_thermochemistry(wm.modes, 298.15);
+  double zpe = 0.0;
+  for (const auto& m : wm.modes)
+    if (m.frequency_cm > 15.0)
+      zpe += 0.5 * m.frequency_cm / units::kAuFrequencyToCm;
+  EXPECT_NEAR(t.zero_point_energy, zpe, 1e-12);
+  // Water ZPE (3 modes ~1600 + 2x3500) ~ 0.019-0.022 hartree.
+  EXPECT_GT(t.zero_point_energy, 0.015);
+  EXPECT_LT(t.zero_point_energy, 0.025);
+}
+
+TEST(Thermo, HighTemperatureLimits) {
+  // As T -> inf, Cv per mode -> k_B (equipartition).
+  const auto wm = water_modes();
+  const auto t = harmonic_thermochemistry(wm.modes, 50000.0);
+  EXPECT_NEAR(t.heat_capacity / (3.0 * units::kBoltzmannAu), 1.0, 0.05);
+}
+
+TEST(Thermo, LowTemperatureFreezesOut) {
+  const auto wm = water_modes();
+  const auto t = harmonic_thermochemistry(wm.modes, 10.0);
+  // All vibrations frozen: E ~ ZPE, S ~ 0, Cv ~ 0.
+  EXPECT_NEAR(t.vibrational_energy, t.zero_point_energy, 1e-10);
+  EXPECT_LT(t.entropy, 1e-12);
+  EXPECT_LT(t.heat_capacity, 1e-12);
+}
+
+TEST(Thermo, EntropyIncreasesWithTemperature) {
+  const auto wm = water_modes();
+  const auto t1 = harmonic_thermochemistry(wm.modes, 300.0);
+  const auto t2 = harmonic_thermochemistry(wm.modes, 600.0);
+  EXPECT_GT(t2.entropy, t1.entropy);
+  EXPECT_GT(t2.vibrational_energy, t1.vibrational_energy);
+}
+
+TEST(Thermo, InvalidTemperatureThrows) {
+  const auto wm = water_modes();
+  EXPECT_THROW(harmonic_thermochemistry(wm.modes, 0.0), InvalidArgument);
+}
+
+TEST(NormalModes, BadShapesThrow) {
+  la::Matrix h = la::Matrix::identity(6);
+  la::Matrix bad(2, 6);
+  EXPECT_THROW(normal_modes(h, bad, la::Matrix{}), InvalidArgument);
+  la::Matrix bad2(3, 5);
+  EXPECT_THROW(normal_modes(h, la::Matrix{}, bad2), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace qfr::spectra

@@ -1,0 +1,238 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "qfr/common/error.hpp"
+#include "qfr/common/rng.hpp"
+#include "qfr/common/units.hpp"
+#include "qfr/la/blas.hpp"
+#include "qfr/la/eig.hpp"
+#include "qfr/spectra/lanczos.hpp"
+#include "qfr/spectra/raman.hpp"
+
+namespace qfr::spectra {
+namespace {
+
+la::Matrix random_symmetric(std::size_t n, Rng& rng) {
+  la::Matrix m(n, n);
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = 0; j <= i; ++j) {
+      const double v = rng.uniform(-1.0, 1.0);
+      m(i, j) = v;
+      m(j, i) = v;
+    }
+  return m;
+}
+
+MatVec dense_op(const la::Matrix& a) {
+  return [&a](std::span<const double> x, std::span<double> y) {
+    la::gemv(la::Trans::kNo, 1.0, a, x, 0.0, y);
+  };
+}
+
+// Integrate a function against a spectral measure.
+double apply_measure(const SpectralMeasure& m,
+                     const std::function<double(double)>& f) {
+  double acc = 0.0;
+  for (std::size_t i = 0; i < m.nodes.size(); ++i)
+    acc += m.weights[i] * f(m.nodes[i]);
+  return acc;
+}
+
+TEST(Lanczos, ZeroStartVectorThrows) {
+  la::Matrix a = la::Matrix::identity(4);
+  la::Vector d(4, 0.0);
+  LanczosOptions opts;
+  EXPECT_THROW(lanczos(dense_op(a), d, 4, opts), InvalidArgument);
+}
+
+TEST(Lanczos, FullRunReproducesExactMeasure) {
+  Rng rng(101);
+  const std::size_t n = 24;
+  const la::Matrix a = random_symmetric(n, rng);
+  la::Vector d(n);
+  for (auto& v : d) v = rng.uniform(-1.0, 1.0);
+
+  LanczosOptions opts;
+  opts.steps = static_cast<int>(n);
+  const LanczosResult lr = lanczos(dense_op(a), d, n, opts);
+  const SpectralMeasure gauss = gauss_quadrature(lr);
+  const SpectralMeasure exact = exact_measure(a, d);
+
+  // Moments of the two measures must agree: d^T A^p d for p = 0..6.
+  for (int p = 0; p <= 6; ++p) {
+    auto f = [p](double x) { return std::pow(x, p); };
+    EXPECT_NEAR(apply_measure(gauss, f), apply_measure(exact, f), 1e-8)
+        << "moment " << p;
+  }
+}
+
+TEST(Lanczos, MomentsExactUpTo2kMinus1) {
+  // A k-point Gauss rule integrates polynomials of degree <= 2k-1 exactly.
+  Rng rng(103);
+  const std::size_t n = 40;
+  const la::Matrix a = random_symmetric(n, rng);
+  la::Vector d(n);
+  for (auto& v : d) v = rng.uniform(-1.0, 1.0);
+  const int k = 6;
+  LanczosOptions opts;
+  opts.steps = k;
+  const LanczosResult lr = lanczos(dense_op(a), d, n, opts);
+  const SpectralMeasure gauss = gauss_quadrature(lr);
+  const SpectralMeasure exact = exact_measure(a, d);
+  for (int p = 0; p <= 2 * k - 1; ++p) {
+    auto f = [p](double x) { return std::pow(x, p); };
+    const double ref = apply_measure(exact, f);
+    EXPECT_NEAR(apply_measure(gauss, f), ref,
+                1e-9 * std::max(1.0, std::fabs(ref)))
+        << "moment " << p;
+  }
+}
+
+TEST(Lanczos, GagqMoreAccurateThanPlainGauss) {
+  // For a smooth non-polynomial f, the averaged rule should beat the plain
+  // k-point rule (it is exact through higher degree).
+  Rng rng(107);
+  const std::size_t n = 60;
+  const la::Matrix a = random_symmetric(n, rng);
+  la::Vector d(n);
+  for (auto& v : d) v = rng.uniform(-1.0, 1.0);
+  const SpectralMeasure exact = exact_measure(a, d);
+  auto f = [](double x) { return std::exp(-x * x); };
+  const double ref = apply_measure(exact, f);
+
+  double err_gauss = 0.0, err_gagq = 0.0;
+  for (int k : {4, 6, 8, 10}) {
+    LanczosOptions opts;
+    opts.steps = k;
+    const LanczosResult lr = lanczos(dense_op(a), d, n, opts);
+    err_gauss += std::fabs(apply_measure(gauss_quadrature(lr), f) - ref);
+    err_gagq +=
+        std::fabs(apply_measure(averaged_gauss_quadrature(lr), f) - ref);
+  }
+  EXPECT_LT(err_gagq, err_gauss);
+}
+
+TEST(Lanczos, GagqMomentsExactThroughHigherDegree) {
+  // GAGQ from k steps should reproduce moments beyond degree 2k-1.
+  Rng rng(109);
+  const std::size_t n = 50;
+  const la::Matrix a = random_symmetric(n, rng);
+  la::Vector d(n);
+  for (auto& v : d) v = rng.uniform(-1.0, 1.0);
+  const int k = 5;
+  LanczosOptions opts;
+  opts.steps = k;
+  const LanczosResult lr = lanczos(dense_op(a), d, n, opts);
+  const SpectralMeasure plain = gauss_quadrature(lr);
+  const SpectralMeasure avg = averaged_gauss_quadrature(lr);
+  const SpectralMeasure exact = exact_measure(a, d);
+  // Degree 2k: plain Gauss has an error; GAGQ should be much closer.
+  auto f = [k](double x) { return std::pow(x, 2 * k); };
+  const double ref = apply_measure(exact, f);
+  const double e_plain = std::fabs(apply_measure(plain, f) - ref);
+  const double e_avg = std::fabs(apply_measure(avg, f) - ref);
+  EXPECT_LT(e_avg, 0.5 * e_plain + 1e-12);
+}
+
+TEST(Lanczos, BreakdownOnInvariantSubspaceGivesExactMeasure) {
+  // Start vector = eigenvector: Lanczos terminates after one step and the
+  // measure is a single exact delta.
+  la::Matrix a{{2.0, 0.0}, {0.0, 5.0}};
+  la::Vector d{1.0, 0.0};
+  LanczosOptions opts;
+  opts.steps = 2;
+  const LanczosResult lr = lanczos(dense_op(a), d, 2, opts);
+  EXPECT_TRUE(lr.breakdown);
+  const SpectralMeasure m = gauss_quadrature(lr);
+  ASSERT_EQ(m.nodes.size(), 1u);
+  EXPECT_NEAR(m.nodes[0], 2.0, 1e-12);
+  EXPECT_NEAR(m.weights[0], 1.0, 1e-12);
+}
+
+TEST(Broadening, AreaEqualsTotalWeight) {
+  SpectralMeasure m;
+  const double w_au = 1500.0 / units::kAuFrequencyToCm;
+  m.nodes = {w_au * w_au};  // eigenvalue lambda = omega^2
+  m.weights = {3.5};
+  const la::Vector axis = wavenumber_axis(500.0, 2500.0, 4001);
+  const la::Vector spec = broaden_to_wavenumbers(m, axis, 20.0);
+  double area = 0.0;
+  const double d_omega = axis[1] - axis[0];
+  for (double v : spec) area += v * d_omega;
+  EXPECT_NEAR(area, 3.5, 1e-3);
+  // Peak at 1500 cm^-1.
+  std::size_t imax = 0;
+  for (std::size_t i = 0; i < spec.size(); ++i)
+    if (spec[i] > spec[imax]) imax = i;
+  EXPECT_NEAR(axis[imax], 1500.0, 1.0);
+}
+
+TEST(Raman, LanczosMatchesExactForFullRank) {
+  Rng rng(113);
+  const std::size_t n = 18;
+  // Positive-definite "Hessian".
+  la::Matrix h = random_symmetric(n, rng);
+  la::Matrix h2(n, n);
+  la::gemm(la::Trans::kNo, la::Trans::kYes, 1e-6, h, h, 0.0, h2);
+  la::Matrix dalpha(kAlphaComponents, n);
+  for (std::size_t c = 0; c < kAlphaComponents; ++c)
+    for (std::size_t i = 0; i < n; ++i) dalpha(c, i) = rng.uniform(-1, 1);
+
+  const la::Vector axis = wavenumber_axis(0.0, 1000.0, 301);
+  const RamanSpectrum exact = raman_spectrum_exact(h2, dalpha, axis, 15.0);
+  LanczosOptions opts;
+  opts.steps = static_cast<int>(n);
+  const MatVec op = dense_op(h2);
+  const RamanSpectrum lz =
+      raman_spectrum_lanczos(op, n, dalpha, axis, 15.0, opts, false);
+  for (std::size_t i = 0; i < axis.size(); ++i)
+    EXPECT_NEAR(lz.intensity[i], exact.intensity[i],
+                1e-6 * (1.0 + exact.intensity[i]))
+        << "at " << axis[i];
+}
+
+TEST(Raman, IntensityNonNegative) {
+  Rng rng(127);
+  const std::size_t n = 12;
+  la::Matrix h = random_symmetric(n, rng);
+  la::Matrix h2(n, n);
+  la::gemm(la::Trans::kNo, la::Trans::kYes, 1e-6, h, h, 0.0, h2);
+  la::Matrix dalpha(kAlphaComponents, n);
+  for (std::size_t c = 0; c < kAlphaComponents; ++c)
+    for (std::size_t i = 0; i < n; ++i) dalpha(c, i) = rng.uniform(-1, 1);
+  const la::Vector axis = wavenumber_axis(0.0, 2000.0, 101);
+  const RamanSpectrum s = raman_spectrum_exact(h2, dalpha, axis, 10.0);
+  for (double v : s.intensity) EXPECT_GE(v, 0.0);
+}
+
+TEST(Raman, DiatomicFrequencyPlacedCorrectly) {
+  // 1D two-mass toy: H = k (x1 - x2)^2 / 2 in mass-weighted coordinates
+  // gives omega = sqrt(k (1/m1 + 1/m2)).
+  const double k = 0.3, m1 = 2.0 * units::kAmuToMe, m2 = 3.0 * units::kAmuToMe;
+  la::Matrix h{{k / m1, -k / std::sqrt(m1 * m2)},
+               {-k / std::sqrt(m1 * m2), k / m2}};
+  const la::Vector freqs = vibrational_frequencies_cm(h);
+  const double omega_ref =
+      std::sqrt(k * (1.0 / m1 + 1.0 / m2)) * units::kAuFrequencyToCm;
+  EXPECT_NEAR(freqs[0], 0.0, 1e-6);  // translation
+  EXPECT_NEAR(freqs[1], omega_ref, 1e-6);
+}
+
+TEST(Raman, WavenumberAxisEndpoints) {
+  const la::Vector axis = wavenumber_axis(100.0, 200.0, 11);
+  EXPECT_DOUBLE_EQ(axis.front(), 100.0);
+  EXPECT_DOUBLE_EQ(axis.back(), 200.0);
+  EXPECT_NEAR(axis[5], 150.0, 1e-12);
+  EXPECT_THROW(wavenumber_axis(5.0, 1.0, 10), InvalidArgument);
+}
+
+TEST(Raman, BadDalphaShapeThrows) {
+  la::Matrix h = la::Matrix::identity(6);
+  la::Matrix dalpha(3, 6);  // wrong row count
+  const la::Vector axis = wavenumber_axis(0.0, 100.0, 5);
+  EXPECT_THROW(raman_spectrum_exact(h, dalpha, axis, 5.0), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace qfr::spectra

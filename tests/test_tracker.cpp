@@ -1,0 +1,94 @@
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "qfr/common/error.hpp"
+#include "qfr/runtime/fragment_tracker.hpp"
+
+namespace qfr::runtime {
+namespace {
+
+TEST(Tracker, LifecycleHappyPath) {
+  FragmentTracker t(3, 10.0);
+  EXPECT_EQ(t.state(0), FragmentState::kUnprocessed);
+  t.mark_processing(0, 0.0);
+  EXPECT_EQ(t.state(0), FragmentState::kProcessing);
+  EXPECT_TRUE(t.mark_completed(0));
+  EXPECT_EQ(t.state(0), FragmentState::kCompleted);
+  EXPECT_EQ(t.n_completed(), 1u);
+  EXPECT_FALSE(t.all_completed());
+  EXPECT_TRUE(t.mark_completed(1));
+  EXPECT_TRUE(t.mark_completed(2));
+  EXPECT_TRUE(t.all_completed());
+}
+
+TEST(Tracker, DuplicateCompletionRejected) {
+  FragmentTracker t(1, 10.0);
+  t.mark_processing(0, 0.0);
+  EXPECT_TRUE(t.mark_completed(0));
+  EXPECT_FALSE(t.mark_completed(0));  // stale duplicate must be discarded
+  EXPECT_EQ(t.n_completed(), 1u);
+}
+
+TEST(Tracker, StragglerRequeuedAfterTimeout) {
+  FragmentTracker t(4, 5.0);
+  t.mark_processing(0, 0.0);
+  t.mark_processing(1, 3.0);
+  t.mark_processing(2, 0.0);
+  EXPECT_TRUE(t.mark_completed(2));
+  // At t = 6: fragment 0 exceeded the 5 s timeout, fragment 1 did not.
+  const auto requeued = t.requeue_stragglers(6.0);
+  ASSERT_EQ(requeued.size(), 1u);
+  EXPECT_EQ(requeued[0], 0u);
+  EXPECT_EQ(t.state(0), FragmentState::kUnprocessed);
+  EXPECT_EQ(t.state(1), FragmentState::kProcessing);
+  EXPECT_EQ(t.state(2), FragmentState::kCompleted);
+  EXPECT_EQ(t.n_requeued(), 1u);
+}
+
+TEST(Tracker, RequeuedFragmentCompletesOnce) {
+  // The slow original completion arriving after a re-queued copy finished
+  // must be rejected (paper: avoid double counting of Eq. (1) terms).
+  FragmentTracker t(1, 1.0);
+  t.mark_processing(0, 0.0);
+  auto requeued = t.requeue_stragglers(2.0);
+  ASSERT_EQ(requeued.size(), 1u);
+  t.mark_processing(0, 2.0);        // re-dispatched copy
+  EXPECT_TRUE(t.mark_completed(0)); // copy finishes
+  EXPECT_FALSE(t.mark_completed(0)); // original straggler reports late
+  EXPECT_EQ(t.n_completed(), 1u);
+}
+
+TEST(Tracker, LatePickupAfterCompletionIsIgnored) {
+  FragmentTracker t(1, 1.0);
+  t.mark_processing(0, 0.0);
+  EXPECT_TRUE(t.mark_completed(0));
+  t.mark_processing(0, 5.0);  // stale dispatch record arrives late
+  EXPECT_EQ(t.state(0), FragmentState::kCompleted);
+}
+
+TEST(Tracker, InvalidArgumentsRejected) {
+  EXPECT_THROW(FragmentTracker(1, 0.0), InvalidArgument);
+  FragmentTracker t(2, 1.0);
+  EXPECT_THROW(t.mark_processing(2, 0.0), InvalidArgument);
+  EXPECT_THROW(t.mark_completed(5), InvalidArgument);
+}
+
+TEST(Tracker, ConcurrentCompletionsCountOnce) {
+  FragmentTracker t(64, 100.0);
+  for (std::size_t i = 0; i < 64; ++i) t.mark_processing(i, 0.0);
+  std::vector<std::thread> threads;
+  std::atomic<int> accepted{0};
+  for (int w = 0; w < 4; ++w) {
+    threads.emplace_back([&] {
+      for (std::size_t i = 0; i < 64; ++i)
+        if (t.mark_completed(i)) accepted++;
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(accepted.load(), 64);
+  EXPECT_TRUE(t.all_completed());
+}
+
+}  // namespace
+}  // namespace qfr::runtime

@@ -1,0 +1,187 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "qfr/chem/protein.hpp"
+#include "qfr/common/error.hpp"
+#include "qfr/la/blas.hpp"
+#include "qfr/qframan/workflow.hpp"
+
+namespace qfr::qframan {
+namespace {
+
+frag::BioSystem water_cluster(std::size_t n) {
+  frag::BioSystem sys;
+  Rng rng(5);
+  for (std::size_t i = 0; i < n; ++i)
+    sys.waters.push_back(chem::make_water(
+        {static_cast<double>(7 * (i % 10)), static_cast<double>(7 * (i / 10)),
+         0.0},
+        rng.uniform(0, 6.28)));
+  return sys;
+}
+
+frag::BioSystem protein_system(std::size_t n_residues, std::uint64_t seed) {
+  frag::BioSystem sys;
+  chem::ProteinBuildOptions opts;
+  opts.n_residues = n_residues;
+  opts.seed = seed;
+  sys.chains.push_back(chem::build_synthetic_protein(opts));
+  return sys;
+}
+
+double peak_location(const spectra::RamanSpectrum& s, double lo, double hi) {
+  double best = 0.0, best_x = lo;
+  for (std::size_t i = 0; i < s.omega_cm.size(); ++i) {
+    if (s.omega_cm[i] < lo || s.omega_cm[i] > hi) continue;
+    if (s.intensity[i] > best) {
+      best = s.intensity[i];
+      best_x = s.omega_cm[i];
+    }
+  }
+  return best_x;
+}
+
+double band_integral(const spectra::RamanSpectrum& s, double lo, double hi) {
+  double acc = 0.0;
+  for (std::size_t i = 1; i < s.omega_cm.size(); ++i) {
+    const double x = s.omega_cm[i];
+    if (x < lo || x > hi) continue;
+    acc += s.intensity[i] * (s.omega_cm[i] - s.omega_cm[i - 1]);
+  }
+  return acc;
+}
+
+TEST(Workflow, WaterClusterBandsAtBendAndStretch) {
+  WorkflowOptions opts;
+  opts.sigma_cm = 20.0;
+  RamanWorkflow wf(opts);
+  const WorkflowResult res = wf.run(water_cluster(12));
+  EXPECT_EQ(res.fragmentation_stats.n_waters, 12u);
+  // O-H stretch band dominates near 3400-3700 in the model engine.
+  const double stretch = peak_location(res.spectrum, 2500, 4000);
+  EXPECT_GT(stretch, 3200.0);
+  EXPECT_LT(stretch, 3800.0);
+  // Bend band present.
+  EXPECT_GT(band_integral(res.spectrum, 1300, 2100), 0.0);
+}
+
+TEST(Workflow, ProteinSpectrumHasChStretchBand) {
+  WorkflowOptions opts;
+  opts.sigma_cm = 5.0;  // the paper's gas-phase smearing
+  RamanWorkflow wf(opts);
+  const WorkflowResult res = wf.run(protein_system(20, 3));
+  // C-H stretch region ~2900 must carry intensity (Fig. 12's marker band).
+  const double ch = band_integral(res.spectrum, 2700, 3100);
+  EXPECT_GT(ch, 0.0);
+  const double total = band_integral(res.spectrum, 10, 4000);
+  EXPECT_GT(ch / total, 0.02);
+}
+
+TEST(Workflow, LanczosMatchesExactSolver) {
+  frag::BioSystem sys = protein_system(8, 7);
+  WorkflowOptions exact_opts;
+  exact_opts.solver = SolverKind::kExact;
+  exact_opts.sigma_cm = 25.0;
+  const WorkflowResult exact = RamanWorkflow(exact_opts).run(sys);
+
+  WorkflowOptions lz_opts = exact_opts;
+  lz_opts.solver = SolverKind::kLanczosGagq;
+  lz_opts.lanczos_steps = 220;
+  const WorkflowResult lz = RamanWorkflow(lz_opts).run(sys);
+  ASSERT_TRUE(lz.used_lanczos);
+  ASSERT_FALSE(exact.used_lanczos);
+
+  // Broadened spectra agree to a small relative L2 error.
+  double num = 0.0, den = 0.0;
+  for (std::size_t i = 0; i < exact.spectrum.intensity.size(); ++i) {
+    const double d = exact.spectrum.intensity[i] - lz.spectrum.intensity[i];
+    num += d * d;
+    den += exact.spectrum.intensity[i] * exact.spectrum.intensity[i];
+  }
+  EXPECT_LT(std::sqrt(num / den), 0.08);
+}
+
+TEST(Workflow, GagqBeatsPlainLanczosAtFewSteps) {
+  frag::BioSystem sys = protein_system(8, 7);
+  WorkflowOptions exact_opts;
+  exact_opts.solver = SolverKind::kExact;
+  exact_opts.sigma_cm = 30.0;
+  const auto exact = RamanWorkflow(exact_opts).run(sys);
+
+  auto l2err = [&](SolverKind solver, int steps) {
+    WorkflowOptions o = exact_opts;
+    o.solver = solver;
+    o.lanczos_steps = steps;
+    const auto r = RamanWorkflow(o).run(sys);
+    double num = 0.0, den = 0.0;
+    for (std::size_t i = 0; i < exact.spectrum.intensity.size(); ++i) {
+      const double d = exact.spectrum.intensity[i] - r.spectrum.intensity[i];
+      num += d * d;
+      den += exact.spectrum.intensity[i] * exact.spectrum.intensity[i];
+    }
+    return std::sqrt(num / den);
+  };
+  double err_gagq = 0.0, err_plain = 0.0;
+  for (int steps : {40, 60, 80}) {
+    err_gagq += l2err(SolverKind::kLanczosGagq, steps);
+    err_plain += l2err(SolverKind::kLanczos, steps);
+  }
+  EXPECT_LT(err_gagq, err_plain * 1.02);
+}
+
+TEST(Workflow, AutoSolverSwitchesOnSize) {
+  // Small: exact; large: Lanczos.
+  WorkflowOptions opts;
+  const auto small = RamanWorkflow(opts).run(water_cluster(4));
+  EXPECT_FALSE(small.used_lanczos);
+  const auto big = RamanWorkflow(opts).run(water_cluster(80));
+  EXPECT_TRUE(big.used_lanczos);
+}
+
+TEST(Workflow, ScfHfEngineEndToEndOnWaters) {
+  // Two isolated waters through the full ab initio path.
+  frag::BioSystem sys;
+  sys.waters.push_back(chem::make_water({0, 0, 0}));
+  sys.waters.push_back(chem::make_water({25.0, 0, 0}));
+  WorkflowOptions opts;
+  opts.engine = EngineKind::kScfHf;
+  opts.sigma_cm = 30.0;
+  opts.omega_max_cm = 5000.0;  // HF/STO-3G stretches overshoot to ~4100+
+  const WorkflowResult res = RamanWorkflow(opts).run(sys);
+  // Three HF/STO-3G vibrations per water; stretch bands way up at ~4100+.
+  const double stretch = peak_location(res.spectrum, 3000, 4800);
+  EXPECT_GT(stretch, 3600.0);
+  EXPECT_GT(band_integral(res.spectrum, 1500, 2600), 0.0);  // bend region
+}
+
+TEST(Workflow, InvalidOptionsRejected) {
+  WorkflowOptions opts;
+  opts.omega_points = 1;
+  EXPECT_THROW(RamanWorkflow{opts}, InvalidArgument);
+  WorkflowOptions opts2;
+  opts2.omega_max_cm = -5.0;
+  EXPECT_THROW(RamanWorkflow{opts2}, InvalidArgument);
+}
+
+TEST(Workflow, DeterministicAcrossRuns) {
+  // Same system + options -> bitwise-identical spectra (no hidden global
+  // randomness anywhere in the pipeline).
+  const frag::BioSystem sys = protein_system(6, 77);
+  WorkflowOptions opts;
+  opts.sigma_cm = 15.0;
+  const auto a = RamanWorkflow(opts).run(sys);
+  const auto b = RamanWorkflow(opts).run(sys);
+  ASSERT_EQ(a.spectrum.intensity.size(), b.spectrum.intensity.size());
+  for (std::size_t i = 0; i < a.spectrum.intensity.size(); ++i)
+    EXPECT_DOUBLE_EQ(a.spectrum.intensity[i], b.spectrum.intensity[i]);
+}
+
+TEST(Workflow, EmptySystemRejected) {
+  RamanWorkflow wf;
+  EXPECT_THROW(wf.run(frag::BioSystem{}), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace qfr::qframan
