@@ -17,7 +17,7 @@ class SizeSensitivePolicy final : public PackingPolicy {
  public:
   explicit SizeSensitivePolicy(SizeSensitiveOptions opts) : opts_(opts) {}
 
-  void initialize(std::vector<WorkItem> items) override {
+  void do_initialize(std::vector<WorkItem> items) override {
     items_ = std::move(items);
     std::sort(items_.begin(), items_.end(),
               [](const WorkItem& a, const WorkItem& b) {
@@ -28,7 +28,7 @@ class SizeSensitivePolicy final : public PackingPolicy {
     max_cost_ = items_.empty() ? 0.0 : items_.front().cost;
   }
 
-  Task next_task(std::size_t /*queue_depth*/) override {
+  Task next_from_queue(std::size_t /*queue_depth*/) override {
     Task task;
     if (head_ >= items_.size()) return task;
 
@@ -66,7 +66,7 @@ class SizeSensitivePolicy final : public PackingPolicy {
     return task;
   }
 
-  bool drained() const override { return head_ >= items_.size(); }
+  bool queue_drained() const override { return head_ >= items_.size(); }
   std::string name() const override { return "size-sensitive"; }
 
  private:
@@ -83,19 +83,19 @@ class FifoPolicy final : public PackingPolicy {
     QFR_REQUIRE(pack_size >= 1, "pack size must be >= 1");
   }
 
-  void initialize(std::vector<WorkItem> items) override {
+  void do_initialize(std::vector<WorkItem> items) override {
     items_ = std::move(items);
     head_ = 0;
   }
 
-  Task next_task(std::size_t /*queue_depth*/) override {
+  Task next_from_queue(std::size_t /*queue_depth*/) override {
     Task task;
     for (std::size_t k = 0; k < pack_size_ && head_ < items_.size(); ++k)
       task.push_back(items_[head_++]);
     return task;
   }
 
-  bool drained() const override { return head_ >= items_.size(); }
+  bool queue_drained() const override { return head_ >= items_.size(); }
   std::string name() const override { return "fifo"; }
 
  private:
@@ -110,7 +110,7 @@ class StaticPolicy final : public PackingPolicy {
     QFR_REQUIRE(n_leaders >= 1, "need at least one leader");
   }
 
-  void initialize(std::vector<WorkItem> items) override {
+  void do_initialize(std::vector<WorkItem> items) override {
     // Pre-partition round-robin: leader j gets items j, j+L, j+2L, ...
     // handed out as one monolithic task per leader.
     buckets_.assign(n_leaders_, {});
@@ -119,7 +119,7 @@ class StaticPolicy final : public PackingPolicy {
     next_bucket_ = 0;
   }
 
-  Task next_task(std::size_t /*queue_depth*/) override {
+  Task next_from_queue(std::size_t /*queue_depth*/) override {
     while (next_bucket_ < buckets_.size()) {
       if (!buckets_[next_bucket_].empty())
         return std::move(buckets_[next_bucket_++]);
@@ -128,7 +128,7 @@ class StaticPolicy final : public PackingPolicy {
     return {};
   }
 
-  bool drained() const override {
+  bool queue_drained() const override {
     for (std::size_t b = next_bucket_; b < buckets_.size(); ++b)
       if (!buckets_[b].empty()) return false;
     return true;

@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstddef>
+#include <deque>
 #include <memory>
 #include <string>
 #include <vector>
@@ -18,22 +19,55 @@ struct WorkItem {
 using Task = std::vector<WorkItem>;
 
 /// Interface of the master's packing policy: initialize with the full
-/// fragment list, then hand out tasks until drained. Implementations are
-/// NOT thread safe; the master serializes access (matching the paper's
-/// single master process).
+/// fragment list, then hand out tasks until drained. Re-queued work
+/// (straggler timeouts, failure retries) re-enters through `requeue` and
+/// is served before fresh queue pops, so recovered fragments do not wait
+/// behind the whole remaining sweep. Implementations are NOT thread safe;
+/// the master (SweepScheduler) serializes access, matching the paper's
+/// single master process.
 class PackingPolicy {
  public:
   virtual ~PackingPolicy() = default;
 
-  virtual void initialize(std::vector<WorkItem> items) = 0;
+  /// Load the full fragment list; clears any pending re-queued work.
+  void initialize(std::vector<WorkItem> items) {
+    requeued_.clear();
+    do_initialize(std::move(items));
+  }
 
-  /// Pop the next task; empty task when drained. `queue_depth` is the
-  /// number of leaders currently waiting (the paper's leader queue),
-  /// letting size-sensitive packing shrink granularity near the tail.
-  virtual Task next_task(std::size_t queue_depth) = 0;
+  /// Pop the next task; empty task when drained. Re-queued tasks are
+  /// served first. `queue_depth` is the number of leaders currently
+  /// waiting (the paper's leader queue), letting size-sensitive packing
+  /// shrink granularity near the tail.
+  Task next_task(std::size_t queue_depth) {
+    if (!requeued_.empty()) {
+      Task t = std::move(requeued_.front());
+      requeued_.pop_front();
+      return t;
+    }
+    return next_from_queue(queue_depth);
+  }
 
-  virtual bool drained() const = 0;
+  /// Hand previously-dispatched fragments back for re-dispatch (the
+  /// master's status table flipped them to un-processed again).
+  void requeue(Task task) {
+    if (!task.empty()) requeued_.push_back(std::move(task));
+  }
+
+  bool drained() const { return requeued_.empty() && queue_drained(); }
+
+  /// Re-queued tasks currently pending (diagnostics).
+  std::size_t n_requeued_pending() const { return requeued_.size(); }
+
   virtual std::string name() const = 0;
+
+ protected:
+  virtual void do_initialize(std::vector<WorkItem> items) = 0;
+  virtual Task next_from_queue(std::size_t queue_depth) = 0;
+  virtual bool queue_drained() const = 0;
+
+ private:
+  std::deque<Task> requeued_;
 };
 
 /// The paper's system-size-sensitive policy (Sec. V-B):

@@ -2,9 +2,11 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <queue>
 
 #include "qfr/common/error.hpp"
+#include "qfr/runtime/sweep_scheduler.hpp"
 
 namespace qfr::cluster {
 
@@ -49,7 +51,14 @@ DesReport simulate_cluster(std::vector<balance::WorkItem> items,
   report.n_fragments = items.size();
   report.node_busy.assign(options.n_nodes, 0.0);
 
-  policy.initialize(std::move(items));
+  // The same master-side state machine the real runtime drives, advanced
+  // here with simulated time: status table, straggler timeout re-queue,
+  // size-sensitive packing through the shared policy.
+  runtime::SweepOptions sopts;
+  sopts.straggler_timeout = options.straggler_timeout;
+  sopts.max_retries = 0;  // the DES injects stalls, not failures
+  runtime::SweepScheduler scheduler(std::move(items), policy,
+                                    std::move(sopts));
 
   // Event queue: (time leader becomes available, leader id). All leaders
   // request their first task at t = 0.
@@ -57,35 +66,32 @@ DesReport simulate_cluster(std::vector<balance::WorkItem> items,
   std::priority_queue<Event, std::vector<Event>, std::greater<>> ready;
   for (std::size_t l = 0; l < n_leaders; ++l) ready.emplace(0.0, l);
 
-  // Tasks whose leader stalled and that must be re-dispatched: the
-  // master's status table flips them back to un-processed after the
-  // timeout (paper Sec. V-B).
-  std::vector<balance::Task> requeued;
-
+  constexpr double kDeadlineEps = 1e-9;
   double makespan = 0.0;
   while (!ready.empty()) {
     const auto [t, leader] = ready.top();
     ready.pop();
-    balance::Task task;
-    if (!requeued.empty()) {
-      task = std::move(requeued.back());
-      requeued.pop_back();
-    } else {
-      task = policy.next_task(ready.size());
-    }
+    balance::Task task = scheduler.acquire(ready.size(), t);
     if (task.empty()) {
-      makespan = std::max(makespan, t);
-      continue;  // leader retires
+      if (scheduler.finished()) {
+        makespan = std::max(makespan, t);
+        continue;  // leader retires
+      }
+      // Remaining fragments are in flight on stalled leaders: wake when
+      // the earliest straggler deadline can fire instead of polling.
+      double wake = scheduler.next_deadline() + kDeadlineEps;
+      if (!std::isfinite(wake)) wake = t + options.straggler_timeout;
+      ready.emplace(std::max(wake, t + kDeadlineEps), leader);
+      continue;
     }
-    ++report.n_tasks;
     const std::size_t node = leader / m.leaders_per_node;
 
     if (options.straggler_probability > 0.0 &&
         rng.uniform() < options.straggler_probability) {
-      // The leader stalls on this task; after the timeout the master
-      // re-queues the fragments and the leader asks for new work.
-      ++report.n_requeued_tasks;
-      requeued.push_back(std::move(task));
+      // The leader stalls on this task: its fragments stay "processing"
+      // in the status table until the timeout flips them back to
+      // un-processed and another leader picks them up.
+      ++report.n_stalled_tasks;
       report.node_busy[node] += options.straggler_timeout;
       ready.emplace(t + options.straggler_timeout, leader);
       continue;
@@ -102,6 +108,7 @@ DesReport simulate_cluster(std::vector<balance::WorkItem> items,
               m.fragment_overhead;
     }
     exec *= node_speed[node];
+    for (const auto& item : task) scheduler.complete(item.fragment_id);
 
     // Without prefetch the dispatch latency serializes with execution;
     // with prefetch the next request overlaps the current task.
@@ -111,6 +118,9 @@ DesReport simulate_cluster(std::vector<balance::WorkItem> items,
     ready.emplace(done, leader);
   }
 
+  report.n_tasks = scheduler.n_tasks();
+  report.n_requeued_tasks = scheduler.n_requeue_tasks();
+  report.task_log = scheduler.task_log();
   report.makespan = makespan;
   double sum = 0.0;
   for (double b : report.node_busy) sum += b;

@@ -50,7 +50,8 @@ struct DesOptions {
 /// Per-node outcome plus aggregate metrics (what Figs. 8/10/11 plot).
 struct DesReport {
   double makespan = 0.0;             ///< seconds
-  std::size_t n_requeued_tasks = 0;  ///< straggler re-queues that fired
+  std::size_t n_requeued_tasks = 0;  ///< re-dispatch tasks the master queued
+  std::size_t n_stalled_tasks = 0;   ///< straggler injections that fired
   std::vector<double> node_busy;     ///< busy seconds per node
   double mean_node_busy = 0.0;
   double min_variation = 0.0;        ///< (min busy - mean)/mean, Fig. 8 style
@@ -58,13 +59,18 @@ struct DesReport {
   double throughput = 0.0;           ///< fragments per second
   std::size_t n_fragments = 0;
   std::size_t n_tasks = 0;
+  /// Fragment ids per dispatched task in dispatch order (the shared
+  /// SweepScheduler's log; lets tests assert the DES and the real
+  /// runtime emit identical schedules).
+  std::vector<std::vector<std::size_t>> task_log;
 };
 
 /// Discrete-event simulation of the master/leader/worker schedule over
-/// `n_nodes` nodes. Identical scheduling logic to runtime::MasterRuntime,
-/// but time advances by a calibrated cost model instead of real execution
-/// — this is the substitution for the Sunway/ORISE hardware we do not
-/// have. Deterministic for a given seed.
+/// `n_nodes` nodes. Drives the same runtime::SweepScheduler state machine
+/// as runtime::MasterRuntime — the scheduling logic exists once — but
+/// advances it with simulated time from a calibrated cost model instead
+/// of real execution: the substitution for the Sunway/ORISE hardware we
+/// do not have. Deterministic for a given seed.
 DesReport simulate_cluster(std::vector<balance::WorkItem> items,
                            balance::PackingPolicy& policy,
                            const DesOptions& options);

@@ -13,7 +13,9 @@ namespace qfr::frag {
 namespace {
 
 constexpr std::uint32_t kMagic = 0x5146524Du;  // "QFRM"
-constexpr std::uint32_t kVersion = 2;
+constexpr std::uint32_t kVersion = 2;             // whole-vector format
+constexpr std::uint32_t kVersionIncremental = 3;  // append-only format
+constexpr std::uint64_t kSentinel = 0xC0FFEEu;
 
 void put_u64(std::ostream& os, std::uint64_t v) {
   os.write(reinterpret_cast<const char*>(&v), sizeof(v));
@@ -47,6 +49,30 @@ bool get_matrix(std::istream& is, la::Matrix* m) {
   return is.good();
 }
 
+void put_record(std::ostream& os, const engine::FragmentResult& r) {
+  put_f64(os, r.energy);
+  put_matrix(os, r.hessian);
+  put_matrix(os, r.alpha);
+  put_matrix(os, r.dalpha);
+  put_matrix(os, r.dmu);
+  put_u64(os, static_cast<std::uint64_t>(r.flops));
+  put_u64(os, static_cast<std::uint64_t>(r.displacement_tasks));
+  put_u64(os, kSentinel);  // record-complete sentinel
+}
+
+bool get_record(std::istream& is, engine::FragmentResult* r) {
+  std::uint64_t flops = 0, tasks = 0, sentinel = 0;
+  const bool ok = get_f64(is, &r->energy) && get_matrix(is, &r->hessian) &&
+                  get_matrix(is, &r->alpha) && get_matrix(is, &r->dalpha) &&
+                  get_matrix(is, &r->dmu) && get_u64(is, &flops) &&
+                  get_u64(is, &tasks) && get_u64(is, &sentinel) &&
+                  sentinel == kSentinel;
+  if (!ok) return false;
+  r->flops = static_cast<std::int64_t>(flops);
+  r->displacement_tasks = static_cast<int>(tasks);
+  return true;
+}
+
 }  // namespace
 
 void save_results(std::ostream& os,
@@ -54,16 +80,7 @@ void save_results(std::ostream& os,
   put_u64(os, kMagic);
   put_u64(os, kVersion);
   put_u64(os, results.size());
-  for (const auto& r : results) {
-    put_f64(os, r.energy);
-    put_matrix(os, r.hessian);
-    put_matrix(os, r.alpha);
-    put_matrix(os, r.dalpha);
-    put_matrix(os, r.dmu);
-    put_u64(os, static_cast<std::uint64_t>(r.flops));
-    put_u64(os, static_cast<std::uint64_t>(r.displacement_tasks));
-    put_u64(os, 0xC0FFEEu);  // record-complete sentinel
-  }
+  for (const auto& r : results) put_record(os, r);
   QFR_REQUIRE(os.good(), "checkpoint write failed");
 }
 
@@ -87,18 +104,10 @@ LoadReport load_results(std::istream& is) {
   report.results.reserve(count);
   for (std::uint64_t i = 0; i < count; ++i) {
     engine::FragmentResult r;
-    std::uint64_t flops = 0, tasks = 0, sentinel = 0;
-    const bool ok = get_f64(is, &r.energy) && get_matrix(is, &r.hessian) &&
-                    get_matrix(is, &r.alpha) && get_matrix(is, &r.dalpha) &&
-                    get_matrix(is, &r.dmu) && get_u64(is, &flops) &&
-                    get_u64(is, &tasks) && get_u64(is, &sentinel) &&
-                    sentinel == 0xC0FFEEu;
-    if (!ok) {
+    if (!get_record(is, &r)) {
       report.n_dropped = count - i;
       break;
     }
-    r.flops = static_cast<std::int64_t>(flops);
-    r.displacement_tasks = static_cast<int>(tasks);
     report.results.push_back(std::move(r));
   }
   return report;
@@ -108,6 +117,66 @@ LoadReport load_results_file(const std::string& path) {
   std::ifstream is(path, std::ios::binary);
   QFR_REQUIRE(is.good(), "cannot open '" << path << "' for reading");
   return load_results(is);
+}
+
+namespace {
+
+void put_incremental_header(std::ostream& os) {
+  put_u64(os, kMagic);
+  put_u64(os, kVersionIncremental);
+  QFR_REQUIRE(os.good(), "checkpoint header write failed");
+}
+
+}  // namespace
+
+CheckpointWriter::CheckpointWriter(const std::string& path)
+    : file_(path, std::ios::binary | std::ios::trunc) {
+  QFR_REQUIRE(file_.good(), "cannot open '" << path << "' for writing");
+  os_ = &file_;
+  put_incremental_header(*os_);
+  os_->flush();
+}
+
+CheckpointWriter::CheckpointWriter(std::ostream& os) : os_(&os) {
+  put_incremental_header(*os_);
+}
+
+void CheckpointWriter::append(std::size_t fragment_id,
+                              const engine::FragmentResult& result) {
+  put_u64(*os_, static_cast<std::uint64_t>(fragment_id));
+  put_record(*os_, result);
+  // Flush per record: a killed run loses at most the record in flight.
+  os_->flush();
+  QFR_REQUIRE(os_->good(), "checkpoint append failed");
+  ++n_;
+}
+
+ScanReport scan_checkpoint(std::istream& is) {
+  std::uint64_t magic = 0, version = 0;
+  QFR_REQUIRE(get_u64(is, &magic) && magic == kMagic,
+              "not a QF-RAMAN checkpoint stream");
+  QFR_REQUIRE(get_u64(is, &version) && version == kVersionIncremental,
+              "incremental checkpoint version mismatch (got "
+                  << version << ", expected " << kVersionIncremental << ")");
+  ScanReport report;
+  for (;;) {
+    std::uint64_t id = 0;
+    if (!get_u64(is, &id)) break;  // clean end of stream
+    engine::FragmentResult r;
+    if (!get_record(is, &r)) {
+      report.truncated = true;  // record in flight when the run died
+      break;
+    }
+    report.fragment_ids.push_back(static_cast<std::size_t>(id));
+    report.results.push_back(std::move(r));
+  }
+  return report;
+}
+
+ScanReport scan_checkpoint_file(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  QFR_REQUIRE(is.good(), "cannot open '" << path << "' for reading");
+  return scan_checkpoint(is);
 }
 
 }  // namespace qfr::frag

@@ -1,11 +1,14 @@
 #pragma once
 
+#include <cstddef>
+#include <fstream>
 #include <iosfwd>
 #include <span>
 #include <string>
 #include <vector>
 
 #include "qfr/engine/fragment_engine.hpp"
+#include "qfr/runtime/result_sink.hpp"
 
 namespace qfr::frag {
 
@@ -14,9 +17,17 @@ namespace qfr::frag {
 /// The fragment sweep dominates a QF-RAMAN run (at the paper's scale it is
 /// hours on a full supercomputer), so production runs must be resumable:
 /// results are streamed to disk as they complete and a restarted run only
-/// recomputes what is missing. The format is a versioned little-endian
-/// binary stream with a trailing per-record validity flag, so a run killed
-/// mid-write loses at most the last record.
+/// recomputes what is missing. Two formats share one record layout:
+///
+/// - v2 (save_results/load_results): a whole result vector with an
+///   up-front count, written once at the end of a run.
+/// - v3 (CheckpointWriter/scan_checkpoint): an append-only stream of
+///   (fragment id, result) records with no up-front count, flushed record
+///   by record as the sweep completes fragments. A run killed mid-write
+///   loses at most the trailing record; scan_checkpoint drops the
+///   truncated tail and reports how many bytes' worth of records were
+///   recovered, so a resume seeds the scheduler with exactly the
+///   completed prefix.
 
 /// Write all results (indexed by fragment id) to a stream/file.
 void save_results(std::ostream& os,
@@ -32,5 +43,54 @@ struct LoadReport {
 };
 LoadReport load_results(std::istream& is);
 LoadReport load_results_file(const std::string& path);
+
+/// Incremental (v3) checkpoint writer: records are appended and flushed
+/// one at a time as fragments complete. Not thread safe — the runtime
+/// serializes sink calls.
+class CheckpointWriter {
+ public:
+  /// Truncates `path` and writes a fresh v3 header.
+  explicit CheckpointWriter(const std::string& path);
+  CheckpointWriter(std::ostream& os);  ///< stream variant (tests)
+
+  /// Append one completed fragment's result and flush.
+  void append(std::size_t fragment_id, const engine::FragmentResult& result);
+
+  std::size_t n_written() const { return n_; }
+
+ private:
+  std::ofstream file_;
+  std::ostream* os_ = nullptr;
+  std::size_t n_ = 0;
+};
+
+/// Result of scanning an incremental checkpoint: parallel arrays of
+/// fragment id and result, in append order (ids may repeat only if the
+/// writer was misused; last record wins on resume).
+struct ScanReport {
+  std::vector<std::size_t> fragment_ids;
+  std::vector<engine::FragmentResult> results;
+  bool truncated = false;  ///< a partial trailing record was dropped
+};
+ScanReport scan_checkpoint(std::istream& is);
+ScanReport scan_checkpoint_file(const std::string& path);
+
+/// ResultSink adapter streaming every accepted fragment completion into
+/// an incremental checkpoint — this is what makes a RamanWorkflow sweep
+/// resumable.
+class CheckpointSink final : public runtime::ResultSink {
+ public:
+  explicit CheckpointSink(const std::string& path) : writer_(path) {}
+
+  void on_result(std::size_t fragment_id,
+                 const engine::FragmentResult& result) override {
+    writer_.append(fragment_id, result);
+  }
+
+  CheckpointWriter& writer() { return writer_; }
+
+ private:
+  CheckpointWriter writer_;
+};
 
 }  // namespace qfr::frag

@@ -1,6 +1,9 @@
 #include "qfr/qframan/workflow.hpp"
 
+#include <fstream>
+
 #include "qfr/common/error.hpp"
+#include "qfr/frag/checkpoint.hpp"
 #include "qfr/common/log.hpp"
 #include "qfr/common/timer.hpp"
 #include "qfr/engine/model_engine.hpp"
@@ -39,6 +42,13 @@ RamanWorkflow::RamanWorkflow(WorkflowOptions options)
 }
 
 WorkflowResult RamanWorkflow::run(const frag::BioSystem& system) const {
+  const std::unique_ptr<engine::FragmentEngine> eng =
+      make_engine(options_.engine);
+  return run(system, *eng);
+}
+
+WorkflowResult RamanWorkflow::run(const frag::BioSystem& system,
+                                  const engine::FragmentEngine& eng) const {
   QFR_REQUIRE(system.n_atoms() > 0, "empty biosystem");
   WorkflowResult out;
 
@@ -48,18 +58,75 @@ WorkflowResult RamanWorkflow::run(const frag::BioSystem& system) const {
   out.fragmentation_stats = fr.stats;
   QFR_LOG_INFO("fragmented system: ", fr.stats.total_fragments,
                " fragments over ", system.n_atoms(), " atoms");
+  const std::size_t n_fragments = fr.fragments.size();
 
-  // 2. Per-fragment quantum sweep through the hierarchical runtime.
-  const std::unique_ptr<engine::FragmentEngine> eng =
-      make_engine(options_.engine);
+  // 2a. Checkpoint resume: recover the completed prefix of an earlier
+  // sweep so only the missing fragments are recomputed.
+  std::vector<engine::FragmentResult> restored(n_fragments);
+  std::vector<std::size_t> completed_ids;
+  if (options_.resume && !options_.checkpoint_path.empty()) {
+    std::ifstream probe(options_.checkpoint_path, std::ios::binary);
+    if (probe.good()) {
+      frag::ScanReport scan = frag::scan_checkpoint(probe);
+      for (std::size_t k = 0; k < scan.fragment_ids.size(); ++k) {
+        const std::size_t id = scan.fragment_ids[k];
+        // Ids beyond the current fragmentation mean the checkpoint
+        // belongs to a different decomposition; skip them.
+        if (id >= n_fragments) continue;
+        if (restored[id].hessian.size() == 0) completed_ids.push_back(id);
+        restored[id] = std::move(scan.results[k]);
+      }
+      QFR_LOG_INFO("resume: ", completed_ids.size(), " of ", n_fragments,
+                   " fragments restored from '", options_.checkpoint_path,
+                   "'");
+    }
+  }
+
+  // 2b. Per-fragment quantum sweep through the hierarchical runtime. The
+  // sink rewrites the restored records first (the writer truncates), so
+  // the file always holds every completed fragment.
+  std::unique_ptr<frag::CheckpointSink> sink;
+  if (!options_.checkpoint_path.empty()) {
+    sink = std::make_unique<frag::CheckpointSink>(options_.checkpoint_path);
+    for (const std::size_t id : completed_ids)
+      sink->writer().append(id, restored[id]);
+  }
   runtime::RuntimeOptions ropts;
   ropts.n_leaders = options_.n_leaders;
   ropts.workers_per_leader = options_.workers_per_leader;
-  runtime::MasterRuntime rt(std::move(ropts));
+  ropts.straggler_timeout = options_.straggler_timeout;
+  ropts.max_retries = options_.max_retries;
+  ropts.abort_on_failure = false;  // failures reported below, after flush
+  ropts.sink = sink.get();
+  ropts.completed_ids = completed_ids;
+  const runtime::MasterRuntime rt(std::move(ropts));
   WallTimer engine_timer;
-  const runtime::RunReport report = rt.run(fr.fragments, *eng);
+  runtime::RunReport report = rt.run(fr.fragments, eng);
   out.engine_seconds = engine_timer.seconds();
   out.n_tasks = report.n_tasks;
+  for (const std::size_t id : completed_ids)
+    report.results[id] = std::move(restored[id]);
+
+  out.sweep.n_fragments = n_fragments;
+  out.sweep.n_tasks = report.n_tasks;
+  out.sweep.n_requeued = report.n_requeued;
+  out.sweep.n_retries = report.n_retries;
+  out.sweep.n_resumed = report.n_resumed;
+  out.sweep.outcomes = report.outcomes;
+  if (const std::size_t n_bad = report.n_failed(); n_bad > 0) {
+    // The checkpoint already holds every completed fragment, so a re-run
+    // with resume=true recomputes only the failures.
+    std::string first_error;
+    for (const auto& o : report.outcomes)
+      if (!o.completed && !o.error.empty()) {
+        first_error = o.error;
+        break;
+      }
+    QFR_NUMERIC_FAIL("fragment sweep failed for "
+                     << n_bad << " of " << n_fragments
+                     << " fragments (completed work checkpointed): "
+                     << first_error);
+  }
 
   // 3. Eq. (1) assembly into global properties.
   out.properties = frag::assemble_global_properties(

@@ -44,6 +44,30 @@ struct WorkflowOptions {
   /// Also compute the infrared spectrum (the engines already provide the
   /// atomic polar tensor, so this costs three extra matrix functionals).
   bool compute_ir = false;
+  /// Incremental checkpoint file for the fragment sweep; empty disables.
+  /// Every completed fragment streams to this file as the sweep runs, so
+  /// a killed run loses at most one fragment's work.
+  std::string checkpoint_path;
+  /// Seed the sweep with the fragments already present in
+  /// checkpoint_path: only missing fragments are recomputed.
+  bool resume = false;
+  /// Fault tolerance of the sweep (see runtime::RuntimeOptions).
+  double straggler_timeout = 600.0;
+  std::size_t max_retries = 2;
+};
+
+/// Sweep-level scheduling/fault-tolerance diagnostics surfaced to the
+/// caller (a condensed runtime::RunReport).
+struct SweepSummary {
+  std::size_t n_fragments = 0;
+  std::size_t n_tasks = 0;
+  std::size_t n_requeued = 0;  ///< straggler re-queue events
+  std::size_t n_retries = 0;   ///< failure-driven re-dispatches
+  std::size_t n_resumed = 0;   ///< fragments restored from the checkpoint
+  /// Terminal per-fragment records, indexed by fragment id (all completed
+  /// on a successful run — a permanent failure aborts the workflow after
+  /// the checkpoint is flushed, so the completed prefix is resumable).
+  std::vector<runtime::FragmentOutcome> outcomes;
 };
 
 /// Everything a run produces.
@@ -56,6 +80,7 @@ struct WorkflowResult {
   double solver_seconds = 0.0;   ///< spectral solve wall time
   std::size_t n_tasks = 0;
   bool used_lanczos = false;
+  SweepSummary sweep;
 };
 
 /// The QF-RAMAN pipeline: fragmentation -> parallel per-fragment DFT/DFPT
@@ -66,6 +91,11 @@ class RamanWorkflow {
   explicit RamanWorkflow(WorkflowOptions options = {});
 
   WorkflowResult run(const frag::BioSystem& system) const;
+
+  /// Run with a caller-supplied engine instead of options().engine —
+  /// custom surrogates, instrumented engines in tests, etc.
+  WorkflowResult run(const frag::BioSystem& system,
+                     const engine::FragmentEngine& eng) const;
 
   const WorkflowOptions& options() const { return options_; }
 

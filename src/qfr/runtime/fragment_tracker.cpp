@@ -1,5 +1,8 @@
 #include "qfr/runtime/fragment_tracker.hpp"
 
+#include <algorithm>
+#include <limits>
+
 #include "qfr/common/error.hpp"
 
 namespace qfr::runtime {
@@ -42,6 +45,24 @@ std::vector<std::size_t> FragmentTracker::requeue_stragglers(double now) {
     }
   }
   return out;
+}
+
+void FragmentTracker::reset(std::size_t fragment) {
+  QFR_REQUIRE(fragment < n_, "fragment id out of range");
+  std::lock_guard<std::mutex> lock(mutex_);
+  Entry& e = entries_[fragment];
+  if (e.state == FragmentState::kCompleted) return;
+  e.state = FragmentState::kUnprocessed;
+}
+
+double FragmentTracker::earliest_deadline() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  double earliest = std::numeric_limits<double>::infinity();
+  for (const Entry& e : entries_) {
+    if (e.state == FragmentState::kProcessing)
+      earliest = std::min(earliest, e.started_at + timeout_);
+  }
+  return earliest;
 }
 
 FragmentState FragmentTracker::state(std::size_t fragment) const {

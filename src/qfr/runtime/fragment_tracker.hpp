@@ -34,6 +34,16 @@ class FragmentTracker {
   /// re-dispatch.
   std::vector<std::size_t> requeue_stragglers(double now);
 
+  /// A leader reported a failure: flip the fragment back to unprocessed
+  /// so it can be re-dispatched (no-op once completed).
+  void reset(std::size_t fragment);
+
+  /// Earliest instant at which a currently-processing fragment would
+  /// exceed the straggler timeout; +infinity when nothing is in flight.
+  /// Lets a simulated-time caller sleep exactly until the next possible
+  /// re-queue instead of polling.
+  double earliest_deadline() const;
+
   FragmentState state(std::size_t fragment) const;
   std::size_t n_completed() const;
   bool all_completed() const;

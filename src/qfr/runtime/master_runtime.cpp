@@ -1,6 +1,6 @@
 #include "qfr/runtime/master_runtime.hpp"
 
-#include <atomic>
+#include <chrono>
 #include <mutex>
 #include <thread>
 
@@ -12,6 +12,13 @@
 
 namespace qfr::runtime {
 
+std::size_t RunReport::n_failed() const {
+  std::size_t n = 0;
+  for (const auto& o : outcomes)
+    if (!o.completed) ++n;
+  return n;
+}
+
 MasterRuntime::MasterRuntime(RuntimeOptions options)
     : options_(std::move(options)) {
   QFR_REQUIRE(options_.n_leaders >= 1, "need at least one leader");
@@ -20,7 +27,7 @@ MasterRuntime::MasterRuntime(RuntimeOptions options)
 }
 
 RunReport MasterRuntime::run(std::span<const frag::Fragment> fragments,
-                             const engine::FragmentEngine& eng) {
+                             const engine::FragmentEngine& eng) const {
   // The classical engine can exploit the fragment's explicit topology;
   // other engines perceive what they need from the geometry.
   if (const auto* model = dynamic_cast<const engine::ModelEngine*>(&eng)) {
@@ -34,35 +41,31 @@ RunReport MasterRuntime::run(std::span<const frag::Fragment> fragments,
 }
 
 RunReport MasterRuntime::run(std::span<const frag::Fragment> fragments,
-                             const FragmentCompute& compute) {
+                             const FragmentCompute& compute) const {
   RunReport report;
   report.results.resize(fragments.size());
   report.leaders.resize(options_.n_leaders);
 
-  // Master side: the packing policy guarded by a mutex (the paper's master
-  // process serializes task assignment the same way).
+  // Master side: one scheduler instance shared by all leaders, with a
+  // fresh per-run policy so the runtime stays reusable.
   std::unique_ptr<balance::PackingPolicy> policy =
-      options_.policy ? std::move(options_.policy)
-                      : balance::make_size_sensitive_policy();
-  {
-    std::vector<balance::WorkItem> items;
-    items.reserve(fragments.size());
-    for (const auto& f : fragments)
-      items.push_back(
-          {f.id, f.n_atoms(), options_.cost_model.evaluate(f.n_atoms())});
-    policy->initialize(std::move(items));
-  }
-  std::mutex master_mutex;
-  std::atomic<std::size_t> n_tasks{0};
-  std::atomic<bool> failed{false};
-  std::string failure_message;
-  std::mutex failure_mutex;
+      options_.policy_factory ? options_.policy_factory()
+                              : balance::make_size_sensitive_policy();
+  QFR_REQUIRE(policy != nullptr, "policy factory returned null");
+  std::vector<balance::WorkItem> items;
+  items.reserve(fragments.size());
+  for (const auto& f : fragments)
+    items.push_back(
+        {f.id, f.n_atoms(), options_.cost_model.evaluate(f.n_atoms())});
 
-  auto pop_task = [&]() {
-    std::lock_guard<std::mutex> lock(master_mutex);
-    return policy->next_task(0);
-  };
+  SweepOptions sopts;
+  sopts.straggler_timeout = options_.straggler_timeout;
+  sopts.max_retries = options_.max_retries;
+  sopts.completed_ids = options_.completed_ids;
+  SweepScheduler scheduler(std::move(items), std::move(policy),
+                           std::move(sopts));
 
+  std::mutex sink_mutex;
   WallTimer wall;
   std::vector<std::thread> leaders;
   leaders.reserve(options_.n_leaders);
@@ -74,41 +77,95 @@ RunReport MasterRuntime::run(std::span<const frag::Fragment> fragments,
       // assigned worker processes per leader).
       ThreadPool workers(options_.workers_per_leader);
 
-      balance::Task current = pop_task();
-      while (!current.empty() && !failed.load(std::memory_order_relaxed)) {
-        ++n_tasks;
-        // Prefetch: request the next task before working the current one,
-        // so the master round-trip overlaps with computation.
-        balance::Task next;
-        if (options_.prefetch) next = pop_task();
-
-        busy.reset();
-        try {
-          workers.parallel_for(current.size(), [&](std::size_t k) {
-            const std::size_t fid = current[k].fragment_id;
-            report.results[fid] = compute(fragments[fid]);
-          });
-        } catch (const std::exception& e) {
-          failed.store(true, std::memory_order_relaxed);
-          std::lock_guard<std::mutex> lock(failure_mutex);
-          if (failure_message.empty()) failure_message = e.what();
+      // Execute one task; failures are routed back through the scheduler
+      // (bounded retry) instead of aborting the sweep, and stale results
+      // of re-queued fragments are discarded.
+      auto process = [&](const balance::Task& task) {
+        std::vector<engine::FragmentResult> local(task.size());
+        std::vector<std::string> errors(task.size());
+        std::vector<char> ok(task.size(), 0);
+        workers.parallel_for(task.size(), [&](std::size_t k) {
+          try {
+            local[k] = compute(fragments[task[k].fragment_id]);
+            ok[k] = 1;
+          } catch (const std::exception& e) {
+            errors[k] = e.what();
+          } catch (...) {
+            errors[k] = "unknown error";
+          }
+        });
+        for (std::size_t k = 0; k < task.size(); ++k) {
+          const std::size_t fid = task[k].fragment_id;
+          if (!ok[k]) {
+            scheduler.fail(fid, errors[k]);
+            continue;
+          }
+          if (!scheduler.complete(fid)) continue;  // stale duplicate
+          report.results[fid] = std::move(local[k]);
+          if (options_.sink) {
+            std::lock_guard<std::mutex> lock(sink_mutex);
+            options_.sink->on_result(fid, report.results[fid]);
+          }
         }
+      };
+
+      balance::Task next;  // prefetched
+      bool have_next = false;
+      for (;;) {
+        balance::Task current;
+        if (have_next) {
+          current = std::move(next);
+          have_next = false;
+        } else {
+          current = scheduler.acquire(0, wall.seconds());
+        }
+        if (current.empty()) {
+          if (scheduler.finished()) break;
+          // In-flight fragments on other leaders may still fail or
+          // straggle; idle briefly instead of retiring.
+          std::this_thread::sleep_for(std::chrono::microseconds(200));
+          continue;
+        }
+        // Prefetch: request the next task before working the current one,
+        // so the master round-trip overlaps with computation. `process`
+        // never throws, so the prefetched task cannot be dropped.
+        if (options_.prefetch) {
+          next = scheduler.acquire(0, wall.seconds());
+          have_next = true;
+        }
+        busy.reset();
+        process(current);
         busy_acc += busy.seconds();
         report.leaders[l].tasks++;
         report.leaders[l].fragments += current.size();
-
-        current = options_.prefetch ? std::move(next) : pop_task();
-        if (options_.prefetch && current.empty()) current = pop_task();
       }
       report.leaders[l].busy_seconds = busy_acc;
     });
   }
   for (auto& t : leaders) t.join();
   report.makespan_seconds = wall.seconds();
-  report.n_tasks = n_tasks.load();
+  report.n_tasks = scheduler.n_tasks();
+  report.n_requeued = scheduler.n_requeued();
+  report.n_retries = scheduler.n_retries();
+  report.n_resumed = scheduler.n_resumed();
+  report.outcomes = scheduler.outcomes();
+  report.task_log = scheduler.task_log();
 
-  if (failed.load()) {
-    QFR_NUMERIC_FAIL("fragment computation failed: " << failure_message);
+  if (scheduler.n_failed() > 0) {
+    std::string first_error;
+    std::size_t n_bad = 0;
+    for (const auto& o : report.outcomes) {
+      if (o.completed) continue;
+      ++n_bad;
+      if (first_error.empty()) first_error = o.error;
+    }
+    QFR_LOG_WARN("sweep finished with ", n_bad, " failed fragment(s): ",
+                 first_error);
+    if (options_.abort_on_failure) {
+      QFR_NUMERIC_FAIL("fragment computation failed for "
+                       << n_bad << " fragment(s) after retries: "
+                       << first_error);
+    }
   }
   return report;
 }

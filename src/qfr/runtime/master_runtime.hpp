@@ -7,6 +7,8 @@
 #include "qfr/balance/packing.hpp"
 #include "qfr/engine/fragment_engine.hpp"
 #include "qfr/frag/fragmentation.hpp"
+#include "qfr/runtime/result_sink.hpp"
+#include "qfr/runtime/sweep_scheduler.hpp"
 
 namespace qfr::runtime {
 
@@ -17,9 +19,28 @@ struct RuntimeOptions {
   /// Leaders request their next task while the current one is still being
   /// worked on (paper Fig. 4(d)/(e)).
   bool prefetch = true;
-  /// Policy factory selection; null -> size-sensitive default.
-  std::unique_ptr<balance::PackingPolicy> policy;
+  /// Policy factory; null -> size-sensitive default. A factory rather
+  /// than an instance so the runtime is reusable: every run() builds a
+  /// fresh policy instead of consuming a one-shot object.
+  std::function<std::unique_ptr<balance::PackingPolicy>()> policy_factory;
   balance::CostModel cost_model;
+  /// Fragments processing longer than this (wall seconds) are re-queued
+  /// to another leader; the slower copy's completion is discarded.
+  double straggler_timeout = 600.0;
+  /// Failure retries per fragment beyond the first attempt.
+  std::size_t max_retries = 2;
+  /// Throw NumericalError when fragments remain failed after retries
+  /// (legacy behaviour). When false the sweep completes the surviving
+  /// fragments and reports failures in RunReport::outcomes.
+  bool abort_on_failure = true;
+  /// Streams each accepted fragment result as it completes (checkpoint
+  /// writer, live consumers); calls are serialized. Not owned.
+  ResultSink* sink = nullptr;
+  /// Fragment ids already completed by a previous run (checkpoint
+  /// resume). They are never dispatched; their RunReport::results slots
+  /// stay default-constructed and must be filled by the caller from the
+  /// checkpoint.
+  std::vector<std::size_t> completed_ids;
 };
 
 /// Per-leader execution accounting.
@@ -35,14 +56,24 @@ struct RunReport {
   std::vector<LeaderStats> leaders;
   double makespan_seconds = 0.0;
   std::size_t n_tasks = 0;
+  std::size_t n_requeued = 0;  ///< straggler re-queue events
+  std::size_t n_retries = 0;   ///< failure-driven re-dispatches
+  std::size_t n_resumed = 0;   ///< fragments skipped via checkpoint resume
+  /// Terminal per-fragment records, indexed by fragment id.
+  std::vector<FragmentOutcome> outcomes;
+  /// Fragment ids of every dispatched task in dispatch order (the
+  /// scheduler's task log; shared with the DES for parity checks).
+  std::vector<std::vector<std::size_t>> task_log;
+
+  std::size_t n_failed() const;
 };
 
 /// In-process realization of the paper's three-level hierarchy (Fig. 3):
 /// the caller is the master (runs the packing policy), leaders are
 /// threads pulling tasks, and each leader fans its task's fragments out to
-/// its own worker threads. On one big machine this executes real work;
-/// the cluster module replays the same scheduling logic as a discrete-
-/// event simulation for node counts we do not have.
+/// its own worker threads. Leaders advance a shared SweepScheduler with
+/// wall-clock time; cluster::simulate_cluster advances the identical
+/// state machine with simulated time for node counts we do not have.
 class MasterRuntime {
  public:
   /// Worker function computing one fragment. Must be thread-compatible.
@@ -51,15 +82,18 @@ class MasterRuntime {
 
   explicit MasterRuntime(RuntimeOptions options);
 
-  /// Process every fragment exactly once through `compute`; results are
-  /// returned indexed by fragment id. Throws if any fragment fails.
+  /// Process every fragment through `compute`; results are returned
+  /// indexed by fragment id. Failing fragments are retried up to
+  /// max_retries times, then either abort the run (abort_on_failure,
+  /// default) or are reported in RunReport::outcomes. Reusable: each call
+  /// is an independent sweep with a fresh policy.
   RunReport run(std::span<const frag::Fragment> fragments,
-                const FragmentCompute& compute);
+                const FragmentCompute& compute) const;
 
   /// Convenience: run with a FragmentEngine (topology-aware when the
   /// engine is the classical model).
   RunReport run(std::span<const frag::Fragment> fragments,
-                const engine::FragmentEngine& eng);
+                const engine::FragmentEngine& eng) const;
 
  private:
   RuntimeOptions options_;

@@ -1,0 +1,24 @@
+#pragma once
+
+#include <cstddef>
+
+#include "qfr/engine/fragment_engine.hpp"
+
+namespace qfr::runtime {
+
+/// Consumer of per-fragment results as the sweep produces them. At the
+/// paper's scale a sweep runs for hours on a full machine, so results
+/// must leave the runtime incrementally (checkpoint file, live spectrum
+/// accumulation, metrics) instead of only as the final report.
+///
+/// The runtime serializes on_result calls and only forwards accepted
+/// (non-stale) completions, each fragment at most once per run.
+class ResultSink {
+ public:
+  virtual ~ResultSink() = default;
+
+  virtual void on_result(std::size_t fragment_id,
+                         const engine::FragmentResult& result) = 0;
+};
+
+}  // namespace qfr::runtime

@@ -1,0 +1,201 @@
+#include "qfr/runtime/sweep_scheduler.hpp"
+
+#include "qfr/common/error.hpp"
+
+namespace qfr::runtime {
+
+SweepScheduler::SweepScheduler(std::vector<balance::WorkItem> items,
+                               balance::PackingPolicy& policy,
+                               SweepOptions options)
+    : policy_(&policy), options_(std::move(options)) {
+  init(std::move(items));
+}
+
+SweepScheduler::SweepScheduler(std::vector<balance::WorkItem> items,
+                               std::unique_ptr<balance::PackingPolicy> policy,
+                               SweepOptions options)
+    : owned_policy_(std::move(policy)),
+      policy_(owned_policy_.get()),
+      options_(std::move(options)) {
+  QFR_REQUIRE(policy_ != nullptr, "null packing policy");
+  init(std::move(items));
+}
+
+void SweepScheduler::init(std::vector<balance::WorkItem> items) {
+  const std::size_t n = items.size();
+  items_by_id_.assign(n, {});
+  std::vector<char> seen(n, 0);
+  for (const auto& it : items) {
+    QFR_REQUIRE(it.fragment_id < n,
+                "fragment ids must be dense in [0, n_items)");
+    QFR_REQUIRE(!seen[it.fragment_id],
+                "duplicate fragment id " << it.fragment_id);
+    seen[it.fragment_id] = 1;
+    items_by_id_[it.fragment_id] = it;
+  }
+  tracker_ =
+      std::make_unique<FragmentTracker>(n, options_.straggler_timeout);
+  outcomes_.resize(n);
+  for (std::size_t i = 0; i < n; ++i) outcomes_[i].fragment_id = i;
+  dead_.assign(n, 0);
+
+  for (const std::size_t id : options_.completed_ids) {
+    QFR_REQUIRE(id < n, "resume fragment id " << id << " out of range");
+    if (tracker_->mark_completed(id)) {
+      outcomes_[id].completed = true;
+      outcomes_[id].from_checkpoint = true;
+      ++n_resumed_;
+    }
+  }
+  if (n_resumed_ > 0) {
+    std::vector<balance::WorkItem> pending;
+    pending.reserve(n - n_resumed_);
+    for (const auto& it : items)
+      if (tracker_->state(it.fragment_id) != FragmentState::kCompleted)
+        pending.push_back(it);
+    items = std::move(pending);
+  }
+  policy_->initialize(std::move(items));
+}
+
+balance::Task SweepScheduler::acquire(std::size_t queue_depth, double now) {
+  std::lock_guard<std::mutex> lock(mutex_);
+
+  // Straggler scan first: timed-out fragments re-enter the queue ahead of
+  // fresh pops (the paper's status-table recovery path).
+  const std::vector<std::size_t> stragglers =
+      tracker_->requeue_stragglers(now);
+  if (!stragglers.empty()) {
+    balance::Task task;
+    task.reserve(stragglers.size());
+    for (const std::size_t id : stragglers) task.push_back(items_by_id_[id]);
+    policy_->requeue(std::move(task));
+    ++n_requeue_tasks_;
+  }
+
+  for (;;) {
+    balance::Task task = policy_->next_task(queue_depth);
+    if (task.empty()) return task;
+    // Drop fragments that turned terminal while waiting in a re-queue
+    // task (a slow original completed after the re-queue, or retries ran
+    // out): dispatching them again would only duplicate work.
+    balance::Task live;
+    live.reserve(task.size());
+    for (const auto& it : task) {
+      const std::size_t id = it.fragment_id;
+      if (tracker_->state(id) == FragmentState::kCompleted || dead_[id])
+        continue;
+      live.push_back(it);
+    }
+    if (live.empty()) continue;  // fully stale; pop the next task
+
+    std::vector<std::size_t> ids;
+    ids.reserve(live.size());
+    for (const auto& it : live) {
+      tracker_->mark_processing(it.fragment_id, now);
+      ++outcomes_[it.fragment_id].attempts;
+      ids.push_back(it.fragment_id);
+    }
+    ++n_tasks_;
+    task_log_.push_back(std::move(ids));
+    return live;
+  }
+}
+
+bool SweepScheduler::complete(std::size_t fragment_id) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  QFR_REQUIRE(fragment_id < items_by_id_.size(), "fragment id out of range");
+  if (!tracker_->mark_completed(fragment_id)) return false;
+  FragmentOutcome& o = outcomes_[fragment_id];
+  o.completed = true;
+  o.error.clear();
+  if (dead_[fragment_id]) {
+    // A straggler copy delivered after retries ran out: the work is done
+    // after all, so the permanent failure is rescinded.
+    dead_[fragment_id] = 0;
+    --n_failed_;
+  }
+  return true;
+}
+
+void SweepScheduler::fail(std::size_t fragment_id, const std::string& error) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  QFR_REQUIRE(fragment_id < items_by_id_.size(), "fragment id out of range");
+  if (tracker_->state(fragment_id) == FragmentState::kCompleted)
+    return;  // a re-queued copy already delivered; stale failure
+  FragmentOutcome& o = outcomes_[fragment_id];
+  o.error = error;
+  if (dead_[fragment_id]) return;
+
+  if (o.attempts <= options_.max_retries) {
+    // Retry budget left: back to unprocessed and straight into the queue
+    // — unless a straggler scan already re-queued it.
+    if (tracker_->state(fragment_id) == FragmentState::kProcessing) {
+      tracker_->reset(fragment_id);
+      policy_->requeue({items_by_id_[fragment_id]});
+      ++n_requeue_tasks_;
+      ++n_retries_;
+    }
+    return;
+  }
+  tracker_->reset(fragment_id);
+  dead_[fragment_id] = 1;
+  ++n_failed_;
+}
+
+bool SweepScheduler::finished() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return tracker_->n_completed() + n_failed_ == items_by_id_.size();
+}
+
+double SweepScheduler::next_deadline() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return tracker_->earliest_deadline();
+}
+
+std::size_t SweepScheduler::n_completed() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return tracker_->n_completed();
+}
+
+std::size_t SweepScheduler::n_failed() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return n_failed_;
+}
+
+std::size_t SweepScheduler::n_tasks() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return n_tasks_;
+}
+
+std::size_t SweepScheduler::n_requeued() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return tracker_->n_requeued();
+}
+
+std::size_t SweepScheduler::n_requeue_tasks() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return n_requeue_tasks_;
+}
+
+std::size_t SweepScheduler::n_retries() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return n_retries_;
+}
+
+std::size_t SweepScheduler::n_resumed() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return n_resumed_;
+}
+
+std::vector<FragmentOutcome> SweepScheduler::outcomes() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return outcomes_;
+}
+
+std::vector<std::vector<std::size_t>> SweepScheduler::task_log() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return task_log_;
+}
+
+}  // namespace qfr::runtime

@@ -1,0 +1,128 @@
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "qfr/balance/packing.hpp"
+#include "qfr/runtime/fragment_tracker.hpp"
+
+namespace qfr::runtime {
+
+/// Terminal record for one fragment of a sweep.
+struct FragmentOutcome {
+  std::size_t fragment_id = 0;
+  /// Times the fragment was dispatched to a leader (0 when resumed from a
+  /// checkpoint).
+  std::size_t attempts = 0;
+  bool completed = false;
+  /// Seeded as already-done from a checkpoint (resume path).
+  bool from_checkpoint = false;
+  /// Last failure message when the fragment exhausted its retries.
+  std::string error;
+};
+
+/// Tuning of the master-side sweep state machine.
+struct SweepOptions {
+  /// Fragments processing longer than this (in the caller's clock) are
+  /// flipped back to unprocessed and re-dispatched (paper Sec. V-B).
+  double straggler_timeout = 600.0;
+  /// Failure retries per fragment beyond the first attempt; once
+  /// exhausted the fragment is reported failed instead of aborting the
+  /// sweep.
+  std::size_t max_retries = 2;
+  /// Fragment ids already completed by a previous run (checkpoint
+  /// resume); they are marked completed up front and never dispatched.
+  std::vector<std::size_t> completed_ids;
+};
+
+/// The paper's load balancer as one reusable state machine (Sec. V-B,
+/// Fig. 4): the packing policy hands out size-sensitive tasks, the
+/// fragment status table tracks unprocessed -> processing -> completed,
+/// stragglers past the timeout are re-queued, failures are retried a
+/// bounded number of times, and stale duplicate completions are
+/// discarded.
+///
+/// The scheduler is clock-agnostic: callers pass "now" in seconds on any
+/// monotonically nondecreasing clock. runtime::MasterRuntime drives it
+/// with wall-clock time from real leader threads; cluster::simulate_cluster
+/// drives the identical logic with simulated time. Thread safe.
+class SweepScheduler {
+ public:
+  /// Non-owning policy: the caller keeps it alive for the whole sweep.
+  /// `items` must carry dense unique fragment ids in [0, items.size()).
+  SweepScheduler(std::vector<balance::WorkItem> items,
+                 balance::PackingPolicy& policy, SweepOptions options = {});
+  /// Owning variant.
+  SweepScheduler(std::vector<balance::WorkItem> items,
+                 std::unique_ptr<balance::PackingPolicy> policy,
+                 SweepOptions options = {});
+
+  std::size_t n_fragments() const { return items_by_id_.size(); }
+
+  /// Pull the next task at time `now`. Runs the straggler scan first, so
+  /// timed-out fragments re-enter the queue before fresh work is popped.
+  /// An empty task means "nothing dispatchable right now" — the sweep is
+  /// over only when finished() is also true (in-flight fragments may
+  /// still fail and need a retry).
+  balance::Task acquire(std::size_t queue_depth, double now);
+
+  /// Deliver a fragment result. Returns false when the completion is
+  /// stale (another leader already completed a re-queued copy) — the
+  /// caller must discard the result so Eq. (1) terms are not
+  /// double-counted.
+  bool complete(std::size_t fragment_id);
+
+  /// Report a fragment failure: re-queued for retry while attempts
+  /// remain, otherwise recorded as a permanent FragmentOutcome failure.
+  /// Stale failures (fragment already completed elsewhere) are ignored.
+  void fail(std::size_t fragment_id, const std::string& error);
+
+  /// True once every fragment is terminal (completed or permanently
+  /// failed).
+  bool finished() const;
+
+  /// Earliest time a currently-processing fragment could be re-queued as
+  /// a straggler; +infinity when nothing is in flight. Simulated-time
+  /// drivers sleep until here instead of polling.
+  double next_deadline() const;
+
+  std::size_t n_completed() const;
+  std::size_t n_failed() const;
+  std::size_t n_tasks() const;          ///< non-empty tasks dispatched
+  std::size_t n_requeued() const;       ///< straggler re-queue events (fragments)
+  std::size_t n_requeue_tasks() const;  ///< re-dispatch tasks queued (stragglers + retries)
+  std::size_t n_retries() const;        ///< failure-driven re-dispatches
+  std::size_t n_resumed() const;        ///< fragments seeded from a checkpoint
+
+  /// Terminal per-fragment records, indexed by fragment id.
+  std::vector<FragmentOutcome> outcomes() const;
+
+  /// Fragment ids of every dispatched task, in dispatch order. With a
+  /// deterministic policy and no faults this sequence is identical no
+  /// matter which clock or how many threads drive the scheduler — the
+  /// property the DES substitution relies on.
+  std::vector<std::vector<std::size_t>> task_log() const;
+
+ private:
+  void init(std::vector<balance::WorkItem> items);
+
+  mutable std::mutex mutex_;
+  std::unique_ptr<balance::PackingPolicy> owned_policy_;
+  balance::PackingPolicy* policy_ = nullptr;
+  SweepOptions options_;
+  std::unique_ptr<FragmentTracker> tracker_;
+  std::vector<balance::WorkItem> items_by_id_;
+  std::vector<FragmentOutcome> outcomes_;
+  std::vector<char> dead_;  ///< permanently failed (retries exhausted)
+  std::vector<std::vector<std::size_t>> task_log_;
+  std::size_t n_failed_ = 0;
+  std::size_t n_resumed_ = 0;
+  std::size_t n_tasks_ = 0;
+  std::size_t n_retries_ = 0;
+  std::size_t n_requeue_tasks_ = 0;
+};
+
+}  // namespace qfr::runtime

@@ -1,6 +1,8 @@
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <sstream>
+#include <stdexcept>
 
 #include "qfr/chem/molecule.hpp"
 #include "qfr/common/error.hpp"
@@ -9,6 +11,7 @@
 #include "qfr/frag/checkpoint.hpp"
 #include "qfr/frag/fragmentation.hpp"
 #include "qfr/la/blas.hpp"
+#include "qfr/runtime/master_runtime.hpp"
 
 namespace qfr::frag {
 namespace {
@@ -114,6 +117,115 @@ TEST(Checkpoint, EmptyResultSetRoundTrips) {
   const LoadReport report = load_results(ss);
   EXPECT_TRUE(report.results.empty());
   EXPECT_EQ(report.n_dropped, 0u);
+}
+
+TEST(IncrementalCheckpoint, AppendScanRoundTrip) {
+  const auto original = sample_results();
+  std::stringstream ss;
+  CheckpointWriter writer(ss);
+  writer.append(4, original[0]);
+  writer.append(1, original[1]);
+  EXPECT_EQ(writer.n_written(), 2u);
+
+  const ScanReport scan = scan_checkpoint(ss);
+  EXPECT_FALSE(scan.truncated);
+  ASSERT_EQ(scan.fragment_ids.size(), 2u);
+  EXPECT_EQ(scan.fragment_ids[0], 4u);  // append order, ids out of order OK
+  EXPECT_EQ(scan.fragment_ids[1], 1u);
+  EXPECT_DOUBLE_EQ(scan.results[0].energy, original[0].energy);
+  EXPECT_LT(la::max_abs_diff(scan.results[1].hessian, original[1].hessian),
+            1e-300);
+}
+
+TEST(IncrementalCheckpoint, TruncatedTailDroppedAndFlagged) {
+  const auto original = sample_results();
+  std::stringstream ss;
+  CheckpointWriter writer(ss);
+  writer.append(0, original[0]);
+  writer.append(1, original[1]);
+  std::string data = ss.str();
+  data.resize(data.size() - 37);  // kill the run mid-record
+  std::stringstream cut(data);
+  const ScanReport scan = scan_checkpoint(cut);
+  EXPECT_TRUE(scan.truncated);
+  ASSERT_EQ(scan.fragment_ids.size(), 1u);  // completed prefix survives
+  EXPECT_EQ(scan.fragment_ids[0], 0u);
+  EXPECT_DOUBLE_EQ(scan.results[0].energy, original[0].energy);
+}
+
+TEST(IncrementalCheckpoint, ScanRejectsWholeVectorFormat) {
+  std::stringstream ss;
+  save_results(ss, sample_results());  // v2, not the incremental format
+  EXPECT_THROW(scan_checkpoint(ss), InvalidArgument);
+}
+
+TEST(IncrementalCheckpoint, RuntimeCrashThenResumeRecomputesOnlyMissing) {
+  // The acceptance cycle: a sweep dies on fragment k, the checkpoint
+  // holds the completed prefix, and the resumed sweep recomputes only
+  // what is missing.
+  BioSystem sys;
+  for (int i = 0; i < 6; ++i)
+    sys.waters.push_back(
+        chem::make_water({static_cast<double>(20 * i), 0, 0}));
+  const Fragmentation fr = fragment_biosystem(sys);
+  const std::string path = "/tmp/qfr_incremental_resume_test.bin";
+  engine::ModelEngine eng;
+
+  // First run: fragment 4 fails persistently; the rest complete and
+  // stream to the checkpoint.
+  std::atomic<int> first_run_computes{0};
+  {
+    CheckpointSink sink(path);
+    runtime::RuntimeOptions opts;
+    opts.n_leaders = 2;
+    opts.max_retries = 0;
+    opts.abort_on_failure = false;
+    opts.sink = &sink;
+    const runtime::MasterRuntime rt(std::move(opts));
+    const auto report =
+        rt.run(fr.fragments, [&](const Fragment& f) {
+          if (f.id == 4) throw std::runtime_error("node died");
+          first_run_computes.fetch_add(1);
+          return eng.compute_with_topology(f.mol, f.bonds);
+        });
+    EXPECT_EQ(report.n_failed(), 1u);
+    EXPECT_EQ(sink.writer().n_written(), 5u);
+  }
+
+  // Resume: seed the scheduler with the checkpointed ids and count the
+  // compute invocations — only fragment 4 may run.
+  const ScanReport scan = scan_checkpoint_file(path);
+  EXPECT_FALSE(scan.truncated);
+  ASSERT_EQ(scan.fragment_ids.size(), 5u);
+
+  std::atomic<int> resumed_computes{0};
+  runtime::RuntimeOptions opts;
+  opts.n_leaders = 2;
+  opts.completed_ids = scan.fragment_ids;
+  const runtime::MasterRuntime rt(std::move(opts));
+  auto report = rt.run(fr.fragments, [&](const Fragment& f) {
+    resumed_computes.fetch_add(1);
+    EXPECT_EQ(f.id, 4u);  // everything else came from the checkpoint
+    return eng.compute_with_topology(f.mol, f.bonds);
+  });
+  EXPECT_EQ(resumed_computes.load(), 1);
+  EXPECT_EQ(report.n_resumed, 5u);
+  EXPECT_TRUE(report.outcomes[4].completed);
+  EXPECT_FALSE(report.outcomes[4].from_checkpoint);
+
+  // Merge the checkpointed records and verify the assembly matches a
+  // clean serial reference.
+  for (std::size_t k = 0; k < scan.fragment_ids.size(); ++k)
+    report.results[scan.fragment_ids[k]] = scan.results[k];
+  std::vector<engine::FragmentResult> serial;
+  for (const auto& f : fr.fragments)
+    serial.push_back(eng.compute_with_topology(f.mol, f.bonds));
+  const auto a = assemble_global_properties(sys, fr.fragments, serial);
+  const auto b =
+      assemble_global_properties(sys, fr.fragments, report.results);
+  EXPECT_LT(la::max_abs_diff(a.hessian_mw.to_dense(),
+                             b.hessian_mw.to_dense()),
+            1e-300);
 }
 
 }  // namespace

@@ -127,6 +127,12 @@ TEST(Des, AllFragmentsAccounted) {
   EXPECT_EQ(rep.n_fragments, 777u);
   EXPECT_GT(rep.n_tasks, 0u);
   EXPECT_GT(rep.throughput, 0.0);
+  // The scheduler's task log covers every fragment exactly once when no
+  // faults are injected.
+  EXPECT_EQ(rep.task_log.size(), rep.n_tasks);
+  std::size_t logged = 0;
+  for (const auto& t : rep.task_log) logged += t.size();
+  EXPECT_EQ(logged, 777u);
 }
 
 TEST(Des, StragglerInjectionRecoversAllWork) {
@@ -142,21 +148,26 @@ TEST(Des, StragglerInjectionRecoversAllWork) {
   auto clean_policy = balance::make_size_sensitive_policy();
   const auto clean = cluster::simulate_cluster(items, *clean_policy, opts);
   EXPECT_EQ(clean.n_requeued_tasks, 0u);
+  EXPECT_EQ(clean.n_stalled_tasks, 0u);
 
   opts.straggler_probability = 0.02;
   opts.straggler_timeout = 2.0;
   auto faulty_policy = balance::make_size_sensitive_policy();
   const auto faulty = cluster::simulate_cluster(items, *faulty_policy, opts);
+  EXPECT_GT(faulty.n_stalled_tasks, 0u);
   EXPECT_GT(faulty.n_requeued_tasks, 0u);
+  // One straggler scan can batch the fragments of several stalled tasks
+  // into a single re-dispatch task.
+  EXPECT_LE(faulty.n_requeued_tasks, faulty.n_stalled_tasks);
   EXPECT_EQ(faulty.n_fragments, clean.n_fragments);
   // All re-queued tasks executed again: task count grows accordingly.
   EXPECT_EQ(faulty.n_tasks, clean.n_tasks + faulty.n_requeued_tasks);
   EXPECT_GT(faulty.makespan, clean.makespan);
-  // Recovery bound: worst case every straggle serializes one full timeout
-  // on the critical path; in practice re-queues overlap across leaders.
+  // Recovery bound: worst case every stall serializes one full timeout on
+  // the critical path; in practice re-queues overlap across leaders.
   EXPECT_LT(faulty.makespan,
             clean.makespan +
-                static_cast<double>(faulty.n_requeued_tasks) *
+                static_cast<double>(faulty.n_stalled_tasks) *
                     opts.straggler_timeout +
                 1.0);
 }

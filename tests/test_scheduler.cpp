@@ -1,0 +1,243 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "qfr/chem/protein.hpp"
+#include "qfr/cluster/des.hpp"
+#include "qfr/common/error.hpp"
+#include "qfr/frag/fragmentation.hpp"
+#include "qfr/runtime/master_runtime.hpp"
+#include "qfr/runtime/sweep_scheduler.hpp"
+
+namespace qfr::runtime {
+namespace {
+
+using balance::Task;
+using balance::WorkItem;
+
+std::vector<WorkItem> simple_items(std::size_t n) {
+  std::vector<WorkItem> items;
+  balance::CostModel cm;
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t atoms = 9 + 7 * (i % 9);
+    items.push_back({i, atoms, cm.evaluate(atoms)});
+  }
+  return items;
+}
+
+TEST(SweepScheduler, DrainsEveryFragmentExactlyOnce) {
+  auto policy = balance::make_fifo_policy(3);
+  SweepScheduler sched(simple_items(10), std::move(policy));
+  std::set<std::size_t> seen;
+  double now = 0.0;
+  while (!sched.finished()) {
+    Task t = sched.acquire(0, now);
+    ASSERT_FALSE(t.empty());
+    for (const auto& w : t) {
+      EXPECT_TRUE(seen.insert(w.fragment_id).second);
+      EXPECT_TRUE(sched.complete(w.fragment_id));
+    }
+    now += 1.0;
+  }
+  EXPECT_EQ(seen.size(), 10u);
+  EXPECT_EQ(sched.n_completed(), 10u);
+  EXPECT_EQ(sched.n_failed(), 0u);
+  EXPECT_EQ(sched.n_tasks(), 4u);  // fifo pack 3 over 10 items
+  for (const auto& o : sched.outcomes()) {
+    EXPECT_TRUE(o.completed);
+    EXPECT_EQ(o.attempts, 1u);
+    EXPECT_TRUE(o.error.empty());
+  }
+}
+
+TEST(SweepScheduler, FailureRetriedThenCompletes) {
+  auto policy = balance::make_fifo_policy(1);
+  SweepOptions opts;
+  opts.max_retries = 2;
+  SweepScheduler sched(simple_items(2), std::move(policy), opts);
+
+  Task t = sched.acquire(0, 0.0);
+  ASSERT_EQ(t.size(), 1u);
+  const std::size_t first = t[0].fragment_id;
+  sched.fail(first, "transient");
+  EXPECT_EQ(sched.n_retries(), 1u);
+  EXPECT_FALSE(sched.finished());
+
+  // The retry is served before fresh queue pops.
+  Task retry = sched.acquire(0, 1.0);
+  ASSERT_EQ(retry.size(), 1u);
+  EXPECT_EQ(retry[0].fragment_id, first);
+  EXPECT_TRUE(sched.complete(first));
+
+  Task rest = sched.acquire(0, 2.0);
+  ASSERT_EQ(rest.size(), 1u);
+  EXPECT_TRUE(sched.complete(rest[0].fragment_id));
+  EXPECT_TRUE(sched.finished());
+  EXPECT_EQ(sched.outcomes()[first].attempts, 2u);
+  EXPECT_TRUE(sched.outcomes()[first].error.empty());
+}
+
+TEST(SweepScheduler, RetriesExhaustedReportsOutcomeInsteadOfLoopingForever) {
+  auto policy = balance::make_fifo_policy(1);
+  SweepOptions opts;
+  opts.max_retries = 1;
+  SweepScheduler sched(simple_items(3), std::move(policy), opts);
+  std::size_t dispatches_of_0 = 0;
+  double now = 0.0;
+  while (!sched.finished()) {
+    Task t = sched.acquire(0, now);
+    ASSERT_FALSE(t.empty()) << "scheduler must stay dispatchable";
+    for (const auto& w : t) {
+      if (w.fragment_id == 0) {
+        ++dispatches_of_0;
+        sched.fail(0, "persistent failure");
+      } else {
+        EXPECT_TRUE(sched.complete(w.fragment_id));
+      }
+    }
+    now += 1.0;
+  }
+  EXPECT_EQ(dispatches_of_0, 2u);  // first attempt + one retry
+  EXPECT_EQ(sched.n_failed(), 1u);
+  EXPECT_EQ(sched.n_completed(), 2u);
+  const auto outcomes = sched.outcomes();
+  EXPECT_FALSE(outcomes[0].completed);
+  EXPECT_EQ(outcomes[0].attempts, 2u);
+  EXPECT_EQ(outcomes[0].error, "persistent failure");
+  EXPECT_TRUE(outcomes[1].completed);
+  EXPECT_TRUE(outcomes[2].completed);
+}
+
+TEST(SweepScheduler, StragglerRequeuedAndStaleCompletionDiscarded) {
+  auto policy = balance::make_fifo_policy(1);
+  SweepOptions opts;
+  opts.straggler_timeout = 5.0;
+  SweepScheduler sched(simple_items(1), std::move(policy), opts);
+
+  Task t = sched.acquire(0, 0.0);
+  ASSERT_EQ(t.size(), 1u);
+  // Nothing else to hand out yet, and not finished: the fragment is in
+  // flight on a (slow) leader.
+  EXPECT_TRUE(sched.acquire(0, 1.0).empty());
+  EXPECT_FALSE(sched.finished());
+
+  // Past the timeout the status table flips it back and re-dispatches.
+  Task copy = sched.acquire(0, 6.0);
+  ASSERT_EQ(copy.size(), 1u);
+  EXPECT_EQ(copy[0].fragment_id, 0u);
+  EXPECT_GE(sched.n_requeued(), 1u);
+
+  EXPECT_TRUE(sched.complete(0));   // the re-queued copy delivers
+  EXPECT_FALSE(sched.complete(0));  // the original straggler is stale
+  EXPECT_TRUE(sched.finished());
+  EXPECT_EQ(sched.n_completed(), 1u);
+  EXPECT_EQ(sched.outcomes()[0].attempts, 2u);
+}
+
+TEST(SweepScheduler, ResumeSeedsCompletedFragments) {
+  auto policy = balance::make_fifo_policy(1);
+  SweepOptions opts;
+  opts.completed_ids = {0, 2, 4};
+  SweepScheduler sched(simple_items(5), std::move(policy), opts);
+  EXPECT_EQ(sched.n_resumed(), 3u);
+  EXPECT_EQ(sched.n_completed(), 3u);
+
+  std::set<std::size_t> dispatched;
+  double now = 0.0;
+  while (!sched.finished()) {
+    Task t = sched.acquire(0, now);
+    ASSERT_FALSE(t.empty());
+    for (const auto& w : t) {
+      dispatched.insert(w.fragment_id);
+      EXPECT_TRUE(sched.complete(w.fragment_id));
+    }
+    now += 1.0;
+  }
+  EXPECT_EQ(dispatched, (std::set<std::size_t>{1, 3}));
+  const auto outcomes = sched.outcomes();
+  EXPECT_TRUE(outcomes[0].from_checkpoint);
+  EXPECT_EQ(outcomes[0].attempts, 0u);
+  EXPECT_FALSE(outcomes[1].from_checkpoint);
+  EXPECT_EQ(outcomes[1].attempts, 1u);
+}
+
+TEST(SweepScheduler, LateCompletionRescindsPermanentFailure) {
+  // A straggler copy exhausts its retries, but the slow original finally
+  // delivers: the work is done, so the failure is withdrawn.
+  auto policy = balance::make_fifo_policy(1);
+  SweepOptions opts;
+  opts.straggler_timeout = 1.0;
+  opts.max_retries = 0;
+  SweepScheduler sched(simple_items(1), std::move(policy), opts);
+  ASSERT_EQ(sched.acquire(0, 0.0).size(), 1u);   // original dispatch
+  Task copy = sched.acquire(0, 2.0);             // straggler re-queue
+  ASSERT_EQ(copy.size(), 1u);
+  sched.fail(0, "copy died");                    // retries exhausted
+  EXPECT_EQ(sched.n_failed(), 1u);
+  EXPECT_TRUE(sched.finished());
+  EXPECT_TRUE(sched.complete(0));                // original delivers late
+  EXPECT_EQ(sched.n_failed(), 0u);
+  EXPECT_TRUE(sched.outcomes()[0].completed);
+  EXPECT_TRUE(sched.finished());
+}
+
+TEST(SweepScheduler, RejectsNonDenseFragmentIds) {
+  auto policy = balance::make_fifo_policy(1);
+  std::vector<WorkItem> items = {{5, 10, 1.0}};  // id out of [0, 1)
+  EXPECT_THROW(SweepScheduler(items, std::move(policy)), InvalidArgument);
+  auto policy2 = balance::make_fifo_policy(1);
+  std::vector<WorkItem> dup = {{0, 10, 1.0}, {0, 12, 1.0}};
+  EXPECT_THROW(SweepScheduler(dup, std::move(policy2)), InvalidArgument);
+}
+
+// Acceptance: the real threaded runtime and the DES substitution drive
+// the same scheduler core, so under zero noise they emit identical task
+// sequences (fragment-id multisets per task) for the same WorkItem set
+// and policy.
+TEST(SweepScheduler, RuntimeAndDesEmitIdenticalSchedules) {
+  frag::BioSystem sys;
+  chem::ProteinBuildOptions popts;
+  popts.n_residues = 24;
+  popts.seed = 13;
+  sys.chains.push_back(chem::build_synthetic_protein(popts));
+  const frag::Fragmentation fr = frag::fragment_biosystem(sys);
+  ASSERT_GT(fr.fragments.size(), 20u);
+
+  // Real path: threads + wall-clock time, trivial compute.
+  RuntimeOptions ropts;
+  ropts.n_leaders = 3;
+  ropts.policy_factory = [] { return balance::make_size_sensitive_policy(); };
+  const MasterRuntime rt(std::move(ropts));
+  const RunReport real = rt.run(fr.fragments, [](const frag::Fragment&) {
+    return engine::FragmentResult{};
+  });
+
+  // Simulated path: the DES advances the same state machine with
+  // simulated time. Zero jitter/noise so costs are exact.
+  balance::CostModel cm;
+  std::vector<WorkItem> items;
+  for (const auto& f : fr.fragments)
+    items.push_back({f.id, f.n_atoms(), cm.evaluate(f.n_atoms())});
+  cluster::DesOptions dopts;
+  dopts.n_nodes = 2;
+  dopts.machine.leaders_per_node = 2;
+  dopts.machine.node_speed_jitter = 0.0;
+  dopts.machine.cost_noise = 0.0;
+  auto policy = balance::make_size_sensitive_policy();
+  const cluster::DesReport sim =
+      cluster::simulate_cluster(items, *policy, dopts);
+
+  ASSERT_EQ(real.task_log.size(), sim.task_log.size());
+  for (std::size_t i = 0; i < real.task_log.size(); ++i) {
+    std::multiset<std::size_t> a(real.task_log[i].begin(),
+                                 real.task_log[i].end());
+    std::multiset<std::size_t> b(sim.task_log[i].begin(),
+                                 sim.task_log[i].end());
+    EXPECT_EQ(a, b) << "task " << i << " diverged between runtime and DES";
+  }
+}
+
+}  // namespace
+}  // namespace qfr::runtime

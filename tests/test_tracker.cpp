@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <thread>
 
 #include "qfr/common/error.hpp"
@@ -72,6 +73,30 @@ TEST(Tracker, InvalidArgumentsRejected) {
   FragmentTracker t(2, 1.0);
   EXPECT_THROW(t.mark_processing(2, 0.0), InvalidArgument);
   EXPECT_THROW(t.mark_completed(5), InvalidArgument);
+}
+
+TEST(Tracker, ResetFlipsProcessingBackButNeverCompleted) {
+  FragmentTracker t(2, 10.0);
+  t.mark_processing(0, 0.0);
+  t.reset(0);  // a leader reported a failure
+  EXPECT_EQ(t.state(0), FragmentState::kUnprocessed);
+  t.mark_processing(1, 0.0);
+  EXPECT_TRUE(t.mark_completed(1));
+  t.reset(1);  // stale failure after completion must not undo the result
+  EXPECT_EQ(t.state(1), FragmentState::kCompleted);
+  EXPECT_EQ(t.n_completed(), 1u);
+}
+
+TEST(Tracker, EarliestDeadlineTracksOldestInFlightFragment) {
+  FragmentTracker t(3, 5.0);
+  EXPECT_TRUE(std::isinf(t.earliest_deadline()));  // nothing in flight
+  t.mark_processing(0, 2.0);
+  t.mark_processing(1, 7.0);
+  EXPECT_DOUBLE_EQ(t.earliest_deadline(), 7.0);  // fragment 0 at 2 + 5
+  EXPECT_TRUE(t.mark_completed(0));
+  EXPECT_DOUBLE_EQ(t.earliest_deadline(), 12.0);  // fragment 1 at 7 + 5
+  EXPECT_TRUE(t.mark_completed(1));
+  EXPECT_TRUE(std::isinf(t.earliest_deadline()));
 }
 
 TEST(Tracker, ConcurrentCompletionsCountOnce) {
