@@ -1,0 +1,47 @@
+#!/usr/bin/env bash
+# CI gate for qframan.
+#
+# Stage 1 (tier 1): full Release configure + build + ctest — the
+#   regression bar every PR must clear.
+# Stage 2 (robustness): AddressSanitizer and UBSan builds of the
+#   fault-injection, checkpoint-integrity, and scheduler suites. The fault
+#   framework corrupts files and routes results through retry/degradation
+#   paths on purpose; these suites must stay clean under the sanitizers.
+#
+# Usage: scripts/ci.sh [--skip-sanitizers]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+JOBS=${JOBS:-$(nproc)}
+SKIP_SANITIZERS=0
+[[ "${1:-}" == "--skip-sanitizers" ]] && SKIP_SANITIZERS=1
+
+echo "== tier 1: release build + full test suite =="
+cmake -B build -S . >/dev/null
+cmake --build build -j "$JOBS"
+ctest --test-dir build --output-on-failure -j "$JOBS"
+
+if [[ "$SKIP_SANITIZERS" == "1" ]]; then
+  echo "== sanitizer stages skipped =="
+  exit 0
+fi
+
+# The robustness suites: everything exercising fault injection, the
+# validator/degradation machinery, and the CRC-framed checkpoint format.
+ROBUSTNESS_TESTS=(test_fault test_checkpoint test_scheduler)
+
+for SAN in address undefined; do
+  BUILD="build-${SAN:0:4}san"
+  echo "== robustness under ${SAN} sanitizer (${BUILD}) =="
+  cmake -B "$BUILD" -S . \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DQFR_SANITIZE="$SAN" \
+    -DQFR_BUILD_BENCHES=OFF \
+    -DQFR_BUILD_EXAMPLES=OFF >/dev/null
+  cmake --build "$BUILD" -j "$JOBS" --target "${ROBUSTNESS_TESTS[@]}"
+  for t in "${ROBUSTNESS_TESTS[@]}"; do
+    "$BUILD/tests/$t"
+  done
+done
+
+echo "== ci passed =="

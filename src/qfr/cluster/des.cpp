@@ -47,6 +47,34 @@ DesReport simulate_cluster(std::vector<balance::WorkItem> items,
   for (auto& s : node_speed)
     s = std::exp(m.node_speed_jitter * rng.normal());
 
+  // Per-node crash windows, sorted by crash time.
+  std::vector<std::vector<NodeCrash>> crashes(options.n_nodes);
+  for (const NodeCrash& c : options.node_crashes) {
+    QFR_REQUIRE(c.node < options.n_nodes,
+                "crash node " << c.node << " out of range");
+    QFR_REQUIRE(c.at >= 0.0 && c.downtime > 0.0,
+                "crash time must be >= 0 and downtime > 0");
+    crashes[c.node].push_back(c);
+  }
+  for (auto& v : crashes)
+    std::sort(v.begin(), v.end(),
+              [](const NodeCrash& a, const NodeCrash& b) { return a.at < b.at; });
+  // A node is down during [at, at + downtime): leaders on it neither hold
+  // nor request work. Returns the rejoin time when `t` is inside a
+  // window, else `t` itself.
+  auto up_at = [&](std::size_t node, double t) -> double {
+    for (const NodeCrash& c : crashes[node])
+      if (t >= c.at && t < c.at + c.downtime) return c.at + c.downtime;
+    return t;
+  };
+  // First crash on `node` strictly inside (t0, t1], if any.
+  auto crash_within = [&](std::size_t node, double t0,
+                          double t1) -> const NodeCrash* {
+    for (const NodeCrash& c : crashes[node])
+      if (c.at > t0 && c.at <= t1) return &c;
+    return nullptr;
+  };
+
   DesReport report;
   report.n_fragments = items.size();
   report.node_busy.assign(options.n_nodes, 0.0);
@@ -71,6 +99,16 @@ DesReport simulate_cluster(std::vector<balance::WorkItem> items,
   while (!ready.empty()) {
     const auto [t, leader] = ready.top();
     ready.pop();
+    {
+      // A leader on a crashed node holds no work and asks for none until
+      // the node rejoins.
+      const std::size_t node = leader / m.leaders_per_node;
+      const double rejoin = up_at(node, t);
+      if (rejoin > t) {
+        ready.emplace(rejoin, leader);
+        continue;
+      }
+    }
     balance::Task task = scheduler.acquire(ready.size(), t);
     if (task.empty()) {
       if (scheduler.finished()) {
@@ -108,16 +146,28 @@ DesReport simulate_cluster(std::vector<balance::WorkItem> items,
               m.fragment_overhead;
     }
     exec *= node_speed[node];
-    for (const auto& item : task) scheduler.complete(item.fragment_id);
 
     // Without prefetch the dispatch latency serializes with execution;
     // with prefetch the next request overlaps the current task.
     const double dispatch = options.prefetch ? 0.0 : m.dispatch_latency;
     const double done = t + dispatch + exec;
+
+    if (const NodeCrash* c = crash_within(node, t, done)) {
+      // The node dies mid-task: the task is lost, its fragments stay
+      // "processing" until the straggler timeout flips them back to
+      // un-processed and surviving leaders recompute them.
+      ++report.n_crash_lost_tasks;
+      report.node_busy[node] += std::max(0.0, c->at - t);
+      ready.emplace(c->at + c->downtime, leader);
+      continue;
+    }
+
+    for (const auto& item : task) scheduler.complete(item.fragment_id);
     report.node_busy[node] += exec;
     ready.emplace(done, leader);
   }
 
+  report.n_crashes = options.node_crashes.size();
   report.n_tasks = scheduler.n_tasks();
   report.n_requeued_tasks = scheduler.n_requeue_tasks();
   report.task_log = scheduler.task_log();

@@ -32,6 +32,16 @@ MachineProfile orise_profile();
 /// The new-generation Sunway profile: one SW26010-pro (6 core groups).
 MachineProfile sunway_profile();
 
+/// A scheduled whole-node failure: at time `at` every leader on `node`
+/// dies (a task in flight is lost — its fragments sit in "processing"
+/// until the straggler timeout re-queues them to surviving nodes), and
+/// the node rejoins the sweep `downtime` seconds later.
+struct NodeCrash {
+  std::size_t node = 0;
+  double at = 0.0;
+  double downtime = 60.0;
+};
+
 /// Simulation inputs.
 struct DesOptions {
   std::size_t n_nodes = 16;
@@ -45,6 +55,9 @@ struct DesOptions {
   /// A stalled task is abandoned after this many seconds and its
   /// fragments are re-queued to another leader.
   double straggler_timeout = 600.0;
+  /// Deterministic node-crash schedule (fault-tolerance experiments): the
+  /// sweep must still complete every fragment on the surviving nodes.
+  std::vector<NodeCrash> node_crashes;
 };
 
 /// Per-node outcome plus aggregate metrics (what Figs. 8/10/11 plot).
@@ -52,6 +65,8 @@ struct DesReport {
   double makespan = 0.0;             ///< seconds
   std::size_t n_requeued_tasks = 0;  ///< re-dispatch tasks the master queued
   std::size_t n_stalled_tasks = 0;   ///< straggler injections that fired
+  std::size_t n_crashes = 0;         ///< node-crash windows simulated
+  std::size_t n_crash_lost_tasks = 0;  ///< in-flight tasks killed by a crash
   std::vector<double> node_busy;     ///< busy seconds per node
   double mean_node_busy = 0.0;
   double min_variation = 0.0;        ///< (min busy - mean)/mean, Fig. 8 style

@@ -35,6 +35,13 @@ class NumericalError : public Error {
   using Error::Error;
 };
 
+/// Raised when a computation exceeded its time budget (worker watchdogs,
+/// injected hang faults). Distinguished from NumericalError so the sweep
+/// scheduler can record a `timeout` outcome reason.
+class TimeoutError : public Error {
+  using Error::Error;
+};
+
 /// Raised when an internal invariant is violated (a library bug).
 class InternalError : public Error {
   using Error::Error;

@@ -1,8 +1,10 @@
 #include "qfr/dfpt/response.hpp"
 
 #include <cmath>
+#include <optional>
 
 #include "qfr/common/error.hpp"
+#include "qfr/common/log.hpp"
 #include "qfr/common/timer.hpp"
 #include "qfr/la/blas.hpp"
 #include "qfr/poisson/multipole_poisson.hpp"
@@ -91,60 +93,82 @@ ResponseResult ResponseEngine::solve(const Matrix& h1) {
   const Matrix& c = scf_.mo_coefficients;
   const Vector& eps = scf_.mo_energies;
 
-  ResponseResult res;
-  res.p1.resize_zero(n, n);
-  Matrix p1_prev(n, n);
+  double last_delta = 0.0;  // residual of the final failed cycle
 
-  for (int iter = 1; iter <= options_.max_iterations; ++iter) {
-    // Full first-order Fock: external + induced two-electron response.
-    Matrix f1 = h1;
-    if (iter > 1) f1 += induced_fock(res.p1);
+  // One CPSCF pass at the given mixing factor; nullopt on hitting
+  // max_iterations.
+  auto attempt = [&](double mixing) -> std::optional<ResponseResult> {
+    ResponseResult res;
+    res.p1.resize_zero(n, n);
 
-    // Phase p1: update the response density matrix.
-    WallTimer t;
-    // Transform to MO: F1_mo = C^T F1 C.
-    Matrix tmp(n, n), f1_mo(n, n);
-    la::gemm(la::Trans::kYes, la::Trans::kNo, 1.0, c, f1, 0.0, tmp);
-    la::gemm(la::Trans::kNo, la::Trans::kNo, 1.0, tmp, c, 0.0, f1_mo);
-    flops_ += 2 * la::gemm_flops(n, n, n);
+    for (int iter = 1; iter <= options_.max_iterations; ++iter) {
+      // Full first-order Fock: external + induced two-electron response.
+      Matrix f1 = h1;
+      if (iter > 1) f1 += induced_fock(res.p1);
 
-    // Occupied-virtual rotation amplitudes.
-    Matrix u(n, n);  // only (virt, occ) block used
-    for (int a = n_occ; a < static_cast<int>(n); ++a)
-      for (int i = 0; i < n_occ; ++i) {
-        const double gap = eps[i] - eps[a];
-        QFR_ASSERT(std::fabs(gap) > 1e-10, "vanishing HOMO-LUMO gap");
-        u(a, i) = f1_mo(a, i) / gap;
+      // Phase p1: update the response density matrix.
+      WallTimer t;
+      // Transform to MO: F1_mo = C^T F1 C.
+      Matrix tmp(n, n), f1_mo(n, n);
+      la::gemm(la::Trans::kYes, la::Trans::kNo, 1.0, c, f1, 0.0, tmp);
+      la::gemm(la::Trans::kNo, la::Trans::kNo, 1.0, tmp, c, 0.0, f1_mo);
+      flops_ += 2 * la::gemm_flops(n, n, n);
+
+      // Occupied-virtual rotation amplitudes.
+      Matrix u(n, n);  // only (virt, occ) block used
+      for (int a = n_occ; a < static_cast<int>(n); ++a)
+        for (int i = 0; i < n_occ; ++i) {
+          const double gap = eps[i] - eps[a];
+          QFR_ASSERT(std::fabs(gap) > 1e-10, "vanishing HOMO-LUMO gap");
+          u(a, i) = f1_mo(a, i) / gap;
+        }
+
+      // P1 = 2 sum_ai U_ai (C_a C_i^T + C_i C_a^T).
+      Matrix p1_new(n, n);
+      for (std::size_t mu = 0; mu < n; ++mu)
+        for (std::size_t nu = 0; nu < n; ++nu) {
+          double acc = 0.0;
+          for (int a = n_occ; a < static_cast<int>(n); ++a)
+            for (int i = 0; i < n_occ; ++i)
+              acc += u(a, i) * (c(mu, a) * c(nu, i) + c(mu, i) * c(nu, a));
+          p1_new(mu, nu) = 2.0 * acc;
+        }
+      times_.p1 += t.seconds();
+
+      // Mixing and convergence.
+      if (iter > 1) {
+        for (std::size_t k = 0; k < p1_new.size(); ++k)
+          p1_new.data()[k] = mixing * p1_new.data()[k] +
+                             (1.0 - mixing) * res.p1.data()[k];
       }
-
-    // P1 = 2 sum_ai U_ai (C_a C_i^T + C_i C_a^T).
-    Matrix p1_new(n, n);
-    for (std::size_t mu = 0; mu < n; ++mu)
-      for (std::size_t nu = 0; nu < n; ++nu) {
-        double acc = 0.0;
-        for (int a = n_occ; a < static_cast<int>(n); ++a)
-          for (int i = 0; i < n_occ; ++i)
-            acc += u(a, i) * (c(mu, a) * c(nu, i) + c(mu, i) * c(nu, a));
-        p1_new(mu, nu) = 2.0 * acc;
+      const double delta = la::max_abs_diff(p1_new, res.p1);
+      last_delta = delta;
+      res.p1 = std::move(p1_new);
+      res.iterations = iter;
+      if (iter > 1 && delta < options_.tolerance) {
+        res.converged = true;
+        return res;
       }
-    times_.p1 += t.seconds();
+    }
+    return std::nullopt;
+  };
 
-    // Mixing and convergence.
-    if (iter > 1) {
-      for (std::size_t k = 0; k < p1_new.size(); ++k)
-        p1_new.data()[k] = options_.mixing * p1_new.data()[k] +
-                           (1.0 - options_.mixing) * res.p1.data()[k];
-    }
-    const double delta = la::max_abs_diff(p1_new, res.p1);
-    res.p1 = std::move(p1_new);
-    res.iterations = iter;
-    if (iter > 1 && delta < options_.tolerance) {
-      res.converged = true;
-      return res;
-    }
+  if (std::optional<ResponseResult> res = attempt(options_.mixing))
+    return *res;
+
+  if (options_.escalate_on_nonconvergence) {
+    const double mixing2 = 0.5 * options_.mixing;
+    QFR_LOG_WARN("CPSCF did not converge in ", options_.max_iterations,
+                 " iterations (last |dP1| = ", last_delta,
+                 "); retrying with mixing ", mixing2);
+    if (std::optional<ResponseResult> res = attempt(mixing2)) return *res;
   }
-  QFR_NUMERIC_FAIL("CPSCF failed to converge in " << options_.max_iterations
-                   << " iterations");
+  QFR_NUMERIC_FAIL("CPSCF failed to converge in "
+                   << options_.max_iterations << " iterations (last |dP1| = "
+                   << last_delta << ", tolerance " << options_.tolerance
+                   << (options_.escalate_on_nonconvergence
+                           ? ", escalated retry included)"
+                           : ")"));
 }
 
 PolarizabilityResult ResponseEngine::polarizability() {

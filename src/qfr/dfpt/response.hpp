@@ -16,6 +16,10 @@ struct DfptOptions {
   int max_iterations = 100;
   double tolerance = 1e-8;  ///< max-abs change of P1 between cycles
   double mixing = 0.7;      ///< linear mixing of successive P1
+  /// When the first pass hits max_iterations, retry once with the mixing
+  /// halved (stronger damping of the response oscillation) before
+  /// throwing NumericalError.
+  bool escalate_on_nonconvergence = true;
   /// LDA path only: solve the response Hartree potential v1(r) on the
   /// grid with the atom-centered multipole Poisson solver (the paper's
   /// literal phase 3) instead of contracting analytic ERIs. Slightly less

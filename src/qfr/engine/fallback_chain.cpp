@@ -1,0 +1,26 @@
+#include "qfr/engine/fallback_chain.hpp"
+
+#include "qfr/common/error.hpp"
+
+namespace qfr::engine {
+
+EngineFallbackChain::EngineFallbackChain(
+    std::vector<std::unique_ptr<FragmentEngine>> engines)
+    : engines_(std::move(engines)) {
+  for (const auto& e : engines_)
+    QFR_REQUIRE(e != nullptr, "null engine in fallback chain");
+}
+
+void EngineFallbackChain::push_back(std::unique_ptr<FragmentEngine> engine) {
+  QFR_REQUIRE(engine != nullptr, "null engine in fallback chain");
+  engines_.push_back(std::move(engine));
+}
+
+const FragmentEngine& EngineFallbackChain::engine(std::size_t level) const {
+  QFR_REQUIRE(level < engines_.size(),
+              "fallback level " << level << " out of range (chain has "
+                                << engines_.size() << " levels)");
+  return *engines_[level];
+}
+
+}  // namespace qfr::engine

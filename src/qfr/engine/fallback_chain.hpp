@@ -1,0 +1,37 @@
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "qfr/engine/fragment_engine.hpp"
+
+namespace qfr::engine {
+
+/// An ordered ladder of engines for graceful degradation: level 0 is the
+/// primary (most accurate) engine, each later level a cheaper or more
+/// robust surrogate (e.g. analytic-gradient SCF -> energy-only FD SCF ->
+/// model force field). When a fragment exhausts its retries at one level,
+/// the sweep degrades it to the next level instead of failing the whole
+/// run — a 10^7-fragment sweep should lose accuracy on one fragment, not
+/// the campaign, when one fragment's SCF refuses to converge.
+class EngineFallbackChain {
+ public:
+  EngineFallbackChain() = default;
+  explicit EngineFallbackChain(
+      std::vector<std::unique_ptr<FragmentEngine>> engines);
+
+  /// Append one fallback level (after the current last).
+  void push_back(std::unique_ptr<FragmentEngine> engine);
+
+  /// Number of fallback levels (0 when no degradation is available).
+  std::size_t size() const { return engines_.size(); }
+  bool empty() const { return engines_.empty(); }
+
+  /// Engine at `level` (0-based within the fallback ladder).
+  const FragmentEngine& engine(std::size_t level) const;
+
+ private:
+  std::vector<std::unique_ptr<FragmentEngine>> engines_;
+};
+
+}  // namespace qfr::engine

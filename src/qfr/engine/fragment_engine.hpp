@@ -1,5 +1,6 @@
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <string>
 
@@ -37,6 +38,15 @@ class FragmentEngine {
 
   /// Compute Hessian + polarizability derivatives for one fragment.
   virtual FragmentResult compute(const chem::Molecule& fragment) const = 0;
+
+  /// Id-tagged variant: the runtime calls this with the fragment id so
+  /// decorators (fault injection, per-fragment instrumentation) can key
+  /// behaviour on it. Plain engines ignore the id.
+  virtual FragmentResult compute(std::size_t fragment_id,
+                                 const chem::Molecule& fragment) const {
+    (void)fragment_id;
+    return compute(fragment);
+  }
 
   /// Engine name for logs and provenance.
   virtual std::string name() const = 0;

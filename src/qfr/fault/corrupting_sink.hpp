@@ -1,0 +1,41 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "qfr/fault/fault_injector.hpp"
+#include "qfr/frag/checkpoint.hpp"
+#include "qfr/runtime/result_sink.hpp"
+
+namespace qfr::fault {
+
+/// CheckpointSink variant that damages the file it just wrote, on the
+/// injector's orders — the storage half of the fault model. Two faults:
+///
+/// - kBitFlip: one deterministic bit inside the record payload is flipped
+///   after the append, modelling at-rest corruption. The CRC frame makes
+///   this detectable, and only that record is lost on scan.
+/// - kTruncate: the file is cut mid-record and the sink goes dead (no
+///   further appends), modelling a node dying mid-write. The scan drops
+///   the torn tail.
+///
+/// Offsets and bit indices come from FaultInjector::mix, so a given plan
+/// corrupts the same bytes every run.
+class CorruptingCheckpointSink final : public runtime::ResultSink {
+ public:
+  CorruptingCheckpointSink(const std::string& path, FaultInjector& injector);
+
+  void on_result(std::size_t fragment_id,
+                 const engine::FragmentResult& result) override;
+
+  bool dead() const { return dead_; }
+  std::size_t n_written() const { return writer_.n_written(); }
+
+ private:
+  std::string path_;
+  frag::CheckpointWriter writer_;
+  FaultInjector* injector_;
+  bool dead_ = false;
+};
+
+}  // namespace qfr::fault

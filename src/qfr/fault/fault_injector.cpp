@@ -1,0 +1,104 @@
+#include "qfr/fault/fault_injector.hpp"
+
+#include "qfr/common/error.hpp"
+
+namespace qfr::fault {
+
+namespace {
+
+// SplitMix64 finalizer: the per-decision hash that replaces a sequential
+// random stream, so decisions are independent of draw order across threads.
+std::uint64_t splitmix(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+double to_unit(std::uint64_t x) {
+  return static_cast<double>(x >> 11) * 0x1.0p-53;
+}
+
+FaultSite site_of(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kBitFlip:
+    case FaultKind::kTruncate:
+      return FaultSite::kCheckpoint;
+    default:
+      return FaultSite::kEngine;
+  }
+}
+
+}  // namespace
+
+const char* to_string(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kNone:      return "none";
+    case FaultKind::kThrow:     return "throw";
+    case FaultKind::kNan:       return "nan";
+    case FaultKind::kInf:       return "inf";
+    case FaultKind::kSignFlip:  return "sign_flip";
+    case FaultKind::kDelay:     return "delay";
+    case FaultKind::kTimeout:   return "timeout";
+    case FaultKind::kBitFlip:   return "bit_flip";
+    case FaultKind::kTruncate:  return "truncate";
+  }
+  return "unknown";
+}
+
+FaultInjector::FaultInjector(FaultPlan plan) : plan_(std::move(plan)) {
+  for (const auto& rule : plan_.rules) {
+    QFR_REQUIRE(rule.probability >= 0.0 && rule.probability <= 1.0,
+                "fault probability must be in [0, 1]");
+    QFR_REQUIRE(rule.kind != FaultKind::kDelay || rule.delay_seconds >= 0.0,
+                "negative fault delay");
+  }
+  rule_hits_.resize(plan_.rules.size());
+}
+
+Fault FaultInjector::draw(std::size_t fragment_id, FaultSite site) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const std::uint64_t occ_key =
+      (static_cast<std::uint64_t>(fragment_id) << 1) |
+      static_cast<std::uint64_t>(site);
+  const std::size_t occurrence = occurrence_[occ_key]++;
+
+  for (std::size_t r = 0; r < plan_.rules.size(); ++r) {
+    const FaultRule& rule = plan_.rules[r];
+    if (rule.kind == FaultKind::kNone || site_of(rule.kind) != site) continue;
+    if (rule.fragment_id != kAnyFragment && rule.fragment_id != fragment_id)
+      continue;
+    std::size_t& hits = rule_hits_[r][fragment_id];
+    if (hits >= rule.max_hits) continue;
+    if (rule.fragment_id == kAnyFragment && rule.probability < 1.0) {
+      // Decision hash keyed on (seed, site, fragment, occurrence, rule):
+      // deterministic no matter which thread asks first.
+      const std::uint64_t h = splitmix(
+          plan_.seed ^ splitmix(occ_key ^ splitmix(occurrence ^ (r << 32))));
+      if (to_unit(h) >= rule.probability) continue;
+    }
+    ++hits;
+    ++injected_[static_cast<std::size_t>(rule.kind)];
+    return {rule.kind, rule.delay_seconds};
+  }
+  return {};
+}
+
+std::uint64_t FaultInjector::mix(std::size_t fragment_id,
+                                 std::uint64_t salt) const {
+  return splitmix(plan_.seed ^ splitmix(fragment_id ^ splitmix(salt)));
+}
+
+std::size_t FaultInjector::n_injected() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::size_t n = 0;
+  for (std::size_t k = 1; k < injected_.size(); ++k) n += injected_[k];
+  return n;
+}
+
+std::size_t FaultInjector::n_injected(FaultKind kind) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return injected_[static_cast<std::size_t>(kind)];
+}
+
+}  // namespace qfr::fault

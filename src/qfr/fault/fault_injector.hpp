@@ -1,0 +1,103 @@
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace qfr::fault {
+
+/// Everything the robustness test harness can break on purpose. Engine
+/// faults corrupt or abort a fragment computation; checkpoint faults
+/// corrupt the persisted record stream. Node crashes are injected
+/// separately through cluster::DesOptions::node_crashes (they are keyed on
+/// nodes and times, not fragments).
+enum class FaultKind {
+  kNone = 0,
+  // Engine-site faults (FaultyEngine).
+  kThrow,     ///< the engine throws instead of returning a result
+  kNan,       ///< a NaN is planted in the returned Hessian (or energy)
+  kInf,       ///< an Inf is planted in the returned dalpha (or energy)
+  kSignFlip,  ///< one off-diagonal Hessian block is sign-flipped (breaks symmetry)
+  kDelay,     ///< the compute sleeps `delay_seconds` first (straggler)
+  kTimeout,   ///< a watchdog kill: the compute throws TimeoutError
+  // Checkpoint-site faults (CorruptingCheckpointSink).
+  kBitFlip,   ///< one bit of the just-written record payload is flipped
+  kTruncate,  ///< the file is truncated mid-record and the sink goes dead
+};
+
+const char* to_string(FaultKind kind);
+
+/// Which layer is asking the injector for a decision. Rules only match
+/// their own site, and the random streams of the two sites are
+/// independent, so adding an engine rule never shifts checkpoint faults.
+enum class FaultSite { kEngine, kCheckpoint };
+
+/// Matches any fragment id (probabilistic rules).
+inline constexpr std::size_t kAnyFragment = static_cast<std::size_t>(-1);
+
+/// One deterministic injection rule. A rule fires for a matching
+/// occurrence (a compute attempt or a record write of a fragment) until it
+/// has fired `max_hits` times.
+struct FaultRule {
+  FaultKind kind = FaultKind::kNone;
+  /// Exact fragment target; kAnyFragment makes the rule probabilistic.
+  std::size_t fragment_id = kAnyFragment;
+  /// Per-occurrence firing probability for kAnyFragment rules (targeted
+  /// rules always fire while hits remain).
+  double probability = 1.0;
+  /// Total times this rule may fire per fragment; 1 models a transient
+  /// fault, the default models a persistent one.
+  std::size_t max_hits = static_cast<std::size_t>(-1);
+  /// Sleep length for kDelay.
+  double delay_seconds = 0.0;
+};
+
+/// A seeded fault schedule: what to break, where, and how often.
+struct FaultPlan {
+  std::uint64_t seed = 2024;
+  std::vector<FaultRule> rules;
+  bool empty() const { return rules.empty(); }
+};
+
+/// The decision returned for one occurrence.
+struct Fault {
+  FaultKind kind = FaultKind::kNone;
+  double delay_seconds = 0.0;
+};
+
+/// Deterministic, seeded fault source shared by the engine wrapper, the
+/// checkpoint sink, and tests. Decisions are keyed on (site, fragment id,
+/// per-fragment occurrence index), never on wall clock or thread
+/// interleaving, so a plan reproduces the same faults bit-for-bit across
+/// runs and leader counts. Thread safe.
+class FaultInjector {
+ public:
+  explicit FaultInjector(FaultPlan plan = {});
+
+  /// Decide the fault for the next occurrence of `fragment_id` at `site`.
+  Fault draw(std::size_t fragment_id, FaultSite site);
+
+  /// Deterministic 64-bit value derived from (seed, fragment id, salt) —
+  /// used to pick corruption offsets/bits without consuming draw state.
+  std::uint64_t mix(std::size_t fragment_id, std::uint64_t salt) const;
+
+  std::size_t n_injected() const;
+  std::size_t n_injected(FaultKind kind) const;
+
+  const FaultPlan& plan() const { return plan_; }
+
+ private:
+  mutable std::mutex mutex_;
+  FaultPlan plan_;
+  /// Occurrence index per (site, fragment id).
+  std::unordered_map<std::uint64_t, std::size_t> occurrence_;
+  /// Fired count per rule per fragment id.
+  std::vector<std::unordered_map<std::size_t, std::size_t>> rule_hits_;
+  std::array<std::size_t, 9> injected_{};
+};
+
+}  // namespace qfr::fault

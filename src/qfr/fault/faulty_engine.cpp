@@ -1,0 +1,79 @@
+#include "qfr/fault/faulty_engine.hpp"
+
+#include <chrono>
+#include <limits>
+#include <source_location>
+#include <sstream>
+#include <thread>
+
+#include "qfr/common/error.hpp"
+
+namespace qfr::fault {
+
+namespace {
+
+std::string describe(const char* what, std::size_t fragment_id) {
+  std::ostringstream os;
+  os << "injected " << what << " fault on fragment ";
+  if (fragment_id == kAnyFragment)
+    os << "<untagged>";
+  else
+    os << fragment_id;
+  return os.str();
+}
+
+}  // namespace
+
+engine::FragmentResult FaultyEngine::compute(std::size_t fragment_id,
+                                             const chem::Molecule& f) const {
+  const Fault fault = injector_->draw(fragment_id, FaultSite::kEngine);
+  switch (fault.kind) {
+    case FaultKind::kThrow:
+      throw InternalError(describe("engine", fragment_id),
+                          std::source_location::current());
+    case FaultKind::kTimeout:
+      throw TimeoutError(describe("timeout", fragment_id),
+                         std::source_location::current());
+    case FaultKind::kDelay:
+      std::this_thread::sleep_for(
+          std::chrono::duration<double>(fault.delay_seconds));
+      return inner_->compute(fragment_id, f);
+    default:
+      break;
+  }
+
+  engine::FragmentResult r = inner_->compute(fragment_id, f);
+  switch (fault.kind) {
+    case FaultKind::kNan:
+      // Poison one Hessian entry; a validator must catch this before it
+      // spreads through assembly. Fall back to the energy when the result
+      // carries no Hessian.
+      if (!r.hessian.empty())
+        r.hessian(0, 0) = std::numeric_limits<double>::quiet_NaN();
+      else
+        r.energy = std::numeric_limits<double>::quiet_NaN();
+      break;
+    case FaultKind::kInf:
+      if (!r.dalpha.empty())
+        r.dalpha(0, 0) = std::numeric_limits<double>::infinity();
+      else
+        r.energy = std::numeric_limits<double>::infinity();
+      break;
+    case FaultKind::kSignFlip:
+      // Flip a whole off-diagonal atom block: keeps everything finite but
+      // breaks Hessian symmetry (and the acoustic sum rule), the classic
+      // silent-corruption shape a bit flip in transit produces.
+      if (r.hessian.rows() >= 6 && r.hessian.cols() >= 6) {
+        for (std::size_t a = 0; a < 3; ++a)
+          for (std::size_t b = 3; b < 6; ++b) r.hessian(a, b) *= -1.0;
+      } else if (!r.hessian.empty()) {
+        r.hessian(0, 0) *= -1.0;
+      }
+      break;
+    default:
+      break;
+  }
+  return r;
+}
+
+}  // namespace qfr::fault

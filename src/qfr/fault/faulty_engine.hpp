@@ -1,0 +1,38 @@
+#pragma once
+
+#include "qfr/engine/fragment_engine.hpp"
+#include "qfr/fault/fault_injector.hpp"
+
+namespace qfr::fault {
+
+/// FragmentEngine decorator that consults a FaultInjector before/after
+/// every compute and applies the drawn engine-site fault: throw, NaN/Inf
+/// in the result, a sign-flipped Hessian block, a sleep, or a watchdog
+/// TimeoutError. Wrap any engine with it to prove the retry, validation,
+/// and degradation machinery under deterministic, seeded faults.
+///
+/// Neither the inner engine nor the injector is owned; both must outlive
+/// the wrapper. Thread-compatible like every FragmentEngine.
+class FaultyEngine final : public engine::FragmentEngine {
+ public:
+  FaultyEngine(const engine::FragmentEngine& inner, FaultInjector& injector)
+      : inner_(&inner), injector_(&injector) {}
+
+  /// Untagged path: only probabilistic (kAnyFragment) rules can match.
+  engine::FragmentResult compute(const chem::Molecule& f) const override {
+    return compute(kAnyFragment, f);
+  }
+
+  engine::FragmentResult compute(std::size_t fragment_id,
+                                 const chem::Molecule& f) const override;
+
+  std::string name() const override { return inner_->name() + "+faults"; }
+
+  const FaultInjector& injector() const { return *injector_; }
+
+ private:
+  const engine::FragmentEngine* inner_;
+  FaultInjector* injector_;
+};
+
+}  // namespace qfr::fault

@@ -1,0 +1,144 @@
+#include "qfr/fault/validator.hpp"
+
+#include <cmath>
+#include <sstream>
+
+#include "qfr/common/error.hpp"
+
+namespace qfr::fault {
+
+namespace {
+
+bool all_finite(const la::Matrix& m) {
+  for (std::size_t k = 0; k < m.size(); ++k)
+    if (!std::isfinite(m.data()[k])) return false;
+  return true;
+}
+
+double max_abs(const la::Matrix& m) {
+  double v = 0.0;
+  for (std::size_t k = 0; k < m.size(); ++k)
+    v = std::max(v, std::fabs(m.data()[k]));
+  return v;
+}
+
+std::string format_residual(const char* what, double residual, double bound) {
+  std::ostringstream os;
+  os << what << " residual " << residual << " exceeds bound " << bound;
+  return os.str();
+}
+
+}  // namespace
+
+FragmentResultValidator::FragmentResultValidator(ValidatorOptions options)
+    : options_(options) {
+  QFR_REQUIRE(options_.hessian_symmetry_tolerance > 0.0 &&
+                  options_.asr_tolerance > 0.0 &&
+                  options_.dalpha_tolerance > 0.0,
+              "validator tolerances must be positive");
+}
+
+Validation FragmentResultValidator::validate(
+    const engine::FragmentResult& r) const {
+  Validation v;
+
+  // 1. All-finite: one NaN/Inf anywhere invalidates the whole result (it
+  // would silently spread through the assembled global Hessian).
+  if (!std::isfinite(r.energy)) {
+    v.ok = false;
+    v.reason = "non-finite energy";
+    return v;
+  }
+  const la::Matrix* mats[] = {&r.hessian, &r.alpha, &r.dalpha, &r.dmu};
+  const char* names[] = {"hessian", "alpha", "dalpha", "dmu"};
+  for (int i = 0; i < 4; ++i) {
+    if (!all_finite(*mats[i])) {
+      v.ok = false;
+      v.reason = std::string("non-finite entries in ") + names[i];
+      return v;
+    }
+  }
+
+  // 2. Hessian symmetry (second derivatives commute).
+  if (!r.hessian.empty()) {
+    if (r.hessian.rows() != r.hessian.cols()) {
+      v.ok = false;
+      v.reason = "non-square Hessian";
+      return v;
+    }
+    const double scale = std::max(1.0, max_abs(r.hessian));
+    const std::size_t dim = r.hessian.rows();
+    for (std::size_t a = 0; a < dim; ++a)
+      for (std::size_t b = a + 1; b < dim; ++b)
+        v.symmetry_residual =
+            std::max(v.symmetry_residual,
+                     std::fabs(r.hessian(a, b) - r.hessian(b, a)) / scale);
+    if (v.symmetry_residual > options_.hessian_symmetry_tolerance) {
+      v.ok = false;
+      v.reason = format_residual("Hessian symmetry", v.symmetry_residual,
+                                 options_.hessian_symmetry_tolerance);
+      return v;
+    }
+
+    // 3. Acoustic sum rule: rigid translations of an isolated fragment
+    // cost nothing, so each Cartesian row must sum to zero over atoms.
+    if (options_.check_asr && dim % 3 == 0) {
+      const std::size_t n_atoms = dim / 3;
+      for (std::size_t row = 0; row < dim; ++row)
+        for (int b = 0; b < 3; ++b) {
+          double acc = 0.0;
+          for (std::size_t j = 0; j < n_atoms; ++j)
+            acc += r.hessian(row, 3 * j + b);
+          v.asr_residual = std::max(v.asr_residual, std::fabs(acc) / scale);
+        }
+      if (v.asr_residual > options_.asr_tolerance) {
+        v.ok = false;
+        v.reason = format_residual("acoustic-sum-rule", v.asr_residual,
+                                   options_.asr_tolerance);
+        return v;
+      }
+    }
+  }
+
+  // 4. Polarizability invariants: alpha symmetric; dalpha/dmu annihilate
+  // rigid translations (alpha and mu depend on relative geometry only).
+  if (options_.check_dalpha) {
+    if (r.alpha.rows() == 3 && r.alpha.cols() == 3) {
+      const double ascale = std::max(1.0, max_abs(r.alpha));
+      for (int a = 0; a < 3; ++a)
+        for (int b = a + 1; b < 3; ++b)
+          v.dalpha_residual =
+              std::max(v.dalpha_residual,
+                       std::fabs(r.alpha(a, b) - r.alpha(b, a)) / ascale);
+      if (v.dalpha_residual > options_.dalpha_tolerance) {
+        v.ok = false;
+        v.reason = format_residual("alpha symmetry", v.dalpha_residual,
+                                   options_.dalpha_tolerance);
+        return v;
+      }
+    }
+    for (const la::Matrix* d : {&r.dalpha, &r.dmu}) {
+      if (d->empty() || d->cols() % 3 != 0) continue;
+      const double dscale = std::max(1.0, max_abs(*d));
+      const std::size_t n_atoms = d->cols() / 3;
+      for (std::size_t k = 0; k < d->rows(); ++k)
+        for (int a = 0; a < 3; ++a) {
+          double acc = 0.0;
+          for (std::size_t j = 0; j < n_atoms; ++j)
+            acc += (*d)(k, 3 * j + a);
+          v.dalpha_residual =
+              std::max(v.dalpha_residual, std::fabs(acc) / dscale);
+        }
+    }
+    if (v.ok && v.dalpha_residual > options_.dalpha_tolerance) {
+      v.ok = false;
+      v.reason = format_residual("dalpha/dmu translational sum rule",
+                                 v.dalpha_residual, options_.dalpha_tolerance);
+      return v;
+    }
+  }
+
+  return v;
+}
+
+}  // namespace qfr::fault

@@ -1,0 +1,60 @@
+#pragma once
+
+#include <string>
+
+#include "qfr/engine/fragment_engine.hpp"
+
+namespace qfr::fault {
+
+/// Tolerances of the result-integrity checks. Every bound is relative to
+/// max(1, max|H|) (or the matching dalpha/alpha scale), so the same
+/// options work for force-field Hessians (entries O(1)) and ab initio
+/// finite-difference Hessians. Defaults are loose enough for the FD noise
+/// of ScfEngine at its 5e-3 bohr displacement yet tight enough to catch
+/// any structural corruption (a flipped sign, a wrong weight, a stale
+/// record).
+struct ValidatorOptions {
+  /// Max |H - H^T| entry, relative.
+  double hessian_symmetry_tolerance = 1e-6;
+  /// Acoustic-sum-rule residual bound: an isolated fragment's Hessian must
+  /// annihilate rigid translations, max_{i,a,b} |sum_j H(3i+a,3j+b)|,
+  /// relative. FD engines leave O(h^2) residuals, hence the loose default.
+  double asr_tolerance = 5e-3;
+  bool check_asr = true;
+  /// Translational sum rule on dalpha/dmu (rigid translation leaves alpha
+  /// and mu unchanged) and alpha = alpha^T, relative.
+  double dalpha_tolerance = 5e-3;
+  bool check_dalpha = true;
+};
+
+/// Verdict of one validation, with the residuals that were measured (for
+/// logs and for tuning tolerances against a new engine).
+struct Validation {
+  bool ok = true;
+  std::string reason;  ///< first violated invariant; empty when ok
+  double symmetry_residual = 0.0;
+  double asr_residual = 0.0;
+  double dalpha_residual = 0.0;
+};
+
+/// Cheap cross-consistency checks run on every delivered FragmentResult
+/// before the scheduler accepts it (the RASCBEC-style validation layer):
+/// at the paper's 10^7-job scale, silent corruption — a NaN from a
+/// non-converged SCF, a bit flip in transit, an asymmetric Hessian from a
+/// half-written buffer — is a statistical certainty, and one bad fragment
+/// poisons the whole Eq. (1) assembly. Matrices a result does not carry
+/// (empty) are skipped, so partial results (Hessian-only engines) still
+/// validate.
+class FragmentResultValidator {
+ public:
+  explicit FragmentResultValidator(ValidatorOptions options = {});
+
+  Validation validate(const engine::FragmentResult& result) const;
+
+  const ValidatorOptions& options() const { return options_; }
+
+ private:
+  ValidatorOptions options_;
+};
+
+}  // namespace qfr::fault

@@ -28,6 +28,7 @@ GlobalProperties assemble_global_properties(
     const Fragment& frag = fragments[f];
     const engine::FragmentResult& res = results[f];
     const std::size_t nf = frag.n_atoms();
+    if (options.skip_missing_results && res.hessian.empty()) continue;
     QFR_REQUIRE(res.hessian.rows() == 3 * nf,
                 "fragment " << f << ": Hessian size mismatch");
     QFR_REQUIRE(res.dalpha.cols() == 3 * nf,

@@ -14,6 +14,11 @@ struct AssemblyOptions {
   /// translations must cost nothing); fragmentation noise otherwise leaves
   /// small spurious restoring forces.
   bool apply_acoustic_sum_rule = true;
+  /// Skip fragments whose result slot is empty (no Hessian) instead of
+  /// failing: the graceful-degradation path uses this to assemble a sweep
+  /// in which some fragments were dropped after exhausting every fallback
+  /// engine. Their Eq. (1) terms are simply absent.
+  bool skip_missing_results = false;
 };
 
 /// The globally assembled quantities entering the spectral solver.

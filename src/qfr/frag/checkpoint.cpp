@@ -1,10 +1,13 @@
 #include "qfr/frag/checkpoint.hpp"
 
+#include <array>
 #include <cstdint>
+#include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <istream>
 #include <ostream>
+#include <sstream>
 
 #include "qfr/common/error.hpp"
 
@@ -14,8 +17,36 @@ namespace {
 
 constexpr std::uint32_t kMagic = 0x5146524Du;  // "QFRM"
 constexpr std::uint32_t kVersion = 2;             // whole-vector format
-constexpr std::uint32_t kVersionIncremental = 3;  // append-only format
+constexpr std::uint32_t kVersionLegacyIncremental = 3;  // pre-CRC append-only
+constexpr std::uint32_t kVersionIncremental = 4;  // CRC-framed append-only
 constexpr std::uint64_t kSentinel = 0xC0FFEEu;
+// A fragment record is a few matrices of a few thousand atoms at most; a
+// frame length beyond this means the length field itself is corrupt.
+constexpr std::uint64_t kMaxRecordBytes = 1ull << 32;
+
+/// CRC32 (IEEE 802.3, poly 0xEDB88320), table-driven — small and
+/// dependency-free; detects every single-bit flip in a record payload.
+const std::array<std::uint32_t, 256>& crc_table() {
+  static const std::array<std::uint32_t, 256> table = [] {
+    std::array<std::uint32_t, 256> t{};
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t c = i;
+      for (int k = 0; k < 8; ++k)
+        c = (c & 1u) ? (0xEDB88320u ^ (c >> 1)) : (c >> 1);
+      t[i] = c;
+    }
+    return t;
+  }();
+  return table;
+}
+
+std::uint32_t crc32(const char* data, std::size_t n) {
+  const auto& table = crc_table();
+  std::uint32_t c = 0xFFFFFFFFu;
+  for (std::size_t i = 0; i < n; ++i)
+    c = table[(c ^ static_cast<unsigned char>(data[i])) & 0xFFu] ^ (c >> 8);
+  return c ^ 0xFFFFFFFFu;
+}
 
 void put_u64(std::ostream& os, std::uint64_t v) {
   os.write(reinterpret_cast<const char*>(&v), sizeof(v));
@@ -86,9 +117,18 @@ void save_results(std::ostream& os,
 
 void save_results_file(const std::string& path,
                        std::span<const engine::FragmentResult> results) {
-  std::ofstream os(path, std::ios::binary);
-  QFR_REQUIRE(os.good(), "cannot open '" << path << "' for writing");
-  save_results(os, results);
+  // Write-then-rename: readers either see the previous complete snapshot
+  // or the new complete snapshot, never a torn one.
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream os(tmp, std::ios::binary | std::ios::trunc);
+    QFR_REQUIRE(os.good(), "cannot open '" << tmp << "' for writing");
+    save_results(os, results);
+    os.flush();
+    QFR_REQUIRE(os.good(), "checkpoint write to '" << tmp << "' failed");
+  }
+  QFR_REQUIRE(std::rename(tmp.c_str(), path.c_str()) == 0,
+              "cannot rename '" << tmp << "' to '" << path << "'");
 }
 
 LoadReport load_results(std::istream& is) {
@@ -143,37 +183,95 @@ CheckpointWriter::CheckpointWriter(std::ostream& os) : os_(&os) {
 
 void CheckpointWriter::append(std::size_t fragment_id,
                               const engine::FragmentResult& result) {
+  // Frame: [id u64][payload len u64][payload][crc32-of-payload u64]. The
+  // length makes a corrupt payload skippable; the CRC makes it detectable.
+  std::ostringstream payload(std::ios::binary);
+  put_record(payload, result);
+  const std::string bytes = payload.str();
+
   put_u64(*os_, static_cast<std::uint64_t>(fragment_id));
-  put_record(*os_, result);
+  put_u64(*os_, static_cast<std::uint64_t>(bytes.size()));
+  os_->write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  put_u64(*os_, crc32(bytes.data(), bytes.size()));
   // Flush per record: a killed run loses at most the record in flight.
   os_->flush();
   QFR_REQUIRE(os_->good(), "checkpoint append failed");
   ++n_;
 }
 
-ScanReport scan_checkpoint(std::istream& is) {
-  std::uint64_t magic = 0, version = 0;
-  QFR_REQUIRE(get_u64(is, &magic) && magic == kMagic,
-              "not a QF-RAMAN checkpoint stream");
-  QFR_REQUIRE(get_u64(is, &version) && version == kVersionIncremental,
-              "incremental checkpoint version mismatch (got "
-                  << version << ", expected " << kVersionIncremental << ")");
-  ScanReport report;
+namespace {
+
+/// v3 scan loop (pre-CRC): records are not framed, so the first corrupt or
+/// partial record ends the scan.
+void scan_legacy(std::istream& is, CheckpointReport* report) {
   for (;;) {
     std::uint64_t id = 0;
     if (!get_u64(is, &id)) break;  // clean end of stream
     engine::FragmentResult r;
     if (!get_record(is, &r)) {
-      report.truncated = true;  // record in flight when the run died
+      report->truncated = true;  // record in flight when the run died
       break;
     }
-    report.fragment_ids.push_back(static_cast<std::size_t>(id));
-    report.results.push_back(std::move(r));
+    report->fragment_ids.push_back(static_cast<std::size_t>(id));
+    report->results.push_back(std::move(r));
   }
+}
+
+void scan_framed(std::istream& is, CheckpointReport* report) {
+  std::string payload;
+  for (;;) {
+    std::uint64_t id = 0, len = 0;
+    if (!get_u64(is, &id)) break;  // clean end of stream
+    if (!get_u64(is, &len) || len > kMaxRecordBytes) {
+      // A corrupt length field is indistinguishable from a torn tail: we
+      // cannot find the next frame boundary, so the scan stops here.
+      report->truncated = true;
+      break;
+    }
+    payload.resize(static_cast<std::size_t>(len));
+    is.read(payload.data(), static_cast<std::streamsize>(len));
+    std::uint64_t stored_crc = 0;
+    if (!is.good() || !get_u64(is, &stored_crc)) {
+      report->truncated = true;
+      break;
+    }
+    engine::FragmentResult r;
+    std::istringstream ps(payload, std::ios::binary);
+    if (crc32(payload.data(), payload.size()) != stored_crc ||
+        !get_record(ps, &r)) {
+      // The frame is intact but the payload is damaged: skip exactly this
+      // record and keep scanning from the next frame.
+      ++report->n_corrupt;
+      report->corrupt_ids.push_back(static_cast<std::size_t>(id));
+      continue;
+    }
+    report->fragment_ids.push_back(static_cast<std::size_t>(id));
+    report->results.push_back(std::move(r));
+  }
+}
+
+}  // namespace
+
+CheckpointReport scan_checkpoint(std::istream& is) {
+  std::uint64_t magic = 0, version = 0;
+  QFR_REQUIRE(get_u64(is, &magic) && magic == kMagic,
+              "not a QF-RAMAN checkpoint stream");
+  QFR_REQUIRE(get_u64(is, &version),
+              "truncated incremental checkpoint header");
+  QFR_REQUIRE(version == kVersionIncremental ||
+                  version == kVersionLegacyIncremental,
+              "incremental checkpoint version mismatch (got "
+                  << version << ", expected " << kVersionIncremental << " or "
+                  << kVersionLegacyIncremental << ")");
+  CheckpointReport report;
+  if (version == kVersionLegacyIncremental)
+    scan_legacy(is, &report);
+  else
+    scan_framed(is, &report);
   return report;
 }
 
-ScanReport scan_checkpoint_file(const std::string& path) {
+CheckpointReport scan_checkpoint_file(const std::string& path) {
   std::ifstream is(path, std::ios::binary);
   QFR_REQUIRE(is.good(), "cannot open '" << path << "' for reading");
   return scan_checkpoint(is);

@@ -20,14 +20,17 @@ namespace qfr::frag {
 /// recomputes what is missing. Two formats share one record layout:
 ///
 /// - v2 (save_results/load_results): a whole result vector with an
-///   up-front count, written once at the end of a run.
-/// - v3 (CheckpointWriter/scan_checkpoint): an append-only stream of
-///   (fragment id, result) records with no up-front count, flushed record
-///   by record as the sweep completes fragments. A run killed mid-write
-///   loses at most the trailing record; scan_checkpoint drops the
-///   truncated tail and reports how many bytes' worth of records were
-///   recovered, so a resume seeds the scheduler with exactly the
-///   completed prefix.
+///   up-front count, written once at the end of a run. Written atomically:
+///   to a temp file first, then renamed over the target, so a crash during
+///   the save never leaves a half-written snapshot in place.
+/// - v4 (CheckpointWriter/scan_checkpoint): an append-only stream of
+///   length-framed, CRC32-protected (fragment id, result) records with no
+///   up-front count, flushed record by record as the sweep completes
+///   fragments. A run killed mid-write loses at most the trailing record;
+///   a bit flip at rest corrupts exactly one record — the length framing
+///   lets scan_checkpoint skip it, report it, and keep every other record.
+///   The pre-CRC v3 format is still readable (without per-record recovery:
+///   a corrupt v3 record truncates the scan there, as it always did).
 
 /// Write all results (indexed by fragment id) to a stream/file.
 void save_results(std::ostream& os,
@@ -44,12 +47,12 @@ struct LoadReport {
 LoadReport load_results(std::istream& is);
 LoadReport load_results_file(const std::string& path);
 
-/// Incremental (v3) checkpoint writer: records are appended and flushed
+/// Incremental (v4) checkpoint writer: records are appended and flushed
 /// one at a time as fragments complete. Not thread safe — the runtime
 /// serializes sink calls.
 class CheckpointWriter {
  public:
-  /// Truncates `path` and writes a fresh v3 header.
+  /// Truncates `path` and writes a fresh v4 header.
   explicit CheckpointWriter(const std::string& path);
   CheckpointWriter(std::ostream& os);  ///< stream variant (tests)
 
@@ -66,14 +69,22 @@ class CheckpointWriter {
 
 /// Result of scanning an incremental checkpoint: parallel arrays of
 /// fragment id and result, in append order (ids may repeat only if the
-/// writer was misused; last record wins on resume).
-struct ScanReport {
+/// writer was misused; last record wins on resume). Corrupt v4 records are
+/// skipped — the resume recomputes exactly those fragments — and counted
+/// here so the workflow can log what the checkpoint lost.
+struct CheckpointReport {
   std::vector<std::size_t> fragment_ids;
   std::vector<engine::FragmentResult> results;
-  bool truncated = false;  ///< a partial trailing record was dropped
+  bool truncated = false;    ///< a partial trailing record was dropped
+  std::size_t n_corrupt = 0; ///< CRC-mismatched/unparseable records skipped
+  /// Fragment ids of skipped records, best effort: trustworthy when the
+  /// payload (not the frame header) was corrupted.
+  std::vector<std::size_t> corrupt_ids;
 };
-ScanReport scan_checkpoint(std::istream& is);
-ScanReport scan_checkpoint_file(const std::string& path);
+/// Back-compat name from before corruption reporting existed.
+using ScanReport = CheckpointReport;
+CheckpointReport scan_checkpoint(std::istream& is);
+CheckpointReport scan_checkpoint_file(const std::string& path);
 
 /// ResultSink adapter streaming every accepted fragment completion into
 /// an incremental checkpoint — this is what makes a RamanWorkflow sweep

@@ -1,6 +1,7 @@
 #include "qfr/qframan/workflow.hpp"
 
 #include <fstream>
+#include <sstream>
 
 #include "qfr/common/error.hpp"
 #include "qfr/frag/checkpoint.hpp"
@@ -31,6 +32,22 @@ std::unique_ptr<engine::FragmentEngine> make_engine(EngineKind kind) {
   }
   QFR_ASSERT(false, "unknown engine kind");
   return nullptr;
+}
+
+engine::EngineFallbackChain make_fallback_chain(EngineKind kind) {
+  engine::EngineFallbackChain chain;
+  if (kind == EngineKind::kScfHf) {
+    // Same physics, hardier numerics: the energy-FD Hessian needs only
+    // converged energies, not analytic gradients.
+    engine::ScfEngineOptions opts;
+    opts.xc = scf::XcModel::kHartreeFock;
+    opts.hessian_mode = engine::HessianMode::kEnergyFd;
+    chain.push_back(std::make_unique<engine::ScfEngine>(opts));
+  }
+  // Last resort for every ladder: the classical surrogate always returns
+  // a finite, sum-rule-exact result.
+  chain.push_back(std::make_unique<engine::ModelEngine>());
+  return chain;
 }
 
 RamanWorkflow::RamanWorkflow(WorkflowOptions options)
@@ -64,10 +81,12 @@ WorkflowResult RamanWorkflow::run(const frag::BioSystem& system,
   // sweep so only the missing fragments are recomputed.
   std::vector<engine::FragmentResult> restored(n_fragments);
   std::vector<std::size_t> completed_ids;
+  std::size_t n_corrupt_records = 0;
   if (options_.resume && !options_.checkpoint_path.empty()) {
     std::ifstream probe(options_.checkpoint_path, std::ios::binary);
     if (probe.good()) {
-      frag::ScanReport scan = frag::scan_checkpoint(probe);
+      frag::CheckpointReport scan = frag::scan_checkpoint(probe);
+      n_corrupt_records = scan.n_corrupt;
       for (std::size_t k = 0; k < scan.fragment_ids.size(); ++k) {
         const std::size_t id = scan.fragment_ids[k];
         // Ids beyond the current fragmentation mean the checkpoint
@@ -79,6 +98,10 @@ WorkflowResult RamanWorkflow::run(const frag::BioSystem& system,
       QFR_LOG_INFO("resume: ", completed_ids.size(), " of ", n_fragments,
                    " fragments restored from '", options_.checkpoint_path,
                    "'");
+      if (scan.n_corrupt > 0)
+        QFR_LOG_WARN("resume: skipped ", scan.n_corrupt,
+                     " corrupt checkpoint record(s); those fragments will "
+                     "be recomputed");
     }
   }
 
@@ -91,6 +114,10 @@ WorkflowResult RamanWorkflow::run(const frag::BioSystem& system,
     for (const std::size_t id : completed_ids)
       sink->writer().append(id, restored[id]);
   }
+  const fault::FragmentResultValidator validator(options_.validator);
+  engine::EngineFallbackChain chain;
+  if (options_.enable_fallback) chain = make_fallback_chain(options_.engine);
+
   runtime::RuntimeOptions ropts;
   ropts.n_leaders = options_.n_leaders;
   ropts.workers_per_leader = options_.workers_per_leader;
@@ -99,6 +126,8 @@ WorkflowResult RamanWorkflow::run(const frag::BioSystem& system,
   ropts.abort_on_failure = false;  // failures reported below, after flush
   ropts.sink = sink.get();
   ropts.completed_ids = completed_ids;
+  if (options_.validate_results) ropts.validator = &validator;
+  if (!chain.empty()) ropts.fallback_chain = &chain;
   const runtime::MasterRuntime rt(std::move(ropts));
   WallTimer engine_timer;
   runtime::RunReport report = rt.run(fr.fragments, eng);
@@ -112,14 +141,24 @@ WorkflowResult RamanWorkflow::run(const frag::BioSystem& system,
   out.sweep.n_requeued = report.n_requeued;
   out.sweep.n_retries = report.n_retries;
   out.sweep.n_resumed = report.n_resumed;
+  out.sweep.n_degraded = report.n_degraded();
+  out.sweep.n_corrupt_records = n_corrupt_records;
   out.sweep.outcomes = report.outcomes;
-  if (const std::size_t n_bad = report.n_failed(); n_bad > 0) {
+  const std::size_t n_bad = report.n_failed();
+  if (out.sweep.n_degraded > 0 || n_bad > 0)
+    QFR_LOG_WARN("sweep integrity: ", out.sweep.n_degraded,
+                 " fragment(s) degraded to a fallback engine, ", n_bad,
+                 " dropped");
+  if (n_bad > 0 && !options_.allow_dropped_fragments) {
     // The checkpoint already holds every completed fragment, so a re-run
     // with resume=true recomputes only the failures.
-    std::string first_error;
+    std::string first_error = "unknown";
     for (const auto& o : report.outcomes)
-      if (!o.completed && !o.error.empty()) {
-        first_error = o.error;
+      if (!o.completed) {
+        std::ostringstream os;
+        os << "fragment " << o.fragment_id << " ["
+           << runtime::to_string(o.reason) << "]: " << o.error;
+        first_error = os.str();
         break;
       }
     QFR_NUMERIC_FAIL("fragment sweep failed for "
@@ -127,10 +166,15 @@ WorkflowResult RamanWorkflow::run(const frag::BioSystem& system,
                      << " fragments (completed work checkpointed): "
                      << first_error);
   }
+  out.sweep.n_dropped = n_bad;
 
-  // 3. Eq. (1) assembly into global properties.
+  // 3. Eq. (1) assembly into global properties. Dropped fragments (only
+  // possible under allow_dropped_fragments) are skipped rather than fed
+  // in as empty results.
+  frag::AssemblyOptions aopts = options_.assembly;
+  if (out.sweep.n_dropped > 0) aopts.skip_missing_results = true;
   out.properties = frag::assemble_global_properties(
-      system, fr.fragments, report.results, options_.assembly);
+      system, fr.fragments, report.results, aopts);
 
   // 4. Spectral solve.
   const std::size_t dim = out.properties.hessian_mw.rows();

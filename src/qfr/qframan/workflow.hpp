@@ -2,7 +2,9 @@
 
 #include <memory>
 
+#include "qfr/engine/fallback_chain.hpp"
 #include "qfr/engine/fragment_engine.hpp"
+#include "qfr/fault/validator.hpp"
 #include "qfr/frag/assembly.hpp"
 #include "qfr/frag/fragmentation.hpp"
 #include "qfr/runtime/master_runtime.hpp"
@@ -54,6 +56,18 @@ struct WorkflowOptions {
   /// Fault tolerance of the sweep (see runtime::RuntimeOptions).
   double straggler_timeout = 600.0;
   std::size_t max_retries = 2;
+  /// Run every delivered fragment result through the integrity validator
+  /// (all-finite, Hessian symmetry, sum rules) before acceptance; a
+  /// rejected result is retried like a thrown error.
+  bool validate_results = true;
+  fault::ValidatorOptions validator;
+  /// Degrade fragments that exhaust their retries down an engine ladder
+  /// (make_fallback_chain) instead of failing the run outright.
+  bool enable_fallback = false;
+  /// Tolerate fragments that failed even the last fallback engine: drop
+  /// them from the assembly — their Eq. (1) terms go missing, which the
+  /// SweepSummary reports honestly — instead of aborting the workflow.
+  bool allow_dropped_fragments = false;
 };
 
 /// Sweep-level scheduling/fault-tolerance diagnostics surfaced to the
@@ -64,6 +78,14 @@ struct SweepSummary {
   std::size_t n_requeued = 0;  ///< straggler re-queue events
   std::size_t n_retries = 0;   ///< failure-driven re-dispatches
   std::size_t n_resumed = 0;   ///< fragments restored from the checkpoint
+  /// Fragments completed by a fallback engine instead of the primary
+  /// (graceful degradation; the outcome names the accepting engine).
+  std::size_t n_degraded = 0;
+  /// Fragments with no result at all, absent from the assembly (only
+  /// non-zero when allow_dropped_fragments let the run proceed).
+  std::size_t n_dropped = 0;
+  /// Checkpoint records skipped as corrupt during resume.
+  std::size_t n_corrupt_records = 0;
   /// Terminal per-fragment records, indexed by fragment id (all completed
   /// on a successful run — a permanent failure aborts the workflow after
   /// the checkpoint is flushed, so the completed prefix is resumable).
@@ -106,5 +128,11 @@ class RamanWorkflow {
 /// Factory for the engine selected by `kind` (shared by the workflow and
 /// the benches).
 std::unique_ptr<engine::FragmentEngine> make_engine(EngineKind kind);
+
+/// Degradation ladder below the primary engine `kind`: analytic-gradient
+/// HF falls back to energy-only finite differences, and everything
+/// bottoms out at the classical model surrogate (always available, always
+/// convergent). Used by the workflow when enable_fallback is set.
+engine::EngineFallbackChain make_fallback_chain(EngineKind kind);
 
 }  // namespace qfr::qframan

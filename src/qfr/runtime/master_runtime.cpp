@@ -2,6 +2,7 @@
 
 #include <chrono>
 #include <mutex>
+#include <sstream>
 #include <thread>
 
 #include "qfr/common/error.hpp"
@@ -19,6 +20,13 @@ std::size_t RunReport::n_failed() const {
   return n;
 }
 
+std::size_t RunReport::n_degraded() const {
+  std::size_t n = 0;
+  for (const auto& o : outcomes)
+    if (o.degraded()) ++n;
+  return n;
+}
+
 MasterRuntime::MasterRuntime(RuntimeOptions options)
     : options_(std::move(options)) {
   QFR_REQUIRE(options_.n_leaders >= 1, "need at least one leader");
@@ -26,22 +34,37 @@ MasterRuntime::MasterRuntime(RuntimeOptions options)
               "need at least one worker per leader");
 }
 
+namespace {
+
+/// One engine-dispatch convention shared by the primary and every
+/// fallback level: the classical engine exploits the fragment's explicit
+/// topology, everything else gets the id-tagged geometry call (so fault
+/// decorators can key on the fragment id).
+engine::FragmentResult compute_with_engine(const engine::FragmentEngine& eng,
+                                           const frag::Fragment& f) {
+  if (const auto* model = dynamic_cast<const engine::ModelEngine*>(&eng))
+    return model->compute_with_topology(f.mol, f.bonds);
+  return eng.compute(f.id, f.mol);
+}
+
+}  // namespace
+
 RunReport MasterRuntime::run(std::span<const frag::Fragment> fragments,
                              const engine::FragmentEngine& eng) const {
-  // The classical engine can exploit the fragment's explicit topology;
-  // other engines perceive what they need from the geometry.
-  if (const auto* model = dynamic_cast<const engine::ModelEngine*>(&eng)) {
-    return run(fragments, [model](const frag::Fragment& f) {
-      return model->compute_with_topology(f.mol, f.bonds);
-    });
-  }
-  return run(fragments, [&eng](const frag::Fragment& f) {
-    return eng.compute(f.mol);
-  });
+  return run_impl(
+      fragments,
+      [&eng](const frag::Fragment& f) { return compute_with_engine(eng, f); },
+      eng.name());
 }
 
 RunReport MasterRuntime::run(std::span<const frag::Fragment> fragments,
                              const FragmentCompute& compute) const {
+  return run_impl(fragments, compute, options_.primary_engine_name);
+}
+
+RunReport MasterRuntime::run_impl(std::span<const frag::Fragment> fragments,
+                                  const FragmentCompute& compute,
+                                  const std::string& primary_name) const {
   RunReport report;
   report.results.resize(fragments.size());
   report.leaders.resize(options_.n_leaders);
@@ -58,12 +81,29 @@ RunReport MasterRuntime::run(std::span<const frag::Fragment> fragments,
     items.push_back(
         {f.id, f.n_atoms(), options_.cost_model.evaluate(f.n_atoms())});
 
+  const std::size_t n_chain =
+      options_.fallback_chain ? options_.fallback_chain->size() : 0;
+
   SweepOptions sopts;
   sopts.straggler_timeout = options_.straggler_timeout;
   sopts.max_retries = options_.max_retries;
   sopts.completed_ids = options_.completed_ids;
+  sopts.n_engine_levels = 1 + n_chain;
+  sopts.validator = options_.validator;
   SweepScheduler scheduler(std::move(items), std::move(policy),
                            std::move(sopts));
+
+  // Level-aware compute: level 0 is the caller's engine, levels 1..n are
+  // the fallback chain (graceful degradation).
+  auto compute_at = [&](const frag::Fragment& f,
+                        std::size_t level) -> engine::FragmentResult {
+    if (level == 0) return compute(f);
+    return compute_with_engine(options_.fallback_chain->engine(level - 1), f);
+  };
+  auto engine_name_at = [&](std::size_t level) -> std::string {
+    if (level == 0) return primary_name;
+    return options_.fallback_chain->engine(level - 1).name();
+  };
 
   std::mutex sink_mutex;
   WallTimer wall;
@@ -83,11 +123,23 @@ RunReport MasterRuntime::run(std::span<const frag::Fragment> fragments,
       auto process = [&](const balance::Task& task) {
         std::vector<engine::FragmentResult> local(task.size());
         std::vector<std::string> errors(task.size());
+        std::vector<FailureReason> reasons(task.size(),
+                                           FailureReason::kEngineError);
+        std::vector<std::size_t> levels(task.size(), 0);
         std::vector<char> ok(task.size(), 0);
         workers.parallel_for(task.size(), [&](std::size_t k) {
+          const std::size_t fid = task[k].fragment_id;
+          // Degraded fragments run on their fallback engine from here on.
+          levels[k] = scheduler.engine_level(fid);
           try {
-            local[k] = compute(fragments[task[k].fragment_id]);
+            local[k] = compute_at(fragments[fid], levels[k]);
             ok[k] = 1;
+          } catch (const TimeoutError& e) {
+            errors[k] = e.what();
+            reasons[k] = FailureReason::kTimeout;
+          } catch (const NumericalError& e) {
+            errors[k] = e.what();
+            reasons[k] = FailureReason::kNonConvergence;
           } catch (const std::exception& e) {
             errors[k] = e.what();
           } catch (...) {
@@ -97,10 +149,16 @@ RunReport MasterRuntime::run(std::span<const frag::Fragment> fragments,
         for (std::size_t k = 0; k < task.size(); ++k) {
           const std::size_t fid = task[k].fragment_id;
           if (!ok[k]) {
-            scheduler.fail(fid, errors[k]);
+            scheduler.fail(fid, errors[k], reasons[k]);
             continue;
           }
-          if (!scheduler.complete(fid)) continue;  // stale duplicate
+          // The integrity gate: a result rejected here re-enters the
+          // retry/degradation path and never reaches the results array or
+          // the sink — an injected NaN Hessian cannot leak into assembly.
+          if (scheduler.on_completion(fid, local[k],
+                                      engine_name_at(levels[k])) !=
+              Completion::kAccepted)
+            continue;  // stale duplicate or rejected
           report.results[fid] = std::move(local[k]);
           if (options_.sink) {
             std::lock_guard<std::mutex> lock(sink_mutex);
@@ -151,13 +209,25 @@ RunReport MasterRuntime::run(std::span<const frag::Fragment> fragments,
   report.outcomes = scheduler.outcomes();
   report.task_log = scheduler.task_log();
 
+  if (report.n_degraded() > 0) {
+    for (const auto& o : report.outcomes)
+      if (o.degraded())
+        QFR_LOG_WARN("fragment ", o.fragment_id, " degraded to engine '",
+                     o.engine, "' (level ", o.engine_level,
+                     ") after: ", o.error);
+  }
   if (scheduler.n_failed() > 0) {
     std::string first_error;
     std::size_t n_bad = 0;
     for (const auto& o : report.outcomes) {
       if (o.completed) continue;
       ++n_bad;
-      if (first_error.empty()) first_error = o.error;
+      if (first_error.empty()) {
+        std::ostringstream os;
+        os << "fragment " << o.fragment_id << " ["
+           << to_string(o.reason) << "]: " << o.error;
+        first_error = os.str();
+      }
     }
     QFR_LOG_WARN("sweep finished with ", n_bad, " failed fragment(s): ",
                  first_error);

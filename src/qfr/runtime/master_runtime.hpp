@@ -2,9 +2,11 @@
 
 #include <functional>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "qfr/balance/packing.hpp"
+#include "qfr/engine/fallback_chain.hpp"
 #include "qfr/engine/fragment_engine.hpp"
 #include "qfr/frag/fragmentation.hpp"
 #include "qfr/runtime/result_sink.hpp"
@@ -41,6 +43,19 @@ struct RuntimeOptions {
   /// stay default-constructed and must be filled by the caller from the
   /// checkpoint.
   std::vector<std::size_t> completed_ids;
+  /// Optional result-integrity gate: every delivered result is validated
+  /// before acceptance, and a rejected result is retried (then degraded)
+  /// like a thrown error. Not owned; may be null.
+  const fault::FragmentResultValidator* validator = nullptr;
+  /// Optional degradation ladder consulted once a fragment's retries at
+  /// the primary engine are exhausted: level 1 is chain engine 0, and so
+  /// on. Not owned; may be null (fragments then fail permanently as
+  /// before).
+  const engine::EngineFallbackChain* fallback_chain = nullptr;
+  /// Engine name recorded for level-0 completions when running through a
+  /// bare FragmentCompute callable (the engine overload supplies its own
+  /// name automatically).
+  std::string primary_engine_name = "primary";
 };
 
 /// Per-leader execution accounting.
@@ -65,7 +80,10 @@ struct RunReport {
   /// scheduler's task log; shared with the DES for parity checks).
   std::vector<std::vector<std::size_t>> task_log;
 
+  /// Fragments with no accepted result (dropped from assembly).
   std::size_t n_failed() const;
+  /// Fragments completed by a fallback engine instead of the primary.
+  std::size_t n_degraded() const;
 };
 
 /// In-process realization of the paper's three-level hierarchy (Fig. 3):
@@ -96,6 +114,10 @@ class MasterRuntime {
                 const engine::FragmentEngine& eng) const;
 
  private:
+  RunReport run_impl(std::span<const frag::Fragment> fragments,
+                     const FragmentCompute& compute,
+                     const std::string& primary_name) const;
+
   RuntimeOptions options_;
 };
 

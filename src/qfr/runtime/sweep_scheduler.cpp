@@ -1,8 +1,22 @@
 #include "qfr/runtime/sweep_scheduler.hpp"
 
+#include <sstream>
+
 #include "qfr/common/error.hpp"
+#include "qfr/fault/validator.hpp"
 
 namespace qfr::runtime {
+
+const char* to_string(FailureReason reason) {
+  switch (reason) {
+    case FailureReason::kNone:           return "none";
+    case FailureReason::kEngineError:    return "engine_error";
+    case FailureReason::kInvalidResult:  return "invalid_result";
+    case FailureReason::kNonConvergence: return "nonconvergence";
+    case FailureReason::kTimeout:        return "timeout";
+  }
+  return "unknown";
+}
 
 SweepScheduler::SweepScheduler(std::vector<balance::WorkItem> items,
                                balance::PackingPolicy& policy,
@@ -35,15 +49,19 @@ void SweepScheduler::init(std::vector<balance::WorkItem> items) {
   }
   tracker_ =
       std::make_unique<FragmentTracker>(n, options_.straggler_timeout);
+  QFR_REQUIRE(options_.n_engine_levels >= 1,
+              "sweep needs at least one engine level");
   outcomes_.resize(n);
   for (std::size_t i = 0; i < n; ++i) outcomes_[i].fragment_id = i;
   dead_.assign(n, 0);
+  retry_base_.assign(n, 0);
 
   for (const std::size_t id : options_.completed_ids) {
     QFR_REQUIRE(id < n, "resume fragment id " << id << " out of range");
     if (tracker_->mark_completed(id)) {
       outcomes_[id].completed = true;
       outcomes_[id].from_checkpoint = true;
+      outcomes_[id].engine = "checkpoint";
       ++n_resumed_;
     }
   }
@@ -108,7 +126,12 @@ bool SweepScheduler::complete(std::size_t fragment_id) {
   if (!tracker_->mark_completed(fragment_id)) return false;
   FragmentOutcome& o = outcomes_[fragment_id];
   o.completed = true;
-  o.error.clear();
+  if (o.engine_level == 0) {
+    // Clean completion; a degraded fragment keeps its last failure as the
+    // record of *why* it ended on a fallback engine.
+    o.error.clear();
+    o.reason = FailureReason::kNone;
+  }
   if (dead_[fragment_id]) {
     // A straggler copy delivered after retries ran out: the work is done
     // after all, so the permanent failure is rescinded.
@@ -118,16 +141,62 @@ bool SweepScheduler::complete(std::size_t fragment_id) {
   return true;
 }
 
-void SweepScheduler::fail(std::size_t fragment_id, const std::string& error) {
+Completion SweepScheduler::on_completion(std::size_t fragment_id,
+                                         const engine::FragmentResult& result,
+                                         std::string_view engine_name) {
   std::lock_guard<std::mutex> lock(mutex_);
+  QFR_REQUIRE(fragment_id < items_by_id_.size(), "fragment id out of range");
+
+  if (options_.validator != nullptr) {
+    const fault::Validation v = options_.validator->validate(result);
+    if (!v.ok) {
+      if (tracker_->state(fragment_id) == FragmentState::kCompleted)
+        return Completion::kStale;  // a good copy already landed
+      ++n_rejected_;
+      std::ostringstream os;
+      os << "result rejected by validator: " << v.reason;
+      if (!engine_name.empty()) os << " (engine " << engine_name << ")";
+      fail_locked(fragment_id, os.str(), FailureReason::kInvalidResult);
+      return Completion::kRejected;
+    }
+  }
+
+  if (!tracker_->mark_completed(fragment_id)) return Completion::kStale;
+  FragmentOutcome& o = outcomes_[fragment_id];
+  o.completed = true;
+  if (o.engine_level == 0) {
+    o.error.clear();
+    o.reason = FailureReason::kNone;
+  }
+  o.engine.assign(engine_name);
+  if (dead_[fragment_id]) {
+    dead_[fragment_id] = 0;
+    --n_failed_;
+  }
+  return Completion::kAccepted;
+}
+
+void SweepScheduler::fail(std::size_t fragment_id, const std::string& error,
+                          FailureReason reason) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  fail_locked(fragment_id, error, reason);
+}
+
+void SweepScheduler::fail_locked(std::size_t fragment_id,
+                                 const std::string& error,
+                                 FailureReason reason) {
   QFR_REQUIRE(fragment_id < items_by_id_.size(), "fragment id out of range");
   if (tracker_->state(fragment_id) == FragmentState::kCompleted)
     return;  // a re-queued copy already delivered; stale failure
   FragmentOutcome& o = outcomes_[fragment_id];
   o.error = error;
+  o.reason = reason;
   if (dead_[fragment_id]) return;
 
-  if (o.attempts <= options_.max_retries) {
+  // The per-level retry budget runs from the attempt that entered the
+  // current engine level.
+  const std::size_t level_attempts = o.attempts - retry_base_[fragment_id];
+  if (level_attempts <= options_.max_retries) {
     // Retry budget left: back to unprocessed and straight into the queue
     // — unless a straggler scan already re-queued it.
     if (tracker_->state(fragment_id) == FragmentState::kProcessing) {
@@ -138,9 +207,31 @@ void SweepScheduler::fail(std::size_t fragment_id, const std::string& error) {
     }
     return;
   }
+
+  if (o.engine_level + 1 < options_.n_engine_levels) {
+    // Retries at this level are spent but a fallback engine remains:
+    // degrade the fragment instead of killing it (graceful degradation).
+    ++o.engine_level;
+    retry_base_[fragment_id] = o.attempts;
+    ++n_degraded_;
+    if (tracker_->state(fragment_id) == FragmentState::kProcessing) {
+      tracker_->reset(fragment_id);
+      policy_->requeue({items_by_id_[fragment_id]});
+      ++n_requeue_tasks_;
+      ++n_retries_;
+    }
+    return;
+  }
+
   tracker_->reset(fragment_id);
   dead_[fragment_id] = 1;
   ++n_failed_;
+}
+
+std::size_t SweepScheduler::engine_level(std::size_t fragment_id) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  QFR_REQUIRE(fragment_id < items_by_id_.size(), "fragment id out of range");
+  return outcomes_[fragment_id].engine_level;
 }
 
 bool SweepScheduler::finished() const {
@@ -186,6 +277,16 @@ std::size_t SweepScheduler::n_retries() const {
 std::size_t SweepScheduler::n_resumed() const {
   std::lock_guard<std::mutex> lock(mutex_);
   return n_resumed_;
+}
+
+std::size_t SweepScheduler::n_degraded() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return n_degraded_;
+}
+
+std::size_t SweepScheduler::n_rejected() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return n_rejected_;
 }
 
 std::vector<FragmentOutcome> SweepScheduler::outcomes() const {

@@ -4,12 +4,38 @@
 #include <memory>
 #include <mutex>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "qfr/balance/packing.hpp"
+#include "qfr/engine/fragment_engine.hpp"
 #include "qfr/runtime/fragment_tracker.hpp"
 
+namespace qfr::fault {
+class FragmentResultValidator;
+}  // namespace qfr::fault
+
 namespace qfr::runtime {
+
+/// Why a fragment attempt failed — kept per fragment so the final report
+/// distinguishes an engine that crashed from one that returned garbage or
+/// refused to converge.
+enum class FailureReason {
+  kNone = 0,
+  kEngineError,     ///< the engine threw (crash, internal error)
+  kInvalidResult,   ///< the result failed integrity validation
+  kNonConvergence,  ///< SCF/CPSCF convergence failure (NumericalError)
+  kTimeout,         ///< watchdog timeout (TimeoutError)
+};
+
+const char* to_string(FailureReason reason);
+
+/// Verdict of SweepScheduler::on_completion for one delivered result.
+enum class Completion {
+  kAccepted,  ///< first valid delivery: count it, sink it
+  kStale,     ///< a re-queued copy already delivered: discard
+  kRejected,  ///< failed validation: routed into the retry path, discard
+};
 
 /// Terminal record for one fragment of a sweep.
 struct FragmentOutcome {
@@ -22,6 +48,14 @@ struct FragmentOutcome {
   bool from_checkpoint = false;
   /// Last failure message when the fragment exhausted its retries.
   std::string error;
+  /// Why the last failure happened (kNone for clean completions).
+  FailureReason reason = FailureReason::kNone;
+  /// Fallback-chain level the fragment ended on (0 = primary engine).
+  std::size_t engine_level = 0;
+  /// Name of the engine whose result was accepted (empty if none was).
+  std::string engine;
+
+  bool degraded() const { return completed && engine_level > 0; }
 };
 
 /// Tuning of the master-side sweep state machine.
@@ -29,13 +63,20 @@ struct SweepOptions {
   /// Fragments processing longer than this (in the caller's clock) are
   /// flipped back to unprocessed and re-dispatched (paper Sec. V-B).
   double straggler_timeout = 600.0;
-  /// Failure retries per fragment beyond the first attempt; once
-  /// exhausted the fragment is reported failed instead of aborting the
-  /// sweep.
+  /// Failure retries per fragment beyond the first attempt *per engine
+  /// level*; once exhausted at the last level the fragment is reported
+  /// failed instead of aborting the sweep.
   std::size_t max_retries = 2;
   /// Fragment ids already completed by a previous run (checkpoint
   /// resume); they are marked completed up front and never dispatched.
   std::vector<std::size_t> completed_ids;
+  /// Engine-degradation ladder depth: level 0 is the primary engine,
+  /// levels 1..n-1 the fallback chain. A fragment that exhausts its
+  /// retries at one level is re-queued at the next instead of dying.
+  std::size_t n_engine_levels = 1;
+  /// Optional result-integrity validator consulted by on_completion
+  /// before a result is accepted. Non-owning; may be null.
+  const fault::FragmentResultValidator* validator = nullptr;
 };
 
 /// The paper's load balancer as one reusable state machine (Sec. V-B,
@@ -75,10 +116,28 @@ class SweepScheduler {
   /// double-counted.
   bool complete(std::size_t fragment_id);
 
-  /// Report a fragment failure: re-queued for retry while attempts
-  /// remain, otherwise recorded as a permanent FragmentOutcome failure.
-  /// Stale failures (fragment already completed elsewhere) are ignored.
-  void fail(std::size_t fragment_id, const std::string& error);
+  /// Deliver a fragment result through the integrity gate: the configured
+  /// validator (if any) runs first, and a rejected result is routed into
+  /// the same bounded-retry/degradation path as a thrown error — it never
+  /// reaches the caller's accepted-results set. `engine_name` is recorded
+  /// in the outcome so the report can say which engine's result was
+  /// accepted.
+  Completion on_completion(std::size_t fragment_id,
+                           const engine::FragmentResult& result,
+                           std::string_view engine_name = {});
+
+  /// Report a fragment failure: re-queued for retry while attempts remain
+  /// at the current engine level, degraded to the next level when they run
+  /// out, and recorded as a permanent FragmentOutcome failure only once
+  /// the last level's retries are spent. Stale failures (fragment already
+  /// completed elsewhere) are ignored.
+  void fail(std::size_t fragment_id, const std::string& error,
+            FailureReason reason = FailureReason::kEngineError);
+
+  /// Current fallback-chain level of a fragment (0 = primary engine). The
+  /// runtime asks this before every compute so a degraded fragment runs on
+  /// its fallback engine.
+  std::size_t engine_level(std::size_t fragment_id) const;
 
   /// True once every fragment is terminal (completed or permanently
   /// failed).
@@ -96,6 +155,8 @@ class SweepScheduler {
   std::size_t n_requeue_tasks() const;  ///< re-dispatch tasks queued (stragglers + retries)
   std::size_t n_retries() const;        ///< failure-driven re-dispatches
   std::size_t n_resumed() const;        ///< fragments seeded from a checkpoint
+  std::size_t n_degraded() const;       ///< level-degradation events
+  std::size_t n_rejected() const;       ///< results rejected by the validator
 
   /// Terminal per-fragment records, indexed by fragment id.
   std::vector<FragmentOutcome> outcomes() const;
@@ -108,6 +169,9 @@ class SweepScheduler {
 
  private:
   void init(std::vector<balance::WorkItem> items);
+  /// Locked core of fail(); on_completion calls it for rejected results.
+  void fail_locked(std::size_t fragment_id, const std::string& error,
+                   FailureReason reason);
 
   mutable std::mutex mutex_;
   std::unique_ptr<balance::PackingPolicy> owned_policy_;
@@ -117,12 +181,17 @@ class SweepScheduler {
   std::vector<balance::WorkItem> items_by_id_;
   std::vector<FragmentOutcome> outcomes_;
   std::vector<char> dead_;  ///< permanently failed (retries exhausted)
+  /// Attempt count at which each fragment entered its current engine
+  /// level: the per-level retry budget is measured from here.
+  std::vector<std::size_t> retry_base_;
   std::vector<std::vector<std::size_t>> task_log_;
   std::size_t n_failed_ = 0;
   std::size_t n_resumed_ = 0;
   std::size_t n_tasks_ = 0;
   std::size_t n_retries_ = 0;
   std::size_t n_requeue_tasks_ = 0;
+  std::size_t n_degraded_ = 0;
+  std::size_t n_rejected_ = 0;
 };
 
 }  // namespace qfr::runtime

@@ -2,6 +2,7 @@
 
 #include <cmath>
 #include <deque>
+#include <optional>
 
 #include "qfr/common/error.hpp"
 #include "qfr/common/log.hpp"
@@ -188,11 +189,11 @@ ScfResult ScfSolver::solve(const Matrix* initial_density) const {
   };
 
   // Initial density: caller-provided warm start or the core guess.
-  Matrix p(n, n);
+  Matrix p0(n, n);
   if (initial_density != nullptr) {
     QFR_REQUIRE(initial_density->rows() == n && initial_density->cols() == n,
                 "initial density shape mismatch");
-    p = *initial_density;
+    p0 = *initial_density;
   } else {
     const la::EigResult guess = la::eigh_generalized(ctx.hcore, ctx.s);
     for (std::size_t a = 0; a < n; ++a)
@@ -200,76 +201,134 @@ ScfResult ScfSolver::solve(const Matrix* initial_density) const {
         double acc = 0.0;
         for (int o = 0; o < n_occ; ++o)
           acc += guess.vectors(a, o) * guess.vectors(b, o);
-        p(a, b) = 2.0 * acc;
+        p0(a, b) = 2.0 * acc;
       }
   }
 
-  Diis diis(options_.diis_depth);
-  double e_prev = 0.0;
-  ScfResult res;
-  res.energy_nuclear = ctx.mol.nuclear_repulsion();
-  res.n_occupied = n_occ;
+  // Diagnostics of the last (failed) attempt for the error message.
+  double last_energy = 0.0, last_residual = 0.0;
 
-  for (int iter = 1; iter <= options_.max_iterations; ++iter) {
-    double e_two = 0.0, e_xc = 0.0;
-    Matrix f = build_fock(p, &e_two, &e_xc);
+  // One full SCF pass at the given stabilizers; returns the converged
+  // state or nullopt on hitting max_iterations.
+  auto attempt = [&](double level_shift,
+                     double damping) -> std::optional<ScfResult> {
+    Matrix p = p0;
+    Diis diis(options_.diis_depth);
+    double e_prev = 0.0;
+    ScfResult res;
+    res.energy_nuclear = ctx.mol.nuclear_repulsion();
+    res.n_occupied = n_occ;
 
-    // DIIS error FPS - SPF.
-    Matrix fps(n, n), spf(n, n), tmp(n, n);
-    la::gemm(la::Trans::kNo, la::Trans::kNo, 1.0, f, p, 0.0, tmp);
-    la::gemm(la::Trans::kNo, la::Trans::kNo, 1.0, tmp, ctx.s, 0.0, fps);
-    la::gemm(la::Trans::kNo, la::Trans::kNo, 1.0, ctx.s, p, 0.0, tmp);
-    la::gemm(la::Trans::kNo, la::Trans::kNo, 1.0, tmp, f, 0.0, spf);
-    Matrix err = fps;
-    err -= spf;
-    const double err_norm = la::max_abs_diff(err, Matrix(n, n));
+    for (int iter = 1; iter <= options_.max_iterations; ++iter) {
+      double e_two = 0.0, e_xc = 0.0;
+      Matrix f = build_fock(p, &e_two, &e_xc);
 
-    diis.push(f, err);
-    const Matrix f_use = diis.extrapolate();
+      // DIIS error FPS - SPF.
+      Matrix fps(n, n), spf(n, n), tmp(n, n);
+      la::gemm(la::Trans::kNo, la::Trans::kNo, 1.0, f, p, 0.0, tmp);
+      la::gemm(la::Trans::kNo, la::Trans::kNo, 1.0, tmp, ctx.s, 0.0, fps);
+      la::gemm(la::Trans::kNo, la::Trans::kNo, 1.0, ctx.s, p, 0.0, tmp);
+      la::gemm(la::Trans::kNo, la::Trans::kNo, 1.0, tmp, f, 0.0, spf);
+      Matrix err = fps;
+      err -= spf;
+      const double err_norm = la::max_abs_diff(err, Matrix(n, n));
 
-    const la::EigResult roothaan = la::eigh_generalized(f_use, ctx.s);
-    Matrix p_new(n, n);
-    for (std::size_t a = 0; a < n; ++a)
-      for (std::size_t b = 0; b < n; ++b) {
-        double acc = 0.0;
-        for (int o = 0; o < n_occ; ++o)
-          acc += roothaan.vectors(a, o) * roothaan.vectors(b, o);
-        p_new(a, b) = 2.0 * acc;
+      diis.push(f, err);
+      Matrix f_use = diis.extrapolate();
+
+      if (level_shift != 0.0) {
+        // F' = F + shift (S - S(P/2)S): raises the virtual space by
+        // `shift` hartree (S(P/2)S projects onto the occupied space in
+        // the AO metric), damping occupied/virtual rotation per step.
+        Matrix sp(n, n), sps(n, n);
+        la::gemm(la::Trans::kNo, la::Trans::kNo, 0.5, ctx.s, p, 0.0, sp);
+        la::gemm(la::Trans::kNo, la::Trans::kNo, 1.0, sp, ctx.s, 0.0, sps);
+        Matrix shift_term = ctx.s;
+        shift_term -= sps;
+        shift_term *= level_shift;
+        f_use += shift_term;
       }
 
-    const double e_one = la::trace_product(p, hcore_eff);
-    const double e_total = res.energy_nuclear + e_one + e_two + e_xc;
+      const la::EigResult roothaan = la::eigh_generalized(f_use, ctx.s);
+      Matrix p_new(n, n);
+      for (std::size_t a = 0; a < n; ++a)
+        for (std::size_t b = 0; b < n; ++b) {
+          double acc = 0.0;
+          for (int o = 0; o < n_occ; ++o)
+            acc += roothaan.vectors(a, o) * roothaan.vectors(b, o);
+          p_new(a, b) = 2.0 * acc;
+        }
+      if (damping > 0.0) {
+        // p <- (1-d) p_new + d p_old: slows charge sloshing.
+        for (std::size_t a = 0; a < n; ++a)
+          for (std::size_t b = 0; b < n; ++b)
+            p_new(a, b) = (1.0 - damping) * p_new(a, b) + damping * p(a, b);
+      }
 
-    const bool converged = iter > 1 &&
-                           std::fabs(e_total - e_prev) <
-                               options_.energy_tolerance &&
-                           err_norm < options_.commutator_tolerance;
-    p = std::move(p_new);
-    e_prev = e_total;
+      const double e_one = la::trace_product(p, hcore_eff);
+      const double e_total = res.energy_nuclear + e_one + e_two + e_xc;
 
-    if (converged) {
-      // Return eigenpairs of the raw Fock of the converged density, NOT of
-      // the DIIS-extrapolated matrix: near convergence the Pulay system is
-      // almost singular, so the extrapolated Fock (and hence its MOs) is
-      // poorly determined at the 1e-4 level even when the density is
-      // converged — enough to poison CPSCF response properties.
-      const Matrix f_final = build_fock(p, nullptr, nullptr);
-      const la::EigResult final_mos = la::eigh_generalized(f_final, ctx.s);
-      res.converged = true;
-      res.iterations = iter;
-      res.energy = e_total;
-      res.energy_one = e_one;
-      res.energy_two = e_two;
-      res.energy_xc = e_xc;
-      res.density = p;
-      res.mo_coefficients = final_mos.vectors;
-      res.mo_energies = final_mos.values;
-      res.fock = f_final;
-      return res;
+      const bool converged = iter > 1 &&
+                             std::fabs(e_total - e_prev) <
+                                 options_.energy_tolerance &&
+                             err_norm < options_.commutator_tolerance;
+      p = std::move(p_new);
+      e_prev = e_total;
+      last_energy = e_total;
+      last_residual = err_norm;
+
+      if (converged) {
+        // Return eigenpairs of the raw Fock of the converged density, NOT
+        // of the DIIS-extrapolated matrix: near convergence the Pulay
+        // system is almost singular, so the extrapolated Fock (and hence
+        // its MOs) is poorly determined at the 1e-4 level even when the
+        // density is converged — enough to poison CPSCF response
+        // properties. (This also discards the level shift, which only
+        // steers the iteration and must not contaminate MO energies.)
+        const Matrix f_final = build_fock(p, nullptr, nullptr);
+        const la::EigResult final_mos = la::eigh_generalized(f_final, ctx.s);
+        res.converged = true;
+        res.iterations = iter;
+        res.energy = e_total;
+        res.energy_one = e_one;
+        res.energy_two = e_two;
+        res.energy_xc = e_xc;
+        res.density = p;
+        res.mo_coefficients = final_mos.vectors;
+        res.mo_energies = final_mos.values;
+        res.fock = f_final;
+        return res;
+      }
+    }
+    return std::nullopt;
+  };
+
+  if (std::optional<ScfResult> res =
+          attempt(options_.level_shift, options_.density_damping))
+    return *res;
+
+  const double shift2 =
+      std::max(options_.level_shift, options_.escalation_level_shift);
+  const double damp2 =
+      std::max(options_.density_damping, options_.escalation_damping);
+  const bool stronger = options_.escalate_on_nonconvergence &&
+                        (shift2 > options_.level_shift ||
+                         damp2 > options_.density_damping);
+  if (stronger) {
+    QFR_LOG_WARN("SCF did not converge in ", options_.max_iterations,
+                 " iterations (residual ", last_residual,
+                 "); retrying with level shift ", shift2, " and damping ",
+                 damp2);
+    if (std::optional<ScfResult> res = attempt(shift2, damp2)) {
+      res->escalated = true;
+      return *res;
     }
   }
-  QFR_NUMERIC_FAIL("SCF failed to converge in " << options_.max_iterations
-                   << " iterations (last E = " << e_prev << ")");
+  QFR_NUMERIC_FAIL("SCF failed to converge in "
+                   << options_.max_iterations << " iterations (last E = "
+                   << last_energy << ", |FPS-SPF| residual = "
+                   << last_residual
+                   << (stronger ? ", escalated retry included)" : ")"));
 }
 
 }  // namespace qfr::scf

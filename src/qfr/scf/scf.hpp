@@ -33,6 +33,18 @@ struct ScfOptions {
   /// Uniform external electric field (a.u.); the finite-field reference
   /// for validating the DFPT polarizabilities.
   geom::Vec3 external_field{};
+  /// Virtual-orbital level shift (hartree): F' = F + shift (S - S(P/2)S)
+  /// raises the virtual space, damping occupied/virtual mixing for
+  /// near-degenerate systems. 0 disables.
+  double level_shift = 0.0;
+  /// Density damping d in p <- (1-d) p_new + d p_old; 0 disables.
+  double density_damping = 0.0;
+  /// When the first pass hits max_iterations, retry once with the
+  /// escalated level shift/damping below before throwing NumericalError —
+  /// the standard rescue for oscillating SCF on stretched geometries.
+  bool escalate_on_nonconvergence = true;
+  double escalation_level_shift = 0.5;
+  double escalation_damping = 0.5;
 };
 
 /// Which built-in basis set a context is constructed with.
@@ -68,6 +80,9 @@ geom::Vec3 dipole_moment(const ScfContext& ctx, const la::Matrix& density);
 /// Converged SCF state.
 struct ScfResult {
   bool converged = false;
+  /// The first pass failed and the escalated (shift + damping) retry
+  /// delivered this result.
+  bool escalated = false;
   int iterations = 0;
   double energy = 0.0;        ///< total energy incl. nuclear repulsion
   double energy_nuclear = 0.0;

@@ -14,6 +14,13 @@ LanczosResult lanczos(const MatVec& op, std::span<const double> start,
   QFR_REQUIRE(start.size() == n, "start vector size mismatch");
   QFR_REQUIRE(options.steps >= 1, "need at least one Lanczos step");
 
+  // A non-finite seed (one NaN dalpha row from a corrupted fragment) would
+  // silently poison every alpha/beta and produce a NaN spectrum; fail
+  // loudly at the door instead.
+  for (const double v : start)
+    if (!std::isfinite(v))
+      QFR_NUMERIC_FAIL("Lanczos start vector contains non-finite entries");
+
   LanczosResult res;
   res.start_norm = la::nrm2(start);
   QFR_REQUIRE(res.start_norm > 0.0, "Lanczos start vector is zero");
@@ -34,6 +41,10 @@ LanczosResult lanczos(const MatVec& op, std::span<const double> start,
     op(basis.back(), w);
     if (j > 0) la::axpy(-beta_prev, q_prev, w);
     const double alpha = la::dot(basis.back(), w);
+    if (!std::isfinite(alpha))
+      QFR_NUMERIC_FAIL("Lanczos diagonal coefficient alpha["
+                       << j << "] is non-finite: the operator produced "
+                          "NaN/Inf (corrupted Hessian entries?)");
     la::axpy(-alpha, basis.back(), w);
     res.alpha.push_back(alpha);
     res.steps = j + 1;
@@ -45,6 +56,10 @@ LanczosResult lanczos(const MatVec& op, std::span<const double> start,
     }
 
     const double beta = la::nrm2(w);
+    if (!std::isfinite(beta))
+      QFR_NUMERIC_FAIL("Lanczos off-diagonal coefficient beta["
+                       << j << "] is non-finite: the operator produced "
+                          "NaN/Inf (corrupted Hessian entries?)");
     if (j + 1 == k) {
       res.final_beta = beta;
       break;

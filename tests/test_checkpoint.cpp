@@ -1,6 +1,9 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cstdint>
+#include <cstring>
+#include <filesystem>
 #include <sstream>
 #include <stdexcept>
 
@@ -151,6 +154,106 @@ TEST(IncrementalCheckpoint, TruncatedTailDroppedAndFlagged) {
   ASSERT_EQ(scan.fragment_ids.size(), 1u);  // completed prefix survives
   EXPECT_EQ(scan.fragment_ids[0], 0u);
   EXPECT_DOUBLE_EQ(scan.results[0].energy, original[0].energy);
+}
+
+// The v4 frame layout this file's surgical tests rely on:
+//   header: [magic u64][version u64]
+//   frame:  [fragment id u64][payload len u64][payload][crc u64]
+constexpr std::size_t kHeaderBytes = 16;
+constexpr std::size_t kFrameOverhead = 24;  // id + len + crc
+
+std::uint64_t read_u64(const std::string& data, std::size_t offset) {
+  std::uint64_t v = 0;
+  std::memcpy(&v, data.data() + offset, sizeof(v));
+  return v;
+}
+
+TEST(IncrementalCheckpoint, SingleBitFlipLosesOnlyThatRecord) {
+  const auto original = sample_results();
+  std::stringstream ss;
+  CheckpointWriter writer(ss);
+  writer.append(0, original[0]);
+  writer.append(1, original[1]);
+  std::string data = ss.str();
+
+  // Flip one bit in the middle of record 0's payload.
+  const std::uint64_t len0 = read_u64(data, kHeaderBytes + 8);
+  data[kHeaderBytes + 16 + len0 / 2] ^= 0x10;
+
+  std::stringstream damaged(data);
+  const ScanReport scan = scan_checkpoint(damaged);
+  EXPECT_FALSE(scan.truncated);
+  EXPECT_EQ(scan.n_corrupt, 1u);
+  ASSERT_EQ(scan.corrupt_ids.size(), 1u);
+  EXPECT_EQ(scan.corrupt_ids[0], 0u);
+  // The record after the damage is still read in full.
+  ASSERT_EQ(scan.fragment_ids.size(), 1u);
+  EXPECT_EQ(scan.fragment_ids[0], 1u);
+  EXPECT_DOUBLE_EQ(scan.results[0].energy, original[1].energy);
+  EXPECT_LT(la::max_abs_diff(scan.results[0].hessian, original[1].hessian),
+            1e-300);
+}
+
+TEST(IncrementalCheckpoint, CorruptLengthFieldStopsScanAsTruncated) {
+  const auto original = sample_results();
+  std::stringstream ss;
+  CheckpointWriter writer(ss);
+  writer.append(0, original[0]);
+  writer.append(1, original[1]);
+  std::string data = ss.str();
+  // Clobber record 0's length: the frame boundary is lost, so the scan
+  // cannot safely reach record 1.
+  data[kHeaderBytes + 8 + 6] = static_cast<char>(0xFF);
+  std::stringstream damaged(data);
+  const ScanReport scan = scan_checkpoint(damaged);
+  EXPECT_TRUE(scan.truncated);
+  EXPECT_TRUE(scan.fragment_ids.empty());
+}
+
+TEST(IncrementalCheckpoint, LegacyUnframedVersionStillReadable) {
+  // Rebuild the pre-CRC v3 layout from a v4 stream: same header magic with
+  // version 3, records as bare [id][payload] with no length or checksum.
+  const auto original = sample_results();
+  std::stringstream ss;
+  CheckpointWriter writer(ss);
+  writer.append(7, original[0]);
+  writer.append(3, original[1]);
+  const std::string v4 = ss.str();
+
+  std::string legacy = v4.substr(0, kHeaderBytes);
+  const std::uint64_t v3 = 3;
+  std::memcpy(legacy.data() + 8, &v3, sizeof(v3));
+  std::size_t at = kHeaderBytes;
+  while (at < v4.size()) {
+    const std::uint64_t len = read_u64(v4, at + 8);
+    legacy.append(v4, at, 8);             // fragment id
+    legacy.append(v4, at + 16, len);      // payload, unframed
+    at += kFrameOverhead + len;
+  }
+
+  std::stringstream old(legacy);
+  const ScanReport scan = scan_checkpoint(old);
+  EXPECT_FALSE(scan.truncated);
+  EXPECT_EQ(scan.n_corrupt, 0u);
+  ASSERT_EQ(scan.fragment_ids.size(), 2u);
+  EXPECT_EQ(scan.fragment_ids[0], 7u);
+  EXPECT_EQ(scan.fragment_ids[1], 3u);
+  EXPECT_DOUBLE_EQ(scan.results[0].energy, original[0].energy);
+  EXPECT_LT(la::max_abs_diff(scan.results[1].hessian, original[1].hessian),
+            1e-300);
+}
+
+TEST(Checkpoint, SnapshotSaveIsAtomic) {
+  const std::string path = "/tmp/qfr_checkpoint_atomic_test.bin";
+  std::filesystem::remove(path);
+  std::filesystem::remove(path + ".tmp");
+  save_results_file(path, sample_results());
+  // The write went through a temp file that the rename consumed.
+  EXPECT_FALSE(std::filesystem::exists(path + ".tmp"));
+  EXPECT_TRUE(std::filesystem::exists(path));
+  const LoadReport report = load_results_file(path);
+  EXPECT_EQ(report.results.size(), 2u);
+  EXPECT_EQ(report.n_dropped, 0u);
 }
 
 TEST(IncrementalCheckpoint, ScanRejectsWholeVectorFormat) {

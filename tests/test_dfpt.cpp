@@ -136,6 +136,34 @@ TEST(Dfpt, RequiresConvergedScf) {
   EXPECT_THROW(ResponseEngine(ctx, fake), InvalidArgument);
 }
 
+TEST(Dfpt, EscalationHalvesMixingBeforeThrowing) {
+  // An impossible budget (convergence is only checked from iteration 2)
+  // exhausts both the first pass and the half-mixing retry; the diagnostic
+  // names the residual and the tolerance so the failure is actionable.
+  const QmState s = converge(chem::make_water({0, 0, 0}),
+                             scf::XcModel::kHartreeFock);
+  DfptOptions opts;
+  opts.max_iterations = 1;
+  ResponseEngine engine(s.ctx, s.scf_res, scf::XcModel::kHartreeFock, opts);
+  try {
+    engine.solve(s.ctx->dip[0]);
+    FAIL() << "expected NumericalError";
+  } catch (const NumericalError& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("|dP1|"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("tolerance"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("escalated retry included"), std::string::npos) << msg;
+  }
+
+  // A realistic budget converges identically whether or not the
+  // escalation safety net is armed (it never fires on a healthy solve).
+  DfptOptions healthy;
+  healthy.escalate_on_nonconvergence = false;
+  ResponseEngine plain(s.ctx, s.scf_res, scf::XcModel::kHartreeFock, healthy);
+  const ResponseResult r = plain.solve(s.ctx->dip[0]);
+  EXPECT_TRUE(r.converged);
+}
+
 TEST(Dfpt, GridPoissonPathMatchesAnalyticHartree) {
   // Route the response Hartree potential through the multipole Poisson
   // solver (the paper's literal phase 3) and compare against the

@@ -116,6 +116,50 @@ TEST(ScfHf, DissociationCurveHasMinimumNearEquilibrium) {
   EXPECT_GT(e18, e14);
 }
 
+TEST(ScfHf, LevelShiftAndDampingConvergeToSameEnergy) {
+  // The stabilizers must not bias the fixed point: the shift is applied
+  // only inside the iteration and the converged density is shift-free.
+  const Molecule w = chem::make_water({0, 0, 0});
+  auto ctx = std::make_shared<ScfContext>(ScfContext::build(w));
+  const ScfResult plain = ScfSolver(ctx).solve();
+  ScfOptions opts;
+  opts.level_shift = 0.3;
+  opts.density_damping = 0.2;
+  const ScfResult stabilized = ScfSolver(ctx, opts).solve();
+  EXPECT_TRUE(stabilized.converged);
+  EXPECT_FALSE(stabilized.escalated);
+  EXPECT_NEAR(stabilized.energy, plain.energy, 1e-7);
+}
+
+TEST(ScfHf, EscalationRetriesBeforeThrowing) {
+  // Two iterations cannot converge water; the escalated retry (stronger
+  // shift + damping) also gets two, so the solve still fails — but the
+  // diagnostic must carry the iteration budget and the last residual.
+  const Molecule w = chem::make_water({0, 0, 0});
+  auto ctx = std::make_shared<ScfContext>(ScfContext::build(w));
+  ScfOptions opts;
+  opts.max_iterations = 2;
+  try {
+    ScfSolver(ctx, opts).solve();
+    FAIL() << "expected NumericalError";
+  } catch (const NumericalError& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("2 iterations"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("residual"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("escalated retry included"), std::string::npos) << msg;
+  }
+
+  // With escalation disabled the message must say the retry never ran.
+  opts.escalate_on_nonconvergence = false;
+  try {
+    ScfSolver(ctx, opts).solve();
+    FAIL() << "expected NumericalError";
+  } catch (const NumericalError& e) {
+    EXPECT_EQ(std::string(e.what()).find("escalated retry included"),
+              std::string::npos);
+  }
+}
+
 TEST(Scf631g, WaterEnergyMatchesLiterature) {
   // HF/6-31G water at the experimental geometry: about -75.984 hartree.
   const Molecule w = chem::make_water({0, 0, 0});

@@ -1,12 +1,14 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <limits>
 #include <map>
 #include <set>
 
 #include "qfr/chem/protein.hpp"
 #include "qfr/cluster/des.hpp"
 #include "qfr/common/error.hpp"
+#include "qfr/fault/validator.hpp"
 #include "qfr/frag/fragmentation.hpp"
 #include "qfr/runtime/master_runtime.hpp"
 #include "qfr/runtime/sweep_scheduler.hpp"
@@ -190,6 +192,156 @@ TEST(SweepScheduler, RejectsNonDenseFragmentIds) {
   auto policy2 = balance::make_fifo_policy(1);
   std::vector<WorkItem> dup = {{0, 10, 1.0}, {0, 12, 1.0}};
   EXPECT_THROW(SweepScheduler(dup, std::move(policy2)), InvalidArgument);
+}
+
+TEST(SweepScheduler, RetriesExhaustedDegradeToNextEngineLevel) {
+  auto policy = balance::make_fifo_policy(1);
+  SweepOptions opts;
+  opts.max_retries = 0;  // one attempt per level
+  opts.n_engine_levels = 2;
+  SweepScheduler sched(simple_items(1), std::move(policy), opts);
+
+  ASSERT_EQ(sched.acquire(0, 0.0).size(), 1u);
+  EXPECT_EQ(sched.engine_level(0), 0u);
+  sched.fail(0, "scf diverged", FailureReason::kNonConvergence);
+  // Instead of dying, the fragment moved one rung down the ladder.
+  EXPECT_EQ(sched.n_failed(), 0u);
+  EXPECT_EQ(sched.n_degraded(), 1u);
+  EXPECT_EQ(sched.engine_level(0), 1u);
+  EXPECT_FALSE(sched.finished());
+
+  Task retry = sched.acquire(0, 1.0);
+  ASSERT_EQ(retry.size(), 1u);
+  EXPECT_EQ(retry[0].fragment_id, 0u);
+  EXPECT_EQ(sched.on_completion(0, engine::FragmentResult{}, "model"),
+            Completion::kAccepted);
+  EXPECT_TRUE(sched.finished());
+
+  const FragmentOutcome o = sched.outcomes()[0];
+  EXPECT_TRUE(o.completed);
+  EXPECT_TRUE(o.degraded());
+  EXPECT_EQ(o.engine_level, 1u);
+  EXPECT_EQ(o.engine, "model");
+  // Why the fragment degraded stays on record for the report.
+  EXPECT_EQ(o.reason, FailureReason::kNonConvergence);
+  EXPECT_EQ(o.error, "scf diverged");
+  EXPECT_EQ(o.attempts, 2u);
+}
+
+TEST(SweepScheduler, LastLevelExhaustedIsPermanentFailure) {
+  auto policy = balance::make_fifo_policy(1);
+  SweepOptions opts;
+  opts.max_retries = 0;
+  opts.n_engine_levels = 2;
+  SweepScheduler sched(simple_items(1), std::move(policy), opts);
+
+  ASSERT_EQ(sched.acquire(0, 0.0).size(), 1u);
+  sched.fail(0, "level 0 died", FailureReason::kEngineError);
+  ASSERT_EQ(sched.acquire(0, 1.0).size(), 1u);
+  sched.fail(0, "watchdog fired", FailureReason::kTimeout);
+  EXPECT_EQ(sched.n_failed(), 1u);
+  EXPECT_TRUE(sched.finished());
+
+  const FragmentOutcome o = sched.outcomes()[0];
+  EXPECT_FALSE(o.completed);
+  EXPECT_EQ(o.reason, FailureReason::kTimeout);
+  EXPECT_EQ(o.error, "watchdog fired");
+  EXPECT_STREQ(to_string(o.reason), "timeout");
+}
+
+TEST(SweepScheduler, ValidatorRejectionRoutedIntoRetryPath) {
+  auto policy = balance::make_fifo_policy(1);
+  const fault::FragmentResultValidator validator;
+  SweepOptions opts;
+  opts.max_retries = 1;
+  opts.validator = &validator;
+  SweepScheduler sched(simple_items(1), std::move(policy), opts);
+
+  ASSERT_EQ(sched.acquire(0, 0.0).size(), 1u);
+  engine::FragmentResult poisoned;
+  poisoned.energy = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_EQ(sched.on_completion(0, poisoned, "scf"), Completion::kRejected);
+  EXPECT_EQ(sched.n_rejected(), 1u);
+  EXPECT_EQ(sched.n_completed(), 0u);
+  EXPECT_FALSE(sched.finished());
+
+  // The rejection consumed a retry; a clean delivery then lands.
+  Task retry = sched.acquire(0, 1.0);
+  ASSERT_EQ(retry.size(), 1u);
+  EXPECT_EQ(sched.on_completion(0, engine::FragmentResult{}, "scf"),
+            Completion::kAccepted);
+  EXPECT_TRUE(sched.finished());
+  const FragmentOutcome o = sched.outcomes()[0];
+  EXPECT_TRUE(o.completed);
+  EXPECT_FALSE(o.degraded());
+  EXPECT_EQ(o.reason, FailureReason::kNone);  // clean primary completion
+  EXPECT_TRUE(o.error.empty());
+  EXPECT_EQ(o.engine, "scf");
+}
+
+TEST(SweepScheduler, StaleCompletionAfterRequeueIsDiscardedByGate) {
+  auto policy = balance::make_fifo_policy(1);
+  SweepOptions opts;
+  opts.straggler_timeout = 5.0;
+  SweepScheduler sched(simple_items(1), std::move(policy), opts);
+  ASSERT_EQ(sched.acquire(0, 0.0).size(), 1u);
+  ASSERT_EQ(sched.acquire(0, 6.0).size(), 1u);  // straggler re-queue
+  EXPECT_EQ(sched.on_completion(0, engine::FragmentResult{}, "a"),
+            Completion::kAccepted);
+  EXPECT_EQ(sched.on_completion(0, engine::FragmentResult{}, "b"),
+            Completion::kStale);
+  EXPECT_EQ(sched.outcomes()[0].engine, "a");
+  EXPECT_EQ(sched.n_completed(), 1u);
+}
+
+// A whole-node crash mid-sweep: the in-flight task is lost, the straggler
+// timeout re-queues its fragments to surviving nodes, the node rejoins
+// later, and the sweep still completes every fragment — deterministically.
+TEST(SweepScheduler, DesNodeCrashSweepStillCompletesEveryFragment) {
+  const std::vector<WorkItem> items = simple_items(40);
+  double total_cost = 0.0;
+  for (const auto& w : items) total_cost += w.cost;
+
+  cluster::DesOptions dopts;
+  dopts.n_nodes = 2;
+  dopts.machine.leaders_per_node = 1;
+  dopts.machine.workers_per_leader = 1;
+  dopts.machine.node_speed_jitter = 0.0;
+  dopts.machine.cost_noise = 0.0;
+  // Node 0 dies somewhere inside its first half of the work and stays
+  // down long enough that node 1 must absorb the lost fragments.
+  cluster::NodeCrash crash;
+  crash.node = 0;
+  crash.at = 0.31 * total_cost / 2.0;
+  crash.downtime = 0.2 * total_cost;
+  dopts.node_crashes = {crash};
+  dopts.straggler_timeout = 0.05 * total_cost;
+
+  auto run_once = [&] {
+    auto policy = balance::make_size_sensitive_policy();
+    return cluster::simulate_cluster(items, *policy, dopts);
+  };
+  const cluster::DesReport rep = run_once();
+
+  // simulate_cluster only returns when the scheduler is finished, and the
+  // DES never fails fragments — termination itself proves completion; the
+  // crash must additionally have cost us a task and forced re-queues.
+  EXPECT_EQ(rep.n_fragments, 40u);
+  EXPECT_EQ(rep.n_crashes, 1u);
+  EXPECT_GE(rep.n_crash_lost_tasks, 1u);
+  EXPECT_GE(rep.n_requeued_tasks, 1u);
+  EXPECT_GT(rep.makespan, 0.0);
+  std::set<std::size_t> covered;
+  for (const auto& task : rep.task_log)
+    covered.insert(task.begin(), task.end());
+  EXPECT_EQ(covered.size(), 40u);
+
+  // Fault injection is deterministic: an identical plan replays an
+  // identical schedule.
+  const cluster::DesReport rep2 = run_once();
+  EXPECT_DOUBLE_EQ(rep.makespan, rep2.makespan);
+  EXPECT_EQ(rep.task_log, rep2.task_log);
+  EXPECT_EQ(rep.n_crash_lost_tasks, rep2.n_crash_lost_tasks);
 }
 
 // Acceptance: the real threaded runtime and the DES substitution drive

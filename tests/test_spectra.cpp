@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 
 #include "qfr/common/error.hpp"
 #include "qfr/common/rng.hpp"
@@ -44,6 +45,24 @@ TEST(Lanczos, ZeroStartVectorThrows) {
   la::Vector d(4, 0.0);
   LanczosOptions opts;
   EXPECT_THROW(lanczos(dense_op(a), d, 4, opts), InvalidArgument);
+}
+
+TEST(Lanczos, NonFiniteStartVectorThrows) {
+  la::Matrix a = la::Matrix::identity(4);
+  la::Vector d(4, 1.0);
+  d[2] = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_THROW(lanczos(dense_op(a), d, 4, {}), NumericalError);
+}
+
+TEST(Lanczos, NonFiniteOperatorOutputThrowsInsteadOfNanSpectrum) {
+  // A corrupted Hessian entry poisons the matvec from step one; the guard
+  // must fail loudly instead of returning NaN alpha/beta.
+  la::Matrix a = la::Matrix::identity(4);
+  a(1, 1) = std::numeric_limits<double>::quiet_NaN();
+  la::Vector d(4, 1.0);
+  LanczosOptions opts;
+  opts.steps = 4;
+  EXPECT_THROW(lanczos(dense_op(a), d, 4, opts), NumericalError);
 }
 
 TEST(Lanczos, FullRunReproducesExactMeasure) {

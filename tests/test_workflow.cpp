@@ -7,6 +7,8 @@
 #include "qfr/chem/protein.hpp"
 #include "qfr/common/error.hpp"
 #include "qfr/engine/model_engine.hpp"
+#include "qfr/fault/fault_injector.hpp"
+#include "qfr/fault/faulty_engine.hpp"
 #include "qfr/la/blas.hpp"
 #include "qfr/qframan/workflow.hpp"
 
@@ -183,6 +185,62 @@ TEST(Workflow, DeterministicAcrossRuns) {
 TEST(Workflow, EmptySystemRejected) {
   RamanWorkflow wf;
   EXPECT_THROW(wf.run(frag::BioSystem{}), InvalidArgument);
+}
+
+// The graceful-degradation accounting end to end: a persistent NaN fault
+// on one fragment is caught by the validator and degrades to the model
+// fallback, and the workflow result names the fragment, the reason, and
+// the accepting engine.
+TEST(Workflow, DegradedFragmentReportedAndSpectrumStaysFinite) {
+  const frag::BioSystem sys = water_cluster(4);
+
+  fault::FaultPlan plan;
+  plan.rules.push_back({fault::FaultKind::kNan, /*fragment_id=*/1});
+  fault::FaultInjector injector(plan);
+  const engine::ModelEngine inner;
+  const fault::FaultyEngine faulty(inner, injector);
+
+  WorkflowOptions opts;
+  opts.sigma_cm = 20.0;
+  opts.max_retries = 1;
+  opts.enable_fallback = true;  // kModel ladder: the model surrogate
+  const RamanWorkflow wf(opts);
+  const WorkflowResult res = wf.run(sys, faulty);
+
+  EXPECT_EQ(res.sweep.n_degraded, 1u);
+  EXPECT_EQ(res.sweep.n_dropped, 0u);
+  const runtime::FragmentOutcome& o = res.sweep.outcomes[1];
+  EXPECT_TRUE(o.completed);
+  EXPECT_EQ(o.engine_level, 1u);
+  EXPECT_EQ(o.engine, "model");
+  EXPECT_EQ(o.reason, runtime::FailureReason::kInvalidResult);
+  for (const double v : res.spectrum.intensity) ASSERT_TRUE(std::isfinite(v));
+}
+
+TEST(Workflow, DroppedFragmentsNeedExplicitOptIn) {
+  const frag::BioSystem sys = water_cluster(4);
+  fault::FaultPlan plan;
+  plan.rules.push_back({fault::FaultKind::kNan, 1});
+
+  WorkflowOptions opts;
+  opts.sigma_cm = 20.0;
+  opts.max_retries = 0;  // no fallback chain: the fragment is lost
+  {
+    fault::FaultInjector injector(plan);
+    const engine::ModelEngine inner;
+    const fault::FaultyEngine faulty(inner, injector);
+    EXPECT_THROW(RamanWorkflow(opts).run(sys, faulty), NumericalError);
+  }
+
+  // Opting in completes the sweep minus that fragment and says so.
+  opts.allow_dropped_fragments = true;
+  fault::FaultInjector injector(plan);
+  const engine::ModelEngine inner;
+  const fault::FaultyEngine faulty(inner, injector);
+  const WorkflowResult res = RamanWorkflow(opts).run(sys, faulty);
+  EXPECT_EQ(res.sweep.n_dropped, 1u);
+  EXPECT_FALSE(res.sweep.outcomes[1].completed);
+  for (const double v : res.spectrum.intensity) ASSERT_TRUE(std::isfinite(v));
 }
 
 // Decorator engine for the checkpoint/resume tests: counts compute calls
