@@ -3,10 +3,16 @@
 #
 # Stage 1 (tier 1): full Release configure + build + ctest — the
 #   regression bar every PR must clear.
-# Stage 2 (robustness): AddressSanitizer and UBSan builds of the
-#   fault-injection, checkpoint-integrity, and scheduler suites. The fault
-#   framework corrupts files and routes results through retry/degradation
-#   paths on purpose; these suites must stay clean under the sanitizers.
+# Stage 2 (robustness): AddressSanitizer, UBSan, and ThreadSanitizer
+#   builds of the fault-injection, checkpoint-integrity, scheduler,
+#   tracker, and supervisor suites. The fault framework corrupts files,
+#   kills and hangs leader threads, and routes results through the
+#   retry/degradation paths on purpose; these suites must stay clean
+#   under all three sanitizers (TSan in particular covers the
+#   supervisor/leader/worker handoffs).
+# Stage 3 (chaos soak): the fixed-seed chaos-soak suite on the release
+#   tree — ≥50 seeded sweeps with mid-run leader kills/hangs that must
+#   all finish with exactly-once, baseline-identical results.
 #
 # Usage: scripts/ci.sh [--skip-sanitizers]
 set -euo pipefail
@@ -21,17 +27,26 @@ cmake -B build -S . >/dev/null
 cmake --build build -j "$JOBS"
 ctest --test-dir build --output-on-failure -j "$JOBS"
 
+echo "== chaos soak (fixed seeds, release tree) =="
+build/tests/test_supervisor --gtest_filter='ChaosSoak.*'
+
 if [[ "$SKIP_SANITIZERS" == "1" ]]; then
   echo "== sanitizer stages skipped =="
   exit 0
 fi
 
 # The robustness suites: everything exercising fault injection, the
-# validator/degradation machinery, and the CRC-framed checkpoint format.
-ROBUSTNESS_TESTS=(test_fault test_checkpoint test_scheduler)
+# validator/degradation machinery, the CRC-framed checkpoint format, and
+# the lease-fenced supervised runtime.
+ROBUSTNESS_TESTS=(test_fault test_checkpoint test_scheduler test_tracker
+                  test_supervisor)
 
-for SAN in address undefined; do
-  BUILD="build-${SAN:0:4}san"
+for SAN in address undefined thread; do
+  case "$SAN" in
+    address)   BUILD=build-addrsan ;;
+    undefined) BUILD=build-undesan ;;
+    thread)    BUILD=build-tsan ;;
+  esac
   echo "== robustness under ${SAN} sanitizer (${BUILD}) =="
   cmake -B "$BUILD" -S . \
     -DCMAKE_BUILD_TYPE=RelWithDebInfo \

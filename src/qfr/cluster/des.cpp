@@ -34,10 +34,23 @@ MachineProfile sunway_profile() {
   return p;
 }
 
+namespace {
+
+/// One downtime window of a leader, merged from node-level and
+/// leader-level crash schedules.
+struct DownWindow {
+  double at = 0.0;
+  double downtime = 0.0;
+};
+
+}  // namespace
+
 DesReport simulate_cluster(std::vector<balance::WorkItem> items,
                            balance::PackingPolicy& policy,
                            const DesOptions& options) {
   QFR_REQUIRE(options.n_nodes >= 1, "need at least one node");
+  QFR_REQUIRE(options.heartbeat_timeout >= 0.0,
+              "heartbeat timeout must be >= 0");
   const MachineProfile& m = options.machine;
   const std::size_t n_leaders = options.n_nodes * m.leaders_per_node;
 
@@ -47,30 +60,40 @@ DesReport simulate_cluster(std::vector<balance::WorkItem> items,
   for (auto& s : node_speed)
     s = std::exp(m.node_speed_jitter * rng.normal());
 
-  // Per-node crash windows, sorted by crash time.
-  std::vector<std::vector<NodeCrash>> crashes(options.n_nodes);
+  // Per-leader downtime windows, sorted by crash time: a node crash downs
+  // every leader on the node, a leader crash downs just the one (the DES
+  // mirror of the supervised runtime's kLeaderKill + respawn).
+  std::vector<std::vector<DownWindow>> windows(n_leaders);
   for (const NodeCrash& c : options.node_crashes) {
     QFR_REQUIRE(c.node < options.n_nodes,
                 "crash node " << c.node << " out of range");
     QFR_REQUIRE(c.at >= 0.0 && c.downtime > 0.0,
                 "crash time must be >= 0 and downtime > 0");
-    crashes[c.node].push_back(c);
+    for (std::size_t k = 0; k < m.leaders_per_node; ++k)
+      windows[c.node * m.leaders_per_node + k].push_back({c.at, c.downtime});
   }
-  for (auto& v : crashes)
+  for (const LeaderCrash& c : options.leader_crashes) {
+    QFR_REQUIRE(c.leader < n_leaders,
+                "crash leader " << c.leader << " out of range");
+    QFR_REQUIRE(c.at >= 0.0 && c.downtime > 0.0,
+                "crash time must be >= 0 and downtime > 0");
+    windows[c.leader].push_back({c.at, c.downtime});
+  }
+  for (auto& v : windows)
     std::sort(v.begin(), v.end(),
-              [](const NodeCrash& a, const NodeCrash& b) { return a.at < b.at; });
-  // A node is down during [at, at + downtime): leaders on it neither hold
-  // nor request work. Returns the rejoin time when `t` is inside a
-  // window, else `t` itself.
-  auto up_at = [&](std::size_t node, double t) -> double {
-    for (const NodeCrash& c : crashes[node])
+              [](const DownWindow& a, const DownWindow& b) { return a.at < b.at; });
+  // A leader is down during [at, at + downtime): it neither holds nor
+  // requests work. Returns the rejoin time when `t` is inside a window,
+  // else `t` itself.
+  auto up_at = [&](std::size_t leader, double t) -> double {
+    for (const DownWindow& c : windows[leader])
       if (t >= c.at && t < c.at + c.downtime) return c.at + c.downtime;
     return t;
   };
-  // First crash on `node` strictly inside (t0, t1], if any.
-  auto crash_within = [&](std::size_t node, double t0,
-                          double t1) -> const NodeCrash* {
-    for (const NodeCrash& c : crashes[node])
+  // First crash of `leader` strictly inside (t0, t1], if any.
+  auto crash_within = [&](std::size_t leader, double t0,
+                          double t1) -> const DownWindow* {
+    for (const DownWindow& c : windows[leader])
       if (c.at > t0 && c.at <= t1) return &c;
     return nullptr;
   };
@@ -81,12 +104,46 @@ DesReport simulate_cluster(std::vector<balance::WorkItem> items,
 
   // The same master-side state machine the real runtime drives, advanced
   // here with simulated time: status table, straggler timeout re-queue,
-  // size-sensitive packing through the shared policy.
+  // lease-fenced deliveries, size-sensitive packing through the shared
+  // policy.
   runtime::SweepOptions sopts;
   sopts.straggler_timeout = options.straggler_timeout;
-  sopts.max_retries = 0;  // the DES injects stalls, not failures
+  sopts.max_retries = 0;  // the DES injects stalls/crashes, not failures
   runtime::SweepScheduler scheduler(std::move(items), policy,
                                     std::move(sopts));
+
+  // Supervision mirror: leases a silent leader holds are revoked
+  // heartbeat_timeout after it stopped responding — the simulated
+  // counterpart of Supervisor::revoke_all_locked. A min-heap of pending
+  // revocations keyed by their due time.
+  struct PendingRevocation {
+    double due = 0.0;
+    std::vector<runtime::Lease> leases;
+  };
+  auto later = [](const PendingRevocation& a, const PendingRevocation& b) {
+    return a.due > b.due;
+  };
+  std::priority_queue<PendingRevocation, std::vector<PendingRevocation>,
+                      decltype(later)>
+      pending(later);
+  auto schedule_revocation = [&](double silent_at,
+                                 const std::vector<runtime::Lease>& leases) {
+    if (options.heartbeat_timeout <= 0.0 || leases.empty()) return;
+    pending.push({silent_at + options.heartbeat_timeout, leases});
+  };
+  auto apply_due_revocations = [&](double now) {
+    while (!pending.empty() && pending.top().due <= now) {
+      const PendingRevocation p = pending.top();
+      pending.pop();
+      // Deadline scan first, at the detection instant: mirrors the
+      // supervisor driving tick() on its own clock.
+      scheduler.tick(p.due);
+      for (const runtime::Lease& lease : p.leases)
+        if (scheduler.revoke_lease(lease)) ++report.n_leases_revoked;
+    }
+  };
+
+  const engine::FragmentResult kNoResult{};
 
   // Event queue: (time leader becomes available, leader id). All leaders
   // request their first task at t = 0.
@@ -99,25 +156,28 @@ DesReport simulate_cluster(std::vector<balance::WorkItem> items,
   while (!ready.empty()) {
     const auto [t, leader] = ready.top();
     ready.pop();
+    apply_due_revocations(t);
     {
-      // A leader on a crashed node holds no work and asks for none until
-      // the node rejoins.
-      const std::size_t node = leader / m.leaders_per_node;
-      const double rejoin = up_at(node, t);
+      // A leader inside a downtime window holds no work and asks for none
+      // until it rejoins.
+      const double rejoin = up_at(leader, t);
       if (rejoin > t) {
         ready.emplace(rejoin, leader);
         continue;
       }
     }
-    balance::Task task = scheduler.acquire(ready.size(), t);
+    runtime::LeasedTask task = scheduler.acquire(ready.size(), t);
     if (task.empty()) {
       if (scheduler.finished()) {
         makespan = std::max(makespan, t);
         continue;  // leader retires
       }
-      // Remaining fragments are in flight on stalled leaders: wake when
-      // the earliest straggler deadline can fire instead of polling.
-      double wake = scheduler.next_deadline() + kDeadlineEps;
+      // Remaining fragments are in flight on stalled/dead leaders: wake
+      // when the earliest straggler deadline or pending revocation can
+      // fire instead of polling.
+      double wake = scheduler.next_deadline();
+      if (!pending.empty()) wake = std::min(wake, pending.top().due);
+      wake += kDeadlineEps;
       if (!std::isfinite(wake)) wake = t + options.straggler_timeout;
       ready.emplace(std::max(wake, t + kDeadlineEps), leader);
       continue;
@@ -126,10 +186,12 @@ DesReport simulate_cluster(std::vector<balance::WorkItem> items,
 
     if (options.straggler_probability > 0.0 &&
         rng.uniform() < options.straggler_probability) {
-      // The leader stalls on this task: its fragments stay "processing"
-      // in the status table until the timeout flips them back to
-      // un-processed and another leader picks them up.
+      // The leader stalls on this task (the kLeaderHang mirror): its
+      // heartbeat goes silent at t, so with a failure detector the leases
+      // are revoked at t + heartbeat_timeout; otherwise they sit in
+      // "processing" until the straggler timeout flips them back.
       ++report.n_stalled_tasks;
+      schedule_revocation(t, task.leases);
       report.node_busy[node] += options.straggler_timeout;
       ready.emplace(t + options.straggler_timeout, leader);
       continue;
@@ -139,7 +201,7 @@ DesReport simulate_cluster(std::vector<balance::WorkItem> items,
     // is split across the leader's workers; fragments in a task run
     // back-to-back on the same leader.
     double exec = 0.0;
-    for (const auto& item : task) {
+    for (const auto& item : task.items) {
       const double noise = std::exp(m.cost_noise * rng.normal());
       exec += item.cost * noise /
                   static_cast<double>(m.workers_per_leader) +
@@ -152,22 +214,26 @@ DesReport simulate_cluster(std::vector<balance::WorkItem> items,
     const double dispatch = options.prefetch ? 0.0 : m.dispatch_latency;
     const double done = t + dispatch + exec;
 
-    if (const NodeCrash* c = crash_within(node, t, done)) {
-      // The node dies mid-task: the task is lost, its fragments stay
-      // "processing" until the straggler timeout flips them back to
-      // un-processed and surviving leaders recompute them.
+    if (const DownWindow* c = crash_within(leader, t, done)) {
+      // The leader dies mid-task: the task is lost. With a failure
+      // detector the master revokes the dead leader's leases
+      // heartbeat_timeout after the crash; otherwise the fragments wait
+      // out the straggler timeout.
       ++report.n_crash_lost_tasks;
+      schedule_revocation(c->at, task.leases);
       report.node_busy[node] += std::max(0.0, c->at - t);
       ready.emplace(c->at + c->downtime, leader);
       continue;
     }
 
-    for (const auto& item : task) scheduler.complete(item.fragment_id);
+    for (const runtime::Lease& lease : task.leases)
+      scheduler.on_completion(lease, kNoResult, "des");
     report.node_busy[node] += exec;
     ready.emplace(done, leader);
   }
 
   report.n_crashes = options.node_crashes.size();
+  report.n_leader_crashes = options.leader_crashes.size();
   report.n_tasks = scheduler.n_tasks();
   report.n_requeued_tasks = scheduler.n_requeue_tasks();
   report.task_log = scheduler.task_log();

@@ -33,11 +33,21 @@ MachineProfile orise_profile();
 MachineProfile sunway_profile();
 
 /// A scheduled whole-node failure: at time `at` every leader on `node`
-/// dies (a task in flight is lost — its fragments sit in "processing"
-/// until the straggler timeout re-queues them to surviving nodes), and
-/// the node rejoins the sweep `downtime` seconds later.
+/// dies (a task in flight is lost — its fragments are recovered via the
+/// heartbeat or straggler timeout), and the node rejoins the sweep
+/// `downtime` seconds later.
 struct NodeCrash {
   std::size_t node = 0;
+  double at = 0.0;
+  double downtime = 60.0;
+};
+
+/// A scheduled single-leader failure (the DES mirror of the threaded
+/// runtime's kLeaderKill injection): at time `at` leader `leader` dies,
+/// its in-flight task is lost, and the leader rejoins `downtime` seconds
+/// later (the supervisor's respawn).
+struct LeaderCrash {
+  std::size_t leader = 0;
   double at = 0.0;
   double downtime = 60.0;
 };
@@ -58,6 +68,14 @@ struct DesOptions {
   /// Deterministic node-crash schedule (fault-tolerance experiments): the
   /// sweep must still complete every fragment on the surviving nodes.
   std::vector<NodeCrash> node_crashes;
+  /// Deterministic per-leader crash schedule (mirrors the supervised
+  /// runtime's leader-kill faults).
+  std::vector<LeaderCrash> leader_crashes;
+  /// Supervision mirror: when > 0, the leases a dead or stalled leader
+  /// holds are revoked `heartbeat_timeout` seconds after it goes silent
+  /// (the simulated master's failure detector), instead of waiting the
+  /// full straggler timeout. 0 keeps the legacy straggler-only recovery.
+  double heartbeat_timeout = 0.0;
 };
 
 /// Per-node outcome plus aggregate metrics (what Figs. 8/10/11 plot).
@@ -66,7 +84,9 @@ struct DesReport {
   std::size_t n_requeued_tasks = 0;  ///< re-dispatch tasks the master queued
   std::size_t n_stalled_tasks = 0;   ///< straggler injections that fired
   std::size_t n_crashes = 0;         ///< node-crash windows simulated
+  std::size_t n_leader_crashes = 0;  ///< single-leader crash windows simulated
   std::size_t n_crash_lost_tasks = 0;  ///< in-flight tasks killed by a crash
+  std::size_t n_leases_revoked = 0;  ///< leases revoked by the heartbeat detector
   std::vector<double> node_busy;     ///< busy seconds per node
   double mean_node_busy = 0.0;
   double min_variation = 0.0;        ///< (min busy - mean)/mean, Fig. 8 style
@@ -85,7 +105,10 @@ struct DesReport {
 /// as runtime::MasterRuntime — the scheduling logic exists once — but
 /// advances it with simulated time from a calibrated cost model instead
 /// of real execution: the substitution for the Sunway/ORISE hardware we
-/// do not have. Deterministic for a given seed.
+/// do not have. Deliveries go through the same lease fencing as the real
+/// runtime, and with heartbeat_timeout > 0 the supervisor's
+/// revoke-on-silence recovery is mirrored too. Deterministic for a given
+/// seed.
 DesReport simulate_cluster(std::vector<balance::WorkItem> items,
                            balance::PackingPolicy& policy,
                            const DesOptions& options);

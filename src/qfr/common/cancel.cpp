@@ -1,0 +1,27 @@
+#include "qfr/common/cancel.hpp"
+
+#include "qfr/common/error.hpp"
+
+namespace qfr::common {
+
+namespace {
+thread_local CancelToken g_current_token;
+}  // namespace
+
+void CancelToken::throw_if_cancelled() const {
+  if (cancelled())
+    throw CancelledError("computation cancelled: lease revoked or fragment "
+                         "completed elsewhere",
+                         std::source_location::current());
+}
+
+CancelScope::CancelScope(CancelToken token)
+    : previous_(std::move(g_current_token)) {
+  g_current_token = std::move(token);
+}
+
+CancelScope::~CancelScope() { g_current_token = std::move(previous_); }
+
+CancelToken current_cancel_token() { return g_current_token; }
+
+}  // namespace qfr::common

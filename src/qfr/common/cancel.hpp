@@ -1,0 +1,74 @@
+#pragma once
+
+#include <atomic>
+#include <memory>
+
+namespace qfr::common {
+
+namespace detail {
+struct CancelState {
+  std::atomic<bool> flag{false};
+};
+}  // namespace detail
+
+/// Read side of a cooperative cancellation flag. Default-constructed
+/// tokens are null: never cancelled, checks cost one branch. Long-running
+/// iterations (SCF, CPSCF, displacement loops) poll the token so a
+/// revoked or obsolete fragment stops computing promptly instead of
+/// running as a zombie to the end.
+class CancelToken {
+ public:
+  CancelToken() = default;
+
+  bool valid() const { return state_ != nullptr; }
+  bool cancelled() const {
+    return state_ != nullptr && state_->flag.load(std::memory_order_acquire);
+  }
+  /// Throws qfr::CancelledError when the token is cancelled.
+  void throw_if_cancelled() const;
+
+ private:
+  friend class CancelSource;
+  explicit CancelToken(std::shared_ptr<const detail::CancelState> state)
+      : state_(std::move(state)) {}
+
+  std::shared_ptr<const detail::CancelState> state_;
+};
+
+/// Write side: the owner (supervisor, watchdog) cancels, every token
+/// handed out observes it. Copyable; copies share the flag.
+class CancelSource {
+ public:
+  CancelSource() : state_(std::make_shared<detail::CancelState>()) {}
+
+  CancelToken token() const { return CancelToken(state_); }
+  /// Returns true on the first cancellation (lets callers count events).
+  bool cancel() { return !state_->flag.exchange(true, std::memory_order_acq_rel); }
+  bool cancelled() const { return state_->flag.load(std::memory_order_acquire); }
+
+ private:
+  std::shared_ptr<detail::CancelState> state_;
+};
+
+/// RAII installer of the ambient per-thread token. Layers whose interfaces
+/// cannot carry a token (FragmentEngine::compute and arbitrary
+/// FragmentCompute callables) read it back with current_cancel_token() and
+/// thread it into their inner solvers explicitly — note the ambient token
+/// is per OS thread and does NOT propagate into a nested thread pool, so
+/// engines must capture it before fanning out.
+class CancelScope {
+ public:
+  explicit CancelScope(CancelToken token);
+  ~CancelScope();
+  CancelScope(const CancelScope&) = delete;
+  CancelScope& operator=(const CancelScope&) = delete;
+
+ private:
+  CancelToken previous_;
+};
+
+/// The token installed by the innermost CancelScope on this thread; a null
+/// (never-cancelled) token when none is installed.
+CancelToken current_cancel_token();
+
+}  // namespace qfr::common

@@ -42,6 +42,14 @@ class TimeoutError : public Error {
   using Error::Error;
 };
 
+/// Raised when a computation is cooperatively cancelled mid-flight (its
+/// lease was revoked, or its fragment completed on another leader). Not a
+/// fragment failure: the runtime discards the attempt without consuming a
+/// retry, so it is kept distinct from NumericalError/TimeoutError.
+class CancelledError : public Error {
+  using Error::Error;
+};
+
 /// Raised when an internal invariant is violated (a library bug).
 class InternalError : public Error {
   using Error::Error;

@@ -102,6 +102,9 @@ ResponseResult ResponseEngine::solve(const Matrix& h1) {
     res.p1.resize_zero(n, n);
 
     for (int iter = 1; iter <= options_.max_iterations; ++iter) {
+      // A revoked fragment stops mid-solve instead of finishing a result
+      // the scheduler would fence out anyway.
+      options_.cancel.throw_if_cancelled();
       // Full first-order Fock: external + induced two-electron response.
       Matrix f1 = h1;
       if (iter > 1) f1 += induced_fock(res.p1);

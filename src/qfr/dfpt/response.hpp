@@ -3,6 +3,7 @@
 #include <array>
 #include <memory>
 
+#include "qfr/common/cancel.hpp"
 #include "qfr/grid/molgrid.hpp"
 #include "qfr/poisson/multipole_poisson.hpp"
 #include "qfr/grid/orbital_eval.hpp"
@@ -25,6 +26,10 @@ struct DfptOptions {
   /// literal phase 3) instead of contracting analytic ERIs. Slightly less
   /// accurate (grid resolution) but exercises the production code path.
   bool use_grid_poisson = false;
+  /// Cooperative cancellation: polled once per CPSCF iteration; a
+  /// cancelled token aborts the solve with CancelledError (the runtime
+  /// revoked this fragment's lease). Default token is null.
+  common::CancelToken cancel;
 };
 
 /// Wall-clock seconds accumulated in the four phases of a DFPT cycle

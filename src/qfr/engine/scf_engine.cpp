@@ -5,6 +5,7 @@
 
 #include "qfr/common/thread_pool.hpp"
 
+#include "qfr/common/cancel.hpp"
 #include "qfr/common/error.hpp"
 #include "qfr/dfpt/response.hpp"
 #include "qfr/integrals/gradients.hpp"
@@ -25,14 +26,19 @@ struct PointResult {
 };
 
 // One displaced-geometry job: SCF (+ DFPT when alpha is needed, + analytic
-// gradient in gradient mode).
+// gradient in gradient mode). The cancel token is passed explicitly — the
+// runtime installs it per worker thread, but displacement jobs run on the
+// engine's own pool where the ambient thread-local is not visible.
 PointResult evaluate_point(const Molecule& mol, const ScfEngineOptions& opts,
                            const Matrix* warm_density, bool with_alpha,
                            bool with_gradient, dfpt::PhaseTimes* times,
-                           std::int64_t* flops) {
+                           std::int64_t* flops,
+                           const common::CancelToken& cancel = {}) {
+  cancel.throw_if_cancelled();
   auto ctx = std::make_shared<scf::ScfContext>(scf::ScfContext::build(mol));
   scf::ScfOptions sopts;
   sopts.xc = opts.xc;
+  sopts.cancel = cancel;
   // Finite differences of CPSCF polarizabilities amplify residual SCF
   // error by ~1/gap^2; tight thresholds keep the dalpha noise below the
   // discretization error of the central differences.
@@ -54,6 +60,7 @@ PointResult evaluate_point(const Molecule& mol, const ScfEngineOptions& opts,
   if (with_alpha) {
     dfpt::DfptOptions dopts;
     dopts.tolerance = 1e-10;
+    dopts.cancel = cancel;
     dfpt::ResponseEngine engine(ctx, scf_res, opts.xc, dopts);
     const dfpt::PolarizabilityResult pol = engine.polarizability();
     QFR_ASSERT(pol.converged, "DFPT did not converge at displaced geometry");
@@ -82,16 +89,25 @@ FragmentResult ScfEngine::compute(const Molecule& fragment) const {
   res.dalpha.resize_zero(6, dim);
   res.dmu.resize_zero(3, dim);
 
+  // Cancellation: capture the runtime's ambient token once on this thread;
+  // it is handed to every solver (including jobs on the displacement pool,
+  // which do not inherit the thread-local) so a revoked fragment aborts
+  // mid-sweep instead of finishing hundreds of displaced-geometry solves.
+  const common::CancelToken cancel = common::current_cancel_token();
+
   // Equilibrium point: energy, density (warm start), polarizability.
   auto ctx0 = std::make_shared<scf::ScfContext>(scf::ScfContext::build(fragment));
   scf::ScfOptions sopts;
   sopts.xc = options_.xc;
   sopts.energy_tolerance = 1e-12;
   sopts.commutator_tolerance = 1e-9;
+  sopts.cancel = cancel;
   const scf::ScfResult scf0 = scf::ScfSolver(ctx0, sopts).solve();
   res.energy = scf0.energy;
   if (options_.compute_dalpha) {
-    dfpt::ResponseEngine engine0(ctx0, scf0, options_.xc);
+    dfpt::DfptOptions dopts0;
+    dopts0.cancel = cancel;
+    dfpt::ResponseEngine engine0(ctx0, scf0, options_.xc, dopts0);
     const dfpt::PolarizabilityResult pol0 = engine0.polarizability();
     res.alpha = pol0.alpha;
     res.phase_times += engine0.phase_times();
@@ -118,10 +134,10 @@ FragmentResult ScfEngine::compute(const Molecule& fragment) const {
       std::int64_t flops = 0;
       const PointResult plus = evaluate_point(
           displace(c, +h), options_, &scf0.density, options_.compute_dalpha,
-          gradient_mode, &times, &flops);
+          gradient_mode, &times, &flops, cancel);
       const PointResult minus = evaluate_point(
           displace(c, -h), options_, &scf0.density, options_.compute_dalpha,
-          gradient_mode, &times, &flops);
+          gradient_mode, &times, &flops, cancel);
       e_plus[c] = plus.energy;
       e_minus[c] = minus.energy;
       if (gradient_mode) {
@@ -169,6 +185,7 @@ FragmentResult ScfEngine::compute(const Molecule& fragment) const {
   // Cross second derivatives from double displacements (energy only).
   for (std::size_t a = 0; a < dim; ++a) {
     for (std::size_t b = a + 1; b < dim; ++b) {
+      cancel.throw_if_cancelled();
       auto displaced2 = [&](double sa, double sb) {
         Molecule m = displace(a, sa);
         const std::size_t atom = b / 3;
@@ -178,19 +195,19 @@ FragmentResult ScfEngine::compute(const Molecule& fragment) const {
       };
       const double epp =
           evaluate_point(displaced2(+h, +h), options_, &scf0.density, false,
-                         false, nullptr, nullptr)
+                         false, nullptr, nullptr, cancel)
               .energy;
       const double epm =
           evaluate_point(displaced2(+h, -h), options_, &scf0.density, false,
-                         false, nullptr, nullptr)
+                         false, nullptr, nullptr, cancel)
               .energy;
       const double emp =
           evaluate_point(displaced2(-h, +h), options_, &scf0.density, false,
-                         false, nullptr, nullptr)
+                         false, nullptr, nullptr, cancel)
               .energy;
       const double emm =
           evaluate_point(displaced2(-h, -h), options_, &scf0.density, false,
-                         false, nullptr, nullptr)
+                         false, nullptr, nullptr, cancel)
               .energy;
       const double hab = (epp - epm - emp + emm) / (4.0 * h * h);
       res.hessian(a, b) = hab;

@@ -1,0 +1,76 @@
+#include "qfr/fault/chaos.hpp"
+
+#include <cmath>
+
+#include "qfr/common/error.hpp"
+#include "qfr/common/rng.hpp"
+
+namespace qfr::fault {
+
+ChaosSchedule::ChaosSchedule(ChaosScheduleOptions options)
+    : options_(options) {
+  QFR_REQUIRE(options_.n_leaders >= 1, "chaos schedule needs leaders");
+  QFR_REQUIRE(
+      options_.kill_probability >= 0.0 && options_.kill_probability <= 1.0,
+      "kill probability must be in [0, 1]");
+  QFR_REQUIRE(
+      options_.hang_probability >= 0.0 && options_.hang_probability <= 1.0,
+      "hang probability must be in [0, 1]");
+  QFR_REQUIRE(options_.hang_seconds >= 0.0, "negative hang length");
+  QFR_REQUIRE(options_.mean_interval > 0.0, "mean interval must be positive");
+  QFR_REQUIRE(options_.downtime > 0.0, "downtime must be positive");
+}
+
+FaultPlan ChaosSchedule::plan() const {
+  FaultPlan plan;
+  plan.seed = options_.seed;
+  if (options_.kill_probability > 0.0 && options_.max_kills_per_leader > 0) {
+    FaultRule kill;
+    kill.kind = FaultKind::kLeaderKill;
+    kill.fragment_id = kAnyFragment;  // any leader; hits capped per leader
+    kill.probability = options_.kill_probability;
+    kill.max_hits = options_.max_kills_per_leader;
+    plan.rules.push_back(kill);
+  }
+  if (options_.hang_probability > 0.0 && options_.max_hangs_per_leader > 0) {
+    FaultRule hang;
+    hang.kind = FaultKind::kLeaderHang;
+    hang.fragment_id = kAnyFragment;
+    hang.probability = options_.hang_probability;
+    hang.max_hits = options_.max_hangs_per_leader;
+    hang.delay_seconds = options_.hang_seconds;
+    plan.rules.push_back(hang);
+  }
+  return plan;
+}
+
+std::vector<ChaosEvent> ChaosSchedule::events() const {
+  std::vector<ChaosEvent> out;
+  const double p_total = options_.kill_probability + options_.hang_probability;
+  if (p_total <= 0.0) return out;
+  Rng rng(options_.seed);
+  for (std::size_t l = 0; l < options_.n_leaders; ++l) {
+    Rng stream = rng.fork();  // per-leader stream: leaders are independent
+    double t = 0.0;
+    std::size_t kills = 0, hangs = 0;
+    for (;;) {
+      // Exponential inter-arrival on the simulated clock.
+      t += -options_.mean_interval * std::log(1.0 - stream.uniform());
+      if (t >= options_.horizon) break;
+      const bool kill =
+          stream.uniform() * p_total < options_.kill_probability;
+      if (kill) {
+        if (kills >= options_.max_kills_per_leader) continue;
+        ++kills;
+        out.push_back({t, l, ChaosEventKind::kKill, options_.downtime});
+      } else {
+        if (hangs >= options_.max_hangs_per_leader) continue;
+        ++hangs;
+        out.push_back({t, l, ChaosEventKind::kHang, options_.hang_seconds});
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace qfr::fault

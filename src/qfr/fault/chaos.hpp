@@ -1,0 +1,68 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "qfr/fault/fault_injector.hpp"
+
+namespace qfr::fault {
+
+/// Tuning of a seeded chaos schedule (leader kills and hangs).
+struct ChaosScheduleOptions {
+  std::uint64_t seed = 2024;
+  std::size_t n_leaders = 2;
+  /// Per-dispatched-task probability that the leader dies (kLeaderKill).
+  double kill_probability = 0.0;
+  /// Kills each leader may suffer over one sweep (it is respawned after
+  /// each); bounds the schedule so a sweep always terminates.
+  std::size_t max_kills_per_leader = 1;
+  /// Per-dispatched-task probability that the leader goes silent.
+  double hang_probability = 0.0;
+  std::size_t max_hangs_per_leader = 1;
+  /// How long a hung leader stays silent.
+  double hang_seconds = 0.1;
+  // --- DES mirror parameters (events() only) ---
+  /// Simulated-time window chaos events are generated in.
+  double horizon = 10.0;
+  /// Mean inter-arrival time of chaos events per leader (exponential).
+  double mean_interval = 1.0;
+  /// Downtime of a killed leader before its respawn rejoins.
+  double downtime = 0.5;
+};
+
+enum class ChaosEventKind { kKill, kHang };
+
+/// One timed chaos event for the DES mirror.
+struct ChaosEvent {
+  double at = 0.0;
+  std::size_t leader = 0;
+  ChaosEventKind kind = ChaosEventKind::kKill;
+  /// Downtime (kill) or silence length (hang).
+  double duration = 0.0;
+};
+
+/// Seeded generator of leader kill/hang/revive schedules, realizable in
+/// both execution substrates of the sweep:
+///   - plan() compiles an occurrence-keyed FaultPlan for the threaded
+///     MasterRuntime (decisions keyed on (leader, dispatch count), so the
+///     same seed injects the same faults regardless of thread timing);
+///   - events() generates the matching timed event stream for the
+///     cluster::simulate_cluster mirror (exponential arrivals on the
+///     simulated clock).
+/// Both are pure functions of the options: the chaos soak replays any
+/// failing seed bit-for-bit.
+class ChaosSchedule {
+ public:
+  explicit ChaosSchedule(ChaosScheduleOptions options = {});
+
+  FaultPlan plan() const;
+  std::vector<ChaosEvent> events() const;
+
+  const ChaosScheduleOptions& options() const { return options_; }
+
+ private:
+  ChaosScheduleOptions options_;
+};
+
+}  // namespace qfr::fault

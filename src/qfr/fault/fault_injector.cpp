@@ -24,6 +24,9 @@ FaultSite site_of(FaultKind kind) {
     case FaultKind::kBitFlip:
     case FaultKind::kTruncate:
       return FaultSite::kCheckpoint;
+    case FaultKind::kLeaderKill:
+    case FaultKind::kLeaderHang:
+      return FaultSite::kLeader;
     default:
       return FaultSite::kEngine;
   }
@@ -40,8 +43,10 @@ const char* to_string(FaultKind kind) {
     case FaultKind::kSignFlip:  return "sign_flip";
     case FaultKind::kDelay:     return "delay";
     case FaultKind::kTimeout:   return "timeout";
-    case FaultKind::kBitFlip:   return "bit_flip";
-    case FaultKind::kTruncate:  return "truncate";
+    case FaultKind::kBitFlip:    return "bit_flip";
+    case FaultKind::kTruncate:   return "truncate";
+    case FaultKind::kLeaderKill: return "leader_kill";
+    case FaultKind::kLeaderHang: return "leader_hang";
   }
   return "unknown";
 }
@@ -50,7 +55,9 @@ FaultInjector::FaultInjector(FaultPlan plan) : plan_(std::move(plan)) {
   for (const auto& rule : plan_.rules) {
     QFR_REQUIRE(rule.probability >= 0.0 && rule.probability <= 1.0,
                 "fault probability must be in [0, 1]");
-    QFR_REQUIRE(rule.kind != FaultKind::kDelay || rule.delay_seconds >= 0.0,
+    QFR_REQUIRE((rule.kind != FaultKind::kDelay &&
+                 rule.kind != FaultKind::kLeaderHang) ||
+                    rule.delay_seconds >= 0.0,
                 "negative fault delay");
   }
   rule_hits_.resize(plan_.rules.size());
@@ -59,7 +66,7 @@ FaultInjector::FaultInjector(FaultPlan plan) : plan_(std::move(plan)) {
 Fault FaultInjector::draw(std::size_t fragment_id, FaultSite site) {
   std::lock_guard<std::mutex> lock(mutex_);
   const std::uint64_t occ_key =
-      (static_cast<std::uint64_t>(fragment_id) << 1) |
+      (static_cast<std::uint64_t>(fragment_id) << 2) |
       static_cast<std::uint64_t>(site);
   const std::size_t occurrence = occurrence_[occ_key]++;
 

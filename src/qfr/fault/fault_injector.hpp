@@ -25,16 +25,23 @@ enum class FaultKind {
   kDelay,     ///< the compute sleeps `delay_seconds` first (straggler)
   kTimeout,   ///< a watchdog kill: the compute throws TimeoutError
   // Checkpoint-site faults (CorruptingCheckpointSink).
-  kBitFlip,   ///< one bit of the just-written record payload is flipped
-  kTruncate,  ///< the file is truncated mid-record and the sink goes dead
+  kBitFlip,     ///< one bit of the just-written record payload is flipped
+  kTruncate,    ///< the file is truncated mid-record and the sink goes dead
+  // Leader-site faults (MasterRuntime leader loop). These are keyed on a
+  // *leader* id, not a fragment id: the leader thread dies or goes silent
+  // while holding leases, and the supervisor must detect it, revoke the
+  // leases, and respawn the leader.
+  kLeaderKill,  ///< the leader thread exits mid-sweep, abandoning its leases
+  kLeaderHang,  ///< the leader stops heartbeating for `delay_seconds`
 };
 
 const char* to_string(FaultKind kind);
 
 /// Which layer is asking the injector for a decision. Rules only match
-/// their own site, and the random streams of the two sites are
-/// independent, so adding an engine rule never shifts checkpoint faults.
-enum class FaultSite { kEngine, kCheckpoint };
+/// their own site, and the random streams of the sites are independent,
+/// so adding an engine rule never shifts checkpoint or leader faults. At
+/// FaultSite::kLeader the id passed to draw() is a leader id.
+enum class FaultSite { kEngine, kCheckpoint, kLeader };
 
 /// Matches any fragment id (probabilistic rules).
 inline constexpr std::size_t kAnyFragment = static_cast<std::size_t>(-1);
@@ -52,7 +59,7 @@ struct FaultRule {
   /// Total times this rule may fire per fragment; 1 models a transient
   /// fault, the default models a persistent one.
   std::size_t max_hits = static_cast<std::size_t>(-1);
-  /// Sleep length for kDelay.
+  /// Sleep length for kDelay and kLeaderHang.
   double delay_seconds = 0.0;
 };
 
@@ -97,7 +104,7 @@ class FaultInjector {
   std::unordered_map<std::uint64_t, std::size_t> occurrence_;
   /// Fired count per rule per fragment id.
   std::vector<std::unordered_map<std::size_t, std::size_t>> rule_hits_;
-  std::array<std::size_t, 9> injected_{};
+  std::array<std::size_t, 11> injected_{};
 };
 
 }  // namespace qfr::fault

@@ -128,6 +128,9 @@ WorkflowResult RamanWorkflow::run(const frag::BioSystem& system,
   ropts.completed_ids = completed_ids;
   if (options_.validate_results) ropts.validator = &validator;
   if (!chain.empty()) ropts.fallback_chain = &chain;
+  ropts.supervision.enabled = options_.supervise;
+  ropts.supervision.heartbeat_timeout = options_.heartbeat_timeout;
+  ropts.supervision.poll_interval = options_.supervisor_poll_interval;
   const runtime::MasterRuntime rt(std::move(ropts));
   WallTimer engine_timer;
   runtime::RunReport report = rt.run(fr.fragments, eng);
@@ -143,12 +146,22 @@ WorkflowResult RamanWorkflow::run(const frag::BioSystem& system,
   out.sweep.n_resumed = report.n_resumed;
   out.sweep.n_degraded = report.n_degraded();
   out.sweep.n_corrupt_records = n_corrupt_records;
+  out.sweep.n_leader_crashes = report.n_leader_crashes;
+  out.sweep.n_leader_hangs = report.n_leader_hangs;
+  out.sweep.n_leases_revoked = report.n_leases_revoked;
+  out.sweep.n_cancelled = report.n_cancelled;
   out.sweep.outcomes = report.outcomes;
   const std::size_t n_bad = report.n_failed();
   if (out.sweep.n_degraded > 0 || n_bad > 0)
     QFR_LOG_WARN("sweep integrity: ", out.sweep.n_degraded,
                  " fragment(s) degraded to a fallback engine, ", n_bad,
                  " dropped");
+  if (out.sweep.n_leader_crashes + out.sweep.n_leader_hangs > 0)
+    QFR_LOG_WARN("sweep supervision: ", out.sweep.n_leader_crashes,
+                 " leader crash(es), ", out.sweep.n_leader_hangs,
+                 " hang(s), ", out.sweep.n_leases_revoked,
+                 " lease(s) revoked, ", out.sweep.n_cancelled,
+                 " compute(s) cancelled");
   if (n_bad > 0 && !options_.allow_dropped_fragments) {
     // The checkpoint already holds every completed fragment, so a re-run
     // with resume=true recomputes only the failures.

@@ -68,6 +68,11 @@ struct WorkflowOptions {
   /// them from the assembly — their Eq. (1) terms go missing, which the
   /// SweepSummary reports honestly — instead of aborting the workflow.
   bool allow_dropped_fragments = false;
+  /// Supervise the leader threads: heartbeats, revocation of dead/hung
+  /// leaders' leases, respawn (see runtime::SupervisionOptions).
+  bool supervise = false;
+  double heartbeat_timeout = 1.0;
+  double supervisor_poll_interval = 0.02;
 };
 
 /// Sweep-level scheduling/fault-tolerance diagnostics surfaced to the
@@ -86,6 +91,11 @@ struct SweepSummary {
   std::size_t n_dropped = 0;
   /// Checkpoint records skipped as corrupt during resume.
   std::size_t n_corrupt_records = 0;
+  // Supervision counters (zero unless supervise was set).
+  std::size_t n_leader_crashes = 0;  ///< leader deaths detected + respawned
+  std::size_t n_leader_hangs = 0;    ///< heartbeat-timeout episodes
+  std::size_t n_leases_revoked = 0;  ///< in-flight leases revoked
+  std::size_t n_cancelled = 0;       ///< computes stopped via cancellation
   /// Terminal per-fragment records, indexed by fragment id (all completed
   /// on a successful run — a permanent failure aborts the workflow after
   /// the checkpoint is flushed, so the completed prefix is resumable).

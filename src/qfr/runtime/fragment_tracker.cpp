@@ -13,16 +13,30 @@ FragmentTracker::FragmentTracker(std::size_t n_fragments,
   QFR_REQUIRE(timeout_seconds > 0.0, "straggler timeout must be positive");
 }
 
-void FragmentTracker::mark_processing(std::size_t fragment, double now) {
+std::uint64_t FragmentTracker::mark_processing(std::size_t fragment,
+                                               double now) {
   QFR_REQUIRE(fragment < n_, "fragment id out of range");
   std::lock_guard<std::mutex> lock(mutex_);
   Entry& e = entries_[fragment];
-  if (e.state == FragmentState::kCompleted) return;  // late duplicate pickup
+  if (e.state == FragmentState::kCompleted) return 0;  // late duplicate pickup
   e.state = FragmentState::kProcessing;
   e.started_at = now;
+  return ++e.epoch;
 }
 
-bool FragmentTracker::mark_completed(std::size_t fragment) {
+bool FragmentTracker::mark_completed(std::size_t fragment,
+                                     std::uint64_t epoch) {
+  QFR_REQUIRE(fragment < n_, "fragment id out of range");
+  std::lock_guard<std::mutex> lock(mutex_);
+  Entry& e = entries_[fragment];
+  if (e.state != FragmentState::kProcessing || e.epoch != epoch || epoch == 0)
+    return false;
+  e.state = FragmentState::kCompleted;
+  ++completed_;
+  return true;
+}
+
+bool FragmentTracker::force_complete(std::size_t fragment) {
   QFR_REQUIRE(fragment < n_, "fragment id out of range");
   std::lock_guard<std::mutex> lock(mutex_);
   Entry& e = entries_[fragment];
@@ -47,12 +61,29 @@ std::vector<std::size_t> FragmentTracker::requeue_stragglers(double now) {
   return out;
 }
 
-void FragmentTracker::reset(std::size_t fragment) {
+bool FragmentTracker::reset(std::size_t fragment, std::uint64_t epoch) {
   QFR_REQUIRE(fragment < n_, "fragment id out of range");
   std::lock_guard<std::mutex> lock(mutex_);
   Entry& e = entries_[fragment];
-  if (e.state == FragmentState::kCompleted) return;
+  if (e.state != FragmentState::kProcessing || e.epoch != epoch || epoch == 0)
+    return false;
   e.state = FragmentState::kUnprocessed;
+  return true;
+}
+
+bool FragmentTracker::lease_valid(std::size_t fragment,
+                                  std::uint64_t epoch) const {
+  QFR_REQUIRE(fragment < n_, "fragment id out of range");
+  std::lock_guard<std::mutex> lock(mutex_);
+  const Entry& e = entries_[fragment];
+  return e.state == FragmentState::kProcessing && e.epoch == epoch &&
+         epoch != 0;
+}
+
+std::uint64_t FragmentTracker::epoch(std::size_t fragment) const {
+  QFR_REQUIRE(fragment < n_, "fragment id out of range");
+  std::lock_guard<std::mutex> lock(mutex_);
+  return entries_[fragment].epoch;
 }
 
 double FragmentTracker::earliest_deadline() const {

@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <mutex>
 #include <vector>
 
@@ -13,7 +14,16 @@ enum class FragmentState { kUnprocessed, kProcessing, kCompleted };
 /// unprocessed -> processing -> completed; fragments stuck in
 /// "processing" beyond a timeout are marked unprocessed again and
 /// re-dispatched (the straggler/fault-recovery path of the paper's load
-/// balancer). Thread safe: leaders report from their own threads.
+/// balancer).
+///
+/// Ownership is fenced by per-fragment epochs: every `mark_processing`
+/// bumps the fragment's epoch and returns it as a lease token. A delivery
+/// (completion or failure) is accepted only while the fragment is still
+/// processing under that same epoch — a straggler re-queue or supervisor
+/// revocation bumps nothing itself but invalidates the old lease the
+/// moment the fragment is re-dispatched, so late deliveries from a
+/// presumed-dead leader are rejected by construction (no ABA window).
+/// Thread safe: leaders report from their own threads.
 class FragmentTracker {
  public:
   explicit FragmentTracker(std::size_t n_fragments, double timeout_seconds);
@@ -21,22 +31,42 @@ class FragmentTracker {
   std::size_t size() const { return n_; }
 
   /// A leader picked the fragment up at time `now` (seconds, any clock).
-  void mark_processing(std::size_t fragment, double now);
+  /// Returns the fresh lease epoch (>= 1); 0 when the fragment is already
+  /// completed (late duplicate pickup — the returned lease is never valid).
+  std::uint64_t mark_processing(std::size_t fragment, double now);
 
-  /// A leader delivered the fragment's result. Returns false when the
-  /// completion is stale (the fragment was already completed by another
-  /// leader after a re-queue) — the caller must then discard the result
-  /// so it is not double-counted.
-  bool mark_completed(std::size_t fragment);
+  /// A leader delivered the fragment's result under lease `epoch`.
+  /// Returns false when the lease is stale (the fragment was re-queued,
+  /// revoked, or completed elsewhere since that epoch was issued) — the
+  /// caller must then discard the result so it is not double-counted.
+  bool mark_completed(std::size_t fragment, std::uint64_t epoch);
+
+  /// Unconditionally mark a fragment completed without a lease; used to
+  /// seed checkpoint-restored fragments before the sweep starts. Returns
+  /// false if it was already completed.
+  bool force_complete(std::size_t fragment);
 
   /// Scan for stragglers: every fragment processing longer than the
-  /// timeout is flipped back to unprocessed; their ids are returned for
-  /// re-dispatch.
+  /// timeout is flipped back to unprocessed (invalidating its lease);
+  /// their ids are returned for re-dispatch.
   std::vector<std::size_t> requeue_stragglers(double now);
 
-  /// A leader reported a failure: flip the fragment back to unprocessed
-  /// so it can be re-dispatched (no-op once completed).
-  void reset(std::size_t fragment);
+  /// A leader reported a failure under lease `epoch`: flip the fragment
+  /// back to unprocessed so it can be re-dispatched. Returns false (no-op)
+  /// when the lease is stale or the fragment already completed.
+  bool reset(std::size_t fragment, std::uint64_t epoch);
+
+  /// Revoke a lease without a failure report (supervisor path: the owning
+  /// leader died or went silent). Same state transition as `reset`.
+  bool revoke(std::size_t fragment, std::uint64_t epoch) {
+    return reset(fragment, epoch);
+  }
+
+  /// True while `epoch` is the live lease on a still-processing fragment.
+  bool lease_valid(std::size_t fragment, std::uint64_t epoch) const;
+
+  /// Current epoch of a fragment (diagnostics; 0 = never dispatched).
+  std::uint64_t epoch(std::size_t fragment) const;
 
   /// Earliest instant at which a currently-processing fragment would
   /// exceed the straggler timeout; +infinity when nothing is in flight.
@@ -54,6 +84,7 @@ class FragmentTracker {
   struct Entry {
     FragmentState state = FragmentState::kUnprocessed;
     double started_at = 0.0;
+    std::uint64_t epoch = 0;
   };
 
   mutable std::mutex mutex_;

@@ -1,15 +1,20 @@
 #include "qfr/runtime/master_runtime.hpp"
 
+#include <atomic>
 #include <chrono>
 #include <mutex>
+#include <optional>
 #include <sstream>
 #include <thread>
 
+#include "qfr/common/cancel.hpp"
 #include "qfr/common/error.hpp"
 #include "qfr/common/log.hpp"
 #include "qfr/common/thread_pool.hpp"
 #include "qfr/common/timer.hpp"
 #include "qfr/engine/model_engine.hpp"
+#include "qfr/fault/fault_injector.hpp"
+#include "qfr/runtime/supervisor.hpp"
 
 namespace qfr::runtime {
 
@@ -105,110 +110,217 @@ RunReport MasterRuntime::run_impl(std::span<const frag::Fragment> fragments,
     return options_.fallback_chain->engine(level - 1).name();
   };
 
+  const bool supervised = options_.supervision.enabled;
+  std::optional<Supervisor> supervisor;
+
+  std::atomic<std::size_t> n_cancelled{0};
   std::mutex sink_mutex;
   WallTimer wall;
-  std::vector<std::thread> leaders;
-  leaders.reserve(options_.n_leaders);
-  for (std::size_t l = 0; l < options_.n_leaders; ++l) {
-    leaders.emplace_back([&, l] {
-      WallTimer busy;
-      double busy_acc = 0.0;
-      // Each leader owns a private worker pool (paper: statically
-      // assigned worker processes per leader).
-      ThreadPool workers(options_.workers_per_leader);
 
-      // Execute one task; failures are routed back through the scheduler
-      // (bounded retry) instead of aborting the sweep, and stale results
-      // of re-queued fragments are discarded.
-      auto process = [&](const balance::Task& task) {
-        std::vector<engine::FragmentResult> local(task.size());
-        std::vector<std::string> errors(task.size());
-        std::vector<FailureReason> reasons(task.size(),
-                                           FailureReason::kEngineError);
-        std::vector<std::size_t> levels(task.size(), 0);
-        std::vector<char> ok(task.size(), 0);
-        workers.parallel_for(task.size(), [&](std::size_t k) {
-          const std::size_t fid = task[k].fragment_id;
-          // Degraded fragments run on their fallback engine from here on.
-          levels[k] = scheduler.engine_level(fid);
-          try {
-            local[k] = compute_at(fragments[fid], levels[k]);
-            ok[k] = 1;
-          } catch (const TimeoutError& e) {
-            errors[k] = e.what();
-            reasons[k] = FailureReason::kTimeout;
-          } catch (const NumericalError& e) {
-            errors[k] = e.what();
-            reasons[k] = FailureReason::kNonConvergence;
-          } catch (const std::exception& e) {
-            errors[k] = e.what();
-          } catch (...) {
-            errors[k] = "unknown error";
-          }
-        });
-        for (std::size_t k = 0; k < task.size(); ++k) {
-          const std::size_t fid = task[k].fragment_id;
-          if (!ok[k]) {
-            scheduler.fail(fid, errors[k], reasons[k]);
-            continue;
-          }
-          // The integrity gate: a result rejected here re-enters the
+  // A dispatched task plus the cancel token guarding each fragment; the
+  // tokens stay null when unsupervised.
+  struct ActiveTask {
+    LeasedTask task;
+    std::vector<common::CancelToken> tokens;
+  };
+
+  auto leader_main = [&](std::size_t l) {
+    WallTimer busy;
+    double busy_acc = 0.0;
+    // Each leader owns a private worker pool (paper: statically
+    // assigned worker processes per leader).
+    ThreadPool workers(options_.workers_per_leader);
+
+    // Acquire a task and register its leases with the supervisor, so a
+    // leader death between acquisition and delivery is recoverable.
+    auto fetch = [&]() -> ActiveTask {
+      ActiveTask at;
+      at.task = scheduler.acquire(0, wall.seconds());
+      at.tokens.resize(at.task.size());
+      if (supervised)
+        for (std::size_t k = 0; k < at.task.size(); ++k)
+          at.tokens[k] = supervisor->register_attempt(l, at.task.leases[k]);
+      return at;
+    };
+
+    // Execute one task; failures are routed back through the scheduler
+    // (bounded retry) instead of aborting the sweep, and deliveries under
+    // a revoked lease are fenced out.
+    auto process = [&](ActiveTask& at) {
+      const balance::Task& task = at.task.items;
+      std::vector<engine::FragmentResult> local(task.size());
+      std::vector<std::string> errors(task.size());
+      std::vector<FailureReason> reasons(task.size(),
+                                         FailureReason::kEngineError);
+      std::vector<std::size_t> levels(task.size(), 0);
+      std::vector<char> ok(task.size(), 0);
+      std::vector<char> cancelled(task.size(), 0);
+      workers.parallel_for(task.size(), [&](std::size_t k) {
+        const std::size_t fid = task[k].fragment_id;
+        // Degraded fragments run on their fallback engine from here on.
+        levels[k] = scheduler.engine_level(fid);
+        try {
+          at.tokens[k].throw_if_cancelled();
+          // Ambient token for the compute: cancellation-aware engines
+          // (SCF/CPSCF iterations) poll it and bail out mid-solve.
+          common::CancelScope scope(at.tokens[k]);
+          local[k] = compute_at(fragments[fid], levels[k]);
+          ok[k] = 1;
+        } catch (const CancelledError&) {
+          cancelled[k] = 1;
+          n_cancelled.fetch_add(1, std::memory_order_relaxed);
+        } catch (const TimeoutError& e) {
+          errors[k] = e.what();
+          reasons[k] = FailureReason::kTimeout;
+        } catch (const NumericalError& e) {
+          errors[k] = e.what();
+          reasons[k] = FailureReason::kNonConvergence;
+        } catch (const std::exception& e) {
+          errors[k] = e.what();
+        } catch (...) {
+          errors[k] = "unknown error";
+        }
+      });
+      for (std::size_t k = 0; k < task.size(); ++k) {
+        const Lease& lease = at.task.leases[k];
+        const std::size_t fid = task[k].fragment_id;
+        if (cancelled[k]) {
+          // The lease was revoked while computing: the fragment is owned
+          // elsewhere already. Nothing to deliver, no retry consumed.
+        } else if (!ok[k]) {
+          scheduler.fail(lease, errors[k], reasons[k]);
+        } else if (scheduler.on_completion(lease, local[k],
+                                           engine_name_at(levels[k])) ==
+                   Completion::kAccepted) {
+          // The integrity gate: a rejected result re-enters the
           // retry/degradation path and never reaches the results array or
           // the sink — an injected NaN Hessian cannot leak into assembly.
-          if (scheduler.on_completion(fid, local[k],
-                                      engine_name_at(levels[k])) !=
-              Completion::kAccepted)
-            continue;  // stale duplicate or rejected
           report.results[fid] = std::move(local[k]);
           if (options_.sink) {
             std::lock_guard<std::mutex> lock(sink_mutex);
             options_.sink->on_result(fid, report.results[fid]);
           }
         }
-      };
-
-      balance::Task next;  // prefetched
-      bool have_next = false;
-      for (;;) {
-        balance::Task current;
-        if (have_next) {
-          current = std::move(next);
-          have_next = false;
-        } else {
-          current = scheduler.acquire(0, wall.seconds());
-        }
-        if (current.empty()) {
-          if (scheduler.finished()) break;
-          // In-flight fragments on other leaders may still fail or
-          // straggle; idle briefly instead of retiring.
-          std::this_thread::sleep_for(std::chrono::microseconds(200));
-          continue;
-        }
-        // Prefetch: request the next task before working the current one,
-        // so the master round-trip overlaps with computation. `process`
-        // never throws, so the prefetched task cannot be dropped.
-        if (options_.prefetch) {
-          next = scheduler.acquire(0, wall.seconds());
-          have_next = true;
-        }
-        busy.reset();
-        process(current);
-        busy_acc += busy.seconds();
-        report.leaders[l].tasks++;
-        report.leaders[l].fragments += current.size();
+        if (supervised) supervisor->release_attempt(l, lease);
       }
-      report.leaders[l].busy_seconds = busy_acc;
-    });
+    };
+
+    ActiveTask next;  // prefetched
+    bool have_next = false;
+    for (;;) {
+      ActiveTask current;
+      if (have_next) {
+        current = std::move(next);
+        have_next = false;
+      } else {
+        current = fetch();
+      }
+      if (current.task.empty()) {
+        if (scheduler.finished()) break;
+        // In-flight fragments on other leaders may still fail or
+        // straggle; idle briefly instead of retiring.
+        std::this_thread::sleep_for(std::chrono::microseconds(200));
+        continue;
+      }
+      if (supervised) {
+        supervisor->beat(l);
+        if (options_.fault_injector != nullptr) {
+          const fault::Fault fl =
+              options_.fault_injector->draw(l, fault::FaultSite::kLeader);
+          if (fl.kind == fault::FaultKind::kLeaderKill) {
+            // Die holding the leases: the supervisor revokes them,
+            // re-queues the fragments, and respawns this slot.
+            report.leaders[l].busy_seconds += busy_acc;
+            supervisor->leader_exited(l);
+            return;
+          }
+          if (fl.kind == fault::FaultKind::kLeaderHang) {
+            // Go silent past the heartbeat timeout; the supervisor
+            // revokes the held leases and this incarnation rejoins with
+            // every late delivery fenced out.
+            std::this_thread::sleep_for(
+                std::chrono::duration<double>(fl.delay_seconds));
+          }
+        }
+      }
+      // Prefetch: request the next task before working the current one,
+      // so the master round-trip overlaps with computation. `process`
+      // never throws, so the prefetched task cannot be dropped.
+      if (options_.prefetch) {
+        next = fetch();
+        have_next = true;
+      }
+      busy.reset();
+      process(current);
+      busy_acc += busy.seconds();
+      report.leaders[l].tasks++;
+      report.leaders[l].fragments += current.task.size();
+      if (supervised) supervisor->beat(l);
+    }
+    report.leaders[l].busy_seconds += busy_acc;
+    if (supervised) supervisor->leader_retired(l);
+  };
+
+  std::vector<std::thread> threads(options_.n_leaders);
+  // Guards the thread objects: a leader killed on its very first task can
+  // have the supervisor respawning its slot while the main thread is still
+  // move-assigning the original std::thread into it.
+  std::mutex threads_mutex;
+  if (supervised) {
+    SupervisorOptions so;
+    so.heartbeat_timeout = options_.supervision.heartbeat_timeout;
+    so.poll_interval = options_.supervision.poll_interval;
+    supervisor.emplace(scheduler, so);
+    supervisor->start(
+        options_.n_leaders, [&wall] { return wall.seconds(); },
+        [&](std::size_t l) {
+          // Runs on the supervisor thread with no supervisor lock held;
+          // the dead incarnation has already returned (join is brief).
+          std::lock_guard<std::mutex> lock(threads_mutex);
+          if (threads[l].joinable()) threads[l].join();
+          threads[l] = std::thread([&, l] { leader_main(l); });
+        });
+    {
+      std::lock_guard<std::mutex> lock(threads_mutex);
+      for (std::size_t l = 0; l < options_.n_leaders; ++l)
+        threads[l] = std::thread([&, l] { leader_main(l); });
+    }
+    // The master waits on sweep completion, not on the original leader
+    // threads: slots may be respawned while we wait. Stopping the
+    // supervisor first guarantees no further respawns race the joins.
+    while (!scheduler.finished())
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    supervisor->stop();
+    for (auto& t : threads)
+      if (t.joinable()) t.join();
+  } else {
+    for (std::size_t l = 0; l < options_.n_leaders; ++l)
+      threads[l] = std::thread([&, l] { leader_main(l); });
+    for (auto& t : threads)
+      if (t.joinable()) t.join();
   }
-  for (auto& t : leaders) t.join();
+
   report.makespan_seconds = wall.seconds();
   report.n_tasks = scheduler.n_tasks();
   report.n_requeued = scheduler.n_requeued();
   report.n_retries = scheduler.n_retries();
   report.n_resumed = scheduler.n_resumed();
+  report.n_leases_revoked = scheduler.n_revoked();
+  report.n_cancelled = n_cancelled.load();
+  if (supervisor) {
+    report.n_leader_crashes = supervisor->n_leader_crashes();
+    report.n_leader_hangs = supervisor->n_leader_hangs();
+  }
   report.outcomes = scheduler.outcomes();
   report.task_log = scheduler.task_log();
 
+  if (report.n_leader_crashes + report.n_leader_hangs > 0) {
+    QFR_LOG_WARN("sweep survived ", report.n_leader_crashes,
+                 " leader crash(es) and ", report.n_leader_hangs,
+                 " hang(s): ", report.n_leases_revoked,
+                 " lease(s) revoked, ", report.n_cancelled,
+                 " compute(s) cancelled");
+  }
   if (report.n_degraded() > 0) {
     for (const auto& o : report.outcomes)
       if (o.degraded())

@@ -12,7 +12,24 @@
 #include "qfr/runtime/result_sink.hpp"
 #include "qfr/runtime/sweep_scheduler.hpp"
 
+namespace qfr::fault {
+class FaultInjector;
+}  // namespace qfr::fault
+
 namespace qfr::runtime {
+
+/// Leader supervision knobs (heartbeat failure detection + respawn).
+struct SupervisionOptions {
+  /// Run the supervisor: leaders heartbeat, dead/hung leaders have their
+  /// leases revoked and (when dead) are respawned, and straggler deadline
+  /// scans fire on the supervisor's clock instead of piggybacking on
+  /// acquire(). Off by default: a fault-free sweep needs none of it.
+  bool enabled = false;
+  /// A leader silent for longer than this is declared hung.
+  double heartbeat_timeout = 1.0;
+  /// Supervisor scan period.
+  double poll_interval = 0.02;
+};
 
 /// Configuration of the in-process master/leader/worker hierarchy.
 struct RuntimeOptions {
@@ -27,7 +44,7 @@ struct RuntimeOptions {
   std::function<std::unique_ptr<balance::PackingPolicy>()> policy_factory;
   balance::CostModel cost_model;
   /// Fragments processing longer than this (wall seconds) are re-queued
-  /// to another leader; the slower copy's completion is discarded.
+  /// to another leader; the revoked copy's completion is fenced out.
   double straggler_timeout = 600.0;
   /// Failure retries per fragment beyond the first attempt.
   std::size_t max_retries = 2;
@@ -56,9 +73,17 @@ struct RuntimeOptions {
   /// bare FragmentCompute callable (the engine overload supplies its own
   /// name automatically).
   std::string primary_engine_name = "primary";
+  /// Leader supervision (heartbeats, lease revocation, respawn).
+  SupervisionOptions supervision;
+  /// Optional fault source consulted at FaultSite::kLeader once per
+  /// dispatched task (keyed on the leader id): kLeaderKill exits the
+  /// leader thread mid-sweep, kLeaderHang silences its heartbeat. Only
+  /// meaningful with supervision enabled. Not owned; may be null.
+  fault::FaultInjector* fault_injector = nullptr;
 };
 
-/// Per-leader execution accounting.
+/// Per-leader execution accounting (accumulated across respawned
+/// incarnations of the same leader slot).
 struct LeaderStats {
   double busy_seconds = 0.0;
   std::size_t tasks = 0;
@@ -74,6 +99,11 @@ struct RunReport {
   std::size_t n_requeued = 0;  ///< straggler re-queue events
   std::size_t n_retries = 0;   ///< failure-driven re-dispatches
   std::size_t n_resumed = 0;   ///< fragments skipped via checkpoint resume
+  // Supervision counters (all zero without a supervisor).
+  std::size_t n_leader_crashes = 0;  ///< leader deaths detected + respawned
+  std::size_t n_leader_hangs = 0;    ///< heartbeat-timeout episodes
+  std::size_t n_leases_revoked = 0;  ///< leases revoked by the supervisor
+  std::size_t n_cancelled = 0;       ///< computes stopped via CancelToken
   /// Terminal per-fragment records, indexed by fragment id.
   std::vector<FragmentOutcome> outcomes;
   /// Fragment ids of every dispatched task in dispatch order (the
@@ -92,9 +122,17 @@ struct RunReport {
 /// its own worker threads. Leaders advance a shared SweepScheduler with
 /// wall-clock time; cluster::simulate_cluster advances the identical
 /// state machine with simulated time for node counts we do not have.
+///
+/// With supervision enabled the leaders also publish heartbeats to a
+/// runtime::Supervisor, which revokes the leases of dead/hung leaders
+/// (re-queueing their fragments), cancels the orphaned computations, and
+/// respawns dead leader slots — the sweep survives leader loss with
+/// exactly-once result acceptance guaranteed by lease fencing.
 class MasterRuntime {
  public:
   /// Worker function computing one fragment. Must be thread-compatible.
+  /// Long-running computes should poll common::current_cancel_token() (or
+  /// the solver options' token) so revoked fragments stop promptly.
   using FragmentCompute =
       std::function<engine::FragmentResult(const frag::Fragment&)>;
 

@@ -1,0 +1,178 @@
+#include "qfr/runtime/supervisor.hpp"
+
+#include <algorithm>
+#include <chrono>
+
+#include "qfr/common/error.hpp"
+
+namespace qfr::runtime {
+
+Supervisor::Supervisor(SweepScheduler& scheduler, SupervisorOptions options)
+    : scheduler_(scheduler), options_(options) {
+  QFR_REQUIRE(options_.heartbeat_timeout > 0.0,
+              "heartbeat timeout must be positive");
+  QFR_REQUIRE(options_.poll_interval > 0.0, "poll interval must be positive");
+}
+
+Supervisor::~Supervisor() { stop(); }
+
+void Supervisor::start(std::size_t n_leaders, Clock clock, Respawn respawn) {
+  QFR_REQUIRE(clock != nullptr, "supervisor needs a clock");
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    QFR_REQUIRE(!running_, "supervisor already running");
+    clock_ = std::move(clock);
+    respawn_ = std::move(respawn);
+    slots_.assign(n_leaders, {});
+    const double now = clock_();
+    for (LeaderSlot& s : slots_) s.last_beat = now;
+    running_ = true;
+  }
+  thread_ = std::thread([this] { poll_loop(); });
+}
+
+void Supervisor::stop() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!running_) return;
+    running_ = false;
+  }
+  cv_.notify_all();
+  if (thread_.joinable()) thread_.join();
+  // Cancel whatever is still registered: at end of sweep every remaining
+  // attempt is stale (its fragment completed or failed under a different
+  // epoch), but its compute may still be running — and with the poll
+  // thread gone nobody would ever cancel it, so joining the leaders would
+  // block until the zombie finishes on its own.
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (LeaderSlot& s : slots_)
+    for (Attempt& a : s.attempts) a.source.cancel();
+}
+
+void Supervisor::beat(std::size_t leader) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (leader >= slots_.size()) return;
+  LeaderSlot& s = slots_[leader];
+  s.last_beat = clock_ ? clock_() : 0.0;
+  s.hung = false;
+}
+
+void Supervisor::leader_exited(std::size_t leader) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (leader >= slots_.size()) return;
+    slots_[leader].exited = true;
+  }
+  cv_.notify_all();  // react to the death promptly, not at the next poll
+}
+
+void Supervisor::leader_retired(std::size_t leader) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (leader >= slots_.size()) return;
+  slots_[leader].retired = true;
+}
+
+common::CancelToken Supervisor::register_attempt(std::size_t leader,
+                                                 const Lease& lease) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  QFR_REQUIRE(leader < slots_.size(), "leader id out of range");
+  slots_[leader].attempts.push_back({lease, common::CancelSource{}});
+  return slots_[leader].attempts.back().source.token();
+}
+
+void Supervisor::release_attempt(std::size_t leader, const Lease& lease) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (leader >= slots_.size()) return;
+  auto& attempts = slots_[leader].attempts;
+  attempts.erase(std::remove_if(attempts.begin(), attempts.end(),
+                                [&](const Attempt& a) {
+                                  return a.lease.fragment_id ==
+                                             lease.fragment_id &&
+                                         a.lease.epoch == lease.epoch;
+                                }),
+                 attempts.end());
+}
+
+std::size_t Supervisor::n_leader_crashes() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return n_crashes_;
+}
+
+std::size_t Supervisor::n_leader_hangs() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return n_hangs_;
+}
+
+void Supervisor::revoke_all_locked(LeaderSlot& slot) {
+  for (Attempt& a : slot.attempts) {
+    scheduler_.revoke_lease(a.lease);
+    a.source.cancel();
+  }
+  slot.attempts.clear();
+}
+
+void Supervisor::poll_loop() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  while (running_) {
+    cv_.wait_for(lock, std::chrono::duration<double>(options_.poll_interval));
+    if (!running_) break;
+    const double now = clock_();
+
+    // Deadline scan: straggler recovery must not depend on an idle leader
+    // happening to call acquire() (the bug this supervisor closes).
+    scheduler_.tick(now);
+
+    std::vector<std::size_t> to_respawn;
+    for (std::size_t l = 0; l < slots_.size(); ++l) {
+      LeaderSlot& s = slots_[l];
+
+      if (s.exited) {
+        s.exited = false;
+        if (s.retired) continue;  // clean end-of-sweep exit
+        // Leader died holding leases: re-queue its fragments, stop its
+        // zombie computes, and bring the leader back.
+        revoke_all_locked(s);
+        ++n_crashes_;
+        s.hung = false;
+        s.last_beat = now;
+        if (!scheduler_.finished()) to_respawn.push_back(l);
+        continue;
+      }
+
+      if (!s.retired && !s.hung &&
+          now - s.last_beat > options_.heartbeat_timeout) {
+        // Silent but not dead (injected hang, stuck I/O): revoke so the
+        // work moves elsewhere; the thread itself is left to rejoin and
+        // its late deliveries are fenced by the revoked leases.
+        s.hung = true;
+        ++n_hangs_;
+        revoke_all_locked(s);
+        continue;
+      }
+
+      // Attempts whose lease was invalidated elsewhere (straggler tick,
+      // completion by another leader): cancel the compute so it stops
+      // burning CPU; the delivery would be fenced anyway.
+      auto& attempts = s.attempts;
+      attempts.erase(std::remove_if(attempts.begin(), attempts.end(),
+                                    [&](Attempt& a) {
+                                      if (scheduler_.lease_valid(a.lease))
+                                        return false;
+                                      a.source.cancel();
+                                      return true;
+                                    }),
+                     attempts.end());
+    }
+
+    if (!to_respawn.empty()) {
+      // Respawn with no lock held: the fresh leader immediately beats and
+      // registers attempts, both of which need this mutex.
+      lock.unlock();
+      for (const std::size_t l : to_respawn)
+        if (respawn_) respawn_(l);
+      lock.lock();
+    }
+  }
+}
+
+}  // namespace qfr::runtime

@@ -1,0 +1,117 @@
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "qfr/common/cancel.hpp"
+#include "qfr/runtime/sweep_scheduler.hpp"
+
+namespace qfr::runtime {
+
+/// Tuning of the leader supervisor.
+struct SupervisorOptions {
+  /// A leader silent for longer than this (no heartbeat) is declared hung
+  /// and its leases are revoked.
+  double heartbeat_timeout = 1.0;
+  /// How often the supervisor scans heartbeats and drives the scheduler's
+  /// straggler tick.
+  double poll_interval = 0.02;
+};
+
+/// Failure detector + recovery driver for the leader threads of a sweep
+/// (the runtime-layer analogue of the paper's master watching its ~96k
+/// leaders). Leaders publish heartbeats and register every lease they
+/// hold; a background poll thread
+///   - drives SweepScheduler::tick() so straggler deadlines fire even when
+///     every leader is busy and nobody calls acquire(),
+///   - declares a leader dead when it announces its own exit mid-sweep
+///     (injected kill) and hung when its heartbeat goes stale, then
+///     revokes the leader's leases (re-queueing the fragments), cancels
+///     the in-flight computations, and — for dead leaders — respawns the
+///     leader through the caller's respawn callback,
+///   - cancels attempts whose lease was invalidated elsewhere (straggler
+///     re-queue, completion by another leader) so zombie computes stop.
+///
+/// Lock order is strictly supervisor -> scheduler; the scheduler never
+/// calls back into the supervisor. Respawn callbacks run with no lock
+/// held, so a respawned leader may immediately beat/register. Thread safe.
+class Supervisor {
+ public:
+  using Clock = std::function<double()>;
+  using Respawn = std::function<void(std::size_t leader)>;
+
+  explicit Supervisor(SweepScheduler& scheduler, SupervisorOptions options = {});
+  ~Supervisor();
+
+  Supervisor(const Supervisor&) = delete;
+  Supervisor& operator=(const Supervisor&) = delete;
+
+  /// Begin supervising `n_leaders` leader slots. `clock` supplies "now" on
+  /// the same clock the scheduler is driven with; `respawn` must join the
+  /// dead leader's thread and spawn a fresh one on the same slot.
+  void start(std::size_t n_leaders, Clock clock, Respawn respawn);
+
+  /// Stop the poll thread and cancel every attempt still registered (all
+  /// stale by then) so leader joins never wait on a zombie compute. No
+  /// revocations or respawns happen afterwards; call only once the sweep
+  /// is finished.
+  void stop();
+
+  /// Leader `leader` is alive (called at least once per fragment).
+  void beat(std::size_t leader);
+
+  /// Leader announces its own death (injected kill) just before its
+  /// thread exits. The poll loop revokes its leases and respawns it.
+  void leader_exited(std::size_t leader);
+
+  /// Leader finished normally (sweep drained): not a crash, no respawn.
+  void leader_retired(std::size_t leader);
+
+  /// Register an in-flight attempt: leader `leader` now owns `lease`.
+  /// Returns the cancel token the compute must poll; the supervisor
+  /// cancels it when the lease is revoked or invalidated.
+  common::CancelToken register_attempt(std::size_t leader, const Lease& lease);
+
+  /// The attempt delivered (or failed) through the scheduler; the
+  /// supervisor no longer watches it. Tolerates attempts it already
+  /// discarded during a revocation.
+  void release_attempt(std::size_t leader, const Lease& lease);
+
+  std::size_t n_leader_crashes() const;
+  std::size_t n_leader_hangs() const;
+
+ private:
+  struct Attempt {
+    Lease lease;
+    common::CancelSource source;
+  };
+  struct LeaderSlot {
+    double last_beat = 0.0;
+    bool exited = false;
+    bool retired = false;
+    bool hung = false;
+    std::vector<Attempt> attempts;
+  };
+
+  void poll_loop();
+  /// Revoke every registered lease of `slot` and cancel its computes.
+  void revoke_all_locked(LeaderSlot& slot);
+
+  SweepScheduler& scheduler_;
+  SupervisorOptions options_;
+  Clock clock_;
+  Respawn respawn_;
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  bool running_ = false;
+  std::thread thread_;
+  std::vector<LeaderSlot> slots_;
+  std::size_t n_crashes_ = 0;
+  std::size_t n_hangs_ = 0;
+};
+
+}  // namespace qfr::runtime

@@ -58,7 +58,7 @@ void SweepScheduler::init(std::vector<balance::WorkItem> items) {
 
   for (const std::size_t id : options_.completed_ids) {
     QFR_REQUIRE(id < n, "resume fragment id " << id << " out of range");
-    if (tracker_->mark_completed(id)) {
+    if (tracker_->force_complete(id)) {
       outcomes_[id].completed = true;
       outcomes_[id].from_checkpoint = true;
       outcomes_[id].engine = "checkpoint";
@@ -76,11 +76,7 @@ void SweepScheduler::init(std::vector<balance::WorkItem> items) {
   policy_->initialize(std::move(items));
 }
 
-balance::Task SweepScheduler::acquire(std::size_t queue_depth, double now) {
-  std::lock_guard<std::mutex> lock(mutex_);
-
-  // Straggler scan first: timed-out fragments re-enter the queue ahead of
-  // fresh pops (the paper's status-table recovery path).
+std::size_t SweepScheduler::tick_locked(double now) {
   const std::vector<std::size_t> stragglers =
       tracker_->requeue_stragglers(now);
   if (!stragglers.empty()) {
@@ -90,40 +86,83 @@ balance::Task SweepScheduler::acquire(std::size_t queue_depth, double now) {
     policy_->requeue(std::move(task));
     ++n_requeue_tasks_;
   }
+  return stragglers.size();
+}
+
+std::size_t SweepScheduler::tick(double now) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return tick_locked(now);
+}
+
+LeasedTask SweepScheduler::acquire(std::size_t queue_depth, double now) {
+  std::lock_guard<std::mutex> lock(mutex_);
+
+  // Straggler scan first: timed-out fragments re-enter the queue ahead of
+  // fresh pops (the paper's status-table recovery path).
+  tick_locked(now);
 
   for (;;) {
     balance::Task task = policy_->next_task(queue_depth);
-    if (task.empty()) return task;
-    // Drop fragments that turned terminal while waiting in a re-queue
-    // task (a slow original completed after the re-queue, or retries ran
-    // out): dispatching them again would only duplicate work.
+    if (task.empty()) return {};
+    // Drop fragments that are not dispatchable: completed or permanently
+    // failed while waiting in a re-queue task, or already processing under
+    // a live lease elsewhere (the queue can hold a duplicate after a
+    // straggler re-queue raced with a fresh dispatch). Dispatching any of
+    // these again would duplicate work or stomp a live lease.
     balance::Task live;
     live.reserve(task.size());
     for (const auto& it : task) {
       const std::size_t id = it.fragment_id;
-      if (tracker_->state(id) == FragmentState::kCompleted || dead_[id])
+      if (dead_[id] ||
+          tracker_->state(id) != FragmentState::kUnprocessed)
         continue;
       live.push_back(it);
     }
     if (live.empty()) continue;  // fully stale; pop the next task
 
+    LeasedTask out;
+    out.items = std::move(live);
+    out.leases.reserve(out.items.size());
     std::vector<std::size_t> ids;
-    ids.reserve(live.size());
-    for (const auto& it : live) {
-      tracker_->mark_processing(it.fragment_id, now);
+    ids.reserve(out.items.size());
+    for (const auto& it : out.items) {
+      const std::uint64_t epoch = tracker_->mark_processing(it.fragment_id, now);
       ++outcomes_[it.fragment_id].attempts;
+      out.leases.push_back({it.fragment_id, epoch});
       ids.push_back(it.fragment_id);
     }
     ++n_tasks_;
     task_log_.push_back(std::move(ids));
-    return live;
+    return out;
   }
 }
 
-bool SweepScheduler::complete(std::size_t fragment_id) {
+Completion SweepScheduler::on_completion(const Lease& lease,
+                                         const engine::FragmentResult& result,
+                                         std::string_view engine_name) {
   std::lock_guard<std::mutex> lock(mutex_);
+  const std::size_t fragment_id = lease.fragment_id;
   QFR_REQUIRE(fragment_id < items_by_id_.size(), "fragment id out of range");
-  if (!tracker_->mark_completed(fragment_id)) return false;
+
+  // Fence first: a revoked/re-queued lease may not deliver at all, even a
+  // bit-identical result — exactly-once acceptance is decided by lease
+  // ownership alone, never by completion order.
+  if (!tracker_->lease_valid(fragment_id, lease.epoch))
+    return Completion::kStale;
+
+  if (options_.validator != nullptr) {
+    const fault::Validation v = options_.validator->validate(result);
+    if (!v.ok) {
+      ++n_rejected_;
+      std::ostringstream os;
+      os << "result rejected by validator: " << v.reason;
+      if (!engine_name.empty()) os << " (engine " << engine_name << ")";
+      fail_locked(lease, os.str(), FailureReason::kInvalidResult);
+      return Completion::kRejected;
+    }
+  }
+
+  tracker_->mark_completed(fragment_id, lease.epoch);
   FragmentOutcome& o = outcomes_[fragment_id];
   o.completed = true;
   if (o.engine_level == 0) {
@@ -132,79 +171,39 @@ bool SweepScheduler::complete(std::size_t fragment_id) {
     o.error.clear();
     o.reason = FailureReason::kNone;
   }
-  if (dead_[fragment_id]) {
-    // A straggler copy delivered after retries ran out: the work is done
-    // after all, so the permanent failure is rescinded.
-    dead_[fragment_id] = 0;
-    --n_failed_;
-  }
-  return true;
-}
-
-Completion SweepScheduler::on_completion(std::size_t fragment_id,
-                                         const engine::FragmentResult& result,
-                                         std::string_view engine_name) {
-  std::lock_guard<std::mutex> lock(mutex_);
-  QFR_REQUIRE(fragment_id < items_by_id_.size(), "fragment id out of range");
-
-  if (options_.validator != nullptr) {
-    const fault::Validation v = options_.validator->validate(result);
-    if (!v.ok) {
-      if (tracker_->state(fragment_id) == FragmentState::kCompleted)
-        return Completion::kStale;  // a good copy already landed
-      ++n_rejected_;
-      std::ostringstream os;
-      os << "result rejected by validator: " << v.reason;
-      if (!engine_name.empty()) os << " (engine " << engine_name << ")";
-      fail_locked(fragment_id, os.str(), FailureReason::kInvalidResult);
-      return Completion::kRejected;
-    }
-  }
-
-  if (!tracker_->mark_completed(fragment_id)) return Completion::kStale;
-  FragmentOutcome& o = outcomes_[fragment_id];
-  o.completed = true;
-  if (o.engine_level == 0) {
-    o.error.clear();
-    o.reason = FailureReason::kNone;
-  }
   o.engine.assign(engine_name);
-  if (dead_[fragment_id]) {
-    dead_[fragment_id] = 0;
-    --n_failed_;
-  }
   return Completion::kAccepted;
 }
 
-void SweepScheduler::fail(std::size_t fragment_id, const std::string& error,
+void SweepScheduler::fail(const Lease& lease, const std::string& error,
                           FailureReason reason) {
   std::lock_guard<std::mutex> lock(mutex_);
-  fail_locked(fragment_id, error, reason);
+  QFR_REQUIRE(lease.fragment_id < items_by_id_.size(),
+              "fragment id out of range");
+  if (!tracker_->lease_valid(lease.fragment_id, lease.epoch))
+    return;  // stale failure: the fragment is owned (or done) elsewhere
+  fail_locked(lease, error, reason);
 }
 
-void SweepScheduler::fail_locked(std::size_t fragment_id,
-                                 const std::string& error,
+void SweepScheduler::fail_locked(const Lease& lease, const std::string& error,
                                  FailureReason reason) {
-  QFR_REQUIRE(fragment_id < items_by_id_.size(), "fragment id out of range");
-  if (tracker_->state(fragment_id) == FragmentState::kCompleted)
-    return;  // a re-queued copy already delivered; stale failure
+  const std::size_t fragment_id = lease.fragment_id;
+  // The lease is live (caller checked), so the fragment is kProcessing
+  // under this epoch and cannot be dead: every path that kills a fragment
+  // first invalidates its lease.
   FragmentOutcome& o = outcomes_[fragment_id];
   o.error = error;
   o.reason = reason;
-  if (dead_[fragment_id]) return;
 
   // The per-level retry budget runs from the attempt that entered the
   // current engine level.
   const std::size_t level_attempts = o.attempts - retry_base_[fragment_id];
   if (level_attempts <= options_.max_retries) {
-    // Retry budget left: back to unprocessed and straight into the queue
-    // — unless a straggler scan already re-queued it.
-    if (tracker_->state(fragment_id) == FragmentState::kProcessing) {
-      tracker_->reset(fragment_id);
-      policy_->requeue({items_by_id_[fragment_id]});
-      ++n_requeue_tasks_;
-      ++n_retries_;
-    }
+    // Retry budget left: back to unprocessed and straight into the queue.
+    tracker_->reset(fragment_id, lease.epoch);
+    policy_->requeue({items_by_id_[fragment_id]});
+    ++n_requeue_tasks_;
+    ++n_retries_;
     return;
   }
 
@@ -214,18 +213,34 @@ void SweepScheduler::fail_locked(std::size_t fragment_id,
     ++o.engine_level;
     retry_base_[fragment_id] = o.attempts;
     ++n_degraded_;
-    if (tracker_->state(fragment_id) == FragmentState::kProcessing) {
-      tracker_->reset(fragment_id);
-      policy_->requeue({items_by_id_[fragment_id]});
-      ++n_requeue_tasks_;
-      ++n_retries_;
-    }
+    tracker_->reset(fragment_id, lease.epoch);
+    policy_->requeue({items_by_id_[fragment_id]});
+    ++n_requeue_tasks_;
+    ++n_retries_;
     return;
   }
 
-  tracker_->reset(fragment_id);
+  tracker_->reset(fragment_id, lease.epoch);
   dead_[fragment_id] = 1;
   ++n_failed_;
+}
+
+bool SweepScheduler::revoke_lease(const Lease& lease) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  QFR_REQUIRE(lease.fragment_id < items_by_id_.size(),
+              "fragment id out of range");
+  if (!tracker_->revoke(lease.fragment_id, lease.epoch)) return false;
+  policy_->requeue({items_by_id_[lease.fragment_id]});
+  ++n_requeue_tasks_;
+  ++n_revoked_;
+  return true;
+}
+
+bool SweepScheduler::lease_valid(const Lease& lease) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  QFR_REQUIRE(lease.fragment_id < items_by_id_.size(),
+              "fragment id out of range");
+  return tracker_->lease_valid(lease.fragment_id, lease.epoch);
 }
 
 std::size_t SweepScheduler::engine_level(std::size_t fragment_id) const {
@@ -287,6 +302,11 @@ std::size_t SweepScheduler::n_degraded() const {
 std::size_t SweepScheduler::n_rejected() const {
   std::lock_guard<std::mutex> lock(mutex_);
   return n_rejected_;
+}
+
+std::size_t SweepScheduler::n_revoked() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return n_revoked_;
 }
 
 std::vector<FragmentOutcome> SweepScheduler::outcomes() const {

@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -32,9 +33,32 @@ const char* to_string(FailureReason reason);
 
 /// Verdict of SweepScheduler::on_completion for one delivered result.
 enum class Completion {
-  kAccepted,  ///< first valid delivery: count it, sink it
-  kStale,     ///< a re-queued copy already delivered: discard
+  kAccepted,  ///< first valid delivery under a live lease: count it, sink it
+  kStale,     ///< lease revoked or fragment already completed: discard
   kRejected,  ///< failed validation: routed into the retry path, discard
+};
+
+/// Ownership token for one dispatched fragment. `acquire` issues a fresh
+/// lease (a bumped per-fragment epoch) with every dispatch; deliveries
+/// carry the lease back and are accepted only while it is still the live
+/// one. A straggler re-queue, supervisor revocation, or completion by
+/// another leader invalidates the lease, so a late delivery from a
+/// presumed-dead owner is rejected by construction — the fencing-token
+/// pattern of distributed lock services, making re-queues ABA-safe
+/// without inferring staleness from completion order.
+struct Lease {
+  std::size_t fragment_id = 0;
+  std::uint64_t epoch = 0;  ///< 0 = never valid (sentinel)
+};
+
+/// One dispatched task plus the lease for each of its fragments
+/// (`leases[k]` fences `items[k]`).
+struct LeasedTask {
+  balance::Task items;
+  std::vector<Lease> leases;
+
+  bool empty() const { return items.empty(); }
+  std::size_t size() const { return items.size(); }
 };
 
 /// Terminal record for one fragment of a sweep.
@@ -83,8 +107,8 @@ struct SweepOptions {
 /// Fig. 4): the packing policy hands out size-sensitive tasks, the
 /// fragment status table tracks unprocessed -> processing -> completed,
 /// stragglers past the timeout are re-queued, failures are retried a
-/// bounded number of times, and stale duplicate completions are
-/// discarded.
+/// bounded number of times, and revoked/duplicate deliveries are fenced
+/// out by per-fragment lease epochs.
 ///
 /// The scheduler is clock-agnostic: callers pass "now" in seconds on any
 /// monotonically nondecreasing clock. runtime::MasterRuntime drives it
@@ -105,34 +129,48 @@ class SweepScheduler {
 
   /// Pull the next task at time `now`. Runs the straggler scan first, so
   /// timed-out fragments re-enter the queue before fresh work is popped.
-  /// An empty task means "nothing dispatchable right now" — the sweep is
-  /// over only when finished() is also true (in-flight fragments may
-  /// still fail and need a retry).
-  balance::Task acquire(std::size_t queue_depth, double now);
+  /// Every dispatched fragment comes with a fresh Lease the caller must
+  /// present at delivery. An empty task means "nothing dispatchable right
+  /// now" — the sweep is over only when finished() is also true
+  /// (in-flight fragments may still fail and need a retry).
+  LeasedTask acquire(std::size_t queue_depth, double now);
 
-  /// Deliver a fragment result. Returns false when the completion is
-  /// stale (another leader already completed a re-queued copy) — the
-  /// caller must discard the result so Eq. (1) terms are not
-  /// double-counted.
-  bool complete(std::size_t fragment_id);
+  /// Run the straggler scan at time `now` without acquiring work: every
+  /// fragment processing past the timeout is revoked and re-queued.
+  /// Returns the number of fragments re-queued. A supervisor (or the DES
+  /// clock) drives this so deadline recovery fires even when every leader
+  /// is busy and nobody calls acquire().
+  std::size_t tick(double now);
 
-  /// Deliver a fragment result through the integrity gate: the configured
-  /// validator (if any) runs first, and a rejected result is routed into
-  /// the same bounded-retry/degradation path as a thrown error — it never
-  /// reaches the caller's accepted-results set. `engine_name` is recorded
-  /// in the outcome so the report can say which engine's result was
-  /// accepted.
-  Completion on_completion(std::size_t fragment_id,
+  /// Deliver a fragment result through the integrity gate. The lease is
+  /// fenced first: a stale lease (revoked, re-queued, or completed
+  /// elsewhere) returns kStale and the caller must discard the result so
+  /// Eq. (1) terms are not double-counted. Then the configured validator
+  /// (if any) runs, and a rejected result is routed into the same
+  /// bounded-retry/degradation path as a thrown error. `engine_name` is
+  /// recorded in the outcome so the report can say which engine's result
+  /// was accepted.
+  Completion on_completion(const Lease& lease,
                            const engine::FragmentResult& result,
                            std::string_view engine_name = {});
 
-  /// Report a fragment failure: re-queued for retry while attempts remain
-  /// at the current engine level, degraded to the next level when they run
-  /// out, and recorded as a permanent FragmentOutcome failure only once
-  /// the last level's retries are spent. Stale failures (fragment already
-  /// completed elsewhere) are ignored.
-  void fail(std::size_t fragment_id, const std::string& error,
+  /// Report a fragment failure under a lease: re-queued for retry while
+  /// attempts remain at the current engine level, degraded to the next
+  /// level when they run out, and recorded as a permanent FragmentOutcome
+  /// failure only once the last level's retries are spent. Failures under
+  /// a stale lease are ignored (the fragment is already owned elsewhere).
+  void fail(const Lease& lease, const std::string& error,
             FailureReason reason = FailureReason::kEngineError);
+
+  /// Revoke a lease without a failure report (supervisor path: the owning
+  /// leader died or stopped heartbeating). The fragment goes back to
+  /// unprocessed and re-enters the queue; the revoked lease can no longer
+  /// deliver. Returns false when the lease was already stale. Revocation
+  /// does not consume a retry: leader loss is not the fragment's fault.
+  bool revoke_lease(const Lease& lease);
+
+  /// True while `lease` is the live lease on a still-processing fragment.
+  bool lease_valid(const Lease& lease) const;
 
   /// Current fallback-chain level of a fragment (0 = primary engine). The
   /// runtime asks this before every compute so a degraded fragment runs on
@@ -152,11 +190,12 @@ class SweepScheduler {
   std::size_t n_failed() const;
   std::size_t n_tasks() const;          ///< non-empty tasks dispatched
   std::size_t n_requeued() const;       ///< straggler re-queue events (fragments)
-  std::size_t n_requeue_tasks() const;  ///< re-dispatch tasks queued (stragglers + retries)
+  std::size_t n_requeue_tasks() const;  ///< re-dispatch tasks queued (stragglers + retries + revocations)
   std::size_t n_retries() const;        ///< failure-driven re-dispatches
   std::size_t n_resumed() const;        ///< fragments seeded from a checkpoint
   std::size_t n_degraded() const;       ///< level-degradation events
   std::size_t n_rejected() const;       ///< results rejected by the validator
+  std::size_t n_revoked() const;        ///< leases revoked via revoke_lease
 
   /// Terminal per-fragment records, indexed by fragment id.
   std::vector<FragmentOutcome> outcomes() const;
@@ -169,8 +208,11 @@ class SweepScheduler {
 
  private:
   void init(std::vector<balance::WorkItem> items);
+  /// Locked straggler scan shared by acquire() and tick().
+  std::size_t tick_locked(double now);
   /// Locked core of fail(); on_completion calls it for rejected results.
-  void fail_locked(std::size_t fragment_id, const std::string& error,
+  /// Precondition: the lease has been verified live by the caller.
+  void fail_locked(const Lease& lease, const std::string& error,
                    FailureReason reason);
 
   mutable std::mutex mutex_;
@@ -192,6 +234,7 @@ class SweepScheduler {
   std::size_t n_requeue_tasks_ = 0;
   std::size_t n_degraded_ = 0;
   std::size_t n_rejected_ = 0;
+  std::size_t n_revoked_ = 0;
 };
 
 }  // namespace qfr::runtime

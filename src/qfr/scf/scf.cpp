@@ -220,6 +220,9 @@ ScfResult ScfSolver::solve(const Matrix* initial_density) const {
     res.n_occupied = n_occ;
 
     for (int iter = 1; iter <= options_.max_iterations; ++iter) {
+      // A revoked fragment stops mid-solve instead of finishing a result
+      // the scheduler would fence out anyway.
+      options_.cancel.throw_if_cancelled();
       double e_two = 0.0, e_xc = 0.0;
       Matrix f = build_fock(p, &e_two, &e_xc);
 

@@ -6,6 +6,7 @@
 
 #include "qfr/basis/basis.hpp"
 #include "qfr/chem/molecule.hpp"
+#include "qfr/common/cancel.hpp"
 #include "qfr/integrals/eri.hpp"
 #include "qfr/la/matrix.hpp"
 
@@ -45,6 +46,10 @@ struct ScfOptions {
   bool escalate_on_nonconvergence = true;
   double escalation_level_shift = 0.5;
   double escalation_damping = 0.5;
+  /// Cooperative cancellation: polled once per SCF iteration; a cancelled
+  /// token aborts the solve with CancelledError (the runtime revoked this
+  /// fragment's lease). Default token is null — never cancelled, no cost.
+  common::CancelToken cancel;
 };
 
 /// Which built-in basis set a context is constructed with.

@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdio>
 #include <fstream>
 #include <limits>
 
@@ -312,6 +313,93 @@ TEST(Degradation, NoFallbackChainMeansPermanentFailure) {
   EXPECT_FALSE(report.outcomes[0].completed);
   EXPECT_EQ(report.outcomes[0].reason,
             runtime::FailureReason::kInvalidResult);
+}
+
+TEST(Degradation, ResumedFragmentsAreNotRedispatchedToFallbackEngines) {
+  // Checkpoint-resume x fallback-chain: a fragment that degraded in run 1
+  // and was checkpointed must come back as a resumed result — never be
+  // dispatched again, not even to the engine it degraded to.
+  const frag::BioSystem sys = spread_waters(6);
+  const frag::Fragmentation fr = frag::fragment_biosystem(sys);
+  ASSERT_EQ(fr.fragments.size(), 6u);
+  const std::string path = "resume_fallback_ckpt.bin";
+  std::remove(path.c_str());
+
+  const engine::ModelEngine inner;
+  FaultPlan plan;
+  plan.rules.push_back({FaultKind::kNan, /*fragment_id=*/2});  // persistent
+  const FragmentResultValidator validator;
+
+  // Run 1: fragment 2 degrades to the fallback; every result checkpointed.
+  {
+    FaultInjector inj(plan);
+    const FaultyEngine faulty(inner, inj);
+    engine::EngineFallbackChain chain;
+    chain.push_back(std::make_unique<engine::ModelEngine>());
+    frag::CheckpointSink sink(path);
+    runtime::RuntimeOptions opts;
+    opts.n_leaders = 2;
+    opts.max_retries = 1;
+    opts.abort_on_failure = false;
+    opts.validator = &validator;
+    opts.fallback_chain = &chain;
+    opts.sink = &sink;
+    const runtime::MasterRuntime rt(std::move(opts));
+    const runtime::RunReport rep = rt.run(fr.fragments, faulty);
+    ASSERT_EQ(rep.n_failed(), 0u);
+    ASSERT_EQ(rep.n_degraded(), 1u);
+    ASSERT_TRUE(rep.outcomes[2].degraded());
+  }
+
+  // Interrupted-run resume: fragments 0-3 (including the degraded 2) are
+  // restored from the checkpoint; 4 and 5 must be recomputed.
+  const frag::CheckpointReport scan = frag::scan_checkpoint_file(path);
+  ASSERT_EQ(scan.n_corrupt, 0u);
+  std::vector<std::size_t> completed;
+  for (const std::size_t id : scan.fragment_ids)
+    if (id <= 3) completed.push_back(id);
+  ASSERT_EQ(completed.size(), 4u);
+
+  FaultInjector inj2(plan);  // same plan: frag 2 would degrade again...
+  const FaultyEngine faulty2(inner, inj2);
+  engine::EngineFallbackChain chain2;
+  chain2.push_back(std::make_unique<engine::ModelEngine>());
+  runtime::RuntimeOptions opts;
+  opts.n_leaders = 2;
+  opts.max_retries = 1;
+  opts.abort_on_failure = false;
+  opts.validator = &validator;
+  opts.fallback_chain = &chain2;
+  opts.completed_ids = completed;
+  const runtime::MasterRuntime rt(std::move(opts));
+  const runtime::RunReport rep = rt.run(fr.fragments, faulty2);
+
+  EXPECT_EQ(rep.n_resumed, 4u);
+  EXPECT_EQ(rep.n_failed(), 0u);
+  EXPECT_EQ(rep.n_degraded(), 0u);
+  // ...but it is never dispatched, so the fault never fires.
+  EXPECT_EQ(inj2.n_injected(FaultKind::kNan), 0u);
+  for (const auto& task : rep.task_log)
+    for (const std::size_t id : task)
+      EXPECT_GE(id, 4u) << "resumed fragment re-dispatched";
+
+  // Resumed fragments report a consistent checkpoint provenance; the two
+  // recomputed ones ran on the primary engine as usual.
+  for (std::size_t id = 0; id <= 3; ++id) {
+    EXPECT_TRUE(rep.outcomes[id].completed);
+    EXPECT_TRUE(rep.outcomes[id].from_checkpoint);
+    EXPECT_EQ(rep.outcomes[id].engine, "checkpoint");
+    EXPECT_EQ(rep.outcomes[id].engine_level, 0u);
+    EXPECT_EQ(rep.outcomes[id].attempts, 0u);
+  }
+  for (std::size_t id = 4; id <= 5; ++id) {
+    EXPECT_TRUE(rep.outcomes[id].completed);
+    EXPECT_FALSE(rep.outcomes[id].from_checkpoint);
+    EXPECT_EQ(rep.outcomes[id].engine, "model+faults");
+    EXPECT_EQ(rep.outcomes[id].engine_level, 0u);
+    EXPECT_GE(rep.outcomes[id].attempts, 1u);
+  }
+  std::remove(path.c_str());
 }
 
 // --------------------------------------------------------- corrupting sink

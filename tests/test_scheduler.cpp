@@ -16,7 +16,6 @@
 namespace qfr::runtime {
 namespace {
 
-using balance::Task;
 using balance::WorkItem;
 
 std::vector<WorkItem> simple_items(std::size_t n) {
@@ -29,17 +28,25 @@ std::vector<WorkItem> simple_items(std::size_t n) {
   return items;
 }
 
+/// Deliver an empty (valid) result under the task's k-th lease.
+Completion deliver(SweepScheduler& sched, const LeasedTask& task,
+                   std::size_t k, std::string_view engine = {}) {
+  return sched.on_completion(task.leases[k], engine::FragmentResult{}, engine);
+}
+
 TEST(SweepScheduler, DrainsEveryFragmentExactlyOnce) {
   auto policy = balance::make_fifo_policy(3);
   SweepScheduler sched(simple_items(10), std::move(policy));
   std::set<std::size_t> seen;
   double now = 0.0;
   while (!sched.finished()) {
-    Task t = sched.acquire(0, now);
+    LeasedTask t = sched.acquire(0, now);
     ASSERT_FALSE(t.empty());
-    for (const auto& w : t) {
-      EXPECT_TRUE(seen.insert(w.fragment_id).second);
-      EXPECT_TRUE(sched.complete(w.fragment_id));
+    ASSERT_EQ(t.items.size(), t.leases.size());
+    for (std::size_t k = 0; k < t.size(); ++k) {
+      EXPECT_EQ(t.items[k].fragment_id, t.leases[k].fragment_id);
+      EXPECT_TRUE(seen.insert(t.leases[k].fragment_id).second);
+      EXPECT_EQ(deliver(sched, t, k), Completion::kAccepted);
     }
     now += 1.0;
   }
@@ -60,22 +67,23 @@ TEST(SweepScheduler, FailureRetriedThenCompletes) {
   opts.max_retries = 2;
   SweepScheduler sched(simple_items(2), std::move(policy), opts);
 
-  Task t = sched.acquire(0, 0.0);
+  LeasedTask t = sched.acquire(0, 0.0);
   ASSERT_EQ(t.size(), 1u);
-  const std::size_t first = t[0].fragment_id;
-  sched.fail(first, "transient");
+  const std::size_t first = t.leases[0].fragment_id;
+  sched.fail(t.leases[0], "transient");
   EXPECT_EQ(sched.n_retries(), 1u);
   EXPECT_FALSE(sched.finished());
 
-  // The retry is served before fresh queue pops.
-  Task retry = sched.acquire(0, 1.0);
+  // The retry is served before fresh queue pops, under a fresh lease.
+  LeasedTask retry = sched.acquire(0, 1.0);
   ASSERT_EQ(retry.size(), 1u);
-  EXPECT_EQ(retry[0].fragment_id, first);
-  EXPECT_TRUE(sched.complete(first));
+  EXPECT_EQ(retry.leases[0].fragment_id, first);
+  EXPECT_GT(retry.leases[0].epoch, t.leases[0].epoch);
+  EXPECT_EQ(deliver(sched, retry, 0), Completion::kAccepted);
 
-  Task rest = sched.acquire(0, 2.0);
+  LeasedTask rest = sched.acquire(0, 2.0);
   ASSERT_EQ(rest.size(), 1u);
-  EXPECT_TRUE(sched.complete(rest[0].fragment_id));
+  EXPECT_EQ(deliver(sched, rest, 0), Completion::kAccepted);
   EXPECT_TRUE(sched.finished());
   EXPECT_EQ(sched.outcomes()[first].attempts, 2u);
   EXPECT_TRUE(sched.outcomes()[first].error.empty());
@@ -89,14 +97,14 @@ TEST(SweepScheduler, RetriesExhaustedReportsOutcomeInsteadOfLoopingForever) {
   std::size_t dispatches_of_0 = 0;
   double now = 0.0;
   while (!sched.finished()) {
-    Task t = sched.acquire(0, now);
+    LeasedTask t = sched.acquire(0, now);
     ASSERT_FALSE(t.empty()) << "scheduler must stay dispatchable";
-    for (const auto& w : t) {
-      if (w.fragment_id == 0) {
+    for (std::size_t k = 0; k < t.size(); ++k) {
+      if (t.leases[k].fragment_id == 0) {
         ++dispatches_of_0;
-        sched.fail(0, "persistent failure");
+        sched.fail(t.leases[k], "persistent failure");
       } else {
-        EXPECT_TRUE(sched.complete(w.fragment_id));
+        EXPECT_EQ(deliver(sched, t, k), Completion::kAccepted);
       }
     }
     now += 1.0;
@@ -112,30 +120,104 @@ TEST(SweepScheduler, RetriesExhaustedReportsOutcomeInsteadOfLoopingForever) {
   EXPECT_TRUE(outcomes[2].completed);
 }
 
-TEST(SweepScheduler, StragglerRequeuedAndStaleCompletionDiscarded) {
+TEST(SweepScheduler, StragglerRequeuedAndStaleLeaseFencedOut) {
   auto policy = balance::make_fifo_policy(1);
   SweepOptions opts;
   opts.straggler_timeout = 5.0;
   SweepScheduler sched(simple_items(1), std::move(policy), opts);
 
-  Task t = sched.acquire(0, 0.0);
+  LeasedTask t = sched.acquire(0, 0.0);
   ASSERT_EQ(t.size(), 1u);
   // Nothing else to hand out yet, and not finished: the fragment is in
   // flight on a (slow) leader.
   EXPECT_TRUE(sched.acquire(0, 1.0).empty());
   EXPECT_FALSE(sched.finished());
+  EXPECT_TRUE(sched.lease_valid(t.leases[0]));
 
-  // Past the timeout the status table flips it back and re-dispatches.
-  Task copy = sched.acquire(0, 6.0);
+  // Past the timeout the status table flips it back and re-dispatches
+  // under a fresh lease; the original lease is revoked.
+  LeasedTask copy = sched.acquire(0, 6.0);
   ASSERT_EQ(copy.size(), 1u);
-  EXPECT_EQ(copy[0].fragment_id, 0u);
+  EXPECT_EQ(copy.leases[0].fragment_id, 0u);
   EXPECT_GE(sched.n_requeued(), 1u);
+  EXPECT_FALSE(sched.lease_valid(t.leases[0]));
 
-  EXPECT_TRUE(sched.complete(0));   // the re-queued copy delivers
-  EXPECT_FALSE(sched.complete(0));  // the original straggler is stale
+  EXPECT_EQ(deliver(sched, copy, 0), Completion::kAccepted);
+  EXPECT_EQ(deliver(sched, t, 0), Completion::kStale);  // original is fenced
   EXPECT_TRUE(sched.finished());
   EXPECT_EQ(sched.n_completed(), 1u);
   EXPECT_EQ(sched.outcomes()[0].attempts, 2u);
+}
+
+TEST(SweepScheduler, TickRequeuesStragglersWithoutAcquire) {
+  // Satellite regression: with every leader busy nobody calls acquire(),
+  // so the deadline scan must be drivable on its own (supervisor / DES).
+  auto policy = balance::make_fifo_policy(1);
+  SweepOptions opts;
+  opts.straggler_timeout = 5.0;
+  SweepScheduler sched(simple_items(1), std::move(policy), opts);
+  LeasedTask t = sched.acquire(0, 0.0);
+  ASSERT_EQ(t.size(), 1u);
+
+  EXPECT_EQ(sched.tick(1.0), 0u);  // within the deadline: no-op
+  EXPECT_TRUE(sched.lease_valid(t.leases[0]));
+  EXPECT_EQ(sched.tick(6.0), 1u);  // past it: revoked and re-queued
+  EXPECT_FALSE(sched.lease_valid(t.leases[0]));
+  EXPECT_GE(sched.n_requeued(), 1u);
+
+  LeasedTask copy = sched.acquire(0, 6.0);
+  ASSERT_EQ(copy.size(), 1u);
+  EXPECT_EQ(copy.leases[0].fragment_id, 0u);
+  EXPECT_EQ(deliver(sched, copy, 0), Completion::kAccepted);
+  EXPECT_EQ(deliver(sched, t, 0), Completion::kStale);
+  EXPECT_TRUE(sched.finished());
+}
+
+TEST(SweepScheduler, RevokeLeaseRequeuesWithoutConsumingRetry) {
+  auto policy = balance::make_fifo_policy(1);
+  SweepOptions opts;
+  opts.max_retries = 0;  // leader loss must not eat the only attempt
+  SweepScheduler sched(simple_items(1), std::move(policy), opts);
+  LeasedTask t = sched.acquire(0, 0.0);
+  ASSERT_EQ(t.size(), 1u);
+
+  EXPECT_TRUE(sched.revoke_lease(t.leases[0]));   // supervisor: owner died
+  EXPECT_FALSE(sched.revoke_lease(t.leases[0]));  // already stale
+  EXPECT_EQ(sched.n_revoked(), 1u);
+  EXPECT_EQ(sched.n_retries(), 0u);
+
+  LeasedTask again = sched.acquire(0, 1.0);
+  ASSERT_EQ(again.size(), 1u);
+  EXPECT_EQ(again.leases[0].fragment_id, 0u);
+  EXPECT_EQ(deliver(sched, again, 0), Completion::kAccepted);
+  EXPECT_TRUE(sched.finished());
+  EXPECT_EQ(sched.n_failed(), 0u);
+  const FragmentOutcome o = sched.outcomes()[0];
+  EXPECT_TRUE(o.completed);
+  EXPECT_EQ(o.attempts, 2u);
+  EXPECT_EQ(o.engine_level, 0u);  // no degradation either
+}
+
+TEST(SweepScheduler, StaleFailureReportIsIgnored) {
+  auto policy = balance::make_fifo_policy(1);
+  SweepOptions opts;
+  opts.max_retries = 0;
+  SweepScheduler sched(simple_items(1), std::move(policy), opts);
+  LeasedTask t = sched.acquire(0, 0.0);
+  ASSERT_EQ(t.size(), 1u);
+  ASSERT_TRUE(sched.revoke_lease(t.leases[0]));
+
+  // A failure from the presumed-dead owner arrives after revocation: it
+  // no longer owns the fragment, so nothing moves.
+  sched.fail(t.leases[0], "zombie leader reports in");
+  EXPECT_EQ(sched.n_failed(), 0u);
+  EXPECT_EQ(sched.n_retries(), 0u);
+  EXPECT_TRUE(sched.outcomes()[0].error.empty());
+
+  LeasedTask again = sched.acquire(0, 1.0);
+  ASSERT_EQ(again.size(), 1u);
+  EXPECT_EQ(deliver(sched, again, 0), Completion::kAccepted);
+  EXPECT_TRUE(sched.finished());
 }
 
 TEST(SweepScheduler, ResumeSeedsCompletedFragments) {
@@ -149,11 +231,11 @@ TEST(SweepScheduler, ResumeSeedsCompletedFragments) {
   std::set<std::size_t> dispatched;
   double now = 0.0;
   while (!sched.finished()) {
-    Task t = sched.acquire(0, now);
+    LeasedTask t = sched.acquire(0, now);
     ASSERT_FALSE(t.empty());
-    for (const auto& w : t) {
-      dispatched.insert(w.fragment_id);
-      EXPECT_TRUE(sched.complete(w.fragment_id));
+    for (std::size_t k = 0; k < t.size(); ++k) {
+      dispatched.insert(t.leases[k].fragment_id);
+      EXPECT_EQ(deliver(sched, t, k), Completion::kAccepted);
     }
     now += 1.0;
   }
@@ -161,27 +243,70 @@ TEST(SweepScheduler, ResumeSeedsCompletedFragments) {
   const auto outcomes = sched.outcomes();
   EXPECT_TRUE(outcomes[0].from_checkpoint);
   EXPECT_EQ(outcomes[0].attempts, 0u);
+  EXPECT_EQ(outcomes[0].engine, "checkpoint");
   EXPECT_FALSE(outcomes[1].from_checkpoint);
   EXPECT_EQ(outcomes[1].attempts, 1u);
 }
 
-TEST(SweepScheduler, LateCompletionRescindsPermanentFailure) {
-  // A straggler copy exhausts its retries, but the slow original finally
-  // delivers: the work is done, so the failure is withdrawn.
+TEST(SweepScheduler, ResumedFragmentsNeverRedispatchedUnderFallbackChain) {
+  // Checkpoint-resume x fallback-chain: a resumed fragment stays at the
+  // primary level with engine "checkpoint", even while other fragments
+  // degrade down the ladder — it must never re-enter the queue.
+  auto policy = balance::make_fifo_policy(1);
+  SweepOptions opts;
+  opts.max_retries = 0;
+  opts.n_engine_levels = 2;
+  opts.completed_ids = {0};
+  SweepScheduler sched(simple_items(2), std::move(policy), opts);
+  EXPECT_EQ(sched.n_resumed(), 1u);
+
+  LeasedTask t = sched.acquire(0, 0.0);
+  ASSERT_EQ(t.size(), 1u);
+  ASSERT_EQ(t.leases[0].fragment_id, 1u);
+  sched.fail(t.leases[0], "primary diverged", FailureReason::kNonConvergence);
+  EXPECT_EQ(sched.n_degraded(), 1u);
+  LeasedTask retry = sched.acquire(0, 1.0);
+  ASSERT_EQ(retry.size(), 1u);
+  ASSERT_EQ(retry.leases[0].fragment_id, 1u);
+  EXPECT_EQ(deliver(sched, retry, 0, "model"), Completion::kAccepted);
+  EXPECT_TRUE(sched.finished());
+
+  const auto outcomes = sched.outcomes();
+  EXPECT_TRUE(outcomes[0].from_checkpoint);
+  EXPECT_EQ(outcomes[0].attempts, 0u);
+  EXPECT_EQ(outcomes[0].engine, "checkpoint");
+  EXPECT_EQ(outcomes[0].engine_level, 0u);  // resume never degrades
+  EXPECT_TRUE(outcomes[1].degraded());
+  // The resumed fragment appears in no dispatched task.
+  for (const auto& task : sched.task_log())
+    EXPECT_EQ(std::count(task.begin(), task.end(), 0u), 0);
+}
+
+TEST(SweepScheduler, RevokedOriginalCannotRescindPermanentFailure) {
+  // A straggler copy exhausts its retries and the fragment dies; the slow
+  // original then finally delivers. Under lease fencing the original's
+  // lease was revoked at re-queue time, so its late result is discarded
+  // even though the work "succeeded": acceptance is decided by ownership,
+  // never by completion order. (This replaces the pre-fencing behaviour
+  // where a late original could rescind the failure — that path re-opened
+  // the ABA window the epochs exist to close.)
   auto policy = balance::make_fifo_policy(1);
   SweepOptions opts;
   opts.straggler_timeout = 1.0;
   opts.max_retries = 0;
   SweepScheduler sched(simple_items(1), std::move(policy), opts);
-  ASSERT_EQ(sched.acquire(0, 0.0).size(), 1u);   // original dispatch
-  Task copy = sched.acquire(0, 2.0);             // straggler re-queue
+  LeasedTask original = sched.acquire(0, 0.0);
+  ASSERT_EQ(original.size(), 1u);
+  LeasedTask copy = sched.acquire(0, 2.0);  // straggler re-queue
   ASSERT_EQ(copy.size(), 1u);
-  sched.fail(0, "copy died");                    // retries exhausted
+  sched.fail(copy.leases[0], "copy died");  // retries exhausted
   EXPECT_EQ(sched.n_failed(), 1u);
   EXPECT_TRUE(sched.finished());
-  EXPECT_TRUE(sched.complete(0));                // original delivers late
-  EXPECT_EQ(sched.n_failed(), 0u);
-  EXPECT_TRUE(sched.outcomes()[0].completed);
+
+  EXPECT_EQ(deliver(sched, original, 0), Completion::kStale);
+  EXPECT_EQ(sched.n_failed(), 1u);
+  EXPECT_EQ(sched.n_completed(), 0u);
+  EXPECT_FALSE(sched.outcomes()[0].completed);
   EXPECT_TRUE(sched.finished());
 }
 
@@ -201,20 +326,20 @@ TEST(SweepScheduler, RetriesExhaustedDegradeToNextEngineLevel) {
   opts.n_engine_levels = 2;
   SweepScheduler sched(simple_items(1), std::move(policy), opts);
 
-  ASSERT_EQ(sched.acquire(0, 0.0).size(), 1u);
+  LeasedTask t = sched.acquire(0, 0.0);
+  ASSERT_EQ(t.size(), 1u);
   EXPECT_EQ(sched.engine_level(0), 0u);
-  sched.fail(0, "scf diverged", FailureReason::kNonConvergence);
+  sched.fail(t.leases[0], "scf diverged", FailureReason::kNonConvergence);
   // Instead of dying, the fragment moved one rung down the ladder.
   EXPECT_EQ(sched.n_failed(), 0u);
   EXPECT_EQ(sched.n_degraded(), 1u);
   EXPECT_EQ(sched.engine_level(0), 1u);
   EXPECT_FALSE(sched.finished());
 
-  Task retry = sched.acquire(0, 1.0);
+  LeasedTask retry = sched.acquire(0, 1.0);
   ASSERT_EQ(retry.size(), 1u);
-  EXPECT_EQ(retry[0].fragment_id, 0u);
-  EXPECT_EQ(sched.on_completion(0, engine::FragmentResult{}, "model"),
-            Completion::kAccepted);
+  EXPECT_EQ(retry.leases[0].fragment_id, 0u);
+  EXPECT_EQ(deliver(sched, retry, 0, "model"), Completion::kAccepted);
   EXPECT_TRUE(sched.finished());
 
   const FragmentOutcome o = sched.outcomes()[0];
@@ -235,10 +360,12 @@ TEST(SweepScheduler, LastLevelExhaustedIsPermanentFailure) {
   opts.n_engine_levels = 2;
   SweepScheduler sched(simple_items(1), std::move(policy), opts);
 
-  ASSERT_EQ(sched.acquire(0, 0.0).size(), 1u);
-  sched.fail(0, "level 0 died", FailureReason::kEngineError);
-  ASSERT_EQ(sched.acquire(0, 1.0).size(), 1u);
-  sched.fail(0, "watchdog fired", FailureReason::kTimeout);
+  LeasedTask t = sched.acquire(0, 0.0);
+  ASSERT_EQ(t.size(), 1u);
+  sched.fail(t.leases[0], "level 0 died", FailureReason::kEngineError);
+  LeasedTask t2 = sched.acquire(0, 1.0);
+  ASSERT_EQ(t2.size(), 1u);
+  sched.fail(t2.leases[0], "watchdog fired", FailureReason::kTimeout);
   EXPECT_EQ(sched.n_failed(), 1u);
   EXPECT_TRUE(sched.finished());
 
@@ -257,19 +384,20 @@ TEST(SweepScheduler, ValidatorRejectionRoutedIntoRetryPath) {
   opts.validator = &validator;
   SweepScheduler sched(simple_items(1), std::move(policy), opts);
 
-  ASSERT_EQ(sched.acquire(0, 0.0).size(), 1u);
+  LeasedTask t = sched.acquire(0, 0.0);
+  ASSERT_EQ(t.size(), 1u);
   engine::FragmentResult poisoned;
   poisoned.energy = std::numeric_limits<double>::quiet_NaN();
-  EXPECT_EQ(sched.on_completion(0, poisoned, "scf"), Completion::kRejected);
+  EXPECT_EQ(sched.on_completion(t.leases[0], poisoned, "scf"),
+            Completion::kRejected);
   EXPECT_EQ(sched.n_rejected(), 1u);
   EXPECT_EQ(sched.n_completed(), 0u);
   EXPECT_FALSE(sched.finished());
 
   // The rejection consumed a retry; a clean delivery then lands.
-  Task retry = sched.acquire(0, 1.0);
+  LeasedTask retry = sched.acquire(0, 1.0);
   ASSERT_EQ(retry.size(), 1u);
-  EXPECT_EQ(sched.on_completion(0, engine::FragmentResult{}, "scf"),
-            Completion::kAccepted);
+  EXPECT_EQ(deliver(sched, retry, 0, "scf"), Completion::kAccepted);
   EXPECT_TRUE(sched.finished());
   const FragmentOutcome o = sched.outcomes()[0];
   EXPECT_TRUE(o.completed);
@@ -284,13 +412,16 @@ TEST(SweepScheduler, StaleCompletionAfterRequeueIsDiscardedByGate) {
   SweepOptions opts;
   opts.straggler_timeout = 5.0;
   SweepScheduler sched(simple_items(1), std::move(policy), opts);
-  ASSERT_EQ(sched.acquire(0, 0.0).size(), 1u);
-  ASSERT_EQ(sched.acquire(0, 6.0).size(), 1u);  // straggler re-queue
-  EXPECT_EQ(sched.on_completion(0, engine::FragmentResult{}, "a"),
+  LeasedTask original = sched.acquire(0, 0.0);
+  ASSERT_EQ(original.size(), 1u);
+  LeasedTask copy = sched.acquire(0, 6.0);  // straggler re-queue
+  ASSERT_EQ(copy.size(), 1u);
+  EXPECT_EQ(sched.on_completion(original.leases[0], engine::FragmentResult{},
+                                "a"),
+            Completion::kStale);  // fenced even though it arrives first
+  EXPECT_EQ(sched.on_completion(copy.leases[0], engine::FragmentResult{}, "b"),
             Completion::kAccepted);
-  EXPECT_EQ(sched.on_completion(0, engine::FragmentResult{}, "b"),
-            Completion::kStale);
-  EXPECT_EQ(sched.outcomes()[0].engine, "a");
+  EXPECT_EQ(sched.outcomes()[0].engine, "b");
   EXPECT_EQ(sched.n_completed(), 1u);
 }
 

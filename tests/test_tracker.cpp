@@ -12,36 +12,60 @@ namespace {
 TEST(Tracker, LifecycleHappyPath) {
   FragmentTracker t(3, 10.0);
   EXPECT_EQ(t.state(0), FragmentState::kUnprocessed);
-  t.mark_processing(0, 0.0);
+  const std::uint64_t e0 = t.mark_processing(0, 0.0);
+  EXPECT_GE(e0, 1u);
   EXPECT_EQ(t.state(0), FragmentState::kProcessing);
-  EXPECT_TRUE(t.mark_completed(0));
+  EXPECT_TRUE(t.lease_valid(0, e0));
+  EXPECT_TRUE(t.mark_completed(0, e0));
   EXPECT_EQ(t.state(0), FragmentState::kCompleted);
+  EXPECT_FALSE(t.lease_valid(0, e0));  // completion retires the lease
   EXPECT_EQ(t.n_completed(), 1u);
   EXPECT_FALSE(t.all_completed());
-  EXPECT_TRUE(t.mark_completed(1));
-  EXPECT_TRUE(t.mark_completed(2));
+  EXPECT_TRUE(t.mark_completed(1, t.mark_processing(1, 0.0)));
+  EXPECT_TRUE(t.mark_completed(2, t.mark_processing(2, 0.0)));
   EXPECT_TRUE(t.all_completed());
 }
 
 TEST(Tracker, DuplicateCompletionRejected) {
   FragmentTracker t(1, 10.0);
-  t.mark_processing(0, 0.0);
-  EXPECT_TRUE(t.mark_completed(0));
-  EXPECT_FALSE(t.mark_completed(0));  // stale duplicate must be discarded
+  const std::uint64_t e = t.mark_processing(0, 0.0);
+  EXPECT_TRUE(t.mark_completed(0, e));
+  EXPECT_FALSE(t.mark_completed(0, e));  // stale duplicate must be discarded
+  EXPECT_EQ(t.n_completed(), 1u);
+}
+
+TEST(Tracker, EpochsMonotonicallyIncreasePerFragment) {
+  FragmentTracker t(2, 1.0);
+  const std::uint64_t e1 = t.mark_processing(0, 0.0);
+  t.requeue_stragglers(2.0);
+  const std::uint64_t e2 = t.mark_processing(0, 2.0);
+  EXPECT_GT(e2, e1);
+  EXPECT_EQ(t.epoch(0), e2);
+  EXPECT_EQ(t.epoch(1), 0u);  // never dispatched
+}
+
+TEST(Tracker, ZeroEpochLeaseIsNeverValid) {
+  FragmentTracker t(1, 10.0);
+  // Fragment completed elsewhere: a late pickup earns the 0 sentinel.
+  EXPECT_TRUE(t.mark_completed(0, t.mark_processing(0, 0.0)));
+  const std::uint64_t stale = t.mark_processing(0, 5.0);
+  EXPECT_EQ(stale, 0u);
+  EXPECT_FALSE(t.lease_valid(0, stale));
+  EXPECT_FALSE(t.mark_completed(0, stale));
   EXPECT_EQ(t.n_completed(), 1u);
 }
 
 TEST(Tracker, StragglerRequeuedAfterTimeout) {
   FragmentTracker t(4, 5.0);
-  t.mark_processing(0, 0.0);
+  const std::uint64_t e0 = t.mark_processing(0, 0.0);
   t.mark_processing(1, 3.0);
-  t.mark_processing(2, 0.0);
-  EXPECT_TRUE(t.mark_completed(2));
+  EXPECT_TRUE(t.mark_completed(2, t.mark_processing(2, 0.0)));
   // At t = 6: fragment 0 exceeded the 5 s timeout, fragment 1 did not.
   const auto requeued = t.requeue_stragglers(6.0);
   ASSERT_EQ(requeued.size(), 1u);
   EXPECT_EQ(requeued[0], 0u);
   EXPECT_EQ(t.state(0), FragmentState::kUnprocessed);
+  EXPECT_FALSE(t.lease_valid(0, e0));  // the re-queue revoked the lease
   EXPECT_EQ(t.state(1), FragmentState::kProcessing);
   EXPECT_EQ(t.state(2), FragmentState::kCompleted);
   EXPECT_EQ(t.n_requeued(), 1u);
@@ -51,20 +75,44 @@ TEST(Tracker, RequeuedFragmentCompletesOnce) {
   // The slow original completion arriving after a re-queued copy finished
   // must be rejected (paper: avoid double counting of Eq. (1) terms).
   FragmentTracker t(1, 1.0);
-  t.mark_processing(0, 0.0);
+  const std::uint64_t original = t.mark_processing(0, 0.0);
   auto requeued = t.requeue_stragglers(2.0);
   ASSERT_EQ(requeued.size(), 1u);
-  t.mark_processing(0, 2.0);        // re-dispatched copy
-  EXPECT_TRUE(t.mark_completed(0)); // copy finishes
-  EXPECT_FALSE(t.mark_completed(0)); // original straggler reports late
+  const std::uint64_t copy = t.mark_processing(0, 2.0);  // re-dispatched copy
+  EXPECT_TRUE(t.mark_completed(0, copy));       // copy finishes
+  EXPECT_FALSE(t.mark_completed(0, original));  // original reports late
   EXPECT_EQ(t.n_completed(), 1u);
+}
+
+TEST(Tracker, FencingRejectsOriginalEvenWhenItDeliversFirst) {
+  // The strict fencing guarantee: once re-queued, the original lease may
+  // not deliver at all — even ahead of the copy. Acceptance is decided by
+  // lease ownership, not completion order (no ABA window).
+  FragmentTracker t(1, 1.0);
+  const std::uint64_t original = t.mark_processing(0, 0.0);
+  ASSERT_EQ(t.requeue_stragglers(2.0).size(), 1u);
+  const std::uint64_t copy = t.mark_processing(0, 2.0);
+  EXPECT_FALSE(t.mark_completed(0, original));  // original races in first
+  EXPECT_EQ(t.n_completed(), 0u);
+  EXPECT_TRUE(t.mark_completed(0, copy));
+  EXPECT_EQ(t.n_completed(), 1u);
+}
+
+TEST(Tracker, ForceCompleteSeedsCheckpointedFragments) {
+  FragmentTracker t(2, 10.0);
+  EXPECT_TRUE(t.force_complete(0));
+  EXPECT_FALSE(t.force_complete(0));  // idempotent: already completed
+  EXPECT_EQ(t.state(0), FragmentState::kCompleted);
+  EXPECT_EQ(t.n_completed(), 1u);
+  // A stale dispatch of a seeded fragment earns no valid lease.
+  EXPECT_EQ(t.mark_processing(0, 0.0), 0u);
+  EXPECT_EQ(t.state(0), FragmentState::kCompleted);
 }
 
 TEST(Tracker, LatePickupAfterCompletionIsIgnored) {
   FragmentTracker t(1, 1.0);
-  t.mark_processing(0, 0.0);
-  EXPECT_TRUE(t.mark_completed(0));
-  t.mark_processing(0, 5.0);  // stale dispatch record arrives late
+  EXPECT_TRUE(t.mark_completed(0, t.mark_processing(0, 0.0)));
+  EXPECT_EQ(t.mark_processing(0, 5.0), 0u);  // stale dispatch arrives late
   EXPECT_EQ(t.state(0), FragmentState::kCompleted);
 }
 
@@ -72,42 +120,56 @@ TEST(Tracker, InvalidArgumentsRejected) {
   EXPECT_THROW(FragmentTracker(1, 0.0), InvalidArgument);
   FragmentTracker t(2, 1.0);
   EXPECT_THROW(t.mark_processing(2, 0.0), InvalidArgument);
-  EXPECT_THROW(t.mark_completed(5), InvalidArgument);
+  EXPECT_THROW(t.mark_completed(5, 1), InvalidArgument);
+  EXPECT_THROW(t.lease_valid(9, 1), InvalidArgument);
 }
 
 TEST(Tracker, ResetFlipsProcessingBackButNeverCompleted) {
   FragmentTracker t(2, 10.0);
-  t.mark_processing(0, 0.0);
-  t.reset(0);  // a leader reported a failure
+  const std::uint64_t e0 = t.mark_processing(0, 0.0);
+  EXPECT_TRUE(t.reset(0, e0));  // a leader reported a failure
   EXPECT_EQ(t.state(0), FragmentState::kUnprocessed);
-  t.mark_processing(1, 0.0);
-  EXPECT_TRUE(t.mark_completed(1));
-  t.reset(1);  // stale failure after completion must not undo the result
+  EXPECT_FALSE(t.reset(0, e0));  // duplicate failure report is a no-op
+  const std::uint64_t e1 = t.mark_processing(1, 0.0);
+  EXPECT_TRUE(t.mark_completed(1, e1));
+  EXPECT_FALSE(t.reset(1, e1));  // stale failure must not undo the result
   EXPECT_EQ(t.state(1), FragmentState::kCompleted);
   EXPECT_EQ(t.n_completed(), 1u);
+}
+
+TEST(Tracker, RevokeInvalidatesOnlyTheNamedEpoch) {
+  FragmentTracker t(1, 10.0);
+  const std::uint64_t e1 = t.mark_processing(0, 0.0);
+  EXPECT_TRUE(t.revoke(0, e1));  // supervisor: owning leader died
+  EXPECT_EQ(t.state(0), FragmentState::kUnprocessed);
+  const std::uint64_t e2 = t.mark_processing(0, 1.0);
+  EXPECT_FALSE(t.revoke(0, e1));  // stale revocation cannot hit the new owner
+  EXPECT_TRUE(t.lease_valid(0, e2));
+  EXPECT_TRUE(t.mark_completed(0, e2));
 }
 
 TEST(Tracker, EarliestDeadlineTracksOldestInFlightFragment) {
   FragmentTracker t(3, 5.0);
   EXPECT_TRUE(std::isinf(t.earliest_deadline()));  // nothing in flight
-  t.mark_processing(0, 2.0);
-  t.mark_processing(1, 7.0);
+  const std::uint64_t e0 = t.mark_processing(0, 2.0);
+  const std::uint64_t e1 = t.mark_processing(1, 7.0);
   EXPECT_DOUBLE_EQ(t.earliest_deadline(), 7.0);  // fragment 0 at 2 + 5
-  EXPECT_TRUE(t.mark_completed(0));
+  EXPECT_TRUE(t.mark_completed(0, e0));
   EXPECT_DOUBLE_EQ(t.earliest_deadline(), 12.0);  // fragment 1 at 7 + 5
-  EXPECT_TRUE(t.mark_completed(1));
+  EXPECT_TRUE(t.mark_completed(1, e1));
   EXPECT_TRUE(std::isinf(t.earliest_deadline()));
 }
 
 TEST(Tracker, ConcurrentCompletionsCountOnce) {
   FragmentTracker t(64, 100.0);
-  for (std::size_t i = 0; i < 64; ++i) t.mark_processing(i, 0.0);
+  std::vector<std::uint64_t> leases(64);
+  for (std::size_t i = 0; i < 64; ++i) leases[i] = t.mark_processing(i, 0.0);
   std::vector<std::thread> threads;
   std::atomic<int> accepted{0};
   for (int w = 0; w < 4; ++w) {
     threads.emplace_back([&] {
       for (std::size_t i = 0; i < 64; ++i)
-        if (t.mark_completed(i)) accepted++;
+        if (t.mark_completed(i, leases[i])) accepted++;
     });
   }
   for (auto& th : threads) th.join();
