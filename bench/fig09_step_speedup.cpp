@@ -10,10 +10,17 @@
 // accelerator timings come from the calibrated device cost model (the
 // hardware substitution documented in DESIGN.md). The strength-reduction
 // factor itself is *measured on real kernels* by micro_kernels.cpp.
+//
+// With --json <path>, the whole series is additionally written as a
+// qfr.bench.v1 document (the CI bench-smoke trajectory format).
 
 #include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
 #include <vector>
 
+#include "qfr/obs/export.hpp"
 #include "qfr/xdev/device_model.hpp"
 
 namespace {
@@ -23,8 +30,9 @@ namespace {
 // (individual offload was unprofitable over PCIe), while on Sunway the
 // shared address space meant they were individually launched on the
 // accelerator, paying per-invocation spawn overhead.
-void machine_table(const char* label, const qfr::xdev::DeviceProfile& dev,
-                   bool host_baseline) {
+void machine_table(const char* label, const char* key,
+                   const qfr::xdev::DeviceProfile& dev, bool host_baseline,
+                   qfr::obs::BenchReport* report) {
   std::printf("%s (baseline: %s)\n", label,
               host_baseline ? "host-executed GEMMs"
                             : "per-invocation accelerator launches");
@@ -44,24 +52,68 @@ void machine_table(const char* label, const qfr::xdev::DeviceProfile& dev,
     const double t_off = qfr::xdev::evaluate_offload(reduced, dev).total();
     std::printf("  %7zu %12.4f | %12.4f %7.1fx | %12.4f %7.1fx\n", atoms,
                 t_base, t_red, t_base / t_red, t_off, t_base / t_off);
+    if (report != nullptr) {
+      const std::string suffix = "/" + std::to_string(atoms);
+      report->samples.push_back(
+          {std::string(key) + ".reduce.speedup" + suffix, t_base / t_red,
+           "x"});
+      report->samples.push_back(
+          {std::string(key) + ".offload.speedup" + suffix, t_base / t_off,
+           "x"});
+    }
     sum1 += t_base / t_red;
     sum2 += t_base / t_off;
     ++count;
   }
   std::printf("  %-20s reduce avg %.1fx, reduce+offload avg %.1fx\n\n", "",
               sum1 / count, sum2 / count);
+  if (report != nullptr) {
+    report->samples.push_back(
+        {std::string(key) + ".reduce.speedup/avg", sum1 / count, "x"});
+    report->samples.push_back(
+        {std::string(key) + ".offload.speedup/avg", sum2 / count, "x"});
+  }
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  std::string json_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+    } else {
+      std::fprintf(stderr, "usage: %s [--json <path>]\n", argv[0]);
+      return 2;
+    }
+  }
+
+  qfr::obs::BenchReport report;
+  report.name = "fig09_step_speedup";
+  report.meta.emplace_back("figure", "9");
+  report.meta.emplace_back("paper.orise.combined_avg", "8.2");
+  report.meta.emplace_back("paper.sunway.combined_avg", "11.2");
+  qfr::obs::BenchReport* rp = json_path.empty() ? nullptr : &report;
+
   std::printf("=== Fig. 9: step-by-step DFPT-cycle speedups ===\n\n");
-  machine_table("ORISE (HIP GPU model)", qfr::xdev::orise_gpu(),
-                /*host_baseline=*/true);
-  machine_table("Sunway (SW26010-pro model)", qfr::xdev::sw26010pro(),
-                /*host_baseline=*/false);
+  machine_table("ORISE (HIP GPU model)", "orise", qfr::xdev::orise_gpu(),
+                /*host_baseline=*/true, rp);
+  machine_table("Sunway (SW26010-pro model)", "sunway",
+                qfr::xdev::sw26010pro(),
+                /*host_baseline=*/false, rp);
   std::printf("paper: ORISE 3.0-4.4x reduce (avg 3.7x), 6.3-11.6x combined"
               " (avg 8.2x);\n       Sunway up to 16.2x combined"
               " (avg 11.2x).\n");
+
+  if (!json_path.empty()) {
+    std::ofstream os(json_path);
+    if (!os.good()) {
+      std::fprintf(stderr, "cannot open '%s' for writing\n",
+                   json_path.c_str());
+      return 1;
+    }
+    qfr::obs::write_bench_json(os, report);
+    std::printf("\nbench JSON written to %s\n", json_path.c_str());
+  }
   return 0;
 }

@@ -10,9 +10,14 @@
 #   retry/degradation paths on purpose; these suites must stay clean
 #   under all three sanitizers (TSan in particular covers the
 #   supervisor/leader/worker handoffs).
-# Stage 3 (chaos soak): the fixed-seed chaos-soak suite on the release
-#   tree — ≥50 seeded sweeps with mid-run leader kills/hangs that must
-#   all finish with exactly-once, baseline-identical results.
+# Stage 3 (soak): the ctest "soak" configuration — the fixed-seed chaos
+#   soak (≥50 seeded sweeps with mid-run leader kills/hangs that must all
+#   finish with exactly-once, baseline-identical results) plus the slow
+#   DES scaling studies. Excluded from the tier-1 ctest run by
+#   CONFIGURATIONS so the default gate stays fast.
+# Stage 4 (bench smoke): one instrumented bench run emitting its
+#   qfr.bench.v1 JSON trajectory point (BENCH_fig09.json) — catches
+#   bench-binary and exporter rot without timing anything.
 #
 # Usage: scripts/ci.sh [--skip-sanitizers]
 set -euo pipefail
@@ -27,8 +32,14 @@ cmake -B build -S . >/dev/null
 cmake --build build -j "$JOBS"
 ctest --test-dir build --output-on-failure -j "$JOBS"
 
-echo "== chaos soak (fixed seeds, release tree) =="
-build/tests/test_supervisor --gtest_filter='ChaosSoak.*'
+echo "== soak lane: chaos soak + slow DES studies (release tree) =="
+ctest --test-dir build -C soak -L soak --output-on-failure
+
+echo "== bench smoke: fig09 with JSON export =="
+build/bench/fig09_step_speedup --json build/BENCH_fig09.json >/dev/null
+python3 -c "import json; json.load(open('build/BENCH_fig09.json'))" \
+  2>/dev/null || { echo "BENCH_fig09.json is not valid JSON"; exit 1; }
+echo "BENCH_fig09.json ok"
 
 if [[ "$SKIP_SANITIZERS" == "1" ]]; then
   echo "== sanitizer stages skipped =="
@@ -36,10 +47,11 @@ if [[ "$SKIP_SANITIZERS" == "1" ]]; then
 fi
 
 # The robustness suites: everything exercising fault injection, the
-# validator/degradation machinery, the CRC-framed checkpoint format, and
-# the lease-fenced supervised runtime.
+# validator/degradation machinery, the CRC-framed checkpoint format, the
+# lease-fenced supervised runtime, and the observability layer (whose
+# registry/tracer must stay clean under the thread pool — the TSan leg).
 ROBUSTNESS_TESTS=(test_fault test_checkpoint test_scheduler test_tracker
-                  test_supervisor)
+                  test_supervisor test_obs)
 
 for SAN in address undefined thread; do
   case "$SAN" in

@@ -6,6 +6,7 @@
 #include <queue>
 
 #include "qfr/common/error.hpp"
+#include "qfr/obs/session.hpp"
 #include "qfr/runtime/sweep_scheduler.hpp"
 
 namespace qfr::cluster {
@@ -102,6 +103,38 @@ DesReport simulate_cluster(std::vector<balance::WorkItem> items,
   report.n_fragments = items.size();
   report.node_busy.assign(options.n_nodes, 0.0);
 
+  // Simulated-time trace emission: events carry the DES clock directly
+  // (seconds -> µs) instead of reading the session's Clock, under the
+  // simulation pid so they never interleave with wall-clock spans.
+  obs::Session* const obs = options.obs;
+  auto sim_span = [&](const char* name, std::size_t leader, double t0,
+                      double dur, std::vector<obs::TraceArg> args) {
+    if (obs == nullptr) return;
+    obs::TraceEvent ev;
+    ev.name = name;
+    ev.cat = "des";
+    ev.ph = 'X';
+    ev.ts_us = static_cast<std::int64_t>(t0 * 1e6);
+    ev.dur_us = static_cast<std::int64_t>(dur * 1e6);
+    ev.pid = obs::kTracePidSimulation;
+    ev.tid = static_cast<std::uint32_t>(leader + 1);
+    ev.args = std::move(args);
+    obs->tracer().emit(std::move(ev));
+  };
+  auto sim_instant = [&](const char* name, std::size_t leader, double t0,
+                         std::vector<obs::TraceArg> args) {
+    if (obs == nullptr) return;
+    obs::TraceEvent ev;
+    ev.name = name;
+    ev.cat = "des";
+    ev.ph = 'i';
+    ev.ts_us = static_cast<std::int64_t>(t0 * 1e6);
+    ev.pid = obs::kTracePidSimulation;
+    ev.tid = static_cast<std::uint32_t>(leader + 1);
+    ev.args = std::move(args);
+    obs->tracer().emit(std::move(ev));
+  };
+
   // The same master-side state machine the real runtime drives, advanced
   // here with simulated time: status table, straggler timeout re-queue,
   // lease-fenced deliveries, size-sensitive packing through the shared
@@ -139,7 +172,21 @@ DesReport simulate_cluster(std::vector<balance::WorkItem> items,
       // supervisor driving tick() on its own clock.
       scheduler.tick(p.due);
       for (const runtime::Lease& lease : p.leases)
-        if (scheduler.revoke_lease(lease)) ++report.n_leases_revoked;
+        if (scheduler.revoke_lease(lease)) {
+          ++report.n_leases_revoked;
+          if (options.obs != nullptr) {
+            options.obs->metrics().counter("des.leases_revoked").add(1);
+            obs::TraceEvent ev;
+            ev.name = "lease.revoked";
+            ev.cat = "des";
+            ev.ph = 'i';
+            ev.ts_us = static_cast<std::int64_t>(p.due * 1e6);
+            ev.pid = obs::kTracePidSimulation;
+            ev.args.push_back(
+                {"fragment", static_cast<double>(lease.fragment_id), {}, true});
+            options.obs->tracer().emit(std::move(ev));
+          }
+        }
     }
   };
 
@@ -192,6 +239,9 @@ DesReport simulate_cluster(std::vector<balance::WorkItem> items,
       // "processing" until the straggler timeout flips them back.
       ++report.n_stalled_tasks;
       schedule_revocation(t, task.leases);
+      sim_instant("task.stall", leader, t,
+                  {{"n_fragments", static_cast<double>(task.size()), {}, true}});
+      if (obs != nullptr) obs->metrics().counter("des.stalled_tasks").add(1);
       report.node_busy[node] += options.straggler_timeout;
       ready.emplace(t + options.straggler_timeout, leader);
       continue;
@@ -221,6 +271,12 @@ DesReport simulate_cluster(std::vector<balance::WorkItem> items,
       // out the straggler timeout.
       ++report.n_crash_lost_tasks;
       schedule_revocation(c->at, task.leases);
+      sim_span("leader.task.lost", leader, t, std::max(0.0, c->at - t),
+               {{"n_fragments", static_cast<double>(task.size()), {}, true}});
+      sim_instant("leader.crash", leader, c->at,
+                  {{"downtime", c->downtime, {}, true}});
+      if (obs != nullptr)
+        obs->metrics().counter("des.crash_lost_tasks").add(1);
       report.node_busy[node] += std::max(0.0, c->at - t);
       ready.emplace(c->at + c->downtime, leader);
       continue;
@@ -228,6 +284,13 @@ DesReport simulate_cluster(std::vector<balance::WorkItem> items,
 
     for (const runtime::Lease& lease : task.leases)
       scheduler.on_completion(lease, kNoResult, "des");
+    sim_span("leader.task", leader, t + dispatch, exec,
+             {{"n_fragments", static_cast<double>(task.size()), {}, true},
+              {"node", static_cast<double>(node), {}, true}});
+    if (obs != nullptr) {
+      obs->metrics().counter("des.tasks").add(1);
+      obs->metrics().histogram("des.task.seconds").observe(exec);
+    }
     report.node_busy[node] += exec;
     ready.emplace(done, leader);
   }

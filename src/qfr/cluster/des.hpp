@@ -6,6 +6,10 @@
 #include "qfr/balance/packing.hpp"
 #include "qfr/common/rng.hpp"
 
+namespace qfr::obs {
+class Session;
+}  // namespace qfr::obs
+
 namespace qfr::cluster {
 
 /// Machine profile of the simulated cluster (two presets match the
@@ -76,6 +80,11 @@ struct DesOptions {
   /// (the simulated master's failure detector), instead of waiting the
   /// full straggler timeout. 0 keeps the legacy straggler-only recovery.
   double heartbeat_timeout = 0.0;
+  /// Observability session: the DES emits task spans and fault instants
+  /// stamped with *simulated* time under pid kTracePidSimulation, so a
+  /// simulated sweep and a real one load side by side in Perfetto. Not
+  /// owned; null disables recording.
+  obs::Session* obs = nullptr;
 };
 
 /// Per-node outcome plus aggregate metrics (what Figs. 8/10/11 plot).

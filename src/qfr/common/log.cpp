@@ -1,14 +1,23 @@
 #include "qfr/common/log.hpp"
 
 #include <atomic>
+#include <chrono>
 #include <cstdio>
+#include <ctime>
 #include <mutex>
+#include <utility>
+
+#include "qfr/obs/trace.hpp"
 
 namespace qfr {
 
 namespace {
 std::atomic<LogLevel> g_level{LogLevel::kWarn};
 std::mutex g_sink_mutex;
+LogSink& g_sink() {
+  static LogSink sink;  // null = stderr default
+  return sink;
+}
 
 const char* level_tag(LogLevel lvl) {
   switch (lvl) {
@@ -21,16 +30,53 @@ const char* level_tag(LogLevel lvl) {
 }
 }  // namespace
 
+std::string format_iso8601_utc(std::int64_t unix_micros) {
+  const std::time_t secs = static_cast<std::time_t>(unix_micros / 1000000);
+  const int millis = static_cast<int>((unix_micros % 1000000) / 1000);
+  std::tm tm{};
+  gmtime_r(&secs, &tm);
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%04d-%02d-%02dT%02d:%02d:%02d.%03dZ",
+                tm.tm_year + 1900, tm.tm_mon + 1, tm.tm_mday, tm.tm_hour,
+                tm.tm_min, tm.tm_sec, millis);
+  return buf;
+}
+
 LogLevel Log::level() { return g_level.load(std::memory_order_relaxed); }
 
 void Log::set_level(LogLevel lvl) {
   g_level.store(lvl, std::memory_order_relaxed);
 }
 
+LogSink Log::set_sink(LogSink sink) {
+  std::lock_guard<std::mutex> lock(g_sink_mutex);
+  LogSink previous = std::move(g_sink());
+  g_sink() = std::move(sink);
+  return previous;
+}
+
+void Log::write_stderr(const LogRecord& record) {
+  std::fprintf(stderr, "[qfr %s %s tid=%u] %.*s\n", level_tag(record.level),
+               format_iso8601_utc(record.unix_micros).c_str(), record.tid,
+               static_cast<int>(record.message.size()),
+               record.message.data());
+}
+
 void Log::write(LogLevel lvl, const std::string& msg) {
   if (static_cast<int>(lvl) < static_cast<int>(level())) return;
+  LogRecord record;
+  record.level = lvl;
+  record.message = msg;
+  record.unix_micros =
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::system_clock::now().time_since_epoch())
+          .count();
+  record.tid = obs::trace_thread_id();
   std::lock_guard<std::mutex> lock(g_sink_mutex);
-  std::fprintf(stderr, "[qfr %s] %s\n", level_tag(lvl), msg.c_str());
+  if (g_sink())
+    g_sink()(record);
+  else
+    write_stderr(record);
 }
 
 }  // namespace qfr

@@ -1,19 +1,38 @@
 #pragma once
 
+#include <cstdint>
+#include <functional>
 #include <sstream>
 #include <string>
+#include <string_view>
 
 namespace qfr {
 
 /// Severity levels for the library logger, in increasing order of urgency.
 enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
 
-/// Minimal thread-safe logger writing to stderr.
+/// One log message plus the metadata every sink receives.
+struct LogRecord {
+  LogLevel level = LogLevel::kInfo;
+  std::string_view message;
+  std::int64_t unix_micros = 0;  ///< system_clock (for ISO-8601 rendering)
+  std::uint32_t tid = 0;         ///< compact per-thread id (obs::trace_thread_id)
+};
+
+/// Sink receiving fully-assembled log records. The record (and its
+/// message view) is only valid for the duration of the call.
+using LogSink = std::function<void(const LogRecord&)>;
+
+/// Minimal thread-safe logger.
 ///
 /// Kept intentionally simple: the library is primarily exercised from
-/// batch drivers (tests, benches, examples) where a global level and
-/// stderr sink are enough. The level defaults to kWarn so that library
-/// internals stay quiet under ctest.
+/// batch drivers (tests, benches, examples) where a global level is
+/// enough. The level defaults to kWarn so that library internals stay
+/// quiet under ctest. The default sink writes one line per record to
+/// stderr as
+///   [qfr LEVEL 2024-07-01T12:34:56.789Z tid=3] message
+/// and can be replaced (observability trace capture, test harnesses) via
+/// set_sink.
 class Log {
  public:
   static LogLevel level();
@@ -21,7 +40,20 @@ class Log {
 
   /// Emit one line at the given level (no-op if below the global level).
   static void write(LogLevel lvl, const std::string& msg);
+
+  /// Replace the global sink; a null sink restores the stderr default.
+  /// Returns the previously installed sink (null for the default), so
+  /// scoped captures can chain and restore. Calls to any sink are
+  /// serialized by the logger.
+  static LogSink set_sink(LogSink sink);
+
+  /// The built-in stderr sink (ISO-8601 UTC timestamp + thread id).
+  static void write_stderr(const LogRecord& record);
 };
+
+/// Render a system_clock microsecond timestamp as ISO-8601 UTC with
+/// millisecond precision: "2024-07-01T12:34:56.789Z".
+std::string format_iso8601_utc(std::int64_t unix_micros);
 
 namespace detail {
 template <typename... Args>

@@ -7,6 +7,7 @@
 #include "qfr/common/log.hpp"
 #include "qfr/common/timer.hpp"
 #include "qfr/la/blas.hpp"
+#include "qfr/obs/session.hpp"
 #include "qfr/poisson/multipole_poisson.hpp"
 #include "qfr/xc/lda.hpp"
 
@@ -33,6 +34,21 @@ ResponseEngine::ResponseEngine(std::shared_ptr<const scf::ScfContext> ctx,
     if (options_.use_grid_poisson)
       poisson_ = std::make_unique<poisson::MultipolePoisson>(*grid_, 4);
   }
+  if (obs::Session* s = obs::current()) {
+    obs::MetricsRegistry& m = s->metrics();
+    h_p1_ = &m.histogram("dfpt.phase.p1.seconds");
+    h_n1_ = &m.histogram("dfpt.phase.n1.seconds");
+    h_v1_ = &m.histogram("dfpt.phase.v1.seconds");
+    h_h1_ = &m.histogram("dfpt.phase.h1.seconds");
+    h_solve_ = &m.histogram("cpscf.solve.seconds");
+    h_iters_ = &m.histogram("cpscf.iterations");
+  }
+}
+
+void ResponseEngine::record_phase(double PhaseTimes::*field,
+                                  obs::Histogram* hist, double seconds) {
+  times_.*field += seconds;
+  if (hist != nullptr) hist->observe(seconds);
 }
 
 Matrix ResponseEngine::induced_fock(const Matrix& p1) {
@@ -41,49 +57,83 @@ Matrix ResponseEngine::induced_fock(const Matrix& p1) {
 
   if (xc_ == scf::XcModel::kHartreeFock) {
     // Analytic response Coulomb + exchange.
-    Matrix v = ctx_->eri.coulomb(p1);
-    times_.v1 += t.seconds();
+    Matrix v;
+    {
+      QFR_TRACE_SPAN("dfpt.v1", "dfpt");
+      v = ctx_->eri.coulomb(p1);
+    }
+    // Recorded after the span closes so the phase time absorbs the span's
+    // own emission cost: the four-phase sum then tracks the solve timer
+    // even when tracing is on.
+    record_phase(&PhaseTimes::v1, h_v1_, t.seconds());
     t.reset();
-    const Matrix k = ctx_->eri.exchange(p1);
-    for (std::size_t a = 0; a < n; ++a)
-      for (std::size_t b = 0; b < n; ++b) v(a, b) -= 0.5 * k(a, b);
-    times_.h1 += t.seconds();
+    {
+      QFR_TRACE_SPAN("dfpt.h1", "dfpt");
+      const Matrix k = ctx_->eri.exchange(p1);
+      for (std::size_t a = 0; a < n; ++a)
+        for (std::size_t b = 0; b < n; ++b) v(a, b) -= 0.5 * k(a, b);
+    }
+    record_phase(&PhaseTimes::h1, h_h1_, t.seconds());
     return v;
   }
 
   // LDA: the four-phase cycle. Phase n1: response density on the grid
   // (the paper's hot GEMM).
   t.reset();
-  const Vector n1 = grid::density_on_batch(*batch_, p1);
-  flops_ += la::gemm_flops(batch_->chi.rows(), n, n);
-  times_.n1 += t.seconds();
+  Vector n1;
+  {
+    QFR_TRACE_SPAN("dfpt.n1", "dfpt");
+    n1 = grid::density_on_batch(*batch_, p1);
+    flops_ += la::gemm_flops(batch_->chi.rows(), n, n);
+  }
+  record_phase(&PhaseTimes::n1, h_n1_, t.seconds());
 
   // Phase v1: response Hartree potential — either analytic ERIs or the
   // multipole Poisson solve on the grid (the paper's production path).
   t.reset();
   Matrix v(n, n);
   Vector v1_grid;  // grid-sampled potential, reused in phase h1
-  if (poisson_ != nullptr) {
-    v1_grid = poisson_->solve(n1);
-  } else {
-    v = ctx_->eri.coulomb(p1);
+  {
+    QFR_TRACE_SPAN("dfpt.v1", "dfpt");
+    if (poisson_ != nullptr) {
+      v1_grid = poisson_->solve(n1);
+    } else {
+      v = ctx_->eri.coulomb(p1);
+    }
   }
-  times_.v1 += t.seconds();
+  record_phase(&PhaseTimes::v1, h_v1_, t.seconds());
 
   // Phase h1: fold v1 + f_xc * n1 back into matrix form.
   t.reset();
-  Vector v1_pt(n1.size());
-  for (std::size_t i = 0; i < n1.size(); ++i) {
-    v1_pt[i] = fxc_[i] * n1[i];
-    if (!v1_grid.empty()) v1_pt[i] += v1_grid[i];
+  {
+    QFR_TRACE_SPAN("dfpt.h1", "dfpt");
+    Vector v1_pt(n1.size());
+    for (std::size_t i = 0; i < n1.size(); ++i) {
+      v1_pt[i] = fxc_[i] * n1[i];
+      if (!v1_grid.empty()) v1_pt[i] += v1_grid[i];
+    }
+    grid::accumulate_potential_matrix(*batch_, grid_->points(), v1_pt, v);
+    flops_ += la::gemm_flops(n, n, batch_->chi.rows());
   }
-  grid::accumulate_potential_matrix(*batch_, grid_->points(), v1_pt, v);
-  flops_ += la::gemm_flops(n, n, batch_->chi.rows());
-  times_.h1 += t.seconds();
+  record_phase(&PhaseTimes::h1, h_h1_, t.seconds());
   return v;
 }
 
 ResponseResult ResponseEngine::solve(const Matrix& h1) {
+  obs::SpanGuard solve_span(obs::current(), "cpscf.solve", "dfpt");
+  WallTimer solve_timer;
+  // Whole-solve wall time is recorded on every exit (including the
+  // nonconvergence throw) so the phase decomposition stays comparable to
+  // cpscf.solve.seconds even for failed attempts.
+  struct SolveRecord {
+    ResponseEngine* eng;
+    WallTimer* timer;
+    ~SolveRecord() {
+      if (eng->h_solve_ != nullptr)
+        eng->h_solve_->observe(timer->seconds());
+    }
+  } solve_record{this, &solve_timer};
+
   const std::size_t n = ctx_->bs.n_functions();
   QFR_REQUIRE(h1.rows() == n && h1.cols() == n, "h1 shape mismatch");
   const int n_occ = scf_.n_occupied;
@@ -105,49 +155,58 @@ ResponseResult ResponseEngine::solve(const Matrix& h1) {
       // A revoked fragment stops mid-solve instead of finishing a result
       // the scheduler would fence out anyway.
       options_.cancel.throw_if_cancelled();
-      // Full first-order Fock: external + induced two-electron response.
-      Matrix f1 = h1;
-      if (iter > 1) f1 += induced_fock(res.p1);
+      // Induced two-electron response (phases v1/h1/n1 inside).
+      Matrix v1_ind;
+      if (iter > 1) v1_ind = induced_fock(res.p1);
 
-      // Phase p1: update the response density matrix.
+      // Phase p1: update the response density matrix — Fock assembly, MO
+      // transform, amplitude build, mixing, and the convergence residual,
+      // so the four-phase sum accounts for the whole iteration.
       WallTimer t;
-      // Transform to MO: F1_mo = C^T F1 C.
-      Matrix tmp(n, n), f1_mo(n, n);
-      la::gemm(la::Trans::kYes, la::Trans::kNo, 1.0, c, f1, 0.0, tmp);
-      la::gemm(la::Trans::kNo, la::Trans::kNo, 1.0, tmp, c, 0.0, f1_mo);
-      flops_ += 2 * la::gemm_flops(n, n, n);
+      double delta = 0.0;
+      {
+        QFR_TRACE_SPAN("dfpt.p1", "dfpt");
+        // Full first-order Fock: external + induced response.
+        Matrix f1 = h1;
+        if (iter > 1) f1 += v1_ind;
+        // Transform to MO: F1_mo = C^T F1 C.
+        Matrix tmp(n, n), f1_mo(n, n);
+        la::gemm(la::Trans::kYes, la::Trans::kNo, 1.0, c, f1, 0.0, tmp);
+        la::gemm(la::Trans::kNo, la::Trans::kNo, 1.0, tmp, c, 0.0, f1_mo);
+        flops_ += 2 * la::gemm_flops(n, n, n);
 
-      // Occupied-virtual rotation amplitudes.
-      Matrix u(n, n);  // only (virt, occ) block used
-      for (int a = n_occ; a < static_cast<int>(n); ++a)
-        for (int i = 0; i < n_occ; ++i) {
-          const double gap = eps[i] - eps[a];
-          QFR_ASSERT(std::fabs(gap) > 1e-10, "vanishing HOMO-LUMO gap");
-          u(a, i) = f1_mo(a, i) / gap;
+        // Occupied-virtual rotation amplitudes.
+        Matrix u(n, n);  // only (virt, occ) block used
+        for (int a = n_occ; a < static_cast<int>(n); ++a)
+          for (int i = 0; i < n_occ; ++i) {
+            const double gap = eps[i] - eps[a];
+            QFR_ASSERT(std::fabs(gap) > 1e-10, "vanishing HOMO-LUMO gap");
+            u(a, i) = f1_mo(a, i) / gap;
+          }
+
+        // P1 = 2 sum_ai U_ai (C_a C_i^T + C_i C_a^T).
+        Matrix p1_new(n, n);
+        for (std::size_t mu = 0; mu < n; ++mu)
+          for (std::size_t nu = 0; nu < n; ++nu) {
+            double acc = 0.0;
+            for (int a = n_occ; a < static_cast<int>(n); ++a)
+              for (int i = 0; i < n_occ; ++i)
+                acc += u(a, i) * (c(mu, a) * c(nu, i) + c(mu, i) * c(nu, a));
+            p1_new(mu, nu) = 2.0 * acc;
+          }
+
+        // Mixing and convergence.
+        if (iter > 1) {
+          for (std::size_t k = 0; k < p1_new.size(); ++k)
+            p1_new.data()[k] = mixing * p1_new.data()[k] +
+                               (1.0 - mixing) * res.p1.data()[k];
         }
-
-      // P1 = 2 sum_ai U_ai (C_a C_i^T + C_i C_a^T).
-      Matrix p1_new(n, n);
-      for (std::size_t mu = 0; mu < n; ++mu)
-        for (std::size_t nu = 0; nu < n; ++nu) {
-          double acc = 0.0;
-          for (int a = n_occ; a < static_cast<int>(n); ++a)
-            for (int i = 0; i < n_occ; ++i)
-              acc += u(a, i) * (c(mu, a) * c(nu, i) + c(mu, i) * c(nu, a));
-          p1_new(mu, nu) = 2.0 * acc;
-        }
-      times_.p1 += t.seconds();
-
-      // Mixing and convergence.
-      if (iter > 1) {
-        for (std::size_t k = 0; k < p1_new.size(); ++k)
-          p1_new.data()[k] = mixing * p1_new.data()[k] +
-                             (1.0 - mixing) * res.p1.data()[k];
+        delta = la::max_abs_diff(p1_new, res.p1);
+        last_delta = delta;
+        res.p1 = std::move(p1_new);
+        res.iterations = iter;
       }
-      const double delta = la::max_abs_diff(p1_new, res.p1);
-      last_delta = delta;
-      res.p1 = std::move(p1_new);
-      res.iterations = iter;
+      record_phase(&PhaseTimes::p1, h_p1_, t.seconds());
       if (iter > 1 && delta < options_.tolerance) {
         res.converged = true;
         return res;
@@ -156,15 +215,20 @@ ResponseResult ResponseEngine::solve(const Matrix& h1) {
     return std::nullopt;
   };
 
-  if (std::optional<ResponseResult> res = attempt(options_.mixing))
+  if (std::optional<ResponseResult> res = attempt(options_.mixing)) {
+    if (h_iters_ != nullptr) h_iters_->observe(res->iterations);
     return *res;
+  }
 
   if (options_.escalate_on_nonconvergence) {
     const double mixing2 = 0.5 * options_.mixing;
     QFR_LOG_WARN("CPSCF did not converge in ", options_.max_iterations,
                  " iterations (last |dP1| = ", last_delta,
                  "); retrying with mixing ", mixing2);
-    if (std::optional<ResponseResult> res = attempt(mixing2)) return *res;
+    if (std::optional<ResponseResult> res = attempt(mixing2)) {
+      if (h_iters_ != nullptr) h_iters_->observe(res->iterations);
+      return *res;
+    }
   }
   QFR_NUMERIC_FAIL("CPSCF failed to converge in "
                    << options_.max_iterations << " iterations (last |dP1| = "
@@ -175,6 +239,7 @@ ResponseResult ResponseEngine::solve(const Matrix& h1) {
 }
 
 PolarizabilityResult ResponseEngine::polarizability() {
+  QFR_TRACE_SPAN("dfpt.polarizability", "dfpt");
   PolarizabilityResult out;
   out.alpha.resize_zero(3, 3);
   out.converged = true;

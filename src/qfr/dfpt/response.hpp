@@ -10,6 +10,10 @@
 #include "qfr/la/matrix.hpp"
 #include "qfr/scf/scf.hpp"
 
+namespace qfr::obs {
+class Histogram;
+}  // namespace qfr::obs
+
 namespace qfr::dfpt {
 
 /// Controls for the coupled-perturbed SCF iteration.
@@ -88,7 +92,11 @@ class ResponseEngine {
   /// alpha_cd = -Tr[P1^(d) D_c].
   PolarizabilityResult polarizability();
 
-  /// Accumulated phase timings over all solves so far.
+  /// Accumulated phase timings over all solves so far. The timers behind
+  /// this accessor are registry-backed when an obs::Session is ambient at
+  /// construction: every phase interval is also recorded into the
+  /// dfpt.phase.{p1,n1,v1,h1}.seconds histograms, so run reports see the
+  /// same decomposition without touching this engine-local mirror.
   const PhaseTimes& phase_times() const { return times_; }
 
   /// FLOPs executed in GEMM-shaped kernels so far (performance accounting
@@ -97,6 +105,10 @@ class ResponseEngine {
 
  private:
   la::Matrix induced_fock(const la::Matrix& p1);
+  /// Fold one timed phase interval into the local mirror and, when the
+  /// engine was built under an ambient session, the registry histogram.
+  void record_phase(double PhaseTimes::*field, obs::Histogram* hist,
+                    double seconds);
 
   std::shared_ptr<const scf::ScfContext> ctx_;
   const scf::ScfResult scf_;
@@ -104,6 +116,15 @@ class ResponseEngine {
   DfptOptions options_;
   PhaseTimes times_;
   std::int64_t flops_ = 0;
+
+  // Registry handles resolved once at construction from the ambient
+  // session (stable pointers; null = observability off).
+  obs::Histogram* h_p1_ = nullptr;
+  obs::Histogram* h_n1_ = nullptr;
+  obs::Histogram* h_v1_ = nullptr;
+  obs::Histogram* h_h1_ = nullptr;
+  obs::Histogram* h_solve_ = nullptr;
+  obs::Histogram* h_iters_ = nullptr;
 
   // LDA grid workspace.
   std::shared_ptr<grid::MolGrid> grid_;

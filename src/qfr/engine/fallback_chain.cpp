@@ -16,6 +16,13 @@ void EngineFallbackChain::push_back(std::unique_ptr<FragmentEngine> engine) {
   engines_.push_back(std::move(engine));
 }
 
+std::vector<std::string> EngineFallbackChain::names() const {
+  std::vector<std::string> out;
+  out.reserve(engines_.size());
+  for (const auto& e : engines_) out.push_back(e->name());
+  return out;
+}
+
 const FragmentEngine& EngineFallbackChain::engine(std::size_t level) const {
   QFR_REQUIRE(level < engines_.size(),
               "fallback level " << level << " out of range (chain has "

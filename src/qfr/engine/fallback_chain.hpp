@@ -1,6 +1,7 @@
 #pragma once
 
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "qfr/engine/fragment_engine.hpp"
@@ -29,6 +30,9 @@ class EngineFallbackChain {
 
   /// Engine at `level` (0-based within the fallback ladder).
   const FragmentEngine& engine(std::size_t level) const;
+
+  /// Names of every level in ladder order (run-report metadata).
+  std::vector<std::string> names() const;
 
  private:
   std::vector<std::unique_ptr<FragmentEngine>> engines_;

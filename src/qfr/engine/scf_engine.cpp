@@ -8,6 +8,7 @@
 #include "qfr/common/cancel.hpp"
 #include "qfr/common/error.hpp"
 #include "qfr/dfpt/response.hpp"
+#include "qfr/obs/session.hpp"
 #include "qfr/integrals/gradients.hpp"
 #include "qfr/la/blas.hpp"
 
@@ -94,6 +95,9 @@ FragmentResult ScfEngine::compute(const Molecule& fragment) const {
   // which do not inherit the thread-local) so a revoked fragment aborts
   // mid-sweep instead of finishing hundreds of displaced-geometry solves.
   const common::CancelToken cancel = common::current_cancel_token();
+  // Same capture for observability: displacement jobs re-install the
+  // ambient session on the pool threads so SCF/DFPT instrument themselves.
+  obs::Session* const obs = obs::current();
 
   // Equilibrium point: energy, density (warm start), polarizability.
   auto ctx0 = std::make_shared<scf::ScfContext>(scf::ScfContext::build(fragment));
@@ -130,6 +134,9 @@ FragmentResult ScfEngine::compute(const Molecule& fragment) const {
     ThreadPool workers(options_.n_displacement_workers);
     std::mutex accounting;
     workers.parallel_for(dim, [&](std::size_t c) {
+      obs::ScopedSession obs_scope(obs);
+      obs::SpanGuard span(obs, "displacement.pair", "engine");
+      span.arg("coord", static_cast<double>(c));
       dfpt::PhaseTimes times;
       std::int64_t flops = 0;
       const PointResult plus = evaluate_point(

@@ -1,0 +1,68 @@
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+
+namespace qfr::obs {
+
+/// Time source for the observability layer (metrics timestamps, trace
+/// spans). Two implementations exist: WallClock for the threaded runtime
+/// and ManualClock for simulated-time drivers (the DES), so a trace
+/// recorded from a simulation is directly comparable to one recorded from
+/// real execution — same schema, different clock.
+///
+/// All times are microseconds on a monotonically nondecreasing axis whose
+/// origin is implementation-defined (process start for WallClock, zero for
+/// ManualClock).
+class Clock {
+ public:
+  virtual ~Clock() = default;
+  virtual std::int64_t now_micros() const = 0;
+  double now_seconds() const {
+    return static_cast<double>(now_micros()) * 1e-6;
+  }
+};
+
+/// Monotonic wall clock with a process-wide epoch (first use), immune to
+/// NTP adjustments — the same guarantee WallTimer gives the runtime.
+class WallClock final : public Clock {
+ public:
+  std::int64_t now_micros() const override {
+    using namespace std::chrono;
+    return duration_cast<microseconds>(steady_clock::now() - epoch()).count();
+  }
+
+  /// Shared instance used whenever no clock is injected.
+  static const WallClock& instance() {
+    static const WallClock c;
+    return c;
+  }
+
+ private:
+  static std::chrono::steady_clock::time_point epoch() {
+    static const auto e = std::chrono::steady_clock::now();
+    return e;
+  }
+};
+
+/// Externally driven clock for discrete-event simulation: the DES sets the
+/// simulated time before recording, so spans land on the simulated axis.
+/// Thread safe (atomic), though simulated drivers are single-threaded.
+class ManualClock final : public Clock {
+ public:
+  std::int64_t now_micros() const override {
+    return micros_.load(std::memory_order_relaxed);
+  }
+  void set_micros(std::int64_t t) {
+    micros_.store(t, std::memory_order_relaxed);
+  }
+  void set_seconds(double t) {
+    set_micros(static_cast<std::int64_t>(t * 1e6));
+  }
+
+ private:
+  std::atomic<std::int64_t> micros_{0};
+};
+
+}  // namespace qfr::obs

@@ -1,0 +1,101 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace qfr::obs {
+
+/// Minimal JSON document value for the observability exporters (Chrome
+/// traces, run reports, bench series) and their tests. Deliberately tiny:
+/// objects preserve insertion order, numbers are doubles, and non-finite
+/// numbers serialize as null so every emitted document is strictly valid
+/// JSON (chrome://tracing and Perfetto reject NaN literals).
+class Json {
+ public:
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Json() : type_(Type::kNull) {}
+  Json(bool b) : type_(Type::kBool), bool_(b) {}
+  Json(double v) : type_(Type::kNumber), num_(v) {}
+  Json(int v) : type_(Type::kNumber), num_(v) {}
+  Json(std::int64_t v) : type_(Type::kNumber), num_(static_cast<double>(v)) {}
+  Json(std::uint64_t v) : type_(Type::kNumber), num_(static_cast<double>(v)) {}
+  Json(const char* s) : type_(Type::kString), str_(s) {}
+  Json(std::string s) : type_(Type::kString), str_(std::move(s)) {}
+  Json(std::string_view s) : type_(Type::kString), str_(s) {}
+
+  static Json array() {
+    Json j;
+    j.type_ = Type::kArray;
+    return j;
+  }
+  static Json object() {
+    Json j;
+    j.type_ = Type::kObject;
+    return j;
+  }
+
+  Type type() const { return type_; }
+  bool is_null() const { return type_ == Type::kNull; }
+  bool is_number() const { return type_ == Type::kNumber; }
+  bool is_string() const { return type_ == Type::kString; }
+  bool is_array() const { return type_ == Type::kArray; }
+  bool is_object() const { return type_ == Type::kObject; }
+
+  double as_double() const { return num_; }
+  bool as_bool() const { return bool_; }
+  const std::string& as_string() const { return str_; }
+
+  /// Array element count / object member count.
+  std::size_t size() const {
+    return is_object() ? members_.size() : elements_.size();
+  }
+
+  /// Array append (value must be an array).
+  void push_back(Json v);
+
+  /// Object member access; inserts a null member when absent (value must
+  /// be an object).
+  Json& operator[](std::string_view key);
+
+  /// Lookup without insertion; nullptr when absent or not an object.
+  const Json* find(std::string_view key) const;
+
+  /// Array element access (value must be an array, i < size()).
+  const Json& at(std::size_t i) const { return elements_[i]; }
+
+  const std::vector<std::pair<std::string, Json>>& members() const {
+    return members_;
+  }
+
+  /// Serialize. indent < 0 emits compact one-line JSON; indent >= 0
+  /// pretty-prints with that many spaces per level.
+  std::string dump(int indent = -1) const;
+
+  /// Strict parser (UTF-8 passthrough, no comments, no trailing commas).
+  /// Returns nullopt and fills `error` on malformed input — the test
+  /// suite uses this to assert the exporters emit well-formed documents.
+  static std::optional<Json> parse(std::string_view text,
+                                   std::string* error = nullptr);
+
+ private:
+  void dump_to(std::string& out, int indent, int depth) const;
+
+  Type type_;
+  bool bool_ = false;
+  double num_ = 0.0;
+  std::string str_;
+  std::vector<Json> elements_;
+  std::vector<std::pair<std::string, Json>> members_;
+};
+
+/// JSON string escaping (shared by the streaming trace writer, which
+/// bypasses the Json tree for event volume).
+void json_escape(std::string_view s, std::string& out);
+
+}  // namespace qfr::obs

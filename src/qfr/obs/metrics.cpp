@@ -1,0 +1,152 @@
+#include "qfr/obs/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace qfr::obs {
+
+namespace {
+
+/// CAS-accumulate for atomic doubles (no fetch_add for floating point).
+void atomic_add(std::atomic<double>& a, double v) {
+  double cur = a.load(std::memory_order_relaxed);
+  while (!a.compare_exchange_weak(cur, cur + v, std::memory_order_relaxed)) {
+  }
+}
+
+void atomic_min(std::atomic<double>& a, double v) {
+  double cur = a.load(std::memory_order_relaxed);
+  while (v < cur &&
+         !a.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+void atomic_max(std::atomic<double>& a, double v) {
+  double cur = a.load(std::memory_order_relaxed);
+  while (v > cur &&
+         !a.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace
+
+int Histogram::bucket_index(double v) {
+  if (!(v > kMinValue)) return 0;  // underflow (also NaN, negatives)
+  const double octaves = std::log2(v / kMinValue);
+  const int idx =
+      1 + static_cast<int>(octaves * kBucketsPerOctave);
+  return std::min(idx, kBuckets - 1);  // top slot = overflow
+}
+
+double Histogram::bucket_lower(int index) {
+  if (index <= 0) return 0.0;
+  return kMinValue *
+         std::exp2(static_cast<double>(index - 1) / kBucketsPerOctave);
+}
+
+void Histogram::observe(double v) {
+  counts_[static_cast<std::size_t>(bucket_index(v))].fetch_add(
+      1, std::memory_order_relaxed);
+  const std::int64_t prev = count_.fetch_add(1, std::memory_order_relaxed);
+  atomic_add(sum_, v);
+  if (prev == 0) {
+    // First observation seeds min/max; racing observers fix it up below.
+    double expect = 0.0;
+    min_.compare_exchange_strong(expect, v, std::memory_order_relaxed);
+    expect = 0.0;
+    max_.compare_exchange_strong(expect, v, std::memory_order_relaxed);
+  }
+  atomic_min(min_, v);
+  atomic_max(max_, v);
+}
+
+HistogramSnapshot Histogram::snapshot() const {
+  HistogramSnapshot s;
+  std::array<std::int64_t, kBuckets> counts;
+  for (int i = 0; i < kBuckets; ++i)
+    counts[static_cast<std::size_t>(i)] =
+        counts_[static_cast<std::size_t>(i)].load(std::memory_order_relaxed);
+  s.count = 0;
+  for (const std::int64_t c : counts) s.count += c;
+  if (s.count == 0) return s;
+  s.sum = sum_.load(std::memory_order_relaxed);
+  s.min = min_.load(std::memory_order_relaxed);
+  s.max = max_.load(std::memory_order_relaxed);
+  s.mean = s.sum / static_cast<double>(s.count);
+
+  const auto quantile = [&](double q) {
+    const double target = q * static_cast<double>(s.count);
+    std::int64_t seen = 0;
+    for (int i = 0; i < kBuckets; ++i) {
+      const std::int64_t c = counts[static_cast<std::size_t>(i)];
+      if (c == 0) continue;
+      if (static_cast<double>(seen + c) >= target) {
+        if (i == 0) return kMinValue;  // underflow bucket
+        const double lo = bucket_lower(i);
+        const double hi =
+            std::min(bucket_lower(i + 1), s.max > 0.0 ? s.max : lo);
+        const double frac =
+            (target - static_cast<double>(seen)) / static_cast<double>(c);
+        return lo + (std::max(hi, lo) - lo) * std::clamp(frac, 0.0, 1.0);
+      }
+      seen += c;
+    }
+    return s.max;
+  };
+  s.p50 = quantile(0.50);
+  s.p95 = quantile(0.95);
+  s.p99 = quantile(0.99);
+  return s;
+}
+
+Counter& MetricsRegistry::counter(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = counters_.find(name);
+  if (it == counters_.end())
+    it = counters_.emplace(std::string(name), std::make_unique<Counter>())
+             .first;
+  return *it->second;
+}
+
+Gauge& MetricsRegistry::gauge(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end())
+    it = gauges_.emplace(std::string(name), std::make_unique<Gauge>()).first;
+  return *it->second;
+}
+
+Histogram& MetricsRegistry::histogram(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end())
+    it = histograms_.emplace(std::string(name), std::make_unique<Histogram>())
+             .first;
+  return *it->second;
+}
+
+MetricsSnapshot MetricsRegistry::snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  MetricsSnapshot s;
+  for (const auto& [name, c] : counters_)
+    s.counters.emplace_back(name, c->value());
+  for (const auto& [name, g] : gauges_)
+    s.gauges.emplace_back(name, g->value());
+  for (const auto& [name, h] : histograms_)
+    s.histograms.emplace_back(name, h->snapshot());
+  return s;
+}
+
+double MetricsRegistry::histogram_sum(std::string_view name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = histograms_.find(name);
+  return it == histograms_.end() ? 0.0 : it->second->snapshot().sum;
+}
+
+std::int64_t MetricsRegistry::counter_value(std::string_view name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = counters_.find(name);
+  return it == counters_.end() ? 0 : it->second->value();
+}
+
+}  // namespace qfr::obs

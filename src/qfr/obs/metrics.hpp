@@ -1,0 +1,113 @@
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace qfr::obs {
+
+/// Monotonic event count. add() is lock-free; handles returned by the
+/// registry stay valid for the registry's lifetime, so hot paths resolve
+/// a counter once and increment a cached pointer.
+class Counter {
+ public:
+  void add(std::int64_t n = 1) { v_.fetch_add(n, std::memory_order_relaxed); }
+  std::int64_t value() const { return v_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::int64_t> v_{0};
+};
+
+/// Last-written instantaneous value (queue depths, utilization).
+class Gauge {
+ public:
+  void set(double v) { v_.store(v, std::memory_order_relaxed); }
+  double value() const { return v_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> v_{0.0};
+};
+
+/// Aggregate view of a histogram at one instant.
+struct HistogramSnapshot {
+  std::int64_t count = 0;
+  double sum = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  double mean = 0.0;
+  double p50 = 0.0;
+  double p95 = 0.0;
+  double p99 = 0.0;
+};
+
+/// Lock-free log-scale histogram for positive durations/sizes.
+///
+/// Buckets are geometric with growth 2^(1/8) (~9.05% wide) spanning
+/// [1e-9, ~5e9), which covers nanosecond phase timings through
+/// multi-day makespans; quantiles interpolate inside the bucket, so the
+/// worst-case relative quantile error is half a bucket (~4.5%). Values
+/// below the range land in an underflow bucket (reported as the range
+/// minimum), values above in an overflow bucket. observe() is a couple of
+/// relaxed atomics plus CAS loops for sum/min/max — safe under the thread
+/// pool, cheap enough for per-iteration phase timers.
+class Histogram {
+ public:
+  static constexpr double kMinValue = 1e-9;
+  static constexpr int kBucketsPerOctave = 8;
+  static constexpr int kOctaves = 63;  // 1e-9 * 2^63 ~ 9.2e9
+  static constexpr int kBuckets = kBucketsPerOctave * kOctaves + 2;
+
+  void observe(double v);
+  HistogramSnapshot snapshot() const;
+
+ private:
+  static int bucket_index(double v);
+  static double bucket_lower(int index);
+
+  std::array<std::atomic<std::int64_t>, kBuckets> counts_{};
+  std::atomic<std::int64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+  std::atomic<double> min_{0.0};
+  std::atomic<double> max_{0.0};
+};
+
+/// One registry entry in a point-in-time snapshot.
+struct MetricsSnapshot {
+  std::vector<std::pair<std::string, std::int64_t>> counters;
+  std::vector<std::pair<std::string, double>> gauges;
+  std::vector<std::pair<std::string, HistogramSnapshot>> histograms;
+};
+
+/// Thread-safe named-metric registry. Lookup takes a mutex; the returned
+/// references are stable for the registry's lifetime, so instrumented
+/// code resolves names once (constructor, first use) and then operates
+/// lock-free. Names are dotted paths ("sched.retries",
+/// "dfpt.phase.p1.seconds") grouped by prefix in the export layer.
+class MetricsRegistry {
+ public:
+  Counter& counter(std::string_view name);
+  Gauge& gauge(std::string_view name);
+  Histogram& histogram(std::string_view name);
+
+  /// Point-in-time copy of every metric, sorted by name.
+  MetricsSnapshot snapshot() const;
+
+  /// Sum of a histogram's observations; 0 when absent. Convenience for
+  /// report assembly and tests.
+  double histogram_sum(std::string_view name) const;
+  std::int64_t counter_value(std::string_view name) const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+};
+
+}  // namespace qfr::obs

@@ -1,0 +1,55 @@
+#include "qfr/obs/session.hpp"
+
+#include <utility>
+
+namespace qfr::obs {
+
+namespace {
+thread_local Session* t_session = nullptr;
+}  // namespace
+
+Session* current() { return t_session; }
+
+ScopedSession::ScopedSession(Session* session) : previous_(t_session) {
+  t_session = session;
+}
+
+ScopedSession::~ScopedSession() { t_session = previous_; }
+
+void Session::instant(const char* name, const char* cat,
+                      std::vector<TraceArg> args) {
+  TraceEvent ev;
+  ev.name = name;
+  ev.cat = cat;
+  ev.ph = 'i';
+  ev.ts_us = clock().now_micros();
+  ev.pid = kTracePidRuntime;
+  ev.tid = trace_thread_id();
+  ev.args = std::move(args);
+  tracer_.emit(std::move(ev));
+}
+
+LogCapture::LogCapture(Session& session, bool also_stderr) {
+  Session* s = &session;
+  previous_ = Log::set_sink([s, also_stderr](const LogRecord& record) {
+    TraceEvent ev;
+    ev.name = "log";
+    ev.cat = "log";
+    ev.ph = 'i';
+    ev.ts_us = s->clock().now_micros();
+    ev.pid = kTracePidRuntime;
+    ev.tid = record.tid;
+    ev.args.push_back(TraceArg{
+        "level", static_cast<double>(static_cast<int>(record.level)), {},
+        true});
+    ev.args.push_back(
+        TraceArg{"message", 0.0, std::string(record.message), false});
+    s->tracer().emit(std::move(ev));
+    s->metrics().counter("log.messages").add(1);
+    if (also_stderr) Log::write_stderr(record);
+  });
+}
+
+LogCapture::~LogCapture() { Log::set_sink(std::move(previous_)); }
+
+}  // namespace qfr::obs

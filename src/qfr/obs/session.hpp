@@ -1,0 +1,80 @@
+#pragma once
+
+#include <functional>
+
+#include "qfr/common/log.hpp"
+#include "qfr/obs/clock.hpp"
+#include "qfr/obs/metrics.hpp"
+#include "qfr/obs/trace.hpp"
+
+namespace qfr::obs {
+
+/// One observed run: a metrics registry plus a span tracer sharing a
+/// clock. The session is caller-owned and explicitly threaded to the
+/// subsystems that record into it (runtime options, workflow options);
+/// within a thread it is also installed as the ambient session so deep
+/// code (SCF iterations, DFPT phases) can instrument itself without
+/// growing an options parameter on every layer — the same pattern as
+/// common::CancelScope.
+///
+/// No session installed (the default) means observability is off: every
+/// instrumentation site reduces to a thread-local load and a null check.
+class Session {
+ public:
+  /// `clock` is borrowed and must outlive the session; null selects the
+  /// shared WallClock.
+  explicit Session(const Clock* clock = nullptr)
+      : clock_(clock != nullptr ? clock : &WallClock::instance()) {}
+
+  MetricsRegistry& metrics() { return metrics_; }
+  const MetricsRegistry& metrics() const { return metrics_; }
+  Tracer& tracer() { return tracer_; }
+  const Tracer& tracer() const { return tracer_; }
+  const Clock& clock() const { return *clock_; }
+
+  /// Record an instant event ('i') at the session clock's current time on
+  /// the calling thread.
+  void instant(const char* name, const char* cat = "qfr",
+               std::vector<TraceArg> args = {});
+
+ private:
+  MetricsRegistry metrics_;
+  Tracer tracer_;
+  const Clock* clock_;
+};
+
+/// Ambient session of the calling thread; null when none is installed.
+Session* current();
+
+/// RAII push/pop of the ambient session for the current thread. Worker
+/// pools do not inherit the parent thread's scope — runtimes re-install
+/// the scope inside pooled tasks (see MasterRuntime, ScfEngine).
+class ScopedSession {
+ public:
+  explicit ScopedSession(Session* session);
+  ~ScopedSession();
+
+  ScopedSession(const ScopedSession&) = delete;
+  ScopedSession& operator=(const ScopedSession&) = delete;
+
+ private:
+  Session* previous_;
+};
+
+/// Routes every log line through the observability layer for the capture's
+/// lifetime: records an instant trace event per message (level, text) in
+/// `session` and, when `also_stderr`, still forwards to the default
+/// stderr sink. Installs a global Log sink — create at most one at a time.
+class LogCapture {
+ public:
+  explicit LogCapture(Session& session, bool also_stderr = true);
+  ~LogCapture();
+
+  LogCapture(const LogCapture&) = delete;
+  LogCapture& operator=(const LogCapture&) = delete;
+
+ private:
+  LogSink previous_;
+};
+
+}  // namespace qfr::obs

@@ -1,0 +1,132 @@
+#include "qfr/obs/trace.hpp"
+
+#include <atomic>
+#include <ostream>
+#include <utility>
+
+#include "qfr/obs/json.hpp"
+#include "qfr/obs/session.hpp"
+
+namespace qfr::obs {
+
+std::uint32_t trace_thread_id() {
+  static std::atomic<std::uint32_t> next{1};
+  thread_local const std::uint32_t id =
+      next.fetch_add(1, std::memory_order_relaxed);
+  return id;
+}
+
+namespace {
+/// Thread-local span nesting depth (the span stack; only the depth is
+/// needed since complete events carry their own interval).
+thread_local int t_span_depth = 0;
+}  // namespace
+
+Tracer::Tracer(std::size_t max_events) : max_events_(max_events) {
+  events_.reserve(std::min<std::size_t>(max_events, 4096));
+}
+
+bool Tracer::emit(TraceEvent ev) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (events_.size() >= max_events_) {
+    ++dropped_;
+    return false;
+  }
+  events_.push_back(std::move(ev));
+  return true;
+}
+
+std::size_t Tracer::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return events_.size();
+}
+
+std::size_t Tracer::n_dropped() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return dropped_;
+}
+
+std::vector<TraceEvent> Tracer::events() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return events_;
+}
+
+void Tracer::write_chrome_trace(std::ostream& os) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  os << "{\"traceEvents\":[\n";
+  // Metadata: name the runtime and simulation processes so Perfetto
+  // labels the tracks.
+  os << R"({"name":"process_name","ph":"M","pid":1,"tid":0,"args":{"name":"qframan runtime"}},)"
+     << "\n"
+     << R"({"name":"process_name","ph":"M","pid":2,"tid":0,"args":{"name":"qframan simulation"}})";
+  std::string buf;
+  for (const TraceEvent& ev : events_) {
+    buf.clear();
+    buf += ",\n{\"name\":\"";
+    json_escape(ev.name, buf);
+    buf += "\",\"cat\":\"";
+    json_escape(ev.cat, buf);
+    buf += "\",\"ph\":\"";
+    buf += ev.ph;
+    buf += "\",\"ts\":" + std::to_string(ev.ts_us);
+    if (ev.ph == 'X') buf += ",\"dur\":" + std::to_string(ev.dur_us);
+    if (ev.ph == 'i') buf += ",\"s\":\"t\"";
+    buf += ",\"pid\":" + std::to_string(ev.pid);
+    buf += ",\"tid\":" + std::to_string(ev.tid);
+    buf += ",\"args\":{\"depth\":" + std::to_string(ev.depth);
+    for (const TraceArg& a : ev.args) {
+      buf += ",\"";
+      json_escape(a.key, buf);
+      buf += "\":";
+      if (a.is_num) {
+        // Json's number formatting (finite check, integer form).
+        buf += Json(a.num).dump();
+      } else {
+        buf += '"';
+        json_escape(a.str, buf);
+        buf += '"';
+      }
+    }
+    buf += "}}";
+    os << buf;
+  }
+  os << "\n],\"displayTimeUnit\":\"ms\",\"otherData\":{\"dropped_events\":"
+     << dropped_ << "}}\n";
+}
+
+SpanGuard::SpanGuard(Session* session, const char* name, const char* cat)
+    : session_(session), name_(name), cat_(cat) {
+  if (session_ == nullptr) return;
+  t0_ = session_->clock().now_micros();
+  ++t_span_depth;
+}
+
+SpanGuard& SpanGuard::arg(const char* key, double value) {
+  if (session_ != nullptr)
+    args_.push_back(TraceArg{key, value, {}, true});
+  return *this;
+}
+
+SpanGuard& SpanGuard::arg(const char* key, std::string value) {
+  if (session_ != nullptr)
+    args_.push_back(TraceArg{key, 0.0, std::move(value), false});
+  return *this;
+}
+
+SpanGuard::~SpanGuard() {
+  if (session_ == nullptr) return;
+  const int depth = --t_span_depth;
+  TraceEvent ev;
+  ev.name = name_;
+  ev.cat = cat_;
+  ev.ph = 'X';
+  ev.ts_us = t0_;
+  ev.dur_us = session_->clock().now_micros() - t0_;
+  ev.pid = kTracePidRuntime;
+  ev.tid = trace_thread_id();
+  ev.depth = depth;
+  ev.args = std::move(args_);
+  session_->tracer().emit(std::move(ev));
+}
+
+}  // namespace qfr::obs

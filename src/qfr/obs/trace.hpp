@@ -1,0 +1,119 @@
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace qfr::obs {
+
+class Session;
+
+/// One event argument: either numeric or string. Keys are static strings
+/// (instrumentation sites use literals) so recording a span costs no
+/// allocation unless a string value is attached.
+struct TraceArg {
+  const char* key = "";
+  double num = 0.0;
+  std::string str;
+  bool is_num = true;
+};
+
+/// One Chrome trace_event record. `ph` follows the trace-event format:
+/// 'X' complete span, 'i' instant, 'M' metadata.
+struct TraceEvent {
+  const char* name = "";
+  const char* cat = "qfr";
+  char ph = 'X';
+  std::int64_t ts_us = 0;
+  std::int64_t dur_us = 0;
+  std::uint32_t pid = 1;
+  std::uint32_t tid = 0;
+  /// Span nesting depth at emission (from the thread-local span stack);
+  /// exported as an arg so flat consumers can rebuild the hierarchy
+  /// without re-deriving containment.
+  int depth = 0;
+  std::vector<TraceArg> args;
+};
+
+/// Process id conventions in exported traces: the threaded runtime and
+/// the DES get distinct pids so a wall-clock trace and a simulated-time
+/// trace of the same sweep sit side by side in Perfetto.
+inline constexpr std::uint32_t kTracePidRuntime = 1;
+inline constexpr std::uint32_t kTracePidSimulation = 2;
+
+/// Compact per-thread id (1, 2, ...) assigned on first use; stable for
+/// the thread's lifetime and much friendlier in trace viewers than
+/// std::thread::id hashes.
+std::uint32_t trace_thread_id();
+
+/// Thread-safe span/event recorder with a bounded buffer.
+///
+/// Events beyond `max_events` are counted as dropped instead of growing
+/// without bound — a 10^7-fragment sweep must not OOM the master because
+/// tracing was left on. The recorder is clock-agnostic: callers stamp
+/// timestamps (SpanGuard reads the owning Session's Clock; the DES passes
+/// simulated times directly).
+class Tracer {
+ public:
+  explicit Tracer(std::size_t max_events = 1u << 20);
+
+  /// Append one event; returns false (and counts a drop) past the cap.
+  bool emit(TraceEvent ev);
+
+  std::size_t size() const;
+  std::size_t n_dropped() const;
+
+  /// Copy of the recorded events (ts order is append order per thread,
+  /// not globally sorted; Chrome/Perfetto sort on load).
+  std::vector<TraceEvent> events() const;
+
+  /// Serialize to Chrome trace_event JSON ({"traceEvents": [...]})
+  /// loadable in chrome://tracing and Perfetto. Streams event-by-event so
+  /// large traces never build a second in-memory tree.
+  void write_chrome_trace(std::ostream& os) const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::vector<TraceEvent> events_;
+  std::size_t max_events_;
+  std::size_t dropped_ = 0;
+};
+
+/// RAII span: records a complete ('X') trace event covering its scope on
+/// the session's clock, maintaining the thread-local span stack depth.
+/// A null session makes every operation a no-op, which is the
+/// observability-disabled fast path (two branches per scope).
+class SpanGuard {
+ public:
+  SpanGuard(Session* session, const char* name, const char* cat = "qfr");
+  ~SpanGuard();
+
+  SpanGuard(const SpanGuard&) = delete;
+  SpanGuard& operator=(const SpanGuard&) = delete;
+
+  SpanGuard& arg(const char* key, double value);
+  SpanGuard& arg(const char* key, std::string value);
+
+ private:
+  Session* session_;
+  std::int64_t t0_ = 0;
+  std::vector<TraceArg> args_;
+  const char* name_;
+  const char* cat_;
+};
+
+#define QFR_OBS_CONCAT_INNER(a, b) a##b
+#define QFR_OBS_CONCAT(a, b) QFR_OBS_CONCAT_INNER(a, b)
+
+/// Span over the rest of the enclosing scope, attached to the ambient
+/// session (obs::current()); no-op when no session is installed.
+///   QFR_TRACE_SPAN("scf.solve");
+/// For spans carrying args, declare a named SpanGuard and call .arg().
+#define QFR_TRACE_SPAN(...)                               \
+  ::qfr::obs::SpanGuard QFR_OBS_CONCAT(qfr_obs_span_,     \
+                                       __COUNTER__)(      \
+      ::qfr::obs::current(), __VA_ARGS__)
+
+}  // namespace qfr::obs

@@ -9,6 +9,8 @@
 #include "qfr/common/timer.hpp"
 #include "qfr/engine/model_engine.hpp"
 #include "qfr/engine/scf_engine.hpp"
+#include "qfr/obs/export.hpp"
+#include "qfr/obs/session.hpp"
 #include "qfr/spectra/infrared.hpp"
 
 namespace qfr::qframan {
@@ -69,9 +71,24 @@ WorkflowResult RamanWorkflow::run(const frag::BioSystem& system,
   QFR_REQUIRE(system.n_atoms() > 0, "empty biosystem");
   WorkflowResult out;
 
+  // Observability: use the caller's session, or spin up a private one
+  // when an export path asks for artifacts without a session to fill.
+  std::unique_ptr<obs::Session> owned_session;
+  obs::Session* session = options_.obs;
+  if (session == nullptr &&
+      (!options_.trace_path.empty() || !options_.report_path.empty())) {
+    owned_session = std::make_unique<obs::Session>();
+    session = owned_session.get();
+  }
+  // Ambient on the master thread; MasterRuntime re-installs it per
+  // leader/worker thread from RuntimeOptions::obs.
+  obs::ScopedSession ambient(session);
+
   // 1. Fragmentation (the master's decomposition step).
-  frag::Fragmentation fr =
-      frag::fragment_biosystem(system, options_.fragmentation);
+  frag::Fragmentation fr = [&] {
+    obs::SpanGuard span(session, "workflow.fragmentation", "workflow");
+    return frag::fragment_biosystem(system, options_.fragmentation);
+  }();
   out.fragmentation_stats = fr.stats;
   QFR_LOG_INFO("fragmented system: ", fr.stats.total_fragments,
                " fragments over ", system.n_atoms(), " atoms");
@@ -131,9 +148,13 @@ WorkflowResult RamanWorkflow::run(const frag::BioSystem& system,
   ropts.supervision.enabled = options_.supervise;
   ropts.supervision.heartbeat_timeout = options_.heartbeat_timeout;
   ropts.supervision.poll_interval = options_.supervisor_poll_interval;
+  ropts.obs = session;
   const runtime::MasterRuntime rt(std::move(ropts));
   WallTimer engine_timer;
-  runtime::RunReport report = rt.run(fr.fragments, eng);
+  runtime::RunReport report = [&] {
+    obs::SpanGuard span(session, "workflow.sweep", "workflow");
+    return rt.run(fr.fragments, eng);
+  }();
   out.engine_seconds = engine_timer.seconds();
   out.n_tasks = report.n_tasks;
   for (const std::size_t id : completed_ids)
@@ -186,8 +207,11 @@ WorkflowResult RamanWorkflow::run(const frag::BioSystem& system,
   // in as empty results.
   frag::AssemblyOptions aopts = options_.assembly;
   if (out.sweep.n_dropped > 0) aopts.skip_missing_results = true;
-  out.properties = frag::assemble_global_properties(
-      system, fr.fragments, report.results, aopts);
+  {
+    obs::SpanGuard span(session, "workflow.assembly", "workflow");
+    out.properties = frag::assemble_global_properties(
+        system, fr.fragments, report.results, aopts);
+  }
 
   // 4. Spectral solve.
   const std::size_t dim = out.properties.hessian_mw.rows();
@@ -198,6 +222,8 @@ WorkflowResult RamanWorkflow::run(const frag::BioSystem& system,
   const la::Vector axis = spectra::wavenumber_axis(
       options_.omega_min_cm, options_.omega_max_cm, options_.omega_points);
   WallTimer solver_timer;
+  {
+  obs::SpanGuard solve_span(session, "workflow.solve", "workflow");
   if (solver == SolverKind::kExact) {
     const la::Matrix dense = out.properties.hessian_mw.to_dense();
     out.spectrum = spectra::raman_spectrum_exact(
@@ -219,7 +245,47 @@ WorkflowResult RamanWorkflow::run(const frag::BioSystem& system,
           options_.sigma_cm, lopts, gagq);
     out.used_lanczos = true;
   }
+  }
   out.solver_seconds = solver_timer.seconds();
+
+  // 5. Observability artifacts. Written last so the trace covers every
+  // workflow phase; the outcome CSV rides next to the checkpoint (the
+  // chaos-triage pairing: which fragment, which engine, how long).
+  if (session != nullptr) {
+    if (!options_.trace_path.empty()) {
+      std::ofstream os(options_.trace_path);
+      if (os.good()) {
+        session->tracer().write_chrome_trace(os);
+      } else {
+        QFR_LOG_WARN("cannot write trace to '", options_.trace_path, "'");
+      }
+    }
+    if (!options_.report_path.empty()) {
+      obs::RunContext ctx;
+      ctx.engine = eng.name();
+      ctx.n_fragments = n_fragments;
+      ctx.engine_seconds = out.engine_seconds;
+      ctx.solver_seconds = out.solver_seconds;
+      std::ofstream os(options_.report_path);
+      if (os.good()) {
+        obs::write_run_report_json(os, *session, &report, ctx);
+      } else {
+        QFR_LOG_WARN("cannot write run report to '", options_.report_path,
+                     "'");
+      }
+      const std::string csv_path =
+          (!options_.checkpoint_path.empty() ? options_.checkpoint_path
+                                             : options_.report_path) +
+          ".outcomes.csv";
+      std::ofstream csv(csv_path);
+      if (csv.good()) {
+        obs::write_outcomes_csv(csv, report.outcomes,
+                                &report.fragment_seconds);
+      } else {
+        QFR_LOG_WARN("cannot write outcome CSV to '", csv_path, "'");
+      }
+    }
+  }
   return out;
 }
 

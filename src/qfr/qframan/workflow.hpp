@@ -10,6 +10,10 @@
 #include "qfr/runtime/master_runtime.hpp"
 #include "qfr/spectra/raman.hpp"
 
+namespace qfr::obs {
+class Session;
+}  // namespace qfr::obs
+
 namespace qfr::qframan {
 
 /// Which per-fragment engine drives the sweep.
@@ -73,6 +77,19 @@ struct WorkflowOptions {
   bool supervise = false;
   double heartbeat_timeout = 1.0;
   double supervisor_poll_interval = 0.02;
+  /// Observability session for the run (metrics + trace). Not owned; when
+  /// null but trace_path or report_path is set, the workflow creates a
+  /// private session for the duration of run().
+  obs::Session* obs = nullptr;
+  /// Chrome trace_event JSON written after the run (open in
+  /// chrome://tracing or https://ui.perfetto.dev). Empty disables.
+  std::string trace_path;
+  /// Structured run-report JSON (schema qfr.run_report.v1): the DFPT
+  /// phase decomposition, SCF/CPSCF histograms, scheduler counters, and
+  /// per-leader utilization. Empty disables. Setting it also dumps the
+  /// per-fragment outcome CSV next to the checkpoint (or next to the
+  /// report when no checkpoint is configured).
+  std::string report_path;
 };
 
 /// Sweep-level scheduling/fault-tolerance diagnostics surfaced to the

@@ -14,6 +14,7 @@
 #include "qfr/common/timer.hpp"
 #include "qfr/engine/model_engine.hpp"
 #include "qfr/fault/fault_injector.hpp"
+#include "qfr/obs/session.hpp"
 #include "qfr/runtime/supervisor.hpp"
 
 namespace qfr::runtime {
@@ -73,6 +74,9 @@ RunReport MasterRuntime::run_impl(std::span<const frag::Fragment> fragments,
   RunReport report;
   report.results.resize(fragments.size());
   report.leaders.resize(options_.n_leaders);
+  report.fragment_seconds.assign(fragments.size(), 0.0);
+
+  obs::Session* const obs = options_.obs;
 
   // Master side: one scheduler instance shared by all leaders, with a
   // fresh per-run policy so the runtime stays reusable.
@@ -125,6 +129,10 @@ RunReport MasterRuntime::run_impl(std::span<const frag::Fragment> fragments,
   };
 
   auto leader_main = [&](std::size_t l) {
+    // Leader threads are created fresh per incarnation and never inherit
+    // thread-locals: install the ambient session here so everything the
+    // leader calls directly records into it.
+    obs::ScopedSession obs_scope(obs);
     WallTimer busy;
     double busy_acc = 0.0;
     // Each leader owns a private worker pool (paper: statically
@@ -155,10 +163,19 @@ RunReport MasterRuntime::run_impl(std::span<const frag::Fragment> fragments,
       std::vector<std::size_t> levels(task.size(), 0);
       std::vector<char> ok(task.size(), 0);
       std::vector<char> cancelled(task.size(), 0);
+      std::vector<double> seconds(task.size(), 0.0);
       workers.parallel_for(task.size(), [&](std::size_t k) {
         const std::size_t fid = task[k].fragment_id;
         // Degraded fragments run on their fallback engine from here on.
         levels[k] = scheduler.engine_level(fid);
+        // Pool threads do not inherit the leader's thread-locals.
+        obs::ScopedSession worker_scope(obs);
+        obs::SpanGuard span(obs, "fragment.compute", "runtime");
+        span.arg("fragment", static_cast<double>(fid))
+            .arg("level", static_cast<double>(levels[k]))
+            .arg("leader", static_cast<double>(l))
+            .arg("n_atoms", static_cast<double>(fragments[fid].n_atoms()));
+        WallTimer attempt;
         try {
           at.tokens[k].throw_if_cancelled();
           // Ambient token for the compute: cancellation-aware engines
@@ -166,6 +183,7 @@ RunReport MasterRuntime::run_impl(std::span<const frag::Fragment> fragments,
           common::CancelScope scope(at.tokens[k]);
           local[k] = compute_at(fragments[fid], levels[k]);
           ok[k] = 1;
+          seconds[k] = attempt.seconds();
         } catch (const CancelledError&) {
           cancelled[k] = 1;
           n_cancelled.fetch_add(1, std::memory_order_relaxed);
@@ -196,6 +214,13 @@ RunReport MasterRuntime::run_impl(std::span<const frag::Fragment> fragments,
           // retry/degradation path and never reaches the results array or
           // the sink — an injected NaN Hessian cannot leak into assembly.
           report.results[fid] = std::move(local[k]);
+          report.fragment_seconds[fid] = seconds[k];
+          if (obs != nullptr) {
+            obs->metrics().histogram("fragment.compute.seconds")
+                .observe(seconds[k]);
+            if (levels[k] > 0)
+              obs->metrics().counter("sched.fallback_completions").add(1);
+          }
           if (options_.sink) {
             std::lock_guard<std::mutex> lock(sink_mutex);
             options_.sink->on_result(fid, report.results[fid]);
@@ -251,7 +276,12 @@ RunReport MasterRuntime::run_impl(std::span<const frag::Fragment> fragments,
         have_next = true;
       }
       busy.reset();
-      process(current);
+      {
+        obs::SpanGuard task_span(obs, "leader.task", "runtime");
+        task_span.arg("leader", static_cast<double>(l))
+            .arg("n_fragments", static_cast<double>(current.task.size()));
+        process(current);
+      }
       busy_acc += busy.seconds();
       report.leaders[l].tasks++;
       report.leaders[l].fragments += current.task.size();
@@ -270,6 +300,7 @@ RunReport MasterRuntime::run_impl(std::span<const frag::Fragment> fragments,
     SupervisorOptions so;
     so.heartbeat_timeout = options_.supervision.heartbeat_timeout;
     so.poll_interval = options_.supervision.poll_interval;
+    so.obs = obs;
     supervisor.emplace(scheduler, so);
     supervisor->start(
         options_.n_leaders, [&wall] { return wall.seconds(); },
@@ -313,6 +344,23 @@ RunReport MasterRuntime::run_impl(std::span<const frag::Fragment> fragments,
   }
   report.outcomes = scheduler.outcomes();
   report.task_log = scheduler.task_log();
+
+  if (obs != nullptr) {
+    // The sweep-wide dispatch counters, mirrored into the registry so the
+    // run report carries them even when the RunReport object is dropped.
+    obs::MetricsRegistry& m = obs->metrics();
+    m.counter("sched.tasks").add(report.n_tasks);
+    m.counter("sched.requeued").add(report.n_requeued);
+    m.counter("sched.retries").add(report.n_retries);
+    m.counter("sched.resumed").add(report.n_resumed);
+    m.counter("sched.leases_revoked").add(report.n_leases_revoked);
+    m.counter("sched.cancelled").add(report.n_cancelled);
+    m.counter("sched.leader_crashes").add(report.n_leader_crashes);
+    m.counter("sched.leader_hangs").add(report.n_leader_hangs);
+    m.counter("sched.failed").add(report.n_failed());
+    m.counter("sched.degraded").add(report.n_degraded());
+    m.gauge("sched.makespan_seconds").set(report.makespan_seconds);
+  }
 
   if (report.n_leader_crashes + report.n_leader_hangs > 0) {
     QFR_LOG_WARN("sweep survived ", report.n_leader_crashes,

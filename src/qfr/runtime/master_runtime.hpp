@@ -16,6 +16,10 @@ namespace qfr::fault {
 class FaultInjector;
 }  // namespace qfr::fault
 
+namespace qfr::obs {
+class Session;
+}  // namespace qfr::obs
+
 namespace qfr::runtime {
 
 /// Leader supervision knobs (heartbeat failure detection + respawn).
@@ -75,6 +79,11 @@ struct RuntimeOptions {
   std::string primary_engine_name = "primary";
   /// Leader supervision (heartbeats, lease revocation, respawn).
   SupervisionOptions supervision;
+  /// Observability session recording this sweep (metrics, trace spans).
+  /// The runtime installs it as the ambient session on every leader and
+  /// worker thread, so engines instrument themselves without plumbing.
+  /// Not owned; null disables all recording (the zero-cost default).
+  obs::Session* obs = nullptr;
   /// Optional fault source consulted at FaultSite::kLeader once per
   /// dispatched task (keyed on the leader id): kLeaderKill exits the
   /// leader thread mid-sweep, kLeaderHang silences its heartbeat. Only
@@ -106,6 +115,10 @@ struct RunReport {
   std::size_t n_cancelled = 0;       ///< computes stopped via CancelToken
   /// Terminal per-fragment records, indexed by fragment id.
   std::vector<FragmentOutcome> outcomes;
+  /// Wall seconds of the accepted compute attempt, indexed by fragment id
+  /// (0 for resumed or failed fragments) — the per-fragment cost column of
+  /// the outcome CSV and the load-balance denominator of the run report.
+  std::vector<double> fragment_seconds;
   /// Fragment ids of every dispatched task in dispatch order (the
   /// scheduler's task log; shared with the DES for parity checks).
   std::vector<std::vector<std::size_t>> task_log;

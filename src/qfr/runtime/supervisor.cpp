@@ -4,6 +4,7 @@
 #include <chrono>
 
 #include "qfr/common/error.hpp"
+#include "qfr/obs/session.hpp"
 
 namespace qfr::runtime {
 
@@ -107,6 +108,13 @@ void Supervisor::revoke_all_locked(LeaderSlot& slot) {
   for (Attempt& a : slot.attempts) {
     scheduler_.revoke_lease(a.lease);
     a.source.cancel();
+    if (options_.obs != nullptr) {
+      options_.obs->metrics().counter("sup.leases_revoked").add(1);
+      options_.obs->instant(
+          "lease.revoked", "supervision",
+          {{"fragment", static_cast<double>(a.lease.fragment_id), {}, true},
+           {"epoch", static_cast<double>(a.lease.epoch), {}, true}});
+    }
   }
   slot.attempts.clear();
 }
@@ -133,6 +141,12 @@ void Supervisor::poll_loop() {
         // zombie computes, and bring the leader back.
         revoke_all_locked(s);
         ++n_crashes_;
+        if (options_.obs != nullptr) {
+          options_.obs->metrics().counter("sup.leader_crashes").add(1);
+          options_.obs->instant(
+              "leader.crash", "supervision",
+              {{"leader", static_cast<double>(l), {}, true}});
+        }
         s.hung = false;
         s.last_beat = now;
         if (!scheduler_.finished()) to_respawn.push_back(l);
@@ -146,6 +160,13 @@ void Supervisor::poll_loop() {
         // its late deliveries are fenced by the revoked leases.
         s.hung = true;
         ++n_hangs_;
+        if (options_.obs != nullptr) {
+          options_.obs->metrics().counter("sup.leader_hangs").add(1);
+          options_.obs->instant(
+              "leader.hang", "supervision",
+              {{"leader", static_cast<double>(l), {}, true},
+               {"silent_seconds", now - s.last_beat, {}, true}});
+        }
         revoke_all_locked(s);
         continue;
       }

@@ -10,6 +10,10 @@
 #include "qfr/common/cancel.hpp"
 #include "qfr/runtime/sweep_scheduler.hpp"
 
+namespace qfr::obs {
+class Session;
+}  // namespace qfr::obs
+
 namespace qfr::runtime {
 
 /// Tuning of the leader supervisor.
@@ -20,6 +24,9 @@ struct SupervisorOptions {
   /// How often the supervisor scans heartbeats and drives the scheduler's
   /// straggler tick.
   double poll_interval = 0.02;
+  /// Observability session for supervision events (crash/hang/revocation
+  /// counters + instant trace events). Not owned; may be null.
+  obs::Session* obs = nullptr;
 };
 
 /// Failure detector + recovery driver for the leader threads of a sweep

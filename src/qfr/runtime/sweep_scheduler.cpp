@@ -4,6 +4,7 @@
 
 #include "qfr/common/error.hpp"
 #include "qfr/fault/validator.hpp"
+#include "qfr/obs/session.hpp"
 
 namespace qfr::runtime {
 
@@ -133,6 +134,12 @@ LeasedTask SweepScheduler::acquire(std::size_t queue_depth, double now) {
     }
     ++n_tasks_;
     task_log_.push_back(std::move(ids));
+    // Dispatch accounting on the ambient session of the acquiring leader
+    // (the supervisor's ticks carry no session and record nothing).
+    if (obs::Session* s = obs::current()) {
+      s->metrics().counter("sched.dispatched_fragments")
+          .add(out.items.size());
+    }
     return out;
   }
 }
@@ -194,6 +201,8 @@ void SweepScheduler::fail_locked(const Lease& lease, const std::string& error,
   FragmentOutcome& o = outcomes_[fragment_id];
   o.error = error;
   o.reason = reason;
+  if (obs::Session* s = obs::current())
+    s->metrics().counter("sched.failures").add(1);
 
   // The per-level retry budget runs from the attempt that entered the
   // current engine level.
@@ -213,6 +222,12 @@ void SweepScheduler::fail_locked(const Lease& lease, const std::string& error,
     ++o.engine_level;
     retry_base_[fragment_id] = o.attempts;
     ++n_degraded_;
+    if (obs::Session* s = obs::current()) {
+      s->metrics().counter("sched.degrade_events").add(1);
+      s->instant("fragment.degrade", "scheduler",
+                 {{"fragment", static_cast<double>(fragment_id), {}, true},
+                  {"level", static_cast<double>(o.engine_level), {}, true}});
+    }
     tracker_->reset(fragment_id, lease.epoch);
     policy_->requeue({items_by_id_[fragment_id]});
     ++n_requeue_tasks_;
@@ -223,6 +238,11 @@ void SweepScheduler::fail_locked(const Lease& lease, const std::string& error,
   tracker_->reset(fragment_id, lease.epoch);
   dead_[fragment_id] = 1;
   ++n_failed_;
+  if (obs::Session* s = obs::current()) {
+    s->metrics().counter("sched.permanent_failures").add(1);
+    s->instant("fragment.failed", "scheduler",
+               {{"fragment", static_cast<double>(fragment_id), {}, true}});
+  }
 }
 
 bool SweepScheduler::revoke_lease(const Lease& lease) {

@@ -6,7 +6,9 @@
 
 #include "qfr/common/error.hpp"
 #include "qfr/common/log.hpp"
+#include "qfr/common/timer.hpp"
 #include "qfr/grid/molgrid.hpp"
+#include "qfr/obs/session.hpp"
 #include "qfr/grid/orbital_eval.hpp"
 #include "qfr/integrals/one_electron.hpp"
 #include "qfr/la/blas.hpp"
@@ -129,6 +131,21 @@ ScfSolver::ScfSolver(std::shared_ptr<const ScfContext> ctx, ScfOptions options)
 }
 
 ScfResult ScfSolver::solve(const Matrix* initial_density) const {
+  QFR_TRACE_SPAN("scf.solve", "scf");
+  WallTimer solve_timer;
+  obs::Session* const obs = obs::current();
+  // Record the whole-solve wall time on every exit path, including the
+  // nonconvergence throw.
+  struct SolveRecord {
+    obs::Session* obs;
+    WallTimer* timer;
+    ~SolveRecord() {
+      if (obs != nullptr)
+        obs->metrics().histogram("scf.solve.seconds")
+            .observe(timer->seconds());
+    }
+  } solve_record{obs, &solve_timer};
+
   const auto& ctx = *ctx_;
   const std::size_t n = ctx.bs.n_functions();
   const int n_occ = ctx.mol.electron_count() / 2;
@@ -307,8 +324,11 @@ ScfResult ScfSolver::solve(const Matrix* initial_density) const {
   };
 
   if (std::optional<ScfResult> res =
-          attempt(options_.level_shift, options_.density_damping))
+          attempt(options_.level_shift, options_.density_damping)) {
+    if (obs != nullptr)
+      obs->metrics().histogram("scf.iterations").observe(res->iterations);
     return *res;
+  }
 
   const double shift2 =
       std::max(options_.level_shift, options_.escalation_level_shift);
@@ -324,6 +344,8 @@ ScfResult ScfSolver::solve(const Matrix* initial_density) const {
                  damp2);
     if (std::optional<ScfResult> res = attempt(shift2, damp2)) {
       res->escalated = true;
+      if (obs != nullptr)
+        obs->metrics().histogram("scf.iterations").observe(res->iterations);
       return *res;
     }
   }

@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <atomic>
 #include <cmath>
+#include <fstream>
+#include <map>
+#include <sstream>
 
 #include "qfr/chem/protein.hpp"
 #include "qfr/common/error.hpp"
@@ -10,6 +13,7 @@
 #include "qfr/fault/fault_injector.hpp"
 #include "qfr/fault/faulty_engine.hpp"
 #include "qfr/la/blas.hpp"
+#include "qfr/obs/json.hpp"
 #include "qfr/qframan/workflow.hpp"
 
 namespace qfr::qframan {
@@ -313,6 +317,93 @@ TEST(Workflow, CheckpointResumeRecomputesOnlyMissingFragments) {
   const WorkflowResult again = RamanWorkflow(opts).run(sys, idle_eng);
   EXPECT_EQ(idle_eng.computes(), 0);
   EXPECT_EQ(again.sweep.n_resumed, n_fragments);
+}
+
+// Observability acceptance: an instrumented ab initio run leaves behind
+// (a) a Chrome trace that parses and contains per-fragment DFPT phase
+// spans, (b) a run report whose four-phase decomposition covers the
+// CPSCF solve time, and (c) the per-fragment outcome CSV.
+TEST(Workflow, ObservabilityArtifactsFromScfHfRun) {
+  frag::BioSystem sys;
+  sys.waters.push_back(chem::make_water({0, 0, 0}));
+  sys.waters.push_back(chem::make_water({25.0, 0, 0}));
+  const std::string trace_path = "/tmp/qfr_workflow_obs_trace.json";
+  const std::string report_path = "/tmp/qfr_workflow_obs_report.json";
+  WorkflowOptions opts;
+  opts.engine = EngineKind::kScfHf;
+  opts.sigma_cm = 30.0;
+  opts.omega_max_cm = 5000.0;
+  opts.trace_path = trace_path;
+  opts.report_path = report_path;
+  const WorkflowResult res = RamanWorkflow(opts).run(sys);
+  ASSERT_GT(res.sweep.n_fragments, 0u);
+
+  // (a) The trace is loadable JSON covering every pipeline phase plus the
+  // per-fragment engine and DFPT spans.
+  std::ifstream tf(trace_path);
+  ASSERT_TRUE(tf.good()) << trace_path;
+  std::stringstream tbuf;
+  tbuf << tf.rdbuf();
+  std::string err;
+  const auto trace = obs::Json::parse(tbuf.str(), &err);
+  ASSERT_TRUE(trace.has_value()) << err;
+  const obs::Json* events = trace->find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  ASSERT_TRUE(events->is_array());
+  std::map<std::string, int> span_count;
+  for (std::size_t i = 0; i < events->size(); ++i)
+    ++span_count[events->at(i).find("name")->as_string()];
+  for (const char* required :
+       {"workflow.fragmentation", "workflow.sweep", "workflow.assembly",
+        "workflow.solve", "leader.task", "fragment.compute", "scf.solve",
+        "cpscf.solve", "dfpt.p1", "dfpt.v1", "dfpt.h1"})
+    EXPECT_GE(span_count[required], 1) << "missing span: " << required;
+  // One compute span per fragment on this clean run.
+  EXPECT_EQ(span_count["fragment.compute"],
+            static_cast<int>(res.sweep.n_fragments));
+
+  // (b) The run report is valid JSON with the documented schema, and the
+  // CPSCF phase decomposition accounts for the solve time (each solver
+  // iteration is p1 + induced-Fock work, so the sum must nearly cover the
+  // whole-solve histogram).
+  std::ifstream rf(report_path);
+  ASSERT_TRUE(rf.good()) << report_path;
+  std::stringstream rbuf;
+  rbuf << rf.rdbuf();
+  const auto report = obs::Json::parse(rbuf.str(), &err);
+  ASSERT_TRUE(report.has_value()) << err;
+  EXPECT_EQ(report->find("schema")->as_string(), "qfr.run_report.v1");
+  const obs::Json* dfpt = report->find("dfpt");
+  ASSERT_NE(dfpt, nullptr);
+  const double phase_sum = dfpt->find("phases")->find("sum_seconds")->as_double();
+  const double solve_seconds = dfpt->find("solve_seconds")->as_double();
+  ASSERT_GT(solve_seconds, 0.0);
+  EXPECT_GT(phase_sum, 0.0);
+  EXPECT_NEAR(phase_sum, solve_seconds, 0.05 * solve_seconds);
+  EXPECT_GT(report->find("scf")->find("solve_seconds")->as_double(), 0.0);
+  const obs::Json* sched = report->find("scheduler");
+  ASSERT_NE(sched, nullptr);
+  EXPECT_DOUBLE_EQ(sched->find("n_tasks")->as_double(),
+                   static_cast<double>(res.n_tasks));
+  ASSERT_NE(report->find("leaders"), nullptr);
+  EXPECT_GT(report->find("leaders")->size(), 0u);
+
+  // (c) The outcome CSV (next to the report: no checkpoint configured)
+  // has the documented header and one completed row per fragment.
+  std::ifstream csv(report_path + ".outcomes.csv");
+  ASSERT_TRUE(csv.good());
+  std::string line;
+  ASSERT_TRUE(std::getline(csv, line));
+  EXPECT_EQ(line,
+            "fragment_id,completed,engine,engine_level,reason,attempts,"
+            "from_checkpoint,wall_seconds,error");
+  std::size_t rows = 0;
+  while (std::getline(csv, line)) {
+    if (line.empty()) continue;
+    ++rows;
+    EXPECT_NE(line.find(",1,"), std::string::npos) << line;  // completed
+  }
+  EXPECT_EQ(rows, res.sweep.n_fragments);
 }
 
 }  // namespace
