@@ -15,9 +15,13 @@
 #   finish with exactly-once, baseline-identical results) plus the slow
 #   DES scaling studies. Excluded from the tier-1 ctest run by
 #   CONFIGURATIONS so the default gate stays fast.
-# Stage 4 (bench smoke): one instrumented bench run emitting its
-#   qfr.bench.v1 JSON trajectory point (BENCH_fig09.json) — catches
-#   bench-binary and exporter rot without timing anything.
+# Stage 4 (bench smoke): instrumented bench runs emitting their
+#   qfr.bench.v1 JSON trajectory points (BENCH_fig09.json,
+#   BENCH_cache.json) — catches bench-binary and exporter rot without
+#   timing anything.
+# Stage 5 (cache smoke): the solvated-protein example with the result
+#   cache enabled must report a nonzero cache_hit_rate — the end-to-end
+#   proof that canonicalization recognizes the box's rigid water copies.
 #
 # Usage: scripts/ci.sh [--skip-sanitizers]
 set -euo pipefail
@@ -35,11 +39,22 @@ ctest --test-dir build --output-on-failure -j "$JOBS"
 echo "== soak lane: chaos soak + slow DES studies (release tree) =="
 ctest --test-dir build -C soak -L soak --output-on-failure
 
-echo "== bench smoke: fig09 with JSON export =="
+echo "== bench smoke: fig09 + cache_dedup with JSON export =="
 build/bench/fig09_step_speedup --json build/BENCH_fig09.json >/dev/null
 python3 -c "import json; json.load(open('build/BENCH_fig09.json'))" \
   2>/dev/null || { echo "BENCH_fig09.json is not valid JSON"; exit 1; }
 echo "BENCH_fig09.json ok"
+build/bench/cache_dedup --json build/BENCH_cache.json >/dev/null
+python3 -c "import json; json.load(open('build/BENCH_cache.json'))" \
+  2>/dev/null || { echo "BENCH_cache.json is not valid JSON"; exit 1; }
+echo "BENCH_cache.json ok"
+
+echo "== cache smoke: solvated example must report a nonzero hit rate =="
+HIT_RATE=$(build/examples/solvated_protein 10 16 |
+  sed -n 's/^cache_hit_rate=//p')
+python3 -c "import sys; rate = float('${HIT_RATE:-0}'); sys.exit(0 if rate > 0 else 1)" ||
+  { echo "cache smoke failed: hit rate '${HIT_RATE:-}' not > 0"; exit 1; }
+echo "cache_hit_rate=${HIT_RATE} ok"
 
 if [[ "$SKIP_SANITIZERS" == "1" ]]; then
   echo "== sanitizer stages skipped =="
@@ -48,10 +63,11 @@ fi
 
 # The robustness suites: everything exercising fault injection, the
 # validator/degradation machinery, the CRC-framed checkpoint format, the
-# lease-fenced supervised runtime, and the observability layer (whose
-# registry/tracer must stay clean under the thread pool — the TSan leg).
+# lease-fenced supervised runtime, the observability layer, and the
+# result cache (whose registry/tracer/single-flight paths must stay
+# clean under the thread pool — the TSan leg).
 ROBUSTNESS_TESTS=(test_fault test_checkpoint test_scheduler test_tracker
-                  test_supervisor test_obs)
+                  test_supervisor test_obs test_cache)
 
 for SAN in address undefined thread; do
   case "$SAN" in

@@ -1,0 +1,48 @@
+#pragma once
+
+#include "qfr/cache/store.hpp"
+#include "qfr/engine/fragment_engine.hpp"
+
+namespace qfr::cache {
+
+/// FragmentEngine decorator serving computes through a shared ResultCache
+/// (same wrapping pattern as fault::FaultyEngine): a geometry seen before
+/// — under any rigid motion or atom relabeling — is answered from the
+/// cache and mapped into the caller's lab frame; a new geometry computes
+/// on the inner engine (single-flight: concurrent requests for the same
+/// content cost one inner compute) and is remembered.
+///
+/// Cache entries are namespaced by the inner engine's name, so two
+/// CachingEngines over different engines can share one ResultCache
+/// without ever serving each other's results.
+///
+/// Neither the inner engine nor the cache is owned; both must outlive the
+/// wrapper. Thread-compatible like every FragmentEngine.
+class CachingEngine final : public engine::FragmentEngine {
+ public:
+  CachingEngine(const engine::FragmentEngine& inner, ResultCache& cache)
+      : inner_(&inner), cache_(&cache) {}
+
+  engine::FragmentResult compute(const chem::Molecule& f) const override {
+    return cache_->get_or_compute(inner_->name(), f,
+                                  [&] { return inner_->compute(f); });
+  }
+
+  engine::FragmentResult compute(std::size_t fragment_id,
+                                 const chem::Molecule& f) const override {
+    return cache_->get_or_compute(
+        inner_->name(), f, [&] { return inner_->compute(fragment_id, f); });
+  }
+
+  /// Transparent for provenance: a cached result is still the inner
+  /// engine's result, so outcome records keep the inner name.
+  std::string name() const override { return inner_->name(); }
+
+  const ResultCache& cache() const { return *cache_; }
+
+ private:
+  const engine::FragmentEngine* inner_;
+  ResultCache* cache_;
+};
+
+}  // namespace qfr::cache

@@ -1,0 +1,494 @@
+#include "qfr/cache/store.hpp"
+
+#include <chrono>
+#include <cmath>
+#include <condition_variable>
+#include <cstdio>
+#include <sstream>
+
+#include "qfr/common/cancel.hpp"
+#include "qfr/common/crc32.hpp"
+#include "qfr/common/error.hpp"
+#include "qfr/frag/checkpoint.hpp"
+#include "qfr/obs/session.hpp"
+#include "qfr/obs/trace.hpp"
+
+namespace qfr::cache {
+
+namespace {
+
+constexpr std::uint64_t kStoreMagic = 0x43524651u;  // "QFRC"
+constexpr std::uint64_t kStoreVersion = 1;
+constexpr std::uint64_t kMaxKeyBytes = 1ull << 24;
+constexpr std::uint64_t kMaxPayloadBytes = 1ull << 32;
+
+void put_u64(std::ostream& os, std::uint64_t v) {
+  os.write(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+bool get_u64(std::istream& is, std::uint64_t* v) {
+  is.read(reinterpret_cast<char*>(v), sizeof(*v));
+  return is.good();
+}
+
+bool all_finite(const la::Matrix& m) {
+  const double* p = m.data();
+  for (std::size_t i = 0; i < m.size(); ++i)
+    if (!std::isfinite(p[i])) return false;
+  return true;
+}
+
+/// One CRC-framed store record: [key_len][payload_len][key][payload][crc].
+/// The CRC covers key + payload together, so damage to either side is
+/// detected; the two length fields make a damaged record skippable.
+void put_frame(std::ostream& os, const FragmentKey& key,
+               const engine::FragmentResult& canonical) {
+  std::ostringstream kos(std::ios::binary);
+  write_key(kos, key);
+  std::ostringstream pos(std::ios::binary);
+  frag::write_result_record(pos, canonical);
+  const std::string kb = kos.str();
+  const std::string pb = pos.str();
+
+  put_u64(os, static_cast<std::uint64_t>(kb.size()));
+  put_u64(os, static_cast<std::uint64_t>(pb.size()));
+  os.write(kb.data(), static_cast<std::streamsize>(kb.size()));
+  os.write(pb.data(), static_cast<std::streamsize>(pb.size()));
+  // The CRC is taken over key and payload together (the one-shot helper
+  // wants a single buffer), so damage to either side fails the check.
+  std::string joined;
+  joined.reserve(kb.size() + pb.size());
+  joined.append(kb).append(pb);
+  put_u64(os, common::crc32(joined.data(), joined.size()));
+}
+
+}  // namespace
+
+bool result_is_finite(const engine::FragmentResult& r) {
+  return std::isfinite(r.energy) && all_finite(r.hessian) &&
+         all_finite(r.alpha) && all_finite(r.dalpha) && all_finite(r.dmu);
+}
+
+std::size_t result_bytes(const engine::FragmentResult& r) {
+  return sizeof(engine::FragmentResult) +
+         (r.hessian.size() + r.alpha.size() + r.dalpha.size() +
+          r.dmu.size()) *
+             sizeof(double);
+}
+
+// ---------------------------------------------------------------------------
+
+/// Per-key latch for single-flight deduplication. Waiters hold a
+/// shared_ptr, so the latch outlives its shard-map entry.
+struct ResultCache::InFlight {
+  std::mutex m;
+  std::condition_variable cv;
+  bool done = false;
+  bool failed = false;  ///< leader threw, or its result was refused
+  std::shared_ptr<const engine::FragmentResult> canonical;
+};
+
+struct ResultCache::Shard {
+  struct Entry {
+    FragmentKey key;
+    std::shared_ptr<const engine::FragmentResult> value;
+    std::size_t bytes = 0;
+  };
+
+  std::mutex m;
+  std::list<Entry> lru;  ///< front = most recently used
+  std::unordered_map<FragmentKey, std::list<Entry>::iterator, FragmentKeyHash>
+      map;
+  std::unordered_map<FragmentKey, std::shared_ptr<InFlight>, FragmentKeyHash>
+      inflight;
+  std::size_t bytes = 0;
+  std::size_t budget = 0;
+};
+
+ResultCache::ResultCache(CacheOptions opts) : opts_(std::move(opts)) {
+  QFR_REQUIRE(opts_.tolerance > 0.0, "cache tolerance must be > 0");
+  if (opts_.n_shards == 0) opts_.n_shards = 1;
+  shards_.reserve(opts_.n_shards);
+  const std::size_t budget =
+      std::max<std::size_t>(1, opts_.max_bytes / opts_.n_shards);
+  for (std::size_t i = 0; i < opts_.n_shards; ++i) {
+    shards_.push_back(std::make_unique<Shard>());
+    shards_.back()->budget = budget;
+  }
+  if (!opts_.store_path.empty()) load_store();
+}
+
+ResultCache::~ResultCache() = default;
+
+ResultCache::Shard& ResultCache::shard_for(const FragmentKey& key) const {
+  return *shards_[static_cast<std::size_t>(key.h0) % shards_.size()];
+}
+
+void ResultCache::bump(const char* metric, std::int64_t n) const {
+  if (obs::Session* s = obs::current()) s->metrics().counter(metric).add(n);
+}
+
+void ResultCache::publish_bytes_gauge() const {
+  if (obs::Session* s = obs::current()) {
+    std::size_t total = 0;
+    for (const auto& sh : shards_) {
+      std::lock_guard<std::mutex> lk(sh->m);
+      total += sh->bytes;
+    }
+    s->metrics().gauge("qfr.cache.bytes").set(static_cast<double>(total));
+  }
+}
+
+engine::FragmentResult ResultCache::get_or_compute(std::string_view ns,
+                                                   const chem::Molecule& mol,
+                                                   const ComputeFn& compute) {
+  const Canonicalization c = canonicalize(mol, opts_.tolerance, ns);
+  Shard& shard = shard_for(c.key);
+  const common::CancelToken cancel = common::current_cancel_token();
+
+  bool counted_wait = false;
+  for (;;) {
+    std::shared_ptr<const engine::FragmentResult> value;
+    std::shared_ptr<InFlight> fl;
+    bool leader = false;
+    {
+      std::lock_guard<std::mutex> lk(shard.m);
+      auto it = shard.map.find(c.key);
+      if (it != shard.map.end()) {
+        shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+        value = it->second->value;
+      } else {
+        auto fit = shard.inflight.find(c.key);
+        if (fit == shard.inflight.end()) {
+          fl = std::make_shared<InFlight>();
+          shard.inflight.emplace(c.key, fl);
+          leader = true;
+        } else {
+          fl = fit->second;
+        }
+      }
+    }
+
+    if (value) {
+      hits_.fetch_add(1, std::memory_order_relaxed);
+      bump("qfr.cache.hits");
+      obs::SpanGuard span(obs::current(), "cache.hit", "cache");
+      span.arg("atoms", static_cast<double>(c.key.n_atoms()));
+      engine::FragmentResult out = to_lab_frame(*value, c);
+      out.cache_hit = true;
+      return out;
+    }
+
+    if (leader) return compute_as_leader(shard, c, fl, compute);
+
+    // Someone else is computing this key: wait for their publication.
+    // Short timed waits keep the waiter responsive to cooperative
+    // cancellation (a revoked lease must not hang on a foreign compute).
+    if (!counted_wait) {
+      counted_wait = true;
+      inflight_waits_.fetch_add(1, std::memory_order_relaxed);
+      bump("qfr.cache.inflight_waits");
+    }
+    bool ok = false;
+    {
+      std::unique_lock<std::mutex> lk(fl->m);
+      while (!fl->done) {
+        cancel.throw_if_cancelled();
+        fl->cv.wait_for(lk, std::chrono::milliseconds(1));
+      }
+      if (!fl->failed && fl->canonical) {
+        value = fl->canonical;
+        ok = true;
+      }
+    }
+    if (ok) {
+      hits_.fetch_add(1, std::memory_order_relaxed);
+      bump("qfr.cache.hits");
+      obs::SpanGuard span(obs::current(), "cache.hit", "cache");
+      span.arg("atoms", static_cast<double>(c.key.n_atoms()));
+      engine::FragmentResult out = to_lab_frame(*value, c);
+      out.cache_hit = true;
+      return out;
+    }
+    // Leader failed (threw, or its result was refused): retry from the
+    // top — this request may find a value inserted meanwhile or become
+    // the new leader and compute for itself.
+  }
+}
+
+engine::FragmentResult ResultCache::compute_as_leader(
+    Shard& shard, const Canonicalization& c,
+    const std::shared_ptr<InFlight>& fl, const ComputeFn& compute) {
+  engine::FragmentResult lab;
+  bool accepted = false;
+  std::shared_ptr<const engine::FragmentResult> canonical;
+  try {
+    // Compute on the ORIGINAL lab geometry: the first compute of any
+    // geometry is bitwise identical to an uncached run, and engines with
+    // topology fast paths see the unmodified atom order.
+    lab = compute();
+    if (result_is_finite(lab) && (!filter_ || filter_(lab))) {
+      canonical = std::make_shared<const engine::FragmentResult>(
+          to_canonical_frame(lab, c));
+      std::lock_guard<std::mutex> lk(shard.m);
+      accepted = insert_locked(shard, c.key, canonical);
+    } else {
+      insert_rejects_.fetch_add(1, std::memory_order_relaxed);
+      bump("qfr.cache.insert_rejects");
+    }
+  } catch (...) {
+    {
+      std::lock_guard<std::mutex> lk(shard.m);
+      shard.inflight.erase(c.key);
+    }
+    {
+      std::lock_guard<std::mutex> lk(fl->m);
+      fl->done = true;
+      fl->failed = true;
+    }
+    fl->cv.notify_all();
+    throw;
+  }
+
+  if (accepted) append_to_store(c.key, *canonical);
+
+  {
+    std::lock_guard<std::mutex> lk(shard.m);
+    shard.inflight.erase(c.key);
+  }
+  {
+    std::lock_guard<std::mutex> lk(fl->m);
+    fl->done = true;
+    fl->failed = !accepted;
+    if (accepted) fl->canonical = canonical;
+  }
+  fl->cv.notify_all();
+
+  misses_.fetch_add(1, std::memory_order_relaxed);
+  bump("qfr.cache.misses");
+  publish_bytes_gauge();
+  lab.cache_hit = false;
+  return lab;
+}
+
+std::optional<engine::FragmentResult> ResultCache::lookup(
+    std::string_view ns, const chem::Molecule& mol) {
+  const Canonicalization c = canonicalize(mol, opts_.tolerance, ns);
+  Shard& shard = shard_for(c.key);
+  std::shared_ptr<const engine::FragmentResult> value;
+  {
+    std::lock_guard<std::mutex> lk(shard.m);
+    auto it = shard.map.find(c.key);
+    if (it != shard.map.end()) {
+      shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+      value = it->second->value;
+    }
+  }
+  if (!value) {
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    bump("qfr.cache.misses");
+    return std::nullopt;
+  }
+  hits_.fetch_add(1, std::memory_order_relaxed);
+  bump("qfr.cache.hits");
+  engine::FragmentResult out = to_lab_frame(*value, c);
+  out.cache_hit = true;
+  return out;
+}
+
+bool ResultCache::insert(std::string_view ns, const chem::Molecule& mol,
+                         const engine::FragmentResult& lab) {
+  if (!result_is_finite(lab) || (filter_ && !filter_(lab))) {
+    insert_rejects_.fetch_add(1, std::memory_order_relaxed);
+    bump("qfr.cache.insert_rejects");
+    return false;
+  }
+  const Canonicalization c = canonicalize(mol, opts_.tolerance, ns);
+  auto canonical = std::make_shared<const engine::FragmentResult>(
+      to_canonical_frame(lab, c));
+  Shard& shard = shard_for(c.key);
+  bool accepted = false;
+  {
+    std::lock_guard<std::mutex> lk(shard.m);
+    accepted = insert_locked(shard, c.key, canonical);
+  }
+  if (accepted) append_to_store(c.key, *canonical);
+  publish_bytes_gauge();
+  return accepted;
+}
+
+bool ResultCache::insert_locked(
+    Shard& shard, const FragmentKey& key,
+    std::shared_ptr<const engine::FragmentResult> canonical) {
+  auto it = shard.map.find(key);
+  if (it != shard.map.end()) {
+    // First write wins: a concurrent leader already published this key.
+    shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+    return false;
+  }
+  const std::size_t cost = key.payload_bytes() + result_bytes(*canonical);
+  shard.lru.push_front(Shard::Entry{key, std::move(canonical), cost});
+  shard.map.emplace(key, shard.lru.begin());
+  shard.bytes += cost;
+  evict_locked(shard);
+  return true;
+}
+
+void ResultCache::evict_locked(Shard& shard) {
+  // Keep at least one entry per shard: a single result larger than the
+  // shard budget must still be cacheable, or a hot oversized fragment
+  // would recompute forever.
+  while (shard.bytes > shard.budget && shard.lru.size() > 1) {
+    const Shard::Entry& tail = shard.lru.back();
+    shard.bytes -= tail.bytes;
+    shard.map.erase(tail.key);
+    shard.lru.pop_back();
+    evictions_.fetch_add(1, std::memory_order_relaxed);
+    bump("qfr.cache.evictions");
+  }
+}
+
+CacheStats ResultCache::stats() const {
+  CacheStats s;
+  s.hits = hits_.load(std::memory_order_relaxed);
+  s.misses = misses_.load(std::memory_order_relaxed);
+  s.inflight_waits = inflight_waits_.load(std::memory_order_relaxed);
+  s.evictions = evictions_.load(std::memory_order_relaxed);
+  s.insert_rejects = insert_rejects_.load(std::memory_order_relaxed);
+  s.store_loaded = store_loaded_;
+  s.store_corrupt = store_corrupt_;
+  s.store_skipped = store_skipped_;
+  for (const auto& sh : shards_) {
+    std::lock_guard<std::mutex> lk(sh->m);
+    s.entries += sh->lru.size();
+    s.bytes += sh->bytes;
+  }
+  return s;
+}
+
+// ---------------------------------------------------------------------------
+// Persistent store.
+
+void ResultCache::load_store() {
+  bool rewrite = false;
+  {
+    std::ifstream is(opts_.store_path, std::ios::binary);
+    if (is.good()) {
+      std::uint64_t magic = 0, version = 0;
+      QFR_REQUIRE(get_u64(is, &magic) && magic == kStoreMagic,
+                  "'" << opts_.store_path
+                      << "' is not a QF-RAMAN result-cache store");
+      QFR_REQUIRE(get_u64(is, &version) && version == kStoreVersion,
+                  "result-cache store version mismatch (got "
+                      << version << ", expected " << kStoreVersion << ")");
+      std::string kb, pb;
+      for (;;) {
+        std::uint64_t klen = 0, plen = 0;
+        if (!get_u64(is, &klen)) break;  // clean end of stream
+        if (klen > kMaxKeyBytes || !get_u64(is, &plen) ||
+            plen > kMaxPayloadBytes) {
+          // A corrupt length field hides the next frame boundary: stop
+          // here and rewrite a clean store from what survived.
+          ++store_corrupt_;
+          rewrite = true;
+          break;
+        }
+        kb.resize(static_cast<std::size_t>(klen));
+        is.read(kb.data(), static_cast<std::streamsize>(klen));
+        pb.resize(static_cast<std::size_t>(plen));
+        is.read(pb.data(), static_cast<std::streamsize>(plen));
+        std::uint64_t stored_crc = 0;
+        if (!is.good() || !get_u64(is, &stored_crc)) {
+          ++store_corrupt_;  // torn tail: the record in flight at the kill
+          rewrite = true;
+          break;
+        }
+        std::string joined;
+        joined.reserve(kb.size() + pb.size());
+        joined.append(kb).append(pb);
+        FragmentKey key;
+        engine::FragmentResult r;
+        std::istringstream ks(kb, std::ios::binary);
+        std::istringstream ps(pb, std::ios::binary);
+        if (common::crc32(joined.data(), joined.size()) != stored_crc ||
+            !read_key(ks, &key) || !frag::read_result_record(ps, &r)) {
+          ++store_corrupt_;  // framing intact, content damaged: skip one
+          rewrite = true;
+          continue;
+        }
+        if (key.tolerance != opts_.tolerance) {
+          ++store_skipped_;  // built at a foreign grid spacing
+          rewrite = true;
+          continue;
+        }
+        auto canonical =
+            std::make_shared<const engine::FragmentResult>(std::move(r));
+        Shard& shard = shard_for(key);
+        std::lock_guard<std::mutex> lk(shard.m);
+        if (insert_locked(shard, key, std::move(canonical))) ++store_loaded_;
+      }
+    }
+  }
+
+  if (rewrite) {
+    // Drop the damaged/foreign records on disk so future appends land on
+    // a clean frame boundary.
+    write_store_file(opts_.store_path);
+  }
+
+  std::lock_guard<std::mutex> lk(store_mutex_);
+  store_.open(opts_.store_path, std::ios::binary | std::ios::app);
+  QFR_REQUIRE(store_.good(),
+              "cannot open result-cache store '" << opts_.store_path << "'");
+  store_.seekp(0, std::ios::end);
+  if (store_.tellp() == 0) {
+    put_u64(store_, kStoreMagic);
+    put_u64(store_, kStoreVersion);
+    store_.flush();
+    QFR_REQUIRE(store_.good(), "result-cache store header write failed");
+  }
+}
+
+void ResultCache::append_to_store(const FragmentKey& key,
+                                  const engine::FragmentResult& canonical) {
+  if (opts_.store_path.empty()) return;
+  std::lock_guard<std::mutex> lk(store_mutex_);
+  if (!store_.is_open()) return;
+  put_frame(store_, key, canonical);
+  // Flush per record: a killed run loses at most the record in flight.
+  store_.flush();
+}
+
+void ResultCache::write_store_file(const std::string& path) {
+  // Write-then-rename: readers (and the next run) see either the old
+  // complete store or the new complete store, never a torn one.
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream os(tmp, std::ios::binary | std::ios::trunc);
+    QFR_REQUIRE(os.good(), "cannot open '" << tmp << "' for writing");
+    put_u64(os, kStoreMagic);
+    put_u64(os, kStoreVersion);
+    for (const auto& sh : shards_) {
+      std::lock_guard<std::mutex> lk(sh->m);
+      // Oldest first, so a budget-limited reload keeps the recent end.
+      for (auto it = sh->lru.rbegin(); it != sh->lru.rend(); ++it)
+        put_frame(os, it->key, *it->value);
+    }
+    os.flush();
+    QFR_REQUIRE(os.good(), "result-cache store write to '" << tmp
+                                                           << "' failed");
+  }
+  QFR_REQUIRE(std::rename(tmp.c_str(), path.c_str()) == 0,
+              "cannot rename '" << tmp << "' to '" << path << "'");
+}
+
+void ResultCache::compact() {
+  if (opts_.store_path.empty()) return;
+  std::lock_guard<std::mutex> lk(store_mutex_);
+  if (store_.is_open()) store_.close();
+  write_store_file(opts_.store_path);
+  store_.open(opts_.store_path, std::ios::binary | std::ios::app);
+  QFR_REQUIRE(store_.good(), "cannot reopen result-cache store '"
+                                 << opts_.store_path << "' after compaction");
+}
+
+}  // namespace qfr::cache

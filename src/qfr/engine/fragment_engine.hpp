@@ -26,6 +26,10 @@ struct FragmentResult {
   dfpt::PhaseTimes phase_times; ///< accumulated DFPT phase wall time
   std::int64_t flops = 0;       ///< GEMM-shaped FLOPs executed
   int displacement_tasks = 0;   ///< jobs a leader would fan out to workers
+  /// Provenance only, never serialized into checkpoints: true when this
+  /// result was served from the qfr::cache result cache instead of being
+  /// computed (restored-from-checkpoint results therefore load as false).
+  bool cache_hit = false;
 };
 
 /// A quantum (or quantum-surrogate) engine computing per-fragment

@@ -1,6 +1,5 @@
 #include "qfr/frag/checkpoint.hpp"
 
-#include <array>
 #include <cstdint>
 #include <cstdio>
 #include <cstring>
@@ -9,11 +8,14 @@
 #include <ostream>
 #include <sstream>
 
+#include "qfr/common/crc32.hpp"
 #include "qfr/common/error.hpp"
 
 namespace qfr::frag {
 
 namespace {
+
+using common::crc32;
 
 constexpr std::uint32_t kMagic = 0x5146524Du;  // "QFRM"
 constexpr std::uint32_t kVersion = 2;             // whole-vector format
@@ -23,30 +25,6 @@ constexpr std::uint64_t kSentinel = 0xC0FFEEu;
 // A fragment record is a few matrices of a few thousand atoms at most; a
 // frame length beyond this means the length field itself is corrupt.
 constexpr std::uint64_t kMaxRecordBytes = 1ull << 32;
-
-/// CRC32 (IEEE 802.3, poly 0xEDB88320), table-driven — small and
-/// dependency-free; detects every single-bit flip in a record payload.
-const std::array<std::uint32_t, 256>& crc_table() {
-  static const std::array<std::uint32_t, 256> table = [] {
-    std::array<std::uint32_t, 256> t{};
-    for (std::uint32_t i = 0; i < 256; ++i) {
-      std::uint32_t c = i;
-      for (int k = 0; k < 8; ++k)
-        c = (c & 1u) ? (0xEDB88320u ^ (c >> 1)) : (c >> 1);
-      t[i] = c;
-    }
-    return t;
-  }();
-  return table;
-}
-
-std::uint32_t crc32(const char* data, std::size_t n) {
-  const auto& table = crc_table();
-  std::uint32_t c = 0xFFFFFFFFu;
-  for (std::size_t i = 0; i < n; ++i)
-    c = table[(c ^ static_cast<unsigned char>(data[i])) & 0xFFu] ^ (c >> 8);
-  return c ^ 0xFFFFFFFFu;
-}
 
 void put_u64(std::ostream& os, std::uint64_t v) {
   os.write(reinterpret_cast<const char*>(&v), sizeof(v));
@@ -105,6 +83,14 @@ bool get_record(std::istream& is, engine::FragmentResult* r) {
 }
 
 }  // namespace
+
+void write_result_record(std::ostream& os, const engine::FragmentResult& r) {
+  put_record(os, r);
+}
+
+bool read_result_record(std::istream& is, engine::FragmentResult* r) {
+  return get_record(is, r);
+}
 
 void save_results(std::ostream& os,
                   std::span<const engine::FragmentResult> results) {

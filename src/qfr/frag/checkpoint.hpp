@@ -32,6 +32,15 @@ namespace qfr::frag {
 ///   The pre-CRC v3 format is still readable (without per-record recovery:
 ///   a corrupt v3 record truncates the scan there, as it always did).
 
+/// The single-record serialization shared by every on-disk format (v2
+/// snapshots, v4 incremental frames, the qfr::cache persistent store):
+/// energy, the four tensors, flop/task counters, and a completion
+/// sentinel. read_result_record returns false on a truncated or
+/// sentinel-less stream without throwing, so framed readers can treat a
+/// bad payload as one skippable record.
+void write_result_record(std::ostream& os, const engine::FragmentResult& r);
+bool read_result_record(std::istream& is, engine::FragmentResult* r);
+
 /// Write all results (indexed by fragment id) to a stream/file.
 void save_results(std::ostream& os,
                   std::span<const engine::FragmentResult> results);

@@ -95,6 +95,7 @@ Json build_run_report(const Session& session,
     sched["n_resumed"] = Json(sweep->n_resumed);
     sched["n_failed"] = Json(sweep->n_failed());
     sched["n_degraded"] = Json(sweep->n_degraded());
+    sched["n_cache_hits"] = Json(sweep->n_cache_hits());
     sched["n_leader_crashes"] = Json(sweep->n_leader_crashes);
     sched["n_leader_hangs"] = Json(sweep->n_leader_hangs);
     sched["n_leases_revoked"] = Json(sweep->n_leases_revoked);
@@ -175,12 +176,13 @@ void write_outcomes_csv(std::ostream& os,
                         const std::vector<runtime::FragmentOutcome>& outcomes,
                         const std::vector<double>* fragment_seconds) {
   os << "fragment_id,completed,engine,engine_level,reason,attempts,"
-        "from_checkpoint,wall_seconds,error\n";
+        "from_checkpoint,cache_hit,wall_seconds,error\n";
   for (const runtime::FragmentOutcome& o : outcomes) {
     os << o.fragment_id << ',' << (o.completed ? 1 : 0) << ',';
     csv_field(os, o.engine);
     os << ',' << o.engine_level << ',' << runtime::to_string(o.reason) << ','
-       << o.attempts << ',' << (o.from_checkpoint ? 1 : 0) << ',';
+       << o.attempts << ',' << (o.from_checkpoint ? 1 : 0) << ','
+       << (o.cache_hit ? 1 : 0) << ',';
     if (fragment_seconds != nullptr &&
         o.fragment_id < fragment_seconds->size()) {
       char buf[32];

@@ -135,6 +135,19 @@ WorkflowResult RamanWorkflow::run(const frag::BioSystem& system,
   engine::EngineFallbackChain chain;
   if (options_.enable_fallback) chain = make_fallback_chain(options_.engine);
 
+  // Content-addressed result cache: one instance for the whole sweep,
+  // gated by the same validator that fences the scheduler, so a result
+  // the sweep would reject is never remembered either.
+  std::unique_ptr<cache::ResultCache> result_cache;
+  if (options_.cache.enabled) {
+    result_cache = std::make_unique<cache::ResultCache>(options_.cache);
+    if (options_.validate_results)
+      result_cache->set_insert_filter(
+          [&validator](const engine::FragmentResult& r) {
+            return validator.validate(r).ok;
+          });
+  }
+
   runtime::RuntimeOptions ropts;
   ropts.n_leaders = options_.n_leaders;
   ropts.workers_per_leader = options_.workers_per_leader;
@@ -145,6 +158,7 @@ WorkflowResult RamanWorkflow::run(const frag::BioSystem& system,
   ropts.completed_ids = completed_ids;
   if (options_.validate_results) ropts.validator = &validator;
   if (!chain.empty()) ropts.fallback_chain = &chain;
+  ropts.cache = result_cache.get();
   ropts.supervision.enabled = options_.supervise;
   ropts.supervision.heartbeat_timeout = options_.heartbeat_timeout;
   ropts.supervision.poll_interval = options_.supervisor_poll_interval;
@@ -166,7 +180,14 @@ WorkflowResult RamanWorkflow::run(const frag::BioSystem& system,
   out.sweep.n_retries = report.n_retries;
   out.sweep.n_resumed = report.n_resumed;
   out.sweep.n_degraded = report.n_degraded();
+  out.sweep.n_cache_hits = report.n_cache_hits();
   out.sweep.n_corrupt_records = n_corrupt_records;
+  if (result_cache != nullptr) {
+    const cache::CacheStats cs = result_cache->stats();
+    QFR_LOG_INFO("result cache: ", cs.hits, " hit(s), ", cs.misses,
+                 " miss(es), ", cs.inflight_waits, " in-flight wait(s), ",
+                 cs.evictions, " eviction(s); hit rate ", cs.hit_rate());
+  }
   out.sweep.n_leader_crashes = report.n_leader_crashes;
   out.sweep.n_leader_hangs = report.n_leader_hangs;
   out.sweep.n_leases_revoked = report.n_leases_revoked;

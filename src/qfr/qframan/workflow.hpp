@@ -2,6 +2,7 @@
 
 #include <memory>
 
+#include "qfr/cache/store.hpp"
 #include "qfr/engine/fallback_chain.hpp"
 #include "qfr/engine/fragment_engine.hpp"
 #include "qfr/fault/validator.hpp"
@@ -72,6 +73,14 @@ struct WorkflowOptions {
   /// them from the assembly — their Eq. (1) terms go missing, which the
   /// SweepSummary reports honestly — instead of aborting the workflow.
   bool allow_dropped_fragments = false;
+  /// Content-addressed fragment-result cache (set cache.enabled): a
+  /// fragment geometry seen before — under any rigid motion or atom
+  /// relabeling, at cache.tolerance — is served from the cache and
+  /// back-rotated into its lab frame instead of being recomputed. With
+  /// validate_results set, the sweep validator also gates cache inserts,
+  /// so an invalid result is never remembered. cache.store_path persists
+  /// entries across runs.
+  cache::CacheOptions cache;
   /// Supervise the leader threads: heartbeats, revocation of dead/hung
   /// leaders' leases, respawn (see runtime::SupervisionOptions).
   bool supervise = false;
@@ -108,6 +117,9 @@ struct SweepSummary {
   std::size_t n_dropped = 0;
   /// Checkpoint records skipped as corrupt during resume.
   std::size_t n_corrupt_records = 0;
+  /// Fragments whose accepted result came from the result cache (zero
+  /// unless WorkflowOptions::cache.enabled).
+  std::size_t n_cache_hits = 0;
   // Supervision counters (zero unless supervise was set).
   std::size_t n_leader_crashes = 0;  ///< leader deaths detected + respawned
   std::size_t n_leader_hangs = 0;    ///< heartbeat-timeout episodes

@@ -7,6 +7,7 @@
 #include <sstream>
 #include <thread>
 
+#include "qfr/cache/store.hpp"
 #include "qfr/common/cancel.hpp"
 #include "qfr/common/error.hpp"
 #include "qfr/common/log.hpp"
@@ -30,6 +31,13 @@ std::size_t RunReport::n_degraded() const {
   std::size_t n = 0;
   for (const auto& o : outcomes)
     if (o.degraded()) ++n;
+  return n;
+}
+
+std::size_t RunReport::n_cache_hits() const {
+  std::size_t n = 0;
+  for (const auto& o : outcomes)
+    if (o.completed && o.cache_hit) ++n;
   return n;
 }
 
@@ -102,16 +110,24 @@ RunReport MasterRuntime::run_impl(std::span<const frag::Fragment> fragments,
   SweepScheduler scheduler(std::move(items), std::move(policy),
                            std::move(sopts));
 
-  // Level-aware compute: level 0 is the caller's engine, levels 1..n are
-  // the fallback chain (graceful degradation).
-  auto compute_at = [&](const frag::Fragment& f,
-                        std::size_t level) -> engine::FragmentResult {
-    if (level == 0) return compute(f);
-    return compute_with_engine(options_.fallback_chain->engine(level - 1), f);
-  };
   auto engine_name_at = [&](std::size_t level) -> std::string {
     if (level == 0) return primary_name;
     return options_.fallback_chain->engine(level - 1).name();
+  };
+  // Level-aware compute: level 0 is the caller's engine, levels 1..n are
+  // the fallback chain (graceful degradation). With a result cache
+  // configured every level's compute is routed through it, namespaced by
+  // that level's engine name, so cached results respect the fragment's
+  // fallback level.
+  auto compute_at = [&](const frag::Fragment& f,
+                        std::size_t level) -> engine::FragmentResult {
+    auto raw = [&]() -> engine::FragmentResult {
+      if (level == 0) return compute(f);
+      return compute_with_engine(options_.fallback_chain->engine(level - 1),
+                                 f);
+    };
+    if (options_.cache == nullptr) return raw();
+    return options_.cache->get_or_compute(engine_name_at(level), f.mol, raw);
   };
 
   const bool supervised = options_.supervision.enabled;
@@ -359,6 +375,7 @@ RunReport MasterRuntime::run_impl(std::span<const frag::Fragment> fragments,
     m.counter("sched.leader_hangs").add(report.n_leader_hangs);
     m.counter("sched.failed").add(report.n_failed());
     m.counter("sched.degraded").add(report.n_degraded());
+    m.counter("sched.cache_hits").add(report.n_cache_hits());
     m.gauge("sched.makespan_seconds").set(report.makespan_seconds);
   }
 

@@ -12,6 +12,10 @@
 #include "qfr/runtime/result_sink.hpp"
 #include "qfr/runtime/sweep_scheduler.hpp"
 
+namespace qfr::cache {
+class ResultCache;
+}  // namespace qfr::cache
+
 namespace qfr::fault {
 class FaultInjector;
 }  // namespace qfr::fault
@@ -89,6 +93,11 @@ struct RuntimeOptions {
   /// leader thread mid-sweep, kLeaderHang silences its heartbeat. Only
   /// meaningful with supervision enabled. Not owned; may be null.
   fault::FaultInjector* fault_injector = nullptr;
+  /// Optional content-addressed result cache consulted around every
+  /// compute (primary and fallback levels alike). Keys are namespaced by
+  /// the engine name of the level being run, so a cached fallback result
+  /// is never served to a primary-level request. Not owned; may be null.
+  cache::ResultCache* cache = nullptr;
 };
 
 /// Per-leader execution accounting (accumulated across respawned
@@ -127,6 +136,8 @@ struct RunReport {
   std::size_t n_failed() const;
   /// Fragments completed by a fallback engine instead of the primary.
   std::size_t n_degraded() const;
+  /// Fragments whose accepted result was served by the result cache.
+  std::size_t n_cache_hits() const;
 };
 
 /// In-process realization of the paper's three-level hierarchy (Fig. 3):

@@ -179,6 +179,7 @@ Completion SweepScheduler::on_completion(const Lease& lease,
     o.reason = FailureReason::kNone;
   }
   o.engine.assign(engine_name);
+  o.cache_hit = result.cache_hit;
   return Completion::kAccepted;
 }
 

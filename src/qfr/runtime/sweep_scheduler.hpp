@@ -78,6 +78,9 @@ struct FragmentOutcome {
   std::size_t engine_level = 0;
   /// Name of the engine whose result was accepted (empty if none was).
   std::string engine;
+  /// The accepted result was served by the qfr::cache result cache
+  /// instead of being computed.
+  bool cache_hit = false;
 
   bool degraded() const { return completed && engine_level > 0; }
 };

@@ -396,7 +396,7 @@ TEST(Workflow, ObservabilityArtifactsFromScfHfRun) {
   ASSERT_TRUE(std::getline(csv, line));
   EXPECT_EQ(line,
             "fragment_id,completed,engine,engine_level,reason,attempts,"
-            "from_checkpoint,wall_seconds,error");
+            "from_checkpoint,cache_hit,wall_seconds,error");
   std::size_t rows = 0;
   while (std::getline(csv, line)) {
     if (line.empty()) continue;
