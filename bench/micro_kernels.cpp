@@ -1,15 +1,30 @@
-// Google-benchmark micro-benchmarks of the hot kernels: the blocked GEMM,
-// the symmetry-aware strength reductions of Fig. 6 (real measured speedup,
-// complementing the modeled Fig. 9), grid density evaluation, the sparse
-// Hessian matvec driving the Lanczos solver, and the cell-list pair
-// search behind the generalized-concap construction.
+// Google-benchmark micro-benchmarks of the hot kernels: the blocked GEMM
+// (scalar vs AVX2/FMA dispatch), the batched executor, the symmetry-aware
+// strength reductions of Fig. 6 (real measured speedup, complementing the
+// modeled Fig. 9), grid density evaluation, the sparse Hessian matvec
+// driving the Lanczos solver, and the cell-list pair search behind the
+// generalized-concap construction.
+//
+// With --json <path> the binary skips google-benchmark and emits a small
+// deterministic, hand-timed qfr.bench.v1 document instead (the format
+// scripts/ci.sh archives as BENCH_kernels.json): ISA speedup, symmetric
+// strength reduction, and batched-vs-eager executor ratios.
 
 #include <benchmark/benchmark.h>
 
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
 #include "qfr/common/rng.hpp"
+#include "qfr/common/timer.hpp"
 #include "qfr/geom/cell_list.hpp"
+#include "qfr/la/batched_executor.hpp"
 #include "qfr/la/blas.hpp"
+#include "qfr/la/kernels.hpp"
 #include "qfr/la/sparse.hpp"
+#include "qfr/obs/export.hpp"
 #include "qfr/spectra/lanczos.hpp"
 #include "qfr/xdev/strength_reduction.hpp"
 
@@ -162,4 +177,177 @@ void BM_CellListPairs(benchmark::State& state) {
 }
 BENCHMARK(BM_CellListPairs)->Arg(10000)->Arg(100000);
 
+void BM_GemmScalarForced(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const Matrix a = random_matrix(n, n, 1);
+  const Matrix b = random_matrix(n, n, 2);
+  Matrix c(n, n);
+  qfr::la::kernels::ScopedForceScalar scalar_only;
+  for (auto _ : state) {
+    qfr::la::gemm(qfr::la::Trans::kNo, qfr::la::Trans::kNo, 1.0, a, b, 0.0,
+                  c);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
+}
+BENCHMARK(BM_GemmScalarForced)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_BatchedExecutorFlush(benchmark::State& state) {
+  // A grid-phase-like batch: many same-shape tasks contracting against one
+  // shared density, flushed at the phase barrier.
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const std::size_t n_tasks = 16;
+  const Matrix b = random_matrix(n, n, 2);
+  std::vector<Matrix> as, cs(n_tasks);
+  for (std::size_t i = 0; i < n_tasks; ++i) {
+    as.push_back(random_matrix(n, n, 3 + i));
+    cs[i].resize_zero(n, n);
+  }
+  qfr::la::BatchedExecutor exec;
+  for (auto _ : state) {
+    for (std::size_t i = 0; i < n_tasks; ++i)
+      exec.enqueue(qfr::la::Trans::kNo, qfr::la::Trans::kNo, 1.0, as[i], b,
+                   0.0, cs[i]);
+    exec.flush();
+    benchmark::DoNotOptimize(cs[0].data());
+  }
+  state.SetItemsProcessed(state.iterations() * n_tasks * 2 * n * n * n);
+}
+BENCHMARK(BM_BatchedExecutorFlush)->Arg(48)->Arg(96)->Arg(192);
+
+// ---- deterministic --json mode ------------------------------------------
+
+// Seconds per call, best of `reps` timed blocks of enough calls to fill a
+// few milliseconds each.
+template <typename F>
+double time_per_call(F&& fn, int calls_per_block = 4, int reps = 5) {
+  double best = 1e300;
+  for (int r = 0; r < reps; ++r) {
+    const qfr::WallTimer timer;
+    for (int c = 0; c < calls_per_block; ++c) fn();
+    best = std::min(best, timer.seconds() / calls_per_block);
+  }
+  return best;
+}
+
+int run_json_mode(const std::string& path) {
+  using qfr::la::BatchedExecutor;
+  using qfr::la::TaskSym;
+  using qfr::la::Trans;
+  namespace kernels = qfr::la::kernels;
+
+  qfr::obs::BenchReport report;
+  report.name = "micro_kernels";
+  report.meta.emplace_back("schema.note", "hand-timed, best-of-5");
+  report.meta.emplace_back("isa", kernels::isa_name(kernels::active_isa()));
+
+  // ISA speedup of the blocked GEMM.
+  for (const std::size_t n : {64ul, 128ul, 256ul}) {
+    const Matrix a = random_matrix(n, n, 1);
+    const Matrix b = random_matrix(n, n, 2);
+    Matrix c(n, n);
+    auto one = [&] {
+      qfr::la::gemm(Trans::kNo, Trans::kNo, 1.0, a, b, 0.0, c);
+    };
+    const double t_simd = time_per_call(one);
+    double t_scalar = 0.0;
+    {
+      kernels::ScopedForceScalar scalar_only;
+      t_scalar = time_per_call(one);
+    }
+    const double flops = 2.0 * n * n * n;
+    const std::string suffix = "/" + std::to_string(n);
+    report.samples.push_back(
+        {"gemm.scalar.gflops" + suffix, flops / t_scalar / 1e9, "gflops"});
+    report.samples.push_back(
+        {"gemm.simd.gflops" + suffix, flops / t_simd / 1e9, "gflops"});
+    report.samples.push_back(
+        {"gemm.simd.speedup" + suffix, t_scalar / t_simd, "x"});
+  }
+
+  // Fig. 6 symmetric strength reduction on the executor path.
+  for (const std::size_t n : {128ul, 256ul}) {
+    const std::size_t k = n / 2;
+    const Matrix a = random_matrix(n, k, 3);
+    Matrix c(n, n);
+    const double t_full = time_per_call([&] {
+      qfr::la::kernels::execute_task(qfr::la::make_gemm_task(
+          Trans::kNo, Trans::kYes, 1.0, a, a, 0.0, c));
+    });
+    const double t_sym = time_per_call([&] {
+      qfr::la::kernels::execute_task(
+          qfr::la::make_gemm_task(Trans::kNo, Trans::kYes, 1.0, a, a, 0.0, c,
+                                  TaskSym::kSymmetricOut));
+    });
+    report.samples.push_back({"sym.reduction.speedup/" + std::to_string(n),
+                              t_full / t_sym, "x"});
+  }
+
+  // Batched flush vs eager per-product execution of the same task stream.
+  {
+    const std::size_t n = 96, n_tasks = 16;
+    const Matrix b = random_matrix(n, n, 5);
+    std::vector<Matrix> as, cs(n_tasks);
+    for (std::size_t i = 0; i < n_tasks; ++i) {
+      as.push_back(random_matrix(n, n, 7 + i));
+      cs[i].resize_zero(n, n);
+    }
+    auto stream = [&](BatchedExecutor& exec) {
+      for (std::size_t i = 0; i < n_tasks; ++i)
+        exec.enqueue(Trans::kNo, Trans::kNo, 1.0, as[i], b, 0.0, cs[i]);
+      exec.flush();
+    };
+    BatchedExecutor batched(BatchedExecutor::Policy::kBatched);
+    BatchedExecutor eager(BatchedExecutor::Policy::kEager);
+    const double t_batched = time_per_call([&] { stream(batched); });
+    const double t_eager = time_per_call([&] { stream(eager); });
+    report.samples.push_back(
+        {"batch.vs_eager.speedup", t_eager / t_batched, "x"});
+  }
+
+  // H1 strength reduction (Fig. 6(a)) on whole expressions.
+  for (const std::size_t nbf : {96ul, 192ul}) {
+    const Matrix chi = random_matrix(256, nbf, 11);
+    const Matrix gchi = random_matrix(256, nbf, 12);
+    const double t_naive = time_per_call(
+        [&] { benchmark::DoNotOptimize(
+            qfr::xdev::h1_expression_naive(chi, gchi).data()); });
+    const double t_red = time_per_call(
+        [&] { benchmark::DoNotOptimize(
+            qfr::xdev::h1_expression_reduced(chi, gchi).data()); });
+    report.samples.push_back({"h1.reduce.speedup/" + std::to_string(nbf),
+                              t_naive / t_red, "x"});
+  }
+
+  std::ofstream os(path);
+  if (!os.good()) {
+    std::fprintf(stderr, "cannot open '%s' for writing\n", path.c_str());
+    return 1;
+  }
+  qfr::obs::write_bench_json(os, report);
+  std::printf("bench JSON written to %s\n", path.c_str());
+  return 0;
+}
+
 }  // namespace
+
+int main(int argc, char** argv) {
+  std::string json_path;
+  std::vector<char*> passthrough{argv[0]};
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+    } else {
+      passthrough.push_back(argv[i]);
+    }
+  }
+  if (!json_path.empty()) return run_json_mode(json_path);
+
+  int pargc = static_cast<int>(passthrough.size());
+  benchmark::Initialize(&pargc, passthrough.data());
+  if (benchmark::ReportUnrecognizedArguments(pargc, passthrough.data()))
+    return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -16,12 +16,18 @@
 #   DES scaling studies. Excluded from the tier-1 ctest run by
 #   CONFIGURATIONS so the default gate stays fast.
 # Stage 4 (bench smoke): instrumented bench runs emitting their
-#   qfr.bench.v1 JSON trajectory points (BENCH_fig09.json,
+#   qfr.bench.v1 JSON trajectory points (BENCH_fig09.json — including the
+#   measured real-vs-modeled executor replay — BENCH_kernels.json,
 #   BENCH_cache.json) — catches bench-binary and exporter rot without
 #   timing anything.
 # Stage 5 (cache smoke): the solvated-protein example with the result
 #   cache enabled must report a nonzero cache_hit_rate — the end-to-end
 #   proof that canonicalization recognizes the box's rigid water copies.
+# Stage 6 (scalar-fallback divergence): a -DQFR_NO_AVX2=ON build runs the
+#   kernels-labeled suites and dumps the fuzz corpus checksums; they must
+#   agree with the vectorized build's corpus within tolerance — the gate
+#   that the AVX2/FMA microkernels and the scalar fallback compute the
+#   same numbers.
 #
 # Usage: scripts/ci.sh [--skip-sanitizers]
 set -euo pipefail
@@ -39,11 +45,22 @@ ctest --test-dir build --output-on-failure -j "$JOBS"
 echo "== soak lane: chaos soak + slow DES studies (release tree) =="
 ctest --test-dir build -C soak -L soak --output-on-failure
 
-echo "== bench smoke: fig09 + cache_dedup with JSON export =="
+echo "== bench smoke: fig09 + micro_kernels + cache_dedup JSON export =="
 build/bench/fig09_step_speedup --json build/BENCH_fig09.json >/dev/null
-python3 -c "import json; json.load(open('build/BENCH_fig09.json'))" \
-  2>/dev/null || { echo "BENCH_fig09.json is not valid JSON"; exit 1; }
-echo "BENCH_fig09.json ok"
+python3 - <<'EOF' || { echo "BENCH_fig09.json check failed"; exit 1; }
+import json
+d = json.load(open('build/BENCH_fig09.json'))
+real = {s['label']: s['value'] for s in d['samples']
+        if s['label'].startswith('real.cycle.speedup/')}
+assert real, 'no measured real.cycle.speedup samples'
+avg = real['real.cycle.speedup/avg']
+assert avg >= 2.0, f'measured batch speedup {avg:.2f}x below the 2x bar'
+print(f"BENCH_fig09.json ok (measured avg {avg:.1f}x)")
+EOF
+build/bench/micro_kernels --json build/BENCH_kernels.json >/dev/null
+python3 -c "import json; json.load(open('build/BENCH_kernels.json'))" \
+  2>/dev/null || { echo "BENCH_kernels.json is not valid JSON"; exit 1; }
+echo "BENCH_kernels.json ok"
 build/bench/cache_dedup --json build/BENCH_cache.json >/dev/null
 python3 -c "import json; json.load(open('build/BENCH_cache.json'))" \
   2>/dev/null || { echo "BENCH_cache.json is not valid JSON"; exit 1; }
@@ -56,6 +73,35 @@ python3 -c "import sys; rate = float('${HIT_RATE:-0}'); sys.exit(0 if rate > 0 e
   { echo "cache smoke failed: hit rate '${HIT_RATE:-}' not > 0"; exit 1; }
 echo "cache_hit_rate=${HIT_RATE} ok"
 
+echo "== scalar-fallback divergence: QFR_NO_AVX2 vs vectorized kernels =="
+# Kernels lane of the vectorized tree (also dumps the fuzz corpus).
+QFR_KERNELS_CORPUS_OUT=build/corpus-vec.txt \
+  build/tests/test_kernels --gtest_filter='KernelFuzz.MatchesScalarReference' \
+  >/dev/null
+ctest --test-dir build -L kernels --output-on-failure -j "$JOBS"
+# Scalar-fallback build: same suites, same corpus.
+cmake -B build-noavx2 -S . -DQFR_NO_AVX2=ON \
+  -DQFR_BUILD_BENCHES=OFF -DQFR_BUILD_EXAMPLES=OFF >/dev/null
+cmake --build build-noavx2 -j "$JOBS" --target test_kernels
+QFR_KERNELS_CORPUS_OUT=build-noavx2/corpus-scalar.txt \
+  build-noavx2/tests/test_kernels >/dev/null
+python3 - <<'EOF' || { echo "scalar-fallback divergence gate failed"; exit 1; }
+# Per-case |C| checksums from both builds must agree to rounding: the two
+# builds run the same fuzz corpus, differing only in the microkernel ISA.
+def read(path):
+    out = {}
+    for line in open(path):
+        case, value = line.split()
+        out[int(case)] = float(value)
+    return out
+vec = read('build/corpus-vec.txt')
+scal = read('build-noavx2/corpus-scalar.txt')
+assert vec and set(vec) == set(scal), 'corpus case sets differ'
+worst = max(abs(vec[c] - scal[c]) / max(1.0, abs(scal[c])) for c in vec)
+assert worst < 1e-13, f'vectorized vs scalar corpus diverges: {worst:.3e}'
+print(f'scalar-fallback corpus ok ({len(vec)} cases, worst rel {worst:.1e})')
+EOF
+
 if [[ "$SKIP_SANITIZERS" == "1" ]]; then
   echo "== sanitizer stages skipped =="
   exit 0
@@ -63,11 +109,12 @@ fi
 
 # The robustness suites: everything exercising fault injection, the
 # validator/degradation machinery, the CRC-framed checkpoint format, the
-# lease-fenced supervised runtime, the observability layer, and the
-# result cache (whose registry/tracer/single-flight paths must stay
-# clean under the thread pool — the TSan leg).
+# lease-fenced supervised runtime, the observability layer, the result
+# cache (whose registry/tracer/single-flight paths must stay clean under
+# the thread pool — the TSan leg), and the GEMM kernel/executor fuzz
+# (out-of-bounds packing under ASan, ISA-dispatch atomics under TSan).
 ROBUSTNESS_TESTS=(test_fault test_checkpoint test_scheduler test_tracker
-                  test_supervisor test_obs test_cache)
+                  test_supervisor test_obs test_cache test_kernels)
 
 for SAN in address undefined thread; do
   case "$SAN" in

@@ -2,11 +2,14 @@
 
 #include <array>
 #include <memory>
+#include <span>
+#include <vector>
 
 #include "qfr/common/cancel.hpp"
 #include "qfr/grid/molgrid.hpp"
 #include "qfr/poisson/multipole_poisson.hpp"
 #include "qfr/grid/orbital_eval.hpp"
+#include "qfr/la/batched_executor.hpp"
 #include "qfr/la/matrix.hpp"
 #include "qfr/scf/scf.hpp"
 
@@ -34,6 +37,15 @@ struct DfptOptions {
   /// cancelled token aborts the solve with CancelledError (the runtime
   /// revoked this fragment's lease). Default token is null.
   common::CancelToken cancel;
+  /// Defer the engine's GEMM phases on a BatchedExecutor and flush at
+  /// phase barriers (same-shape grouping, shared-operand packing, SIMD
+  /// kernels). false executes every product at enqueue time — the
+  /// pre-batching semantics, kept as the parity/bench baseline.
+  bool batched = true;
+  /// Optional externally owned executor (a displacement worker shares one
+  /// across its SCF + DFPT solves); must outlive the engine. Null makes
+  /// the engine own a private executor with the policy given by `batched`.
+  la::BatchedExecutor* batch = nullptr;
 };
 
 /// Wall-clock seconds accumulated in the four phases of a DFPT cycle
@@ -88,6 +100,17 @@ class ResponseEngine {
   /// Solve the CPSCF equations for an arbitrary perturbation matrix h1.
   ResponseResult solve(const la::Matrix& h1);
 
+  /// Solve several perturbations in lockstep: all directions advance
+  /// through each CPSCF iteration together, so the four phases run once
+  /// per iteration over a batch of same-shape GEMMs (the paper's elastic
+  /// batching applied across field directions). Directions freeze
+  /// individually as they converge; per-direction iteration counts match
+  /// the one-at-a-time solver because the directions never couple.
+  /// Nonconverged directions are retried once at halved mixing (when
+  /// escalation is enabled) before NumericalError.
+  std::vector<ResponseResult> solve_many(
+      std::span<const la::Matrix* const> h1s);
+
   /// Polarizability via three response solves (one per field direction):
   /// alpha_cd = -Tr[P1^(d) D_c].
   PolarizabilityResult polarizability();
@@ -104,7 +127,10 @@ class ResponseEngine {
   std::int64_t gemm_flops() const { return flops_; }
 
  private:
-  la::Matrix induced_fock(const la::Matrix& p1);
+  /// Induced two-electron response for a batch of response densities
+  /// (phases n1/v1/h1 inside, each timed once across the whole batch).
+  std::vector<la::Matrix> induced_fock_many(
+      std::span<const la::Matrix* const> p1s);
   /// Fold one timed phase interval into the local mirror and, when the
   /// engine was built under an ambient session, the registry histogram.
   void record_phase(double PhaseTimes::*field, obs::Histogram* hist,
@@ -116,6 +142,10 @@ class ResponseEngine {
   DfptOptions options_;
   PhaseTimes times_;
   std::int64_t flops_ = 0;
+
+  // GEMM execution: borrowed from options_.batch or privately owned.
+  std::unique_ptr<la::BatchedExecutor> owned_exec_;
+  la::BatchedExecutor* exec_ = nullptr;
 
   // Registry handles resolved once at construction from the ambient
   // session (stable pointers; null = observability off).

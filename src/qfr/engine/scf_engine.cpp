@@ -37,9 +37,18 @@ PointResult evaluate_point(const Molecule& mol, const ScfEngineOptions& opts,
                            const common::CancelToken& cancel = {}) {
   cancel.throw_if_cancelled();
   auto ctx = std::make_shared<scf::ScfContext>(scf::ScfContext::build(mol));
+  // One executor per displacement job: SCF and DFPT share it, so its
+  // la.batch.* accounting covers the job end to end. Jobs on different
+  // worker threads each build their own (the executor is not
+  // thread-safe).
+  la::BatchedExecutor exec(opts.batched_gemm
+                               ? la::BatchedExecutor::Policy::kBatched
+                               : la::BatchedExecutor::Policy::kEager);
   scf::ScfOptions sopts;
   sopts.xc = opts.xc;
   sopts.cancel = cancel;
+  sopts.batched = opts.batched_gemm;
+  sopts.batch = &exec;
   // Finite differences of CPSCF polarizabilities amplify residual SCF
   // error by ~1/gap^2; tight thresholds keep the dalpha noise below the
   // discretization error of the central differences.
@@ -62,6 +71,8 @@ PointResult evaluate_point(const Molecule& mol, const ScfEngineOptions& opts,
     dfpt::DfptOptions dopts;
     dopts.tolerance = 1e-10;
     dopts.cancel = cancel;
+    dopts.batched = opts.batched_gemm;
+    dopts.batch = &exec;
     dfpt::ResponseEngine engine(ctx, scf_res, opts.xc, dopts);
     const dfpt::PolarizabilityResult pol = engine.polarizability();
     QFR_ASSERT(pol.converged, "DFPT did not converge at displaced geometry");
@@ -101,16 +112,23 @@ FragmentResult ScfEngine::compute(const Molecule& fragment) const {
 
   // Equilibrium point: energy, density (warm start), polarizability.
   auto ctx0 = std::make_shared<scf::ScfContext>(scf::ScfContext::build(fragment));
+  la::BatchedExecutor exec0(options_.batched_gemm
+                                ? la::BatchedExecutor::Policy::kBatched
+                                : la::BatchedExecutor::Policy::kEager);
   scf::ScfOptions sopts;
   sopts.xc = options_.xc;
   sopts.energy_tolerance = 1e-12;
   sopts.commutator_tolerance = 1e-9;
   sopts.cancel = cancel;
+  sopts.batched = options_.batched_gemm;
+  sopts.batch = &exec0;
   const scf::ScfResult scf0 = scf::ScfSolver(ctx0, sopts).solve();
   res.energy = scf0.energy;
   if (options_.compute_dalpha) {
     dfpt::DfptOptions dopts0;
     dopts0.cancel = cancel;
+    dopts0.batched = options_.batched_gemm;
+    dopts0.batch = &exec0;
     dfpt::ResponseEngine engine0(ctx0, scf0, options_.xc, dopts0);
     const dfpt::PolarizabilityResult pol0 = engine0.polarizability();
     res.alpha = pol0.alpha;

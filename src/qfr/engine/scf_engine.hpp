@@ -27,6 +27,11 @@ struct ScfEngineOptions {
   /// tier of the paper's master/leader/worker hierarchy (each displaced
   /// geometry is an independent SCF+DFPT job).
   std::size_t n_displacement_workers = 1;
+  /// Route each displacement job's SCF + DFPT GEMM work through one shared
+  /// BatchedExecutor (same-shape grouping at phase barriers, SIMD
+  /// kernels). false falls back to eager per-product execution — kept for
+  /// parity tests and the fig09 real-vs-modeled bench baseline.
+  bool batched_gemm = true;
 };
 
 /// Real quantum-mechanical fragment engine: SCF (HF or LDA) energies plus

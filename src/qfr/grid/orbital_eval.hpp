@@ -2,9 +2,11 @@
 
 #include <array>
 #include <span>
+#include <vector>
 
 #include "qfr/basis/basis.hpp"
 #include "qfr/grid/molgrid.hpp"
+#include "qfr/la/batched_executor.hpp"
 #include "qfr/la/matrix.hpp"
 
 namespace qfr::grid {
@@ -35,9 +37,31 @@ la::Vector density_on_batch(const BasisBatch& batch,
 
 /// Potential-matrix accumulation: V_munu += sum_p chi_mu(r_p) *
 /// [w_p v(r_p)] * chi_nu(r_p), via the symmetric GEMM chi^T diag(wv) chi.
+/// The contribution is symmetric, so the kernels compute only the
+/// on/above-diagonal blocks and mirror (Fig. 6 strength reduction);
+/// `v_matrix` must enter symmetric for the mirrored result to be exact.
 void accumulate_potential_matrix(const BasisBatch& batch,
                                  std::span<const GridPoint> points,
                                  std::span<const double> v_values,
                                  la::Matrix& v_matrix);
+
+/// Batched density evaluation: one rho vector per density matrix over the
+/// same chi batch. All chi * P_d products are enqueued on `exec` and
+/// flushed together (one same-shape group), then reduced row-wise. The
+/// DFPT lockstep solver calls this with the three field directions'
+/// response densities.
+std::vector<la::Vector> density_on_batch_many(
+    la::BatchedExecutor& exec, const BasisBatch& batch,
+    std::span<const la::Matrix* const> densities);
+
+/// Batched potential-matrix accumulation over the same chi batch: each
+/// entry scales chi rows by w_p * v_d(r_p) and enqueues the symmetric
+/// contraction scaled_d^T * chi with chi as the shared B operand, so one
+/// packed chi tile serves every displacement/direction in the group.
+/// Flushes before returning (the scaled copies are locals).
+void accumulate_potential_matrix_many(
+    la::BatchedExecutor& exec, const BasisBatch& batch,
+    std::span<const GridPoint> points, std::span<const la::Vector> v_values,
+    std::span<la::Matrix* const> v_matrices);
 
 }  // namespace qfr::grid

@@ -1,0 +1,93 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "qfr/la/gemm_task.hpp"
+#include "qfr/la/kernels.hpp"
+
+namespace qfr::obs {
+class Counter;
+class Histogram;
+}  // namespace qfr::obs
+
+namespace qfr::la {
+
+/// Deferred-execution GEMM queue: call sites declare work as GemmTasks and
+/// flush at phase barriers; the executor groups same-shape tasks (shapes
+/// padded to a stride of 8, mirroring the paper's elastic-batching bins)
+/// and runs each group through the cache-blocked, ISA-dispatched kernels,
+/// reusing packed B tiles across tasks that share an operand.
+///
+/// Correctness under reordering: a flush may execute tasks in a different
+/// order than they were enqueued (grouping sorts by shape). enqueue()
+/// therefore auto-flushes first whenever the new task's operands overlap a
+/// queued task's output, its output overlaps a queued task's operands, or
+/// two queued tasks would write overlapping storage — so only provably
+/// independent tasks are ever co-resident in the queue. Callers never need
+/// to reason about this; an extra flush only costs batching opportunity.
+///
+/// Not thread-safe: one executor per job/thread (the displacement workers
+/// in ScfEngine each own one).
+class BatchedExecutor {
+ public:
+  enum class Policy {
+    /// Execute each task at enqueue time (the pre-refactor semantics,
+    /// kept for parity baselines and A/B benches).
+    kEager,
+    /// Defer until flush() and batch same-shape tasks.
+    kBatched,
+  };
+
+  struct Stats {
+    std::int64_t tasks = 0;
+    std::int64_t groups = 0;
+    std::int64_t flushes = 0;
+    std::int64_t hazard_flushes = 0;
+    /// 2mnk summed over tasks, before symmetry reductions.
+    std::int64_t logical_flops = 0;
+    /// FLOPs the kernels actually ran (symmetric tasks skip ~half).
+    std::int64_t executed_flops = 0;
+  };
+
+  explicit BatchedExecutor(Policy policy = Policy::kBatched);
+  ~BatchedExecutor();  // flushes any pending tasks
+
+  BatchedExecutor(const BatchedExecutor&) = delete;
+  BatchedExecutor& operator=(const BatchedExecutor&) = delete;
+
+  /// Validate and queue one task (kBatched) or execute it now (kEager).
+  /// Queued operands/outputs must stay alive and unmoved until flush().
+  void enqueue(const GemmTask& t);
+
+  /// Convenience: build the task from whole matrices and enqueue it.
+  void enqueue(Trans ta, Trans tb, double alpha, const Matrix& a,
+               const Matrix& b, double beta, Matrix& c,
+               TaskSym sym = TaskSym::kGeneral);
+
+  /// Execute everything queued. Phase barriers call this; it is a no-op on
+  /// an empty queue.
+  void flush();
+
+  std::size_t pending() const { return queue_.size(); }
+  Policy policy() const { return policy_; }
+  const Stats& stats() const { return stats_; }
+
+ private:
+  bool hazard_with_queued(const GemmTask& t) const;
+  void execute_now(const GemmTask& t);
+
+  Policy policy_;
+  std::vector<GemmTask> queue_;
+  kernels::PackBuffers buf_;
+  Stats stats_;
+  // Resolved from the ambient obs session at construction; null when
+  // observability is off.
+  obs::Counter* c_tasks_ = nullptr;
+  obs::Counter* c_groups_ = nullptr;
+  obs::Counter* c_flops_ = nullptr;
+  obs::Histogram* h_fill_ = nullptr;
+};
+
+}  // namespace qfr::la

@@ -2,110 +2,16 @@
 
 #include <algorithm>
 #include <cmath>
-#include <cstring>
+#include <functional>
+
+#include "qfr/la/kernels.hpp"
 
 namespace qfr::la {
 
-namespace {
-
-// Tile sizes tuned for L1/L2 residency of the packed operands.
-constexpr std::size_t kMc = 64;
-constexpr std::size_t kKc = 128;
-constexpr std::size_t kNc = 256;
-
-// Packs a kMc x kKc tile of op(A) into row-major contiguous storage.
-void pack_a(Trans ta, const Matrix& a, std::size_t i0, std::size_t k0,
-            std::size_t mb, std::size_t kb, double* dst) {
-  if (ta == Trans::kNo) {
-    for (std::size_t i = 0; i < mb; ++i)
-      std::memcpy(dst + i * kb, a.data() + (i0 + i) * a.cols() + k0,
-                  kb * sizeof(double));
-  } else {
-    for (std::size_t i = 0; i < mb; ++i)
-      for (std::size_t k = 0; k < kb; ++k)
-        dst[i * kb + k] = a(k0 + k, i0 + i);
-  }
-}
-
-void pack_b(Trans tb, const Matrix& b, std::size_t k0, std::size_t j0,
-            std::size_t kb, std::size_t nb, double* dst) {
-  if (tb == Trans::kNo) {
-    for (std::size_t k = 0; k < kb; ++k)
-      std::memcpy(dst + k * nb, b.data() + (k0 + k) * b.cols() + j0,
-                  nb * sizeof(double));
-  } else {
-    for (std::size_t k = 0; k < kb; ++k)
-      for (std::size_t j = 0; j < nb; ++j)
-        dst[k * nb + j] = b(j0 + j, k0 + k);
-  }
-}
-
-// Micro-kernel: C[mb x nb] += Ap[mb x kb] * Bp[kb x nb], with 4-wide j
-// unrolling; the inner loops vectorize under -O2.
-void micro_gemm(const double* ap, const double* bp, std::size_t mb,
-                std::size_t nb, std::size_t kb, double* c, std::size_t ldc) {
-  for (std::size_t i = 0; i < mb; ++i) {
-    double* ci = c + i * ldc;
-    const double* ai = ap + i * kb;
-    for (std::size_t k = 0; k < kb; ++k) {
-      const double aik = ai[k];
-      const double* bk = bp + k * nb;
-      std::size_t j = 0;
-      for (; j + 4 <= nb; j += 4) {
-        ci[j] += aik * bk[j];
-        ci[j + 1] += aik * bk[j + 1];
-        ci[j + 2] += aik * bk[j + 2];
-        ci[j + 3] += aik * bk[j + 3];
-      }
-      for (; j < nb; ++j) ci[j] += aik * bk[j];
-    }
-  }
-}
-
-}  // namespace
-
 void gemm(Trans ta, Trans tb, double alpha, const Matrix& a, const Matrix& b,
           double beta, Matrix& c) {
-  const std::size_t m = c.rows();
-  const std::size_t n = c.cols();
-  const std::size_t k = (ta == Trans::kNo) ? a.cols() : a.rows();
-  const std::size_t am = (ta == Trans::kNo) ? a.rows() : a.cols();
-  const std::size_t bk = (tb == Trans::kNo) ? b.rows() : b.cols();
-  const std::size_t bn = (tb == Trans::kNo) ? b.cols() : b.rows();
-  QFR_REQUIRE(am == m && bn == n && bk == k,
-              "gemm shape mismatch: C is " << m << "x" << n << ", op(A) is "
-                                           << am << "x" << k << ", op(B) is "
-                                           << bk << "x" << bn);
-
-  if (beta == 0.0) {
-    c.fill(0.0);
-  } else if (beta != 1.0) {
-    scal(beta, {c.data(), c.size()});
-  }
-  if (alpha == 0.0 || m == 0 || n == 0 || k == 0) return;
-
-  std::vector<double> apack(kMc * kKc);
-  std::vector<double> bpack(kKc * kNc);
-  std::vector<double> ctile(kMc * kNc);
-
-  for (std::size_t j0 = 0; j0 < n; j0 += kNc) {
-    const std::size_t nb = std::min(kNc, n - j0);
-    for (std::size_t k0 = 0; k0 < k; k0 += kKc) {
-      const std::size_t kb = std::min(kKc, k - k0);
-      pack_b(tb, b, k0, j0, kb, nb, bpack.data());
-      for (std::size_t i0 = 0; i0 < m; i0 += kMc) {
-        const std::size_t mb = std::min(kMc, m - i0);
-        pack_a(ta, a, i0, k0, mb, kb, apack.data());
-        std::fill(ctile.begin(), ctile.begin() + mb * nb, 0.0);
-        micro_gemm(apack.data(), bpack.data(), mb, nb, kb, ctile.data(), nb);
-        for (std::size_t i = 0; i < mb; ++i) {
-          double* crow = c.data() + (i0 + i) * n + j0;
-          const double* trow = ctile.data() + i * nb;
-          for (std::size_t j = 0; j < nb; ++j) crow[j] += alpha * trow[j];
-        }
-      }
-    }
-  }
+  const GemmTask t = make_gemm_task(ta, tb, alpha, a, b, beta, c);
+  kernels::execute_task(t);
 }
 
 Matrix matmul(const Matrix& a, const Matrix& b) {
@@ -118,7 +24,17 @@ void gemv(Trans ta, double alpha, const Matrix& a, std::span<const double> x,
           double beta, std::span<double> y) {
   const std::size_t m = (ta == Trans::kNo) ? a.rows() : a.cols();
   const std::size_t n = (ta == Trans::kNo) ? a.cols() : a.rows();
-  QFR_REQUIRE(x.size() == n && y.size() == m, "gemv shape mismatch");
+  QFR_REQUIRE(x.size() == n && y.size() == m,
+              "gemv shape mismatch: op(A) is " << m << "x" << n << ", x has "
+                                               << x.size() << ", y has "
+                                               << y.size());
+  const bool xy_overlap =
+      !x.empty() && !y.empty() &&
+      std::less<const double*>{}(x.data(), y.data() + y.size()) &&
+      std::less<const double*>{}(y.data(), x.data() + x.size());
+  QFR_REQUIRE(!xy_overlap,
+              "gemv: y aliases x; the kernel scales and writes y in place — "
+              "use a distinct output vector");
   if (beta == 0.0) {
     std::fill(y.begin(), y.end(), 0.0);
   } else if (beta != 1.0) {
@@ -142,25 +58,17 @@ void gemv(Trans ta, double alpha, const Matrix& a, std::span<const double> x,
 
 void syrk(double alpha, const Matrix& a, double beta, Matrix& c) {
   const std::size_t n = a.rows();
-  const std::size_t k = a.cols();
-  QFR_REQUIRE(c.rows() == n && c.cols() == n, "syrk shape mismatch");
-  if (beta == 0.0) {
-    c.fill(0.0);
-  } else if (beta != 1.0) {
-    scal(beta, {c.data(), c.size()});
-  }
-  // Compute the upper triangle then mirror: ~half the multiplies of gemm.
-  for (std::size_t i = 0; i < n; ++i) {
-    const double* ai = a.data() + i * k;
-    for (std::size_t j = i; j < n; ++j) {
-      const double* aj = a.data() + j * k;
-      double acc = 0.0;
-      for (std::size_t p = 0; p < k; ++p) acc += ai[p] * aj[p];
-      c(i, j) += alpha * acc;
-    }
-  }
-  for (std::size_t i = 0; i < n; ++i)
-    for (std::size_t j = 0; j < i; ++j) c(i, j) = c(j, i);
+  QFR_REQUIRE(c.rows() == n && c.cols() == n,
+              "syrk shape mismatch: A is " << n << "x" << a.cols()
+                                           << " so C must be " << n << "x"
+                                           << n << ", got " << c.rows() << "x"
+                                           << c.cols());
+  // A * A^T with the symmetric-output strength reduction: the kernels
+  // compute the on/above-diagonal blocks and mirror (~half the multiplies),
+  // same contract as the previous triangle loop.
+  const GemmTask t = make_gemm_task(Trans::kNo, Trans::kYes, alpha, a, a,
+                                    beta, c, TaskSym::kSymmetricOut);
+  kernels::execute_task(t);
 }
 
 double dot(std::span<const double> x, std::span<const double> y) {

@@ -4,18 +4,18 @@
 #include <cstdint>
 #include <span>
 
+#include "qfr/la/gemm_task.hpp"
 #include "qfr/la/matrix.hpp"
 
 namespace qfr::la {
 
-/// Transposition flag for GEMM-family kernels.
-enum class Trans { kNo, kYes };
-
 /// C := alpha * op(A) * op(B) + beta * C.
 ///
-/// Blocked, cache-tiled implementation; this is the library's workhorse and
-/// the kernel the paper's elastic-offloading and strength-reduction
-/// optimizations target. Dimensions are validated against C.
+/// Eager entry point over the cache-blocked, ISA-dispatched kernels in
+/// qfr::la::kernels (AVX2/FMA when compiled in, supported, and enabled;
+/// scalar otherwise). Dimensions and aliasing are validated against C with
+/// actionable errors; batch-minded call sites enqueue GemmTasks on a
+/// BatchedExecutor instead of calling this per product.
 void gemm(Trans ta, Trans tb, double alpha, const Matrix& a, const Matrix& b,
           double beta, Matrix& c);
 

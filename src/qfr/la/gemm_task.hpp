@@ -1,0 +1,72 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "qfr/la/matrix.hpp"
+
+namespace qfr::la {
+
+/// Transposition flag for GEMM-family kernels.
+enum class Trans { kNo, kYes };
+
+/// Structural knowledge about a task's result that the executor may
+/// exploit (the paper's Fig. 6 symmetry-aware strength reductions).
+enum class TaskSym {
+  kGeneral,
+  /// The caller guarantees alpha*op(A)op(B) and beta*C are both symmetric
+  /// (m == n). The kernels then compute only the blocks on or above the
+  /// diagonal and mirror — roughly half the multiplies.
+  kSymmetricOut,
+};
+
+/// One deferred GEMM: C := alpha * op(A) * op(B) + beta * C on raw strided
+/// storage.
+///
+/// Dimensions are the *logical* ones: C is m x n, op(A) is m x k, op(B) is
+/// k x n. With ta == Trans::kNo, A is stored m x k with leading dimension
+/// lda (>= k); with ta == Trans::kYes it is stored k x m (lda >= m), and
+/// symmetrically for B. Raw pointers (instead of Matrix references) let
+/// call sites submit strided submatrices — e.g. the occupied block of an
+/// MO-coefficient matrix — without copying them out first.
+///
+/// The pointed-to storage must stay alive and unmoved until the executor
+/// flushes; every call site in the library enqueues and flushes within one
+/// phase of one stack frame.
+struct GemmTask {
+  std::size_t m = 0, n = 0, k = 0;
+  const double* a = nullptr;
+  std::size_t lda = 0;
+  Trans ta = Trans::kNo;
+  const double* b = nullptr;
+  std::size_t ldb = 0;
+  Trans tb = Trans::kNo;
+  double* c = nullptr;
+  std::size_t ldc = 0;
+  double alpha = 1.0;
+  double beta = 0.0;
+  TaskSym sym = TaskSym::kGeneral;
+
+  /// Logical FLOP count (2mnk); the symmetric reduction executes about
+  /// half of it. Used for grouping/profitability accounting.
+  std::int64_t flops() const {
+    return 2ll * static_cast<std::int64_t>(m) * static_cast<std::int64_t>(n) *
+           static_cast<std::int64_t>(k);
+  }
+};
+
+/// Build a task from whole matrices, deriving k from op(A) and validating
+/// every dimension against C (throws InvalidArgument with the offending
+/// shapes spelled out).
+GemmTask make_gemm_task(Trans ta, Trans tb, double alpha, const Matrix& a,
+                        const Matrix& b, double beta, Matrix& c,
+                        TaskSym sym = TaskSym::kGeneral);
+
+/// Precondition gate run on every task before it is queued or executed:
+/// null operands, leading dimensions shorter than a stored row, symmetry
+/// flags on non-square results, and — the silent-wrong-answer class — C
+/// storage aliasing A or B. Throws InvalidArgument with an actionable
+/// message naming the violated constraint.
+void validate_task(const GemmTask& t);
+
+}  // namespace qfr::la

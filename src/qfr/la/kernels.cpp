@@ -1,0 +1,446 @@
+#include "qfr/la/kernels.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+#include <string_view>
+
+#include "qfr/common/error.hpp"
+
+// The AVX2/FMA microkernels are compiled on x86-64 unless the build sets
+// -DQFR_NO_AVX2=ON (the scalar-fallback CI leg). They carry
+// target("avx2,fma") function attributes, so the translation unit itself
+// needs no -mavx2 flag and the binary stays runnable on pre-AVX2 hosts —
+// dispatch happens at runtime via __builtin_cpu_supports.
+#if defined(__x86_64__) && !defined(QFR_NO_AVX2)
+#define QFR_KERNELS_HAVE_AVX2 1
+#include <immintrin.h>
+#else
+#define QFR_KERNELS_HAVE_AVX2 0
+#endif
+
+namespace qfr::la {
+
+namespace {
+
+// Tile sizes tuned for L1/L2 residency of the packed operands (shared
+// with the pre-executor blocked gemm).
+constexpr std::size_t kMc = 64;
+constexpr std::size_t kKc = 128;
+constexpr std::size_t kNc = 256;
+
+// Stored dimensions of A under its transpose flag: rows x cols as laid
+// out in memory.
+std::size_t a_stored_cols(const GemmTask& t) {
+  return t.ta == Trans::kNo ? t.k : t.m;
+}
+std::size_t a_stored_rows(const GemmTask& t) {
+  return t.ta == Trans::kNo ? t.m : t.k;
+}
+std::size_t b_stored_cols(const GemmTask& t) {
+  return t.tb == Trans::kNo ? t.n : t.k;
+}
+std::size_t b_stored_rows(const GemmTask& t) {
+  return t.tb == Trans::kNo ? t.k : t.n;
+}
+
+// Half-open extent of a strided operand in memory, for aliasing checks.
+struct Extent {
+  const double* lo = nullptr;
+  const double* hi = nullptr;  // one past the last element
+  bool overlaps(const Extent& o) const {
+    return lo != nullptr && o.lo != nullptr && lo < o.hi && o.lo < hi;
+  }
+};
+
+Extent stored_extent(const double* p, std::size_t rows, std::size_t cols,
+                     std::size_t ld) {
+  if (p == nullptr || rows == 0 || cols == 0) return {};
+  return {p, p + (rows - 1) * ld + cols};
+}
+
+}  // namespace
+
+GemmTask make_gemm_task(Trans ta, Trans tb, double alpha, const Matrix& a,
+                        const Matrix& b, double beta, Matrix& c,
+                        TaskSym sym) {
+  const std::size_t m = c.rows();
+  const std::size_t n = c.cols();
+  const std::size_t k = (ta == Trans::kNo) ? a.cols() : a.rows();
+  const std::size_t am = (ta == Trans::kNo) ? a.rows() : a.cols();
+  const std::size_t bk = (tb == Trans::kNo) ? b.rows() : b.cols();
+  const std::size_t bn = (tb == Trans::kNo) ? b.cols() : b.rows();
+  QFR_REQUIRE(am == m && bn == n && bk == k,
+              "gemm shape mismatch: C is " << m << "x" << n << ", op(A) is "
+                                           << am << "x" << k << ", op(B) is "
+                                           << bk << "x" << bn);
+  GemmTask t;
+  t.m = m;
+  t.n = n;
+  t.k = k;
+  t.a = a.data();
+  t.lda = a.cols();
+  t.ta = ta;
+  t.b = b.data();
+  t.ldb = b.cols();
+  t.tb = tb;
+  t.c = c.data();
+  t.ldc = c.cols();
+  t.alpha = alpha;
+  t.beta = beta;
+  t.sym = sym;
+  validate_task(t);
+  return t;
+}
+
+void validate_task(const GemmTask& t) {
+  if (t.m == 0 || t.n == 0) return;  // empty result: nothing to write
+  QFR_REQUIRE(t.c != nullptr,
+              "gemm task: null C pointer for a " << t.m << "x" << t.n
+                                                 << " result");
+  QFR_REQUIRE(t.ldc >= t.n, "gemm task: ldc ("
+                                << t.ldc << ") shorter than a C row (" << t.n
+                                << " columns) — rows would overlap");
+  QFR_REQUIRE(t.sym == TaskSym::kGeneral || t.m == t.n,
+              "gemm task: TaskSym::kSymmetricOut needs a square result, got "
+                  << t.m << "x" << t.n);
+  if (t.k == 0 || t.alpha == 0.0) return;  // operands never read
+  QFR_REQUIRE(t.a != nullptr && t.b != nullptr,
+              "gemm task: null operand for C(" << t.m << "x" << t.n
+                                               << ") += op(A) op(B) with k = "
+                                               << t.k);
+  QFR_REQUIRE(t.lda >= a_stored_cols(t),
+              "gemm task: lda (" << t.lda << ") shorter than a stored A row ("
+                                 << a_stored_cols(t) << " columns, ta="
+                                 << (t.ta == Trans::kYes ? "T" : "N") << ")");
+  QFR_REQUIRE(t.ldb >= b_stored_cols(t),
+              "gemm task: ldb (" << t.ldb << ") shorter than a stored B row ("
+                                 << b_stored_cols(t) << " columns, tb="
+                                 << (t.tb == Trans::kYes ? "T" : "N") << ")");
+  const Extent ca = stored_extent(t.a, a_stored_rows(t), a_stored_cols(t),
+                                  t.lda);
+  const Extent cb = stored_extent(t.b, b_stored_rows(t), b_stored_cols(t),
+                                  t.ldb);
+  const Extent cc = stored_extent(t.c, t.m, t.n, t.ldc);
+  QFR_REQUIRE(!cc.overlaps(ca),
+              "gemm task: C storage aliases op(A); the kernels scale and "
+              "write C in place, so an aliased input reads already-updated "
+              "values — use a distinct output buffer");
+  QFR_REQUIRE(!cc.overlaps(cb),
+              "gemm task: C storage aliases op(B); the kernels scale and "
+              "write C in place, so an aliased input reads already-updated "
+              "values — use a distinct output buffer");
+}
+
+namespace kernels {
+
+namespace {
+
+std::atomic<bool> g_simd_enabled{true};
+
+bool env_disables_simd() {
+  static const bool v = [] {
+    const char* e = std::getenv("QFR_NO_AVX2");
+    return e != nullptr && *e != '\0' && std::string_view(e) != "0";
+  }();
+  return v;
+}
+
+// ---- packing ------------------------------------------------------------
+
+// Packs an mb x kb tile of op(A) starting at logical (i0, k0) into
+// row-major contiguous storage.
+void pack_a(const GemmTask& t, std::size_t i0, std::size_t k0, std::size_t mb,
+            std::size_t kb, double* dst) {
+  if (t.ta == Trans::kNo) {
+    for (std::size_t i = 0; i < mb; ++i)
+      std::memcpy(dst + i * kb, t.a + (i0 + i) * t.lda + k0,
+                  kb * sizeof(double));
+  } else {
+    for (std::size_t i = 0; i < mb; ++i)
+      for (std::size_t kk = 0; kk < kb; ++kk)
+        dst[i * kb + kk] = t.a[(k0 + kk) * t.lda + (i0 + i)];
+  }
+}
+
+// Packs a kb x nb tile of op(B) starting at logical (k0, j0).
+void pack_b(const GemmTask& t, std::size_t k0, std::size_t j0, std::size_t kb,
+            std::size_t nb, double* dst) {
+  if (t.tb == Trans::kNo) {
+    for (std::size_t kk = 0; kk < kb; ++kk)
+      std::memcpy(dst + kk * nb, t.b + (k0 + kk) * t.ldb + j0,
+                  nb * sizeof(double));
+  } else {
+    for (std::size_t kk = 0; kk < kb; ++kk)
+      for (std::size_t j = 0; j < nb; ++j)
+        dst[kk * nb + j] = t.b[(j0 + j) * t.ldb + (k0 + kk)];
+  }
+}
+
+// ---- microkernels -------------------------------------------------------
+
+// ctile[mb x nb] += Ap[mb x kb] * Bp[kb x nb]; ctile rows are nb-strided.
+
+// Scalar reference microkernel (the seed kernel): 4-wide j unrolling, the
+// inner loops vectorize to the baseline ISA under -O2.
+void micro_scalar(const double* ap, const double* bp, std::size_t mb,
+                  std::size_t nb, std::size_t kb, double* ct) {
+  for (std::size_t i = 0; i < mb; ++i) {
+    double* ci = ct + i * nb;
+    const double* ai = ap + i * kb;
+    for (std::size_t kk = 0; kk < kb; ++kk) {
+      const double aik = ai[kk];
+      const double* bk = bp + kk * nb;
+      std::size_t j = 0;
+      for (; j + 4 <= nb; j += 4) {
+        ci[j] += aik * bk[j];
+        ci[j + 1] += aik * bk[j + 1];
+        ci[j + 2] += aik * bk[j + 2];
+        ci[j + 3] += aik * bk[j + 3];
+      }
+      for (; j < nb; ++j) ci[j] += aik * bk[j];
+    }
+  }
+}
+
+#if QFR_KERNELS_HAVE_AVX2
+
+// AVX2/FMA microkernel: 4x8 register tile (8 ymm accumulators), broadcast
+// A, two 4-wide B loads, 8 FMAs per k step. Remainders fall back to the
+// scalar pattern inside the same function so dispatch stays per-tile.
+__attribute__((target("avx2,fma"))) void micro_avx2(
+    const double* ap, const double* bp, std::size_t mb, std::size_t nb,
+    std::size_t kb, double* ct) {
+  std::size_t i = 0;
+  for (; i + 4 <= mb; i += 4) {
+    const double* a0 = ap + i * kb;
+    const double* a1 = a0 + kb;
+    const double* a2 = a1 + kb;
+    const double* a3 = a2 + kb;
+    std::size_t j = 0;
+    for (; j + 8 <= nb; j += 8) {
+      __m256d c00 = _mm256_setzero_pd(), c01 = _mm256_setzero_pd();
+      __m256d c10 = _mm256_setzero_pd(), c11 = _mm256_setzero_pd();
+      __m256d c20 = _mm256_setzero_pd(), c21 = _mm256_setzero_pd();
+      __m256d c30 = _mm256_setzero_pd(), c31 = _mm256_setzero_pd();
+      const double* bj = bp + j;
+      for (std::size_t kk = 0; kk < kb; ++kk) {
+        const __m256d b0 = _mm256_loadu_pd(bj + kk * nb);
+        const __m256d b1 = _mm256_loadu_pd(bj + kk * nb + 4);
+        const __m256d va0 = _mm256_broadcast_sd(a0 + kk);
+        c00 = _mm256_fmadd_pd(va0, b0, c00);
+        c01 = _mm256_fmadd_pd(va0, b1, c01);
+        const __m256d va1 = _mm256_broadcast_sd(a1 + kk);
+        c10 = _mm256_fmadd_pd(va1, b0, c10);
+        c11 = _mm256_fmadd_pd(va1, b1, c11);
+        const __m256d va2 = _mm256_broadcast_sd(a2 + kk);
+        c20 = _mm256_fmadd_pd(va2, b0, c20);
+        c21 = _mm256_fmadd_pd(va2, b1, c21);
+        const __m256d va3 = _mm256_broadcast_sd(a3 + kk);
+        c30 = _mm256_fmadd_pd(va3, b0, c30);
+        c31 = _mm256_fmadd_pd(va3, b1, c31);
+      }
+      double* c0 = ct + i * nb + j;
+      double* c1 = c0 + nb;
+      double* c2 = c1 + nb;
+      double* c3 = c2 + nb;
+      _mm256_storeu_pd(c0, _mm256_add_pd(_mm256_loadu_pd(c0), c00));
+      _mm256_storeu_pd(c0 + 4, _mm256_add_pd(_mm256_loadu_pd(c0 + 4), c01));
+      _mm256_storeu_pd(c1, _mm256_add_pd(_mm256_loadu_pd(c1), c10));
+      _mm256_storeu_pd(c1 + 4, _mm256_add_pd(_mm256_loadu_pd(c1 + 4), c11));
+      _mm256_storeu_pd(c2, _mm256_add_pd(_mm256_loadu_pd(c2), c20));
+      _mm256_storeu_pd(c2 + 4, _mm256_add_pd(_mm256_loadu_pd(c2 + 4), c21));
+      _mm256_storeu_pd(c3, _mm256_add_pd(_mm256_loadu_pd(c3), c30));
+      _mm256_storeu_pd(c3 + 4, _mm256_add_pd(_mm256_loadu_pd(c3 + 4), c31));
+    }
+    // Column remainder (< 8) for this 4-row band.
+    for (; j < nb; ++j) {
+      double acc0 = 0.0, acc1 = 0.0, acc2 = 0.0, acc3 = 0.0;
+      for (std::size_t kk = 0; kk < kb; ++kk) {
+        const double bkj = bp[kk * nb + j];
+        acc0 += a0[kk] * bkj;
+        acc1 += a1[kk] * bkj;
+        acc2 += a2[kk] * bkj;
+        acc3 += a3[kk] * bkj;
+      }
+      ct[i * nb + j] += acc0;
+      ct[(i + 1) * nb + j] += acc1;
+      ct[(i + 2) * nb + j] += acc2;
+      ct[(i + 3) * nb + j] += acc3;
+    }
+  }
+  // Row remainder (< 4): one row at a time, 8-wide FMA across columns.
+  for (; i < mb; ++i) {
+    const double* ai = ap + i * kb;
+    double* ci = ct + i * nb;
+    for (std::size_t kk = 0; kk < kb; ++kk) {
+      const __m256d va = _mm256_broadcast_sd(ai + kk);
+      const double* bk = bp + kk * nb;
+      std::size_t j = 0;
+      for (; j + 4 <= nb; j += 4)
+        _mm256_storeu_pd(
+            ci + j, _mm256_fmadd_pd(va, _mm256_loadu_pd(bk + j),
+                                    _mm256_loadu_pd(ci + j)));
+      for (; j < nb; ++j) ci[j] += ai[kk] * bk[j];
+    }
+  }
+}
+
+#endif  // QFR_KERNELS_HAVE_AVX2
+
+using MicroFn = void (*)(const double*, const double*, std::size_t,
+                         std::size_t, std::size_t, double*);
+
+MicroFn resolve_micro() {
+#if QFR_KERNELS_HAVE_AVX2
+  if (active_isa() == Isa::kAvx2) return micro_avx2;
+#endif
+  return micro_scalar;
+}
+
+// beta pre-pass over the (strided) C region; kernels then always
+// accumulate.
+void apply_beta(const GemmTask& t) {
+  if (t.beta == 1.0) return;
+  for (std::size_t i = 0; i < t.m; ++i) {
+    double* row = t.c + i * t.ldc;
+    if (t.beta == 0.0) {
+      std::fill(row, row + t.n, 0.0);
+    } else {
+      for (std::size_t j = 0; j < t.n; ++j) row[j] *= t.beta;
+    }
+  }
+}
+
+// Mirror the strict lower triangle from the computed upper one.
+void mirror_symmetric(const GemmTask& t) {
+  for (std::size_t i = 1; i < t.m; ++i)
+    for (std::size_t j = 0; j < i; ++j)
+      t.c[i * t.ldc + j] = t.c[j * t.ldc + i];
+}
+
+}  // namespace
+
+bool avx2_compiled() { return QFR_KERNELS_HAVE_AVX2 != 0; }
+
+bool avx2_supported() {
+#if QFR_KERNELS_HAVE_AVX2
+  static const bool v =
+      __builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma");
+  return v;
+#else
+  return false;
+#endif
+}
+
+bool simd_enabled() {
+  return g_simd_enabled.load(std::memory_order_relaxed) &&
+         !env_disables_simd();
+}
+
+void set_simd_enabled(bool enabled) {
+  g_simd_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+Isa active_isa() {
+  return (avx2_compiled() && avx2_supported() && simd_enabled())
+             ? Isa::kAvx2
+             : Isa::kScalar;
+}
+
+const char* isa_name(Isa isa) {
+  return isa == Isa::kAvx2 ? "avx2+fma" : "scalar";
+}
+
+void PackBuffers::reserve_tiles() {
+  apack.resize(kMc * kKc);
+  bpack.resize(kKc * kNc);
+  ctile.resize(kMc * kNc);
+}
+
+std::int64_t execute_shared_b(std::span<const GemmTask> run,
+                              PackBuffers& buf) {
+  if (run.empty()) return 0;
+  for (const GemmTask& t : run) apply_beta(t);
+  const GemmTask& t0 = run[0];
+  const std::size_t n = t0.n;
+  const std::size_t k = t0.k;
+  if (n == 0 || k == 0) return 0;
+  buf.reserve_tiles();
+  const MicroFn micro = resolve_micro();
+  std::int64_t flops = 0;
+
+  // The symmetric skip tests whole column blocks against the diagonal, so
+  // its granularity is the column block size: at kNc = 256 a typical basis
+  // dimension fits one block and nothing is ever skipped. Symmetric runs
+  // therefore drop to kMc-wide column blocks — square blocks against the
+  // row blocking — which costs nothing in total packing volume and lets
+  // the reduction approach its ~2x for any m beyond one row block.
+  std::size_t nc = kNc;
+  for (const GemmTask& t : run)
+    if (t.sym == TaskSym::kSymmetricOut) nc = kMc;
+
+  for (std::size_t j0 = 0; j0 < n; j0 += nc) {
+    const std::size_t nb = std::min(nc, n - j0);
+    for (std::size_t k0 = 0; k0 < k; k0 += kKc) {
+      const std::size_t kb = std::min(kKc, k - k0);
+      // One packed B tile serves every task in the run: this reuse is the
+      // in-process payoff of batching same-shape tasks together.
+      pack_b(t0, k0, j0, kb, nb, buf.bpack.data());
+      for (const GemmTask& t : run) {
+        if (t.alpha == 0.0 || t.m == 0) continue;
+        for (std::size_t i0 = 0; i0 < t.m; i0 += kMc) {
+          const std::size_t mb = std::min(kMc, t.m - i0);
+          // Symmetric results skip blocks strictly below the diagonal
+          // (Fig. 6 strength reduction); the mirror pass restores them.
+          if (t.sym == TaskSym::kSymmetricOut && j0 + nb <= i0) continue;
+          pack_a(t, i0, k0, mb, kb, buf.apack.data());
+          std::fill(buf.ctile.begin(), buf.ctile.begin() + mb * nb, 0.0);
+          micro(buf.apack.data(), buf.bpack.data(), mb, nb, kb,
+                buf.ctile.data());
+          for (std::size_t i = 0; i < mb; ++i) {
+            double* crow = t.c + (i0 + i) * t.ldc + j0;
+            const double* trow = buf.ctile.data() + i * nb;
+            for (std::size_t j = 0; j < nb; ++j)
+              crow[j] += t.alpha * trow[j];
+          }
+          flops += 2ll * static_cast<std::int64_t>(mb) * nb * kb;
+        }
+      }
+    }
+  }
+  for (const GemmTask& t : run)
+    if (t.sym == TaskSym::kSymmetricOut && t.alpha != 0.0)
+      mirror_symmetric(t);
+  return flops;
+}
+
+std::int64_t execute_task(const GemmTask& t, PackBuffers& buf) {
+  return execute_shared_b({&t, 1}, buf);
+}
+
+std::int64_t execute_task(const GemmTask& t) {
+  static thread_local PackBuffers tls_buf;
+  return execute_task(t, tls_buf);
+}
+
+void reference_gemm(const GemmTask& t) {
+  apply_beta(t);
+  if (t.alpha == 0.0 || t.k == 0) return;
+  for (std::size_t i = 0; i < t.m; ++i)
+    for (std::size_t j = 0; j < t.n; ++j) {
+      double acc = 0.0;
+      for (std::size_t kk = 0; kk < t.k; ++kk) {
+        const double av = (t.ta == Trans::kNo) ? t.a[i * t.lda + kk]
+                                               : t.a[kk * t.lda + i];
+        const double bv = (t.tb == Trans::kNo) ? t.b[kk * t.ldb + j]
+                                               : t.b[j * t.ldb + kk];
+        acc += av * bv;
+      }
+      t.c[i * t.ldc + j] += t.alpha * acc;
+    }
+}
+
+}  // namespace kernels
+}  // namespace qfr::la

@@ -1,0 +1,78 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "qfr/la/gemm_task.hpp"
+
+namespace qfr::la::kernels {
+
+/// Instruction set a GEMM microkernel executes with.
+enum class Isa { kScalar, kAvx2 };
+
+/// True when the AVX2/FMA microkernels were compiled in (x86-64 build
+/// without -DQFR_NO_AVX2=ON).
+bool avx2_compiled();
+
+/// True when the running CPU reports AVX2 and FMA.
+bool avx2_supported();
+
+/// Runtime escape hatch mirroring the build-time QFR_NO_AVX2 gate: the
+/// environment variable QFR_NO_AVX2 (any value other than empty or "0")
+/// forces the scalar path, and set_simd_enabled(false) does the same
+/// programmatically (benches use it to measure the scalar baseline).
+bool simd_enabled();
+void set_simd_enabled(bool enabled);
+
+/// The kernel the next execute_task call will dispatch to:
+/// kAvx2 iff compiled in, supported by the CPU, and not disabled by the
+/// environment or set_simd_enabled(false).
+Isa active_isa();
+const char* isa_name(Isa isa);
+
+/// RAII force of the scalar reference path (bench baselines, divergence
+/// tests). Restores the previous setting on destruction.
+class ScopedForceScalar {
+ public:
+  ScopedForceScalar() : prev_(simd_enabled()) { set_simd_enabled(false); }
+  ~ScopedForceScalar() { set_simd_enabled(prev_); }
+  ScopedForceScalar(const ScopedForceScalar&) = delete;
+  ScopedForceScalar& operator=(const ScopedForceScalar&) = delete;
+
+ private:
+  bool prev_;
+};
+
+/// Packing workspace reused across tasks and flushes so the hot path never
+/// allocates. One per executor (or thread); not thread-safe.
+struct PackBuffers {
+  std::vector<double> apack;
+  std::vector<double> bpack;
+  std::vector<double> ctile;
+  void reserve_tiles();
+};
+
+/// Execute one validated task with the cache-blocked, ISA-dispatched
+/// kernel path (beta pre-scale, packed tiles, microkernel, symmetric
+/// mirror). Returns the FLOPs actually executed (the symmetric reduction
+/// skips the sub-diagonal blocks, so this can be ~half of t.flops()).
+std::int64_t execute_task(const GemmTask& t, PackBuffers& buf);
+
+/// Convenience overload using a thread-local workspace (the eager la::gemm
+/// entry point).
+std::int64_t execute_task(const GemmTask& t);
+
+/// Execute a run of tasks sharing one B operand (same pointer, leading
+/// dimension, transpose flag, and logical k x n): each packed B tile is
+/// reused across every task in the run — the host-side analogue of the
+/// paper's elastic batching, which amortizes operand staging over a batch
+/// of same-shape kernels. Returns executed FLOPs.
+std::int64_t execute_shared_b(std::span<const GemmTask> run,
+                              PackBuffers& buf);
+
+/// Strided scalar triple-loop reference (no blocking, no SIMD, no
+/// symmetry shortcut). The correctness oracle for the fuzz suite.
+void reference_gemm(const GemmTask& t);
+
+}  // namespace qfr::la::kernels

@@ -15,13 +15,15 @@
 
 namespace qfr::qframan {
 
-std::unique_ptr<engine::FragmentEngine> make_engine(EngineKind kind) {
+std::unique_ptr<engine::FragmentEngine> make_engine(EngineKind kind,
+                                                    bool batched_gemm) {
   switch (kind) {
     case EngineKind::kModel:
       return std::make_unique<engine::ModelEngine>();
     case EngineKind::kScfHf: {
       engine::ScfEngineOptions opts;
       opts.xc = scf::XcModel::kHartreeFock;
+      opts.batched_gemm = batched_gemm;
       return std::make_unique<engine::ScfEngine>(opts);
     }
     case EngineKind::kScfLda: {
@@ -29,6 +31,7 @@ std::unique_ptr<engine::FragmentEngine> make_engine(EngineKind kind) {
       opts.xc = scf::XcModel::kLda;
       // Analytic gradients cover HF only; LDA falls back to energy FD.
       opts.hessian_mode = engine::HessianMode::kEnergyFd;
+      opts.batched_gemm = batched_gemm;
       return std::make_unique<engine::ScfEngine>(opts);
     }
   }
@@ -36,7 +39,8 @@ std::unique_ptr<engine::FragmentEngine> make_engine(EngineKind kind) {
   return nullptr;
 }
 
-engine::EngineFallbackChain make_fallback_chain(EngineKind kind) {
+engine::EngineFallbackChain make_fallback_chain(EngineKind kind,
+                                                bool batched_gemm) {
   engine::EngineFallbackChain chain;
   if (kind == EngineKind::kScfHf) {
     // Same physics, hardier numerics: the energy-FD Hessian needs only
@@ -44,6 +48,7 @@ engine::EngineFallbackChain make_fallback_chain(EngineKind kind) {
     engine::ScfEngineOptions opts;
     opts.xc = scf::XcModel::kHartreeFock;
     opts.hessian_mode = engine::HessianMode::kEnergyFd;
+    opts.batched_gemm = batched_gemm;
     chain.push_back(std::make_unique<engine::ScfEngine>(opts));
   }
   // Last resort for every ladder: the classical surrogate always returns
@@ -62,7 +67,7 @@ RamanWorkflow::RamanWorkflow(WorkflowOptions options)
 
 WorkflowResult RamanWorkflow::run(const frag::BioSystem& system) const {
   const std::unique_ptr<engine::FragmentEngine> eng =
-      make_engine(options_.engine);
+      make_engine(options_.engine, options_.batched_gemm);
   return run(system, *eng);
 }
 
@@ -133,7 +138,8 @@ WorkflowResult RamanWorkflow::run(const frag::BioSystem& system,
   }
   const fault::FragmentResultValidator validator(options_.validator);
   engine::EngineFallbackChain chain;
-  if (options_.enable_fallback) chain = make_fallback_chain(options_.engine);
+  if (options_.enable_fallback)
+    chain = make_fallback_chain(options_.engine, options_.batched_gemm);
 
   // Content-addressed result cache: one instance for the whole sweep,
   // gated by the same validator that fences the scheduler, so a result

@@ -36,6 +36,11 @@ enum class SolverKind {
 struct WorkflowOptions {
   frag::FragmentationOptions fragmentation;
   EngineKind engine = EngineKind::kModel;
+  /// Route the SCF engines' GEMM work through per-job BatchedExecutors
+  /// (same-shape batching + SIMD microkernels). false forces eager
+  /// per-product execution — the baseline side of parity tests and the
+  /// fig09 real-vs-modeled bench. Ignored by the model engine.
+  bool batched_gemm = true;
   /// Leaders of the in-process hierarchy (threads).
   std::size_t n_leaders = 2;
   std::size_t workers_per_leader = 1;
@@ -165,13 +170,15 @@ class RamanWorkflow {
 };
 
 /// Factory for the engine selected by `kind` (shared by the workflow and
-/// the benches).
-std::unique_ptr<engine::FragmentEngine> make_engine(EngineKind kind);
+/// the benches). `batched_gemm` is forwarded to the SCF engines.
+std::unique_ptr<engine::FragmentEngine> make_engine(EngineKind kind,
+                                                    bool batched_gemm = true);
 
 /// Degradation ladder below the primary engine `kind`: analytic-gradient
 /// HF falls back to energy-only finite differences, and everything
 /// bottoms out at the classical model surrogate (always available, always
 /// convergent). Used by the workflow when enable_fallback is set.
-engine::EngineFallbackChain make_fallback_chain(EngineKind kind);
+engine::EngineFallbackChain make_fallback_chain(EngineKind kind,
+                                                bool batched_gemm = true);
 
 }  // namespace qfr::qframan

@@ -22,6 +22,33 @@ namespace {
 using la::Matrix;
 using la::Vector;
 
+// Closed-shell density from the occupied MO block, P = 2 C_occ C_occ^T:
+// the result is symmetric, so the kernels compute only the on/above-
+// diagonal blocks and mirror (Fig. 6 strength reduction). `vectors` holds
+// MOs in columns; the occupied block is the strided submatrix of its
+// first n_occ columns.
+void enqueue_density_build(la::BatchedExecutor& exec, const Matrix& vectors,
+                           int n_occ, Matrix& density) {
+  const std::size_t n = vectors.rows();
+  density.resize_zero(n, n);
+  la::GemmTask t;
+  t.m = n;
+  t.n = n;
+  t.k = static_cast<std::size_t>(n_occ);
+  t.a = vectors.data();
+  t.lda = vectors.cols();
+  t.ta = la::Trans::kNo;
+  t.b = vectors.data();
+  t.ldb = vectors.cols();
+  t.tb = la::Trans::kYes;
+  t.c = density.data();
+  t.ldc = n;
+  t.alpha = 2.0;
+  t.beta = 0.0;
+  t.sym = la::TaskSym::kSymmetricOut;
+  exec.enqueue(t);
+}
+
 // Nuclear charge center: origin for dipole integrals, which makes
 // polarizabilities origin-consistent for neutral fragments.
 geom::Vec3 charge_center(const chem::Molecule& mol) {
@@ -152,6 +179,17 @@ ScfResult ScfSolver::solve(const Matrix* initial_density) const {
   QFR_REQUIRE(static_cast<std::size_t>(n_occ) <= n,
               "basis too small for electron count");
 
+  // GEMM execution for this solve: borrowed from the caller (displacement
+  // workers share one per job) or a private per-solve executor.
+  std::unique_ptr<la::BatchedExecutor> owned_exec;
+  la::BatchedExecutor* exec = options_.batch;
+  if (exec == nullptr) {
+    owned_exec = std::make_unique<la::BatchedExecutor>(
+        options_.batched ? la::BatchedExecutor::Policy::kBatched
+                         : la::BatchedExecutor::Policy::kEager);
+    exec = owned_exec.get();
+  }
+
   // Grid workspace for the LDA path (basis values reused every iteration).
   std::unique_ptr<grid::BasisBatch> batch;
   if (options_.xc == XcModel::kLda) {
@@ -213,13 +251,8 @@ ScfResult ScfSolver::solve(const Matrix* initial_density) const {
     p0 = *initial_density;
   } else {
     const la::EigResult guess = la::eigh_generalized(ctx.hcore, ctx.s);
-    for (std::size_t a = 0; a < n; ++a)
-      for (std::size_t b = 0; b < n; ++b) {
-        double acc = 0.0;
-        for (int o = 0; o < n_occ; ++o)
-          acc += guess.vectors(a, o) * guess.vectors(b, o);
-        p0(a, b) = 2.0 * acc;
-      }
+    enqueue_density_build(*exec, guess.vectors, n_occ, p0);
+    exec->flush();
   }
 
   // Diagnostics of the last (failed) attempt for the error message.
@@ -243,12 +276,18 @@ ScfResult ScfSolver::solve(const Matrix* initial_density) const {
       double e_two = 0.0, e_xc = 0.0;
       Matrix f = build_fock(p, &e_two, &e_xc);
 
-      // DIIS error FPS - SPF.
-      Matrix fps(n, n), spf(n, n), tmp(n, n);
-      la::gemm(la::Trans::kNo, la::Trans::kNo, 1.0, f, p, 0.0, tmp);
-      la::gemm(la::Trans::kNo, la::Trans::kNo, 1.0, tmp, ctx.s, 0.0, fps);
-      la::gemm(la::Trans::kNo, la::Trans::kNo, 1.0, ctx.s, p, 0.0, tmp);
-      la::gemm(la::Trans::kNo, la::Trans::kNo, 1.0, tmp, f, 0.0, spf);
+      // DIIS error FPS - SPF. The two halves F.P and S.P share the B
+      // operand P, so the flush packs each P tile once for both; the
+      // second pair is a same-shape group.
+      Matrix fps(n, n), spf(n, n), fp(n, n), sp_half(n, n);
+      exec->enqueue(la::Trans::kNo, la::Trans::kNo, 1.0, f, p, 0.0, fp);
+      exec->enqueue(la::Trans::kNo, la::Trans::kNo, 1.0, ctx.s, p, 0.0,
+                    sp_half);
+      exec->flush();
+      exec->enqueue(la::Trans::kNo, la::Trans::kNo, 1.0, fp, ctx.s, 0.0, fps);
+      exec->enqueue(la::Trans::kNo, la::Trans::kNo, 1.0, sp_half, f, 0.0,
+                    spf);
+      exec->flush();
       Matrix err = fps;
       err -= spf;
       const double err_norm = la::max_abs_diff(err, Matrix(n, n));
@@ -261,8 +300,11 @@ ScfResult ScfSolver::solve(const Matrix* initial_density) const {
         // `shift` hartree (S(P/2)S projects onto the occupied space in
         // the AO metric), damping occupied/virtual rotation per step.
         Matrix sp(n, n), sps(n, n);
-        la::gemm(la::Trans::kNo, la::Trans::kNo, 0.5, ctx.s, p, 0.0, sp);
-        la::gemm(la::Trans::kNo, la::Trans::kNo, 1.0, sp, ctx.s, 0.0, sps);
+        exec->enqueue(la::Trans::kNo, la::Trans::kNo, 0.5, ctx.s, p, 0.0, sp);
+        exec->flush();
+        exec->enqueue(la::Trans::kNo, la::Trans::kNo, 1.0, sp, ctx.s, 0.0,
+                      sps);
+        exec->flush();
         Matrix shift_term = ctx.s;
         shift_term -= sps;
         shift_term *= level_shift;
@@ -270,14 +312,9 @@ ScfResult ScfSolver::solve(const Matrix* initial_density) const {
       }
 
       const la::EigResult roothaan = la::eigh_generalized(f_use, ctx.s);
-      Matrix p_new(n, n);
-      for (std::size_t a = 0; a < n; ++a)
-        for (std::size_t b = 0; b < n; ++b) {
-          double acc = 0.0;
-          for (int o = 0; o < n_occ; ++o)
-            acc += roothaan.vectors(a, o) * roothaan.vectors(b, o);
-          p_new(a, b) = 2.0 * acc;
-        }
+      Matrix p_new;
+      enqueue_density_build(*exec, roothaan.vectors, n_occ, p_new);
+      exec->flush();
       if (damping > 0.0) {
         // p <- (1-d) p_new + d p_old: slows charge sloshing.
         for (std::size_t a = 0; a < n; ++a)

@@ -8,6 +8,7 @@
 #include "qfr/chem/molecule.hpp"
 #include "qfr/common/cancel.hpp"
 #include "qfr/integrals/eri.hpp"
+#include "qfr/la/batched_executor.hpp"
 #include "qfr/la/matrix.hpp"
 
 namespace qfr::grid {
@@ -50,6 +51,15 @@ struct ScfOptions {
   /// token aborts the solve with CancelledError (the runtime revoked this
   /// fragment's lease). Default token is null — never cancelled, no cost.
   common::CancelToken cancel;
+  /// Route the solver's GEMM-shaped work (DIIS commutators, level-shift
+  /// projector, density builds) through a BatchedExecutor, grouping
+  /// same-shape products between flush barriers. false executes each
+  /// product at enqueue time (the parity/bench baseline).
+  bool batched = true;
+  /// Optional externally owned executor shared across solves (one per
+  /// displacement worker); must outlive every solve() call. Null makes
+  /// each solve use a private executor with the policy given by `batched`.
+  la::BatchedExecutor* batch = nullptr;
 };
 
 /// Which built-in basis set a context is constructed with.

@@ -1,10 +1,14 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <array>
 #include <cmath>
+#include <string>
 
 #include "qfr/chem/molecule.hpp"
 #include "qfr/dfpt/response.hpp"
 #include "qfr/la/blas.hpp"
+#include "qfr/obs/session.hpp"
 #include "qfr/scf/scf.hpp"
 
 namespace qfr::dfpt {
@@ -226,6 +230,80 @@ TEST(Dfpt, ResponseDensityTracelessInOverlapMetric) {
   ResponseEngine engine(s.ctx, s.scf_res);
   const ResponseResult r = engine.solve(s.ctx->dip[2]);
   EXPECT_NEAR(la::trace_product(r.p1, s.ctx->s), 0.0, 1e-8);
+}
+
+// Refactor seam: routing the CPSCF through the batched executor must be a
+// pure scheduling change — every polarizability entry agrees with the
+// eager per-product path to numerical identity territory.
+TEST(Dfpt, BatchedAndEagerExecutionAgree) {
+  const Molecule w = chem::make_water({0, 0, 0});
+  for (const scf::XcModel xc :
+       {scf::XcModel::kHartreeFock, scf::XcModel::kLda}) {
+    QmState s = converge(w, xc);
+    DfptOptions eager;
+    eager.batched = false;
+    DfptOptions batched;
+    batched.batched = true;
+    const PolarizabilityResult a_eager =
+        ResponseEngine(s.ctx, s.scf_res, xc, eager).polarizability();
+    const PolarizabilityResult a_batched =
+        ResponseEngine(s.ctx, s.scf_res, xc, batched).polarizability();
+    EXPECT_TRUE(a_eager.converged && a_batched.converged);
+    EXPECT_LT(la::max_abs_diff(a_eager.alpha, a_batched.alpha), 1e-10)
+        << "xc=" << static_cast<int>(xc);
+  }
+}
+
+// Refactor seam: the four-phase timing decomposition must still reconcile
+// with the whole-solve histogram after the batching refactor — the phases
+// wrap everything the solve loop does, batched flushes included.
+TEST(Dfpt, PhaseSumTracksSolveHistogramWithTracingOn) {
+  obs::Session session;
+  obs::ScopedSession scope(&session);
+  const Molecule w = chem::make_water({0, 0, 0});
+  QmState s = converge(w, scf::XcModel::kLda);
+  ResponseEngine engine(s.ctx, s.scf_res, scf::XcModel::kLda);
+  const PolarizabilityResult res = engine.polarizability();
+  EXPECT_TRUE(res.converged);
+
+  const obs::MetricsSnapshot snap = session.metrics().snapshot();
+  auto hist_sum = [&](const std::string& name) {
+    for (const auto& [hname, h] : snap.histograms)
+      if (hname == name) return h.sum;
+    ADD_FAILURE() << "histogram " << name << " not recorded";
+    return 0.0;
+  };
+  const double phase_sum =
+      hist_sum("dfpt.phase.p1.seconds") + hist_sum("dfpt.phase.n1.seconds") +
+      hist_sum("dfpt.phase.v1.seconds") + hist_sum("dfpt.phase.h1.seconds");
+  const double solve = hist_sum("cpscf.solve.seconds");
+  EXPECT_GT(solve, 0.0);
+  // ~2% of the solve, with a small absolute floor so scheduler jitter on a
+  // sub-millisecond water solve cannot flake the assertion.
+  EXPECT_NEAR(phase_sum, solve, std::max(0.02 * solve, 2e-3));
+  // The executor's batch accounting reached the session too.
+  std::int64_t batch_tasks = 0;
+  for (const auto& [cname, v] : snap.counters)
+    if (cname == "la.batch.tasks") batch_tasks = v;
+  EXPECT_GT(batch_tasks, 0);
+}
+
+// Lockstep multi-direction solve: one solve_many over all three dipole
+// directions equals three independent solves.
+TEST(Dfpt, SolveManyMatchesIndependentSolves) {
+  const Molecule w = chem::make_water({0, 0, 0});
+  QmState s = converge(w, scf::XcModel::kHartreeFock);
+  ResponseEngine engine(s.ctx, s.scf_res);
+  const std::array<const la::Matrix*, 3> h1s = {
+      &s.ctx->dip[0], &s.ctx->dip[1], &s.ctx->dip[2]};
+  const std::vector<ResponseResult> many = engine.solve_many(h1s);
+  ASSERT_EQ(many.size(), 3u);
+  for (int d = 0; d < 3; ++d) {
+    ResponseEngine single(s.ctx, s.scf_res);
+    const ResponseResult one = single.solve(s.ctx->dip[d]);
+    EXPECT_TRUE(many[d].converged);
+    EXPECT_LT(la::max_abs_diff(many[d].p1, one.p1), 1e-9) << "dir " << d;
+  }
 }
 
 }  // namespace

@@ -1,0 +1,396 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "qfr/common/error.hpp"
+#include "qfr/common/rng.hpp"
+#include "qfr/la/batched_executor.hpp"
+#include "qfr/la/blas.hpp"
+#include "qfr/la/gemm_task.hpp"
+#include "qfr/la/kernels.hpp"
+#include "qfr/la/matrix.hpp"
+
+namespace qfr::la {
+namespace {
+
+constexpr double kPadSentinel = -777.125;
+
+// One randomized GEMM case over raw strided storage: odd shapes, leading
+// dimensions larger than a row, random transposes and alpha/beta, and
+// (when `sym`) a guaranteed-symmetric product op(A) op(A)^T with a
+// symmetric C. Owns every buffer so cases can outlive their construction
+// (the batched fuzz keeps many alive until one flush).
+struct FuzzCase {
+  GemmTask t;
+  std::vector<double> a_store, b_store, c_store, c_ref;
+  bool sym = false;
+
+  static FuzzCase make(Rng& rng, bool sym_case) {
+    FuzzCase fc;
+    fc.sym = sym_case;
+    GemmTask& t = fc.t;
+    t.m = 1 + rng.below(40);
+    t.n = sym_case ? t.m : 1 + rng.below(40);
+    t.k = 1 + rng.below(40);
+    t.ta = rng.below(2) != 0u ? Trans::kYes : Trans::kNo;
+    t.tb = rng.below(2) != 0u ? Trans::kYes : Trans::kNo;
+    const double alphas[] = {1.0, -0.5, 0.7, 2.0};
+    const double betas[] = {0.0, 1.0, -0.3, 1.0};
+    t.alpha = alphas[rng.below(4)];
+    t.beta = betas[rng.below(4)];
+    t.sym = sym_case ? TaskSym::kSymmetricOut : TaskSym::kGeneral;
+
+    const std::size_t ar = t.ta == Trans::kNo ? t.m : t.k;
+    const std::size_t ac = t.ta == Trans::kNo ? t.k : t.m;
+    t.lda = ac + rng.below(5);
+    fc.a_store.assign(ar * t.lda, kPadSentinel);
+    for (std::size_t i = 0; i < ar; ++i)
+      for (std::size_t j = 0; j < ac; ++j)
+        fc.a_store[i * t.lda + j] = rng.uniform(-1.0, 1.0);
+
+    if (sym_case) {
+      // op(B) = op(A)^T from the very same storage: the product is then
+      // exactly symmetric, as TaskSym::kSymmetricOut requires.
+      fc.b_store.clear();
+      t.ldb = t.lda;
+      t.tb = t.ta == Trans::kNo ? Trans::kYes : Trans::kNo;
+    } else {
+      const std::size_t br = t.tb == Trans::kNo ? t.k : t.n;
+      const std::size_t bc = t.tb == Trans::kNo ? t.n : t.k;
+      t.ldb = bc + rng.below(5);
+      fc.b_store.assign(br * t.ldb, kPadSentinel);
+      for (std::size_t i = 0; i < br; ++i)
+        for (std::size_t j = 0; j < bc; ++j)
+          fc.b_store[i * t.ldb + j] = rng.uniform(-1.0, 1.0);
+    }
+
+    t.ldc = t.n + rng.below(5);
+    fc.c_store.assign(t.m * t.ldc, kPadSentinel);
+    for (std::size_t i = 0; i < t.m; ++i)
+      for (std::size_t j = 0; j < t.n; ++j)
+        fc.c_store[i * t.ldc + j] = rng.uniform(-1.0, 1.0);
+    if (sym_case)  // beta * C must be symmetric too
+      for (std::size_t i = 0; i < t.m; ++i)
+        for (std::size_t j = 0; j < i; ++j)
+          fc.c_store[i * t.ldc + j] = fc.c_store[j * t.ldc + i];
+    fc.c_ref = fc.c_store;
+
+    t.a = fc.a_store.data();
+    t.b = sym_case ? fc.a_store.data() : fc.b_store.data();
+    t.c = fc.c_store.data();
+    return fc;
+  }
+
+  // Scalar strided triple-loop oracle into c_ref.
+  void run_reference() {
+    GemmTask ref = t;
+    ref.c = c_ref.data();
+    ref.sym = TaskSym::kGeneral;  // the full product; symmetric by input
+    kernels::reference_gemm(ref);
+  }
+
+  // Max |kernel - reference| over the C extent, and EXPECT the padding
+  // lanes kept their sentinel.
+  double compare_and_check_padding() const {
+    double worst = 0.0;
+    for (std::size_t i = 0; i < t.m; ++i) {
+      for (std::size_t j = 0; j < t.n; ++j)
+        worst = std::max(worst, std::fabs(c_store[i * t.ldc + j] -
+                                          c_ref[i * t.ldc + j]));
+      for (std::size_t j = t.n; j < t.ldc; ++j)
+        EXPECT_EQ(c_store[i * t.ldc + j], kPadSentinel)
+            << "kernel wrote past row " << i << " of C";
+    }
+    return worst;
+  }
+
+  // Scale-aware tolerance: accumulated round-off grows with k and the
+  // operand magnitudes (all in [-1, 1] here), so 1e-13 relative to the
+  // worst-case |sum| bound.
+  double tolerance() const {
+    return 1e-13 * (1.0 + static_cast<double>(t.k));
+  }
+
+  double checksum() const {
+    double s = 0.0;
+    for (std::size_t i = 0; i < t.m; ++i)
+      for (std::size_t j = 0; j < t.n; ++j)
+        s += std::fabs(c_store[i * t.ldc + j]);
+    return s;
+  }
+};
+
+// Fuzz the eager kernel path (execute_task): vectorized + strength-reduced
+// vs the scalar reference across odd shapes, strides, and transposes.
+// When QFR_KERNELS_CORPUS_OUT is set, dump a per-case checksum file —
+// scripts/ci.sh runs this test in the vectorized and the QFR_NO_AVX2=ON
+// builds and diffs the corpora within tolerance.
+TEST(KernelFuzz, MatchesScalarReference) {
+  Rng rng(20240907);
+  std::ofstream corpus;
+  if (const char* path = std::getenv("QFR_KERNELS_CORPUS_OUT"))
+    corpus.open(path);
+  for (int case_id = 0; case_id < 200; ++case_id) {
+    const bool sym_case = case_id % 4 == 0;
+    FuzzCase fc = FuzzCase::make(rng, sym_case);
+    fc.run_reference();
+    kernels::execute_task(fc.t);
+    const double worst = fc.compare_and_check_padding();
+    EXPECT_LE(worst, fc.tolerance())
+        << "case " << case_id << ": m=" << fc.t.m << " n=" << fc.t.n
+        << " k=" << fc.t.k << " ta=" << (fc.t.ta == Trans::kYes) << " tb="
+        << (fc.t.tb == Trans::kYes) << " alpha=" << fc.t.alpha << " beta="
+        << fc.t.beta << " sym=" << sym_case;
+    if (corpus.is_open()) {
+      char line[64];
+      std::snprintf(line, sizeof line, "%d %.17g\n", case_id, fc.checksum());
+      corpus << line;
+    }
+  }
+}
+
+// Fuzz the batched path: many independent cases enqueued on one executor
+// and flushed together, so grouping, reordering, and shared-B runs all
+// engage; every result must still match the scalar oracle.
+TEST(KernelFuzz, BatchedFlushMatchesScalarReference) {
+  Rng rng(77031);
+  BatchedExecutor exec(BatchedExecutor::Policy::kBatched);
+  std::vector<FuzzCase> cases;
+  cases.reserve(64);
+  for (int i = 0; i < 64; ++i)
+    cases.push_back(FuzzCase::make(rng, i % 5 == 0));
+  for (FuzzCase& fc : cases) {
+    fc.run_reference();
+    exec.enqueue(fc.t);
+  }
+  exec.flush();
+  for (std::size_t i = 0; i < cases.size(); ++i)
+    EXPECT_LE(cases[i].compare_and_check_padding(), cases[i].tolerance())
+        << "batched case " << i;
+  EXPECT_EQ(exec.stats().tasks, 64);
+  EXPECT_GT(exec.stats().groups, 0);
+}
+
+// The scalar forcing used by parity baselines and benches: the same task
+// run under ScopedForceScalar must agree with the active ISA.
+TEST(KernelFuzz, ScalarForcingMatchesActiveIsa) {
+  Rng rng(5150);
+  for (int case_id = 0; case_id < 40; ++case_id) {
+    FuzzCase fast = FuzzCase::make(rng, case_id % 4 == 0);
+    FuzzCase slow = fast;  // same shapes, same data
+    slow.t.a = slow.a_store.data();
+    slow.t.b = slow.sym ? slow.a_store.data() : slow.b_store.data();
+    slow.t.c = slow.c_store.data();
+    kernels::execute_task(fast.t);
+    {
+      kernels::ScopedForceScalar force;
+      EXPECT_EQ(kernels::active_isa(), kernels::Isa::kScalar);
+      kernels::execute_task(slow.t);
+    }
+    double worst = 0.0;
+    for (std::size_t i = 0; i < fast.t.m; ++i)
+      for (std::size_t j = 0; j < fast.t.n; ++j)
+        worst = std::max(worst,
+                         std::fabs(fast.c_store[i * fast.t.ldc + j] -
+                                   slow.c_store[i * slow.t.ldc + j]));
+    EXPECT_LE(worst, fast.tolerance()) << "case " << case_id;
+  }
+}
+
+TEST(Kernels, IsaReportingIsConsistent) {
+  if (!kernels::avx2_compiled() || !kernels::avx2_supported()) {
+    EXPECT_EQ(kernels::active_isa(), kernels::Isa::kScalar);
+  }
+  {
+    kernels::ScopedForceScalar force;
+    EXPECT_FALSE(kernels::simd_enabled());
+    EXPECT_EQ(kernels::active_isa(), kernels::Isa::kScalar);
+    EXPECT_STREQ(kernels::isa_name(kernels::active_isa()), "scalar");
+  }
+}
+
+TEST(Kernels, SymmetricReductionSkipsFlops) {
+  const std::size_t n = 96, k = 48;
+  Rng rng(11);
+  Matrix a(n, k), c(n, n);
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = 0; j < k; ++j) a(i, j) = rng.uniform(-1.0, 1.0);
+  const GemmTask full =
+      make_gemm_task(Trans::kNo, Trans::kYes, 1.0, a, a, 0.0, c);
+  const std::int64_t full_flops = kernels::execute_task(full);
+  const GemmTask sym = make_gemm_task(Trans::kNo, Trans::kYes, 1.0, a, a,
+                                      0.0, c, TaskSym::kSymmetricOut);
+  const std::int64_t sym_flops = kernels::execute_task(sym);
+  EXPECT_EQ(full_flops, full.flops());
+  EXPECT_LT(sym_flops, full_flops);
+  EXPECT_GE(sym_flops, full_flops / 2);  // diagonal blocks are kept whole
+}
+
+TEST(Executor, GroupsSameShapeTasks) {
+  BatchedExecutor exec(BatchedExecutor::Policy::kBatched);
+  Rng rng(7);
+  const std::size_t n = 17;
+  std::vector<Matrix> as, bs, cs;
+  for (int i = 0; i < 6; ++i) {
+    Matrix a(n, n), b(n, n), c(n, n);
+    for (std::size_t p = 0; p < a.size(); ++p) {
+      a.data()[p] = rng.uniform(-1.0, 1.0);
+      b.data()[p] = rng.uniform(-1.0, 1.0);
+    }
+    as.push_back(std::move(a));
+    bs.push_back(std::move(b));
+    cs.push_back(std::move(c));
+  }
+  for (int i = 0; i < 6; ++i)
+    exec.enqueue(Trans::kNo, Trans::kNo, 1.0, as[i], bs[i], 0.0, cs[i]);
+  EXPECT_EQ(exec.pending(), 6u);
+  exec.flush();
+  EXPECT_EQ(exec.pending(), 0u);
+  EXPECT_EQ(exec.stats().tasks, 6);
+  EXPECT_EQ(exec.stats().groups, 1);  // identical padded shape
+  EXPECT_EQ(exec.stats().flushes, 1);
+  for (int i = 0; i < 6; ++i) {
+    Matrix want(n, n);
+    gemm(Trans::kNo, Trans::kNo, 1.0, as[i], bs[i], 0.0, want);
+    EXPECT_LT(max_abs_diff(cs[i], want), 1e-12);
+  }
+}
+
+TEST(Executor, SharedBOperandRunsProduceCorrectResults) {
+  BatchedExecutor exec(BatchedExecutor::Policy::kBatched);
+  Rng rng(13);
+  const std::size_t n = 23;
+  Matrix shared_b(n, n);
+  for (std::size_t p = 0; p < shared_b.size(); ++p)
+    shared_b.data()[p] = rng.uniform(-1.0, 1.0);
+  std::vector<Matrix> as(4), cs(4);
+  for (int i = 0; i < 4; ++i) {
+    as[i].resize_zero(n, n);
+    cs[i].resize_zero(n, n);
+    for (std::size_t p = 0; p < as[i].size(); ++p)
+      as[i].data()[p] = rng.uniform(-1.0, 1.0);
+    exec.enqueue(Trans::kNo, Trans::kNo, 1.0, as[i], shared_b, 0.0, cs[i]);
+  }
+  exec.flush();
+  for (int i = 0; i < 4; ++i) {
+    Matrix want(n, n);
+    gemm(Trans::kNo, Trans::kNo, 1.0, as[i], shared_b, 0.0, want);
+    EXPECT_LT(max_abs_diff(cs[i], want), 1e-12);
+  }
+}
+
+TEST(Executor, HazardAutoFlushPreservesProgramOrder) {
+  BatchedExecutor exec(BatchedExecutor::Policy::kBatched);
+  const std::size_t n = 9;
+  Matrix a = Matrix::identity(n);
+  Matrix b(n, n), mid(n, n), out(n, n);
+  Rng rng(3);
+  for (std::size_t p = 0; p < b.size(); ++p)
+    b.data()[p] = rng.uniform(-1.0, 1.0);
+  // mid = I * b, then out = mid * b: the second task reads the first
+  // task's output, so the enqueue must flush the queue before accepting
+  // it — without that, the flush could run them against stale data.
+  exec.enqueue(Trans::kNo, Trans::kNo, 1.0, a, b, 0.0, mid);
+  exec.enqueue(Trans::kNo, Trans::kNo, 1.0, mid, b, 0.0, out);
+  exec.flush();
+  EXPECT_EQ(exec.stats().hazard_flushes, 1);
+  Matrix want(n, n);
+  gemm(Trans::kNo, Trans::kNo, 1.0, b, b, 0.0, want);
+  EXPECT_LT(max_abs_diff(out, want), 1e-12);
+}
+
+TEST(Executor, EagerPolicyExecutesAtEnqueue) {
+  BatchedExecutor exec(BatchedExecutor::Policy::kEager);
+  const std::size_t n = 8;
+  Matrix a = Matrix::identity(n), b = Matrix::identity(n), c(n, n);
+  exec.enqueue(Trans::kNo, Trans::kNo, 3.0, a, b, 0.0, c);
+  EXPECT_EQ(exec.pending(), 0u);
+  EXPECT_DOUBLE_EQ(c(4, 4), 3.0);
+  EXPECT_EQ(exec.stats().tasks, 1);
+}
+
+TEST(Executor, DestructorFlushesPendingTasks) {
+  const std::size_t n = 8;
+  Matrix a = Matrix::identity(n), b = Matrix::identity(n), c(n, n);
+  {
+    BatchedExecutor exec(BatchedExecutor::Policy::kBatched);
+    exec.enqueue(Trans::kNo, Trans::kNo, 2.0, a, b, 0.0, c);
+    EXPECT_EQ(exec.pending(), 1u);
+  }
+  EXPECT_DOUBLE_EQ(c(3, 3), 2.0);
+}
+
+// TSan target: concurrent executors on separate threads share only the
+// ISA-dispatch atomics and the thread-local workspace machinery.
+TEST(Executor, ConcurrentExecutorsAreIndependent) {
+  auto work = [](std::uint64_t seed, double* out) {
+    Rng rng(seed);
+    BatchedExecutor exec(BatchedExecutor::Policy::kBatched);
+    const std::size_t n = 19;
+    Matrix a(n, n), b(n, n), c(n, n);
+    for (std::size_t p = 0; p < a.size(); ++p) {
+      a.data()[p] = rng.uniform(-1.0, 1.0);
+      b.data()[p] = rng.uniform(-1.0, 1.0);
+    }
+    for (int rep = 0; rep < 50; ++rep) {
+      exec.enqueue(Trans::kNo, Trans::kYes, 1.0, a, b, 0.0, c);
+      exec.flush();
+    }
+    *out = c(0, 0);
+  };
+  double r1 = 0.0, r2 = 0.0;
+  std::thread t1(work, 1u, &r1);
+  std::thread t2(work, 2u, &r2);
+  t1.join();
+  t2.join();
+  EXPECT_TRUE(std::isfinite(r1) && std::isfinite(r2));
+}
+
+TEST(Preconditions, RejectsAliasedOutput) {
+  Matrix a(4, 4), c(4, 4);
+  GemmTask t = make_gemm_task(Trans::kNo, Trans::kNo, 1.0, a, a, 0.0, c);
+  t.c = const_cast<double*>(t.a);  // alias C onto A
+  EXPECT_THROW(validate_task(t), InvalidArgument);
+  try {
+    validate_task(t);
+  } catch (const InvalidArgument& e) {
+    EXPECT_NE(std::string(e.what()).find("aliases"), std::string::npos);
+  }
+}
+
+TEST(Preconditions, RejectsShortLeadingDimensions) {
+  Matrix a(4, 4), b(4, 4), c(4, 4);
+  GemmTask t = make_gemm_task(Trans::kNo, Trans::kNo, 1.0, a, b, 0.0, c);
+  t.ldc = 3;
+  EXPECT_THROW(validate_task(t), InvalidArgument);
+  t.ldc = 4;
+  t.lda = 2;
+  EXPECT_THROW(validate_task(t), InvalidArgument);
+}
+
+TEST(Preconditions, RejectsSymmetricFlagOnRectangularResult) {
+  Matrix a(3, 5), b(5, 4), c(3, 4);
+  EXPECT_THROW(make_gemm_task(Trans::kNo, Trans::kNo, 1.0, a, b, 0.0, c,
+                              TaskSym::kSymmetricOut),
+               InvalidArgument);
+}
+
+TEST(Preconditions, RejectsShapeMismatchWithDimensionsInMessage) {
+  Matrix a(3, 5), b(6, 4), c(3, 4);
+  try {
+    make_gemm_task(Trans::kNo, Trans::kNo, 1.0, a, b, 0.0, c);
+    FAIL() << "expected InvalidArgument";
+  } catch (const InvalidArgument& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("3x4"), std::string::npos);
+    EXPECT_NE(msg.find("6x4"), std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace qfr::la

@@ -194,5 +194,53 @@ TEST(Flops, GemmFlopCount) {
   EXPECT_EQ(gemm_flops(10, 20, 30), 2ll * 10 * 20 * 30);
 }
 
+TEST(Gemm, ShapeMismatchMessageNamesTheShapes) {
+  Matrix a(3, 5), b(6, 4), c(3, 4);
+  try {
+    gemm(Trans::kNo, Trans::kNo, 1.0, a, b, 0.0, c);
+    FAIL() << "expected InvalidArgument";
+  } catch (const InvalidArgument& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("C is 3x4"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("op(B) is 6x4"), std::string::npos) << msg;
+  }
+}
+
+TEST(Gemm, OutputAliasingInputThrows) {
+  Matrix a(4, 4), c(4, 4);
+  // C := A * A is fine; C must just not share storage with an operand.
+  EXPECT_NO_THROW(gemm(Trans::kNo, Trans::kNo, 1.0, a, a, 0.0, c));
+  try {
+    gemm(Trans::kNo, Trans::kNo, 1.0, a, a, 0.0, a);
+    FAIL() << "expected InvalidArgument";
+  } catch (const InvalidArgument& e) {
+    EXPECT_NE(std::string(e.what()).find("aliases"), std::string::npos);
+  }
+}
+
+TEST(Gemv, OutputAliasingInputThrows) {
+  Matrix a = Matrix::identity(3);
+  Vector x{1.0, 2.0, 3.0};
+  try {
+    gemv(Trans::kNo, 1.0, a, x, 0.0, x);
+    FAIL() << "expected InvalidArgument";
+  } catch (const InvalidArgument& e) {
+    EXPECT_NE(std::string(e.what()).find("aliases"), std::string::npos);
+  }
+}
+
+TEST(Gemv, ShapeMismatchMessageNamesTheShapes) {
+  Matrix a(3, 5);
+  Vector x(4), y(3);
+  try {
+    gemv(Trans::kNo, 1.0, a, x, 0.0, y);
+    FAIL() << "expected InvalidArgument";
+  } catch (const InvalidArgument& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("3x5"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("4"), std::string::npos) << msg;
+  }
+}
+
 }  // namespace
 }  // namespace qfr::la

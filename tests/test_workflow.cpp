@@ -164,6 +164,32 @@ TEST(Workflow, ScfHfEngineEndToEndOnWaters) {
   EXPECT_GT(band_integral(res.spectrum, 1500, 2600), 0.0);  // bend region
 }
 
+TEST(Workflow, BatchedAndEagerGemmProduceTheSameSpectrum) {
+  // Refactor seam for the batched-GEMM executor: with batching off, the
+  // whole ab initio pipeline falls back to eager per-product execution,
+  // and the spectrum must agree with the batched run to 1e-10.
+  frag::BioSystem sys;
+  sys.waters.push_back(chem::make_water({0, 0, 0}));
+  WorkflowOptions opts;
+  opts.engine = EngineKind::kScfHf;
+  opts.sigma_cm = 30.0;
+  opts.omega_max_cm = 5000.0;
+  opts.batched_gemm = true;
+  const WorkflowResult batched = RamanWorkflow(opts).run(sys);
+  opts.batched_gemm = false;
+  const WorkflowResult eager = RamanWorkflow(opts).run(sys);
+  ASSERT_EQ(batched.spectrum.intensity.size(),
+            eager.spectrum.intensity.size());
+  double scale = 0.0;
+  for (const double v : batched.spectrum.intensity)
+    scale = std::max(scale, std::fabs(v));
+  ASSERT_GT(scale, 0.0);
+  for (std::size_t i = 0; i < batched.spectrum.intensity.size(); ++i)
+    EXPECT_NEAR(batched.spectrum.intensity[i], eager.spectrum.intensity[i],
+                1e-10 * scale)
+        << "omega bin " << i;
+}
+
 TEST(Workflow, InvalidOptionsRejected) {
   WorkflowOptions opts;
   opts.omega_points = 1;
