@@ -1,0 +1,138 @@
+// Measures what the process-level leader transport costs relative to the
+// in-process thread transport on the same sweep: fork + socketpair setup,
+// CRC-framed result serialization, and the proxy hop, across fragment
+// counts and result payload sizes (the ModelEngine's tiny results vs a
+// synthetic Hessian-sized payload). The headline number is the per-
+// fragment overhead in microseconds — the price of real crash isolation.
+//
+// With --json <path>, the series is additionally written as a
+// qfr.bench.v1 document (the CI bench-smoke trajectory format).
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "qfr/chem/protein.hpp"
+#include "qfr/engine/model_engine.hpp"
+#include "qfr/frag/fragmentation.hpp"
+#include "qfr/la/matrix.hpp"
+#include "qfr/obs/export.hpp"
+#include "qfr/runtime/master_runtime.hpp"
+
+namespace {
+
+double now_seconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+std::vector<qfr::frag::Fragment> water_box_fragments(double edge_angstrom) {
+  qfr::chem::WaterBoxOptions wopts;
+  wopts.edge_angstrom = edge_angstrom;
+  wopts.seed = 7;
+  const std::vector<qfr::chem::Molecule> waters =
+      qfr::chem::build_water_box(wopts, qfr::chem::Molecule{});
+  std::vector<qfr::frag::Fragment> frags(waters.size());
+  for (std::size_t i = 0; i < waters.size(); ++i) {
+    frags[i].id = i;
+    frags[i].kind = qfr::frag::FragmentKind::kWater;
+    frags[i].mol = waters[i];
+  }
+  return frags;
+}
+
+double run_sweep(const std::vector<qfr::frag::Fragment>& frags,
+                 qfr::runtime::TransportKind transport, bool fat_results) {
+  qfr::runtime::RuntimeOptions ropts;
+  ropts.n_leaders = 2;
+  ropts.workers_per_leader = 2;
+  ropts.transport = transport;
+  const qfr::runtime::MasterRuntime rt(std::move(ropts));
+  const qfr::engine::ModelEngine eng;
+  const double t0 = now_seconds();
+  if (fat_results) {
+    // Pad every result up to a ~100-atom fragment's Hessian so the run
+    // is dominated by what actually crosses the wire in production.
+    const qfr::runtime::RunReport rep =
+        rt.run(frags, [&eng](const qfr::frag::Fragment& f) {
+          qfr::engine::FragmentResult r = eng.compute(f.mol);
+          r.hessian = qfr::la::Matrix(300, 300);
+          r.dalpha = qfr::la::Matrix(6, 300);
+          r.dmu = qfr::la::Matrix(3, 300);
+          return r;
+        });
+    (void)rep;
+  } else {
+    const qfr::runtime::RunReport rep = rt.run(frags, eng);
+    (void)rep;
+  }
+  return now_seconds() - t0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string json_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+    } else {
+      std::fprintf(stderr, "usage: %s [--json <path>]\n", argv[0]);
+      return 2;
+    }
+  }
+
+  qfr::obs::BenchReport report;
+  report.name = "transport_overhead";
+  report.meta.emplace_back("engine", "model");
+  report.meta.emplace_back("n_leaders", "2");
+
+  std::printf("=== Leader transport overhead: threads vs processes ===\n\n");
+
+  for (const double edge : {10.0, 14.0, 18.0}) {
+    const auto frags = water_box_fragments(edge);
+    const std::size_t n = frags.size();
+    for (const bool fat : {false, true}) {
+      const double threads =
+          run_sweep(frags, qfr::runtime::TransportKind::kThread, fat);
+      const double procs =
+          run_sweep(frags, qfr::runtime::TransportKind::kProcess, fat);
+      const double per_frag_us =
+          (procs - threads) / static_cast<double>(n) * 1e6;
+      std::printf(
+          "%4zu fragments, %s results: threads %.4f s, processes %.4f s, "
+          "overhead %+.1f us/fragment\n",
+          n, fat ? "hessian" : "  tiny", threads, procs, per_frag_us);
+
+      char prefix[48];
+      std::snprintf(prefix, sizeof(prefix), "n%zu.%s", n,
+                    fat ? "hessian" : "tiny");
+      const std::string p(prefix);
+      report.samples.push_back({p + ".threads.seconds", threads, "s"});
+      report.samples.push_back({p + ".process.seconds", procs, "s"});
+      report.samples.push_back({p + ".overhead_us_per_fragment",
+                                per_frag_us, "us"});
+    }
+  }
+  std::printf(
+      "\nOverhead buys crash isolation: a SIGKILL'd leader process is\n"
+      "detected, its leases revoked, and the slot respawned (see\n"
+      "test_process_runtime); a SIGKILL'd leader thread takes the master\n"
+      "with it.\n");
+
+  if (!json_path.empty()) {
+    std::ofstream os(json_path);
+    if (!os.good()) {
+      std::fprintf(stderr, "cannot open '%s' for writing\n",
+                   json_path.c_str());
+      return 1;
+    }
+    qfr::obs::write_bench_json(os, report);
+    std::printf("bench JSON written to %s\n", json_path.c_str());
+  }
+  return 0;
+}

@@ -12,9 +12,14 @@
 #   supervisor/leader/worker handoffs).
 # Stage 3 (soak): the ctest "soak" configuration — the fixed-seed chaos
 #   soak (≥50 seeded sweeps with mid-run leader kills/hangs that must all
-#   finish with exactly-once, baseline-identical results) plus the slow
-#   DES scaling studies. Excluded from the tier-1 ctest run by
-#   CONFIGURATIONS so the default gate stays fast.
+#   finish with exactly-once, baseline-identical results), the process-
+#   transport SIGKILL soak, and the slow DES scaling studies. Excluded
+#   from the tier-1 ctest run by CONFIGURATIONS so the default gate stays
+#   fast. Both ctest lanes run under --timeout so a wedged leader process
+#   or lost heartbeat fails loudly instead of hanging CI.
+# Stage 3b (process chaos): the process-transport chaos suite run
+#   directly (forked leader processes killed -9 mid-sweep), followed by a
+#   zombie scan — no leader process may outlive its master.
 # Stage 4 (bench smoke): instrumented bench runs emitting their
 #   qfr.bench.v1 JSON trajectory points (BENCH_fig09.json — including the
 #   measured real-vs-modeled executor replay — BENCH_kernels.json,
@@ -40,10 +45,22 @@ SKIP_SANITIZERS=0
 echo "== tier 1: release build + full test suite =="
 cmake -B build -S . >/dev/null
 cmake --build build -j "$JOBS"
-ctest --test-dir build --output-on-failure -j "$JOBS"
+ctest --test-dir build --output-on-failure -j "$JOBS" --timeout 300
 
 echo "== soak lane: chaos soak + slow DES studies (release tree) =="
-ctest --test-dir build -C soak -L soak --output-on-failure
+ctest --test-dir build -C soak -L soak --output-on-failure --timeout 900
+
+echo "== process-mode chaos: real SIGKILL recovery + zombie hygiene =="
+build/tests/test_process_runtime \
+  --gtest_filter='ProcessRuntime.*:ProcessChaosSoak.*' >/dev/null
+# Every leader process is forked from the test binary and must be reaped
+# by it: anything still matching after exit is a leaked child or zombie.
+if pgrep -f test_process_runtime >/dev/null; then
+  echo "process chaos leaked leader processes:"
+  pgrep -af test_process_runtime
+  exit 1
+fi
+echo "process chaos ok (no leaked leader processes)"
 
 echo "== bench smoke: fig09 + micro_kernels + cache_dedup JSON export =="
 build/bench/fig09_step_speedup --json build/BENCH_fig09.json >/dev/null
@@ -111,10 +128,13 @@ fi
 # validator/degradation machinery, the CRC-framed checkpoint format, the
 # lease-fenced supervised runtime, the observability layer, the result
 # cache (whose registry/tracer/single-flight paths must stay clean under
-# the thread pool — the TSan leg), and the GEMM kernel/executor fuzz
-# (out-of-bounds packing under ASan, ISA-dispatch atomics under TSan).
+# the thread pool — the TSan leg), the leader-process wire protocol fuzz
+# (hostile frames must fail typed, never UB — the ASan/UBSan leg exists
+# for exactly this), and the GEMM kernel/executor fuzz (out-of-bounds
+# packing under ASan, ISA-dispatch atomics under TSan).
 ROBUSTNESS_TESTS=(test_fault test_checkpoint test_scheduler test_tracker
-                  test_supervisor test_obs test_cache test_kernels)
+                  test_supervisor test_obs test_cache test_kernels
+                  test_wire)
 
 for SAN in address undefined thread; do
   case "$SAN" in
@@ -122,14 +142,19 @@ for SAN in address undefined thread; do
     undefined) BUILD=build-undesan ;;
     thread)    BUILD=build-tsan ;;
   esac
+  SAN_TESTS=("${ROBUSTNESS_TESTS[@]}")
+  # The process-transport suite fork()s from a threaded master, which is
+  # outside TSan's model (it would report on the child's inherited state);
+  # it runs under ASan and UBSan only.
+  [[ "$SAN" != thread ]] && SAN_TESTS+=(test_process_runtime)
   echo "== robustness under ${SAN} sanitizer (${BUILD}) =="
   cmake -B "$BUILD" -S . \
     -DCMAKE_BUILD_TYPE=RelWithDebInfo \
     -DQFR_SANITIZE="$SAN" \
     -DQFR_BUILD_BENCHES=OFF \
     -DQFR_BUILD_EXAMPLES=OFF >/dev/null
-  cmake --build "$BUILD" -j "$JOBS" --target "${ROBUSTNESS_TESTS[@]}"
-  for t in "${ROBUSTNESS_TESTS[@]}"; do
+  cmake --build "$BUILD" -j "$JOBS" --target "${SAN_TESTS[@]}"
+  for t in "${SAN_TESTS[@]}"; do
     "$BUILD/tests/$t"
   done
 done

@@ -1,10 +1,17 @@
 #include "qfr/cache/store.hpp"
 
+#include <cerrno>
 #include <chrono>
 #include <cmath>
 #include <condition_variable>
 #include <cstdio>
+#include <cstring>
+#include <fstream>
 #include <sstream>
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
 
 #include "qfr/common/cancel.hpp"
 #include "qfr/common/crc32.hpp"
@@ -21,6 +28,21 @@ constexpr std::uint64_t kStoreMagic = 0x43524651u;  // "QFRC"
 constexpr std::uint64_t kStoreVersion = 1;
 constexpr std::uint64_t kMaxKeyBytes = 1ull << 24;
 constexpr std::uint64_t kMaxPayloadBytes = 1ull << 32;
+constexpr std::uint64_t kHeaderBytes = 2 * sizeof(std::uint64_t);
+
+/// Scoped flock on the store's lockfile. The lockfile (not the store
+/// itself) is the flock target because compaction replaces the store via
+/// rename — a lock on the old inode would no longer exclude anyone.
+struct FileLockGuard {
+  int fd;
+  FileLockGuard(int f, common::FileLockMode mode) : fd(f) {
+    QFR_ASSERT(common::lock_file(fd, mode),
+               "cache store flock failed: " << std::strerror(errno));
+  }
+  ~FileLockGuard() { common::unlock_file(fd); }
+  FileLockGuard(const FileLockGuard&) = delete;
+  FileLockGuard& operator=(const FileLockGuard&) = delete;
+};
 
 void put_u64(std::ostream& os, std::uint64_t v) {
   os.write(reinterpret_cast<const char*>(&v), sizeof(v));
@@ -146,6 +168,10 @@ engine::FragmentResult ResultCache::get_or_compute(std::string_view ns,
   const common::CancelToken cancel = common::current_cancel_token();
 
   bool counted_wait = false;
+  // Cross-process read-through: before committing to a compute, pull in
+  // any records other processes appended to the shared store. One stat()
+  // when nothing changed; skipped entirely for in-memory caches.
+  bool tried_refresh = opts_.store_path.empty();
   for (;;) {
     std::shared_ptr<const engine::FragmentResult> value;
     std::shared_ptr<InFlight> fl;
@@ -156,7 +182,7 @@ engine::FragmentResult ResultCache::get_or_compute(std::string_view ns,
       if (it != shard.map.end()) {
         shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
         value = it->second->value;
-      } else {
+      } else if (tried_refresh) {
         auto fit = shard.inflight.find(c.key);
         if (fit == shard.inflight.end()) {
           fl = std::make_shared<InFlight>();
@@ -166,6 +192,11 @@ engine::FragmentResult ResultCache::get_or_compute(std::string_view ns,
           fl = fit->second;
         }
       }
+    }
+    if (!value && !tried_refresh) {
+      tried_refresh = true;
+      refresh();
+      continue;  // retry the lookup against the refreshed map
     }
 
     if (value) {
@@ -275,13 +306,19 @@ std::optional<engine::FragmentResult> ResultCache::lookup(
   const Canonicalization c = canonicalize(mol, opts_.tolerance, ns);
   Shard& shard = shard_for(c.key);
   std::shared_ptr<const engine::FragmentResult> value;
-  {
-    std::lock_guard<std::mutex> lk(shard.m);
-    auto it = shard.map.find(c.key);
-    if (it != shard.map.end()) {
-      shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
-      value = it->second->value;
+  for (int attempt = 0; attempt < 2 && !value; ++attempt) {
+    {
+      std::lock_guard<std::mutex> lk(shard.m);
+      auto it = shard.map.find(c.key);
+      if (it != shard.map.end()) {
+        shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+        value = it->second->value;
+      }
     }
+    // Miss: pull foreign appends once, then re-probe.
+    if (!value && attempt == 0 &&
+        (opts_.store_path.empty() || refresh() == 0))
+      break;
   }
   if (!value) {
     misses_.fetch_add(1, std::memory_order_relaxed);
@@ -368,94 +405,204 @@ CacheStats ResultCache::stats() const {
 // ---------------------------------------------------------------------------
 // Persistent store.
 
-void ResultCache::load_store() {
-  bool rewrite = false;
-  {
-    std::ifstream is(opts_.store_path, std::ios::binary);
-    if (is.good()) {
-      std::uint64_t magic = 0, version = 0;
-      QFR_REQUIRE(get_u64(is, &magic) && magic == kStoreMagic,
+void ResultCache::open_store_fds_locked() {
+  const std::string lock_path = opts_.store_path + ".lock";
+  lock_fd_.reset(::open(lock_path.c_str(), O_CREAT | O_RDWR | O_CLOEXEC,
+                        0644));
+  QFR_REQUIRE(lock_fd_.valid(), "cannot open result-cache lockfile '"
+                                    << lock_path << "': "
+                                    << std::strerror(errno));
+  store_fd_.reset(::open(opts_.store_path.c_str(),
+                         O_CREAT | O_WRONLY | O_APPEND | O_CLOEXEC, 0644));
+  QFR_REQUIRE(store_fd_.valid(), "cannot open result-cache store '"
+                                     << opts_.store_path << "': "
+                                     << std::strerror(errno));
+}
+
+void ResultCache::ensure_store_current_locked() {
+  struct ::stat ps {};
+  struct ::stat fs {};
+  const bool have_path = ::stat(opts_.store_path.c_str(), &ps) == 0;
+  const bool have_fd =
+      store_fd_.valid() && ::fstat(store_fd_.get(), &fs) == 0;
+  if (have_path && have_fd && ps.st_dev == fs.st_dev &&
+      ps.st_ino == fs.st_ino) {
+    if (fs.st_size != 0) return;
+  } else {
+    // Another process compacted (rename) or removed the store: the append
+    // descriptor points at a dead inode. Re-open onto the live path.
+    store_fd_.reset(::open(opts_.store_path.c_str(),
+                           O_CREAT | O_WRONLY | O_APPEND | O_CLOEXEC, 0644));
+    QFR_REQUIRE(store_fd_.valid(), "cannot re-open result-cache store '"
+                                       << opts_.store_path << "': "
+                                       << std::strerror(errno));
+    if (::fstat(store_fd_.get(), &fs) != 0 || fs.st_size != 0) return;
+  }
+  // Empty file: stamp the header (exclusive lock held by the caller).
+  std::uint64_t header[2] = {kStoreMagic, kStoreVersion};
+  QFR_REQUIRE(
+      common::write_full(store_fd_.get(), header, sizeof(header)),
+      "result-cache store header write failed");
+}
+
+bool ResultCache::scan_store_locked(bool strict_header) {
+  struct ::stat st {};
+  if (::stat(opts_.store_path.c_str(), &st) != 0) return false;
+  if (scan_dev_ != static_cast<std::uint64_t>(st.st_dev) ||
+      scan_ino_ != static_cast<std::uint64_t>(st.st_ino)) {
+    // A different inode (first scan, or foreign compaction swapped the
+    // file): everything on disk is unseen again. Re-reading records we
+    // already hold is harmless — insert_locked is first-write-wins.
+    scan_dev_ = static_cast<std::uint64_t>(st.st_dev);
+    scan_ino_ = static_cast<std::uint64_t>(st.st_ino);
+    scan_offset_ = 0;
+  }
+  const std::uint64_t size = static_cast<std::uint64_t>(st.st_size);
+  if (size < scan_offset_) scan_offset_ = 0;  // truncated under us
+  if (size <= scan_offset_) return false;     // nothing new: one stat paid
+
+  std::ifstream is(opts_.store_path, std::ios::binary);
+  if (!is.good()) return false;
+  bool damaged = false;
+  if (scan_offset_ < kHeaderBytes) {
+    std::uint64_t magic = 0, version = 0;
+    const bool header_ok = get_u64(is, &magic) && magic == kStoreMagic &&
+                           get_u64(is, &version) && version == kStoreVersion;
+    if (strict_header) {
+      QFR_REQUIRE(header_ok,
                   "'" << opts_.store_path
-                      << "' is not a QF-RAMAN result-cache store");
-      QFR_REQUIRE(get_u64(is, &version) && version == kStoreVersion,
-                  "result-cache store version mismatch (got "
-                      << version << ", expected " << kStoreVersion << ")");
-      std::string kb, pb;
-      for (;;) {
-        std::uint64_t klen = 0, plen = 0;
-        if (!get_u64(is, &klen)) break;  // clean end of stream
-        if (klen > kMaxKeyBytes || !get_u64(is, &plen) ||
-            plen > kMaxPayloadBytes) {
-          // A corrupt length field hides the next frame boundary: stop
-          // here and rewrite a clean store from what survived.
-          ++store_corrupt_;
-          rewrite = true;
-          break;
-        }
-        kb.resize(static_cast<std::size_t>(klen));
-        is.read(kb.data(), static_cast<std::streamsize>(klen));
-        pb.resize(static_cast<std::size_t>(plen));
-        is.read(pb.data(), static_cast<std::streamsize>(plen));
-        std::uint64_t stored_crc = 0;
-        if (!is.good() || !get_u64(is, &stored_crc)) {
-          ++store_corrupt_;  // torn tail: the record in flight at the kill
-          rewrite = true;
-          break;
-        }
-        std::string joined;
-        joined.reserve(kb.size() + pb.size());
-        joined.append(kb).append(pb);
-        FragmentKey key;
-        engine::FragmentResult r;
-        std::istringstream ks(kb, std::ios::binary);
-        std::istringstream ps(pb, std::ios::binary);
-        if (common::crc32(joined.data(), joined.size()) != stored_crc ||
-            !read_key(ks, &key) || !frag::read_result_record(ps, &r)) {
-          ++store_corrupt_;  // framing intact, content damaged: skip one
-          rewrite = true;
-          continue;
-        }
-        if (key.tolerance != opts_.tolerance) {
-          ++store_skipped_;  // built at a foreign grid spacing
-          rewrite = true;
-          continue;
-        }
-        auto canonical =
-            std::make_shared<const engine::FragmentResult>(std::move(r));
-        Shard& shard = shard_for(key);
-        std::lock_guard<std::mutex> lk(shard.m);
-        if (insert_locked(shard, key, std::move(canonical))) ++store_loaded_;
-      }
+                      << "' is not a QF-RAMAN result-cache store (or its "
+                         "version is unsupported)");
+    } else if (!header_ok) {
+      store_corrupt_.fetch_add(1, std::memory_order_relaxed);
+      return true;
     }
+    scan_offset_ = kHeaderBytes;
+  } else {
+    is.seekg(static_cast<std::streamoff>(scan_offset_));
   }
 
-  if (rewrite) {
+  std::string kb, pb;
+  for (;;) {
+    std::uint64_t klen = 0, plen = 0;
+    if (!get_u64(is, &klen)) break;  // clean end of stream
+    if (klen > kMaxKeyBytes || !get_u64(is, &plen) ||
+        plen > kMaxPayloadBytes) {
+      // A corrupt length field hides the next frame boundary: stop here
+      // (scan_offset_ stays before the damage).
+      store_corrupt_.fetch_add(1, std::memory_order_relaxed);
+      damaged = true;
+      break;
+    }
+    kb.resize(static_cast<std::size_t>(klen));
+    is.read(kb.data(), static_cast<std::streamsize>(klen));
+    pb.resize(static_cast<std::size_t>(plen));
+    is.read(pb.data(), static_cast<std::streamsize>(plen));
+    std::uint64_t stored_crc = 0;
+    if (!is.good() || !get_u64(is, &stored_crc)) {
+      store_corrupt_.fetch_add(1, std::memory_order_relaxed);
+      damaged = true;  // torn tail: the record in flight at a kill
+      break;
+    }
+    std::string joined;
+    joined.reserve(kb.size() + pb.size());
+    joined.append(kb).append(pb);
+    FragmentKey key;
+    engine::FragmentResult r;
+    std::istringstream ks(kb, std::ios::binary);
+    std::istringstream ps(pb, std::ios::binary);
+    if (common::crc32(joined.data(), joined.size()) != stored_crc ||
+        !read_key(ks, &key) || !frag::read_result_record(ps, &r)) {
+      store_corrupt_.fetch_add(1, std::memory_order_relaxed);
+      damaged = true;  // framing intact, content damaged: skip one record
+      scan_offset_ = static_cast<std::uint64_t>(is.tellg());
+      continue;
+    }
+    scan_offset_ = static_cast<std::uint64_t>(is.tellg());
+    if (key.tolerance != opts_.tolerance) {
+      store_skipped_.fetch_add(1, std::memory_order_relaxed);
+      damaged = true;  // built at a foreign grid spacing
+      continue;
+    }
+    auto canonical =
+        std::make_shared<const engine::FragmentResult>(std::move(r));
+    Shard& shard = shard_for(key);
+    std::lock_guard<std::mutex> lk(shard.m);
+    if (insert_locked(shard, key, std::move(canonical)))
+      store_loaded_.fetch_add(1, std::memory_order_relaxed);
+  }
+  return damaged;
+}
+
+void ResultCache::load_store() {
+  std::lock_guard<std::mutex> lk(store_mutex_);
+  open_store_fds_locked();
+  // Exclusive while loading: a damaged store is rewritten in place, and
+  // two processes constructing against the same store serialize here.
+  FileLockGuard fl(lock_fd_.get(), common::FileLockMode::kExclusive);
+  ensure_store_current_locked();
+  if (scan_store_locked(/*strict_header=*/true)) {
     // Drop the damaged/foreign records on disk so future appends land on
     // a clean frame boundary.
     write_store_file(opts_.store_path);
+    ensure_store_current_locked();
+    struct ::stat st {};
+    if (::fstat(store_fd_.get(), &st) == 0) {
+      scan_dev_ = static_cast<std::uint64_t>(st.st_dev);
+      scan_ino_ = static_cast<std::uint64_t>(st.st_ino);
+      scan_offset_ = static_cast<std::uint64_t>(st.st_size);
+    }
   }
+}
 
+std::size_t ResultCache::refresh() {
+  if (opts_.store_path.empty()) return 0;
   std::lock_guard<std::mutex> lk(store_mutex_);
-  store_.open(opts_.store_path, std::ios::binary | std::ios::app);
-  QFR_REQUIRE(store_.good(),
-              "cannot open result-cache store '" << opts_.store_path << "'");
-  store_.seekp(0, std::ios::end);
-  if (store_.tellp() == 0) {
-    put_u64(store_, kStoreMagic);
-    put_u64(store_, kStoreVersion);
-    store_.flush();
-    QFR_REQUIRE(store_.good(), "result-cache store header write failed");
-  }
+  if (!lock_fd_.valid()) return 0;
+  // Shared lock: appenders (exclusive) are fenced out, so every frame we
+  // can see is complete; concurrent refreshes in other processes may run.
+  FileLockGuard fl(lock_fd_.get(), common::FileLockMode::kShared);
+  const std::int64_t before = store_loaded_.load(std::memory_order_relaxed);
+  scan_store_locked(/*strict_header=*/false);
+  return static_cast<std::size_t>(
+      store_loaded_.load(std::memory_order_relaxed) - before);
+}
+
+void ResultCache::reopen_after_fork() {
+  if (opts_.store_path.empty()) return;
+  std::lock_guard<std::mutex> lk(store_mutex_);
+  open_store_fds_locked();
 }
 
 void ResultCache::append_to_store(const FragmentKey& key,
                                   const engine::FragmentResult& canonical) {
   if (opts_.store_path.empty()) return;
+  std::ostringstream os(std::ios::binary);
+  put_frame(os, key, canonical);
+  const std::string frame = os.str();
+
   std::lock_guard<std::mutex> lk(store_mutex_);
-  if (!store_.is_open()) return;
-  put_frame(store_, key, canonical);
-  // Flush per record: a killed run loses at most the record in flight.
-  store_.flush();
+  if (!store_fd_.valid()) return;
+  // Exclusive across processes for the whole frame: with O_APPEND the
+  // kernel lands the write at the true end of file, and the lock keeps
+  // another process's frame from interleaving with ours — a reader under
+  // the shared lock never sees a torn record.
+  FileLockGuard fl(lock_fd_.get(), common::FileLockMode::kExclusive);
+  ensure_store_current_locked();
+  struct ::stat st {};
+  const bool was_current =
+      ::fstat(store_fd_.get(), &st) == 0 &&
+      scan_offset_ == static_cast<std::uint64_t>(st.st_size) &&
+      scan_dev_ == static_cast<std::uint64_t>(st.st_dev) &&
+      scan_ino_ == static_cast<std::uint64_t>(st.st_ino);
+  if (!common::write_full(store_fd_.get(), frame.data(), frame.size())) {
+    QFR_LOG_WARN("result-cache store append failed: ", std::strerror(errno));
+    return;
+  }
+  // If we had read everything up to the old end, our own record needs no
+  // re-reading; otherwise leave the offset alone and let the next
+  // refresh() sweep over it (first-write-wins makes that a no-op).
+  if (was_current) scan_offset_ += frame.size();
 }
 
 void ResultCache::write_store_file(const std::string& path) {
@@ -484,11 +631,22 @@ void ResultCache::write_store_file(const std::string& path) {
 void ResultCache::compact() {
   if (opts_.store_path.empty()) return;
   std::lock_guard<std::mutex> lk(store_mutex_);
-  if (store_.is_open()) store_.close();
+  if (!lock_fd_.valid()) return;
+  FileLockGuard fl(lock_fd_.get(), common::FileLockMode::kExclusive);
+  ensure_store_current_locked();
+  // Merge foreign appends into memory first — rewriting from memory alone
+  // would silently drop records other processes added since our last scan.
+  scan_store_locked(/*strict_header=*/false);
   write_store_file(opts_.store_path);
-  store_.open(opts_.store_path, std::ios::binary | std::ios::app);
-  QFR_REQUIRE(store_.good(), "cannot reopen result-cache store '"
-                                 << opts_.store_path << "' after compaction");
+  // The rename replaced the inode: re-point the append descriptor and
+  // mark the whole rewritten file as already-read.
+  ensure_store_current_locked();
+  struct ::stat st {};
+  if (::fstat(store_fd_.get(), &st) == 0) {
+    scan_dev_ = static_cast<std::uint64_t>(st.st_dev);
+    scan_ino_ = static_cast<std::uint64_t>(st.st_ino);
+    scan_offset_ = static_cast<std::uint64_t>(st.st_size);
+  }
 }
 
 }  // namespace qfr::cache

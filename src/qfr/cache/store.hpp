@@ -3,7 +3,6 @@
 #include <atomic>
 #include <cstddef>
 #include <cstdint>
-#include <fstream>
 #include <functional>
 #include <list>
 #include <memory>
@@ -15,6 +14,7 @@
 #include <vector>
 
 #include "qfr/cache/canonical.hpp"
+#include "qfr/common/io.hpp"
 #include "qfr/chem/molecule.hpp"
 #include "qfr/engine/fragment_engine.hpp"
 
@@ -37,6 +37,14 @@ struct CacheOptions {
   /// construction, appended to on every accepted insert; the file uses
   /// the same CRC32-framed record style as v4 checkpoints, so a bit flip
   /// at rest loses exactly one entry.
+  ///
+  /// The store is multi-process safe: appends are whole-frame writes on
+  /// an O_APPEND descriptor serialized by an exclusive flock on
+  /// `store_path + ".lock"`, misses read foreign appends back in
+  /// (refresh()), and compaction merges before rewriting — several
+  /// processes (e.g. forked leader processes) can share one store as a
+  /// read-through layer without losing or tearing records. A process
+  /// that forks must call reopen_after_fork() in the child.
   std::string store_path;
 };
 
@@ -114,8 +122,22 @@ class ResultCache {
 
   /// Rewrite the persistent store to exactly the live in-memory entries
   /// (atomic tmp+rename), dropping evicted, duplicate, foreign-tolerance
-  /// and corrupt records. No-op without a store_path.
+  /// and corrupt records. Holds the exclusive store lock and merges
+  /// records appended by other processes first, so concurrent writers
+  /// never lose entries. No-op without a store_path.
   void compact();
+
+  /// Pull in records appended to the store by other processes since the
+  /// last scan (cross-process read-through). Cheap when nothing changed
+  /// (one stat); called automatically on lookup misses. Returns the
+  /// number of entries added to memory.
+  std::size_t refresh();
+
+  /// Re-open the store and lock descriptors in a freshly forked child.
+  /// flock locks attach to the open file description, which fork()
+  /// shares with the parent — without this call the child and the
+  /// master would hold (and release!) each other's store lock.
+  void reopen_after_fork();
 
   CacheStats stats() const;
   const CacheOptions& options() const { return opts_; }
@@ -137,6 +159,17 @@ class ResultCache {
   void append_to_store(const FragmentKey& key,
                        const engine::FragmentResult& canonical);
   void write_store_file(const std::string& path);
+  /// Open (or re-open) the append and lock descriptors. store_mutex_ held.
+  void open_store_fds_locked();
+  /// Re-open the append fd when another process compacted (renamed over)
+  /// the store, and write the header if the file is empty. Exclusive
+  /// store lock + store_mutex_ held.
+  void ensure_store_current_locked();
+  /// Scan the store from scan_offset_, inserting unseen records. Store
+  /// lock (shared or exclusive) + store_mutex_ held. `strict_header`
+  /// throws on a bad header (construction) instead of treating it as
+  /// damage. Returns true when damaged/foreign records were seen.
+  bool scan_store_locked(bool strict_header);
   void bump(const char* metric, std::int64_t n = 1) const;
   void publish_bytes_gauge() const;
 
@@ -149,12 +182,18 @@ class ResultCache {
   std::atomic<std::int64_t> inflight_waits_{0};
   std::atomic<std::int64_t> evictions_{0};
   std::atomic<std::int64_t> insert_rejects_{0};
-  std::int64_t store_loaded_ = 0;   // written once, during construction
-  std::int64_t store_corrupt_ = 0;
-  std::int64_t store_skipped_ = 0;
+  std::atomic<std::int64_t> store_loaded_{0};
+  std::atomic<std::int64_t> store_corrupt_{0};
+  std::atomic<std::int64_t> store_skipped_{0};
 
+  // Persistent store state. Lock order: store_mutex_ (in-process) before
+  // the flock on lock_fd_ (cross-process) before shard mutexes.
   std::mutex store_mutex_;
-  std::ofstream store_;  ///< append stream; open iff store_path is set
+  common::FdGuard store_fd_;  ///< O_APPEND writer; open iff store_path set
+  common::FdGuard lock_fd_;   ///< flock target: store_path + ".lock"
+  std::uint64_t scan_offset_ = 0;  ///< store bytes already read into memory
+  std::uint64_t scan_dev_ = 0;     ///< inode identity of the scanned file,
+  std::uint64_t scan_ino_ = 0;     ///< to detect foreign compaction
 };
 
 /// True when every numeric field of the result is finite — the always-on

@@ -1,0 +1,114 @@
+#include "qfr/common/io.hpp"
+
+#include <cerrno>
+#include <cstring>
+
+#include <fcntl.h>
+#include <poll.h>
+#include <sys/file.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "qfr/common/error.hpp"
+
+namespace qfr::common {
+
+void FdGuard::reset(int fd) {
+  if (fd_ >= 0) ::close(fd_);
+  fd_ = fd;
+}
+
+std::pair<FdGuard, FdGuard> make_socket_pair() {
+  int sv[2] = {-1, -1};
+  QFR_ASSERT(::socketpair(AF_UNIX, SOCK_STREAM, 0, sv) == 0,
+             "socketpair failed: " << std::strerror(errno));
+  return {FdGuard(sv[0]), FdGuard(sv[1])};
+}
+
+bool write_full(int fd, const void* data, std::size_t n) {
+  const char* p = static_cast<const char*>(data);
+  while (n > 0) {
+    // MSG_NOSIGNAL suppresses SIGPIPE on sockets; on non-sockets send
+    // fails with ENOTSOCK and we fall back to plain write (pipes/files).
+    ssize_t w = ::send(fd, p, n, MSG_NOSIGNAL);
+    if (w < 0 && errno == ENOTSOCK) w = ::write(fd, p, n);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    p += w;
+    n -= static_cast<std::size_t>(w);
+  }
+  return true;
+}
+
+std::size_t read_full(int fd, void* data, std::size_t n) {
+  char* p = static_cast<char*>(data);
+  std::size_t got = 0;
+  while (got < n) {
+    const ssize_t r = ::read(fd, p + got, n - got);
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    if (r == 0) break;  // EOF
+    got += static_cast<std::size_t>(r);
+  }
+  return got;
+}
+
+PollStatus poll_readable(int fd, double timeout_seconds) {
+  if (timeout_seconds < 0.0) timeout_seconds = 0.0;
+  int remaining_ms = static_cast<int>(timeout_seconds * 1000.0);
+  for (;;) {
+    struct pollfd pfd{};
+    pfd.fd = fd;
+    pfd.events = POLLIN;
+    const int rc = ::poll(&pfd, 1, remaining_ms);
+    if (rc < 0) {
+      if (errno == EINTR) continue;  // conservative: retry the full budget
+      return PollStatus::kError;
+    }
+    if (rc == 0) return PollStatus::kTimeout;
+    if (pfd.revents & (POLLIN | POLLHUP)) return PollStatus::kReadable;
+    return PollStatus::kError;  // POLLERR / POLLNVAL
+  }
+}
+
+std::size_t read_some(int fd, std::string& out) {
+  char buf[64 * 1024];
+  for (;;) {
+    const ssize_t r = ::read(fd, buf, sizeof(buf));
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      return 0;
+    }
+    if (r == 0) return 0;
+    out.append(buf, static_cast<std::size_t>(r));
+    return static_cast<std::size_t>(r);
+  }
+}
+
+bool set_append_mode(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL);
+  if (flags < 0) return false;
+  if (flags & O_APPEND) return true;
+  return ::fcntl(fd, F_SETFL, flags | O_APPEND) == 0;
+}
+
+bool lock_file(int fd, FileLockMode mode) {
+  const int op = mode == FileLockMode::kShared ? LOCK_SH : LOCK_EX;
+  for (;;) {
+    if (::flock(fd, op) == 0) return true;
+    if (errno != EINTR) return false;
+  }
+}
+
+bool unlock_file(int fd) {
+  for (;;) {
+    if (::flock(fd, LOCK_UN) == 0) return true;
+    if (errno != EINTR) return false;
+  }
+}
+
+}  // namespace qfr::common

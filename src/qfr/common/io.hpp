@@ -1,0 +1,84 @@
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <utility>
+
+namespace qfr::common {
+
+/// RAII owner of one file descriptor. Movable, not copyable; closing
+/// ignores EINTR per POSIX (the fd is gone either way on Linux).
+class FdGuard {
+ public:
+  FdGuard() = default;
+  explicit FdGuard(int fd) : fd_(fd) {}
+  ~FdGuard() { reset(); }
+
+  FdGuard(FdGuard&& other) noexcept : fd_(other.release()) {}
+  FdGuard& operator=(FdGuard&& other) noexcept {
+    if (this != &other) {
+      reset();
+      fd_ = other.release();
+    }
+    return *this;
+  }
+  FdGuard(const FdGuard&) = delete;
+  FdGuard& operator=(const FdGuard&) = delete;
+
+  int get() const { return fd_; }
+  bool valid() const { return fd_ >= 0; }
+  int release() { return std::exchange(fd_, -1); }
+  void reset(int fd = -1);
+
+ private:
+  int fd_ = -1;
+};
+
+/// A connected AF_UNIX stream socket pair (full duplex): .first is
+/// conventionally the parent end, .second the child end. Throws
+/// qfr::InternalError on failure.
+std::pair<FdGuard, FdGuard> make_socket_pair();
+
+/// Write exactly `n` bytes, retrying on EINTR and short writes. Uses
+/// send(MSG_NOSIGNAL) on sockets so a dead peer surfaces as EPIPE instead
+/// of killing the process with SIGPIPE. Returns false on any I/O error
+/// (including EPIPE); never throws.
+bool write_full(int fd, const void* data, std::size_t n);
+
+/// Read exactly `n` bytes, retrying on EINTR and short reads. Returns the
+/// number of bytes read: n on success, less on EOF/error.
+std::size_t read_full(int fd, void* data, std::size_t n);
+
+/// Outcome of one poll_readable call.
+enum class PollStatus {
+  kReadable,  ///< data (or EOF) is available to read
+  kTimeout,   ///< nothing happened within the window
+  kError,     ///< the descriptor is in an error state (POLLERR/POLLNVAL)
+};
+
+/// Wait up to `timeout_seconds` for `fd` to become readable (POLLIN |
+/// POLLHUP), retrying on EINTR with the remaining budget. A hung-up peer
+/// reports kReadable so callers observe the EOF through read().
+PollStatus poll_readable(int fd, double timeout_seconds);
+
+/// Read whatever is currently available (up to an internal chunk size)
+/// without blocking beyond the read itself, appending to `out`. Returns
+/// the number of bytes appended; 0 means EOF or a fatal error — callers
+/// should poll first so 0 is unambiguous EOF/error, not "no data yet".
+std::size_t read_some(int fd, std::string& out);
+
+/// Set or clear O_APPEND on a descriptor (log hardening: appends to a
+/// shared file are then atomic end-of-file writes). Returns false on
+/// error.
+bool set_append_mode(int fd);
+
+/// Advisory whole-file lock (flock). kShared allows concurrent readers;
+/// kExclusive serializes writers across processes. Blocking; retries on
+/// EINTR. flock locks attach to the open file description, so a lock fd
+/// inherited across fork() is the SAME lock as the parent's — processes
+/// that must exclude each other need their own open() of the lock path.
+enum class FileLockMode { kShared, kExclusive };
+bool lock_file(int fd, FileLockMode mode);
+bool unlock_file(int fd);
+
+}  // namespace qfr::common

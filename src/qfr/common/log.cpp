@@ -7,16 +7,42 @@
 #include <mutex>
 #include <utility>
 
+#include <pthread.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include "qfr/common/io.hpp"
 #include "qfr/obs/trace.hpp"
 
 namespace qfr {
 
 namespace {
 std::atomic<LogLevel> g_level{LogLevel::kWarn};
-std::mutex g_sink_mutex;
+
+// The sink mutex lives behind a pointer so the fork child handler can
+// swap in a fresh one: a fork() taken while another master thread held
+// the mutex would otherwise leave it locked forever in the child, and the
+// first child log line would deadlock. The old mutex is deliberately
+// leaked (its state is unusable post-fork by definition).
+std::mutex* g_sink_mutex = new std::mutex;
+
 LogSink& g_sink() {
   static LogSink sink;  // null = stderr default
   return sink;
+}
+
+void process_safety_init() {
+  static std::once_flag once;
+  std::call_once(once, [] {
+    // Forked leader processes inherit stderr. When it is a regular file,
+    // O_APPEND makes each single-write line land atomically at the true
+    // end of file even with several processes appending.
+    struct ::stat st {};
+    if (::fstat(STDERR_FILENO, &st) == 0 && S_ISREG(st.st_mode))
+      common::set_append_mode(STDERR_FILENO);
+    ::pthread_atfork(nullptr, nullptr,
+                     [] { g_sink_mutex = new std::mutex; });
+  });
 }
 
 const char* level_tag(LogLevel lvl) {
@@ -49,21 +75,33 @@ void Log::set_level(LogLevel lvl) {
 }
 
 LogSink Log::set_sink(LogSink sink) {
-  std::lock_guard<std::mutex> lock(g_sink_mutex);
+  process_safety_init();
+  std::lock_guard<std::mutex> lock(*g_sink_mutex);
   LogSink previous = std::move(g_sink());
   g_sink() = std::move(sink);
   return previous;
 }
 
 void Log::write_stderr(const LogRecord& record) {
-  std::fprintf(stderr, "[qfr %s %s tid=%u] %.*s\n", level_tag(record.level),
-               format_iso8601_utc(record.unix_micros).c_str(), record.tid,
-               static_cast<int>(record.message.size()),
-               record.message.data());
+  char head[96];
+  const int n = std::snprintf(
+      head, sizeof(head), "[qfr %s %s pid=%d tid=%u] ",
+      level_tag(record.level), format_iso8601_utc(record.unix_micros).c_str(),
+      record.pid, record.tid);
+  std::string line;
+  line.reserve(static_cast<std::size_t>(n) + record.message.size() + 1);
+  line.append(head, static_cast<std::size_t>(n));
+  line.append(record.message);
+  line.push_back('\n');
+  // ONE write(2) for the whole line (no stdio buffering): concurrent
+  // leader processes sharing this stderr can interleave lines, never
+  // characters.
+  common::write_full(STDERR_FILENO, line.data(), line.size());
 }
 
 void Log::write(LogLevel lvl, const std::string& msg) {
   if (static_cast<int>(lvl) < static_cast<int>(level())) return;
+  process_safety_init();
   LogRecord record;
   record.level = lvl;
   record.message = msg;
@@ -72,7 +110,8 @@ void Log::write(LogLevel lvl, const std::string& msg) {
           std::chrono::system_clock::now().time_since_epoch())
           .count();
   record.tid = obs::trace_thread_id();
-  std::lock_guard<std::mutex> lock(g_sink_mutex);
+  record.pid = static_cast<std::int32_t>(::getpid());
+  std::lock_guard<std::mutex> lock(*g_sink_mutex);
   if (g_sink())
     g_sink()(record);
   else

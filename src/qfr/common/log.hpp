@@ -17,6 +17,7 @@ struct LogRecord {
   std::string_view message;
   std::int64_t unix_micros = 0;  ///< system_clock (for ISO-8601 rendering)
   std::uint32_t tid = 0;         ///< compact per-thread id (obs::trace_thread_id)
+  std::int32_t pid = 0;          ///< emitting process (leader processes share stderr)
 };
 
 /// Sink receiving fully-assembled log records. The record (and its
@@ -30,9 +31,17 @@ using LogSink = std::function<void(const LogRecord&)>;
 /// enough. The level defaults to kWarn so that library internals stay
 /// quiet under ctest. The default sink writes one line per record to
 /// stderr as
-///   [qfr LEVEL 2024-07-01T12:34:56.789Z tid=3] message
+///   [qfr LEVEL 2024-07-01T12:34:56.789Z pid=4217 tid=3] message
 /// and can be replaced (observability trace capture, test harnesses) via
 /// set_sink.
+///
+/// Multi-process safe: forked leader processes share the master's
+/// stderr, so the default sink emits each line as ONE write(2) (lines
+/// from different processes never tear into each other), stamps the pid,
+/// and sets O_APPEND when stderr is a regular file so concurrent
+/// processes always append atomically at end-of-file. The sink mutex is
+/// re-armed across fork() — a child forked while another master thread
+/// held it can still log.
 class Log {
  public:
   static LogLevel level();

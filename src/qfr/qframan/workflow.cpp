@@ -165,6 +165,7 @@ WorkflowResult RamanWorkflow::run(const frag::BioSystem& system,
   if (options_.validate_results) ropts.validator = &validator;
   if (!chain.empty()) ropts.fallback_chain = &chain;
   ropts.cache = result_cache.get();
+  ropts.transport = options_.transport;
   ropts.supervision.enabled = options_.supervise;
   ropts.supervision.heartbeat_timeout = options_.heartbeat_timeout;
   ropts.supervision.poll_interval = options_.supervisor_poll_interval;

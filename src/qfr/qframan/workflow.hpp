@@ -86,6 +86,11 @@ struct WorkflowOptions {
   /// so an invalid result is never remembered. cache.store_path persists
   /// entries across runs.
   cache::CacheOptions cache;
+  /// How the leader slots are realized: kThread runs them as threads in
+  /// this process, kProcess forks one OS process per slot and drives it
+  /// over the CRC-framed wire protocol, so a leader crash (even SIGKILL)
+  /// cannot take the master down (see runtime::TransportKind).
+  runtime::TransportKind transport = runtime::TransportKind::kThread;
   /// Supervise the leader threads: heartbeats, revocation of dead/hung
   /// leaders' leases, respawn (see runtime::SupervisionOptions).
   bool supervise = false;

@@ -9,6 +9,7 @@
 #include "qfr/engine/fallback_chain.hpp"
 #include "qfr/engine/fragment_engine.hpp"
 #include "qfr/frag/fragmentation.hpp"
+#include "qfr/runtime/leader_transport.hpp"
 #include "qfr/runtime/result_sink.hpp"
 #include "qfr/runtime/sweep_scheduler.hpp"
 
@@ -43,6 +44,12 @@ struct SupervisionOptions {
 struct RuntimeOptions {
   std::size_t n_leaders = 2;
   std::size_t workers_per_leader = 1;
+  /// Leader execution substrate. kThread (default) runs leaders as
+  /// threads of the master process; kProcess forks one OS process per
+  /// leader slot, connected by a socketpair speaking the CRC32-framed
+  /// wire protocol — a leader can then genuinely die (kill -9) and the
+  /// sweep recovers through the same scheduler/supervisor machinery.
+  TransportKind transport = TransportKind::kThread;
   /// Leaders request their next task while the current one is still being
   /// worked on (paper Fig. 4(d)/(e)).
   bool prefetch = true;

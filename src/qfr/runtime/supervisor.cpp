@@ -39,6 +39,12 @@ void Supervisor::stop() {
     running_ = false;
   }
   cv_.notify_all();
+  // The join is the ordering fence against in-flight recovery: if the
+  // poll loop is inside its unlocked respawn window, it finishes those
+  // callbacks, re-acquires the mutex, observes !running_ and exits —
+  // only then does the cancel pass below run. The loop cleared each
+  // slot's `exited` flag before unlocking, so no exit event can be
+  // re-observed and respawned a second time.
   if (thread_.joinable()) thread_.join();
   // Cancel whatever is still registered: at end of sweep every remaining
   // attempt is stale (its fragment completed or failed under a different

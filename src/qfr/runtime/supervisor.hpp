@@ -66,6 +66,16 @@ class Supervisor {
   /// stale by then) so leader joins never wait on a zombie compute. No
   /// revocations or respawns happen afterwards; call only once the sweep
   /// is finished.
+  ///
+  /// Ordering vs in-flight recovery: stop() never respawns, and a
+  /// recovery already in flight completes exactly once before stop()
+  /// returns. The poll loop clears a slot's `exited` flag *before* it
+  /// releases the mutex to run the respawn callback, so the same exit
+  /// event can never be collected twice, and stop()'s join waits for the
+  /// unlocked respawn window to finish before the final cancel pass runs
+  /// — a slot sees at most one respawn per leader_exited() no matter how
+  /// stop() races it (regression-tested in
+  /// SupervisorStopOrdering.StopDuringRevocationNeverDoubleRespawns).
   void stop();
 
   /// Leader `leader` is alive (called at least once per fragment).

@@ -1,0 +1,414 @@
+// Wire-protocol robustness: round-trips every master<->leader-process
+// message type bitwise exactly, then attacks the framing layer the way a
+// crashed or corrupted peer would — truncation at every byte boundary,
+// every single-bit flip, version skew, unknown types, oversized and
+// hostile length/count fields. Every attack must surface as a typed
+// DecodeStatus (or a false decode_* return), never as UB; this test is
+// mirrored into the ASan/UBSan CI matrix to enforce the "never" part.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "qfr/engine/fragment_engine.hpp"
+#include "qfr/la/matrix.hpp"
+#include "qfr/runtime/wire.hpp"
+
+namespace qfr::runtime::wire {
+namespace {
+
+// Header layout: magic u32 | version u32 | type u32 | payload_len u64.
+constexpr std::size_t kHeaderBytes = 20;
+
+engine::FragmentResult sample_result(std::size_t n_atoms) {
+  engine::FragmentResult r;
+  r.energy = -76.026765431234567;
+  r.hessian = la::Matrix(3 * n_atoms, 3 * n_atoms);
+  for (std::size_t i = 0; i < r.hessian.rows(); ++i)
+    for (std::size_t j = 0; j < r.hessian.cols(); ++j)
+      r.hessian(i, j) = 0.1 * static_cast<double>(i) -
+                        0.01 * static_cast<double>(j) + 1.0 / 3.0;
+  r.alpha = la::Matrix(3, 3);
+  r.alpha(0, 0) = 9.87654321;
+  r.alpha(1, 2) = -0.123456789;
+  r.dalpha = la::Matrix(6, 3 * n_atoms);
+  r.dalpha(5, 1) = 2.0 / 7.0;
+  r.dmu = la::Matrix(3, 3 * n_atoms);
+  r.dmu(2, 0) = -1.0 / 9.0;
+  r.phase_times.p1 = 0.25;
+  r.phase_times.h1 = 0.75;
+  r.flops = 1234567890123ll;
+  r.displacement_tasks = 19;
+  return r;
+}
+
+Frame decode_one(const std::string& bytes) {
+  FrameReader reader;
+  reader.append(bytes);
+  Frame f;
+  EXPECT_EQ(reader.next(&f), DecodeStatus::kFrame);
+  EXPECT_EQ(reader.next(&f), DecodeStatus::kNeedMore);  // buffer drained
+  return f;
+}
+
+// ---------------------------------------------------------------------
+// Round trips: every message type, bitwise-exact payloads.
+// ---------------------------------------------------------------------
+
+TEST(Wire, HelloRoundTrip) {
+  HelloMsg in;
+  in.pid = 4217;
+  in.leader = 3;
+  const Frame f = decode_one(encode_frame(MsgType::kHello, encode_hello(in)));
+  ASSERT_EQ(f.type, MsgType::kHello);
+  HelloMsg out;
+  ASSERT_TRUE(decode_hello(f.payload, &out));
+  EXPECT_EQ(out.pid, in.pid);
+  EXPECT_EQ(out.leader, in.leader);
+}
+
+TEST(Wire, TaskRoundTrip) {
+  TaskMsg in;
+  in.items.push_back({17, 5, 0, 9});
+  in.items.push_back({0, 1, 2, 21});
+  const Frame f = decode_one(encode_frame(MsgType::kTask, encode_task(in)));
+  ASSERT_EQ(f.type, MsgType::kTask);
+  TaskMsg out;
+  ASSERT_TRUE(decode_task(f.payload, &out));
+  ASSERT_EQ(out.items.size(), 2u);
+  for (std::size_t i = 0; i < 2; ++i) {
+    EXPECT_EQ(out.items[i].fragment_id, in.items[i].fragment_id);
+    EXPECT_EQ(out.items[i].epoch, in.items[i].epoch);
+    EXPECT_EQ(out.items[i].level, in.items[i].level);
+    EXPECT_EQ(out.items[i].n_atoms, in.items[i].n_atoms);
+  }
+}
+
+TEST(Wire, ResultRoundTripIsBitwiseExact) {
+  ResultMsg in;
+  in.fragment_id = 41;
+  in.epoch = 7;
+  in.level = 1;
+  in.seconds = 0.037251234;
+  in.cache_hit = true;
+  in.result = sample_result(3);
+  const Frame f =
+      decode_one(encode_frame(MsgType::kResult, encode_result(in)));
+  ASSERT_EQ(f.type, MsgType::kResult);
+  ResultMsg out;
+  ASSERT_TRUE(decode_result(f.payload, &out));
+  EXPECT_EQ(out.fragment_id, in.fragment_id);
+  EXPECT_EQ(out.epoch, in.epoch);
+  EXPECT_EQ(out.level, in.level);
+  EXPECT_EQ(out.seconds, in.seconds);  // bitwise: == on doubles on purpose
+  EXPECT_EQ(out.cache_hit, in.cache_hit);
+  EXPECT_EQ(out.result.energy, in.result.energy);
+  ASSERT_EQ(out.result.hessian.rows(), in.result.hessian.rows());
+  ASSERT_EQ(out.result.hessian.cols(), in.result.hessian.cols());
+  for (std::size_t i = 0; i < in.result.hessian.rows(); ++i)
+    for (std::size_t j = 0; j < in.result.hessian.cols(); ++j)
+      EXPECT_EQ(out.result.hessian(i, j), in.result.hessian(i, j));
+  EXPECT_EQ(out.result.alpha(1, 2), in.result.alpha(1, 2));
+  EXPECT_EQ(out.result.dalpha(5, 1), in.result.dalpha(5, 1));
+  EXPECT_EQ(out.result.dmu(2, 0), in.result.dmu(2, 0));
+  EXPECT_EQ(out.result.phase_times.p1, in.result.phase_times.p1);
+  EXPECT_EQ(out.result.phase_times.h1, in.result.phase_times.h1);
+  EXPECT_EQ(out.result.flops, in.result.flops);
+  EXPECT_EQ(out.result.displacement_tasks, in.result.displacement_tasks);
+}
+
+TEST(Wire, FailureRoundTripAllReasons) {
+  for (const FailureReason reason :
+       {FailureReason::kNone, FailureReason::kEngineError,
+        FailureReason::kInvalidResult, FailureReason::kNonConvergence,
+        FailureReason::kTimeout}) {
+    FailureMsg in;
+    in.fragment_id = 8;
+    in.epoch = 2;
+    in.level = 1;
+    in.reason = reason;
+    in.error = "SCF failed to converge after 128 cycles";
+    const Frame f =
+        decode_one(encode_frame(MsgType::kFailure, encode_failure(in)));
+    ASSERT_EQ(f.type, MsgType::kFailure);
+    FailureMsg out;
+    ASSERT_TRUE(decode_failure(f.payload, &out));
+    EXPECT_EQ(out.fragment_id, in.fragment_id);
+    EXPECT_EQ(out.epoch, in.epoch);
+    EXPECT_EQ(out.level, in.level);
+    EXPECT_EQ(static_cast<int>(out.reason), static_cast<int>(reason));
+    EXPECT_EQ(out.error, in.error);
+  }
+}
+
+TEST(Wire, CancelledAndCancelRoundTrip) {
+  CancelledMsg cd;
+  cd.fragment_id = 5;
+  cd.epoch = 11;
+  Frame f =
+      decode_one(encode_frame(MsgType::kCancelled, encode_cancelled(cd)));
+  ASSERT_EQ(f.type, MsgType::kCancelled);
+  CancelledMsg cd_out;
+  ASSERT_TRUE(decode_cancelled(f.payload, &cd_out));
+  EXPECT_EQ(cd_out.fragment_id, 5u);
+  EXPECT_EQ(cd_out.epoch, 11u);
+
+  CancelMsg cm;
+  cm.fragment_id = 6;
+  cm.epoch = 12;
+  f = decode_one(encode_frame(MsgType::kCancel, encode_cancel(cm)));
+  ASSERT_EQ(f.type, MsgType::kCancel);
+  CancelMsg cm_out;
+  ASSERT_TRUE(decode_cancel(f.payload, &cm_out));
+  EXPECT_EQ(cm_out.fragment_id, 6u);
+  EXPECT_EQ(cm_out.epoch, 12u);
+}
+
+TEST(Wire, StatsRoundTripWithCounters) {
+  StatsMsg in;
+  in.busy_seconds = 12.375;
+  in.tasks = 41;
+  in.fragments = 77;
+  in.counters = {{"qfr.cache.hits", 13}, {"sweep.fragments.completed", -2}};
+  const Frame f = decode_one(encode_frame(MsgType::kStats, encode_stats(in)));
+  ASSERT_EQ(f.type, MsgType::kStats);
+  StatsMsg out;
+  ASSERT_TRUE(decode_stats(f.payload, &out));
+  EXPECT_EQ(out.busy_seconds, in.busy_seconds);
+  EXPECT_EQ(out.tasks, in.tasks);
+  EXPECT_EQ(out.fragments, in.fragments);
+  ASSERT_EQ(out.counters.size(), 2u);
+  EXPECT_EQ(out.counters[0].first, "qfr.cache.hits");
+  EXPECT_EQ(out.counters[0].second, 13);
+  EXPECT_EQ(out.counters[1].second, -2);
+}
+
+TEST(Wire, HeartbeatIsAnEmptyPayloadFrame) {
+  const Frame f = decode_one(encode_frame(MsgType::kHeartbeat, ""));
+  EXPECT_EQ(f.type, MsgType::kHeartbeat);
+  EXPECT_TRUE(f.payload.empty());
+}
+
+// ---------------------------------------------------------------------
+// Streaming: frames split and coalesced arbitrarily by the socket.
+// ---------------------------------------------------------------------
+
+TEST(Wire, ByteAtATimeFeedingYieldsExactlyTheFramesSent) {
+  HelloMsg h;
+  h.pid = 1;
+  h.leader = 0;
+  CancelMsg c;
+  c.fragment_id = 3;
+  c.epoch = 4;
+  const std::string stream = encode_frame(MsgType::kHello, encode_hello(h)) +
+                             encode_frame(MsgType::kHeartbeat, "") +
+                             encode_frame(MsgType::kCancel, encode_cancel(c));
+  FrameReader reader;
+  std::vector<MsgType> seen;
+  for (const char byte : stream) {
+    reader.append(std::string_view(&byte, 1));
+    Frame f;
+    DecodeStatus st;
+    while ((st = reader.next(&f)) == DecodeStatus::kFrame)
+      seen.push_back(f.type);
+    ASSERT_EQ(st, DecodeStatus::kNeedMore);
+  }
+  ASSERT_EQ(seen.size(), 3u);
+  EXPECT_EQ(seen[0], MsgType::kHello);
+  EXPECT_EQ(seen[1], MsgType::kHeartbeat);
+  EXPECT_EQ(seen[2], MsgType::kCancel);
+}
+
+TEST(Wire, TruncationAtEveryOffsetIsNeedMoreNeverAFrame) {
+  TaskMsg t;
+  t.items.push_back({9, 1, 0, 3});
+  const std::string whole = encode_frame(MsgType::kTask, encode_task(t));
+  for (std::size_t cut = 0; cut < whole.size(); ++cut) {
+    FrameReader reader;
+    reader.append(std::string_view(whole).substr(0, cut));
+    Frame f;
+    EXPECT_EQ(reader.next(&f), DecodeStatus::kNeedMore) << "cut at " << cut;
+  }
+}
+
+// ---------------------------------------------------------------------
+// Corruption: every single-bit flip must be detected.
+// ---------------------------------------------------------------------
+
+TEST(Wire, EverySingleBitFlipIsRejected) {
+  FailureMsg m;
+  m.fragment_id = 2;
+  m.epoch = 3;
+  m.reason = FailureReason::kTimeout;
+  m.error = "watchdog";
+  const std::string whole = encode_frame(MsgType::kFailure, encode_failure(m));
+  for (std::size_t byte = 0; byte < whole.size(); ++byte) {
+    for (int bit = 0; bit < 8; ++bit) {
+      std::string damaged = whole;
+      damaged[byte] = static_cast<char>(damaged[byte] ^ (1 << bit));
+      FrameReader reader;
+      reader.append(damaged);
+      Frame f;
+      const DecodeStatus st = reader.next(&f);
+      // A flip in the length field can make the frame look longer
+      // (kNeedMore) — every other field is covered by magic, the version
+      // and type checks, or the CRC. What can never happen is a clean
+      // decode of damaged bytes.
+      EXPECT_NE(st, DecodeStatus::kFrame)
+          << "byte " << byte << " bit " << bit << " slipped through";
+      // Fatal statuses must be sticky (buffer left untouched).
+      if (st != DecodeStatus::kNeedMore) {
+        EXPECT_EQ(reader.next(&f), st) << "byte " << byte << " bit " << bit;
+      }
+    }
+  }
+}
+
+TEST(Wire, VersionSkewIsTypedNotFatalToTheProcess) {
+  const std::string payload = encode_hello({123, 0});
+  for (const std::uint32_t v : {0u, kVersion + 1, 0xffffffffu}) {
+    FrameReader reader;
+    reader.append(encode_frame_versioned(v, MsgType::kHello, payload));
+    Frame f;
+    EXPECT_EQ(reader.next(&f), DecodeStatus::kBadVersion) << "version " << v;
+  }
+  // And the current version still decodes through the same path.
+  FrameReader reader;
+  reader.append(encode_frame_versioned(kVersion, MsgType::kHello, payload));
+  Frame f;
+  EXPECT_EQ(reader.next(&f), DecodeStatus::kFrame);
+}
+
+TEST(Wire, BadMagicUnknownTypeAndOversizedLengthAreTyped) {
+  Frame f;
+  {
+    FrameReader reader;
+    reader.append("this is not a QFRW stream at all........");
+    EXPECT_EQ(reader.next(&f), DecodeStatus::kBadMagic);
+  }
+  {
+    // Patch the type field (bytes 8..11) to an unknown value, then fix
+    // nothing else: the type check fires before the CRC.
+    std::string frame = encode_frame(MsgType::kHeartbeat, "");
+    const std::uint32_t bad_type = 99;
+    std::memcpy(&frame[8], &bad_type, sizeof(bad_type));
+    FrameReader reader;
+    reader.append(frame);
+    EXPECT_EQ(reader.next(&f), DecodeStatus::kBadType);
+  }
+  {
+    // Patch the length field (bytes 12..19) beyond kMaxPayloadBytes.
+    std::string frame = encode_frame(MsgType::kHeartbeat, "");
+    const std::uint64_t huge = kMaxPayloadBytes + 1;
+    std::memcpy(&frame[12], &huge, sizeof(huge));
+    FrameReader reader;
+    reader.append(frame);
+    EXPECT_EQ(reader.next(&f), DecodeStatus::kOversized);
+  }
+}
+
+// ---------------------------------------------------------------------
+// Hostile payloads: length/count fields the decoders must not trust.
+// ---------------------------------------------------------------------
+
+TEST(Wire, HostileCountFieldsFailCleanly) {
+  // A task payload whose item count claims ~2^61 entries but carries one.
+  TaskMsg t;
+  t.items.push_back({1, 1, 0, 3});
+  std::string payload = encode_task(t);
+  const std::uint64_t huge = ~0ull / 8;
+  std::memcpy(&payload[0], &huge, sizeof(huge));
+  TaskMsg out;
+  EXPECT_FALSE(decode_task(payload, &out));
+
+  // Same attack on the stats counter list and its string lengths.
+  StatsMsg s;
+  s.counters = {{"k", 1}};
+  std::string sp = encode_stats(s);
+  // The counter count is the first u64 after busy_seconds+tasks+fragments.
+  std::memcpy(&sp[24], &huge, sizeof(huge));
+  StatsMsg sout;
+  EXPECT_FALSE(decode_stats(sp, &sout));
+}
+
+TEST(Wire, TruncatedPayloadsFailEveryDecoder) {
+  ResultMsg r;
+  r.fragment_id = 1;
+  r.result = sample_result(2);
+  const std::string payload = encode_result(r);
+  // Cut inside the matrix data and inside the fixed-width header alike.
+  for (const std::size_t cut :
+       {std::size_t{0}, std::size_t{7}, std::size_t{31},
+        payload.size() / 2, payload.size() - 1}) {
+    ResultMsg out;
+    EXPECT_FALSE(decode_result(payload.substr(0, cut), &out))
+        << "cut at " << cut;
+  }
+  FailureMsg fout;
+  EXPECT_FALSE(decode_failure("", &fout));
+  HelloMsg hout;
+  EXPECT_FALSE(decode_hello("short", &hout));
+  TaskMsg tout;
+  EXPECT_FALSE(decode_task("\x01", &tout));
+}
+
+// ---------------------------------------------------------------------
+// Deterministic garbage fuzz: random buffers must never crash or loop.
+// ---------------------------------------------------------------------
+
+TEST(Wire, RandomGarbageNeverDecodesAndNeverHangs) {
+  std::uint64_t state = 0x9e3779b97f4a7c15ull;  // splitmix64
+  auto next_byte = [&state] {
+    state += 0x9e3779b97f4a7c15ull;
+    std::uint64_t z = state;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return static_cast<char>(z >> 56);
+  };
+  for (int round = 0; round < 64; ++round) {
+    std::string junk(257, '\0');
+    for (char& c : junk) c = next_byte();
+    FrameReader reader;
+    reader.append(junk);
+    Frame f;
+    const DecodeStatus st = reader.next(&f);
+    EXPECT_NE(st, DecodeStatus::kFrame) << "round " << round;
+
+    // Every decoder over random payload bytes: false, never UB.
+    HelloMsg h;
+    decode_hello(junk, &h);
+    TaskMsg t;
+    decode_task(junk, &t);
+    ResultMsg r;
+    decode_result(junk, &r);
+    FailureMsg fa;
+    decode_failure(junk, &fa);
+    CancelledMsg cd;
+    decode_cancelled(junk, &cd);
+    CancelMsg cm;
+    decode_cancel(junk, &cm);
+    StatsMsg s;
+    decode_stats(junk, &s);
+  }
+}
+
+TEST(Wire, GarbageAfterAValidFrameStillYieldsTheFrame) {
+  HelloMsg h;
+  h.pid = 10;
+  h.leader = 1;
+  std::string stream = encode_frame(MsgType::kHello, encode_hello(h));
+  stream += "garbage tail that is not a frame";
+  FrameReader reader;
+  reader.append(stream);
+  Frame f;
+  ASSERT_EQ(reader.next(&f), DecodeStatus::kFrame);
+  EXPECT_EQ(f.type, MsgType::kHello);
+  EXPECT_EQ(reader.next(&f), DecodeStatus::kBadMagic);
+}
+
+static_assert(kHeaderBytes == 20, "header layout is wire ABI");
+
+}  // namespace
+}  // namespace qfr::runtime::wire
