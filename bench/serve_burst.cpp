@@ -1,0 +1,172 @@
+// Burst replay against serve::Server: a seeded request storm (bursty
+// arrivals, duplicate geometries, one flooding tenant) is replayed in
+// real time against a small server so admission control, shedding, and
+// the shared result cache all engage. Reports the completed-request
+// latency distribution (p50/p99), shed/reject counts, and cross-request
+// cache hits.
+//
+// With --json <path>, the series is additionally written as a
+// qfr.bench.v1 document (the CI serve-smoke gate reads it and asserts
+// cache hits > 0, shed+rejected > 0, and a bounded p99).
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "qfr/chem/molecule.hpp"
+#include "qfr/common/rng.hpp"
+#include "qfr/common/timer.hpp"
+#include "qfr/fault/chaos.hpp"
+#include "qfr/obs/export.hpp"
+#include "qfr/serve/server.hpp"
+
+namespace {
+
+qfr::frag::BioSystem water_cluster(std::size_t n, std::uint64_t seed) {
+  qfr::frag::BioSystem sys;
+  qfr::Rng rng(seed);
+  for (std::size_t i = 0; i < n; ++i)
+    sys.waters.push_back(qfr::chem::make_water(
+        {static_cast<double>(7 * (i % 10)), static_cast<double>(7 * (i / 10)),
+         0.0},
+        rng.uniform(0, 6.28)));
+  return sys;
+}
+
+double percentile(std::vector<double> sorted, double p) {
+  if (sorted.empty()) return 0.0;
+  const std::size_t idx = static_cast<std::size_t>(
+      p * static_cast<double>(sorted.size() - 1) + 0.5);
+  return sorted[std::min(idx, sorted.size() - 1)];
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string json_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+    } else {
+      std::fprintf(stderr, "usage: %s [--json <path>]\n", argv[0]);
+      return 2;
+    }
+  }
+
+  // The storm: mostly bursts, few geometry classes (so the shared cache
+  // sees duplicates), no client cancels/deadlines — the latency series
+  // should describe served work, not abandoned work.
+  qfr::fault::ServeChaosOptions sopts;
+  sopts.seed = 91;
+  sopts.n_requests = 48;
+  sopts.horizon = 0.08;
+  sopts.burst_fraction = 0.7;
+  sopts.burst_size = 8;
+  sopts.n_tenants = 3;
+  sopts.flood_probability = 0.5;
+  sopts.max_priority = 1;
+  sopts.deadline_probability = 0.0;
+  sopts.cancel_probability = 0.0;
+  sopts.min_waters = 2;
+  sopts.max_waters = 4;
+  sopts.n_geometries = 4;
+  const auto events = qfr::fault::serve_chaos_events(sopts);
+
+  // A deliberately small server: two leaders behind a six-deep queue with
+  // a shed band at three, so the bursts overflow into degradation and
+  // typed rejection instead of unbounded queueing.
+  qfr::serve::ServerOptions opts;
+  opts.n_leaders = 2;
+  opts.admission.max_pending = 6;
+  opts.admission.shed_fraction = 0.5;
+  opts.admission.shed_priority_ceiling = 0;
+  opts.admission.tenant_quota = {/*rate=*/150.0, /*burst=*/12.0};
+  opts.cache.enabled = true;
+  qfr::serve::Server server(opts);
+
+  std::printf("=== serve burst replay: %zu requests over %.0f ms ===\n\n",
+              events.size(), 1e3 * sopts.horizon);
+
+  std::vector<qfr::serve::RequestHandle> handles;
+  handles.reserve(events.size());
+  qfr::WallTimer replay;
+  for (const auto& e : events) {
+    while (replay.seconds() < e.at)
+      std::this_thread::sleep_for(std::chrono::microseconds(200));
+    qfr::serve::SpectrumRequest req;
+    req.tenant = "tenant-" + std::to_string(e.tenant);
+    req.priority = e.priority;
+    req.system = water_cluster(e.n_waters, e.geometry_seed);
+    req.sigma_cm = 20.0;
+    req.omega_points = 400;
+    handles.push_back(server.submit(std::move(req)));
+  }
+  server.shutdown(/*drain=*/true);
+  const double wall = replay.seconds();
+
+  std::vector<double> latencies_ms;
+  std::size_t n_completed = 0, n_shed_completed = 0;
+  for (auto& h : handles) {
+    const qfr::serve::RequestOutcome& out = h.outcome();
+    if (out.state != qfr::serve::RequestState::kCompleted) continue;
+    ++n_completed;
+    if (out.report.shed) ++n_shed_completed;
+    latencies_ms.push_back(1e3 * out.report.total_seconds);
+  }
+  std::sort(latencies_ms.begin(), latencies_ms.end());
+  const double p50 = percentile(latencies_ms, 0.50);
+  const double p99 = percentile(latencies_ms, 0.99);
+
+  const qfr::serve::ServerStats stats = server.stats();
+  const qfr::cache::CacheStats cache = server.result_cache()->stats();
+
+  std::printf("drained in %.3f s\n", wall);
+  std::printf("admitted %zu / %zu (shed %zu), rejected %zu overloaded + "
+              "%zu quota\n",
+              stats.admitted, stats.submitted, stats.shed,
+              stats.rejected_overload, stats.rejected_quota);
+  std::printf("completed %zu (of them %zu shed to a fallback level)\n",
+              n_completed, n_shed_completed);
+  std::printf("latency p50 %.2f ms, p99 %.2f ms\n", p50, p99);
+  std::printf("cache: %zu hits / %zu lookups (%.0f%%)\n", cache.hits,
+              cache.hits + cache.misses, 100.0 * cache.hit_rate());
+
+  qfr::obs::BenchReport report;
+  report.name = "serve_burst";
+  report.meta.emplace_back("n_requests", std::to_string(events.size()));
+  report.meta.emplace_back("n_leaders", std::to_string(opts.n_leaders));
+  report.meta.emplace_back("max_pending",
+                           std::to_string(opts.admission.max_pending));
+  report.meta.emplace_back("seed", std::to_string(sopts.seed));
+  report.samples.push_back({"latency.p50_ms", p50, "ms"});
+  report.samples.push_back({"latency.p99_ms", p99, "ms"});
+  report.samples.push_back({"replay.seconds", wall, "s"});
+  report.samples.push_back(
+      {"n.completed", static_cast<double>(n_completed), ""});
+  report.samples.push_back({"n.shed", static_cast<double>(stats.shed), ""});
+  report.samples.push_back(
+      {"n.rejected_overload", static_cast<double>(stats.rejected_overload),
+       ""});
+  report.samples.push_back(
+      {"n.rejected_quota", static_cast<double>(stats.rejected_quota), ""});
+  report.samples.push_back({"cache.hits", static_cast<double>(cache.hits),
+                            ""});
+  report.samples.push_back({"cache.hit_rate", cache.hit_rate(), ""});
+
+  if (!json_path.empty()) {
+    std::ofstream os(json_path);
+    if (!os.good()) {
+      std::fprintf(stderr, "cannot open '%s' for writing\n",
+                   json_path.c_str());
+      return 1;
+    }
+    qfr::obs::write_bench_json(os, report);
+    std::printf("\nwrote %s\n", json_path.c_str());
+  }
+  return 0;
+}

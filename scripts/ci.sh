@@ -23,8 +23,13 @@
 # Stage 4 (bench smoke): instrumented bench runs emitting their
 #   qfr.bench.v1 JSON trajectory points (BENCH_fig09.json — including the
 #   measured real-vs-modeled executor replay — BENCH_kernels.json,
-#   BENCH_cache.json) — catches bench-binary and exporter rot without
-#   timing anything.
+#   BENCH_cache.json, BENCH_transport.json) — catches bench-binary and
+#   exporter rot without timing anything.
+# Stage 4b (serve smoke): the serve_burst replay drives a live
+#   serve::Server through a seeded request storm and its BENCH_serve.json
+#   must show the overload machinery actually engaged — cross-request
+#   cache hits > 0, at least one shed or typed rejection, and a bounded
+#   p99 latency (the "no unbounded queueing under overload" gate).
 # Stage 5 (cache smoke): the solvated-protein example with the result
 #   cache enabled must report a nonzero cache_hit_rate — the end-to-end
 #   proof that canonicalization recognizes the box's rigid water copies.
@@ -82,6 +87,28 @@ build/bench/cache_dedup --json build/BENCH_cache.json >/dev/null
 python3 -c "import json; json.load(open('build/BENCH_cache.json'))" \
   2>/dev/null || { echo "BENCH_cache.json is not valid JSON"; exit 1; }
 echo "BENCH_cache.json ok"
+build/bench/transport_overhead --json build/BENCH_transport.json >/dev/null
+python3 -c "import json; json.load(open('build/BENCH_transport.json'))" \
+  2>/dev/null || { echo "BENCH_transport.json is not valid JSON"; exit 1; }
+echo "BENCH_transport.json ok"
+
+echo "== serve smoke: burst replay must shed/reject and hit the cache =="
+build/bench/serve_burst --json build/BENCH_serve.json >/dev/null
+python3 - <<'EOF' || { echo "BENCH_serve.json check failed"; exit 1; }
+import json
+d = json.load(open('build/BENCH_serve.json'))
+s = {x['label']: x['value'] for x in d['samples']}
+assert s['cache.hits'] > 0, 'no cross-request cache hits'
+pressure = s['n.shed'] + s['n.rejected_overload'] + s['n.rejected_quota']
+assert pressure > 0, 'burst never tripped admission control'
+assert s['n.completed'] > 0, 'no request completed'
+# Bounded p99: the replay drains a sub-second storm of tiny spectra; an
+# unbounded queue or a lost request would blow far past this.
+assert 0 < s['latency.p99_ms'] < 5000, f"p99 {s['latency.p99_ms']:.1f} ms"
+print(f"BENCH_serve.json ok (p99 {s['latency.p99_ms']:.2f} ms, "
+      f"{int(s['cache.hits'])} cache hits, "
+      f"{int(pressure)} shed/rejected)")
+EOF
 
 echo "== cache smoke: solvated example must report a nonzero hit rate =="
 HIT_RATE=$(build/examples/solvated_protein 10 16 |
@@ -145,8 +172,10 @@ for SAN in address undefined thread; do
   SAN_TESTS=("${ROBUSTNESS_TESTS[@]}")
   # The process-transport suite fork()s from a threaded master, which is
   # outside TSan's model (it would report on the child's inherited state);
-  # it runs under ASan and UBSan only.
-  [[ "$SAN" != thread ]] && SAN_TESTS+=(test_process_runtime)
+  # it runs under ASan and UBSan only. The serve suite rides the same
+  # legs: its chaos replay is wall-clock paced, and TSan's scheduling
+  # skew starves the deadline/cancel storms it exists to exercise.
+  [[ "$SAN" != thread ]] && SAN_TESTS+=(test_process_runtime test_serve)
   echo "== robustness under ${SAN} sanitizer (${BUILD}) =="
   cmake -B "$BUILD" -S . \
     -DCMAKE_BUILD_TYPE=RelWithDebInfo \

@@ -1,5 +1,7 @@
 #include "qfr/common/cancel.hpp"
 
+#include <cstddef>
+
 #include "qfr/common/error.hpp"
 
 namespace qfr::common {
@@ -13,6 +15,23 @@ void CancelToken::throw_if_cancelled() const {
     throw CancelledError("computation cancelled: lease revoked or fragment "
                          "completed elsewhere",
                          std::source_location::current());
+}
+
+CancelToken CancelToken::linked(const CancelToken& a, const CancelToken& b) {
+  // Collect the distinct flags observed by either input; a token carries
+  // at most two, so linking two already-linked tokens must not need more.
+  std::shared_ptr<const detail::CancelState> states[2];
+  std::size_t n = 0;
+  for (const auto* s : {&a.state_, &a.linked_, &b.state_, &b.linked_}) {
+    if (*s == nullptr) continue;
+    if (n > 0 && (states[0] == *s || (n > 1 && states[1] == *s))) continue;
+    QFR_REQUIRE(n < 2, "CancelToken::linked observes at most two flags");
+    states[n++] = *s;
+  }
+  CancelToken out;
+  out.state_ = std::move(states[0]);
+  out.linked_ = std::move(states[1]);
+  return out;
 }
 
 CancelScope::CancelScope(CancelToken token)

@@ -20,12 +20,21 @@ class CancelToken {
  public:
   CancelToken() = default;
 
-  bool valid() const { return state_ != nullptr; }
+  bool valid() const { return state_ != nullptr || linked_ != nullptr; }
   bool cancelled() const {
-    return state_ != nullptr && state_->flag.load(std::memory_order_acquire);
+    return (state_ != nullptr &&
+            state_->flag.load(std::memory_order_acquire)) ||
+           (linked_ != nullptr &&
+            linked_->flag.load(std::memory_order_acquire));
   }
   /// Throws qfr::CancelledError when the token is cancelled.
   void throw_if_cancelled() const;
+
+  /// A token cancelled when EITHER input is: an attempt-scoped token can
+  /// be combined with a request/run-scoped one without callbacks (the
+  /// flags are only ever polled). Null inputs are fine — linking two null
+  /// tokens yields a null token.
+  static CancelToken linked(const CancelToken& a, const CancelToken& b);
 
  private:
   friend class CancelSource;
@@ -33,6 +42,8 @@ class CancelToken {
       : state_(std::move(state)) {}
 
   std::shared_ptr<const detail::CancelState> state_;
+  /// Second observed flag (linked()); null for plain tokens.
+  std::shared_ptr<const detail::CancelState> linked_;
 };
 
 /// Write side: the owner (supervisor, watchdog) cancels, every token

@@ -1,5 +1,6 @@
 #include "qfr/fault/chaos.hpp"
 
+#include <algorithm>
 #include <cmath>
 
 #include "qfr/common/error.hpp"
@@ -70,6 +71,60 @@ std::vector<ChaosEvent> ChaosSchedule::events() const {
       }
     }
   }
+  return out;
+}
+
+std::vector<ServeChaosEvent> serve_chaos_events(
+    const ServeChaosOptions& options) {
+  QFR_REQUIRE(options.n_tenants >= 1, "serve chaos needs a tenant");
+  QFR_REQUIRE(options.n_geometries >= 1, "serve chaos needs a geometry");
+  QFR_REQUIRE(options.max_waters >= options.min_waters,
+              "max_waters below min_waters");
+  QFR_REQUIRE(options.deadline_max >= options.deadline_min,
+              "deadline_max below deadline_min");
+  std::vector<ServeChaosEvent> out;
+  out.reserve(options.n_requests);
+  Rng rng(options.seed);
+  double burst_at = 0.0;
+  std::size_t in_burst = 0;
+  for (std::size_t i = 0; i < options.n_requests; ++i) {
+    ServeChaosEvent e;
+    // Arrivals: a burst pins `burst_size` consecutive requests to one
+    // instant (the admission-control stressor); the rest land uniformly.
+    if (in_burst > 0) {
+      e.at = burst_at;
+      --in_burst;
+    } else if (rng.uniform() < options.burst_fraction &&
+               options.burst_size > 1) {
+      burst_at = rng.uniform(0.0, options.horizon);
+      in_burst = options.burst_size - 1;
+      e.at = burst_at;
+    } else {
+      e.at = rng.uniform(0.0, options.horizon);
+    }
+    e.tenant = rng.uniform() < options.flood_probability
+                   ? 0
+                   : (options.n_tenants == 1
+                          ? 0
+                          : 1 + rng.below(options.n_tenants - 1));
+    e.priority = static_cast<int>(
+        rng.below(static_cast<std::uint64_t>(options.max_priority) + 1));
+    if (rng.uniform() < options.deadline_probability)
+      e.deadline_seconds =
+          rng.uniform(options.deadline_min, options.deadline_max);
+    if (rng.uniform() < options.cancel_probability) {
+      e.cancel = true;
+      e.cancel_after = rng.uniform(0.0, options.cancel_delay_max);
+    }
+    e.n_waters = options.min_waters +
+                 rng.below(options.max_waters - options.min_waters + 1);
+    e.geometry_seed = rng.below(options.n_geometries);
+    out.push_back(e);
+  }
+  std::sort(out.begin(), out.end(),
+            [](const ServeChaosEvent& a, const ServeChaosEvent& b) {
+              return a.at < b.at;
+            });
   return out;
 }
 

@@ -65,4 +65,55 @@ class ChaosSchedule {
   ChaosScheduleOptions options_;
 };
 
+/// Tuning of a seeded request-level chaos schedule for qfr::serve: bursty
+/// arrivals, one flooding tenant, deadline storms, cancellation storms,
+/// duplicate geometries (so the shared result cache sees cross-request
+/// hits). Pure function of the options — a failing soak seed replays
+/// bit-for-bit.
+struct ServeChaosOptions {
+  std::uint64_t seed = 77;
+  std::size_t n_requests = 24;
+  /// Arrival window (seconds of server time).
+  double horizon = 0.25;
+  /// Fraction of requests arriving in bursts of `burst_size` at one
+  /// instant instead of uniformly over the horizon.
+  double burst_fraction = 0.5;
+  std::size_t burst_size = 6;
+  std::size_t n_tenants = 3;
+  /// Probability a request belongs to tenant 0 (the flooder); the rest
+  /// spread uniformly over the other tenants.
+  double flood_probability = 0.5;
+  /// Priorities are drawn uniformly in [0, max_priority].
+  int max_priority = 1;
+  double deadline_probability = 0.25;
+  double deadline_min = 0.02;
+  double deadline_max = 0.5;
+  /// Probability the client cancels `cancel_after` seconds after submit.
+  double cancel_probability = 0.2;
+  double cancel_delay_max = 0.05;
+  std::size_t min_waters = 2;
+  std::size_t max_waters = 5;
+  /// Distinct geometry seeds requests draw from; keeping this below
+  /// n_requests forces duplicates and therefore cross-request cache hits.
+  std::size_t n_geometries = 6;
+};
+
+/// One request of the serve chaos replay.
+struct ServeChaosEvent {
+  double at = 0.0;  ///< submit time relative to replay start
+  std::size_t tenant = 0;
+  int priority = 0;
+  double deadline_seconds = 0.0;  ///< 0 = no deadline
+  bool cancel = false;            ///< client cancels after `cancel_after`
+  double cancel_after = 0.0;      ///< seconds after submit
+  std::size_t n_waters = 2;
+  /// Geometry identity: events sharing (geometry_seed, n_waters) submit
+  /// the identical biosystem.
+  std::uint64_t geometry_seed = 0;
+};
+
+/// Seeded generator of a serve chaos replay, sorted by arrival time.
+std::vector<ServeChaosEvent> serve_chaos_events(
+    const ServeChaosOptions& options = {});
+
 }  // namespace qfr::fault

@@ -92,6 +92,10 @@ Json build_run_report(const Session& session,
     sched["n_tasks"] = Json(sweep->n_tasks);
     sched["n_requeued"] = Json(sweep->n_requeued);
     sched["n_retries"] = Json(sweep->n_retries);
+    sched["n_fault_retries"] = Json(sweep->n_fault_retries);
+    sched["n_reject_retries"] = Json(sweep->n_reject_retries);
+    sched["n_rejected"] = Json(sweep->n_rejected);
+    sched["cancelled"] = Json(sweep->cancelled);
     sched["n_resumed"] = Json(sweep->n_resumed);
     sched["n_failed"] = Json(sweep->n_failed());
     sched["n_degraded"] = Json(sweep->n_degraded());
@@ -176,12 +180,14 @@ void write_outcomes_csv(std::ostream& os,
                         const std::vector<runtime::FragmentOutcome>& outcomes,
                         const std::vector<double>* fragment_seconds) {
   os << "fragment_id,completed,engine,engine_level,reason,attempts,"
-        "from_checkpoint,cache_hit,wall_seconds,error\n";
+        "rejections,fault_retries,from_checkpoint,cache_hit,"
+        "wall_seconds,error\n";
   for (const runtime::FragmentOutcome& o : outcomes) {
     os << o.fragment_id << ',' << (o.completed ? 1 : 0) << ',';
     csv_field(os, o.engine);
     os << ',' << o.engine_level << ',' << runtime::to_string(o.reason) << ','
-       << o.attempts << ',' << (o.from_checkpoint ? 1 : 0) << ','
+       << o.attempts << ',' << o.rejections << ',' << o.fault_failures << ','
+       << (o.from_checkpoint ? 1 : 0) << ','
        << (o.cache_hit ? 1 : 0) << ',';
     if (fragment_seconds != nullptr &&
         o.fragment_id < fragment_seconds->size()) {

@@ -185,6 +185,9 @@ WorkflowResult RamanWorkflow::run(const frag::BioSystem& system,
   out.sweep.n_tasks = report.n_tasks;
   out.sweep.n_requeued = report.n_requeued;
   out.sweep.n_retries = report.n_retries;
+  out.sweep.n_fault_retries = report.n_fault_retries;
+  out.sweep.n_reject_retries = report.n_reject_retries;
+  out.sweep.n_rejected = report.n_rejected;
   out.sweep.n_resumed = report.n_resumed;
   out.sweep.n_degraded = report.n_degraded();
   out.sweep.n_cache_hits = report.n_cache_hits();

@@ -117,7 +117,13 @@ struct SweepSummary {
   std::size_t n_fragments = 0;
   std::size_t n_tasks = 0;
   std::size_t n_requeued = 0;  ///< straggler re-queue events
-  std::size_t n_retries = 0;   ///< failure-driven re-dispatches
+  std::size_t n_retries = 0;   ///< failure-driven re-dispatches (total)
+  /// Retries split by cause: crash/timeout/convergence failures (bad
+  /// hardware) vs validator rejections (bad physics).
+  std::size_t n_fault_retries = 0;
+  std::size_t n_reject_retries = 0;
+  /// Results rejected by the integrity validator.
+  std::size_t n_rejected = 0;
   std::size_t n_resumed = 0;   ///< fragments restored from the checkpoint
   /// Fragments completed by a fallback engine instead of the primary
   /// (graceful degradation; the outcome names the accepting engine).

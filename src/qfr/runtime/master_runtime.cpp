@@ -48,20 +48,12 @@ MasterRuntime::MasterRuntime(RuntimeOptions options)
               "need at least one worker per leader");
 }
 
-namespace {
-
-/// One engine-dispatch convention shared by the primary and every
-/// fallback level: the classical engine exploits the fragment's explicit
-/// topology, everything else gets the id-tagged geometry call (so fault
-/// decorators can key on the fragment id).
 engine::FragmentResult compute_with_engine(const engine::FragmentEngine& eng,
                                            const frag::Fragment& f) {
   if (const auto* model = dynamic_cast<const engine::ModelEngine*>(&eng))
     return model->compute_with_topology(f.mol, f.bonds);
   return eng.compute(f.id, f.mol);
 }
-
-}  // namespace
 
 RunReport MasterRuntime::run(std::span<const frag::Fragment> fragments,
                              const engine::FragmentEngine& eng) const {
@@ -107,6 +99,9 @@ RunReport MasterRuntime::run_impl(std::span<const frag::Fragment> fragments,
   sopts.completed_ids = options_.completed_ids;
   sopts.n_engine_levels = 1 + n_chain;
   sopts.validator = options_.validator;
+  sopts.retry_backoff_base = options_.retry_backoff_base;
+  sopts.retry_backoff_max = options_.retry_backoff_max;
+  sopts.retry_backoff_jitter = options_.retry_backoff_jitter;
   SweepScheduler scheduler(std::move(items), std::move(policy),
                            std::move(sopts));
 
@@ -171,7 +166,11 @@ RunReport MasterRuntime::run_impl(std::span<const frag::Fragment> fragments,
   report.n_tasks = scheduler.n_tasks();
   report.n_requeued = scheduler.n_requeued();
   report.n_retries = scheduler.n_retries();
+  report.n_fault_retries = scheduler.n_fault_retries();
+  report.n_reject_retries = scheduler.n_reject_retries();
+  report.n_rejected = scheduler.n_rejected();
   report.n_resumed = scheduler.n_resumed();
+  report.cancelled = scheduler.cancelled();
   report.n_leases_revoked = scheduler.n_revoked();
   report.n_cancelled = n_cancelled.load();
   if (supervisor) {
@@ -192,6 +191,9 @@ RunReport MasterRuntime::run_impl(std::span<const frag::Fragment> fragments,
     m.counter("sched.tasks").add(report.n_tasks);
     m.counter("sched.requeued").add(report.n_requeued);
     m.counter("sched.retries").add(report.n_retries);
+    m.counter("sched.fault_retries").add(report.n_fault_retries);
+    m.counter("sched.reject_retries").add(report.n_reject_retries);
+    m.counter("sched.rejected").add(report.n_rejected);
     m.counter("sched.resumed").add(report.n_resumed);
     m.counter("sched.leases_revoked").add(report.n_leases_revoked);
     m.counter("sched.cancelled").add(report.n_cancelled);
@@ -232,7 +234,9 @@ RunReport MasterRuntime::run_impl(std::span<const frag::Fragment> fragments,
     }
     QFR_LOG_WARN("sweep finished with ", n_bad, " failed fragment(s): ",
                  first_error);
-    if (options_.abort_on_failure) {
+    // A cancelled sweep is an intentional early exit, not a failure:
+    // return the completed prefix and let the caller decide.
+    if (options_.abort_on_failure && !report.cancelled) {
       QFR_NUMERIC_FAIL("fragment computation failed for "
                        << n_bad << " fragment(s) after retries: "
                        << first_error);

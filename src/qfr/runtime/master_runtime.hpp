@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "qfr/balance/packing.hpp"
+#include "qfr/common/cancel.hpp"
 #include "qfr/engine/fallback_chain.hpp"
 #include "qfr/engine/fragment_engine.hpp"
 #include "qfr/frag/fragmentation.hpp"
@@ -63,6 +64,17 @@ struct RuntimeOptions {
   double straggler_timeout = 600.0;
   /// Failure retries per fragment beyond the first attempt.
   std::size_t max_retries = 2;
+  /// Jittered exponential backoff before a failed fragment is re-queued
+  /// (see SweepOptions::retry_backoff_*). 0 keeps the historical
+  /// immediate re-queue.
+  double retry_backoff_base = 0.0;
+  double retry_backoff_max = 30.0;
+  double retry_backoff_jitter = 0.5;
+  /// Run-level cancellation: when this token fires (request deadline,
+  /// client cancel, server shutdown) the sweep cancels every pending
+  /// fragment, cooperatively stops in-flight computes on every transport,
+  /// and run() returns with the completed prefix. Null (default) = never.
+  common::CancelToken cancel_token;
   /// Throw NumericalError when fragments remain failed after retries
   /// (legacy behaviour). When false the sweep completes the surviving
   /// fragments and reports failures in RunReport::outcomes.
@@ -122,8 +134,15 @@ struct RunReport {
   double makespan_seconds = 0.0;
   std::size_t n_tasks = 0;
   std::size_t n_requeued = 0;  ///< straggler re-queue events
-  std::size_t n_retries = 0;   ///< failure-driven re-dispatches
+  std::size_t n_retries = 0;   ///< failure-driven re-dispatches (total)
+  std::size_t n_fault_retries = 0;   ///< ... after crash/timeout/convergence
+  std::size_t n_reject_retries = 0;  ///< ... after validator rejections
+  std::size_t n_rejected = 0;  ///< results rejected by the validator
   std::size_t n_resumed = 0;   ///< fragments skipped via checkpoint resume
+  /// The sweep was cancelled (RuntimeOptions::cancel_token fired): the
+  /// non-completed outcomes carry FailureReason::kCancelled and
+  /// abort_on_failure does not throw for them.
+  bool cancelled = false;
   // Supervision counters (all zero without a supervisor).
   std::size_t n_leader_crashes = 0;  ///< leader deaths detected + respawned
   std::size_t n_leader_hangs = 0;    ///< heartbeat-timeout episodes
@@ -146,6 +165,14 @@ struct RunReport {
   /// Fragments whose accepted result was served by the result cache.
   std::size_t n_cache_hits() const;
 };
+
+/// One engine-dispatch convention shared by the primary and every
+/// fallback level (and by the serving layer): the classical engine
+/// exploits the fragment's explicit topology, everything else gets the
+/// id-tagged geometry call (so fault decorators can key on the fragment
+/// id).
+engine::FragmentResult compute_with_engine(const engine::FragmentEngine& eng,
+                                           const frag::Fragment& f);
 
 /// In-process realization of the paper's three-level hierarchy (Fig. 3):
 /// the caller is the master (runs the packing policy), leaders are

@@ -479,12 +479,16 @@ class ProcessTransport final : public LeaderTransport {
       return true;
     };
 
-    // Forward supervisor-side cancellations (revoked/stale leases) to the
-    // child so orphaned computes stop mid-solve instead of running to the
-    // end as zombies.
+    // Forward supervisor-side cancellations (revoked/stale leases) and
+    // run-level cancellation to the child so orphaned computes stop
+    // mid-solve instead of running to the end as zombies. A CancelSource
+    // does not propagate across fork(), so the kCancel wire message is
+    // the ONLY way a child compute learns the run was cancelled.
     auto forward_cancels = [&] {
+      const bool run_cancelled = options.cancel_token.cancelled();
       for (auto& [key, o] : outstanding) {
-        if (o.cancel_sent || !o.token.valid() || !o.token.cancelled())
+        if (o.cancel_sent ||
+            (!run_cancelled && (!o.token.valid() || !o.token.cancelled())))
           continue;
         wire::CancelMsg cm;
         cm.fragment_id = key.first;
@@ -554,6 +558,11 @@ class ProcessTransport final : public LeaderTransport {
     };
 
     for (;;) {
+      // Run-level cancellation: make every pending fragment terminal (so
+      // top_up dispatches nothing more and the sweep drains), then rely
+      // on forward_cancels below to stop the child's in-flight computes.
+      if (options.cancel_token.cancelled())
+        scheduler.cancel_pending("sweep cancelled by caller");
       const double now = drive.wall->seconds();
       if (now < suppress_until) {
         // Injected hang: fully silent — no beats, no reads, no dispatch.

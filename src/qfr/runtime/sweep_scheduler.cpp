@@ -1,8 +1,11 @@
 #include "qfr/runtime/sweep_scheduler.hpp"
 
+#include <algorithm>
+#include <limits>
 #include <sstream>
 
 #include "qfr/common/error.hpp"
+#include "qfr/common/rng.hpp"
 #include "qfr/fault/validator.hpp"
 #include "qfr/obs/session.hpp"
 
@@ -15,6 +18,7 @@ const char* to_string(FailureReason reason) {
     case FailureReason::kInvalidResult:  return "invalid_result";
     case FailureReason::kNonConvergence: return "nonconvergence";
     case FailureReason::kTimeout:        return "timeout";
+    case FailureReason::kCancelled:      return "cancelled";
   }
   return "unknown";
 }
@@ -52,8 +56,14 @@ void SweepScheduler::init(std::vector<balance::WorkItem> items) {
       std::make_unique<FragmentTracker>(n, options_.straggler_timeout);
   QFR_REQUIRE(options_.n_engine_levels >= 1,
               "sweep needs at least one engine level");
+  QFR_REQUIRE(options_.initial_engine_level < options_.n_engine_levels,
+              "initial engine level outside the ladder");
   outcomes_.resize(n);
-  for (std::size_t i = 0; i < n; ++i) outcomes_[i].fragment_id = i;
+  for (std::size_t i = 0; i < n; ++i) {
+    outcomes_[i].fragment_id = i;
+    // Shed admissions start the whole sweep on a cheaper fallback level.
+    outcomes_[i].engine_level = options_.initial_engine_level;
+  }
   dead_.assign(n, 0);
   retry_base_.assign(n, 0);
 
@@ -78,6 +88,7 @@ void SweepScheduler::init(std::vector<balance::WorkItem> items) {
 }
 
 std::size_t SweepScheduler::tick_locked(double now) {
+  last_now_ = std::max(last_now_, now);
   const std::vector<std::size_t> stragglers =
       tracker_->requeue_stragglers(now);
   if (!stragglers.empty()) {
@@ -86,6 +97,24 @@ std::size_t SweepScheduler::tick_locked(double now) {
     for (const std::size_t id : stragglers) task.push_back(items_by_id_[id]);
     policy_->requeue(std::move(task));
     ++n_requeue_tasks_;
+  }
+  // Release backed-off retries whose eligibility time has arrived.
+  if (!backoff_.empty()) {
+    balance::Task due;
+    for (std::size_t i = 0; i < backoff_.size();) {
+      if (backoff_[i].first <= now) {
+        const std::size_t id = backoff_[i].second;
+        if (!dead_[id]) due.push_back(items_by_id_[id]);
+        backoff_[i] = backoff_.back();
+        backoff_.pop_back();
+      } else {
+        ++i;
+      }
+    }
+    if (!due.empty()) {
+      policy_->requeue(std::move(due));
+      ++n_requeue_tasks_;
+    }
   }
   return stragglers.size();
 }
@@ -97,6 +126,7 @@ std::size_t SweepScheduler::tick(double now) {
 
 LeasedTask SweepScheduler::acquire(std::size_t queue_depth, double now) {
   std::lock_guard<std::mutex> lock(mutex_);
+  if (cancelled_) return {};
 
   // Straggler scan first: timed-out fragments re-enter the queue ahead of
   // fresh pops (the paper's status-table recovery path).
@@ -193,6 +223,36 @@ void SweepScheduler::fail(const Lease& lease, const std::string& error,
   fail_locked(lease, error, reason);
 }
 
+void SweepScheduler::requeue_for_retry_locked(std::size_t fragment_id) {
+  const FragmentOutcome& o = outcomes_[fragment_id];
+  if (options_.retry_backoff_base <= 0.0) {
+    // Historical behaviour: straight back into the queue.
+    policy_->requeue({items_by_id_[fragment_id]});
+    ++n_requeue_tasks_;
+    return;
+  }
+  // Jittered exponential backoff, anchored to the last clock reading the
+  // caller gave us (fail() carries no "now"): the k-th failure at the
+  // current level waits base * 2^(k-1), capped, shortened by up to
+  // `jitter` of itself so a batch of simultaneous failures fans out
+  // instead of re-stampeding the engines as one wave. The jitter is a
+  // pure function of (seed, fragment, attempts) so every run of a seed
+  // replays the same schedule regardless of thread timing.
+  const std::size_t k =
+      std::max<std::size_t>(o.attempts - retry_base_[fragment_id], 1);
+  double delay = options_.retry_backoff_base;
+  for (std::size_t i = 1; i < k && delay < options_.retry_backoff_max; ++i)
+    delay *= 2.0;
+  delay = std::min(delay, options_.retry_backoff_max);
+  Rng rng(options_.retry_backoff_seed ^
+                  (fragment_id * 0x9e3779b97f4a7c15ull) ^
+                  (o.attempts * 0xbf58476d1ce4e5b9ull));
+  delay *= 1.0 - options_.retry_backoff_jitter * rng.uniform();
+  backoff_.emplace_back(last_now_ + delay, fragment_id);
+  if (obs::Session* s = obs::current())
+    s->metrics().counter("sched.backoff_queued").add(1);
+}
+
 void SweepScheduler::fail_locked(const Lease& lease, const std::string& error,
                                  FailureReason reason) {
   const std::size_t fragment_id = lease.fragment_id;
@@ -202,6 +262,8 @@ void SweepScheduler::fail_locked(const Lease& lease, const std::string& error,
   FragmentOutcome& o = outcomes_[fragment_id];
   o.error = error;
   o.reason = reason;
+  const bool rejected = reason == FailureReason::kInvalidResult;
+  if (rejected) ++o.rejections; else ++o.fault_failures;
   if (obs::Session* s = obs::current())
     s->metrics().counter("sched.failures").add(1);
 
@@ -209,11 +271,13 @@ void SweepScheduler::fail_locked(const Lease& lease, const std::string& error,
   // current engine level.
   const std::size_t level_attempts = o.attempts - retry_base_[fragment_id];
   if (level_attempts <= options_.max_retries) {
-    // Retry budget left: back to unprocessed and straight into the queue.
+    // Retry budget left: back to unprocessed, re-queued now or after the
+    // backoff delay. Bad physics and bad hardware are counted apart so
+    // the report can tell a flaky engine from a flaky machine.
     tracker_->reset(fragment_id, lease.epoch);
-    policy_->requeue({items_by_id_[fragment_id]});
-    ++n_requeue_tasks_;
+    requeue_for_retry_locked(fragment_id);
     ++n_retries_;
+    if (rejected) ++n_reject_retries_; else ++n_fault_retries_;
     return;
   }
 
@@ -230,9 +294,9 @@ void SweepScheduler::fail_locked(const Lease& lease, const std::string& error,
                   {"level", static_cast<double>(o.engine_level), {}, true}});
     }
     tracker_->reset(fragment_id, lease.epoch);
-    policy_->requeue({items_by_id_[fragment_id]});
-    ++n_requeue_tasks_;
+    requeue_for_retry_locked(fragment_id);
     ++n_retries_;
+    if (rejected) ++n_reject_retries_; else ++n_fault_retries_;
     return;
   }
 
@@ -275,9 +339,44 @@ bool SweepScheduler::finished() const {
   return tracker_->n_completed() + n_failed_ == items_by_id_.size();
 }
 
+std::size_t SweepScheduler::cancel_pending(const std::string& error) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (cancelled_) return 0;
+  cancelled_ = true;
+  std::size_t n = 0;
+  for (std::size_t id = 0; id < items_by_id_.size(); ++id) {
+    if (dead_[id]) continue;
+    const FragmentState st = tracker_->state(id);
+    if (st == FragmentState::kCompleted) continue;
+    if (st == FragmentState::kProcessing) {
+      // Revoke the live lease so the in-flight delivery is fenced out;
+      // the transport separately cancels the compute itself.
+      tracker_->reset(id, tracker_->epoch(id));
+      ++n_revoked_;
+    }
+    dead_[id] = 1;
+    ++n_failed_;
+    outcomes_[id].error = error;
+    outcomes_[id].reason = FailureReason::kCancelled;
+    ++n;
+  }
+  backoff_.clear();
+  if (obs::Session* s = obs::current())
+    s->metrics().counter("sched.cancelled_fragments").add(n);
+  return n;
+}
+
+bool SweepScheduler::cancelled() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return cancelled_;
+}
+
 double SweepScheduler::next_deadline() const {
   std::lock_guard<std::mutex> lock(mutex_);
-  return tracker_->earliest_deadline();
+  double earliest = tracker_->earliest_deadline();
+  for (const auto& [at, id] : backoff_)
+    if (!dead_[id]) earliest = std::min(earliest, at);
+  return earliest;
 }
 
 std::size_t SweepScheduler::n_completed() const {
@@ -308,6 +407,16 @@ std::size_t SweepScheduler::n_requeue_tasks() const {
 std::size_t SweepScheduler::n_retries() const {
   std::lock_guard<std::mutex> lock(mutex_);
   return n_retries_;
+}
+
+std::size_t SweepScheduler::n_fault_retries() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return n_fault_retries_;
+}
+
+std::size_t SweepScheduler::n_reject_retries() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return n_reject_retries_;
 }
 
 std::size_t SweepScheduler::n_resumed() const {

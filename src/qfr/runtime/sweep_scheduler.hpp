@@ -6,6 +6,7 @@
 #include <mutex>
 #include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
 
 #include "qfr/balance/packing.hpp"
@@ -27,6 +28,7 @@ enum class FailureReason {
   kInvalidResult,   ///< the result failed integrity validation
   kNonConvergence,  ///< SCF/CPSCF convergence failure (NumericalError)
   kTimeout,         ///< watchdog timeout (TimeoutError)
+  kCancelled,       ///< the sweep was cancelled (deadline, client cancel)
 };
 
 const char* to_string(FailureReason reason);
@@ -81,6 +83,10 @@ struct FragmentOutcome {
   /// The accepted result was served by the qfr::cache result cache
   /// instead of being computed.
   bool cache_hit = false;
+  /// Validator rejections this fragment suffered (bad physics).
+  std::size_t rejections = 0;
+  /// Fault/crash/timeout failures this fragment suffered (bad hardware).
+  std::size_t fault_failures = 0;
 
   bool degraded() const { return completed && engine_level > 0; }
 };
@@ -101,9 +107,23 @@ struct SweepOptions {
   /// levels 1..n-1 the fallback chain. A fragment that exhausts its
   /// retries at one level is re-queued at the next instead of dying.
   std::size_t n_engine_levels = 1;
+  /// Level every fragment STARTS on (must be < n_engine_levels). The
+  /// serving layer sheds low-priority requests by admitting them directly
+  /// at a cheaper fallback level under overload; 0 is the normal path.
+  std::size_t initial_engine_level = 0;
   /// Optional result-integrity validator consulted by on_completion
   /// before a result is accepted. Non-owning; may be null.
   const fault::FragmentResultValidator* validator = nullptr;
+  /// Retry backoff: a failed fragment with retry budget left becomes
+  /// eligible for re-dispatch only `base * 2^(k-1)` seconds after its k-th
+  /// failure at the current level (capped at `max`), with a deterministic
+  /// jitter of up to `jitter` of the delay to spread storms. 0 disables
+  /// (the historical immediate re-queue). Clock-agnostic: eligibility is
+  /// measured on whatever clock the caller passes to acquire()/tick().
+  double retry_backoff_base = 0.0;
+  double retry_backoff_max = 30.0;
+  double retry_backoff_jitter = 0.5;
+  std::uint64_t retry_backoff_seed = 0x9e3779b97f4a7c15ull;
 };
 
 /// The paper's load balancer as one reusable state machine (Sec. V-B,
@@ -184,9 +204,22 @@ class SweepScheduler {
   /// failed).
   bool finished() const;
 
+  /// Cancel the sweep: every non-terminal fragment (queued, in backoff, or
+  /// processing under a live lease) becomes a permanent kCancelled failure
+  /// and its lease is revoked, so finished() turns true as soon as the
+  /// call returns and every late delivery is fenced out. Completed
+  /// fragments keep their results. Idempotent; returns the number of
+  /// fragments cancelled by THIS call. `error` is recorded per outcome
+  /// (deadline expiry vs client cancel vs shutdown).
+  std::size_t cancel_pending(const std::string& error);
+
+  /// True once cancel_pending has run.
+  bool cancelled() const;
+
   /// Earliest time a currently-processing fragment could be re-queued as
-  /// a straggler; +infinity when nothing is in flight. Simulated-time
-  /// drivers sleep until here instead of polling.
+  /// a straggler, or a backed-off retry becomes eligible; +infinity when
+  /// neither applies. Simulated-time drivers sleep until here instead of
+  /// polling.
   double next_deadline() const;
 
   std::size_t n_completed() const;
@@ -195,6 +228,8 @@ class SweepScheduler {
   std::size_t n_requeued() const;       ///< straggler re-queue events (fragments)
   std::size_t n_requeue_tasks() const;  ///< re-dispatch tasks queued (stragglers + retries + revocations)
   std::size_t n_retries() const;        ///< failure-driven re-dispatches
+  std::size_t n_fault_retries() const;  ///< retries after crash/timeout/convergence failures
+  std::size_t n_reject_retries() const; ///< retries after validator rejections
   std::size_t n_resumed() const;        ///< fragments seeded from a checkpoint
   std::size_t n_degraded() const;       ///< level-degradation events
   std::size_t n_rejected() const;       ///< results rejected by the validator
@@ -211,12 +246,17 @@ class SweepScheduler {
 
  private:
   void init(std::vector<balance::WorkItem> items);
-  /// Locked straggler scan shared by acquire() and tick().
+  /// Locked straggler scan shared by acquire() and tick(); also releases
+  /// backed-off retries whose eligibility time has passed.
   std::size_t tick_locked(double now);
   /// Locked core of fail(); on_completion calls it for rejected results.
   /// Precondition: the lease has been verified live by the caller.
   void fail_locked(const Lease& lease, const std::string& error,
                    FailureReason reason);
+  /// Locked: requeue `fragment_id` for retry, either immediately or into
+  /// the backoff queue with a deterministic jittered-exponential delay
+  /// keyed on its failure count at the current level.
+  void requeue_for_retry_locked(std::size_t fragment_id);
 
   mutable std::mutex mutex_;
   std::unique_ptr<balance::PackingPolicy> owned_policy_;
@@ -230,10 +270,20 @@ class SweepScheduler {
   /// level: the per-level retry budget is measured from here.
   std::vector<std::size_t> retry_base_;
   std::vector<std::vector<std::size_t>> task_log_;
+  /// Backed-off retries: (eligible-at, fragment id). Scanned linearly —
+  /// the set is bounded by the in-flight failure count, which is tiny.
+  std::vector<std::pair<double, std::size_t>> backoff_;
+  /// Latest "now" observed from acquire()/tick(): fail() carries no clock,
+  /// so backoff eligibility is anchored to the last time the caller told
+  /// us about (monotone by the scheduler's clock contract).
+  double last_now_ = 0.0;
+  bool cancelled_ = false;
   std::size_t n_failed_ = 0;
   std::size_t n_resumed_ = 0;
   std::size_t n_tasks_ = 0;
   std::size_t n_retries_ = 0;
+  std::size_t n_fault_retries_ = 0;
+  std::size_t n_reject_retries_ = 0;
   std::size_t n_requeue_tasks_ = 0;
   std::size_t n_degraded_ = 0;
   std::size_t n_rejected_ = 0;

@@ -84,10 +84,14 @@ void leader_main(SweepDrive& drive, std::size_t l) {
                static_cast<double>(drive.fragments[fid].n_atoms()));
       WallTimer attempt;
       try {
-        at.tokens[k].throw_if_cancelled();
         // Ambient token for the compute: cancellation-aware engines
-        // (SCF/CPSCF iterations) poll it and bail out mid-solve.
-        common::CancelScope scope(at.tokens[k]);
+        // (SCF/CPSCF iterations) poll it and bail out mid-solve. The
+        // attempt token (supervisor revocation) is linked with the
+        // run-level token so a cancelled sweep stops in-flight computes.
+        const common::CancelToken token = common::CancelToken::linked(
+            at.tokens[k], options.cancel_token);
+        token.throw_if_cancelled();
+        common::CancelScope scope(token);
         local[k] = drive.compute_at(drive.fragments[fid], levels[k]);
         ok[k] = 1;
         seconds[k] = attempt.seconds();
@@ -124,6 +128,11 @@ void leader_main(SweepDrive& drive, std::size_t l) {
   ActiveTask next;  // prefetched
   bool have_next = false;
   for (;;) {
+    // Run-level cancellation (request deadline, client cancel, shutdown):
+    // flip every pending fragment terminal so the sweep drains. In-flight
+    // computes see the linked token and stop on their own.
+    if (options.cancel_token.cancelled())
+      scheduler.cancel_pending("sweep cancelled by caller");
     ActiveTask current;
     if (have_next) {
       current = std::move(next);

@@ -1,0 +1,55 @@
+#include "qfr/serve/admission.hpp"
+
+#include <algorithm>
+
+namespace qfr::serve {
+
+void TokenBucket::refill(double now) {
+  if (now <= last_) return;
+  tokens_ = std::min(options_.burst, tokens_ + (now - last_) * options_.rate);
+  last_ = now;
+}
+
+bool TokenBucket::try_acquire(double now) {
+  refill(now);
+  if (tokens_ < 1.0) return false;
+  tokens_ -= 1.0;
+  return true;
+}
+
+double TokenBucket::tokens(double now) const {
+  if (now <= last_) return tokens_;
+  return std::min(options_.burst, tokens_ + (now - last_) * options_.rate);
+}
+
+const char* to_string(AdmitDecision decision) {
+  switch (decision) {
+    case AdmitDecision::kAdmit: return "admit";
+    case AdmitDecision::kAdmitShed: return "admit_shed";
+    case AdmitDecision::kOverloaded: return "overloaded";
+    case AdmitDecision::kQuotaExceeded: return "quota_exceeded";
+  }
+  return "?";
+}
+
+AdmitDecision AdmissionController::decide(const std::string& tenant,
+                                          int priority, std::size_t n_pending,
+                                          double now) {
+  // Hard bound first: a rejected request must not consume quota tokens,
+  // or a flooding tenant would starve itself of the capacity it regains
+  // once the queue drains.
+  if (n_pending >= options_.max_pending) return AdmitDecision::kOverloaded;
+  if (options_.quotas_enabled) {
+    auto it = buckets_.find(tenant);
+    if (it == buckets_.end())
+      it = buckets_.emplace(tenant, TokenBucket(options_.tenant_quota)).first;
+    if (!it->second.try_acquire(now)) return AdmitDecision::kQuotaExceeded;
+  }
+  const auto shed_at = static_cast<std::size_t>(
+      options_.shed_fraction * static_cast<double>(options_.max_pending));
+  if (n_pending >= shed_at && priority <= options_.shed_priority_ceiling)
+    return AdmitDecision::kAdmitShed;
+  return AdmitDecision::kAdmit;
+}
+
+}  // namespace qfr::serve

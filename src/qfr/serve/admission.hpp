@@ -1,0 +1,85 @@
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <string>
+
+namespace qfr::serve {
+
+/// Per-tenant request-rate quota (token bucket). Clock-agnostic: the
+/// caller passes "now" in seconds on any monotonically nondecreasing
+/// clock, so the admission tests and the DES-style replays never sleep.
+struct TokenBucketOptions {
+  double rate = 50.0;   ///< tokens replenished per second
+  double burst = 20.0;  ///< bucket capacity (max burst size)
+};
+
+class TokenBucket {
+ public:
+  explicit TokenBucket(TokenBucketOptions options = {})
+      : options_(options), tokens_(options.burst) {}
+
+  /// Take one token at time `now`; false = quota exhausted.
+  bool try_acquire(double now);
+
+  double tokens(double now) const;
+
+ private:
+  void refill(double now);
+
+  TokenBucketOptions options_;
+  double tokens_ = 0.0;
+  double last_ = 0.0;
+};
+
+/// What the admission controller decided for one submitted request.
+enum class AdmitDecision {
+  kAdmit,          ///< run at the primary engine level
+  kAdmitShed,      ///< admitted, but stepped down the fallback chain
+  kOverloaded,     ///< hard queue bound hit: reject
+  kQuotaExceeded,  ///< the tenant's token bucket is empty: reject
+};
+
+const char* to_string(AdmitDecision decision);
+
+/// Admission policy of the spectroscopy server: a hard bound on admitted
+/// still-unfinished requests (reject kOverloaded past it), per-tenant
+/// token-bucket quotas (reject kQuotaExceeded), and a soft threshold
+/// above which sheddable (low-priority) requests are admitted directly at
+/// a degraded engine level instead of being rejected — graceful shedding
+/// strictly before any rejection.
+struct AdmissionOptions {
+  /// Hard cap on admitted-but-unfinished requests.
+  std::size_t max_pending = 32;
+  /// Soft overload threshold as a fraction of max_pending: at or above
+  /// it, requests with priority <= shed_priority_ceiling are admitted
+  /// shed (degraded engine level) instead of at the primary.
+  double shed_fraction = 0.5;
+  /// Highest priority that may be shed; higher-priority requests always
+  /// get the primary engine (until the hard cap rejects outright).
+  int shed_priority_ceiling = 0;
+  /// Per-tenant quota; quotas_enabled=false admits regardless of rate.
+  TokenBucketOptions tenant_quota;
+  bool quotas_enabled = true;
+};
+
+/// Externally synchronized (the server calls it under its own mutex).
+class AdmissionController {
+ public:
+  explicit AdmissionController(AdmissionOptions options = {})
+      : options_(std::move(options)) {}
+
+  /// Decide admission for a request from `tenant` at `priority` when
+  /// `n_pending` requests are already admitted and unfinished. Rejections
+  /// never consume quota tokens.
+  AdmitDecision decide(const std::string& tenant, int priority,
+                       std::size_t n_pending, double now);
+
+  const AdmissionOptions& options() const { return options_; }
+
+ private:
+  AdmissionOptions options_;
+  std::map<std::string, TokenBucket> buckets_;
+};
+
+}  // namespace qfr::serve

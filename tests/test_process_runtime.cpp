@@ -232,6 +232,68 @@ TEST(ProcessRuntime, UnsupervisedChildDeathIsRecoveredInline) {
 }
 
 // ---------------------------------------------------------------------
+// Run-level cancellation across the process boundary: when the caller's
+// CancelSource fires mid-compute, the kCancel frame must reach the child,
+// the in-flight compute must stop via its ambient token, the lease must
+// be released (not left processing until the straggler timeout), and the
+// run must come back promptly with every pending fragment terminal as
+// kCancelled — with no zombie child processes left behind.
+// ---------------------------------------------------------------------
+
+TEST(ProcessRuntime, CancelSourceFiredMidComputeStopsChildrenPromptly) {
+  const std::size_t n_frag = 8;
+  const auto frags = water_fragments(n_frag);
+  // Each compute would take 5 s; the test passes only if cancellation cuts
+  // through. The child-side poll uses the ambient token the transport
+  // installs around the compute (CancelScope in the child loop).
+  auto compute = [](const frag::Fragment& f) {
+    const common::CancelToken token = common::current_cancel_token();
+    WallTimer t;
+    while (t.seconds() < 5.0) {
+      token.throw_if_cancelled();
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    return fake_result(f.id);
+  };
+
+  common::CancelSource source;
+  RuntimeOptions ropts;
+  ropts.n_leaders = 2;
+  ropts.transport = TransportKind::kProcess;
+  ropts.straggler_timeout = 60.0;  // recovery must come from the cancel
+  ropts.abort_on_failure = false;
+  ropts.cancel_token = source.token();
+  const MasterRuntime rt(std::move(ropts));
+
+  std::thread firer([&source] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    source.cancel();
+  });
+  WallTimer elapsed;
+  const RunReport rep = rt.run(frags, compute);
+  firer.join();
+
+  // Prompt: nowhere near the 5 s compute or the 60 s straggler timeout.
+  EXPECT_LT(elapsed.seconds(), 4.0);
+  EXPECT_TRUE(rep.cancelled);
+  // At least one compute was in flight and acked the cancel, and its
+  // lease was released by cancel_pending rather than abandoned.
+  EXPECT_GE(rep.n_cancelled, 1u);
+  EXPECT_GE(rep.n_leases_revoked, 1u);
+  for (std::size_t id = 0; id < n_frag; ++id) {
+    EXPECT_FALSE(rep.outcomes[id].completed) << "fragment " << id;
+    EXPECT_EQ(rep.outcomes[id].reason, FailureReason::kCancelled)
+        << "fragment " << id;
+  }
+  // No zombie children: every forked leader was reaped by the proxy.
+  // With all of our children waited on, waitpid(-1) reports ECHILD.
+  errno = 0;
+  int status = 0;
+  EXPECT_EQ(::waitpid(-1, &status, WNOHANG), -1);
+  EXPECT_EQ(errno, ECHILD);
+}
+
+// ---------------------------------------------------------------------
 // Shared persistent cache store: two leader processes appending and
 // compacting the same file concurrently must not lose or corrupt a
 // single record (flock-serialized whole-frame appends + merge-before-

@@ -475,6 +475,73 @@ TEST(SweepScheduler, DesNodeCrashSweepStillCompletesEveryFragment) {
   EXPECT_EQ(rep.n_crash_lost_tasks, rep2.n_crash_lost_tasks);
 }
 
+// Retry-storm regression: with backoff configured, a failed fragment is
+// NOT immediately re-dispatchable — it becomes eligible only after the
+// jittered-exponential delay, and next_deadline() exposes the eligibility
+// time so drivers can sleep instead of poll.
+TEST(SweepScheduler, RetryBackoffDelaysRedispatch) {
+  SweepOptions opts;
+  opts.max_retries = 5;
+  opts.retry_backoff_base = 0.05;
+  opts.retry_backoff_max = 10.0;
+  opts.retry_backoff_jitter = 0.5;
+  opts.retry_backoff_seed = 1234;
+  SweepScheduler sched(simple_items(1), balance::make_fifo_policy(1), opts);
+
+  LeasedTask t = sched.acquire(0, 0.0);
+  ASSERT_EQ(t.size(), 1u);
+  sched.fail(t.leases[0], "transient");
+
+  // First failure: backed off for base*(1-jitter)..base past the failure.
+  EXPECT_TRUE(sched.acquire(0, 0.001).empty());
+  const double d1 = sched.next_deadline();
+  EXPECT_GE(d1, 0.025);
+  EXPECT_LE(d1, 0.05);
+
+  // Eligible once past the un-jittered base delay.
+  LeasedTask r1 = sched.acquire(0, 0.06);
+  ASSERT_EQ(r1.size(), 1u);
+  sched.fail(r1.leases[0], "transient again");
+
+  // Second failure doubles the delay: eligible in 0.06 + [0.05, 0.10].
+  EXPECT_TRUE(sched.acquire(0, 0.10).empty());
+  const double d2 = sched.next_deadline();
+  EXPECT_GE(d2, 0.11);
+  EXPECT_LE(d2, 0.16);
+
+  LeasedTask r2 = sched.acquire(0, 0.17);
+  ASSERT_EQ(r2.size(), 1u);
+  EXPECT_EQ(deliver(sched, r2, 0), Completion::kAccepted);
+  EXPECT_TRUE(sched.finished());
+  EXPECT_EQ(sched.n_retries(), 2u);
+  EXPECT_EQ(sched.n_fault_retries(), 2u);
+  EXPECT_EQ(sched.n_reject_retries(), 0u);
+}
+
+// The jitter is a pure function of (seed, fragment, failure count): the
+// same seed replays the same delay, and every draw stays inside the
+// documented band [base*(1-jitter), base] so a storm of first failures
+// fans out but never waits longer than the un-jittered schedule.
+TEST(SweepScheduler, RetryBackoffJitterIsSeededAndBounded) {
+  auto first_delay = [](std::uint64_t seed) {
+    SweepOptions opts;
+    opts.max_retries = 5;
+    opts.retry_backoff_base = 0.05;
+    opts.retry_backoff_jitter = 0.5;
+    opts.retry_backoff_seed = seed;
+    SweepScheduler s(simple_items(1), balance::make_fifo_policy(1), opts);
+    LeasedTask t = s.acquire(0, 0.0);
+    s.fail(t.leases[0], "boom");
+    return s.next_deadline();
+  };
+  EXPECT_DOUBLE_EQ(first_delay(7), first_delay(7));
+  for (std::uint64_t seed = 1; seed <= 16; ++seed) {
+    const double d = first_delay(seed);
+    EXPECT_GE(d, 0.025) << "seed " << seed;
+    EXPECT_LE(d, 0.05) << "seed " << seed;
+  }
+}
+
 // Acceptance: the real threaded runtime and the DES substitution drive
 // the same scheduler core, so under zero noise they emit identical task
 // sequences (fragment-id multisets per task) for the same WorkItem set

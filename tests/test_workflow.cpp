@@ -422,7 +422,8 @@ TEST(Workflow, ObservabilityArtifactsFromScfHfRun) {
   ASSERT_TRUE(std::getline(csv, line));
   EXPECT_EQ(line,
             "fragment_id,completed,engine,engine_level,reason,attempts,"
-            "from_checkpoint,cache_hit,wall_seconds,error");
+            "rejections,fault_retries,from_checkpoint,cache_hit,"
+            "wall_seconds,error");
   std::size_t rows = 0;
   while (std::getline(csv, line)) {
     if (line.empty()) continue;
