@@ -1,0 +1,253 @@
+// Measures qfr::traj trajectory streaming on the workload it exists
+// for: a time series of nearly-rigid frames where the tolerance-tiered
+// cache turns every frame after the first into transports and cheap
+// refreshes instead of full recomputes.
+//
+// Two lanes:
+//   timing  — ab initio (RHF+CPHF) waters with distinct internal
+//             geometries under rigid-motion jitter; reports the frame-1
+//             wall, the mean wall of frames >= 2, and their ratio (the
+//             "collapse"), plus per-tier counts and the reuse ratio.
+//   parity  — model-engine waters under mixed rigid/refresh/full jitter
+//             (the soak-test mix); every streamed frame spectrum is
+//             compared against an independent cold recompute and the
+//             worst relative L2 deviation is reported.
+//
+// With --json <path>, the series is additionally written as a
+// qfr.bench.v1 document (the CI traj-smoke stage parses it).
+
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "qfr/chem/molecule.hpp"
+#include "qfr/common/rng.hpp"
+#include "qfr/frag/fragmentation.hpp"
+#include "qfr/obs/export.hpp"
+#include "qfr/qframan/workflow.hpp"
+#include "qfr/spectra/raman.hpp"
+#include "qfr/traj/frame_source.hpp"
+#include "qfr/traj/runner.hpp"
+
+namespace {
+
+double now_seconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// Water cluster on an 8-bohr grid. With distinct=true every monomer's
+/// internal geometry is perturbed past the cache tolerance (and mostly
+/// past the refresh radius), so frame 0 pays real full computes instead
+/// of deduping every water onto a single canonical key — the honest
+/// cold-frame baseline.
+qfr::frag::BioSystem water_cluster(std::size_t n, bool distinct) {
+  qfr::frag::BioSystem sys;
+  qfr::Rng rng(11);
+  for (std::size_t i = 0; i < n; ++i) {
+    qfr::chem::Molecule w = qfr::chem::make_water(
+        {static_cast<double>(8 * (i % 8)), static_cast<double>(8 * (i / 8)),
+         0.0},
+        rng.uniform(0, 6.28));
+    if (distinct)
+      for (std::size_t a = 0; a < w.size(); ++a)
+        w.atom(a).position += {rng.uniform(-0.1, 0.1),
+                               rng.uniform(-0.1, 0.1),
+                               rng.uniform(-0.1, 0.1)};
+    sys.waters.push_back(std::move(w));
+  }
+  return sys;
+}
+
+double spectrum_rel_l2(const qfr::spectra::RamanSpectrum& a,
+                       const qfr::spectra::RamanSpectrum& b) {
+  if (a.intensity.size() != b.intensity.size()) return 1.0;
+  double num = 0.0, den = 0.0;
+  for (std::size_t i = 0; i < a.intensity.size(); ++i) {
+    const double d = a.intensity[i] - b.intensity[i];
+    num += d * d;
+    den += b.intensity[i] * b.intensity[i];
+  }
+  return den > 0.0 ? std::sqrt(num / den) : std::sqrt(num);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string json_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+    } else {
+      std::fprintf(stderr, "usage: %s [--json <path>]\n", argv[0]);
+      return 2;
+    }
+  }
+
+  qfr::obs::BenchReport report;
+  report.name = "trajectory_stream";
+
+  // ---------------------------------------------------------------
+  // Timing lane: RHF+CPHF waters, rigid-motion jitter. Frame 1 pays a
+  // full ab initio sweep; every later frame should collapse onto exact
+  // cache transports.
+  // ---------------------------------------------------------------
+  constexpr std::size_t kTimingWaters = 6;
+  constexpr std::size_t kTimingFrames = 6;
+
+  qfr::traj::TrajectoryOptions topts;
+  topts.workflow.engine = qfr::qframan::EngineKind::kScfHf;
+  topts.workflow.fragmentation.include_two_body = false;
+  topts.workflow.n_leaders = 2;
+  topts.workflow.omega_points = 200;
+  topts.reuse.refresh_radius_bohr = 0.05;
+
+  const qfr::frag::BioSystem timing_sys =
+      water_cluster(kTimingWaters, /*distinct=*/true);
+  qfr::traj::JitterOptions timing_jitter;
+  timing_jitter.seed = 42;
+  timing_jitter.n_frames = kTimingFrames;
+  timing_jitter.rigid_sigma_bohr = 0.1;
+  timing_jitter.rigid_rot_sigma_rad = 0.05;
+
+  std::printf("=== Trajectory streaming: %zu RHF waters, %zu frames ===\n\n",
+              kTimingWaters, kTimingFrames);
+  report.meta.emplace_back("timing.engine", "scf_hf");
+  report.meta.emplace_back("timing.n_waters", std::to_string(kTimingWaters));
+  report.meta.emplace_back("timing.n_frames", std::to_string(kTimingFrames));
+
+  qfr::traj::JitterTrajectory timing_frames(timing_sys, timing_jitter);
+  const qfr::traj::TrajectoryResult timing =
+      qfr::traj::TrajectoryRunner(topts).run(timing_sys, timing_frames);
+
+  double rest_sum = 0.0;
+  for (std::size_t k = 0; k < timing.frames.size(); ++k) {
+    const qfr::traj::FrameSummary& f = timing.frames[k];
+    std::printf(
+        "frame %zu: %8.4f s  (exact %2lld, refresh %2lld, full %2lld)\n",
+        f.frame, f.wall_seconds, static_cast<long long>(f.tiers.exact),
+        static_cast<long long>(f.tiers.refresh),
+        static_cast<long long>(f.tiers.full));
+    if (k > 0) rest_sum += f.wall_seconds;
+  }
+  const double frame1 = timing.frames.front().wall_seconds;
+  const double rest_mean =
+      timing.frames.size() > 1
+          ? rest_sum / static_cast<double>(timing.frames.size() - 1)
+          : 0.0;
+  const double collapse = frame1 > 0.0 ? rest_mean / frame1 : 1.0;
+  const double reuse = timing.totals.reuse_ratio();
+  std::printf("\nframe 1 wall    : %.4f s\n", frame1);
+  std::printf("frames>=2 mean  : %.4f s  (%.3fx of frame 1)\n", rest_mean,
+              collapse);
+  std::printf("reuse ratio     : %.0f%%  (exact %lld, refresh %lld, full "
+              "%lld, rejected %lld)\n\n",
+              100.0 * reuse, static_cast<long long>(timing.totals.exact),
+              static_cast<long long>(timing.totals.refresh),
+              static_cast<long long>(timing.totals.full),
+              static_cast<long long>(timing.totals.refresh_rejected));
+
+  report.samples.push_back({"stream.frame1_seconds", frame1, "s"});
+  report.samples.push_back({"stream.rest_mean_seconds", rest_mean, "s"});
+  report.samples.push_back({"stream.collapse_ratio", collapse, "x"});
+  report.samples.push_back({"stream.reuse_ratio", reuse, ""});
+  report.samples.push_back(
+      {"stream.tier_exact", static_cast<double>(timing.totals.exact), ""});
+  report.samples.push_back(
+      {"stream.tier_refresh", static_cast<double>(timing.totals.refresh),
+       ""});
+  report.samples.push_back(
+      {"stream.tier_full", static_cast<double>(timing.totals.full), ""});
+  report.samples.push_back(
+      {"stream.tier_refresh_rejected",
+       static_cast<double>(timing.totals.refresh_rejected), ""});
+
+  // ---------------------------------------------------------------
+  // Parity lane: model-engine waters under the soak-test jitter mix
+  // (rigid + refresh + full populations); each streamed frame spectrum
+  // is checked against a cold, cache-free recompute of that frame.
+  // ---------------------------------------------------------------
+  constexpr std::size_t kParityWaters = 12;
+  constexpr std::size_t kParityFrames = 8;
+
+  qfr::traj::TrajectoryOptions popts;
+  popts.workflow.fragmentation.include_two_body = false;
+  popts.workflow.n_leaders = 1;  // sequential: bitwise-stable baseline
+  popts.workflow.omega_points = 400;
+  popts.workflow.sigma_cm = 20.0;
+  popts.reuse.refresh_radius_bohr = 0.05;
+
+  const qfr::frag::BioSystem parity_sys =
+      water_cluster(kParityWaters, /*distinct=*/false);
+  qfr::traj::JitterOptions parity_jitter;
+  parity_jitter.seed = 2026;
+  parity_jitter.n_frames = kParityFrames;
+  parity_jitter.rigid_sigma_bohr = 0.08;
+  parity_jitter.rigid_rot_sigma_rad = 0.04;
+  parity_jitter.internal_sigma_bohr = 0.008;
+  parity_jitter.distort_fraction = 0.3;
+  parity_jitter.large_sigma_bohr = 0.3;
+  parity_jitter.large_fraction = 0.15;
+
+  report.meta.emplace_back("parity.engine", "model");
+  report.meta.emplace_back("parity.n_waters", std::to_string(kParityWaters));
+  report.meta.emplace_back("parity.n_frames", std::to_string(kParityFrames));
+
+  qfr::traj::JitterTrajectory parity_frames(parity_sys, parity_jitter);
+  const double p0 = now_seconds();
+  const qfr::traj::TrajectoryResult streamed =
+      qfr::traj::TrajectoryRunner(popts).run(parity_sys, parity_frames);
+  const double streamed_seconds = now_seconds() - p0;
+
+  std::printf("=== Spectrum parity: %zu model waters, %zu mixed-jitter "
+              "frames ===\n\n",
+              kParityWaters, kParityFrames);
+  double max_rel = 0.0;
+  double cold_seconds = 0.0;
+  qfr::traj::JitterTrajectory cold_frames(parity_sys, parity_jitter);
+  for (std::size_t k = 0; k < streamed.frames.size(); ++k) {
+    const std::optional<qfr::traj::Frame> frame = cold_frames.next();
+    if (!frame) break;
+    const qfr::frag::BioSystem frame_sys =
+        qfr::traj::apply_frame(parity_sys, *frame);
+    const double c0 = now_seconds();
+    const qfr::qframan::WorkflowResult cold =
+        qfr::qframan::RamanWorkflow(popts.workflow).run(frame_sys);
+    cold_seconds += now_seconds() - c0;
+    const double rel =
+        spectrum_rel_l2(streamed.frames[k].spectrum, cold.spectrum);
+    std::printf("frame %zu: rel L2 %.3e\n", k, rel);
+    if (rel > max_rel) max_rel = rel;
+  }
+  const double parity_speedup =
+      streamed_seconds > 0.0 ? cold_seconds / streamed_seconds : 0.0;
+  std::printf("\nworst rel L2    : %.3e\n", max_rel);
+  std::printf("streamed wall   : %.4f s (cold recompute lane: %.4f s, "
+              "%.1fx)\n",
+              streamed_seconds, cold_seconds, parity_speedup);
+
+  report.samples.push_back({"parity.max_rel_l2", max_rel, ""});
+  report.samples.push_back(
+      {"parity.streamed_seconds", streamed_seconds, "s"});
+  report.samples.push_back({"parity.cold_seconds", cold_seconds, "s"});
+  report.samples.push_back({"parity.speedup", parity_speedup, "x"});
+  report.samples.push_back(
+      {"parity.reuse_ratio", streamed.totals.reuse_ratio(), ""});
+
+  if (!json_path.empty()) {
+    std::ofstream os(json_path);
+    if (!os.good()) {
+      std::fprintf(stderr, "cannot open '%s' for writing\n",
+                   json_path.c_str());
+      return 1;
+    }
+    qfr::obs::write_bench_json(os, report);
+    std::printf("bench JSON written to %s\n", json_path.c_str());
+  }
+  return 0;
+}

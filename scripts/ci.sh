@@ -30,6 +30,12 @@
 #   must show the overload machinery actually engaged — cross-request
 #   cache hits > 0, at least one shed or typed rejection, and a bounded
 #   p99 latency (the "no unbounded queueing under overload" gate).
+# Stage 4c (traj smoke): the trajectory_stream bench streams an RHF
+#   water trajectory through the tolerance-tiered cache and its
+#   BENCH_traj.json must show the per-frame cost actually collapsing —
+#   frames >= 2 mean wall <= 0.5x frame 1, reuse ratio >= 50%, every
+#   reuse tier accounted for, and model-engine spectrum parity against
+#   cold per-frame recomputes within the documented refresh bound.
 # Stage 5 (cache smoke): the solvated-protein example with the result
 #   cache enabled must report a nonzero cache_hit_rate — the end-to-end
 #   proof that canonicalization recognizes the box's rigid water copies.
@@ -108,6 +114,33 @@ assert 0 < s['latency.p99_ms'] < 5000, f"p99 {s['latency.p99_ms']:.1f} ms"
 print(f"BENCH_serve.json ok (p99 {s['latency.p99_ms']:.2f} ms, "
       f"{int(s['cache.hits'])} cache hits, "
       f"{int(pressure)} shed/rejected)")
+EOF
+
+echo "== traj smoke: streamed trajectory must collapse per-frame cost =="
+build/bench/trajectory_stream --json build/BENCH_traj.json >/dev/null
+python3 - <<'EOF' || { echo "BENCH_traj.json check failed"; exit 1; }
+import json
+d = json.load(open('build/BENCH_traj.json'))
+s = {x['label']: x['value'] for x in d['samples']}
+# The whole point of the tiered cache: frames after the first ride on
+# exact transports and refreshes instead of re-paying the ab initio
+# sweep.
+assert s['stream.rest_mean_seconds'] <= 0.5 * s['stream.frame1_seconds'], (
+    f"no collapse: frame1 {s['stream.frame1_seconds']:.3f}s, "
+    f"rest mean {s['stream.rest_mean_seconds']:.3f}s")
+assert s['stream.reuse_ratio'] >= 0.5, (
+    f"reuse ratio {s['stream.reuse_ratio']:.2f} < 0.5")
+assert s['stream.tier_exact'] > 0, 'no exact-tier transports'
+assert s['stream.tier_full'] > 0, 'no full computes (vacuous run)'
+# Refresh-tier error is bounded by the cache quantization tolerance
+# (DESIGN.md, trajectory streaming): ~1e-5 relative at the default 1e-4
+# tolerance, so 1e-3 catches a broken tier without flaking.
+assert s['parity.max_rel_l2'] < 1e-3, (
+    f"spectrum parity {s['parity.max_rel_l2']:.2e} out of bound")
+print(f"BENCH_traj.json ok (collapse "
+      f"{s['stream.collapse_ratio']:.4f}x, reuse "
+      f"{100 * s['stream.reuse_ratio']:.0f}%, parity "
+      f"{s['parity.max_rel_l2']:.2e})")
 EOF
 
 echo "== cache smoke: solvated example must report a nonzero hit rate =="

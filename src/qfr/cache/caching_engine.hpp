@@ -34,6 +34,14 @@ class CachingEngine final : public engine::FragmentEngine {
         inner_->name(), f, [&] { return inner_->compute(fragment_id, f); });
   }
 
+  engine::FragmentResult compute(
+      std::size_t fragment_id, const chem::Molecule& f,
+      const std::vector<chem::Bond>& bonds) const override {
+    return cache_->get_or_compute(inner_->name(), f, [&] {
+      return inner_->compute(fragment_id, f, bonds);
+    });
+  }
+
   /// Transparent for provenance: a cached result is still the inner
   /// engine's result, so outcome records keep the inner name.
   std::string name() const override { return inner_->name(); }

@@ -225,6 +225,7 @@ engine::FragmentResult rotate_result(const engine::FragmentResult& in,
   out.flops = in.flops;
   out.displacement_tasks = in.displacement_tasks;
   out.cache_hit = in.cache_hit;
+  out.reuse_tier = in.reuse_tier;
 
   // Hessian: per (atom, atom) 3x3 block, B' = Q B Q^T with re-indexing.
   if (in.hessian.rows() == 3 * n && in.hessian.cols() == 3 * n) {
@@ -318,6 +319,12 @@ engine::FragmentResult to_lab_frame(const engine::FragmentResult& canonical,
   for (std::size_t slot = 0; slot < c.perm.size(); ++slot)
     inv[c.perm[slot]] = slot;
   return rotate_result(canonical, transposed(c.rot), inv);
+}
+
+engine::FragmentResult permute_result(const engine::FragmentResult& in,
+                                      const std::vector<std::size_t>& map) {
+  static constexpr Mat9 kIdentity = {1, 0, 0, 0, 1, 0, 0, 0, 1};
+  return rotate_result(in, kIdentity, map);
 }
 
 // ---------------------------------------------------------------------------

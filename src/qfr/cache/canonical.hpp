@@ -94,6 +94,13 @@ engine::FragmentResult to_canonical_frame(const engine::FragmentResult& lab,
 engine::FragmentResult to_lab_frame(const engine::FragmentResult& canonical,
                                     const Canonicalization& c);
 
+/// Re-index a result's atoms without rotating components: output atom `o`
+/// takes its tensors from input atom `map[o]`. Used by the tiered-reuse
+/// near-hit path to align a cached canonical result with the query's slot
+/// order before mapping it into the lab frame.
+engine::FragmentResult permute_result(const engine::FragmentResult& in,
+                                      const std::vector<std::size_t>& map);
+
 /// Persistent-store serialization of a key (framing and CRC are the
 /// store's job). read_key returns false on truncation or a size field
 /// beyond sanity bounds, without throwing.

@@ -149,6 +149,17 @@ void ResultCache::bump(const char* metric, std::int64_t n) const {
   if (obs::Session* s = obs::current()) s->metrics().counter(metric).add(n);
 }
 
+void ResultCache::bump_ns(const char* metric, std::string_view ns,
+                          std::int64_t n) const {
+  if (ns.empty()) return;
+  if (obs::Session* s = obs::current()) {
+    std::string labeled;
+    labeled.reserve(std::strlen(metric) + ns.size() + 5);
+    labeled.append(metric).append("{ns=").append(ns).append("}");
+    s->metrics().counter(labeled).add(n);
+  }
+}
+
 void ResultCache::publish_bytes_gauge() const {
   if (obs::Session* s = obs::current()) {
     std::size_t total = 0;
@@ -202,10 +213,12 @@ engine::FragmentResult ResultCache::get_or_compute(std::string_view ns,
     if (value) {
       hits_.fetch_add(1, std::memory_order_relaxed);
       bump("qfr.cache.hits");
+      bump_ns("qfr.cache.hits", c.key.ns);
       obs::SpanGuard span(obs::current(), "cache.hit", "cache");
       span.arg("atoms", static_cast<double>(c.key.n_atoms()));
       engine::FragmentResult out = to_lab_frame(*value, c);
       out.cache_hit = true;
+      out.reuse_tier = engine::ReuseTier::kExact;
       return out;
     }
 
@@ -234,10 +247,12 @@ engine::FragmentResult ResultCache::get_or_compute(std::string_view ns,
     if (ok) {
       hits_.fetch_add(1, std::memory_order_relaxed);
       bump("qfr.cache.hits");
+      bump_ns("qfr.cache.hits", c.key.ns);
       obs::SpanGuard span(obs::current(), "cache.hit", "cache");
       span.arg("atoms", static_cast<double>(c.key.n_atoms()));
       engine::FragmentResult out = to_lab_frame(*value, c);
       out.cache_hit = true;
+      out.reuse_tier = engine::ReuseTier::kExact;
       return out;
     }
     // Leader failed (threw, or its result was refused): retry from the
@@ -296,8 +311,10 @@ engine::FragmentResult ResultCache::compute_as_leader(
 
   misses_.fetch_add(1, std::memory_order_relaxed);
   bump("qfr.cache.misses");
+  bump_ns("qfr.cache.misses", c.key.ns);
   publish_bytes_gauge();
   lab.cache_hit = false;
+  lab.reuse_tier = engine::ReuseTier::kComputed;
   return lab;
 }
 
@@ -323,13 +340,95 @@ std::optional<engine::FragmentResult> ResultCache::lookup(
   if (!value) {
     misses_.fetch_add(1, std::memory_order_relaxed);
     bump("qfr.cache.misses");
+    bump_ns("qfr.cache.misses", c.key.ns);
     return std::nullopt;
   }
   hits_.fetch_add(1, std::memory_order_relaxed);
   bump("qfr.cache.hits");
+  bump_ns("qfr.cache.hits", c.key.ns);
   engine::FragmentResult out = to_lab_frame(*value, c);
   out.cache_hit = true;
+  out.reuse_tier = engine::ReuseTier::kExact;
   return out;
+}
+
+std::optional<engine::FragmentResult> ResultCache::probe(
+    const Canonicalization& c) {
+  QFR_REQUIRE(c.key.tolerance == opts_.tolerance,
+              "cache probe with a foreign-tolerance canonicalization");
+  Shard& shard = shard_for(c.key);
+  std::lock_guard<std::mutex> lk(shard.m);
+  auto it = shard.map.find(c.key);
+  if (it == shard.map.end()) return std::nullopt;
+  shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+  return *it->second->value;
+}
+
+std::optional<NearHit> ResultCache::find_near(const Canonicalization& c,
+                                              double radius_bohr) {
+  if (radius_bohr <= 0.0) return std::nullopt;
+  const FragmentKey& qk = c.key;
+  const std::size_t n = qk.n_atoms();
+  // Greedy nearest matching of query slots onto cached slots, restricted
+  // to equal elements. Keys are sorted by (z, coords), so equal-z runs
+  // are contiguous and an equal element multiset means equal z vectors.
+  std::optional<NearHit> best;
+  std::vector<std::size_t> match(n);
+  std::vector<char> used(n);
+  for (const auto& sh : shards_) {
+    std::lock_guard<std::mutex> lk(sh->m);
+    for (const auto& entry : sh->lru) {
+      const FragmentKey& ek = entry.key;
+      if (ek.z != qk.z || ek.ns != qk.ns || ek == qk) continue;
+      std::fill(used.begin(), used.end(), 0);
+      double worst2 = 0.0;
+      bool matched = true;
+      const double r2_cap =
+          (radius_bohr / opts_.tolerance) * (radius_bohr / opts_.tolerance);
+      for (std::size_t s = 0; s < n && matched; ++s) {
+        // Candidates share the element: the contiguous run of ek slots
+        // with z == qk.z[s].
+        double best2 = 0.0;
+        std::size_t best_slot = n;
+        for (std::size_t t = 0; t < n; ++t) {
+          if (used[t] || ek.z[t] != qk.z[s]) continue;
+          double d2 = 0.0;
+          for (int k = 0; k < 3; ++k) {
+            const double d = static_cast<double>(qk.q[3 * s + k] -
+                                                 ek.q[3 * t + k]);
+            d2 += d * d;
+          }
+          if (best_slot == n || d2 < best2) {
+            best2 = d2;
+            best_slot = t;
+          }
+        }
+        if (best_slot == n || best2 > r2_cap) {
+          matched = false;
+          break;
+        }
+        used[best_slot] = 1;
+        match[s] = best_slot;
+        worst2 = std::max(worst2, best2);
+      }
+      if (!matched) continue;
+      const double max_disp = opts_.tolerance * std::sqrt(worst2);
+      if (best && best->max_displacement <= max_disp) continue;
+      NearHit hit;
+      hit.canonical = permute_result(*entry.value, match);
+      hit.old_canonical_pos.resize(n);
+      for (std::size_t s = 0; s < n; ++s) {
+        const std::size_t t = match[s];
+        hit.old_canonical_pos[s] = geom::Vec3{
+            opts_.tolerance * static_cast<double>(ek.q[3 * t + 0]),
+            opts_.tolerance * static_cast<double>(ek.q[3 * t + 1]),
+            opts_.tolerance * static_cast<double>(ek.q[3 * t + 2])};
+      }
+      hit.max_displacement = max_disp;
+      best = std::move(hit);
+    }
+  }
+  return best;
 }
 
 bool ResultCache::insert(std::string_view ns, const chem::Molecule& mol,

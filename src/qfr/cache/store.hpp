@@ -67,6 +67,22 @@ struct CacheStats {
   }
 };
 
+/// A near-miss cache entry matched atom-by-atom against a query geometry:
+/// same namespace, same element sequence, every matched atom within the
+/// caller's radius. Everything is expressed in the *query's* canonical slot
+/// order, so the caller can treat the cached result as an exact result for
+/// the returned old geometry and build a perturbative refresh on top.
+struct NearHit {
+  /// Cached canonical-frame result, atoms re-indexed to query slots.
+  engine::FragmentResult canonical;
+  /// Cached atom positions (bohr, canonical frame of the *query*'s grid),
+  /// indexed by query slot — the geometry `canonical` is exact for.
+  std::vector<geom::Vec3> old_canonical_pos;
+  /// Largest per-atom displacement between query and cached geometry
+  /// (bohr) — the distortion the perturbative refresh must absorb.
+  double max_displacement = 0.0;
+};
+
 /// Sharded, byte-budgeted, content-addressed store of canonical-frame
 /// FragmentResults with single-flight deduplication and an optional
 /// persistent backing file.
@@ -110,6 +126,22 @@ class ResultCache {
   /// Probe without computing; counts a hit or miss.
   std::optional<engine::FragmentResult> lookup(std::string_view ns,
                                                const chem::Molecule& mol);
+
+  /// Exact probe against an already-computed canonicalization (the tiered
+  /// trajectory path canonicalizes once and reuses it across tiers).
+  /// Returns the canonical-frame entry; counts neither hit nor miss — the
+  /// caller owns tier accounting.
+  std::optional<engine::FragmentResult> probe(const Canonicalization& c);
+
+  /// Near-hit distance query beside the exact lookup: scan for a cached
+  /// entry with the same namespace and element sequence whose atoms all
+  /// lie within `radius_bohr` of the query's (greedily matched) atoms in
+  /// the canonical frame. Returns the closest such entry, or nullopt.
+  /// Greedy matching can overestimate the true displacement — that
+  /// direction is safe (a spurious full recompute, never a wrong refresh).
+  /// Counts neither hit nor miss.
+  std::optional<NearHit> find_near(const Canonicalization& c,
+                                   double radius_bohr);
 
   /// Canonicalize and insert a lab-frame result. Returns false when the
   /// result is refused (non-finite values or insert filter).
@@ -171,6 +203,11 @@ class ResultCache {
   /// damage. Returns true when damaged/foreign records were seen.
   bool scan_store_locked(bool strict_header);
   void bump(const char* metric, std::int64_t n = 1) const;
+  /// Per-namespace breakdown beside the aggregate counter:
+  /// `<metric>{ns=<ns>}` — makes exact-hit vs refresh-tier reuse
+  /// attributable per engine level in run reports.
+  void bump_ns(const char* metric, std::string_view ns,
+               std::int64_t n = 1) const;
   void publish_bytes_gauge() const;
 
   CacheOptions opts_;

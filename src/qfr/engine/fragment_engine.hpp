@@ -3,12 +3,33 @@
 #include <cstddef>
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "qfr/chem/molecule.hpp"
+#include "qfr/chem/protein.hpp"
 #include "qfr/dfpt/response.hpp"
 #include "qfr/la/matrix.hpp"
 
 namespace qfr::engine {
+
+/// How a fragment result was obtained relative to the result cache — the
+/// provenance axis behind `cache_hit` once reuse is tiered (trajectory
+/// streaming): a fresh compute, an exact rigid-motion hit transported from
+/// the cache, or a perturbative refresh of a near-hit cached result.
+enum class ReuseTier : unsigned char {
+  kComputed = 0,  ///< full compute (cache miss, or cache disabled)
+  kExact = 1,     ///< rigid motion within tolerance: transported, zero compute
+  kRefresh = 2,   ///< small internal distortion: first-order cached update
+};
+
+inline const char* to_string(ReuseTier t) {
+  switch (t) {
+    case ReuseTier::kExact: return "exact";
+    case ReuseTier::kRefresh: return "refresh";
+    case ReuseTier::kComputed: break;
+  }
+  return "computed";
+}
 
 /// Everything a worker computes for one fragment (paper Fig. 3, orange):
 /// the Cartesian Hessian block and the polarizability derivatives that
@@ -30,6 +51,11 @@ struct FragmentResult {
   /// result was served from the qfr::cache result cache instead of being
   /// computed (restored-from-checkpoint results therefore load as false).
   bool cache_hit = false;
+  /// Provenance only (same caveat as cache_hit): which reuse tier produced
+  /// this result. `cache_hit == true` implies kExact; a perturbative
+  /// refresh sets kRefresh with cache_hit false (the tensors were updated,
+  /// not transported verbatim).
+  ReuseTier reuse_tier = ReuseTier::kComputed;
 };
 
 /// A quantum (or quantum-surrogate) engine computing per-fragment
@@ -50,6 +76,20 @@ class FragmentEngine {
                                  const chem::Molecule& fragment) const {
     (void)fragment_id;
     return compute(fragment);
+  }
+
+  /// Topology-tagged variant: the runtime passes the fragmentation's
+  /// explicit bond list alongside the geometry. Engines that would
+  /// otherwise re-perceive bonds from interatomic distances (the model
+  /// surrogate) override this to stay on the builder's topology — for a
+  /// strongly distorted geometry, perception can disagree with the
+  /// builder and silently change the force field. Decorators must
+  /// forward the bonds to their inner engine, not drop them.
+  virtual FragmentResult compute(std::size_t fragment_id,
+                                 const chem::Molecule& fragment,
+                                 const std::vector<chem::Bond>& bonds) const {
+    (void)bonds;
+    return compute(fragment_id, fragment);
   }
 
   /// Engine name for logs and provenance.

@@ -33,6 +33,8 @@ class ModelEngine : public FragmentEngine {
  public:
   explicit ModelEngine(ModelEngineOptions options = {}) : options_(options) {}
 
+  using FragmentEngine::compute;  // keep the id-tagged overload visible
+
   /// Bond topology is perceived from the geometry.
   FragmentResult compute(const chem::Molecule& fragment) const override;
 
@@ -40,6 +42,16 @@ class ModelEngine : public FragmentEngine {
   FragmentResult compute_with_topology(
       const chem::Molecule& fragment,
       const std::vector<chem::Bond>& bonds) const;
+
+  /// Topology-tagged runtime entry point: route to the explicit bond
+  /// list instead of re-perceiving it from the (possibly distorted)
+  /// geometry.
+  FragmentResult compute(std::size_t fragment_id,
+                         const chem::Molecule& fragment,
+                         const std::vector<chem::Bond>& bonds) const override {
+    (void)fragment_id;
+    return compute_with_topology(fragment, bonds);
+  }
 
   std::string name() const override { return "model"; }
 

@@ -26,6 +26,20 @@ std::string describe(const char* what, std::size_t fragment_id) {
 
 engine::FragmentResult FaultyEngine::compute(std::size_t fragment_id,
                                              const chem::Molecule& f) const {
+  return faulted(fragment_id,
+                 [&] { return inner_->compute(fragment_id, f); });
+}
+
+engine::FragmentResult FaultyEngine::compute(
+    std::size_t fragment_id, const chem::Molecule& f,
+    const std::vector<chem::Bond>& bonds) const {
+  return faulted(fragment_id,
+                 [&] { return inner_->compute(fragment_id, f, bonds); });
+}
+
+engine::FragmentResult FaultyEngine::faulted(
+    std::size_t fragment_id,
+    const std::function<engine::FragmentResult()>& inner) const {
   const Fault fault = injector_->draw(fragment_id, FaultSite::kEngine);
   switch (fault.kind) {
     case FaultKind::kThrow:
@@ -37,12 +51,12 @@ engine::FragmentResult FaultyEngine::compute(std::size_t fragment_id,
     case FaultKind::kDelay:
       std::this_thread::sleep_for(
           std::chrono::duration<double>(fault.delay_seconds));
-      return inner_->compute(fragment_id, f);
+      return inner();
     default:
       break;
   }
 
-  engine::FragmentResult r = inner_->compute(fragment_id, f);
+  engine::FragmentResult r = inner();
   switch (fault.kind) {
     case FaultKind::kNan:
       // Poison one Hessian entry; a validator must catch this before it

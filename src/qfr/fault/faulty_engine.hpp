@@ -1,5 +1,7 @@
 #pragma once
 
+#include <functional>
+
 #include "qfr/engine/fragment_engine.hpp"
 #include "qfr/fault/fault_injector.hpp"
 
@@ -26,11 +28,22 @@ class FaultyEngine final : public engine::FragmentEngine {
   engine::FragmentResult compute(std::size_t fragment_id,
                                  const chem::Molecule& f) const override;
 
+  engine::FragmentResult compute(
+      std::size_t fragment_id, const chem::Molecule& f,
+      const std::vector<chem::Bond>& bonds) const override;
+
   std::string name() const override { return inner_->name() + "+faults"; }
 
   const FaultInjector& injector() const { return *injector_; }
 
  private:
+  /// Shared fault wrapper: draws the fault for `fragment_id`, runs
+  /// `inner` (whichever compute overload is being decorated) and applies
+  /// the drawn corruption to its result.
+  engine::FragmentResult faulted(
+      std::size_t fragment_id,
+      const std::function<engine::FragmentResult()>& inner) const;
+
   const engine::FragmentEngine* inner_;
   FaultInjector* injector_;
 };

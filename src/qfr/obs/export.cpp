@@ -100,6 +100,8 @@ Json build_run_report(const Session& session,
     sched["n_failed"] = Json(sweep->n_failed());
     sched["n_degraded"] = Json(sweep->n_degraded());
     sched["n_cache_hits"] = Json(sweep->n_cache_hits());
+    sched["n_reuse_exact"] = Json(sweep->n_reuse_exact());
+    sched["n_reuse_refresh"] = Json(sweep->n_reuse_refresh());
     sched["n_leader_crashes"] = Json(sweep->n_leader_crashes);
     sched["n_leader_hangs"] = Json(sweep->n_leader_hangs);
     sched["n_leases_revoked"] = Json(sweep->n_leases_revoked);
@@ -180,7 +182,7 @@ void write_outcomes_csv(std::ostream& os,
                         const std::vector<runtime::FragmentOutcome>& outcomes,
                         const std::vector<double>* fragment_seconds) {
   os << "fragment_id,completed,engine,engine_level,reason,attempts,"
-        "rejections,fault_retries,from_checkpoint,cache_hit,"
+        "rejections,fault_retries,from_checkpoint,cache_hit,reuse_tier,"
         "wall_seconds,error\n";
   for (const runtime::FragmentOutcome& o : outcomes) {
     os << o.fragment_id << ',' << (o.completed ? 1 : 0) << ',';
@@ -188,7 +190,8 @@ void write_outcomes_csv(std::ostream& os,
     os << ',' << o.engine_level << ',' << runtime::to_string(o.reason) << ','
        << o.attempts << ',' << o.rejections << ',' << o.fault_failures << ','
        << (o.from_checkpoint ? 1 : 0) << ','
-       << (o.cache_hit ? 1 : 0) << ',';
+       << (o.cache_hit ? 1 : 0) << ','
+       << engine::to_string(o.reuse_tier) << ',';
     if (fragment_seconds != nullptr &&
         o.fragment_id < fragment_seconds->size()) {
       char buf[32];

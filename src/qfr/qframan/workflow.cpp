@@ -57,6 +57,17 @@ engine::EngineFallbackChain make_fallback_chain(EngineKind kind,
   return chain;
 }
 
+std::string decorate_artifact_path(const std::string& path,
+                                   const std::string& suffix) {
+  if (path.empty() || suffix.empty()) return path;
+  const std::size_t slash = path.find_last_of('/');
+  const std::size_t dot = path.find_last_of('.');
+  if (dot == std::string::npos ||
+      (slash != std::string::npos && dot < slash))
+    return path + suffix;
+  return path.substr(0, dot) + suffix + path.substr(dot);
+}
+
 RamanWorkflow::RamanWorkflow(WorkflowOptions options)
     : options_(std::move(options)) {
   QFR_REQUIRE(options_.omega_points >= 2 &&
@@ -75,6 +86,16 @@ WorkflowResult RamanWorkflow::run(const frag::BioSystem& system,
                                   const engine::FragmentEngine& eng) const {
   QFR_REQUIRE(system.n_atoms() > 0, "empty biosystem");
   WorkflowResult out;
+
+  // Per-run artifact paths: the suffix hook keeps one options object
+  // reusable across trajectory frames without overwriting its artifacts.
+  const std::string checkpoint_path =
+      decorate_artifact_path(options_.checkpoint_path,
+                             options_.artifact_suffix);
+  const std::string trace_path =
+      decorate_artifact_path(options_.trace_path, options_.artifact_suffix);
+  const std::string report_path =
+      decorate_artifact_path(options_.report_path, options_.artifact_suffix);
 
   // Observability: use the caller's session, or spin up a private one
   // when an export path asks for artifacts without a session to fill.
@@ -104,8 +125,8 @@ WorkflowResult RamanWorkflow::run(const frag::BioSystem& system,
   std::vector<engine::FragmentResult> restored(n_fragments);
   std::vector<std::size_t> completed_ids;
   std::size_t n_corrupt_records = 0;
-  if (options_.resume && !options_.checkpoint_path.empty()) {
-    std::ifstream probe(options_.checkpoint_path, std::ios::binary);
+  if (options_.resume && !checkpoint_path.empty()) {
+    std::ifstream probe(checkpoint_path, std::ios::binary);
     if (probe.good()) {
       frag::CheckpointReport scan = frag::scan_checkpoint(probe);
       n_corrupt_records = scan.n_corrupt;
@@ -118,7 +139,7 @@ WorkflowResult RamanWorkflow::run(const frag::BioSystem& system,
         restored[id] = std::move(scan.results[k]);
       }
       QFR_LOG_INFO("resume: ", completed_ids.size(), " of ", n_fragments,
-                   " fragments restored from '", options_.checkpoint_path,
+                   " fragments restored from '", checkpoint_path,
                    "'");
       if (scan.n_corrupt > 0)
         QFR_LOG_WARN("resume: skipped ", scan.n_corrupt,
@@ -131,8 +152,8 @@ WorkflowResult RamanWorkflow::run(const frag::BioSystem& system,
   // sink rewrites the restored records first (the writer truncates), so
   // the file always holds every completed fragment.
   std::unique_ptr<frag::CheckpointSink> sink;
-  if (!options_.checkpoint_path.empty()) {
-    sink = std::make_unique<frag::CheckpointSink>(options_.checkpoint_path);
+  if (!checkpoint_path.empty()) {
+    sink = std::make_unique<frag::CheckpointSink>(checkpoint_path);
     for (const std::size_t id : completed_ids)
       sink->writer().append(id, restored[id]);
   }
@@ -143,9 +164,11 @@ WorkflowResult RamanWorkflow::run(const frag::BioSystem& system,
 
   // Content-addressed result cache: one instance for the whole sweep,
   // gated by the same validator that fences the scheduler, so a result
-  // the sweep would reject is never remembered either.
+  // the sweep would reject is never remembered either. A caller-owned
+  // shared_cache (one cache across trajectory frames or server requests)
+  // takes precedence; its owner configures filters and persistence.
   std::unique_ptr<cache::ResultCache> result_cache;
-  if (options_.cache.enabled) {
+  if (options_.shared_cache == nullptr && options_.cache.enabled) {
     result_cache = std::make_unique<cache::ResultCache>(options_.cache);
     if (options_.validate_results)
       result_cache->set_insert_filter(
@@ -164,7 +187,8 @@ WorkflowResult RamanWorkflow::run(const frag::BioSystem& system,
   ropts.completed_ids = completed_ids;
   if (options_.validate_results) ropts.validator = &validator;
   if (!chain.empty()) ropts.fallback_chain = &chain;
-  ropts.cache = result_cache.get();
+  ropts.cache = options_.shared_cache != nullptr ? options_.shared_cache
+                                                 : result_cache.get();
   ropts.transport = options_.transport;
   ropts.supervision.enabled = options_.supervise;
   ropts.supervision.heartbeat_timeout = options_.heartbeat_timeout;
@@ -191,6 +215,8 @@ WorkflowResult RamanWorkflow::run(const frag::BioSystem& system,
   out.sweep.n_resumed = report.n_resumed;
   out.sweep.n_degraded = report.n_degraded();
   out.sweep.n_cache_hits = report.n_cache_hits();
+  out.sweep.n_reuse_exact = report.n_reuse_exact();
+  out.sweep.n_reuse_refresh = report.n_reuse_refresh();
   out.sweep.n_corrupt_records = n_corrupt_records;
   if (result_cache != nullptr) {
     const cache::CacheStats cs = result_cache->stats();
@@ -283,30 +309,28 @@ WorkflowResult RamanWorkflow::run(const frag::BioSystem& system,
   // workflow phase; the outcome CSV rides next to the checkpoint (the
   // chaos-triage pairing: which fragment, which engine, how long).
   if (session != nullptr) {
-    if (!options_.trace_path.empty()) {
-      std::ofstream os(options_.trace_path);
+    if (!trace_path.empty()) {
+      std::ofstream os(trace_path);
       if (os.good()) {
         session->tracer().write_chrome_trace(os);
       } else {
-        QFR_LOG_WARN("cannot write trace to '", options_.trace_path, "'");
+        QFR_LOG_WARN("cannot write trace to '", trace_path, "'");
       }
     }
-    if (!options_.report_path.empty()) {
+    if (!report_path.empty()) {
       obs::RunContext ctx;
       ctx.engine = eng.name();
       ctx.n_fragments = n_fragments;
       ctx.engine_seconds = out.engine_seconds;
       ctx.solver_seconds = out.solver_seconds;
-      std::ofstream os(options_.report_path);
+      std::ofstream os(report_path);
       if (os.good()) {
         obs::write_run_report_json(os, *session, &report, ctx);
       } else {
-        QFR_LOG_WARN("cannot write run report to '", options_.report_path,
-                     "'");
+        QFR_LOG_WARN("cannot write run report to '", report_path, "'");
       }
       const std::string csv_path =
-          (!options_.checkpoint_path.empty() ? options_.checkpoint_path
-                                             : options_.report_path) +
+          (!checkpoint_path.empty() ? checkpoint_path : report_path) +
           ".outcomes.csv";
       std::ofstream csv(csv_path);
       if (csv.good()) {

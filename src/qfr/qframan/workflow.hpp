@@ -86,6 +86,11 @@ struct WorkflowOptions {
   /// so an invalid result is never remembered. cache.store_path persists
   /// entries across runs.
   cache::CacheOptions cache;
+  /// Externally owned result cache shared across runs (e.g. one cache for
+  /// every frame of a trajectory). Takes precedence over `cache.enabled`
+  /// (no private cache is created); the owner configures insert filters
+  /// and persistence. Not owned; may be null.
+  cache::ResultCache* shared_cache = nullptr;
   /// How the leader slots are realized: kThread runs them as threads in
   /// this process, kProcess forks one OS process per slot and drives it
   /// over the CRC-framed wire protocol, so a leader crash (even SIGKILL)
@@ -109,7 +114,19 @@ struct WorkflowOptions {
   /// per-fragment outcome CSV next to the checkpoint (or next to the
   /// report when no checkpoint is configured).
   std::string report_path;
+  /// Inserted into trace_path/report_path/checkpoint_path right before
+  /// the extension (e.g. ".frame3" turns "run.json" into
+  /// "run.frame3.json"). One options object reused across trajectory
+  /// frames would otherwise silently overwrite its artifacts each frame;
+  /// TrajectoryRunner sets this per frame. Empty leaves paths untouched.
+  std::string artifact_suffix;
 };
+
+/// Insert `suffix` into `path` immediately before its extension (after
+/// the last '.' past the last path separator); appended when the basename
+/// has no extension. Empty suffix or path returns `path` unchanged.
+std::string decorate_artifact_path(const std::string& path,
+                                   const std::string& suffix);
 
 /// Sweep-level scheduling/fault-tolerance diagnostics surfaced to the
 /// caller (a condensed runtime::RunReport).
@@ -136,6 +153,11 @@ struct SweepSummary {
   /// Fragments whose accepted result came from the result cache (zero
   /// unless WorkflowOptions::cache.enabled).
   std::size_t n_cache_hits = 0;
+  /// Completed fragments by reuse tier (trajectory streaming): exact
+  /// cache transports and perturbative refreshes. n_reuse_exact mirrors
+  /// n_cache_hits; kComputed fragments are the remainder.
+  std::size_t n_reuse_exact = 0;
+  std::size_t n_reuse_refresh = 0;
   // Supervision counters (zero unless supervise was set).
   std::size_t n_leader_crashes = 0;  ///< leader deaths detected + respawned
   std::size_t n_leader_hangs = 0;    ///< heartbeat-timeout episodes

@@ -13,7 +13,6 @@
 #include "qfr/common/log.hpp"
 #include "qfr/common/thread_pool.hpp"
 #include "qfr/common/timer.hpp"
-#include "qfr/engine/model_engine.hpp"
 #include "qfr/fault/fault_injector.hpp"
 #include "qfr/obs/session.hpp"
 #include "qfr/runtime/supervisor.hpp"
@@ -41,6 +40,20 @@ std::size_t RunReport::n_cache_hits() const {
   return n;
 }
 
+std::size_t RunReport::n_reuse_exact() const {
+  std::size_t n = 0;
+  for (const auto& o : outcomes)
+    if (o.completed && o.reuse_tier == engine::ReuseTier::kExact) ++n;
+  return n;
+}
+
+std::size_t RunReport::n_reuse_refresh() const {
+  std::size_t n = 0;
+  for (const auto& o : outcomes)
+    if (o.completed && o.reuse_tier == engine::ReuseTier::kRefresh) ++n;
+  return n;
+}
+
 MasterRuntime::MasterRuntime(RuntimeOptions options)
     : options_(std::move(options)) {
   QFR_REQUIRE(options_.n_leaders >= 1, "need at least one leader");
@@ -50,9 +63,10 @@ MasterRuntime::MasterRuntime(RuntimeOptions options)
 
 engine::FragmentResult compute_with_engine(const engine::FragmentEngine& eng,
                                            const frag::Fragment& f) {
-  if (const auto* model = dynamic_cast<const engine::ModelEngine*>(&eng))
-    return model->compute_with_topology(f.mol, f.bonds);
-  return eng.compute(f.id, f.mol);
+  // Topology-tagged dispatch: engines that care (the model surrogate)
+  // use the fragmentation's explicit bond list; everything else falls
+  // back to the id-tagged compute through the default implementation.
+  return eng.compute(f.id, f.mol, f.bonds);
 }
 
 RunReport MasterRuntime::run(std::span<const frag::Fragment> fragments,
@@ -202,6 +216,8 @@ RunReport MasterRuntime::run_impl(std::span<const frag::Fragment> fragments,
     m.counter("sched.failed").add(report.n_failed());
     m.counter("sched.degraded").add(report.n_degraded());
     m.counter("sched.cache_hits").add(report.n_cache_hits());
+    m.counter("sched.reuse_exact").add(report.n_reuse_exact());
+    m.counter("sched.reuse_refresh").add(report.n_reuse_refresh());
     m.gauge("sched.makespan_seconds").set(report.makespan_seconds);
   }
 

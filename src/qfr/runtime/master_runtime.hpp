@@ -164,6 +164,10 @@ struct RunReport {
   std::size_t n_degraded() const;
   /// Fragments whose accepted result was served by the result cache.
   std::size_t n_cache_hits() const;
+  /// Completed fragments by reuse tier (trajectory streaming provenance):
+  /// exact cache transports and perturbative refreshes.
+  std::size_t n_reuse_exact() const;
+  std::size_t n_reuse_refresh() const;
 };
 
 /// One engine-dispatch convention shared by the primary and every

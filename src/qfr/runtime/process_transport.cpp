@@ -195,9 +195,10 @@ using FragKey = std::pair<std::uint64_t, std::uint64_t>;  // (fragment, epoch)
         rm.result = drive.compute_at(drive.fragments[fid],
                                      static_cast<std::size_t>(item.level));
         rm.seconds = attempt.seconds();
-        // cache_hit is deliberately not part of the serialized result
-        // record; carry it beside the record so the outcome row is right.
+        // cache_hit/reuse_tier are deliberately not part of the serialized
+        // result record; carry them beside it so the outcome row is right.
         rm.cache_hit = rm.result.cache_hit;
+        rm.reuse_tier = rm.result.reuse_tier;
         send(wire::MsgType::kResult, wire::encode_result(rm));
       } catch (const CancelledError&) {
         wire::CancelledMsg cm;
@@ -516,6 +517,7 @@ class ProcessTransport final : public LeaderTransport {
           auto it = outstanding.find({rm.fragment_id, rm.epoch});
           if (it == outstanding.end()) return true;  // already resolved
           rm.result.cache_hit = rm.cache_hit;
+          rm.result.reuse_tier = rm.reuse_tier;
           detail::deliver_result(drive, l, it->second.lease,
                                  static_cast<std::size_t>(rm.level),
                                  std::move(rm.result), rm.seconds);

@@ -210,6 +210,7 @@ Completion SweepScheduler::on_completion(const Lease& lease,
   }
   o.engine.assign(engine_name);
   o.cache_hit = result.cache_hit;
+  o.reuse_tier = result.reuse_tier;
   return Completion::kAccepted;
 }
 

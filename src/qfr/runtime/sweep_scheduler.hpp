@@ -83,6 +83,9 @@ struct FragmentOutcome {
   /// The accepted result was served by the qfr::cache result cache
   /// instead of being computed.
   bool cache_hit = false;
+  /// Which reuse tier produced the accepted result: computed, exact cache
+  /// transport, or perturbative refresh (trajectory streaming).
+  engine::ReuseTier reuse_tier = engine::ReuseTier::kComputed;
   /// Validator rejections this fragment suffered (bad physics).
   std::size_t rejections = 0;
   /// Fault/crash/timeout failures this fragment suffered (bad hardware).

@@ -27,7 +27,8 @@ namespace qfr::runtime::wire {
 /// raw IEEE-754 bytes, so results cross the wire bitwise exactly.
 
 inline constexpr std::uint32_t kMagic = 0x57524651u;  // "QFRW"
-inline constexpr std::uint32_t kVersion = 1;
+/// v2 added the reuse_tier provenance field to kResult.
+inline constexpr std::uint32_t kVersion = 2;
 /// A fragment result is a few dense matrices; beyond this the length
 /// field itself is corrupt.
 inline constexpr std::uint64_t kMaxPayloadBytes = 1ull << 32;
@@ -116,6 +117,7 @@ struct ResultMsg {
   std::uint64_t level = 0;
   double seconds = 0.0;
   bool cache_hit = false;
+  engine::ReuseTier reuse_tier = engine::ReuseTier::kComputed;
   engine::FragmentResult result;
 };
 

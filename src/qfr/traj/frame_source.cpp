@@ -1,0 +1,233 @@
+#include "qfr/traj/frame_source.hpp"
+
+#include <cctype>
+#include <cmath>
+#include <cstdlib>
+#include <sstream>
+
+#include "qfr/common/error.hpp"
+#include "qfr/common/rng.hpp"
+#include "qfr/common/units.hpp"
+
+namespace qfr::traj {
+
+namespace {
+
+/// Strip one trailing '\r' (CRLF input read in text mode on POSIX keeps
+/// it) and tell whether anything non-blank remains.
+void chomp(std::string* line) {
+  if (!line->empty() && line->back() == '\r') line->pop_back();
+}
+
+bool is_blank(const std::string& line) {
+  for (const char c : line)
+    if (!std::isspace(static_cast<unsigned char>(c))) return false;
+  return true;
+}
+
+}  // namespace
+
+XyzTrajectoryReader::XyzTrajectoryReader(const std::string& path)
+    : owned_(path) {
+  QFR_REQUIRE(owned_.good(),
+              "cannot open trajectory '" << path << "' for reading");
+  is_ = &owned_;
+}
+
+std::optional<Frame> XyzTrajectoryReader::next() {
+  std::istream& is = *is_;
+  // Locate the count line, tolerating blank lines between frames and at
+  // EOF. A clean end of stream here ends the trajectory.
+  std::string line;
+  for (;;) {
+    if (!std::getline(is, line)) return std::nullopt;
+    chomp(&line);
+    if (!is_blank(line)) break;
+  }
+  std::size_t n = 0;
+  {
+    std::istringstream ls(line);
+    long long count = -1;
+    const bool count_ok = static_cast<bool>(ls >> count);
+    std::string rest;
+    const bool trailing_garbage = static_cast<bool>(ls >> rest);
+    QFR_REQUIRE(count_ok && !trailing_garbage && count > 0,
+                "malformed XYZ trajectory: frame "
+                    << next_index_ << " has a bad atom count line '" << line
+                    << "'");
+    n = static_cast<std::size_t>(count);
+  }
+  QFR_REQUIRE(n_atoms_ == 0 || n == n_atoms_,
+              "malformed XYZ trajectory: frame "
+                  << next_index_ << " has " << n << " atoms but frame 0 had "
+                  << n_atoms_);
+  n_atoms_ = n;
+
+  Frame f;
+  f.index = next_index_;
+  // The comment line may legitimately be blank, but it must exist: a
+  // count with no line after it is a truncated frame, not a trajectory
+  // end.
+  QFR_REQUIRE(std::getline(is, f.comment),
+              "malformed XYZ trajectory: frame "
+                  << next_index_ << " truncated after the atom count");
+  chomp(&f.comment);
+
+  f.positions.reserve(n);
+  f.elements.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    QFR_REQUIRE(std::getline(is, line),
+                "malformed XYZ trajectory: frame "
+                    << next_index_ << " truncated at atom " << i << " of "
+                    << n);
+    chomp(&line);
+    std::istringstream ls(line);
+    std::string sym;
+    double x = 0, y = 0, z = 0;
+    ls >> sym >> x >> y >> z;
+    QFR_REQUIRE(!ls.fail(), "malformed XYZ trajectory: frame "
+                                << next_index_ << ", atom " << i
+                                << ": bad line '" << line << "'");
+    f.elements.push_back(chem::element_from_symbol(sym));
+    f.positions.push_back(geom::Vec3{x, y, z} * units::kAngstromToBohr);
+  }
+  ++next_index_;
+  return f;
+}
+
+// ---------------------------------------------------------------------------
+
+JitterTrajectory::JitterTrajectory(const frag::BioSystem& base,
+                                   JitterOptions opts)
+    : opts_(opts) {
+  QFR_REQUIRE(base.n_atoms() > 0, "cannot jitter an empty biosystem");
+  QFR_REQUIRE(opts_.rigid_sigma_bohr >= 0.0 &&
+                  opts_.rigid_rot_sigma_rad >= 0.0 &&
+                  opts_.internal_sigma_bohr >= 0.0 &&
+                  opts_.large_sigma_bohr >= 0.0,
+              "jitter amplitudes must be >= 0");
+  const chem::Molecule merged = base.merged();
+  base_pos_.reserve(merged.size());
+  for (const chem::Atom& a : merged.atoms()) base_pos_.push_back(a.position);
+  std::size_t at = 0;
+  for (const chem::Protein& p : base.chains) {
+    groups_.emplace_back(at, at + p.mol.size());
+    at += p.mol.size();
+  }
+  for (const chem::Molecule& w : base.waters) {
+    groups_.emplace_back(at, at + w.size());
+    at += w.size();
+  }
+}
+
+namespace {
+
+/// Rotate `v` by angle `theta` about unit axis `u` (Rodrigues).
+geom::Vec3 rotate_about(const geom::Vec3& v, const geom::Vec3& u,
+                        double theta) {
+  const double c = std::cos(theta), s = std::sin(theta);
+  return v * c + u.cross(v) * s + u * (u.dot(v) * (1.0 - c));
+}
+
+std::uint64_t mix_seed(std::uint64_t seed, std::uint64_t frame,
+                       std::uint64_t group) {
+  // splitmix-style avalanche over the three coordinates so per-molecule
+  // streams are independent of each other and of the frame ordering.
+  std::uint64_t z = seed + 0x9e3779b97f4a7c15ull * (frame + 1) +
+                    0xbf58476d1ce4e5b9ull * (group + 1);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+std::optional<Frame> JitterTrajectory::next() {
+  if (frame_ >= opts_.n_frames) return std::nullopt;
+  Frame f;
+  f.index = frame_;
+  {
+    std::ostringstream c;
+    c << "jitter seed=" << opts_.seed << " frame=" << frame_;
+    f.comment = c.str();
+  }
+  f.positions = base_pos_;
+  if (frame_ == 0) {  // frame 0 is the base geometry exactly
+    ++frame_;
+    return f;
+  }
+
+  for (std::size_t g = 0; g < groups_.size(); ++g) {
+    const auto [begin, end] = groups_[g];
+    Rng rng(mix_seed(opts_.seed, frame_, g));
+
+    // Tier draws come first, in fixed order, so amplitude changes never
+    // reshuffle which molecules distort.
+    const bool large = rng.uniform() < opts_.large_fraction &&
+                       opts_.large_sigma_bohr > 0.0;
+    const bool internal = rng.uniform() < opts_.distort_fraction &&
+                          opts_.internal_sigma_bohr > 0.0;
+
+    // Rigid motion of the whole molecule: rotation about its centroid
+    // plus a translation.
+    geom::Vec3 centroid{};
+    for (std::size_t i = begin; i < end; ++i) centroid += f.positions[i];
+    centroid = centroid / static_cast<double>(end - begin);
+    geom::Vec3 axis{rng.normal(), rng.normal(), rng.normal()};
+    if (axis.norm2() < 1e-24) axis = {0.0, 0.0, 1.0};
+    axis = axis.normalized();
+    const double angle = opts_.rigid_rot_sigma_rad * rng.normal();
+    const geom::Vec3 shift{opts_.rigid_sigma_bohr * rng.normal(),
+                           opts_.rigid_sigma_bohr * rng.normal(),
+                           opts_.rigid_sigma_bohr * rng.normal()};
+    for (std::size_t i = begin; i < end; ++i)
+      f.positions[i] =
+          centroid + rotate_about(f.positions[i] - centroid, axis, angle) +
+          shift;
+
+    const double sigma = large ? opts_.large_sigma_bohr
+                        : internal ? opts_.internal_sigma_bohr
+                                   : 0.0;
+    if (sigma > 0.0)
+      for (std::size_t i = begin; i < end; ++i)
+        f.positions[i] += geom::Vec3{sigma * rng.normal(),
+                                     sigma * rng.normal(),
+                                     sigma * rng.normal()};
+  }
+  ++frame_;
+  return f;
+}
+
+// ---------------------------------------------------------------------------
+
+frag::BioSystem apply_frame(const frag::BioSystem& base, const Frame& frame) {
+  const std::size_t n = base.n_atoms();
+  QFR_REQUIRE(frame.positions.size() == n,
+              "trajectory frame " << frame.index << " has "
+                                  << frame.positions.size()
+                                  << " atoms; the template system has " << n);
+  QFR_REQUIRE(frame.elements.empty() || frame.elements.size() == n,
+              "trajectory frame " << frame.index
+                                  << ": element list length does not match "
+                                     "its positions");
+  frag::BioSystem out = base;
+  std::size_t at = 0;
+  const auto place = [&](chem::Molecule& mol) {
+    for (std::size_t i = 0; i < mol.size(); ++i, ++at) {
+      if (!frame.elements.empty())
+        QFR_REQUIRE(frame.elements[at] == mol.atom(i).element,
+                    "trajectory frame "
+                        << frame.index << ": element mismatch at atom " << at
+                        << " (frame has "
+                        << chem::symbol(frame.elements[at])
+                        << ", template has "
+                        << chem::symbol(mol.atom(i).element) << ")");
+      mol.atom(i).position = frame.positions[at];
+    }
+  };
+  for (chem::Protein& p : out.chains) place(p.mol);
+  for (chem::Molecule& w : out.waters) place(w);
+  return out;
+}
+
+}  // namespace qfr::traj

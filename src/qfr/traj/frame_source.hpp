@@ -1,0 +1,108 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <fstream>
+#include <istream>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "qfr/chem/element.hpp"
+#include "qfr/frag/fragmentation.hpp"
+#include "qfr/geom/vec3.hpp"
+
+namespace qfr::traj {
+
+/// One trajectory frame: per-atom positions in the order of the template
+/// BioSystem's merged() molecule (chains first, then waters).
+struct Frame {
+  std::size_t index = 0;
+  std::string comment;
+  std::vector<geom::Vec3> positions;  ///< bohr
+  /// Element of each atom when the source carries one (XYZ files do;
+  /// synthetic generators may leave it empty = trust the template).
+  /// apply_frame cross-checks non-empty element lists atom by atom.
+  std::vector<chem::Element> elements;
+};
+
+/// Sequential source of trajectory frames (an MD trajectory file, a
+/// synthetic jitter generator, ...). next() returns frames in order and
+/// nullopt at the clean end of the stream; malformed input throws typed
+/// errors instead.
+class FrameSource {
+ public:
+  virtual ~FrameSource() = default;
+  virtual std::optional<Frame> next() = 0;
+};
+
+/// Multi-frame XYZ trajectory reader: frames are standard XYZ blocks
+/// (count line, comment line — which may be blank — then `symbol x y z`
+/// per atom, angstrom) concatenated back to back. Tolerant of CRLF line
+/// endings, extra columns after z, and trailing blank lines at EOF; a
+/// malformed count line, a truncated final frame, an unknown element
+/// symbol, or an atom count differing from the first frame's throws
+/// InvalidArgument (never UB, never a silently short frame).
+class XyzTrajectoryReader final : public FrameSource {
+ public:
+  /// Read from a caller-owned stream (kept alive by the caller).
+  explicit XyzTrajectoryReader(std::istream& is) : is_(&is) {}
+  /// Read from a file; throws InvalidArgument when it cannot be opened.
+  explicit XyzTrajectoryReader(const std::string& path);
+
+  std::optional<Frame> next() override;
+
+ private:
+  std::ifstream owned_;
+  std::istream* is_ = nullptr;
+  std::size_t next_index_ = 0;
+  std::size_t n_atoms_ = 0;  ///< frame 0's atom count (0 until read)
+};
+
+/// Configuration of the seeded synthetic thermal-jitter generator.
+struct JitterOptions {
+  std::uint64_t seed = 0;
+  /// Total frames including frame 0, which is the base geometry exactly.
+  std::size_t n_frames = 10;
+  /// Rigid-motion amplitude applied to every molecule: Gaussian
+  /// translation per component (bohr) and small rotation about a random
+  /// axis through the molecule centroid (radians, Gaussian angle).
+  double rigid_sigma_bohr = 0.1;
+  double rigid_rot_sigma_rad = 0.05;
+  /// Per-atom Gaussian internal distortion (bohr) applied to the fraction
+  /// of molecules drawn below distort_fraction — the perturbative-refresh
+  /// population. 0 disables.
+  double internal_sigma_bohr = 0.0;
+  double distort_fraction = 0.0;
+  /// Large per-atom distortion (bohr) for a further large_fraction of
+  /// molecules — the full-recompute population. 0 disables.
+  double large_sigma_bohr = 0.0;
+  double large_fraction = 0.0;
+};
+
+/// Deterministic thermal-jitter trajectory over a base BioSystem: each
+/// frame displaces every molecule (chain or water) independently relative
+/// to the BASE geometry — never cumulatively — with the per-molecule
+/// transform derived from (seed, frame, molecule index) alone, so frame k
+/// is reproducible in isolation and across resumes.
+class JitterTrajectory final : public FrameSource {
+ public:
+  JitterTrajectory(const frag::BioSystem& base, JitterOptions opts);
+
+  std::optional<Frame> next() override;
+
+ private:
+  std::vector<geom::Vec3> base_pos_;  ///< merged() order, bohr
+  /// [begin, end) atom range of each rigid group (chains, then waters).
+  std::vector<std::pair<std::size_t, std::size_t>> groups_;
+  JitterOptions opts_;
+  std::size_t frame_ = 0;
+};
+
+/// Copy `base` with every atom position replaced from `frame` (merged()
+/// order: chains first, then waters). Throws InvalidArgument on an atom
+/// count mismatch or, when the frame carries elements, an element
+/// mismatch — a trajectory of a different system must fail loudly.
+frag::BioSystem apply_frame(const frag::BioSystem& base, const Frame& frame);
+
+}  // namespace qfr::traj

@@ -1,0 +1,109 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+#include "qfr/cache/store.hpp"
+#include "qfr/engine/fragment_engine.hpp"
+#include "qfr/engine/model_engine.hpp"
+
+namespace qfr::fault {
+class FragmentResultValidator;
+}  // namespace qfr::fault
+
+namespace qfr::traj {
+
+/// Tuning of the tolerance-tiered reuse decision.
+struct ReuseOptions {
+  /// Largest per-atom displacement (bohr, in the canonical frame) a
+  /// perturbative refresh may absorb. Between the cache tolerance and
+  /// this radius a near-hit is refreshed; beyond it the fragment
+  /// recomputes fully. The refresh error is first order in this radius —
+  /// see DESIGN.md "Trajectory streaming" for the error-bound contract.
+  double refresh_radius_bohr = 0.05;
+  /// Gate every refreshed result through the integrity validator
+  /// (finiteness, Hessian symmetry, sum rules); a rejected refresh falls
+  /// through to a full recompute instead of entering the sweep. Not
+  /// owned; null skips the gate (finiteness is always enforced).
+  const fault::FragmentResultValidator* validator = nullptr;
+};
+
+/// Point-in-time tier counters of a TieredReuseEngine.
+struct TierCounts {
+  std::int64_t exact = 0;    ///< rigid motion within tol: transported
+  std::int64_t refresh = 0;  ///< near hit: perturbative refresh accepted
+  std::int64_t full = 0;     ///< full recompute (includes refresh rejects)
+  std::int64_t refresh_rejected = 0;  ///< refreshes that failed the gate
+
+  std::int64_t total() const { return exact + refresh + full; }
+  double reuse_ratio() const {
+    const std::int64_t n = total();
+    return n > 0 ? static_cast<double>(exact + refresh) /
+                       static_cast<double>(n)
+                 : 0.0;
+  }
+};
+
+/// FragmentEngine decorator implementing tolerance-tiered reuse against a
+/// shared ResultCache: per fragment, classify as
+///
+///   exact hit   — the canonical key is cached (the geometry moved
+///                 rigidly, within the cache tolerance): transport the
+///                 cached tensors into the lab frame, zero compute;
+///   refresh     — a cached entry sits within refresh_radius_bohr of the
+///                 query in the canonical frame: transport it as an
+///                 anchor and add a cheap-surrogate first-order delta,
+///                 Model(G_new) - Model(G_old), gated by the validator;
+///   full        — everything else: compute with the primary engine
+///                 through cache.get_or_compute (single-flight + insert),
+///                 renewing the anchor for future frames.
+///
+/// Refreshed results are never inserted back into the cache: every
+/// refresh is anchored to a fully computed entry, so the refresh error
+/// stays bounded by the current distortion instead of accumulating along
+/// the trajectory (once the distortion leaves the radius, a full
+/// recompute plants a new anchor).
+///
+/// name() forwards the primary's name so cache namespaces (and outcome
+/// provenance) match a non-tiered run of the same engine. Thread-safe:
+/// compute() may be called concurrently from worker threads.
+class TieredReuseEngine final : public engine::FragmentEngine {
+ public:
+  /// `primary` and `cache` are borrowed and must outlive the engine.
+  TieredReuseEngine(const engine::FragmentEngine& primary,
+                    cache::ResultCache& cache, ReuseOptions opts = {});
+
+  engine::FragmentResult compute(const chem::Molecule& mol) const override;
+  engine::FragmentResult compute(std::size_t fragment_id,
+                                 const chem::Molecule& mol) const override;
+  /// Topology-tagged path: the explicit bond list reaches both the
+  /// primary (full recomputes) and the refresh surrogate, so every tier
+  /// sees the same force-field topology the cold baseline does.
+  engine::FragmentResult compute(
+      std::size_t fragment_id, const chem::Molecule& mol,
+      const std::vector<chem::Bond>& bonds) const override;
+
+  std::string name() const override { return primary_.name(); }
+
+  TierCounts counts() const;
+  const ReuseOptions& options() const { return opts_; }
+
+ private:
+  using ComputeFn = cache::ResultCache::ComputeFn;
+  engine::FragmentResult compute_tiered(
+      const chem::Molecule& mol, const std::vector<chem::Bond>* bonds,
+      const ComputeFn& full) const;
+
+  const engine::FragmentEngine& primary_;
+  cache::ResultCache& cache_;
+  engine::ModelEngine surrogate_;
+  ReuseOptions opts_;
+
+  mutable std::atomic<std::int64_t> exact_{0};
+  mutable std::atomic<std::int64_t> refresh_{0};
+  mutable std::atomic<std::int64_t> full_{0};
+  mutable std::atomic<std::int64_t> refresh_rejected_{0};
+};
+
+}  // namespace qfr::traj

@@ -314,6 +314,48 @@ TEST(Store, SecondRequestIsServedFromCache) {
   EXPECT_DOUBLE_EQ(s.hit_rate(), 0.5);
 }
 
+TEST(Store, ProbeIsReadOnlyAndNeverCountsTowardStats) {
+  ResultCache cache(mem_opts());
+  const Molecule w = chem::make_water({0, 0, 0});
+  const Canonicalization c =
+      canonicalize(w, cache.options().tolerance, "model");
+  EXPECT_FALSE(cache.probe(c).has_value());
+  const engine::ModelEngine eng;
+  cache.get_or_compute("model", w, [&] { return eng.compute(w); });
+  const CacheStats before = cache.stats();
+  ASSERT_TRUE(cache.probe(c).has_value());
+  // The tiered-reuse engine probes on every fragment; hit/miss stats must
+  // keep describing real get_or_compute traffic only.
+  EXPECT_EQ(cache.stats().hits, before.hits);
+  EXPECT_EQ(cache.stats().misses, before.misses);
+}
+
+TEST(Store, FindNearMatchesWithinTheRadiusOnly) {
+  ResultCache cache(mem_opts());
+  const Molecule w = chem::make_water({0, 0, 0});
+  const engine::ModelEngine eng;
+  cache.get_or_compute("model", w, [&] { return eng.compute(w); });
+
+  Molecule bent = w;
+  bent.atom(1).position += Vec3{0.01, 0.0, 0.0};
+  const Canonicalization c =
+      canonicalize(bent, cache.options().tolerance, "model");
+  EXPECT_FALSE(cache.probe(c).has_value());  // distorted: not an exact hit
+
+  const std::optional<NearHit> hit = cache.find_near(c, 0.05);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_GT(hit->max_displacement, 0.0);
+  EXPECT_LE(hit->max_displacement, 0.05);
+  EXPECT_EQ(hit->old_canonical_pos.size(), w.size());
+
+  // A radius below the actual distortion finds nothing, and neither does
+  // the same geometry keyed under a different engine namespace.
+  EXPECT_FALSE(cache.find_near(c, 1e-4).has_value());
+  const Canonicalization other =
+      canonicalize(bent, cache.options().tolerance, "scf");
+  EXPECT_FALSE(cache.find_near(other, 0.05).has_value());
+}
+
 TEST(Store, LruEvictionRespectsByteBudget) {
   // One shard, a budget of roughly two water entries: inserting many
   // distinct geometries must evict the least recently used.

@@ -93,6 +93,7 @@ TEST(Wire, ResultRoundTripIsBitwiseExact) {
   in.level = 1;
   in.seconds = 0.037251234;
   in.cache_hit = true;
+  in.reuse_tier = engine::ReuseTier::kRefresh;
   in.result = sample_result(3);
   const Frame f =
       decode_one(encode_frame(MsgType::kResult, encode_result(in)));
@@ -104,6 +105,7 @@ TEST(Wire, ResultRoundTripIsBitwiseExact) {
   EXPECT_EQ(out.level, in.level);
   EXPECT_EQ(out.seconds, in.seconds);  // bitwise: == on doubles on purpose
   EXPECT_EQ(out.cache_hit, in.cache_hit);
+  EXPECT_EQ(out.reuse_tier, in.reuse_tier);
   EXPECT_EQ(out.result.energy, in.result.energy);
   ASSERT_EQ(out.result.hessian.rows(), in.result.hessian.rows());
   ASSERT_EQ(out.result.hessian.cols(), in.result.hessian.cols());
@@ -331,6 +333,19 @@ TEST(Wire, HostileCountFieldsFailCleanly) {
   std::memcpy(&sp[24], &huge, sizeof(huge));
   StatsMsg sout;
   EXPECT_FALSE(decode_stats(sp, &sout));
+}
+
+TEST(Wire, OutOfRangeReuseTierIsRejected) {
+  ResultMsg r;
+  r.fragment_id = 1;
+  r.reuse_tier = engine::ReuseTier::kExact;
+  r.result = sample_result(2);
+  std::string payload = encode_result(r);
+  // The tier u64 sits after fragment_id/epoch/level/seconds/cache_hit.
+  const std::uint64_t bogus = 3;  // one past kRefresh
+  std::memcpy(&payload[40], &bogus, sizeof(bogus));
+  ResultMsg out;
+  EXPECT_FALSE(decode_result(payload, &out));
 }
 
 TEST(Wire, TruncatedPayloadsFailEveryDecoder) {

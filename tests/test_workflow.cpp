@@ -423,7 +423,7 @@ TEST(Workflow, ObservabilityArtifactsFromScfHfRun) {
   EXPECT_EQ(line,
             "fragment_id,completed,engine,engine_level,reason,attempts,"
             "rejections,fault_retries,from_checkpoint,cache_hit,"
-            "wall_seconds,error");
+            "reuse_tier,wall_seconds,error");
   std::size_t rows = 0;
   while (std::getline(csv, line)) {
     if (line.empty()) continue;
