@@ -36,6 +36,12 @@
 #   frames >= 2 mean wall <= 0.5x frame 1, reuse ratio >= 50%, every
 #   reuse tier accounted for, and model-engine spectrum parity against
 #   cold per-frame recomputes within the documented refresh bound.
+# Stage 4d (frag smoke): the fragmentation ablation's partition-
+#   comparison lane (MFCC vs graph min-cut) must emit BENCH_frag.json
+#   showing balanced parts (no multiply-cut atom, balance factor in
+#   tolerance), both policies reproducing the unfragmented spectrum, and
+#   the SiO2 cap case: MFCC rejects a 30-atom fragment cap with a typed
+#   error while the graph policy satisfies it with spectrum parity.
 # Stage 5 (cache smoke): the solvated-protein example with the result
 #   cache enabled must report a nonzero cache_hit_rate — the end-to-end
 #   proof that canonicalization recognizes the box's rigid water copies.
@@ -141,6 +147,38 @@ print(f"BENCH_traj.json ok (collapse "
       f"{s['stream.collapse_ratio']:.4f}x, reuse "
       f"{100 * s['stream.reuse_ratio']:.0f}%, parity "
       f"{s['parity.max_rel_l2']:.2e})")
+EOF
+
+echo "== frag smoke: graph partition must balance and match the spectrum =="
+build/bench/ablation_fragmentation --json build/BENCH_frag.json >/dev/null
+python3 - <<'EOF' || { echo "BENCH_frag.json check failed"; exit 1; }
+import json
+d = json.load(open('build/BENCH_frag.json'))
+s = {x['label']: x['value'] for x in d['samples']}
+# Both policies must reproduce the unfragmented bonded reference (the
+# model engine's dalpha carries ~1e-8 FD noise; 1e-6 catches a broken
+# cut correction without flaking).
+assert s['mfcc.spectrum_err'] < 1e-6, f"mfcc err {s['mfcc.spectrum_err']:.2e}"
+assert s['graph.spectrum_err'] < 1e-6, (
+    f"graph err {s['graph.spectrum_err']:.2e}")
+# Balanced parts: no atom severed twice (the exactness condition) and the
+# balance factor inside tolerance (+ slack for indivisible glued groups).
+assert s['graph.multicut_atoms'] == 0, 'multiply-cut atoms survived'
+assert s['graph.balance_factor'] <= 1.6, (
+    f"balance {s['graph.balance_factor']:.2f}")
+# The constraint MFCC cannot satisfy: a fragment cap below the silica
+# cluster's size must be a typed MFCC error, yet hold under graph cuts.
+assert s['silica.mfcc_rejected'] == 1, 'MFCC accepted an unsatisfiable cap'
+assert s['silica.graph.atoms_max'] <= s['silica.cap'], (
+    f"graph fragment {s['silica.graph.atoms_max']:.0f} atoms over the "
+    f"{s['silica.cap']:.0f} cap")
+assert s['silica.graph.spectrum_err'] < 1e-6, (
+    f"silica err {s['silica.graph.spectrum_err']:.2e}")
+print(f"BENCH_frag.json ok (graph balance "
+      f"{s['graph.balance_factor']:.2f}, cuts "
+      f"{int(s['graph.cut_bonds'])}, parity "
+      f"{s['graph.spectrum_err']:.1e} / "
+      f"{s['silica.graph.spectrum_err']:.1e} silica)")
 EOF
 
 echo "== cache smoke: solvated example must report a nonzero hit rate =="

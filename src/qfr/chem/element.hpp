@@ -4,12 +4,26 @@
 
 namespace qfr::chem {
 
-/// Chemical elements occurring in proteins and water.
+/// Chemical elements the library parameterizes.
 ///
-/// The scope is deliberately the biological set the paper simulates
-/// (H, C, N, O, S); extending the tables below is all that is needed for
-/// more elements.
-enum class Element : int { H = 1, C = 6, N = 7, O = 8, S = 16 };
+/// The original scope was the biological set the paper simulates
+/// (H, C, N, O, S); the graph-partition fragmentation opened general
+/// molecules, so the tables now also cover the halogens plus Si and P
+/// (drug-like ligands, nucleic acids, silica clusters). Extending the
+/// tables below is all that is needed for more elements.
+enum class Element : int {
+  H = 1,
+  C = 6,
+  N = 7,
+  O = 8,
+  F = 9,
+  Si = 14,
+  P = 15,
+  S = 16,
+  Cl = 17,
+  Br = 35,
+  I = 53,
+};
 
 /// Atomic number.
 constexpr int atomic_number(Element e) { return static_cast<int>(e); }
@@ -21,7 +35,13 @@ constexpr double atomic_mass(Element e) {
     case Element::C: return 12.0;
     case Element::N: return 14.0030740;
     case Element::O: return 15.9949146;
+    case Element::F: return 18.9984032;
+    case Element::Si: return 27.9769265;
+    case Element::P: return 30.9737615;
     case Element::S: return 31.9720707;
+    case Element::Cl: return 34.9688527;
+    case Element::Br: return 78.9183376;
+    case Element::I: return 126.9044730;
   }
   return 0.0;
 }
@@ -34,9 +54,23 @@ constexpr double covalent_radius_angstrom(Element e) {
     case Element::C: return 0.75;
     case Element::N: return 0.71;
     case Element::O: return 0.63;
+    case Element::F: return 0.64;
+    case Element::Si: return 1.16;
+    case Element::P: return 1.11;
     case Element::S: return 1.03;
+    case Element::Cl: return 0.99;
+    case Element::Br: return 1.14;
+    case Element::I: return 1.33;
   }
   return 0.0;
+}
+
+/// Largest covalent radius in the table above (angstrom). Bond perception
+/// sizes its neighbor search from this; hard-coding one element there
+/// silently drops bonds between larger atoms (an I-I bond is longer than
+/// twice the sulfur radius).
+constexpr double max_covalent_radius_angstrom() {
+  return covalent_radius_angstrom(Element::I);
 }
 
 /// Element symbol.
@@ -46,7 +80,13 @@ constexpr std::string_view symbol(Element e) {
     case Element::C: return "C";
     case Element::N: return "N";
     case Element::O: return "O";
+    case Element::F: return "F";
+    case Element::Si: return "Si";
+    case Element::P: return "P";
     case Element::S: return "S";
+    case Element::Cl: return "Cl";
+    case Element::Br: return "Br";
+    case Element::I: return "I";
   }
   return "?";
 }
@@ -54,14 +94,21 @@ constexpr std::string_view symbol(Element e) {
 /// Parse a symbol; throws qfr::InvalidArgument on unknown symbols.
 Element element_from_symbol(std::string_view s);
 
-/// Number of valence electrons (for sanity checks on closed-shell systems).
+/// Number of valence electrons (for sanity checks on closed-shell systems
+/// and the electron-balanced partition objective).
 constexpr int valence_electrons(Element e) {
   switch (e) {
     case Element::H: return 1;
     case Element::C: return 4;
     case Element::N: return 5;
     case Element::O: return 6;
+    case Element::F: return 7;
+    case Element::Si: return 4;
+    case Element::P: return 5;
     case Element::S: return 6;
+    case Element::Cl: return 7;
+    case Element::Br: return 7;
+    case Element::I: return 7;
   }
   return 0;
 }

@@ -13,7 +13,13 @@ Element element_from_symbol(std::string_view s) {
   if (s == "C") return Element::C;
   if (s == "N") return Element::N;
   if (s == "O") return Element::O;
+  if (s == "F") return Element::F;
+  if (s == "Si") return Element::Si;
+  if (s == "P") return Element::P;
   if (s == "S") return Element::S;
+  if (s == "Cl") return Element::Cl;
+  if (s == "Br") return Element::Br;
+  if (s == "I") return Element::I;
   QFR_REQUIRE(false, "unknown element symbol '" << s << "'");
   return Element::H;  // unreachable
 }

@@ -1,0 +1,253 @@
+#include "qfr/chem/scenarios.hpp"
+
+#include <cmath>
+
+#include "qfr/common/error.hpp"
+#include "qfr/common/rng.hpp"
+#include "qfr/common/units.hpp"
+
+namespace qfr::chem {
+
+namespace {
+
+constexpr double kA = units::kAngstromToBohr;
+
+geom::Vec3 unit3(double x, double y, double z) {
+  const double n = std::sqrt(x * x + y * y + z * z);
+  return {x / n, y / n, z / n};
+}
+
+/// Rotate the in-plane (xy) unit vector at `deg` degrees.
+geom::Vec3 planar(double deg) {
+  const double t = deg * M_PI / 180.0;
+  return {std::cos(t), std::sin(t), 0.0};
+}
+
+}  // namespace
+
+BondedUnit build_drug_ligand() {
+  BondedUnit u;
+  u.label = "drug_ligand";
+  auto add = [&](Element e, const geom::Vec3& pos_ang) {
+    u.mol.add(e, pos_ang * kA);
+    return u.mol.size() - 1;
+  };
+  auto bond = [&](std::size_t a, std::size_t b) { u.bonds.push_back({a, b}); };
+
+  // Benzene ring, C0..C5 at 1.39 A radius in the xy plane.
+  const double r_ring = 1.39;
+  for (int i = 0; i < 6; ++i)
+    add(Element::C, planar(60.0 * i) * r_ring);
+  for (int i = 0; i < 6; ++i) bond(i, (i + 1) % 6);
+
+  // Substituents sit radially: F para to the amide, Cl ortho to F.
+  const std::size_t f = add(Element::F, planar(0) * (r_ring + 1.33));
+  bond(0, f);
+  const std::size_t cl = add(Element::Cl, planar(120) * (r_ring + 1.76));
+  bond(2, cl);
+  for (const int i : {1, 4, 5}) {
+    const std::size_t h = add(Element::H, planar(60.0 * i) * (r_ring + 1.08));
+    bond(static_cast<std::size_t>(i), h);
+  }
+
+  // Amide arm on C3: ring-C(=O)-N(H)-CH3.
+  const geom::Vec3 uu = planar(180);  // radial direction at C3
+  const geom::Vec3 c3 = planar(180) * r_ring;
+  const geom::Vec3 c6p = c3 + uu * 1.50;
+  const std::size_t c6 = add(Element::C, c6p);
+  bond(3, c6);
+  // O and N at ~120 deg from the ring-C bond, pointing away from the ring.
+  auto rot = [](const geom::Vec3& v, double deg) {
+    const double t = deg * M_PI / 180.0;
+    return geom::Vec3{v.x * std::cos(t) - v.y * std::sin(t),
+                      v.x * std::sin(t) + v.y * std::cos(t), 0.0};
+  };
+  const std::size_t o = add(Element::O, c6p + rot(uu, 60) * 1.23);
+  bond(c6, o);
+  const geom::Vec3 np = c6p + rot(uu, -60) * 1.35;
+  const std::size_t n = add(Element::N, np);
+  bond(c6, n);
+  const geom::Vec3 d1 = rot(uu, -60) * -1.0;  // N -> C6 direction
+  const std::size_t hn = add(Element::H, np + rot(d1, 120) * 1.01);
+  bond(n, hn);
+  const geom::Vec3 c7p = np + rot(d1, -120) * 1.45;
+  const std::size_t c7 = add(Element::C, c7p);
+  bond(n, c7);
+  const geom::Vec3 away = rot(d1, -120);  // N -> C7 direction
+  for (const auto& d : {unit3(away.x, away.y, 2.2), unit3(away.x, away.y, -2.2),
+                        unit3(2.2 * away.x, 2.2 * away.y, 0.0)}) {
+    // Methyl hydrogens opened around the N-C axis.
+    const geom::Vec3 dir =
+        unit3(away.x * 0.45 + d.x * 0.55, away.y * 0.45 + d.y * 0.55,
+              d.z * 0.9);
+    const std::size_t h = add(Element::H, c7p + dir * 1.09);
+    bond(c7, h);
+  }
+  return u;
+}
+
+BondedUnit build_nucleic_strand(std::size_t n_units, std::uint64_t seed) {
+  QFR_REQUIRE(n_units >= 1, "nucleic strand needs at least 1 unit");
+  BondedUnit u;
+  u.label = "nucleic_strand";
+  Rng rng(seed);
+  auto add = [&](Element e, const geom::Vec3& pos_ang) {
+    u.mol.add(e, pos_ang * kA);
+    return u.mol.size() - 1;
+  };
+  auto bond = [&](std::size_t a, std::size_t b) { u.bonds.push_back({a, b}); };
+
+  // Backbone repeats along +x with small y zig-zag:
+  //   [HO-]P(=O)(OH)-O-CH2-CH(base)-O-[P of the next unit]
+  const geom::Vec3 fwd = unit3(0.94, -0.34, 0.0);
+  const geom::Vec3 bwd = unit3(0.94, 0.34, 0.0);
+  geom::Vec3 p = {0.0, 0.0, 0.0};
+  std::ptrdiff_t prev_olink = -1;
+  for (std::size_t i = 0; i < n_units; ++i) {
+    const std::size_t pi = add(Element::P, p);
+    if (prev_olink >= 0) {
+      bond(static_cast<std::size_t>(prev_olink), pi);
+    } else {
+      // 5' terminus: a protonated phosphate oxygen in place of the chain.
+      const geom::Vec3 o0p = p + unit3(-0.94, -0.34, 0.0) * 1.57;
+      const std::size_t o0 = add(Element::O, o0p);
+      bond(pi, o0);
+      const std::size_t h0 = add(Element::H, o0p + unit3(-0.5, 0.6, 0.62) * 0.96);
+      bond(o0, h0);
+    }
+    const std::size_t o1 = add(Element::O, p + unit3(0.0, 0.53, 0.85) * 1.48);
+    bond(pi, o1);  // phosphoryl P=O
+    const geom::Vec3 o2p = p + unit3(0.0, 0.53, -0.85) * 1.57;
+    const std::size_t o2 = add(Element::O, o2p);
+    bond(pi, o2);
+    const std::size_t h2 = add(Element::H, o2p + geom::Vec3{0.0, 0.96, 0.0});
+    bond(o2, h2);
+
+    const geom::Vec3 o5p = p + fwd * 1.60;
+    const std::size_t o5 = add(Element::O, o5p);
+    bond(pi, o5);
+    const geom::Vec3 c1p = o5p + bwd * 1.43;
+    const std::size_t c1 = add(Element::C, c1p);
+    bond(o5, c1);
+    for (const double dz : {1.0, -1.0}) {
+      const std::size_t h = add(Element::H, c1p + unit3(0.0, -0.5, dz * 0.87) * 1.09);
+      bond(c1, h);
+    }
+    const geom::Vec3 c2p = c1p + fwd * 1.53;
+    const std::size_t c2 = add(Element::C, c2p);
+    bond(c1, c2);
+    const std::size_t hc2 = add(Element::H, c2p + unit3(0.0, -0.5, -0.87) * 1.09);
+    bond(c2, hc2);
+
+    // Imidazole-like base ring hanging off C2, orientation jittered about
+    // its attachment axis so units are not translationally identical.
+    const geom::Vec3 d = unit3(0.0, 0.34, 0.94);
+    const double phi = (rng.uniform() - 0.5) * 0.6;
+    const geom::Vec3 e0 = unit3(0.0, 0.94, -0.34);
+    const geom::Vec3 dxe{d.y * e0.z - d.z * e0.y, d.z * e0.x - d.x * e0.z,
+                         d.x * e0.y - d.y * e0.x};
+    const geom::Vec3 e = {e0.x * std::cos(phi) + dxe.x * std::sin(phi),
+                          e0.y * std::cos(phi) + dxe.y * std::sin(phi),
+                          e0.z * std::cos(phi) + dxe.z * std::sin(phi)};
+    const double r5 = 1.17;  // circumradius of a 5-ring with ~1.37 A bonds
+    const geom::Vec3 n1p = c2p + d * 1.47;
+    const geom::Vec3 center = n1p + d * r5;
+    const Element ring_e[5] = {Element::N, Element::C, Element::C, Element::N,
+                               Element::C};
+    std::size_t ring_idx[5];
+    for (int k = 0; k < 5; ++k) {
+      const double t = 2.0 * M_PI * k / 5.0;
+      const geom::Vec3 pos = center + (d * -std::cos(t) + e * std::sin(t)) * r5;
+      ring_idx[k] = add(ring_e[k], pos);
+    }
+    bond(c2, ring_idx[0]);
+    for (int k = 0; k < 5; ++k) bond(ring_idx[k], ring_idx[(k + 1) % 5]);
+    for (const int k : {1, 2, 4}) {
+      const geom::Vec3 pos = u.mol.atom(ring_idx[k]).position / kA;
+      const geom::Vec3 out = pos - center;
+      const std::size_t h = add(
+          Element::H, pos + unit3(out.x, out.y, out.z) * 1.08);
+      bond(ring_idx[k], h);
+    }
+
+    const geom::Vec3 olp = c2p + fwd * 1.43;
+    const std::size_t ol = add(Element::O, olp);
+    bond(c2, ol);
+    if (i + 1 == n_units) {
+      // 3' terminus.
+      const std::size_t h = add(Element::H, olp + unit3(0.5, 0.75, 0.43) * 0.96);
+      bond(ol, h);
+    }
+    prev_olink = static_cast<std::ptrdiff_t>(ol);
+    p = olp + bwd * 1.60;
+  }
+  return u;
+}
+
+BondedUnit build_silica_cluster(const SilicaClusterOptions& opts) {
+  QFR_REQUIRE(opts.n_rings >= 1, "silica cluster needs at least 1 ring");
+  QFR_REQUIRE(opts.ring_si >= 2, "silica ring needs at least 2 Si");
+  BondedUnit u;
+  u.label = "silica_cluster";
+  auto add = [&](Element e, const geom::Vec3& pos_ang) {
+    u.mol.add(e, pos_ang * kA);
+    return u.mol.size() - 1;
+  };
+  auto bond = [&](std::size_t a, std::size_t b) { u.bonds.push_back({a, b}); };
+
+  const std::size_t m = 2 * opts.ring_si;  // ring size (Si and O alternate)
+  const double d_sio = 1.62;
+  const double r = d_sio / (2.0 * std::sin(M_PI / static_cast<double>(m)));
+  const double ring_dx = 3.0;  // center spacing; bridge O bulges radially
+  const double bridge_h = std::sqrt(d_sio * d_sio - 1.5 * 1.5);
+
+  std::vector<std::size_t> si0(opts.n_rings);  // the bridge-bearing Si
+  for (std::size_t k = 0; k < opts.n_rings; ++k) {
+    const double x0 = static_cast<double>(k) * ring_dx;
+    std::vector<std::size_t> ring(m);
+    for (std::size_t j = 0; j < m; ++j) {
+      const double t = 2.0 * M_PI * static_cast<double>(j) /
+                       static_cast<double>(m);
+      const geom::Vec3 pos{x0, r * std::cos(t), r * std::sin(t)};
+      ring[j] = add(j % 2 == 0 ? Element::Si : Element::O, pos);
+    }
+    for (std::size_t j = 0; j < m; ++j) bond(ring[j], ring[(j + 1) % m]);
+    si0[k] = ring[0];
+
+    // Complete every Si to 4 bonds with OH termination; the angle-0 Si
+    // keeps slots free for the inter-ring siloxane bridges.
+    for (std::size_t j = 0; j < m; j += 2) {
+      const geom::Vec3 si = u.mol.atom(ring[j]).position / kA;
+      const geom::Vec3 rad = unit3(0.0, si.y, si.z);
+      int n_oh = 2;
+      bool skip_plus = false, skip_minus = false;
+      if (j == 0) {
+        if (k + 1 < opts.n_rings) { --n_oh; skip_plus = true; }
+        if (k > 0) { --n_oh; skip_minus = true; }
+      }
+      for (const double sx : {1.0, -1.0}) {
+        if ((sx > 0 && skip_plus) || (sx < 0 && skip_minus)) continue;
+        if (n_oh-- <= 0) break;
+        const geom::Vec3 dir = unit3(0.6 * rad.x + 0.8 * sx, 0.6 * rad.y,
+                                     0.6 * rad.z);
+        const geom::Vec3 op = si + dir * d_sio;
+        const std::size_t o = add(Element::O, op);
+        bond(ring[j], o);
+        const std::size_t h = add(Element::H, op + rad * 0.96);
+        bond(o, h);
+      }
+    }
+  }
+  for (std::size_t k = 0; k + 1 < opts.n_rings; ++k) {
+    const geom::Vec3 a = u.mol.atom(si0[k]).position / kA;
+    const geom::Vec3 b = u.mol.atom(si0[k + 1]).position / kA;
+    const geom::Vec3 mid = (a + b) * 0.5;
+    const geom::Vec3 rad = unit3(0.0, mid.y, mid.z);
+    const std::size_t o = add(Element::O, mid + rad * bridge_h);
+    bond(si0[k], o);
+    bond(o, si0[k + 1]);
+  }
+  return u;
+}
+
+}  // namespace qfr::chem

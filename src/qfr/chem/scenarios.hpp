@@ -1,0 +1,50 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "qfr/chem/molecule.hpp"
+#include "qfr/chem/protein.hpp"
+
+namespace qfr::chem {
+
+/// A generic covalent unit with explicit topology: a ligand, a nucleic
+/// acid, an inorganic cluster — anything that is neither a peptide chain
+/// nor a water. `frag::BioSystem` carries these alongside chains and
+/// waters; the MFCC policy treats a unit as one indivisible monomer while
+/// the graph-partition policy cuts across its bond graph.
+struct BondedUnit {
+  std::string label;
+  Molecule mol;                  ///< positions in bohr
+  std::vector<Bond> bonds;       ///< full covalent topology (local indices)
+
+  std::size_t n_atoms() const { return mol.size(); }
+};
+
+/// Drug-like ligand (fixed geometry, deterministic): a fluoro/chloro
+/// substituted benzene linked through an amide to an N-methyl tail — the
+/// functional groups behind the classic ligand Raman signature (ring
+/// breathing ~1000, amide I ~1650, C-F ~1100, C-Cl ~720 cm^-1). 17 atoms.
+BondedUnit build_drug_ligand();
+
+/// Simplified single-stranded nucleic acid: `n_units` phosphodiester
+/// repeats (phosphate with terminal P=O / P-OH, a two-carbon sugar proxy,
+/// an imidazole-like base ring) along a gentle helix. Deterministic in its
+/// arguments; `seed` jitters base orientations only.
+BondedUnit build_nucleic_strand(std::size_t n_units, std::uint64_t seed = 11);
+
+struct SilicaClusterOptions {
+  std::size_t n_rings = 3;  ///< chain of silica rings joined by Si-O-Si
+  std::size_t ring_si = 3;  ///< Si per ring (3 = the D2-band small ring)
+};
+
+/// SiO2 cluster: `n_rings` (SiO)_n rings — alternating Si and O on a
+/// circle — connected in a chain by siloxane Si-O-Si bridges, every Si
+/// valence completed with OH termination. Small (SiO)_3 rings carry the
+/// Lazzeri-Mauri D2 ring-breathing Raman signature the graph-partition
+/// policy must preserve across cuts.
+BondedUnit build_silica_cluster(const SilicaClusterOptions& opts = {});
+
+}  // namespace qfr::chem

@@ -13,13 +13,18 @@ std::vector<Bond> perceive_bonds(const Molecule& mol, double scale) {
   std::vector<Bond> bonds;
   if (mol.size() < 2) return bonds;
 
-  // Largest possible bond: two sulfurs.
-  const double max_cut =
-      scale * 2.0 * covalent_radius_angstrom(Element::S) *
-      units::kAngstromToBohr;
+  // Largest possible bond for the atoms actually present: the search
+  // radius tracks the molecule's own largest covalent radius (hard-coding
+  // one element here silently dropped e.g. I-I bonds, which are longer
+  // than twice the sulfur radius).
+  double r_max = 0.0;
   std::vector<geom::Vec3> pos;
   pos.reserve(mol.size());
-  for (const auto& a : mol.atoms()) pos.push_back(a.position);
+  for (const auto& a : mol.atoms()) {
+    r_max = std::max(r_max, covalent_radius_angstrom(a.element));
+    pos.push_back(a.position);
+  }
+  const double max_cut = scale * 2.0 * r_max * units::kAngstromToBohr;
   const geom::CellList cl(pos, max_cut);
 
   for (std::size_t i = 0; i < mol.size(); ++i) {

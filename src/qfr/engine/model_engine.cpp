@@ -35,7 +35,13 @@ double electronegativity(Element e) {
     case Element::C: return 2.55;
     case Element::N: return 3.04;
     case Element::O: return 3.44;
+    case Element::F: return 3.98;
+    case Element::Si: return 1.90;
+    case Element::P: return 2.19;
     case Element::S: return 2.58;
+    case Element::Cl: return 3.16;
+    case Element::Br: return 2.96;
+    case Element::I: return 2.66;
   }
   return 2.5;
 }
@@ -66,6 +72,21 @@ BondDipoleParams bond_dipole_params(Element a, Element b, double r_bohr) {
       return {0.40, 0.60};
     case 616: return {0.35, 0.40};  // C-S
     case 708: return {0.20, 0.40};  // N-O
+    case 109: return {0.72, 0.80};  // H-F
+    case 114: return {0.12, 0.20};  // H-Si (hydride: H is the neg. end)
+    case 115: return {0.14, 0.22};  // H-P
+    case 117: return {0.44, 0.50};  // H-Cl
+    case 609: return {0.72, 0.85};  // C-F
+    case 614: return {0.22, 0.30};  // C-Si
+    case 615: return {0.25, 0.35};  // C-P
+    case 617: return {0.52, 0.55};  // C-Cl
+    case 635: return {0.42, 0.45};  // C-Br
+    case 653: return {0.32, 0.38};  // C-I
+    case 814:
+      return {0.88, 0.95};          // Si-O (strongly polar siloxane)
+    case 815:
+      if (r_ang < 1.55) return {0.95, 1.05};  // phosphoryl P=O
+      return {0.68, 0.80};                    // phosphoester P-O
     default: return {0.0, 0.05};    // homonuclear: no static dipole
   }
 }
@@ -95,6 +116,26 @@ StretchParams stretch_params(Element a, Element b, double r_bohr) {
     case 816: return {0.22, 7.5, 5.0, 3.3, 0.7};    // O-S
     case 1616: return {0.14, 12.0, 8.0, 5.0, 1.0};  // S-S
     case 101: return {0.36, 5.4, 1.4, 4.5, 0.3};    // H-H (caps only)
+    case 109: return {0.55, 2.0, 1.5, 1.6, 0.3};    // H-F (~3950 cm^-1)
+    case 114: return {0.17, 5.5, 4.0, 2.4, 0.5};    // H-Si (~2150)
+    case 115: return {0.20, 5.0, 3.8, 2.3, 0.5};    // H-P (~2350)
+    case 117: return {0.29, 3.5, 2.6, 2.2, 0.45};   // H-Cl (~2890)
+    case 609: return {0.42, 4.5, 3.0, 2.5, 0.5};    // C-F (~1100)
+    case 614: return {0.20, 7.5, 4.5, 3.2, 0.6};    // C-Si (~760)
+    case 615: return {0.19, 8.0, 5.0, 3.4, 0.7};    // C-P (~700)
+    case 617: return {0.22, 9.0, 5.5, 4.0, 0.8};    // C-Cl (~720)
+    case 635: return {0.18, 11.0, 7.0, 4.8, 0.9};   // C-Br (~560)
+    case 653: return {0.15, 14.0, 9.0, 5.5, 1.0};   // C-I (~500)
+    case 814:
+      // Si-O: places the asymmetric-stretch band near ~1050 cm^-1 and,
+      // with the soft siloxane bridge bend below, the silica ring
+      // breathing modes in their observed 400-600 cm^-1 window (the
+      // Lazzeri-Mauri D1/D2 ring-signature region).
+      return {0.38, 6.5, 3.8, 3.2, 0.6};
+    case 815:
+      if (r_ang < 1.55) return {0.55, 6.0, 3.6, 3.2, 0.6};  // P=O (~1250)
+      return {0.30, 5.5, 3.5, 2.8, 0.55};                   // P-O ester
+    case 1414: return {0.12, 12.0, 8.0, 5.0, 1.0};  // Si-Si (~520)
   }
   return {0.25, 5.0, 3.5, 2.0, 0.5};
 }
@@ -111,6 +152,13 @@ double bend_constant(Element i, Element apex, Element k) {
     return 0.112;  // H-C-H scissor
   }
   if (hi || hk) return 0.13;
+  // Siloxane bridge Si-O-Si: soft, the hinge behind the low-frequency
+  // silica ring modes (bulk ~440 cm^-1, small-ring D1/D2 breathing).
+  if (apex == Element::O && i == Element::Si && k == Element::Si)
+    return 0.060;
+  // Bends at heavy third-row apexes (Si, P) are softer than the 2nd-row
+  // default.
+  if (apex == Element::Si || apex == Element::P) return 0.120;
   return 0.17;
 }
 

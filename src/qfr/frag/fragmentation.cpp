@@ -17,16 +17,6 @@ using chem::Element;
 using chem::Molecule;
 using chem::Protein;
 
-double cap_bond_length_bohr(Element dangling) {
-  // Link hydrogens sit at the standard X-H distance along the cut bond.
-  switch (dangling) {
-    case Element::N: return 1.01 * units::kAngstromToBohr;
-    case Element::O: return 0.96 * units::kAngstromToBohr;
-    case Element::S: return 1.34 * units::kAngstromToBohr;
-    default: return 1.09 * units::kAngstromToBohr;
-  }
-}
-
 // Extract residues [r_begin, r_end) of one chain as a capped fragment.
 // Link hydrogens replace the removed peptide partners.
 Fragment extract_window(const Protein& chain, std::size_t chain_offset,
@@ -93,15 +83,44 @@ Fragment merge_fragments(const Fragment& a, const Fragment& b) {
   return f;
 }
 
+Fragment unit_fragment(const chem::BondedUnit& unit, std::size_t atom_offset) {
+  Fragment f;
+  f.mol = unit.mol;
+  for (std::size_t a = 0; a < unit.mol.size(); ++a)
+    f.atom_map.push_back(static_cast<std::ptrdiff_t>(atom_offset + a));
+  f.bonds = unit.bonds;
+  return f;
+}
+
 // An interaction entity for the generalized-concap search.
 struct Entity {
-  bool is_water = false;
-  std::size_t chain = 0;    // valid when !is_water
-  std::size_t residue = 0;  // valid when !is_water
-  std::size_t water = 0;    // valid when is_water
+  enum Kind { kResidue, kWater, kUnit } kind = kResidue;
+  std::size_t chain = 0;    // valid for kResidue
+  std::size_t residue = 0;  // valid for kResidue
+  std::size_t index = 0;    // water / unit index
 };
 
 }  // namespace
+
+const char* to_string(PolicyKind p) {
+  switch (p) {
+    case PolicyKind::kGraphPartition: return "graph";
+    case PolicyKind::kMfcc: break;
+  }
+  return "mfcc";
+}
+
+double cap_bond_length_bohr(chem::Element dangling) {
+  // Link hydrogens sit at the standard X-H distance along the cut bond.
+  switch (dangling) {
+    case Element::N: return 1.01 * units::kAngstromToBohr;
+    case Element::O: return 0.96 * units::kAngstromToBohr;
+    case Element::S: return 1.34 * units::kAngstromToBohr;
+    case Element::Si: return 1.48 * units::kAngstromToBohr;
+    case Element::P: return 1.42 * units::kAngstromToBohr;
+    default: return 1.09 * units::kAngstromToBohr;
+  }
+}
 
 std::size_t Fragment::n_real_atoms() const {
   return static_cast<std::size_t>(
@@ -113,6 +132,7 @@ std::size_t BioSystem::n_atoms() const {
   std::size_t n = 0;
   for (const auto& c : chains) n += c.n_atoms();
   for (const auto& w : waters) n += w.size();
+  for (const auto& u : units) n += u.n_atoms();
   return n;
 }
 
@@ -137,16 +157,49 @@ std::size_t BioSystem::water_atom_offset(std::size_t w) const {
   return off;
 }
 
+std::size_t BioSystem::unit_atom_offset(std::size_t u) const {
+  QFR_REQUIRE(u < units.size(), "unit index out of range");
+  std::size_t off = 0;
+  for (const auto& c : chains) off += c.n_atoms();
+  for (const auto& w : waters) off += w.size();
+  for (std::size_t i = 0; i < u; ++i) off += units[i].n_atoms();
+  return off;
+}
+
 chem::Molecule BioSystem::merged() const {
   Molecule m;
   for (const auto& c : chains) m.append(c.mol);
   for (const auto& w : waters) m.append(w);
+  for (const auto& u : units) m.append(u.mol);
   return m;
+}
+
+std::vector<chem::Bond> BioSystem::global_bonds() const {
+  std::vector<Bond> bonds;
+  std::size_t off = 0;
+  for (const auto& c : chains) {
+    for (const Bond& b : c.bonds) bonds.push_back({b.a + off, b.b + off});
+    off += c.n_atoms();
+  }
+  for (const auto& w : waters) {
+    // Water monomers are O, H, H (make_water's order).
+    if (w.size() == 3) {
+      bonds.push_back({off, off + 1});
+      bonds.push_back({off, off + 2});
+    }
+    off += w.size();
+  }
+  for (const auto& u : units) {
+    for (const Bond& b : u.bonds) bonds.push_back({b.a + off, b.b + off});
+    off += u.n_atoms();
+  }
+  return bonds;
 }
 
 Fragmentation fragment_biosystem(const BioSystem& sys,
                                  const FragmentationOptions& options) {
-  QFR_REQUIRE(options.window >= 2, "MFCC window must be >= 2");
+  QFR_REQUIRE(options.window >= 2,
+              "MFCC window must be >= 2, got " << options.window);
   Fragmentation out;
   auto& frags = out.fragments;
   auto& stats = out.stats;
@@ -193,9 +246,20 @@ Fragmentation fragment_biosystem(const BioSystem& sys,
     ++stats.n_waters;
   }
 
+  // --- Generic units: MFCC has no cutting scheme for arbitrary covalent
+  // graphs, so each unit is one indivisible monomer (the graph policy
+  // exists to do better).
+  for (std::size_t i = 0; i < sys.units.size(); ++i) {
+    Fragment f = unit_fragment(sys.units[i], sys.unit_atom_offset(i));
+    f.kind = FragmentKind::kUnit;
+    f.weight = 1.0;
+    frags.push_back(std::move(f));
+    ++stats.n_units;
+  }
+
   // --- Generalized concaps (two-body corrections) ------------------------
   if (options.include_two_body) {
-    // Entity list: every residue of every chain, every water.
+    // Entity list: every residue of every chain, every water, every unit.
     std::vector<Entity> entities;
     std::vector<geom::Vec3> positions;  // all atoms
     std::vector<std::size_t> atom_entity;
@@ -203,7 +267,7 @@ Fragmentation fragment_biosystem(const BioSystem& sys,
       const Protein& chain = sys.chains[c];
       for (std::size_t r = 0; r < chain.n_residues(); ++r) {
         const std::size_t e = entities.size();
-        entities.push_back({false, c, r, 0});
+        entities.push_back({Entity::kResidue, c, r, 0});
         const auto& res = chain.residues[r];
         for (std::size_t a = 0; a < res.n_atoms; ++a) {
           positions.push_back(chain.mol.atom(res.first_atom + a).position);
@@ -213,8 +277,16 @@ Fragmentation fragment_biosystem(const BioSystem& sys,
     }
     for (std::size_t i = 0; i < sys.waters.size(); ++i) {
       const std::size_t e = entities.size();
-      entities.push_back({true, 0, 0, i});
+      entities.push_back({Entity::kWater, 0, 0, i});
       for (const auto& a : sys.waters[i].atoms()) {
+        positions.push_back(a.position);
+        atom_entity.push_back(e);
+      }
+    }
+    for (std::size_t i = 0; i < sys.units.size(); ++i) {
+      const std::size_t e = entities.size();
+      entities.push_back({Entity::kUnit, 0, 0, i});
+      for (const auto& a : sys.units[i].mol.atoms()) {
         positions.push_back(a.position);
         atom_entity.push_back(e);
       }
@@ -229,7 +301,8 @@ Fragmentation fragment_biosystem(const BioSystem& sys,
         if (ei >= ej) return;
         const Entity& a = entities[ei];
         const Entity& b = entities[ej];
-        if (!a.is_water && !b.is_water && a.chain == b.chain) {
+        if (a.kind == Entity::kResidue && b.kind == Entity::kResidue &&
+            a.chain == b.chain) {
           // Sequential neighbors within the MFCC window are already
           // covered by the capped fragments.
           const auto d = (b.residue > a.residue) ? b.residue - a.residue
@@ -248,9 +321,12 @@ Fragmentation fragment_biosystem(const BioSystem& sys,
       if (it == monomer.end()) {
         Fragment f;
         const Entity& ent = entities[e];
-        if (ent.is_water) {
-          f = water_fragment(sys.waters[ent.water],
-                             sys.water_atom_offset(ent.water));
+        if (ent.kind == Entity::kWater) {
+          f = water_fragment(sys.waters[ent.index],
+                             sys.water_atom_offset(ent.index));
+        } else if (ent.kind == Entity::kUnit) {
+          f = unit_fragment(sys.units[ent.index],
+                            sys.unit_atom_offset(ent.index));
         } else {
           f = extract_window(sys.chains[ent.chain],
                              sys.chain_atom_offset(ent.chain), ent.residue,
@@ -270,10 +346,12 @@ Fragmentation fragment_biosystem(const BioSystem& sys,
       frags.push_back(std::move(pair));
       monomer_uses[ei]++;
       monomer_uses[ej]++;
-      const bool wi = entities[ei].is_water, wj = entities[ej].is_water;
-      if (wi && wj) {
+      const Entity::Kind ki = entities[ei].kind, kj = entities[ej].kind;
+      if (ki == Entity::kUnit || kj == Entity::kUnit) {
+        ++stats.n_unit_pairs;
+      } else if (ki == Entity::kWater && kj == Entity::kWater) {
         ++stats.n_water_water_pairs;
-      } else if (!wi && !wj) {
+      } else if (ki == Entity::kResidue && kj == Entity::kResidue) {
         ++stats.n_protein_pairs;
       } else {
         ++stats.n_protein_water_pairs;

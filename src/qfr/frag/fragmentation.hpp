@@ -1,18 +1,25 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <limits>
+#include <string>
 #include <vector>
 
 #include "qfr/chem/protein.hpp"
+#include "qfr/chem/scenarios.hpp"
 
 namespace qfr::frag {
 
-/// The solvated biosystem QF-RAMAN operates on: one or more polypeptide
-/// chains (the spike protein is a trimer) plus explicit water molecules.
+/// The system QF-RAMAN operates on: one or more polypeptide chains (the
+/// spike protein is a trimer), explicit water molecules, and — since the
+/// graph-partition policy opened general molecules — arbitrary covalent
+/// units (ligands, nucleic strands, inorganic clusters) with explicit
+/// topology. Global atom order: chains, then waters, then units.
 struct BioSystem {
   std::vector<chem::Protein> chains;
   std::vector<chem::Molecule> waters;
+  std::vector<chem::BondedUnit> units;
 
   std::size_t n_atoms() const;
   std::size_t n_residues() const;
@@ -21,9 +28,15 @@ struct BioSystem {
   std::size_t chain_atom_offset(std::size_t c) const;
   /// Global atom index of water w's first atom.
   std::size_t water_atom_offset(std::size_t w) const;
+  /// Global atom index of unit u's first atom.
+  std::size_t unit_atom_offset(std::size_t u) const;
 
-  /// Flatten into one molecule (atom order: chains then waters).
+  /// Flatten into one molecule (atom order: chains, waters, units).
   chem::Molecule merged() const;
+
+  /// Full covalent topology in global atom indices: chain bonds, water
+  /// O-H bonds, unit bonds. The graph-partition policy cuts this graph.
+  std::vector<chem::Bond> global_bonds() const;
 };
 
 /// Role of a fragment in the Eq. (1) assembly.
@@ -33,6 +46,8 @@ enum class FragmentKind {
   kWater,          ///< one-body water, weight +1
   kPair,           ///< two-body generalized concap E_ij, weight +1
   kPairMonomer,    ///< monomer subtracted from a pair, weight -1
+  kUnit,           ///< one-body generic unit (MFCC: indivisible), weight +1
+  kPart,           ///< capped graph-partition part, weight +1
 };
 
 /// One quantum job: a capped molecular fragment with its weight in the
@@ -52,28 +67,72 @@ struct Fragment {
   std::size_t n_real_atoms() const;
 };
 
-/// Options of the fragmentation pass.
+/// Which fragmentation policy decomposes the system (see qfr::part for
+/// the dispatch and DESIGN.md section 14 for the decision table).
+enum class PolicyKind {
+  kMfcc = 0,            ///< peptide-aware MFCC + generalized concaps
+  kGraphPartition = 1,  ///< balanced min-cut over the covalent bond graph
+};
+
+const char* to_string(PolicyKind p);
+
+/// Options of the fragmentation pass (both policies; each policy reads
+/// the knobs that apply to it and qfr::part::validate_options rejects
+/// degenerate combinations with typed errors).
 struct FragmentationOptions {
+  PolicyKind policy = PolicyKind::kMfcc;
   /// Two-body distance threshold lambda (angstrom); the paper uses 4 A for
-  /// protein-protein, protein-water and water-water alike.
+  /// protein-protein, protein-water and water-water alike. MFCC only.
   double lambda_angstrom = 4.0;
   bool include_two_body = true;
   /// Residue window size of the MFCC cut (3 = cap with one neighbor on
   /// each side, the paper's scheme).
   int window = 3;
+  /// Hard per-fragment atom cap (0 = none). The graph policy sizes its
+  /// parts to respect it; MFCC cannot cut inside a residue/water/unit, so
+  /// a cap below the largest monomer is rejected at validation.
+  std::size_t max_fragment_atoms = 0;
+  /// Graph policy: number of parts (0 = derived from max_fragment_atoms,
+  /// or a ~32-atom default part size).
+  std::size_t n_parts = 0;
+  /// Graph policy: allowed part-weight imbalance; every part stays below
+  /// (1 + balance_tolerance) * mean part weight.
+  double balance_tolerance = 0.25;
+  /// Graph policy: balance valence electrons per part instead of atoms
+  /// (a proxy for per-fragment quantum cost).
+  bool balance_by_electrons = false;
+  /// Graph policy: seed for coarsening visit order and tie-breaking;
+  /// partitions are deterministic in (system, options).
+  std::uint64_t partition_seed = 2024;
 };
 
-/// Decomposition statistics (the Fig. 7 / Sec. VII-A numbers).
+/// Decomposition statistics (the Fig. 7 / Sec. VII-A numbers), plus the
+/// partition provenance the run report and outcomes CSV surface.
 struct FragmentationStats {
+  std::string policy = "mfcc";  ///< to_string(PolicyKind) of the producer
   std::size_t n_capped_residues = 0;
   std::size_t n_concaps = 0;
   std::size_t n_waters = 0;
+  std::size_t n_units = 0;
   std::size_t n_protein_pairs = 0;       ///< generalized concaps
   std::size_t n_protein_water_pairs = 0;
   std::size_t n_water_water_pairs = 0;
+  std::size_t n_unit_pairs = 0;          ///< pairs with >= 1 generic unit
   std::size_t min_fragment_atoms = std::numeric_limits<std::size_t>::max();
   std::size_t max_fragment_atoms = 0;
   std::size_t total_fragments = 0;
+  // --- graph-partition provenance (zero under MFCC) ---
+  std::size_t n_parts = 0;
+  std::size_t n_cut_bonds = 0;
+  /// Correction fragments healing the cut bonds (one pair + two monomers
+  /// per cut).
+  std::size_t n_cut_corrections = 0;
+  /// max part weight / mean part weight (1.0 = perfectly balanced).
+  double balance_factor = 0.0;
+  /// Atoms with >= 2 severed bonds: the exactness guarantee of the cut
+  /// correction holds only when this is 0 (angles spanning two different
+  /// cuts at one atom cannot be healed pairwise).
+  std::size_t n_multicut_atoms = 0;
 };
 
 /// Result of fragmenting a biosystem.
@@ -82,10 +141,17 @@ struct Fragmentation {
   FragmentationStats stats;
 };
 
+/// Standard X-H link-hydrogen bond length (bohr) used to cap a severed
+/// bond at a dangling atom of element `dangling`. Shared by the MFCC
+/// window extraction and the graph policy's part capping so caps of the
+/// same cut coincide exactly across fragments.
+double cap_bond_length_bohr(chem::Element dangling);
+
 /// Apply the MFCC + generalized-concap decomposition of paper Sec. IV-A:
-/// capped residue windows, subtracted concaps, water monomers, and
-/// distance-thresholded two-body corrections (protein-protein,
-/// protein-water, water-water).
+/// capped residue windows, subtracted concaps, water monomers, generic
+/// units as indivisible monomers, and distance-thresholded two-body
+/// corrections. For policy-dispatched fragmentation (MFCC or graph
+/// partition) use qfr::part::fragment_system.
 Fragmentation fragment_biosystem(const BioSystem& sys,
                                  const FragmentationOptions& options = {});
 

@@ -59,6 +59,16 @@ Json build_run_report(const Session& session,
     root["run"] = std::move(run);
   }
 
+  // Partition provenance: which fragmentation policy produced the sweep,
+  // and how balanced / how invasive the decomposition was.
+  if (!ctx.fragmentation_policy.empty()) {
+    Json fragm = Json::object();
+    fragm["policy"] = Json(ctx.fragmentation_policy);
+    fragm["n_cut_bonds"] = Json(ctx.n_cut_bonds);
+    fragm["balance_factor"] = Json(ctx.balance_factor);
+    root["fragmentation"] = std::move(fragm);
+  }
+
   // The paper's evaluation backbone: per-phase wall-clock decomposition
   // of the DFPT cycle (Table I / Fig. 9). The sum of the four phases must
   // track cpscf.solve.seconds — the report keeps both so consumers can
@@ -180,10 +190,13 @@ void csv_field(std::ostream& os, std::string_view s) {
 
 void write_outcomes_csv(std::ostream& os,
                         const std::vector<runtime::FragmentOutcome>& outcomes,
-                        const std::vector<double>* fragment_seconds) {
+                        const std::vector<double>* fragment_seconds,
+                        const std::string& policy) {
   os << "fragment_id,completed,engine,engine_level,reason,attempts,"
         "rejections,fault_retries,from_checkpoint,cache_hit,reuse_tier,"
-        "wall_seconds,error\n";
+        "wall_seconds,error";
+  if (!policy.empty()) os << ",policy";
+  os << '\n';
   for (const runtime::FragmentOutcome& o : outcomes) {
     os << o.fragment_id << ',' << (o.completed ? 1 : 0) << ',';
     csv_field(os, o.engine);
@@ -203,6 +216,10 @@ void write_outcomes_csv(std::ostream& os,
     }
     os << ',';
     csv_field(os, o.error);
+    if (!policy.empty()) {
+      os << ',';
+      csv_field(os, policy);
+    }
     os << '\n';
   }
 }

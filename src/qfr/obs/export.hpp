@@ -18,6 +18,11 @@ struct RunContext {
   std::size_t n_fragments = 0;
   double engine_seconds = 0.0;   ///< fragment-sweep wall time
   double solver_seconds = 0.0;   ///< spectral-solve wall time
+  /// Partition provenance ("mfcc", "graph"); empty = omit the
+  /// "fragmentation" object from the report.
+  std::string fragmentation_policy;
+  std::size_t n_cut_bonds = 0;   ///< severed covalent bonds (graph policy)
+  double balance_factor = 0.0;   ///< max part weight / mean part weight
 };
 
 /// Assemble the machine-readable record of one run: the DFPT four-phase
@@ -35,10 +40,12 @@ void write_run_report_json(std::ostream& os, const Session& session,
 
 /// Terminal per-fragment outcome table as CSV (header included): the
 /// chaos-triage artifact. `fragment_seconds` (accepted-attempt wall time,
-/// indexed by fragment id) may be null or shorter than `outcomes`.
+/// indexed by fragment id) may be null or shorter than `outcomes`. A
+/// non-empty `policy` appends a fragmentation-policy provenance column.
 void write_outcomes_csv(std::ostream& os,
                         const std::vector<runtime::FragmentOutcome>& outcomes,
-                        const std::vector<double>* fragment_seconds);
+                        const std::vector<double>* fragment_seconds,
+                        const std::string& policy = "");
 
 /// One point of a bench series (label e.g. "orise.reduce.speedup/9").
 struct BenchSample {

@@ -1,0 +1,48 @@
+#include "qfr/part/bond_graph.hpp"
+
+#include <algorithm>
+
+#include "qfr/common/error.hpp"
+
+namespace qfr::part {
+
+BondGraph build_bond_graph(const frag::BioSystem& sys,
+                           bool balance_by_electrons) {
+  BondGraph g;
+  const chem::Molecule merged = sys.merged();
+  g.n = merged.size();
+  g.adj.resize(g.n);
+  g.weight.resize(g.n);
+  g.element.resize(g.n);
+  for (std::size_t i = 0; i < g.n; ++i) {
+    const chem::Element e = merged.atom(i).element;
+    g.element[i] = e;
+    g.weight[i] = balance_by_electrons
+                      ? static_cast<double>(chem::valence_electrons(e))
+                      : 1.0;
+  }
+  for (const chem::Bond& b : sys.global_bonds()) {
+    QFR_REQUIRE(b.a < g.n && b.b < g.n && b.a != b.b,
+                "bond (" << b.a << ", " << b.b << ") out of range for "
+                         << g.n << " atoms");
+    const std::size_t lo = std::min(b.a, b.b), hi = std::max(b.a, b.b);
+    g.bonds.push_back({lo, hi});
+  }
+  std::sort(g.bonds.begin(), g.bonds.end(),
+            [](const chem::Bond& x, const chem::Bond& y) {
+              return x.a != y.a ? x.a < y.a : x.b < y.b;
+            });
+  g.bonds.erase(std::unique(g.bonds.begin(), g.bonds.end(),
+                            [](const chem::Bond& x, const chem::Bond& y) {
+                              return x.a == y.a && x.b == y.b;
+                            }),
+                g.bonds.end());
+  for (const chem::Bond& b : g.bonds) {
+    g.adj[b.a].push_back(b.b);
+    g.adj[b.b].push_back(b.a);
+  }
+  for (auto& nb : g.adj) std::sort(nb.begin(), nb.end());
+  return g;
+}
+
+}  // namespace qfr::part

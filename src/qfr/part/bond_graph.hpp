@@ -1,0 +1,35 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "qfr/chem/element.hpp"
+#include "qfr/chem/protein.hpp"
+#include "qfr/frag/fragmentation.hpp"
+
+namespace qfr::part {
+
+/// The covalent bond graph of a whole BioSystem: one vertex per global
+/// atom, one undirected edge per covalent bond. This is the structure the
+/// balanced min-cut partitioner operates on (Wolter et al.: fragmentation
+/// as graph partitioning).
+struct BondGraph {
+  std::size_t n = 0;
+  std::vector<std::vector<std::size_t>> adj;  ///< neighbor atom ids
+  std::vector<chem::Bond> bonds;              ///< unique edges, a < b
+  std::vector<double> weight;                 ///< per-vertex balance weight
+  std::vector<chem::Element> element;
+
+  double total_weight() const {
+    double t = 0.0;
+    for (const double w : weight) t += w;
+    return t;
+  }
+};
+
+/// Build the bond graph from a system's global topology. Vertex weight is
+/// 1 (atom balance) or the valence electron count (cost-proxy balance).
+BondGraph build_bond_graph(const frag::BioSystem& sys,
+                           bool balance_by_electrons);
+
+}  // namespace qfr::part

@@ -1,0 +1,172 @@
+#include <algorithm>
+#include <cmath>
+
+#include "qfr/common/error.hpp"
+#include "qfr/part/bond_graph.hpp"
+#include "qfr/part/partition.hpp"
+#include "qfr/part/policy.hpp"
+
+namespace qfr::part {
+
+namespace {
+
+using frag::Fragment;
+using frag::FragmentKind;
+
+/// Build one capped fragment from a sorted set of global atoms.
+///
+/// A global bond (x, y) with both endpoints in the set is included when
+/// the endpoints' cluster tags match, or when it is the designated healed
+/// bond (heal_u, heal_v). Every other bond incident to a set atom is
+/// severed and capped: a link hydrogen placed along the original bond
+/// direction at the standard X-H distance. Because the cap position is a
+/// deterministic function of the two global atoms, the caps of the same
+/// severed bond coincide exactly across the part, pair, and monomer
+/// fragments — which is what makes the +1/-1 subtraction telescope.
+Fragment build_capped(const chem::Molecule& merged, const BondGraph& g,
+                      const std::vector<std::size_t>& atoms,
+                      const std::vector<int>& tag, std::size_t heal_u,
+                      std::size_t heal_v, bool heal) {
+  Fragment f;
+  const auto local_of = [&](std::size_t ga) -> std::ptrdiff_t {
+    const auto it = std::lower_bound(atoms.begin(), atoms.end(), ga);
+    if (it == atoms.end() || *it != ga) return -1;
+    return it - atoms.begin();
+  };
+  for (const std::size_t ga : atoms) {
+    f.mol.add(merged.atom(ga).element, merged.atom(ga).position);
+    f.atom_map.push_back(static_cast<std::ptrdiff_t>(ga));
+  }
+  for (std::size_t li = 0; li < atoms.size(); ++li) {
+    const std::size_t x = atoms[li];
+    for (const std::size_t y : g.adj[x]) {
+      const std::ptrdiff_t ly = local_of(y);
+      const bool is_heal =
+          heal && ((x == heal_u && y == heal_v) ||
+                   (x == heal_v && y == heal_u));
+      if ((ly >= 0 && tag[x] == tag[y]) || is_heal) {
+        if (x < y)
+          f.bonds.push_back({li, static_cast<std::size_t>(ly)});
+      } else {
+        const geom::Vec3 dir =
+            (merged.atom(y).position - merged.atom(x).position).normalized();
+        const geom::Vec3 pos =
+            merged.atom(x).position +
+            dir * frag::cap_bond_length_bohr(merged.atom(x).element);
+        const std::size_t h = f.mol.size();
+        f.mol.add(chem::Element::H, pos);
+        f.atom_map.push_back(-1);
+        f.bonds.push_back({li, h});
+      }
+    }
+  }
+  return f;
+}
+
+}  // namespace
+
+frag::Fragmentation GraphPartitionPolicy::fragment(
+    const frag::BioSystem& sys,
+    const frag::FragmentationOptions& options) const {
+  const chem::Molecule merged = sys.merged();
+  const BondGraph g = build_bond_graph(sys, options.balance_by_electrons);
+  QFR_REQUIRE(g.n > 0, "cannot fragment an empty biosystem");
+
+  // Part count: explicit, or sized so every part plus its link caps fits
+  // under max_fragment_atoms (with the balance tolerance as headroom), or
+  // a ~32-atom default part size.
+  std::size_t k = options.n_parts;
+  if (k == 0) {
+    const double cap = options.max_fragment_atoms > 0
+                           ? static_cast<double>(options.max_fragment_atoms)
+                           : 36.0;
+    const double effective = std::max(8.0, cap - 4.0);
+    k = static_cast<std::size_t>(
+        std::ceil((1.0 + options.balance_tolerance) *
+                  static_cast<double>(g.n) / effective));
+    k = std::max<std::size_t>(k, 1);
+  }
+  k = std::min(k, g.n);
+
+  PartitionOptions popts;
+  popts.n_parts = k;
+  popts.balance_tolerance = options.balance_tolerance;
+  popts.seed = options.partition_seed;
+  const PartitionResult pr = partition_graph(g, popts);
+
+  frag::Fragmentation out;
+  auto& frags = out.fragments;
+  auto& stats = out.stats;
+  stats.policy = name();
+  stats.n_parts = pr.n_parts;
+  stats.n_cut_bonds = pr.n_cut_edges;
+  stats.balance_factor = pr.balance_factor;
+  stats.n_multicut_atoms = pr.n_multicut_vertices;
+
+  // --- Capped parts, weight +1 ------------------------------------------
+  std::vector<std::vector<std::size_t>> part_atoms(k);
+  for (std::size_t a = 0; a < g.n; ++a)
+    part_atoms[pr.part_of[a]].push_back(a);  // ascending, so sorted
+  std::vector<int> tag(g.n, 0);
+  for (std::size_t p = 0; p < k; ++p) {
+    if (part_atoms[p].empty()) continue;
+    Fragment f = build_capped(merged, g, part_atoms[p], tag, 0, 0, false);
+    f.kind = FragmentKind::kPart;
+    f.weight = 1.0;
+    frags.push_back(std::move(f));
+  }
+
+  // --- Severed-bond corrections -----------------------------------------
+  // Per cut bond (u, v): one pair fragment over the radius-1 bond
+  // neighborhoods of u and v with ONLY the u-v bond healed (+1), minus
+  // each neighborhood alone (-1). Every stretch/bend term involving the
+  // healed bond then appears exactly once net, every term internal to a
+  // neighborhood or involving a cap telescopes to zero, so the assembly
+  // is exact for the bonded surrogate — provided no atom carries two cuts
+  // (the partitioner's multicut penalty).
+  for (const chem::Bond& b : g.bonds) {
+    if (pr.part_of[b.a] == pr.part_of[b.b]) continue;
+    const std::size_t u = b.a, v = b.b;
+    std::vector<std::size_t> cluster_u{u}, cluster_v{v};
+    for (const std::size_t x : g.adj[u])
+      if (pr.part_of[x] == pr.part_of[u]) cluster_u.push_back(x);
+    for (const std::size_t x : g.adj[v])
+      if (pr.part_of[x] == pr.part_of[v]) cluster_v.push_back(x);
+    std::sort(cluster_u.begin(), cluster_u.end());
+    std::sort(cluster_v.begin(), cluster_v.end());
+
+    for (const std::size_t x : cluster_v) tag[x] = 1;
+    std::vector<std::size_t> both;
+    both.reserve(cluster_u.size() + cluster_v.size());
+    std::merge(cluster_u.begin(), cluster_u.end(), cluster_v.begin(),
+               cluster_v.end(), std::back_inserter(both));
+
+    Fragment pair = build_capped(merged, g, both, tag, u, v, true);
+    pair.kind = FragmentKind::kPair;
+    pair.weight = 1.0;
+    frags.push_back(std::move(pair));
+    Fragment mu = build_capped(merged, g, cluster_u, tag, 0, 0, false);
+    mu.kind = FragmentKind::kPairMonomer;
+    mu.weight = -1.0;
+    frags.push_back(std::move(mu));
+    Fragment mv = build_capped(merged, g, cluster_v, tag, 0, 0, false);
+    mv.kind = FragmentKind::kPairMonomer;
+    mv.weight = -1.0;
+    frags.push_back(std::move(mv));
+    stats.n_cut_corrections += 3;
+
+    for (const std::size_t x : cluster_v) tag[x] = 0;
+  }
+
+  for (std::size_t i = 0; i < frags.size(); ++i) {
+    frags[i].id = i;
+    stats.min_fragment_atoms =
+        std::min(stats.min_fragment_atoms, frags[i].n_atoms());
+    stats.max_fragment_atoms =
+        std::max(stats.max_fragment_atoms, frags[i].n_atoms());
+  }
+  stats.total_fragments = frags.size();
+  return out;
+}
+
+}  // namespace qfr::part

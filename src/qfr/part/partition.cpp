@@ -1,0 +1,449 @@
+#include "qfr/part/partition.hpp"
+
+#include <algorithm>
+#include <map>
+#include <numeric>
+
+#include "qfr/common/error.hpp"
+#include "qfr/common/rng.hpp"
+
+namespace qfr::part {
+
+namespace {
+
+/// One coarsening level: a weighted multigraph plus the mapping from the
+/// next-finer level's vertices onto this one.
+struct Level {
+  std::size_t n = 0;
+  std::vector<double> w;  ///< vertex weight
+  /// Adjacency with accumulated edge weights (parallel fine edges merge).
+  std::vector<std::vector<std::pair<std::size_t, double>>> adj;
+  std::vector<std::size_t> map;  ///< finer vertex -> this level's vertex
+};
+
+/// Contract `fine` along `cluster` (fine vertex -> cluster id, ids dense).
+Level contract(const Level& fine, const std::vector<std::size_t>& cluster,
+               std::size_t n_coarse) {
+  Level c;
+  c.n = n_coarse;
+  c.w.assign(n_coarse, 0.0);
+  c.adj.resize(n_coarse);
+  c.map = cluster;
+  for (std::size_t v = 0; v < fine.n; ++v) c.w[cluster[v]] += fine.w[v];
+  std::map<std::pair<std::size_t, std::size_t>, double> edges;
+  for (std::size_t v = 0; v < fine.n; ++v) {
+    for (const auto& [u, ew] : fine.adj[v]) {
+      if (u <= v) continue;  // each undirected edge once
+      const std::size_t a = cluster[v], b = cluster[u];
+      if (a == b) continue;
+      edges[{std::min(a, b), std::max(a, b)}] += ew;
+    }
+  }
+  for (const auto& [e, ew] : edges) {
+    c.adj[e.first].emplace_back(e.second, ew);
+    c.adj[e.second].emplace_back(e.first, ew);
+  }
+  return c;
+}
+
+/// Deterministic seeded shuffle (Fisher-Yates over the rng).
+void shuffle_order(std::vector<std::size_t>& order, Rng& rng) {
+  for (std::size_t i = order.size(); i > 1; --i) {
+    const auto j = static_cast<std::size_t>(rng.uniform() *
+                                            static_cast<double>(i));
+    std::swap(order[i - 1], order[std::min(j, i - 1)]);
+  }
+}
+
+/// In-place greedy KL/FM-style refinement of `part` on `g`: boundary
+/// vertices move to a neighboring part when that lowers
+///   cut_weight + kMulticutPenalty * #{v : cut_degree(v) >= 2},
+/// subject to the balance ceiling and no part being emptied.
+void refine(const Level& g, std::vector<std::uint32_t>& part, std::size_t k,
+            double max_part_w, Rng& rng) {
+  constexpr double kMulticutPenalty = 8.0;
+  constexpr int kMaxPasses = 10;
+
+  std::vector<double> part_w(k, 0.0);
+  std::vector<std::size_t> part_cnt(k, 0);
+  for (std::size_t v = 0; v < g.n; ++v) {
+    part_w[part[v]] += g.w[v];
+    ++part_cnt[part[v]];
+  }
+  // Cut degree = number of incident edges crossing parts (edge count, not
+  // weight: the multicut hazard is per severed bond).
+  std::vector<int> cutdeg(g.n, 0);
+  for (std::size_t v = 0; v < g.n; ++v)
+    for (const auto& [u, ew] : g.adj[v]) {
+      (void)ew;
+      if (part[u] != part[v]) ++cutdeg[v];
+    }
+  const auto multi = [&](std::size_t v) { return cutdeg[v] >= 2 ? 1 : 0; };
+
+  std::vector<std::size_t> order(g.n);
+  std::iota(order.begin(), order.end(), 0);
+  std::vector<double> conn(k, 0.0);
+  for (int pass = 0; pass < kMaxPasses; ++pass) {
+    shuffle_order(order, rng);
+    bool improved = false;
+    for (const std::size_t v : order) {
+      const std::uint32_t p = part[v];
+      if (part_cnt[p] <= 1) continue;  // never empty a part
+      // Connection weight of v to each adjacent part.
+      std::vector<std::uint32_t> cand;
+      for (const auto& [u, ew] : g.adj[v]) {
+        const std::uint32_t q = part[u];
+        if (conn[q] == 0.0 && q != p) cand.push_back(q);
+        conn[q] += ew;
+      }
+      std::uint32_t best_q = p;
+      double best_gain = 0.0;
+      std::sort(cand.begin(), cand.end());  // deterministic tie-breaking
+      for (const std::uint32_t q : cand) {
+        if (part_w[q] + g.w[v] > max_part_w) continue;
+        const double cut_gain = conn[q] - conn[p];
+        // Multicut delta: recompute v's and its neighbors' cut degrees
+        // under the candidate move.
+        int d_multi = 0;
+        int v_cd = 0;
+        for (const auto& [u, ew] : g.adj[v]) {
+          (void)ew;
+          if (part[u] != q) ++v_cd;
+          const int u_cd = cutdeg[u] + (part[u] == q ? -1 : 0) +
+                           (part[u] == p ? 1 : 0);
+          d_multi += (u_cd >= 2 ? 1 : 0) - (cutdeg[u] >= 2 ? 1 : 0);
+        }
+        d_multi += (v_cd >= 2 ? 1 : 0) - multi(v);
+        const double gain = cut_gain - kMulticutPenalty * d_multi;
+        if (gain > best_gain + 1e-12) {
+          best_gain = gain;
+          best_q = q;
+        }
+      }
+      for (const auto& [u, ew] : g.adj[v]) {
+        (void)ew;
+        conn[part[u]] = 0.0;
+      }
+      conn[p] = 0.0;
+      if (best_q != p) {
+        for (const auto& [u, ew] : g.adj[v]) {
+          (void)ew;
+          if (part[u] == best_q) --cutdeg[u], --cutdeg[v];
+          else if (part[u] == p) ++cutdeg[u], ++cutdeg[v];
+        }
+        part_w[p] -= g.w[v];
+        part_w[best_q] += g.w[v];
+        --part_cnt[p];
+        ++part_cnt[best_q];
+        part[v] = best_q;
+        improved = true;
+      }
+    }
+    if (!improved) break;
+  }
+
+  // Hard-balance repair: while some part exceeds the ceiling, push its
+  // cheapest boundary vertex into the lightest adjacent part (cut cost is
+  // secondary to the balance guarantee the bench gate asserts).
+  for (int guard = 0; guard < static_cast<int>(g.n); ++guard) {
+    std::size_t heavy = k;
+    for (std::size_t q = 0; q < k; ++q)
+      if (part_w[q] > max_part_w && (heavy == k || part_w[q] > part_w[heavy]))
+        heavy = q;
+    if (heavy == k) break;
+    std::size_t best_v = g.n;
+    std::uint32_t best_q = 0;
+    double best_w = 0.0;
+    for (std::size_t v = 0; v < g.n; ++v) {
+      if (part[v] != heavy) continue;
+      for (const auto& [u, ew] : g.adj[v]) {
+        (void)ew;
+        const std::uint32_t q = part[u];
+        if (q == heavy || part_w[q] + g.w[v] > max_part_w) continue;
+        if (best_v == g.n || part_w[q] < best_w) {
+          best_v = v;
+          best_q = q;
+          best_w = part_w[q];
+        }
+      }
+    }
+    if (best_v == g.n) break;  // no feasible move; report the imbalance
+    for (const auto& [u, ew] : g.adj[best_v]) {
+      (void)ew;
+      if (part[u] == best_q) --cutdeg[u], --cutdeg[best_v];
+      else if (part[u] == heavy) ++cutdeg[u], ++cutdeg[best_v];
+    }
+    part_w[heavy] -= g.w[best_v];
+    part_w[best_q] += g.w[best_v];
+    --part_cnt[heavy];
+    ++part_cnt[best_q];
+    part[best_v] = best_q;
+  }
+
+  // Multicut repair: the severed-bond corrections are exact only when no
+  // vertex carries two cut edges, so exactness outranks balance here —
+  // resolve each multiply-cut vertex by the move (of the vertex itself,
+  // or of one of its cross-part neighbors into its part) that most lowers
+  // the total multicut count, ceiling ignored. The penalized FM passes
+  // above handle the common case; this catches vertices they left
+  // stranded against the balance ceiling (e.g. a ring hub whose
+  // neighborhood is split evenly across two parts).
+  const auto multi_delta = [&](std::size_t x, std::uint32_t q) {
+    const std::uint32_t px = part[x];
+    int d_multi = 0;
+    int x_cd = 0;
+    for (const auto& [u, ew] : g.adj[x]) {
+      (void)ew;
+      if (part[u] != q) ++x_cd;
+      const int u_cd =
+          cutdeg[u] + (part[u] == q ? -1 : 0) + (part[u] == px ? 1 : 0);
+      d_multi += (u_cd >= 2 ? 1 : 0) - (cutdeg[u] >= 2 ? 1 : 0);
+    }
+    d_multi += (x_cd >= 2 ? 1 : 0) - (cutdeg[x] >= 2 ? 1 : 0);
+    return d_multi;
+  };
+  const auto apply_move = [&](std::size_t x, std::uint32_t q) {
+    const std::uint32_t px = part[x];
+    for (const auto& [u, ew] : g.adj[x]) {
+      (void)ew;
+      if (part[u] == q) --cutdeg[u], --cutdeg[x];
+      else if (part[u] == px) ++cutdeg[u], ++cutdeg[x];
+    }
+    part_w[px] -= g.w[x];
+    part_w[q] += g.w[x];
+    --part_cnt[px];
+    ++part_cnt[q];
+    part[x] = q;
+  };
+  for (int pass = 0; pass < 4; ++pass) {
+    bool changed = false;
+    for (std::size_t v = 0; v < g.n; ++v) {
+      if (cutdeg[v] < 2) continue;
+      const std::uint32_t p = part[v];
+      std::size_t best_x = g.n;
+      std::uint32_t best_q = p;
+      int best_multi = 0;
+      // Candidate 1: move v into an adjacent part.
+      if (part_cnt[p] > 1) {
+        std::vector<std::uint32_t> cand;
+        for (const auto& [u, ew] : g.adj[v]) {
+          (void)ew;
+          const std::uint32_t q = part[u];
+          if (q != p && conn[q] == 0.0) cand.push_back(q);
+          conn[q] += 1.0;
+        }
+        std::sort(cand.begin(), cand.end());
+        for (const std::uint32_t q : cand) {
+          const int d = multi_delta(v, q);
+          if (d < best_multi) {
+            best_multi = d;
+            best_x = v;
+            best_q = q;
+          }
+        }
+        for (const auto& [u, ew] : g.adj[v]) {
+          (void)ew;
+          conn[part[u]] = 0.0;
+        }
+        conn[p] = 0.0;
+      }
+      // Candidate 2: pull a cross-part neighbor into v's part, trimming
+      // v's cut degree from the other side.
+      for (const auto& [u, ew] : g.adj[v]) {
+        (void)ew;
+        if (part[u] == p || part_cnt[part[u]] <= 1) continue;
+        const int d = multi_delta(u, p);
+        if (d < best_multi) {
+          best_multi = d;
+          best_x = u;
+          best_q = p;
+        }
+      }
+      if (best_x != g.n) {
+        apply_move(best_x, best_q);
+        changed = true;
+      }
+    }
+    if (!changed) break;
+  }
+}
+
+}  // namespace
+
+PartitionResult partition_graph(const BondGraph& g,
+                                const PartitionOptions& options) {
+  QFR_REQUIRE(options.n_parts >= 1,
+              "n_parts must be >= 1, got " << options.n_parts);
+  QFR_REQUIRE(options.balance_tolerance >= 0.0,
+              "balance_tolerance must be >= 0, got "
+                  << options.balance_tolerance);
+  PartitionResult res;
+  res.part_of.assign(g.n, 0);
+  if (g.n == 0) return res;
+
+  Rng rng(options.seed ^ 0x70617274ull);  // "part"
+
+  // Level 0: glue every hydrogen to its (lowest-id) heavy neighbor so no
+  // X-H bond is ever severed; an H with only H neighbors glues to the
+  // lowest of those (H2). Everything else starts as its own vertex.
+  std::vector<std::size_t> glue(g.n);
+  for (std::size_t v = 0; v < g.n; ++v) {
+    glue[v] = v;
+    if (g.element[v] != chem::Element::H || g.adj[v].empty()) continue;
+    std::size_t target = g.n;
+    for (const std::size_t u : g.adj[v])
+      if (g.element[u] != chem::Element::H) {
+        target = u;
+        break;  // adj is sorted: first heavy neighbor is the lowest id
+      }
+    if (target == g.n) target = std::min(v, g.adj[v].front());
+    glue[v] = target;
+  }
+  // Resolve one step of chaining (H glued to an H that glued elsewhere).
+  for (std::size_t v = 0; v < g.n; ++v) glue[v] = glue[glue[v]];
+  std::vector<std::size_t> dense(g.n, g.n);
+  std::size_t n0 = 0;
+  for (std::size_t v = 0; v < g.n; ++v)
+    if (glue[v] == v) dense[v] = n0++;
+  for (std::size_t v = 0; v < g.n; ++v) dense[v] = dense[glue[v]];
+
+  Level base;
+  base.n = g.n;
+  base.w = g.weight;
+  base.adj.resize(g.n);
+  for (const chem::Bond& b : g.bonds) {
+    base.adj[b.a].emplace_back(b.b, 1.0);
+    base.adj[b.b].emplace_back(b.a, 1.0);
+  }
+
+  std::vector<Level> levels;
+  levels.push_back(contract(base, dense, n0));
+
+  const double total_w = g.total_weight();
+  const std::size_t k =
+      std::min<std::size_t>(options.n_parts, levels.back().n);
+  if (k <= 1) {
+    res.n_parts = g.n > 0 ? 1 : 0;
+    res.balance_factor = 1.0;
+    return res;
+  }
+  const double mean_w = total_w / static_cast<double>(k);
+  const double max_part_w = (1.0 + options.balance_tolerance) * mean_w;
+  // Cap merged-vertex weight so coarse vertices stay splittable.
+  double merge_cap = 0.0;
+  for (const double w : levels.back().w) merge_cap = std::max(merge_cap, w);
+  merge_cap = std::max(merge_cap, 0.9 * mean_w);
+
+  // Multilevel coarsening by heavy-edge matching in a seeded visit order.
+  const std::size_t coarse_target = std::max<std::size_t>(16 * k, 48);
+  while (levels.back().n > coarse_target) {
+    const Level& cur = levels.back();
+    std::vector<std::size_t> order(cur.n);
+    std::iota(order.begin(), order.end(), 0);
+    shuffle_order(order, rng);
+    std::vector<std::size_t> match(cur.n, cur.n);
+    std::size_t n_coarse = 0;
+    std::vector<std::size_t> cluster(cur.n);
+    for (const std::size_t v : order) {
+      if (match[v] != cur.n) continue;
+      std::size_t best = cur.n;
+      double best_w = -1.0;
+      for (const auto& [u, ew] : cur.adj[v]) {
+        if (match[u] != cur.n) continue;
+        if (cur.w[v] + cur.w[u] > merge_cap) continue;
+        if (ew > best_w || (ew == best_w && u < best)) {
+          best = u;
+          best_w = ew;
+        }
+      }
+      match[v] = v;
+      cluster[v] = n_coarse;
+      if (best != cur.n) {
+        match[best] = v;
+        cluster[best] = n_coarse;
+      }
+      ++n_coarse;
+    }
+    if (n_coarse >= cur.n || n_coarse == 0 ||
+        static_cast<double>(n_coarse) > 0.95 * static_cast<double>(cur.n))
+      break;  // matching stalled
+    levels.push_back(contract(cur, cluster, n_coarse));
+  }
+
+  // Initial partition at the coarsest level: BFS region growing in the
+  // component structure, filling parts to the mean weight in turn.
+  {
+    const Level& c = levels.back();
+    std::vector<std::size_t> order;
+    order.reserve(c.n);
+    std::vector<char> seen(c.n, 0);
+    for (std::size_t s = 0; s < c.n; ++s) {
+      if (seen[s]) continue;
+      std::vector<std::size_t> queue{s};
+      seen[s] = 1;
+      for (std::size_t qi = 0; qi < queue.size(); ++qi) {
+        const std::size_t v = queue[qi];
+        order.push_back(v);
+        for (const auto& [u, ew] : c.adj[v]) {
+          (void)ew;
+          if (!seen[u]) {
+            seen[u] = 1;
+            queue.push_back(u);
+          }
+        }
+      }
+    }
+    std::vector<std::uint32_t> cpart(c.n, 0);
+    double cum = 0.0;
+    std::uint32_t p = 0;
+    for (const std::size_t v : order) {
+      // Advance to the next part when this one has reached its share.
+      if (cum + 0.5 * c.w[v] >=
+              static_cast<double>(p + 1) * total_w / static_cast<double>(k) &&
+          p + 1 < k)
+        ++p;
+      cpart[v] = p;
+      cum += c.w[v];
+    }
+    refine(c, cpart, k, max_part_w, rng);
+
+    // Uncoarsen: project through each level's map, refining as we go.
+    std::vector<std::uint32_t> part = std::move(cpart);
+    for (std::size_t li = levels.size(); li-- > 1;) {
+      const Level& finer = levels[li - 1];
+      std::vector<std::uint32_t> fpart(finer.n);
+      for (std::size_t v = 0; v < finer.n; ++v)
+        fpart[v] = part[levels[li].map[v]];
+      refine(finer, fpart, k, max_part_w, rng);
+      part = std::move(fpart);
+    }
+    // Project the H-glue level back onto atoms.
+    for (std::size_t v = 0; v < g.n; ++v)
+      res.part_of[v] = part[levels.front().map[v]];
+  }
+
+  // Final statistics on the atom-level graph.
+  std::vector<double> part_w(k, 0.0);
+  std::vector<char> nonempty(k, 0);
+  for (std::size_t v = 0; v < g.n; ++v) {
+    part_w[res.part_of[v]] += g.weight[v];
+    nonempty[res.part_of[v]] = 1;
+  }
+  std::vector<int> cutdeg(g.n, 0);
+  for (const chem::Bond& b : g.bonds)
+    if (res.part_of[b.a] != res.part_of[b.b]) {
+      ++res.n_cut_edges;
+      ++cutdeg[b.a];
+      ++cutdeg[b.b];
+    }
+  for (std::size_t v = 0; v < g.n; ++v)
+    if (cutdeg[v] >= 2) ++res.n_multicut_vertices;
+  res.n_parts = 0;
+  for (std::size_t q = 0; q < k; ++q) res.n_parts += nonempty[q];
+  double max_w = 0.0;
+  for (std::size_t q = 0; q < k; ++q) max_w = std::max(max_w, part_w[q]);
+  res.balance_factor = max_w / mean_w;
+  return res;
+}
+
+}  // namespace qfr::part

@@ -1,0 +1,41 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "qfr/part/bond_graph.hpp"
+
+namespace qfr::part {
+
+struct PartitionOptions {
+  std::size_t n_parts = 2;
+  /// Every part's weight stays below (1 + balance_tolerance) * mean.
+  double balance_tolerance = 0.25;
+  /// Seeds the coarsening visit order and refinement sweeps; partitions
+  /// are deterministic in (graph, options).
+  std::uint64_t seed = 2024;
+};
+
+/// A balanced min-cut partition of the bond graph.
+struct PartitionResult {
+  std::vector<std::uint32_t> part_of;  ///< per atom
+  std::size_t n_parts = 0;             ///< non-empty parts actually produced
+  std::size_t n_cut_edges = 0;
+  /// max part weight / mean part weight (1.0 = perfect balance).
+  double balance_factor = 0.0;
+  /// Atoms with >= 2 severed bonds. The severed-bond correction scheme is
+  /// exact only when this is 0, so refinement penalizes these heavily;
+  /// a nonzero count survives only on pathological graphs.
+  std::size_t n_multicut_vertices = 0;
+};
+
+/// Multilevel balanced min-cut: hydrogens are glued to their heavy atom
+/// (an X-H bond is never cut), heavy-edge matching coarsens the graph,
+/// greedy region growing seeds the coarsest partition, and KL/FM-style
+/// boundary moves refine at every level under the balance constraint,
+/// with a heavy penalty on multiply-cut atoms.
+PartitionResult partition_graph(const BondGraph& g,
+                                const PartitionOptions& options);
+
+}  // namespace qfr::part

@@ -1,0 +1,89 @@
+#include "qfr/part/policy.hpp"
+
+#include <algorithm>
+
+#include "qfr/common/error.hpp"
+
+namespace qfr::part {
+
+frag::Fragmentation MfccPolicy::fragment(
+    const frag::BioSystem& sys,
+    const frag::FragmentationOptions& options) const {
+  frag::Fragmentation fr = frag::fragment_biosystem(sys, options);
+  fr.stats.policy = name();
+  return fr;
+}
+
+std::unique_ptr<FragmentationPolicy> make_policy(frag::PolicyKind kind) {
+  switch (kind) {
+    case frag::PolicyKind::kGraphPartition:
+      return std::make_unique<GraphPartitionPolicy>();
+    case frag::PolicyKind::kMfcc: break;
+  }
+  return std::make_unique<MfccPolicy>();
+}
+
+void validate_options(const frag::FragmentationOptions& options,
+                      const frag::BioSystem& sys) {
+  QFR_REQUIRE(options.lambda_angstrom > 0.0,
+              "two-body threshold lambda must be positive, got "
+                  << options.lambda_angstrom << " A");
+  QFR_REQUIRE(options.balance_tolerance >= 0.0,
+              "balance_tolerance must be >= 0, got "
+                  << options.balance_tolerance);
+  if (options.policy == frag::PolicyKind::kMfcc) {
+    QFR_REQUIRE(options.window >= 2,
+                "MFCC window must be >= 2 residues, got " << options.window);
+  }
+  if (options.policy == frag::PolicyKind::kGraphPartition) {
+    QFR_REQUIRE(options.n_parts <= sys.n_atoms(),
+                "n_parts = " << options.n_parts << " exceeds the "
+                             << sys.n_atoms()
+                             << " atoms in the system: the surplus parts "
+                                "would hold zero atoms");
+  }
+  if (options.max_fragment_atoms > 0) {
+    if (options.policy == frag::PolicyKind::kMfcc) {
+      // MFCC cannot cut inside a residue, a water, or a generic unit; a
+      // cap below the largest such monomer is unsatisfiable.
+      std::size_t largest = 0;
+      std::string what = "monomer";
+      for (const chem::Protein& c : sys.chains)
+        for (const chem::Residue& r : c.residues)
+          if (r.n_atoms > largest) {
+            largest = r.n_atoms;
+            what = "residue";
+          }
+      for (const chem::Molecule& w : sys.waters)
+        if (w.size() > largest) {
+          largest = w.size();
+          what = "water";
+        }
+      for (const chem::BondedUnit& u : sys.units)
+        if (u.n_atoms() > largest) {
+          largest = u.n_atoms();
+          what = "unit '" + u.label + "'";
+        }
+      QFR_REQUIRE(options.max_fragment_atoms >= largest,
+                  "max_fragment_atoms = "
+                      << options.max_fragment_atoms
+                      << " is smaller than the largest indivisible "
+                      << what << " (" << largest
+                      << " atoms); MFCC cannot cut inside it - use "
+                         "PolicyKind::kGraphPartition");
+    } else {
+      QFR_REQUIRE(options.max_fragment_atoms >= 8,
+                  "graph-partition max_fragment_atoms must leave room for "
+                     "a part plus its link caps (>= 8), got "
+                      << options.max_fragment_atoms);
+    }
+  }
+}
+
+frag::Fragmentation fragment_system(const frag::BioSystem& sys,
+                                    const frag::FragmentationOptions& options) {
+  validate_options(options, sys);
+  return make_policy(options.policy)->fragment(sys, options);
+}
+
+}  // namespace qfr::part

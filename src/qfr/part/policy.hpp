@@ -1,0 +1,70 @@
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "qfr/frag/fragmentation.hpp"
+
+namespace qfr::part {
+
+/// A fragmentation policy: a strategy producing the weighted fragment set
+/// whose Eq. (1) assembly reconstructs the full system. MFCC (the paper's
+/// peptide scheme) and the balanced graph partition are the two
+/// implementations; both honor the invariant that every global atom's net
+/// fragment weight sums to exactly 1.
+class FragmentationPolicy {
+ public:
+  virtual ~FragmentationPolicy() = default;
+
+  /// Policy name recorded in stats, run reports, and outcomes CSV.
+  virtual std::string name() const = 0;
+
+  virtual frag::Fragmentation fragment(
+      const frag::BioSystem& sys,
+      const frag::FragmentationOptions& options) const = 0;
+};
+
+/// The paper's MFCC + generalized concaps (delegates to
+/// frag::fragment_biosystem). Peptide chains are cut at residue windows;
+/// waters and generic units are indivisible monomers.
+class MfccPolicy final : public FragmentationPolicy {
+ public:
+  std::string name() const override { return "mfcc"; }
+  frag::Fragmentation fragment(
+      const frag::BioSystem& sys,
+      const frag::FragmentationOptions& options) const override;
+};
+
+/// Balanced min-cut over the covalent bond graph (Wolter et al.): works
+/// for arbitrary molecules — ligands, nucleic acids, inorganic clusters —
+/// not just peptide chains. Parts are capped with link hydrogens at every
+/// severed bond, and each cut bond is healed by a pair (+1) / two-monomer
+/// (-1) correction built from the radius-1 bond neighborhoods of its
+/// endpoints, the same subtraction bookkeeping frag::assembly already
+/// understands. Exact for the bonded (stretch + bend) surrogate whenever
+/// no atom carries two cuts (which refinement heavily penalizes).
+class GraphPartitionPolicy final : public FragmentationPolicy {
+ public:
+  std::string name() const override { return "graph"; }
+  frag::Fragmentation fragment(
+      const frag::BioSystem& sys,
+      const frag::FragmentationOptions& options) const override;
+};
+
+std::unique_ptr<FragmentationPolicy> make_policy(frag::PolicyKind kind);
+
+/// Reject degenerate fragmentation requests with typed errors
+/// (qfr::InvalidArgument) spelling out the offending value: window < 2
+/// under MFCC, n_parts exceeding the atom count (zero-atom parts),
+/// max_fragment_atoms below the largest indivisible monomer, negative
+/// tolerances.
+void validate_options(const frag::FragmentationOptions& options,
+                      const frag::BioSystem& sys);
+
+/// Validate, then dispatch to the selected policy. This is the entry
+/// point RamanWorkflow, qfr::serve, and qfr::traj use.
+frag::Fragmentation fragment_system(
+    const frag::BioSystem& sys,
+    const frag::FragmentationOptions& options = {});
+
+}  // namespace qfr::part

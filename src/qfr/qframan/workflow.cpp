@@ -11,6 +11,7 @@
 #include "qfr/engine/scf_engine.hpp"
 #include "qfr/obs/export.hpp"
 #include "qfr/obs/session.hpp"
+#include "qfr/part/policy.hpp"
 #include "qfr/spectra/infrared.hpp"
 
 namespace qfr::qframan {
@@ -110,12 +111,22 @@ WorkflowResult RamanWorkflow::run(const frag::BioSystem& system,
   // leader/worker thread from RuntimeOptions::obs.
   obs::ScopedSession ambient(session);
 
-  // 1. Fragmentation (the master's decomposition step).
+  // 1. Fragmentation (the master's decomposition step), dispatched to the
+  // policy selected in FragmentationOptions (MFCC or graph partition).
   frag::Fragmentation fr = [&] {
     obs::SpanGuard span(session, "workflow.fragmentation", "workflow");
-    return frag::fragment_biosystem(system, options_.fragmentation);
+    return part::fragment_system(system, options_.fragmentation);
   }();
   out.fragmentation_stats = fr.stats;
+  if (session != nullptr) {
+    obs::MetricsRegistry& m = session->metrics();
+    m.gauge("qfr.part.n_parts").set(static_cast<double>(fr.stats.n_parts));
+    m.gauge("qfr.part.n_cut_bonds")
+        .set(static_cast<double>(fr.stats.n_cut_bonds));
+    m.gauge("qfr.part.balance_factor").set(fr.stats.balance_factor);
+    m.gauge("qfr.part.n_multicut_atoms")
+        .set(static_cast<double>(fr.stats.n_multicut_atoms));
+  }
   QFR_LOG_INFO("fragmented system: ", fr.stats.total_fragments,
                " fragments over ", system.n_atoms(), " atoms");
   const std::size_t n_fragments = fr.fragments.size();
@@ -323,6 +334,9 @@ WorkflowResult RamanWorkflow::run(const frag::BioSystem& system,
       ctx.n_fragments = n_fragments;
       ctx.engine_seconds = out.engine_seconds;
       ctx.solver_seconds = out.solver_seconds;
+      ctx.fragmentation_policy = fr.stats.policy;
+      ctx.n_cut_bonds = fr.stats.n_cut_bonds;
+      ctx.balance_factor = fr.stats.balance_factor;
       std::ofstream os(report_path);
       if (os.good()) {
         obs::write_run_report_json(os, *session, &report, ctx);
@@ -335,7 +349,7 @@ WorkflowResult RamanWorkflow::run(const frag::BioSystem& system,
       std::ofstream csv(csv_path);
       if (csv.good()) {
         obs::write_outcomes_csv(csv, report.outcomes,
-                                &report.fragment_seconds);
+                                &report.fragment_seconds, fr.stats.policy);
       } else {
         QFR_LOG_WARN("cannot write outcome CSV to '", csv_path, "'");
       }

@@ -15,6 +15,7 @@
 #include "qfr/obs/export.hpp"
 #include "qfr/obs/session.hpp"
 #include "qfr/obs/trace.hpp"
+#include "qfr/part/policy.hpp"
 #include "qfr/runtime/master_runtime.hpp"
 #include "qfr/runtime/sweep_scheduler.hpp"
 
@@ -318,7 +319,7 @@ void Server::ensure_started(const CtxPtr& ctx) {
     RequestCtx& c = *ctx;
     try {
       c.fragmentation =
-          frag::fragment_biosystem(c.req.system, c.req.fragmentation);
+          part::fragment_system(c.req.system, c.req.fragmentation);
       const std::size_t n = c.fragmentation.fragments.size();
       QFR_REQUIRE(n > 0, "request produced no fragments");
       std::vector<balance::WorkItem> items;
@@ -543,6 +544,9 @@ void Server::maybe_finalize(const CtxPtr& ctx) {
   double solver_seconds = 0.0;
   if (started) {
     const runtime::SweepScheduler& sched = *c.scheduler;
+    rep.fragmentation_policy = c.fragmentation.stats.policy;
+    rep.n_cut_bonds = c.fragmentation.stats.n_cut_bonds;
+    rep.balance_factor = c.fragmentation.stats.balance_factor;
     rep.n_fragments = sched.n_fragments();
     rep.n_tasks = sched.n_tasks();
     rep.n_requeued = sched.n_requeued();
@@ -629,6 +633,9 @@ void Server::maybe_finalize(const CtxPtr& ctx) {
     rctx.n_fragments = rep.n_fragments;
     rctx.engine_seconds = rep.run_seconds;
     rctx.solver_seconds = solver_seconds;
+    rctx.fragmentation_policy = rep.fragmentation_policy;
+    rctx.n_cut_bonds = rep.n_cut_bonds;
+    rctx.balance_factor = rep.balance_factor;
     rep.run_report_json =
         obs::build_run_report(*c.session, &rr, rctx).dump();
   }

@@ -104,6 +104,11 @@ struct RequestReport {
   std::size_t n_failed = 0;
   std::size_t n_cache_hits = 0;
   std::size_t n_compute_cancelled = 0;  ///< in-flight computes stopped
+  // Partition provenance (which fragmentation policy decomposed the
+  // system, and how). Empty policy = request never fragmented.
+  std::string fragmentation_policy;
+  std::size_t n_cut_bonds = 0;
+  double balance_factor = 0.0;
   /// Structured per-request run report (schema qfr.run_report.v1) built
   /// from the request's private obs::Session. Empty for rejected or
   /// never-started requests.

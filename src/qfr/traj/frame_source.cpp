@@ -118,6 +118,10 @@ JitterTrajectory::JitterTrajectory(const frag::BioSystem& base,
     groups_.emplace_back(at, at + w.size());
     at += w.size();
   }
+  for (const chem::BondedUnit& u : base.units) {
+    groups_.emplace_back(at, at + u.mol.size());
+    at += u.mol.size();
+  }
 }
 
 namespace {
@@ -227,6 +231,7 @@ frag::BioSystem apply_frame(const frag::BioSystem& base, const Frame& frame) {
   };
   for (chem::Protein& p : out.chains) place(p.mol);
   for (chem::Molecule& w : out.waters) place(w);
+  for (chem::BondedUnit& u : out.units) place(u.mol);
   return out;
 }
 

@@ -3,9 +3,13 @@
 #include <map>
 #include <sstream>
 
+#include <algorithm>
+
 #include "qfr/chem/amino_acid.hpp"
 #include "qfr/chem/molecule.hpp"
 #include "qfr/chem/protein.hpp"
+#include "qfr/chem/scenarios.hpp"
+#include "qfr/chem/topology.hpp"
 #include "qfr/chem/xyz_io.hpp"
 #include "qfr/common/error.hpp"
 #include "qfr/common/units.hpp"
@@ -22,6 +26,31 @@ TEST(Element, SymbolsRoundTrip) {
 
 TEST(Element, UnknownSymbolThrows) {
   EXPECT_THROW(element_from_symbol("Xx"), InvalidArgument);
+}
+
+TEST(Element, MainGroupHeteroelementsRoundTrip) {
+  for (Element e : {Element::F, Element::Si, Element::P, Element::Cl,
+                    Element::Br, Element::I}) {
+    EXPECT_EQ(element_from_symbol(symbol(e)), e);
+  }
+  EXPECT_NEAR(atomic_mass(Element::Si), 27.977, 0.01);
+  EXPECT_NEAR(atomic_mass(Element::Cl), 34.969, 0.01);
+  EXPECT_NEAR(atomic_mass(Element::I), 126.904, 0.01);
+  EXPECT_EQ(valence_electrons(Element::Si), 4);
+  EXPECT_EQ(valence_electrons(Element::P), 5);
+  EXPECT_EQ(valence_electrons(Element::Br), 7);
+}
+
+TEST(Element, CovalentRadiiPyykkoValues) {
+  EXPECT_NEAR(covalent_radius_angstrom(Element::F), 0.64, 1e-9);
+  EXPECT_NEAR(covalent_radius_angstrom(Element::Si), 1.16, 1e-9);
+  EXPECT_NEAR(covalent_radius_angstrom(Element::P), 1.11, 1e-9);
+  EXPECT_NEAR(covalent_radius_angstrom(Element::Cl), 0.99, 1e-9);
+  EXPECT_NEAR(covalent_radius_angstrom(Element::Br), 1.14, 1e-9);
+  EXPECT_NEAR(covalent_radius_angstrom(Element::I), 1.33, 1e-9);
+  // The perception cell cutoff tracks the largest radius in the table.
+  EXPECT_DOUBLE_EQ(max_covalent_radius_angstrom(),
+                   covalent_radius_angstrom(Element::I));
 }
 
 TEST(Element, Masses) {
@@ -235,6 +264,103 @@ TEST(XyzIo, RoundTrip) {
 TEST(XyzIo, MalformedInputThrows) {
   std::stringstream ss("2\ncomment\nH 0 0 0\n");  // missing second atom
   EXPECT_THROW(read_xyz(ss), InvalidArgument);
+}
+
+namespace {
+std::vector<Bond> normalized(std::vector<Bond> bonds) {
+  for (Bond& b : bonds)
+    if (b.a > b.b) std::swap(b.a, b.b);
+  std::sort(bonds.begin(), bonds.end(), [](const Bond& x, const Bond& y) {
+    return x.a != y.a ? x.a < y.a : x.b < y.b;
+  });
+  return bonds;
+}
+}  // namespace
+
+TEST(Topology, PerceivesBondsBetweenLargeAtoms) {
+  // I-I at 2.67 A sits beyond twice the sulfur radius the cell cutoff
+  // used to hard-code; the cutoff must track the largest radius present.
+  Molecule i2;
+  i2.add(Element::I, {0, 0, 0});
+  i2.add(Element::I, {2.67 * units::kAngstromToBohr, 0, 0});
+  EXPECT_EQ(perceive_bonds(i2).size(), 1u);
+}
+
+TEST(Topology, PerceivesHeteroatomBonds) {
+  // Isolated pairs 30 bohr apart: exactly one bond each.
+  Molecule m;
+  m.add(Element::C, {0, 0, 0});
+  m.add(Element::Cl, {1.76 * units::kAngstromToBohr, 0, 0});
+  m.add(Element::Si, {30.0, 0, 0});
+  m.add(Element::O, {30.0 + 1.62 * units::kAngstromToBohr, 0, 0});
+  m.add(Element::P, {60.0, 0, 0});
+  m.add(Element::O, {60.0 + 1.60 * units::kAngstromToBohr, 0, 0});
+  const auto bonds = normalized(perceive_bonds(m));
+  ASSERT_EQ(bonds.size(), 3u);
+  EXPECT_EQ(bonds[0].a, 0u);
+  EXPECT_EQ(bonds[0].b, 1u);
+  EXPECT_EQ(bonds[1].a, 2u);
+  EXPECT_EQ(bonds[1].b, 3u);
+  EXPECT_EQ(bonds[2].a, 4u);
+  EXPECT_EQ(bonds[2].b, 5u);
+}
+
+TEST(Scenarios, DeclaredTopologyIsPerceivable) {
+  // Every declared bond of the scenario builders must fall within the
+  // distance-perception criterion (declared subset of perceived; rings
+  // put second-neighbor Si-Si inside the loose 1.25 cutoff, so equality
+  // is not required).
+  for (const BondedUnit& u :
+       {build_drug_ligand(), build_nucleic_strand(2),
+        build_silica_cluster()}) {
+    const auto perceived = normalized(perceive_bonds(u.mol));
+    const auto declared = normalized(u.bonds);
+    for (const Bond& b : declared) {
+      const bool found =
+          std::any_of(perceived.begin(), perceived.end(), [&](const Bond& p) {
+            return p.a == b.a && p.b == b.b;
+          });
+      EXPECT_TRUE(found) << u.label << ": declared bond " << b.a << "-"
+                         << b.b << " not perceivable";
+    }
+  }
+}
+
+TEST(Scenarios, UnitsAreConnectedAndDeterministic) {
+  for (const BondedUnit& u :
+       {build_drug_ligand(), build_nucleic_strand(3),
+        build_silica_cluster()}) {
+    ASSERT_GT(u.n_atoms(), 0u) << u.label;
+    // Connectivity: BFS over declared bonds reaches every atom.
+    std::vector<std::vector<std::size_t>> adj(u.n_atoms());
+    for (const Bond& b : u.bonds) {
+      adj[b.a].push_back(b.b);
+      adj[b.b].push_back(b.a);
+    }
+    std::vector<char> seen(u.n_atoms(), 0);
+    std::vector<std::size_t> stack{0};
+    seen[0] = 1;
+    while (!stack.empty()) {
+      const std::size_t v = stack.back();
+      stack.pop_back();
+      for (const std::size_t w : adj[v])
+        if (!seen[w]) {
+          seen[w] = 1;
+          stack.push_back(w);
+        }
+    }
+    EXPECT_EQ(std::count(seen.begin(), seen.end(), 1),
+              static_cast<std::ptrdiff_t>(u.n_atoms()))
+        << u.label << " is disconnected";
+  }
+  // Determinism in arguments.
+  const BondedUnit a = build_nucleic_strand(3, 42);
+  const BondedUnit b = build_nucleic_strand(3, 42);
+  ASSERT_EQ(a.n_atoms(), b.n_atoms());
+  for (std::size_t i = 0; i < a.n_atoms(); ++i) {
+    EXPECT_EQ(a.mol.atom(i).element, b.mol.atom(i).element);
+    EXPECT_DOUBLE_EQ(a.mol.atom(i).position.x, b.mol.atom(i).position.x);
+  }
 }
 
 }  // namespace

@@ -130,6 +130,40 @@ TEST(Fragmentation, FragmentSizesInPaperRange) {
   EXPECT_LE(fr.stats.max_fragment_atoms, 80u);
 }
 
+TEST(Fragmentation, GenericUnitsAreOneBodyMonomersUnderMfcc) {
+  BioSystem sys;
+  sys.waters.push_back(chem::make_water({0, 0, 0}));
+  chem::BondedUnit lig = chem::build_drug_ligand();
+  // Shift the ligand far away so no two-body pair forms with the water.
+  for (std::size_t i = 0; i < lig.mol.size(); ++i)
+    lig.mol.atom(i).position += geom::Vec3{200.0, 0.0, 0.0};
+  sys.units.push_back(lig);
+
+  EXPECT_EQ(sys.unit_atom_offset(0), 3u);  // chains, waters, then units
+  EXPECT_EQ(sys.n_atoms(), 3u + lig.n_atoms());
+  EXPECT_EQ(sys.merged().size(), sys.n_atoms());
+
+  const Fragmentation fr = fragment_biosystem(sys);
+  EXPECT_EQ(fr.stats.n_units, 1u);
+  EXPECT_EQ(fr.stats.n_unit_pairs, 0u);
+  std::size_t n_unit_frags = 0;
+  for (const Fragment& f : fr.fragments)
+    if (f.kind == FragmentKind::kUnit) {
+      ++n_unit_frags;
+      EXPECT_EQ(f.n_atoms(), lig.n_atoms());
+      EXPECT_DOUBLE_EQ(f.weight, 1.0);
+      // atom_map points into the global merged order.
+      EXPECT_EQ(f.atom_map.front(), 3);
+    }
+  EXPECT_EQ(n_unit_frags, 1u);
+
+  // The unit's bonds survive into the fragment (same local indices).
+  const std::vector<chem::Bond> global = sys.global_bonds();
+  std::size_t n_unit_bonds = 0;
+  for (const chem::Bond& b : global) n_unit_bonds += (b.a >= 3 && b.b >= 3);
+  EXPECT_EQ(n_unit_bonds, lig.bonds.size());
+}
+
 TEST(Assembly, WaterOnlySystemIsBlockDiagonal) {
   BioSystem sys;
   sys.waters.push_back(chem::make_water({0, 0, 0}));

@@ -1,0 +1,384 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <vector>
+
+#include "qfr/chem/scenarios.hpp"
+#include "qfr/common/error.hpp"
+#include "qfr/common/units.hpp"
+#include "qfr/engine/model_engine.hpp"
+#include "qfr/frag/assembly.hpp"
+#include "qfr/la/blas.hpp"
+#include "qfr/part/bond_graph.hpp"
+#include "qfr/part/partition.hpp"
+#include "qfr/part/policy.hpp"
+#include "qfr/qframan/workflow.hpp"
+
+namespace qfr::part {
+namespace {
+
+using chem::Element;
+
+frag::BioSystem unit_system(chem::BondedUnit u) {
+  frag::BioSystem sys;
+  sys.units.push_back(std::move(u));
+  return sys;
+}
+
+std::vector<engine::FragmentResult> run_engine(
+    const std::vector<frag::Fragment>& frags) {
+  engine::ModelEngine eng;
+  std::vector<engine::FragmentResult> results;
+  results.reserve(frags.size());
+  for (const auto& f : frags)
+    results.push_back(eng.compute_with_topology(f.mol, f.bonds));
+  return results;
+}
+
+/// Mass-weight a direct whole-system Hessian for comparison with the
+/// assembled (already mass-weighted) one.
+la::Matrix mass_weighted(const la::Matrix& h, const chem::Molecule& mol) {
+  const auto masses = mol.mass_vector_amu();
+  la::Matrix out = h;
+  for (std::size_t i = 0; i < out.rows(); ++i)
+    for (std::size_t j = 0; j < out.cols(); ++j)
+      out(i, j) /= std::sqrt(masses[i] * units::kAmuToMe * masses[j] *
+                             units::kAmuToMe);
+  return out;
+}
+
+// ---------------------------------------------------------------- partition
+
+TEST(Partition, DeterministicInSeed) {
+  const frag::BioSystem sys = unit_system(chem::build_nucleic_strand(3));
+  const BondGraph g = build_bond_graph(sys, false);
+  PartitionOptions popts;
+  popts.n_parts = 4;
+  popts.seed = 7;
+  const PartitionResult a = partition_graph(g, popts);
+  const PartitionResult b = partition_graph(g, popts);
+  EXPECT_EQ(a.part_of, b.part_of);
+  EXPECT_EQ(a.n_cut_edges, b.n_cut_edges);
+  EXPECT_EQ(a.balance_factor, b.balance_factor);
+}
+
+TEST(Partition, BalancedSingleCutParts) {
+  const frag::BioSystem sys = unit_system(chem::build_nucleic_strand(4));
+  const BondGraph g = build_bond_graph(sys, false);
+  PartitionOptions popts;
+  popts.n_parts = 4;
+  popts.balance_tolerance = 0.25;
+  const PartitionResult r = partition_graph(g, popts);
+  EXPECT_GE(r.n_parts, 2u);
+  EXPECT_GT(r.n_cut_edges, 0u);
+  // Balance within tolerance (small slack for indivisible glued CH_n /
+  // ring clusters) and no atom severed twice — the exactness condition of
+  // the severed-bond correction.
+  EXPECT_LE(r.balance_factor, 1.0 + popts.balance_tolerance + 0.15);
+  EXPECT_EQ(r.n_multicut_vertices, 0u);
+}
+
+TEST(Partition, HydrogenNeverCut) {
+  for (const std::uint64_t seed : {1ull, 2ull, 3ull}) {
+    const frag::BioSystem sys = unit_system(chem::build_silica_cluster());
+    const BondGraph g = build_bond_graph(sys, false);
+    PartitionOptions popts;
+    popts.n_parts = 4;
+    popts.seed = seed;
+    const PartitionResult r = partition_graph(g, popts);
+    for (const chem::Bond& b : g.bonds) {
+      if (r.part_of[b.a] == r.part_of[b.b]) continue;
+      EXPECT_NE(g.element[b.a], Element::H)
+          << "cut X-H bond " << b.a << "-" << b.b << " seed " << seed;
+      EXPECT_NE(g.element[b.b], Element::H)
+          << "cut X-H bond " << b.a << "-" << b.b << " seed " << seed;
+    }
+  }
+}
+
+TEST(Partition, ElectronBalanceWeighsHeavyAtoms) {
+  const frag::BioSystem sys = unit_system(chem::build_silica_cluster());
+  const BondGraph atoms = build_bond_graph(sys, false);
+  const BondGraph electrons = build_bond_graph(sys, true);
+  EXPECT_EQ(atoms.n, electrons.n);
+  EXPECT_EQ(atoms.bonds.size(), electrons.bonds.size());
+  EXPECT_GT(electrons.total_weight(), atoms.total_weight());
+  // Both weightings still partition cleanly.
+  PartitionOptions popts;
+  popts.n_parts = 3;
+  const PartitionResult r = partition_graph(electrons, popts);
+  EXPECT_GE(r.n_parts, 2u);
+  EXPECT_EQ(r.n_multicut_vertices, 0u);
+}
+
+// ------------------------------------------------- the sum-rule invariant
+
+/// Satellite property test: for ANY policy, system, and seed, the weighted
+/// multiset of fragment atoms must reconstruct the full system exactly —
+/// every global atom's net weight is 1, link caps carry atom_map -1.
+void expect_unit_weights(const frag::BioSystem& sys,
+                         const frag::FragmentationOptions& opts) {
+  const frag::Fragmentation fr = fragment_system(sys, opts);
+  std::vector<double> w(sys.n_atoms(), 0.0);
+  for (const frag::Fragment& f : fr.fragments) {
+    ASSERT_EQ(f.atom_map.size(), f.mol.size());
+    for (const std::ptrdiff_t ga : f.atom_map) {
+      if (ga < 0) continue;  // link hydrogen
+      ASSERT_LT(static_cast<std::size_t>(ga), w.size());
+      w[static_cast<std::size_t>(ga)] += f.weight;
+    }
+  }
+  for (std::size_t a = 0; a < w.size(); ++a)
+    EXPECT_NEAR(w[a], 1.0, 1e-12) << "atom " << a << " under "
+                                  << fr.stats.policy;
+}
+
+TEST(SumRule, EveryPolicySystemAndSeedReconstructsTheSystem) {
+  std::vector<frag::BioSystem> systems;
+  systems.push_back(unit_system(chem::build_drug_ligand()));
+  systems.push_back(unit_system(chem::build_nucleic_strand(3)));
+  systems.push_back(unit_system(chem::build_silica_cluster()));
+  for (const frag::BioSystem& sys : systems) {
+    for (const std::uint64_t seed : {1ull, 17ull, 2024ull}) {
+      frag::FragmentationOptions opts;
+      opts.policy = frag::PolicyKind::kGraphPartition;
+      opts.partition_seed = seed;
+      expect_unit_weights(sys, opts);
+    }
+    // MFCC treats each unit as one monomer; the invariant must hold too.
+    frag::FragmentationOptions mfcc;
+    mfcc.policy = frag::PolicyKind::kMfcc;
+    expect_unit_weights(sys, mfcc);
+  }
+}
+
+// -------------------------------------------------------- policy exactness
+
+TEST(GraphPolicy, ExactForBondedModelOnSilica) {
+  const frag::BioSystem sys = unit_system(chem::build_silica_cluster());
+  frag::FragmentationOptions opts;
+  opts.policy = frag::PolicyKind::kGraphPartition;
+  opts.n_parts = 4;
+  const frag::Fragmentation fr = fragment_system(sys, opts);
+  EXPECT_EQ(fr.stats.policy, "graph");
+  EXPECT_GT(fr.stats.n_cut_bonds, 0u);
+  EXPECT_EQ(fr.stats.n_multicut_atoms, 0u);
+
+  const auto results = run_engine(fr.fragments);
+  frag::AssemblyOptions aopts;
+  aopts.apply_acoustic_sum_rule = false;
+  const frag::GlobalProperties props =
+      frag::assemble_global_properties(sys, fr.fragments, results, aopts);
+
+  engine::ModelEngine eng;
+  const chem::Molecule merged = sys.merged();
+  const engine::FragmentResult direct =
+      eng.compute_with_topology(merged, sys.global_bonds());
+  EXPECT_LT(la::max_abs_diff(props.hessian_mw.to_dense(),
+                             mass_weighted(direct.hessian, merged)),
+            1e-10);
+
+  const auto masses = merged.mass_vector_amu();
+  la::Matrix direct_da = direct.dalpha;
+  for (std::size_t k = 0; k < 6; ++k)
+    for (std::size_t i = 0; i < direct_da.cols(); ++i)
+      direct_da(k, i) /= std::sqrt(masses[i] * units::kAmuToMe);
+  EXPECT_LT(la::max_abs_diff(props.dalpha_mw, direct_da), 1e-8);
+}
+
+TEST(GraphPolicy, ExactAcrossSystemsAndSeeds) {
+  std::vector<frag::BioSystem> systems;
+  systems.push_back(unit_system(chem::build_drug_ligand()));
+  systems.push_back(unit_system(chem::build_nucleic_strand(2)));
+  for (const frag::BioSystem& sys : systems) {
+    for (const std::uint64_t seed : {5ull, 23ull}) {
+      frag::FragmentationOptions opts;
+      opts.policy = frag::PolicyKind::kGraphPartition;
+      opts.n_parts = 3;
+      opts.partition_seed = seed;
+      const frag::Fragmentation fr = fragment_system(sys, opts);
+      const auto results = run_engine(fr.fragments);
+      frag::AssemblyOptions aopts;
+      aopts.apply_acoustic_sum_rule = false;
+      const frag::GlobalProperties props =
+          frag::assemble_global_properties(sys, fr.fragments, results, aopts);
+      engine::ModelEngine eng;
+      const chem::Molecule merged = sys.merged();
+      const engine::FragmentResult direct =
+          eng.compute_with_topology(merged, sys.global_bonds());
+      EXPECT_LT(la::max_abs_diff(props.hessian_mw.to_dense(),
+                                 mass_weighted(direct.hessian, merged)),
+                1e-10)
+          << "seed " << seed;
+    }
+  }
+}
+
+TEST(GraphPolicy, SpectrumMatchesUnfragmentedReference) {
+  // The acceptance check: graph-partitioned Raman spectrum of the SiO2
+  // cluster (D2 ring features) vs the unfragmented reference.
+  const frag::BioSystem sys = unit_system(chem::build_silica_cluster());
+  frag::FragmentationOptions opts;
+  opts.policy = frag::PolicyKind::kGraphPartition;
+  opts.n_parts = 4;
+  const frag::Fragmentation fr = fragment_system(sys, opts);
+  const auto results = run_engine(fr.fragments);
+  const frag::GlobalProperties props =
+      frag::assemble_global_properties(sys, fr.fragments, results);
+
+  engine::ModelEngine eng;
+  const chem::Molecule merged = sys.merged();
+  const engine::FragmentResult direct =
+      eng.compute_with_topology(merged, sys.global_bonds());
+  std::vector<frag::Fragment> whole(1);
+  whole[0].mol = merged;
+  whole[0].weight = 1.0;
+  for (std::size_t a = 0; a < merged.size(); ++a)
+    whole[0].atom_map.push_back(static_cast<std::ptrdiff_t>(a));
+  const std::vector<engine::FragmentResult> whole_res{direct};
+  const frag::GlobalProperties ref =
+      frag::assemble_global_properties(sys, whole, whole_res);
+
+  const la::Vector axis = spectra::wavenumber_axis(0.0, 2000.0, 800);
+  const spectra::RamanSpectrum sa = spectra::raman_spectrum_exact(
+      props.hessian_mw.to_dense(), props.dalpha_mw, axis, 10.0);
+  const spectra::RamanSpectrum sb = spectra::raman_spectrum_exact(
+      ref.hessian_mw.to_dense(), ref.dalpha_mw, axis, 10.0);
+  double num = 0.0, den = 0.0;
+  for (std::size_t i = 0; i < sa.intensity.size(); ++i) {
+    num += (sa.intensity[i] - sb.intensity[i]) *
+           (sa.intensity[i] - sb.intensity[i]);
+    den += sb.intensity[i] * sb.intensity[i];
+  }
+  // The assembly is exact for the bonded model (Hessian parity ~1e-10);
+  // the residual here is the engine's finite-difference noise in dalpha
+  // (~1e-8 per element), so gate at the same parity tolerance as CI.
+  EXPECT_LT(std::sqrt(num / den), 1e-6);
+}
+
+TEST(GraphPolicy, SatisfiesBalanceConstraintMfccCannot) {
+  // The silica cluster is ONE indivisible monomer to MFCC, so a 30-atom
+  // fragment cap is unsatisfiable there — but the graph policy cuts
+  // through the bond graph and honors it.
+  const frag::BioSystem sys = unit_system(chem::build_silica_cluster());
+  ASSERT_GT(sys.n_atoms(), 30u);
+
+  frag::FragmentationOptions opts;
+  opts.max_fragment_atoms = 30;
+  opts.policy = frag::PolicyKind::kMfcc;
+  try {
+    fragment_system(sys, opts);
+    FAIL() << "MFCC accepted an unsatisfiable max_fragment_atoms";
+  } catch (const InvalidArgument& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("max_fragment_atoms = 30"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("unit"), std::string::npos) << msg;
+  }
+
+  opts.policy = frag::PolicyKind::kGraphPartition;
+  const frag::Fragmentation fr = fragment_system(sys, opts);
+  EXPECT_EQ(fr.stats.policy, "graph");
+  EXPECT_LE(fr.stats.max_fragment_atoms, 30u);
+  EXPECT_EQ(fr.stats.n_multicut_atoms, 0u);
+}
+
+TEST(GraphPolicy, DerivesPartCountFromCap) {
+  const frag::BioSystem sys = unit_system(chem::build_nucleic_strand(6));
+  frag::FragmentationOptions opts;
+  opts.policy = frag::PolicyKind::kGraphPartition;
+  opts.max_fragment_atoms = 24;  // n_parts stays 0: derived
+  const frag::Fragmentation fr = fragment_system(sys, opts);
+  EXPECT_GE(fr.stats.n_parts, 2u);
+  EXPECT_LE(fr.stats.max_fragment_atoms, 24u);
+}
+
+// ------------------------------------------------------------- validation
+
+TEST(Validation, TypedErrorsSpellOutOffendingValues) {
+  const frag::BioSystem sys = unit_system(chem::build_drug_ligand());
+
+  frag::FragmentationOptions window;
+  window.policy = frag::PolicyKind::kMfcc;
+  window.window = 1;
+  try {
+    fragment_system(sys, window);
+    FAIL() << "window = 1 accepted";
+  } catch (const InvalidArgument& e) {
+    EXPECT_NE(std::string(e.what()).find("got 1"), std::string::npos)
+        << e.what();
+  }
+
+  frag::FragmentationOptions surplus;
+  surplus.policy = frag::PolicyKind::kGraphPartition;
+  surplus.n_parts = sys.n_atoms() + 5;
+  try {
+    fragment_system(sys, surplus);
+    FAIL() << "surplus n_parts accepted";
+  } catch (const InvalidArgument& e) {
+    EXPECT_NE(std::string(e.what()).find("zero atoms"), std::string::npos)
+        << e.what();
+  }
+
+  frag::FragmentationOptions tol;
+  tol.balance_tolerance = -0.1;
+  EXPECT_THROW(fragment_system(sys, tol), InvalidArgument);
+
+  frag::FragmentationOptions tiny;
+  tiny.policy = frag::PolicyKind::kGraphPartition;
+  tiny.max_fragment_atoms = 3;
+  EXPECT_THROW(fragment_system(sys, tiny), InvalidArgument);
+}
+
+// ------------------------------------------------------------- provenance
+
+TEST(Provenance, WorkflowRecordsPolicyInReportAndCsv) {
+  const frag::BioSystem sys = unit_system(chem::build_drug_ligand());
+  const std::string report_path = "test_part_report.json";
+  qframan::WorkflowOptions wopts;
+  wopts.fragmentation.policy = frag::PolicyKind::kGraphPartition;
+  wopts.fragmentation.n_parts = 3;
+  wopts.omega_points = 64;
+  wopts.report_path = report_path;
+  const qframan::RamanWorkflow wf(wopts);
+  const qframan::WorkflowResult res = wf.run(sys);
+  EXPECT_EQ(res.fragmentation_stats.policy, "graph");
+  EXPECT_GT(res.fragmentation_stats.n_cut_bonds, 0u);
+  EXPECT_GE(res.fragmentation_stats.balance_factor, 1.0);
+
+  std::ifstream is(report_path);
+  ASSERT_TRUE(is.good());
+  std::stringstream buf;
+  buf << is.rdbuf();
+  const std::string report = buf.str();
+  EXPECT_NE(report.find("\"fragmentation\""), std::string::npos);
+  EXPECT_NE(report.find("\"policy\": \"graph\""), std::string::npos);
+  EXPECT_NE(report.find("\"n_cut_bonds\""), std::string::npos);
+  EXPECT_NE(report.find("\"balance_factor\""), std::string::npos);
+  EXPECT_NE(report.find("qfr.part.n_parts"), std::string::npos);
+  EXPECT_NE(report.find("qfr.part.balance_factor"), std::string::npos);
+
+  std::ifstream csv(report_path + ".outcomes.csv");
+  ASSERT_TRUE(csv.good());
+  std::string header, row;
+  std::getline(csv, header);
+  std::getline(csv, row);
+  EXPECT_NE(header.find(",policy"), std::string::npos) << header;
+  EXPECT_NE(row.rfind(",graph"), std::string::npos) << row;
+  csv.close();
+  std::remove(report_path.c_str());
+  std::remove((report_path + ".outcomes.csv").c_str());
+}
+
+TEST(Provenance, MfccRemainsTheDefaultPolicy) {
+  frag::BioSystem sys;
+  sys.waters.push_back(chem::make_water({0, 0, 0}));
+  const frag::Fragmentation fr = fragment_system(sys);
+  EXPECT_EQ(fr.stats.policy, "mfcc");
+}
+
+}  // namespace
+}  // namespace qfr::part

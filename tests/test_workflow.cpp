@@ -423,12 +423,14 @@ TEST(Workflow, ObservabilityArtifactsFromScfHfRun) {
   EXPECT_EQ(line,
             "fragment_id,completed,engine,engine_level,reason,attempts,"
             "rejections,fault_retries,from_checkpoint,cache_hit,"
-            "reuse_tier,wall_seconds,error");
+            "reuse_tier,wall_seconds,error,policy");
   std::size_t rows = 0;
   while (std::getline(csv, line)) {
     if (line.empty()) continue;
     ++rows;
     EXPECT_NE(line.find(",1,"), std::string::npos) << line;  // completed
+    // Partition provenance: every row names the fragmentation policy.
+    EXPECT_EQ(line.substr(line.size() - 5), ",mfcc") << line;
   }
   EXPECT_EQ(rows, res.sweep.n_fragments);
 }
